@@ -1,0 +1,42 @@
+-- Direct-form-I biquad IIR section with constant coefficients.
+-- The output feedback keeps the whole filter in one plane.
+entity biquad is
+  port (
+    clk : in std_logic;
+    x   : in std_logic_vector(7 downto 0);
+    y   : out std_logic_vector(7 downto 0)
+  );
+end entity;
+
+architecture rtl of biquad is
+  signal x1, x2, y1, y2 : std_logic_vector(7 downto 0);
+  signal b0x, b1x, b2x  : std_logic_vector(11 downto 0);
+  signal a1y, a2y       : std_logic_vector(11 downto 0);
+  signal acc1, acc2     : std_logic_vector(11 downto 0);
+  signal fb1, fb2       : std_logic_vector(11 downto 0);
+  signal y_full         : std_logic_vector(11 downto 0);
+  signal y_next         : std_logic_vector(7 downto 0);
+begin
+  b0x <= x  * "1101";
+  b1x <= x1 * "1010";
+  b2x <= x2 * "0110";
+  a1y <= y1 * "1001";
+  a2y <= y2 * "0100";
+  acc1 <= b0x + b1x;
+  acc2 <= acc1 + b2x;
+  fb1 <= acc2 - a1y;
+  fb2 <= fb1 - a2y;
+  y_full <= fb2;
+  y_next <= y_full(9 downto 2);
+  y <= y_next;
+
+  state: process (clk)
+  begin
+    if rising_edge(clk) then
+      x1 <= x;
+      x2 <= x1;
+      y1 <= y_next;
+      y2 <= y1;
+    end if;
+  end process;
+end architecture;

@@ -1,0 +1,32 @@
+-- Gated counter with synchronous reset: exercises nested if/else inside
+-- the clocked process (each branch desugars to a when/else per register).
+entity counter is
+  port (
+    clk  : in std_logic;
+    rst  : in std_logic;
+    en   : in std_logic;
+    step : in std_logic_vector(3 downto 0);
+    q    : out std_logic_vector(7 downto 0)
+  );
+end entity;
+
+architecture rtl of counter is
+  signal count : std_logic_vector(7 downto 0);
+  signal bumped : std_logic_vector(7 downto 0);
+begin
+  bumped <= count + ("0000" & step);
+  q <= count;
+
+  tick: process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        count <= (others => '0');
+      else
+        if en = '1' then
+          count <= bumped;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture;

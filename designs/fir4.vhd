@@ -1,0 +1,34 @@
+-- Four-tap direct-form FIR filter with constant coefficients.
+-- The delay line is a register chain (one plane after levelization).
+entity fir4 is
+  port (
+    clk : in std_logic;
+    x   : in std_logic_vector(7 downto 0);
+    y   : out std_logic_vector(11 downto 0)
+  );
+end entity;
+
+architecture rtl of fir4 is
+  signal t0, t1, t2, t3 : std_logic_vector(7 downto 0);
+  signal p0, p1, p2, p3 : std_logic_vector(11 downto 0);
+  signal s0, s1         : std_logic_vector(11 downto 0);
+begin
+  taps: process (clk)
+  begin
+    if rising_edge(clk) then
+      t0 <= x;
+      t1 <= t0;
+      t2 <= t1;
+      t3 <= t2;
+    end if;
+  end process;
+
+  -- coefficients 3, 11, 11, 3 (constant multiplies fold to shift-adds)
+  p0 <= t0 * "0011";
+  p1 <= t1 * "1011";
+  p2 <= t2 * "1011";
+  p3 <= t3 * "0011";
+  s0 <= p0 + p1;
+  s1 <= p2 + p3;
+  y <= s0 + s1;
+end architecture;

@@ -1,0 +1,29 @@
+-- Multiply-accumulate with synchronous clear: the quickstart design.
+entity mac is
+  port (
+    clk   : in std_logic;
+    clear : in std_logic;
+    a     : in std_logic_vector(7 downto 0);
+    b     : in std_logic_vector(7 downto 0);
+    acc   : out std_logic_vector(15 downto 0)
+  );
+end entity;
+
+architecture rtl of mac is
+  signal product : std_logic_vector(15 downto 0);
+  signal sum     : std_logic_vector(15 downto 0);
+  signal nxt     : std_logic_vector(15 downto 0);
+  signal acc_r   : std_logic_vector(15 downto 0);
+begin
+  product <= a * b;
+  sum <= acc_r + product;
+  nxt <= (others => '0') when clear = '1' else sum;
+  acc <= nxt;
+
+  reg: process (clk)
+  begin
+    if rising_edge(clk) then
+      acc_r <= nxt;
+    end if;
+  end process;
+end architecture;

@@ -1,0 +1,54 @@
+-- Three-stage arithmetic pipeline: multiply, add/compare, blend.
+-- Levelizes into three planes; a pipelined mapping keeps all three
+-- resident, a shared mapping folds them onto the same LEs.
+entity pipeline3 is
+  port (
+    clk : in std_logic;
+    a   : in std_logic_vector(7 downto 0);
+    b   : in std_logic_vector(7 downto 0);
+    q   : out std_logic_vector(7 downto 0)
+  );
+end entity;
+
+architecture rtl of pipeline3 is
+  signal ra, rb        : std_logic_vector(7 downto 0);
+  signal prod          : std_logic_vector(15 downto 0);
+  signal r_lo, r_hi    : std_logic_vector(7 downto 0);
+  signal summ, diff    : std_logic_vector(7 downto 0);
+  signal pick          : std_logic_vector(7 downto 0);
+  signal r_pick, r_sum : std_logic_vector(7 downto 0);
+  signal blend         : std_logic_vector(7 downto 0);
+begin
+  stage1_regs: process (clk)
+  begin
+    if rising_edge(clk) then
+      ra <= a;
+      rb <= b;
+    end if;
+  end process;
+
+  prod <= ra * rb;
+
+  stage2_regs: process (clk)
+  begin
+    if rising_edge(clk) then
+      r_lo <= prod(7 downto 0);
+      r_hi <= prod(15 downto 8);
+    end if;
+  end process;
+
+  summ <= r_lo + r_hi;
+  diff <= r_hi - r_lo;
+  pick <= summ when r_lo < r_hi else diff;
+
+  stage3_regs: process (clk)
+  begin
+    if rising_edge(clk) then
+      r_pick <= pick;
+      r_sum <= summ;
+    end if;
+  end process;
+
+  blend <= r_pick xor r_sum;
+  q <= blend;
+end architecture;

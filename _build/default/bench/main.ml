@@ -1,0 +1,692 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) plus the ablations.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- table1  -- one experiment
+     (table1 table2 fig1 fig35 interconnect tradeoff ablation-fds
+      ablation-place ablation-ffs speed)
+
+   Absolute numbers come from our own substrate (see DESIGN.md for the
+   substitutions); the shapes are what reproduce the paper. *)
+
+module Ascii_table = Nanomap_util.Ascii_table
+module Stats = Nanomap_util.Stats
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Sched = Nanomap_core.Sched
+module Fds = Nanomap_core.Fds
+module Fold = Nanomap_core.Fold
+module Cluster = Nanomap_cluster.Cluster
+module Place = Nanomap_place.Place
+module Router = Nanomap_route.Router
+module Flow = Nanomap_flow.Flow
+module Circuits = Nanomap_circuits.Circuits
+module Lut_network = Nanomap_techmap.Lut_network
+module Partition = Nanomap_techmap.Partition
+module Truth_table = Nanomap_logic.Truth_table
+
+let section title = Printf.printf "\n=== %s ===\n\n%!" title
+
+(* Post-clustering LE count of a plan: the flow's real area metric. *)
+let clustered_les plan ~arch =
+  let cl = Cluster.pack plan ~arch in
+  cl.Cluster.les_used
+
+(* ------------------------------------------------------------- Table 1 *)
+
+type t1_row = {
+  name : string;
+  planes : int;
+  depth : int;
+  luts : int;
+  ffs : int;
+  nf_les : int;
+  nf_delay : float;
+  free_level : int;
+  free_les : int;
+  free_delay : float;
+  k16 : (int * int * float) option; (* level, les, delay *)
+}
+
+let table1_rows () =
+  List.map
+    (fun (b : Circuits.benchmark) ->
+      let p = Mapper.prepare b.Circuits.design in
+      let free_arch = Arch.unbounded_k in
+      let nf = Mapper.no_folding p ~arch:free_arch in
+      let nf_les = clustered_les nf ~arch:free_arch in
+      let best = Mapper.at_min p ~arch:free_arch in
+      let free_les = clustered_les best ~arch:free_arch in
+      let k16 =
+        match Mapper.at_min p ~arch:Arch.default with
+        | plan ->
+          Some
+            ( plan.Mapper.level,
+              clustered_les plan ~arch:Arch.default,
+              plan.Mapper.delay_ns )
+        | exception Mapper.No_feasible_mapping _ -> None
+      in
+      { name = b.Circuits.name;
+        planes = p.Mapper.num_planes;
+        depth = p.Mapper.depth_max;
+        luts = p.Mapper.total_luts;
+        ffs = p.Mapper.total_ffs;
+        nf_les;
+        nf_delay = nf.Mapper.delay_ns;
+        free_level = best.Mapper.level;
+        free_les;
+        free_delay = best.Mapper.delay_ns;
+        k16 })
+    (Circuits.all ())
+
+let table1 () =
+  section "Table 1: circuit mapping results for AT product optimization";
+  let t =
+    Ascii_table.create
+      [ "Circuit"; "#Planes"; "Max depth"; "#LUTs"; "#FFs";
+        "NF #LEs"; "NF delay";
+        "k-enough lvl"; "#LEs"; "delay"; "AT improv";
+        "k=16 lvl"; "#LEs"; "delay"; "AT improv" ]
+  in
+  let rows = table1_rows () in
+  let at_improvements = ref [] and at16_improvements = ref [] in
+  let le_reductions = ref [] and le16_reductions = ref [] in
+  let delay_increase = ref [] and delay16_increase = ref [] in
+  List.iter
+    (fun r ->
+      let nf_at = float_of_int r.nf_les *. r.nf_delay in
+      let free_at = float_of_int r.free_les *. r.free_delay in
+      at_improvements := (nf_at /. free_at) :: !at_improvements;
+      le_reductions :=
+        (float_of_int r.nf_les /. float_of_int r.free_les) :: !le_reductions;
+      delay_increase := ((r.free_delay /. r.nf_delay) -. 1.0) :: !delay_increase;
+      let k16_cells =
+        match r.k16 with
+        | Some (lvl, les, delay) ->
+          let at16 = float_of_int les *. delay in
+          at16_improvements := (nf_at /. at16) :: !at16_improvements;
+          le16_reductions :=
+            (float_of_int r.nf_les /. float_of_int les) :: !le16_reductions;
+          delay16_increase := ((delay /. r.nf_delay) -. 1.0) :: !delay16_increase;
+          [ string_of_int lvl; string_of_int les; Printf.sprintf "%.2f" delay;
+            Printf.sprintf "%.2fX" (nf_at /. at16) ]
+        | None -> [ "-"; "-"; "-"; "-" ]
+      in
+      Ascii_table.add_row t
+        ([ r.name;
+           string_of_int r.planes;
+           string_of_int r.depth;
+           string_of_int r.luts;
+           string_of_int r.ffs;
+           string_of_int r.nf_les;
+           Printf.sprintf "%.2f" r.nf_delay;
+           string_of_int r.free_level;
+           string_of_int r.free_les;
+           Printf.sprintf "%.2f" r.free_delay;
+           Printf.sprintf "%.2fX" (nf_at /. free_at) ]
+        @ k16_cells))
+    rows;
+  Ascii_table.print t;
+  Printf.printf
+    "\nSection 5 claims (paper: LE reduction 14.8X / 9.2X, AT improvement 11.0X \
+     / 7.8X,\ndelay increase 31.8%% / 19.4%% for k-enough / k=16):\n";
+  Printf.printf "  average LE reduction:   %.1fX (k enough)   %.1fX (k=16)\n"
+    (Stats.mean !le_reductions) (Stats.mean !le16_reductions);
+  Printf.printf "  average AT improvement: %.1fX (k enough)   %.1fX (k=16)\n"
+    (Stats.mean !at_improvements) (Stats.mean !at16_improvements);
+  Printf.printf "  average delay increase: %.1f%% (k enough)  %.1f%% (k=16)\n"
+    (100. *. Stats.mean !delay_increase)
+    (100. *. Stats.mean !delay16_increase)
+
+(* ------------------------------------------------------------- Table 2 *)
+
+let table2 () =
+  section "Table 2: circuit mapping results for typical optimization objectives";
+  let arch = Arch.unbounded_k in
+  let t =
+    Ascii_table.create
+      [ "Circuit"; "Optimization"; "Area const (#LEs)"; "Delay const (ns)";
+        "Folding level"; "#LEs"; "Delay (ns)" ]
+  in
+  (* Constraints are scaled from each circuit's own level-1 mapping, so the
+     shapes (which objective binds, which level is chosen) mirror the
+     paper's Table 2 on our substrate. *)
+  let run name objective area_c delay_c =
+    let b = Circuits.by_name name in
+    let options = { Flow.default_options with Flow.objective; physical = false } in
+    match Flow.run ~options ~arch b.Circuits.design with
+    | r ->
+      Ascii_table.add_row t
+        [ b.Circuits.name;
+          (match objective with
+           | Flow.Delay_min _ -> "Delay"
+           | Flow.Area_min _ -> "Area"
+           | Flow.Both _ -> "-"
+           | Flow.At_min -> "AT"
+           | Flow.Fixed_level _ -> "Fixed"
+           | Flow.No_folding -> "None"
+           | Flow.Pipelined_delay_min _ -> "Delay (pipelined)");
+          (match area_c with Some a -> string_of_int a | None -> "-");
+          (match delay_c with Some d -> Printf.sprintf "%.1f" d | None -> "-");
+          string_of_int r.Flow.plan.Mapper.level;
+          string_of_int r.Flow.area_les;
+          Printf.sprintf "%.2f" r.Flow.delay_model_ns ]
+    | exception (Flow.Flow_failed msg | Failure msg) ->
+      Ascii_table.add_row t [ b.Circuits.name; "FAILED"; msg ]
+  in
+  let level1_les name =
+    let b = Circuits.by_name name in
+    let p = Mapper.prepare b.Circuits.design in
+    clustered_les (Mapper.plan_level p ~arch ~level:1) ~arch
+  in
+  let at_delay name =
+    let b = Circuits.by_name name in
+    let p = Mapper.prepare b.Circuits.design in
+    (Mapper.at_min p ~arch).Mapper.delay_ns
+  in
+  (* ex1: delay-min with a tight area budget *)
+  let a = level1_les "ex1" * 5 / 4 in
+  run "ex1" (Flow.Delay_min (Some a)) (Some a) None;
+  (* FIR: delay-min, looser budget *)
+  let a = level1_les "fir" * 2 in
+  run "fir" (Flow.Delay_min (Some a)) (Some a) None;
+  (* ex2: area-min under a delay budget *)
+  let d = at_delay "ex2" *. 1.2 in
+  run "ex2" (Flow.Area_min (Some d)) None (Some d);
+  (* c5315: pure area minimization *)
+  run "c5315" (Flow.Area_min None) None None;
+  (* Biquad: delay-min with area budget *)
+  let a = level1_les "biquad" * 3 / 2 in
+  run "biquad" (Flow.Delay_min (Some a)) (Some a) None;
+  (* Paulin: both constraints *)
+  let a = level1_les "paulin" * 2 and d = at_delay "paulin" *. 1.3 in
+  run "paulin" (Flow.Both (a, d)) (Some a) (Some d);
+  (* ASPP4: area-min under delay budget *)
+  let d = at_delay "aspp4" *. 1.15 in
+  run "aspp4" (Flow.Area_min (Some d)) None (Some d);
+  Ascii_table.print t
+
+(* -------------------------------------------------------------- Fig. 1 *)
+
+let fig1 () =
+  section
+    "Fig. 1: motivational example (4-bit ex1), delay minimization under an \
+     area constraint";
+  let b = Circuits.ex1_small () in
+  let arch = Arch.unbounded_k in
+  let p = Mapper.prepare b.Circuits.design in
+  Printf.printf
+    "circuit parameters: %d LUTs, depth %d, %d flip-flops (paper: 50 LUTs, \
+     depth 9, 14 FFs)\n"
+    p.Mapper.total_luts p.Mapper.depth_max p.Mapper.total_ffs;
+  let budget = (p.Mapper.total_luts * 2 / 3) + 1 in
+  Printf.printf "area constraint: %d LEs (paper used 32)\n" budget;
+  Printf.printf "Eq. 1: minimum folding stages = ceil(%d/%d) = %d\n"
+    p.Mapper.lut_max budget
+    (Fold.min_stages ~lut_max:p.Mapper.lut_max ~available_le:budget);
+  let plan = Mapper.delay_min ~area:budget p ~arch in
+  Printf.printf "chosen folding level %d -> %d folding stages\n\n"
+    plan.Mapper.level plan.Mapper.stages;
+  let t = Ascii_table.create [ "Folding cycle"; "#LUTs"; "FF bits"; "#LEs" ] in
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let luts = Sched.lut_count_per_stage pl.Mapper.problem pl.Mapper.schedule in
+      let ffs = Sched.ff_bits_per_stage pl.Mapper.problem pl.Mapper.schedule in
+      for j = 1 to plan.Mapper.stages do
+        let les = max luts.(j) (Stats.ceil_div ffs.(j) 2) in
+        Ascii_table.add_row t
+          [ string_of_int j; string_of_int luts.(j); string_of_int ffs.(j);
+            string_of_int les ]
+      done)
+    plan.Mapper.planes;
+  Ascii_table.print t;
+  Printf.printf
+    "\nLE requirement = max over cycles = %d <= %d (paper: 12/32/12 -> 32)\n"
+    plan.Mapper.les budget
+
+(* ----------------------------------------------------------- Figs. 3-5 *)
+
+let fig35 () =
+  section "Figs. 3-5: FDS worked example (time frames, lifetimes, DGs)";
+  (* the five-unit example of the paper: A,B sources; C after A; D after B;
+     E after B and C; three folding cycles *)
+  let nw = Lut_network.create () in
+  let in0 = Lut_network.add_input nw (Lut_network.Pi_bit (0, 0)) in
+  let in1 = Lut_network.add_input nw (Lut_network.Pi_bit (1, 0)) in
+  let buf = Truth_table.var ~arity:1 0 in
+  let and2 = Truth_table.of_fun ~arity:2 (fun i -> i.(0) && i.(1)) in
+  let a =
+    Lut_network.add_lut nw ~name:"LUT1" ~module_id:(-1) ~func:buf ~fanins:[| in0 |] ()
+  in
+  let b =
+    Lut_network.add_lut nw ~name:"LUT2" ~module_id:(-1) ~func:buf ~fanins:[| in1 |] ()
+  in
+  let c =
+    Lut_network.add_lut nw ~name:"clus1" ~module_id:(-1) ~func:buf ~fanins:[| a |] ()
+  in
+  let d =
+    Lut_network.add_lut nw ~name:"LUT3" ~module_id:(-1) ~func:buf ~fanins:[| b |] ()
+  in
+  let e =
+    Lut_network.add_lut nw ~name:"LUT4" ~module_id:(-1) ~func:and2 ~fanins:[| b; c |]
+      ()
+  in
+  Lut_network.mark_output nw (Lut_network.Po_target "d") d;
+  Lut_network.mark_output nw (Lut_network.Po_target "e") e;
+  let part = Partition.partition nw ~level:1 in
+  let prob = Sched.problem nw part ~stages:3 ~base_ff_bits:0 in
+  let fixed = Array.make 5 None in
+  let fr = Sched.frames prob ~fixed in
+  let names = [ (a, "LUT1"); (b, "LUT2"); (c, "clus1"); (d, "LUT3"); (e, "LUT4") ] in
+  let t = Ascii_table.create [ "Node"; "ASAP"; "ALAP"; "Time frame" ] in
+  List.iter
+    (fun (l, name) ->
+      let u = part.Partition.unit_of_lut.(l) in
+      Ascii_table.add_row t
+        [ name;
+          string_of_int fr.Sched.asap.(u);
+          string_of_int fr.Sched.alap.(u);
+          Printf.sprintf "[%d,%d]" fr.Sched.asap.(u) fr.Sched.alap.(u) ])
+    names;
+  Ascii_table.print t;
+  (match Sched.intermediate_lifetime prob fr part.Partition.unit_of_lut.(b) with
+   | Some lt ->
+     Printf.printf
+       "\nStorage for LUT2 (paper Fig. 4): ASAP_life [%d,%d] (len %d), ALAP_life \
+        [%d,%d] (len %d),\n  max_life [%d,%d] (Eq. 6), overlap [%d,%d] (Eq. 7), \
+        avg_life %.3f (Eq. 8 = 5/3)\n"
+       (fst lt.Sched.asap_life) (snd lt.Sched.asap_life)
+       (max 0 (snd lt.Sched.asap_life - fst lt.Sched.asap_life + 1))
+       (fst lt.Sched.alap_life) (snd lt.Sched.alap_life)
+       (max 0 (snd lt.Sched.alap_life - fst lt.Sched.alap_life + 1))
+       (fst lt.Sched.max_life) (snd lt.Sched.max_life)
+       (fst lt.Sched.overlap) (snd lt.Sched.overlap)
+       lt.Sched.avg_life
+   | None -> Printf.printf "\n(no storage operation for LUT2?)\n");
+  let lut_dg = Sched.lut_dg prob fr in
+  let storage_dg = Sched.storage_dg prob fr in
+  Printf.printf "\nDistribution graphs (paper Fig. 5):\n";
+  for j = 1 to 3 do
+    Printf.printf "  cycle %d: LUT_DG = %.3f   storage_DG = %.3f\n" j lut_dg.(j)
+      storage_dg.(j)
+  done;
+  let sched = Fds.schedule prob ~arch:Arch.default in
+  Printf.printf "\nFDS schedule:";
+  List.iter
+    (fun (l, name) ->
+      Printf.printf " %s->cycle %d" name sched.(part.Partition.unit_of_lut.(l)))
+    names;
+  Printf.printf "\n"
+
+(* --------------------------------------------- Interconnect claim (S2) *)
+
+let interconnect () =
+  section
+    "Section 5 claim: global interconnect usage, level-1 folding vs no folding";
+  let t =
+    Ascii_table.create
+      [ "Circuit"; "Mode"; "SMBs"; "Nets"; "Global nets"; "Global wires/config";
+        "Wirelength/net"; "Intra-SMB conns" ]
+  in
+  let arch = Arch.unbounded_k in
+  let reductions = ref [] in
+  List.iter
+    (fun name ->
+      let b = Circuits.by_name name in
+      let p = Mapper.prepare b.Circuits.design in
+      let eval label plan =
+        let cl = Cluster.pack plan ~arch in
+        let local = Nanomap_cluster.Smb_local.analyze cl plan in
+        let place = Place.place ~effort:`Fast cl in
+        let r, _ = Router.route_adaptive place cl plan in
+        let configs = max plan.Mapper.configs_used 1 in
+        let globals = List.assoc "global" r.Router.usage_by_kind in
+        let per_config = float_of_int globals /. float_of_int configs in
+        let total_conns =
+          local.Nanomap_cluster.Smb_local.local_connections
+          + local.Nanomap_cluster.Smb_local.external_connections
+        in
+        Ascii_table.add_row t
+          [ b.Circuits.name; label;
+            string_of_int cl.Cluster.num_smbs;
+            string_of_int r.Router.total_nets;
+            Printf.sprintf "%d (%.1f%%)" r.Router.nets_using_global
+              (100.
+              *. float_of_int r.Router.nets_using_global
+              /. float_of_int (max r.Router.total_nets 1));
+            Printf.sprintf "%.1f" per_config;
+            Printf.sprintf "%.2f"
+              (float_of_int r.Router.wirelength
+              /. float_of_int (max r.Router.total_nets 1));
+            Printf.sprintf "%.0f%%"
+              (100.
+              *. float_of_int local.Nanomap_cluster.Smb_local.local_connections
+              /. float_of_int (max total_conns 1)) ];
+        per_config
+      in
+      let nf = eval "no folding" (Mapper.no_folding p ~arch) in
+      let l1 = eval "level-1" (Mapper.plan_level p ~arch ~level:1) in
+      Ascii_table.add_separator t;
+      if nf > 0.0 then reductions := (1.0 -. (l1 /. nf)) :: !reductions)
+    [ "ex1"; "fir"; "c5315"; "biquad" ];
+  Ascii_table.print t;
+  Printf.printf
+    "\nAverage reduction in per-configuration global-wire usage: %.0f%% (paper \
+     claims >50%%)\n"
+    (100. *. Stats.mean !reductions)
+
+(* -------------------------------------------------- Tradeoff curve (A3) *)
+
+let tradeoff () =
+  section "Sec. 2.2 tradeoff: delay and area vs folding level (ex1)";
+  let b = Circuits.ex1 () in
+  let p = Mapper.prepare b.Circuits.design in
+  let arch = Arch.unbounded_k in
+  let t =
+    Ascii_table.create
+      [ "Folding level"; "Stages"; "#LEs (sched)"; "Delay (ns)"; "AT product" ]
+  in
+  List.iter
+    (fun (lvl, plan) ->
+      Ascii_table.add_row t
+        [ string_of_int lvl;
+          string_of_int plan.Mapper.stages;
+          string_of_int plan.Mapper.les;
+          Printf.sprintf "%.2f" plan.Mapper.delay_ns;
+          Printf.sprintf "%.0f"
+            (float_of_int plan.Mapper.les *. plan.Mapper.delay_ns) ])
+    (Mapper.sweep p ~arch);
+  let nf = Mapper.no_folding p ~arch in
+  Ascii_table.add_separator t;
+  Ascii_table.add_row t
+    [ "no folding"; "1"; string_of_int nf.Mapper.les;
+      Printf.sprintf "%.2f" nf.Mapper.delay_ns;
+      Printf.sprintf "%.0f" (float_of_int nf.Mapper.les *. nf.Mapper.delay_ns) ];
+  Ascii_table.print t
+
+(* -------------------------------------------------- FDS ablation (A1) *)
+
+let ablation_fds () =
+  section "Ablation: FDS vs ASAP scheduling (max per-stage LE usage, level 1)";
+  let arch = Arch.unbounded_k in
+  let t =
+    Ascii_table.create [ "Circuit"; "#LEs (FDS)"; "#LEs (ASAP)"; "FDS advantage" ]
+  in
+  List.iter
+    (fun (b : Circuits.benchmark) ->
+      let p = Mapper.prepare b.Circuits.design in
+      let fds = Mapper.plan_level ~scheduler:Mapper.Fds p ~arch ~level:1 in
+      let asap =
+        Mapper.plan_level ~scheduler:Mapper.Asap_baseline p ~arch ~level:1
+      in
+      Ascii_table.add_row t
+        [ b.Circuits.name;
+          string_of_int fds.Mapper.les;
+          string_of_int asap.Mapper.les;
+          Printf.sprintf "%.2fX"
+            (float_of_int asap.Mapper.les /. float_of_int fds.Mapper.les) ])
+    (Circuits.all ());
+  Ascii_table.print t
+
+(* ------------------------------------------- Placement ablation (A2) *)
+
+let ablation_place () =
+  section "Ablation: joint all-cycles placement cost vs first-cycle-only (Fig. 6)";
+  let arch = Arch.unbounded_k in
+  let t =
+    Ascii_table.create
+      [ "Circuit"; "HPWL joint"; "HPWL cycle-1-only"; "Routed WL joint";
+        "Routed WL cycle-1" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Circuits.by_name name in
+      let p = Mapper.prepare b.Circuits.design in
+      let plan = Mapper.plan_level p ~arch ~level:1 in
+      let cl = Cluster.pack plan ~arch in
+      let joint = Place.place ~effort:`Fast ~joint:true cl in
+      let single = Place.place ~effort:`Fast ~joint:false cl in
+      let wl placement =
+        let r, _ = Router.route_adaptive placement cl plan in
+        r.Router.wirelength
+      in
+      Ascii_table.add_row t
+        [ b.Circuits.name;
+          Printf.sprintf "%.0f" (Place.hpwl joint cl);
+          Printf.sprintf "%.0f" (Place.hpwl single cl);
+          string_of_int (wl joint);
+          string_of_int (wl single) ])
+    [ "ex1"; "biquad"; "ex2" ];
+  Ascii_table.print t
+
+(* ------------------------------------- Architecture ablation (A4) *)
+
+(* The paper: "temporal logic folding greatly reduces the area for
+   implementing logic, so much so that the number of registers in the
+   design becomes the bottleneck... as opposed to traditional LEs that
+   include only one flip-flop, we include two flip-flops per LE. This does
+   increase an SMB's area to 1.5X... more than offset". Reproduce that
+   tradeoff: map at level 1 with l = 1 vs l = 2 flip-flops per LE and
+   compare SMB-area-weighted cost. *)
+let ablation_ffs () =
+  section "Ablation: flip-flops per LE (the paper's 2-FF design choice)";
+  let t =
+    Ascii_table.create
+      [ "Circuit"; "#LEs (1 FF)"; "#LEs (2 FF)"; "area x1.0 (1 FF)";
+        "area x1.5 (2 FF)"; "2-FF wins" ]
+  in
+  List.iter
+    (fun (b : Circuits.benchmark) ->
+      let p = Mapper.prepare b.Circuits.design in
+      let arch1 = { Arch.unbounded_k with Arch.ffs_per_le = 1 } in
+      let arch2 = Arch.unbounded_k in
+      let les1 = (Mapper.plan_level p ~arch:arch1 ~level:1).Mapper.les in
+      let les2 = (Mapper.plan_level p ~arch:arch2 ~level:1).Mapper.les in
+      (* SMB area scales 1.5X for the second flip-flop (paper Sec. 5) *)
+      let area1 = float_of_int les1 *. 1.0 in
+      let area2 = float_of_int les2 *. 1.5 in
+      Ascii_table.add_row t
+        [ b.Circuits.name;
+          string_of_int les1;
+          string_of_int les2;
+          Printf.sprintf "%.0f" area1;
+          Printf.sprintf "%.0f" area2;
+          (if area2 < area1 then "yes" else "no") ])
+    (Circuits.all ());
+  Ascii_table.print t
+
+(* --------------------------------------- Architecture geometry (A5) *)
+
+(* The paper fixes one four-input LUT per LE, 4 LEs per MB and 4 MBs per
+   SMB "based on the observations in [7]". Sweep the cluster geometry and
+   watch the locality/granularity tradeoff: tiny SMBs waste nothing on
+   granularity but push every net onto the general interconnect, huge SMBs
+   absorb nets but round the area up. *)
+let arch_geometry () =
+  section "Architecture sweep: LEs/MB x MBs/SMB (paper instance is 4x4)";
+  let t =
+    Ascii_table.create
+      [ "Geometry"; "LEs/SMB"; "SMBs"; "Area (LEs)"; "Inter-SMB nets"; "HPWL" ]
+  in
+  let b = Circuits.ex1 () in
+  let p = Mapper.prepare b.Circuits.design in
+  List.iter
+    (fun (les_per_mb, mbs_per_smb) ->
+      let arch = { Arch.unbounded_k with Arch.les_per_mb; mbs_per_smb } in
+      let plan = Mapper.plan_level p ~arch ~level:1 in
+      let cl = Cluster.pack plan ~arch in
+      let place = Place.place ~effort:`Fast cl in
+      Ascii_table.add_row t
+        [ Printf.sprintf "%dx%d" les_per_mb mbs_per_smb;
+          string_of_int (Arch.les_per_smb arch);
+          string_of_int cl.Cluster.num_smbs;
+          string_of_int (Cluster.area_les cl);
+          string_of_int (List.length cl.Cluster.nets);
+          Printf.sprintf "%.0f" place.Place.hpwl ])
+      [ (2, 2); (4, 2); (4, 4); (8, 4) ];
+  Ascii_table.print t
+
+(* --------------------------------------- Beyond-paper workloads (A6) *)
+
+let extended () =
+  section "Extension: beyond-paper workloads under AT optimization";
+  let t =
+    Ascii_table.create
+      [ "Circuit"; "Planes"; "Depth"; "LUTs"; "FFs"; "NF LEs"; "AT lvl"; "#LEs";
+        "Delay"; "AT improv" ]
+  in
+  let arch = Arch.unbounded_k in
+  List.iter
+    (fun (b : Circuits.benchmark) ->
+      let p = Mapper.prepare b.Circuits.design in
+      let nf = Mapper.no_folding p ~arch in
+      let nf_les = clustered_les nf ~arch in
+      let best = Mapper.at_min p ~arch in
+      let les = clustered_les best ~arch in
+      let improv =
+        float_of_int nf_les *. nf.Mapper.delay_ns
+        /. (float_of_int les *. best.Mapper.delay_ns)
+      in
+      Ascii_table.add_row t
+        [ b.Circuits.name;
+          string_of_int p.Mapper.num_planes;
+          string_of_int p.Mapper.depth_max;
+          string_of_int p.Mapper.total_luts;
+          string_of_int p.Mapper.total_ffs;
+          string_of_int nf_les;
+          string_of_int best.Mapper.level;
+          string_of_int les;
+          Printf.sprintf "%.2f" best.Mapper.delay_ns;
+          Printf.sprintf "%.2fX" improv ])
+    (Circuits.extended ());
+  Ascii_table.print t
+
+(* ------------------------------------------------- Energy (extension) *)
+
+(* Not in the paper's tables — an extension quantifying its qualitative
+   power argument: folding trades LE leakage and count for per-cycle
+   reconfiguration energy. *)
+let energy () =
+  section "Extension: energy per computation vs folding (event-based model)";
+  let t =
+    Ascii_table.create
+      [ "Circuit"; "Mode"; "#LEs"; "Wire segs"; "Energy (pJ)"; "vs no-folding" ]
+  in
+  let arch = Arch.unbounded_k in
+  List.iter
+    (fun name ->
+      let b = Circuits.by_name name in
+      let p = Mapper.prepare b.Circuits.design in
+      let eval label plan =
+        let cl = Cluster.pack plan ~arch in
+        let place = Place.place ~effort:`Fast cl in
+        let r, _ = Router.route_adaptive place cl plan in
+        let energy =
+          Arch.energy_per_computation_pj arch ~luts_evaluated:p.Mapper.total_luts
+            ~les:cl.Cluster.les_used ~stages:plan.Mapper.stages
+            ~num_planes:p.Mapper.num_planes ~wire_segments:r.Router.wirelength
+            ~delay_ns:plan.Mapper.delay_ns
+        in
+        (label, cl.Cluster.les_used, r.Router.wirelength, energy)
+      in
+      let (l1, les1, w1, e1) = eval "no folding" (Mapper.no_folding p ~arch) in
+      let (l2, les2, w2, e2) = eval "level-1" (Mapper.plan_level p ~arch ~level:1) in
+      List.iter
+        (fun (label, les, wires, e) ->
+          Ascii_table.add_row t
+            [ b.Circuits.name; label; string_of_int les; string_of_int wires;
+              Printf.sprintf "%.1f" e;
+              (if label = "no folding" then "1.00X"
+               else Printf.sprintf "%.2fX" (e /. e1)) ])
+        [ (l1, les1, w1, e1); (l2, les2, w2, e2) ];
+      Ascii_table.add_separator t)
+    [ "ex1"; "c5315"; "biquad" ];
+  Ascii_table.print t;
+  Printf.printf
+    "\nFolding pays reconfiguration energy but wins on wiring and leakage; the\n\
+     net direction depends on the reconfiguration energy per LE (e_reconf).\n"
+
+(* --------------------------------------------------------- Speed (S3) *)
+
+let speed () =
+  section "Section 5 claim: mapping CPU time (paper: < 1 min per circuit)";
+  let t = Ascii_table.create [ "Circuit"; "#LUTs"; "Full flow (s)"; "Within 1 min" ] in
+  let stress =
+    (* a scale stress case well beyond the paper's largest benchmark *)
+    { (Circuits.ex1 ~width:24 ()) with Circuits.name = "ex1-24bit (stress)" }
+  in
+  List.iter
+    (fun (b : Circuits.benchmark) ->
+      let t0 = Unix.gettimeofday () in
+      let r = Flow.run ~arch:Arch.unbounded_k b.Circuits.design in
+      let dt = Unix.gettimeofday () -. t0 in
+      Ascii_table.add_row t
+        [ b.Circuits.name;
+          string_of_int r.Flow.prepared.Mapper.total_luts;
+          Printf.sprintf "%.2f" dt;
+          (if dt < 60.0 then "yes" else "NO") ])
+    (Circuits.all () @ [ stress ]);
+  Ascii_table.print t;
+  (* Bechamel micro-benchmarks: one kernel per table/figure. *)
+  Printf.printf "\nBechamel micro-benchmarks (one kernel per table):\n%!";
+  let open Bechamel in
+  let ex1s = (Circuits.ex1_small ()).Circuits.design in
+  let prepared = Mapper.prepare ex1s in
+  let arch = Arch.unbounded_k in
+  let tests =
+    [ Test.make ~name:"table1_at_min_ex1_4bit"
+        (Staged.stage (fun () -> ignore (Mapper.at_min prepared ~arch)));
+      Test.make ~name:"table2_delay_min_ex1_4bit"
+        (Staged.stage (fun () -> ignore (Mapper.delay_min prepared ~arch)));
+      Test.make ~name:"fig1_plan_level1_ex1_4bit"
+        (Staged.stage (fun () -> ignore (Mapper.plan_level prepared ~arch ~level:1)));
+      Test.make ~name:"interconnect_cluster_ex1_4bit"
+        (Staged.stage (fun () ->
+             let plan = Mapper.plan_level prepared ~arch ~level:1 in
+             ignore (Cluster.pack plan ~arch))) ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-36s %14.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------- driver *)
+
+let () =
+  let wanted = List.tl (Array.to_list Sys.argv) in
+  let all_experiments =
+    [ ("table1", table1); ("table2", table2); ("fig1", fig1); ("fig35", fig35);
+      ("interconnect", interconnect); ("tradeoff", tradeoff);
+      ("ablation-fds", ablation_fds); ("ablation-place", ablation_place);
+      ("ablation-ffs", ablation_ffs); ("arch-geometry", arch_geometry);
+      ("energy", energy); ("extended", extended); ("speed", speed) ]
+  in
+  let to_run =
+    match wanted with
+    | [] -> all_experiments
+    | names ->
+      List.filter_map
+        (fun n ->
+          match List.assoc_opt n all_experiments with
+          | Some f -> Some (n, f)
+          | None ->
+            Printf.eprintf "unknown experiment %s\n" n;
+            None)
+        names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) to_run;
+  Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,385 @@
+(* nanomap — command-line driver for the NanoMap flow.
+
+   Subcommands:
+     map    run the full flow on a built-in benchmark or a BLIF file
+     stats  print the circuit parameters the folding-level math uses
+     sweep  print the folding-level design-space table
+     list   list the built-in benchmark circuits *)
+
+open Cmdliner
+
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Flow = Nanomap_flow.Flow
+module Circuits = Nanomap_circuits.Circuits
+module Bitstream = Nanomap_bitstream.Bitstream
+module Router = Nanomap_route.Router
+module Ascii_table = Nanomap_util.Ascii_table
+
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+(* ----------------------------------------------------- design loading *)
+
+let load_design circuit blif vhdl =
+  match circuit, blif, vhdl with
+  | Some name, None, None ->
+    (try Ok (Circuits.by_name name).Circuits.design
+     with Not_found -> Error (`Msg ("unknown benchmark: " ^ name)))
+  | None, Some path, None ->
+    (try Ok (Nanomap_blif.Blif_rtl.design_of_file path) with
+     | Nanomap_blif.Blif.Parse_error (line, msg) ->
+       Error (`Msg (Printf.sprintf "%s:%d: %s" path line msg))
+     | Failure msg | Sys_error msg -> Error (`Msg msg))
+  | None, None, Some path ->
+    (try Ok (Nanomap_vhdl.Vhdl.design_of_file path) with
+     | Nanomap_vhdl.Vhdl.Parse_error (line, msg) ->
+       Error (`Msg (Printf.sprintf "%s:%d: %s" path line msg))
+     | Failure msg | Sys_error msg -> Error (`Msg msg))
+  | None, None, None -> Error (`Msg "need --circuit NAME, --blif FILE or --vhdl FILE")
+  | _ -> Error (`Msg "give exactly one of --circuit, --blif, --vhdl")
+
+let circuit_arg =
+  Arg.(value & opt (some string) None
+       & info [ "c"; "circuit" ] ~docv:"NAME" ~doc:"Built-in benchmark circuit.")
+
+let blif_arg =
+  Arg.(value & opt (some file) None
+       & info [ "blif" ] ~docv:"FILE" ~doc:"Gate-level BLIF input file.")
+
+let vhdl_arg =
+  Arg.(value & opt (some file) None
+       & info [ "vhdl" ] ~docv:"FILE" ~doc:"RTL-VHDL input file (subset).")
+
+let k_arg =
+  Arg.(value & opt (some int) (Some 16)
+       & info [ "k" ] ~docv:"N"
+           ~doc:"NRAM configuration sets per element (0 = unbounded).")
+
+let arch_of_k k =
+  match k with
+  | Some 0 | None -> Arch.unbounded_k
+  | Some n -> Arch.with_num_reconf Arch.default (Some n)
+
+let verbosity =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable informational logging.")
+
+(* ------------------------------------------------------------- map cmd *)
+
+let objective_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "at" -> Ok `At
+    | "delay" -> Ok `Delay
+    | "area" -> Ok `Area
+    | "both" -> Ok `Both
+    | "none" | "no-folding" -> Ok `None
+    | _ -> Error (`Msg "objective must be at|delay|area|both|none")
+  in
+  let print fmt o =
+    Format.pp_print_string fmt
+      (match o with
+       | `At -> "at" | `Delay -> "delay" | `Area -> "area" | `Both -> "both"
+       | `None -> "none")
+  in
+  Arg.conv (parse, print)
+
+let run_map circuit blif vhdl objective area delay level logical pipelined seed
+    bitstream_out dump_blif verbose k =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  match load_design circuit blif vhdl with
+  | Error (`Msg m) -> prerr_endline ("error: " ^ m); 1
+  | Ok design ->
+    let obj =
+      match level, pipelined, area with
+      | Some l, _, _ -> Flow.Fixed_level l
+      | None, true, Some a -> Flow.Pipelined_delay_min a
+      | None, true, None ->
+        prerr_endline "error: --pipelined needs --area"; exit 1
+      | None, false, _ ->
+        (match objective, area, delay with
+         | `None, _, _ -> Flow.No_folding
+         | `At, _, _ -> Flow.At_min
+         | `Delay, a, _ -> Flow.Delay_min a
+         | `Area, _, d -> Flow.Area_min d
+         | `Both, Some a, Some d -> Flow.Both (a, d)
+         | `Both, _, _ ->
+           prerr_endline "error: --objective both needs --area and --delay";
+           exit 1)
+    in
+    let options =
+      { Flow.default_options with Flow.objective = obj; physical = not logical; seed }
+    in
+    (match Flow.run ~options ~arch:(arch_of_k k) design with
+     | report ->
+       Format.printf "%a@." Flow.pp_report report;
+       (match report.Flow.routing with
+        | Some r ->
+          Format.printf "routing: %s, %d nets, wirelength %d, channel factor x%d@."
+            (if r.Router.success then "legal" else "CONGESTED")
+            r.Router.total_nets r.Router.wirelength report.Flow.channel_factor
+        | None -> ());
+       (match dump_blif with
+        | Some prefix ->
+          Array.iter
+            (fun (pl : Mapper.plane_plan) ->
+              let path =
+                if Array.length report.Flow.plan.Mapper.planes = 1 then prefix
+                else Printf.sprintf "%s.plane%d" prefix pl.Mapper.plane_index
+              in
+              Nanomap_techmap.Lut_blif.write_file
+                ~name:(Printf.sprintf "%s_plane%d" report.Flow.design_name
+                         pl.Mapper.plane_index)
+                pl.Mapper.network path;
+              Format.printf "mapped LUT network -> %s@." path)
+            report.Flow.plan.Mapper.planes
+        | None -> ());
+       (match bitstream_out, report.Flow.bitstream with
+        | Some path, Some bs ->
+          Bitstream.write_file bs path;
+          Format.printf "bitstream: %d bytes -> %s@." (Bytes.length bs.Bitstream.bytes)
+            path
+        | Some _, None ->
+          Format.printf "bitstream: not generated (logical-only run)@."
+        | None, _ -> ());
+       0
+     | exception Flow.Flow_failed msg ->
+       prerr_endline ("flow failed: " ^ msg); 1
+     | exception Mapper.No_feasible_mapping msg ->
+       prerr_endline ("no feasible mapping: " ^ msg); 1)
+
+let map_cmd =
+  let area =
+    Arg.(value & opt (some int) None
+         & info [ "area" ] ~docv:"LES" ~doc:"Area constraint in logic elements.")
+  in
+  let delay =
+    Arg.(value & opt (some float) None
+         & info [ "delay" ] ~docv:"NS" ~doc:"Delay constraint in nanoseconds.")
+  in
+  let level =
+    Arg.(value & opt (some int) None
+         & info [ "level" ] ~docv:"P" ~doc:"Force folding level $(docv).")
+  in
+  let objective =
+    Arg.(value & opt objective_conv `At
+         & info [ "o"; "objective" ] ~docv:"OBJ"
+             ~doc:"Optimization objective: at|delay|area|both|none.")
+  in
+  let logical =
+    Arg.(value & flag
+         & info [ "logical" ] ~doc:"Stop after clustering (skip place & route).")
+  in
+  let pipelined =
+    Arg.(value & flag
+         & info [ "pipelined" ]
+             ~doc:"Planes stay resident simultaneously (Eq. 4); needs --area.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let bitstream_out =
+    Arg.(value & opt (some string) None
+         & info [ "bitstream" ] ~docv:"FILE" ~doc:"Write the configuration bitmap.")
+  in
+  let dump_blif =
+    Arg.(value & opt (some string) None
+         & info [ "dump-blif" ] ~docv:"FILE"
+             ~doc:"Write the mapped LUT network(s) as BLIF.")
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Run the NanoMap flow on a design")
+    Term.(
+      const run_map $ circuit_arg $ blif_arg $ vhdl_arg $ objective $ area $ delay
+      $ level $ logical $ pipelined $ seed $ bitstream_out $ dump_blif $ verbosity
+      $ k_arg)
+
+(* ----------------------------------------------------------- stats cmd *)
+
+let run_stats circuit blif vhdl verbose =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  match load_design circuit blif vhdl with
+  | Error (`Msg m) -> prerr_endline ("error: " ^ m); 1
+  | Ok design ->
+    let p = Mapper.prepare design in
+    Format.printf
+      "@[<v>design: %s@ planes: %d@ LUTs: %d (max plane %d)@ depth: %d@ \
+       flip-flops: %d@ state bits: %d@]@."
+      (Nanomap_rtl.Rtl.name design)
+      p.Mapper.num_planes p.Mapper.total_luts p.Mapper.lut_max p.Mapper.depth_max
+      p.Mapper.total_ffs p.Mapper.base_ff_bits;
+    0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the circuit parameters of a design")
+    Term.(const run_stats $ circuit_arg $ blif_arg $ vhdl_arg $ verbosity)
+
+(* ----------------------------------------------------------- sweep cmd *)
+
+let run_sweep circuit blif vhdl verbose k =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  match load_design circuit blif vhdl with
+  | Error (`Msg m) -> prerr_endline ("error: " ^ m); 1
+  | Ok design ->
+    let arch = arch_of_k k in
+    let p = Mapper.prepare design in
+    let t =
+      Ascii_table.create
+        [ "Level"; "Stages"; "#LEs (sched)"; "Delay (ns)"; "AT"; "Configs" ]
+    in
+    List.iter
+      (fun (lvl, plan) ->
+        Ascii_table.add_row t
+          [ string_of_int lvl;
+            string_of_int plan.Mapper.stages;
+            string_of_int plan.Mapper.les;
+            Printf.sprintf "%.2f" plan.Mapper.delay_ns;
+            Printf.sprintf "%.0f"
+              (float_of_int plan.Mapper.les *. plan.Mapper.delay_ns);
+            string_of_int plan.Mapper.configs_used ])
+      (Mapper.sweep p ~arch);
+    (match Mapper.no_folding p ~arch with
+     | nf ->
+       Ascii_table.add_separator t;
+       Ascii_table.add_row t
+         [ "none"; "1"; string_of_int nf.Mapper.les;
+           Printf.sprintf "%.2f" nf.Mapper.delay_ns;
+           Printf.sprintf "%.0f" (float_of_int nf.Mapper.les *. nf.Mapper.delay_ns);
+           string_of_int nf.Mapper.configs_used ]
+     | exception _ -> ());
+    Ascii_table.print t;
+    0
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Print the folding-level design space of a design")
+    Term.(const run_sweep $ circuit_arg $ blif_arg $ vhdl_arg $ verbosity $ k_arg)
+
+(* ---------------------------------------------------------- disasm cmd *)
+
+let run_disasm path limit =
+  match Bitstream.read_file path with
+  | configs ->
+    Printf.printf "%s: %d configurations
+" path (Array.length configs);
+    Array.iteri
+      (fun i (c : Bitstream.config) ->
+        if i < limit then begin
+          Printf.printf "config %d: %d LEs, %d switches
+" i (List.length c.Bitstream.les)
+            (List.length c.Bitstream.switches);
+          List.iteri
+            (fun j (le : Bitstream.le_config) ->
+              if j < 8 then
+                Printf.printf "  LE smb%d/mb%d/le%d lut=0x%04x inputs=%d
+"
+                  le.Bitstream.le_smb le.Bitstream.le_mb le.Bitstream.le_index
+                  le.Bitstream.truth_table le.Bitstream.used_inputs)
+            c.Bitstream.les;
+          if List.length c.Bitstream.les > 8 then
+            Printf.printf "  ... %d more LEs
+" (List.length c.Bitstream.les - 8)
+        end)
+      configs;
+    0
+  | exception Bitstream.Corrupt msg ->
+    prerr_endline ("corrupt bitstream: " ^ msg); 1
+  | exception Sys_error msg -> prerr_endline msg; 1
+
+let disasm_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Bitstream file written by map --bitstream.")
+  in
+  let limit =
+    Arg.(value & opt int 4
+         & info [ "configs" ] ~docv:"N" ~doc:"Print at most $(docv) configurations.")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Inspect a configuration bitmap")
+    Term.(const run_disasm $ path $ limit)
+
+(* --------------------------------------------------------- emulate cmd *)
+
+let run_emulate circuit blif vhdl level cycles seed verbose =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  match load_design circuit blif vhdl with
+  | Error (`Msg m) -> prerr_endline ("error: " ^ m); 1
+  | Ok design ->
+    let arch = Arch.unbounded_k in
+    let p = Mapper.prepare design in
+    let plan =
+      match level with
+      | Some l -> Mapper.plan_level p ~arch ~level:l
+      | None -> Mapper.at_min p ~arch
+    in
+    let cluster = Nanomap_cluster.Cluster.pack plan ~arch in
+    let emu = Nanomap_emu.Emulator.create design plan cluster in
+    let sim = Nanomap_rtl.Rtl.sim_create design in
+    let rng = Nanomap_util.Rng.create seed in
+    let mismatches = ref 0 in
+    for _ = 1 to cycles do
+      let stimulus =
+        List.map
+          (fun (s : Nanomap_rtl.Rtl.signal) ->
+            ( s.Nanomap_rtl.Rtl.name,
+              Nanomap_util.Rng.int rng (1 lsl min s.Nanomap_rtl.Rtl.width 16) ))
+          (Nanomap_rtl.Rtl.inputs design)
+      in
+      let expected = Nanomap_rtl.Rtl.sim_cycle sim stimulus in
+      let got = Nanomap_emu.Emulator.macro_cycle emu stimulus in
+      List.iter
+        (fun (n, v) ->
+          if List.assoc_opt n got <> Some v then incr mismatches)
+        expected
+    done;
+    Printf.printf
+      "emulated %d macro cycles at folding level %d (%d stages): %d mismatches vs        the RTL simulator
+"
+      cycles plan.Mapper.level plan.Mapper.stages !mismatches;
+    if !mismatches = 0 then 0 else 1
+
+let emulate_cmd =
+  let level =
+    Arg.(value & opt (some int) None
+         & info [ "level" ] ~docv:"P" ~doc:"Folding level (default: AT-optimal).")
+  in
+  let cycles =
+    Arg.(value & opt int 200 & info [ "cycles" ] ~docv:"N" ~doc:"Macro cycles to run.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Stimulus seed.")
+  in
+  Cmd.v
+    (Cmd.info "emulate"
+       ~doc:"Emulate the folded fabric against the RTL simulator (self-check)")
+    Term.(
+      const run_emulate $ circuit_arg $ blif_arg $ vhdl_arg $ level $ cycles $ seed
+      $ verbosity)
+
+(* ------------------------------------------------------------ list cmd *)
+
+let run_list () =
+  List.iter
+    (fun (b : Circuits.benchmark) ->
+      Printf.printf "%-10s %s\n" b.Circuits.name b.Circuits.description)
+    (Circuits.ex1_small () :: Circuits.all ());
+  0
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark circuits")
+    Term.(const run_list $ const ())
+
+let () =
+  let info =
+    Cmd.info "nanomap" ~version:"1.0.0"
+      ~doc:"Design optimization flow for the NATURE reconfigurable architecture"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ map_cmd; stats_cmd; sweep_cmd; list_cmd; disasm_cmd; emulate_cmd ]))

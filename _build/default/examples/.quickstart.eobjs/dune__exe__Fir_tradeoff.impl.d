@@ -1,0 +1,1 @@
+examples/fir_tradeoff.ml: List Nanomap_arch Nanomap_circuits Nanomap_core Nanomap_util Printf

@@ -1,0 +1,1 @@
+examples/motivational.ml: Array Hashtbl List Nanomap_arch Nanomap_circuits Nanomap_core Nanomap_rtl Nanomap_techmap Nanomap_util Printf

@@ -1,0 +1,1 @@
+examples/pipeline_stages.ml: Array Nanomap_arch Nanomap_circuits Nanomap_core Printf

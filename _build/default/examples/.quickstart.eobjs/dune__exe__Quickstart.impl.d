@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes List Nanomap_arch Nanomap_bitstream Nanomap_core Nanomap_flow Nanomap_rtl Printf

@@ -1,0 +1,54 @@
+(* Design-space exploration on the FIR filter: the Section 2.2 area-delay
+   tradeoff. Sweeping the folding level trades LEs against clock cycles;
+   the NRAM budget (k) cuts off the deep-folding end of the curve.
+
+     dune exec examples/fir_tradeoff.exe *)
+
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Circuits = Nanomap_circuits.Circuits
+module Ascii_table = Nanomap_util.Ascii_table
+
+let () =
+  let b = Circuits.fir () in
+  let p = Mapper.prepare b.Circuits.design in
+  Printf.printf "FIR: %d LUTs, depth %d, %d flip-flops, %d plane(s)\n\n"
+    p.Mapper.total_luts p.Mapper.depth_max p.Mapper.total_ffs p.Mapper.num_planes;
+  let arch = Arch.unbounded_k in
+  let t =
+    Ascii_table.create
+      [ "Folding level"; "Stages"; "#LEs"; "Delay (ns)"; "AT product"; "k needed" ]
+  in
+  let best = ref None in
+  List.iter
+    (fun (lvl, plan) ->
+      let at = float_of_int plan.Mapper.les *. plan.Mapper.delay_ns in
+      (match !best with
+       | Some (_, best_at) when best_at <= at -> ()
+       | _ -> best := Some (lvl, at));
+      Ascii_table.add_row t
+        [ string_of_int lvl;
+          string_of_int plan.Mapper.stages;
+          string_of_int plan.Mapper.les;
+          Printf.sprintf "%.2f" plan.Mapper.delay_ns;
+          Printf.sprintf "%.0f" at;
+          string_of_int plan.Mapper.configs_used ])
+    (Mapper.sweep p ~arch);
+  let nf = Mapper.no_folding p ~arch in
+  Ascii_table.add_separator t;
+  Ascii_table.add_row t
+    [ "no folding"; "1"; string_of_int nf.Mapper.les;
+      Printf.sprintf "%.2f" nf.Mapper.delay_ns;
+      Printf.sprintf "%.0f" (float_of_int nf.Mapper.les *. nf.Mapper.delay_ns);
+      string_of_int nf.Mapper.configs_used ];
+  Ascii_table.print t;
+  (match !best with
+   | Some (lvl, at) ->
+     Printf.printf "\nbest AT product: folding level %d (AT = %.0f)\n" lvl at
+   | None -> ());
+  (* What a 16-set NRAM changes: folding cannot go deeper than the number
+     of stored configurations allows (Eq. 3). *)
+  let k16 = Mapper.at_min p ~arch:Arch.default in
+  Printf.printf
+    "with k = 16 configuration sets: level %d, %d LEs, %.2f ns (%d configs)\n"
+    k16.Mapper.level k16.Mapper.les k16.Mapper.delay_ns k16.Mapper.configs_used

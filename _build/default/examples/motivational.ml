@@ -1,0 +1,102 @@
+(* The paper's Section 3 motivational example, reproduced on our substrate:
+   the 4-bit controller-datapath of Fig. 1 is folded under an area
+   constraint, and the per-folding-cycle resource usage is shown like
+   Fig. 1(c). The example finishes with a functional equivalence check
+   between the original RTL and the mapped LUT network.
+
+     dune exec examples/motivational.exe *)
+
+module Rtl = Nanomap_rtl.Rtl
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Sched = Nanomap_core.Sched
+module Fold = Nanomap_core.Fold
+module Circuits = Nanomap_circuits.Circuits
+module Lut_network = Nanomap_techmap.Lut_network
+module Stats = Nanomap_util.Stats
+module Rng = Nanomap_util.Rng
+
+let () =
+  let b = Circuits.ex1_small () in
+  let design = b.Circuits.design in
+  let arch = Arch.unbounded_k in
+  let p = Mapper.prepare design in
+  Printf.printf "ex1 at 4 bits: %d LUTs, logic depth %d, %d flip-flops\n"
+    p.Mapper.total_luts p.Mapper.depth_max p.Mapper.total_ffs;
+  Printf.printf "(the paper's version: 50 LUTs, depth 9, 14 flip-flops)\n\n";
+  (* Delay minimization under an area constraint, as in Section 3. *)
+  let budget = (p.Mapper.total_luts * 2 / 3) + 1 in
+  let stages0 = Fold.min_stages ~lut_max:p.Mapper.lut_max ~available_le:budget in
+  let level0 = Fold.level_for_stages ~depth_max:p.Mapper.depth_max ~stages:stages0 in
+  Printf.printf "area constraint: %d LEs\n" budget;
+  Printf.printf "Eq. 1: minimum #folding stages = ceil(%d / %d) = %d\n"
+    p.Mapper.lut_max budget stages0;
+  Printf.printf "Eq. 2: initial folding level   = ceil(%d / %d) = %d\n"
+    p.Mapper.depth_max stages0 level0;
+  let plan = Mapper.delay_min ~area:budget p ~arch in
+  Printf.printf "after the refinement loop: level %d, %d folding stages\n\n"
+    plan.Mapper.level plan.Mapper.stages;
+  (* Fig. 1(c): LE usage per folding cycle. *)
+  Printf.printf "per-folding-cycle usage (cf. Fig. 1(c)'s 12/32/12):\n";
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let luts = Sched.lut_count_per_stage pl.Mapper.problem pl.Mapper.schedule in
+      let ffs = Sched.ff_bits_per_stage pl.Mapper.problem pl.Mapper.schedule in
+      for j = 1 to plan.Mapper.stages do
+        Printf.printf "  folding cycle %d: %2d LUTs, %2d stored bits -> %2d LEs\n" j
+          luts.(j) ffs.(j)
+          (max luts.(j) (Stats.ceil_div ffs.(j) arch.Arch.ffs_per_le))
+      done)
+    plan.Mapper.planes;
+  Printf.printf "LE requirement: %d (constraint %d)\n\n" plan.Mapper.les budget;
+  (* Functional check: drive the RTL simulator and the mapped LUT network
+     side by side for a few hundred cycles. *)
+  let pl = plan.Mapper.planes.(0) in
+  let network = pl.Mapper.network in
+  let sim = Rtl.sim_create design in
+  let state = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Rtl.signal) -> Hashtbl.replace state s.Rtl.id 0)
+    (Rtl.registers design);
+  let rng = Rng.create 7 in
+  let cycles = 300 in
+  let mismatches = ref 0 in
+  for _ = 1 to cycles do
+    let in1 = Rng.int rng 16 and go = Rng.int rng 2 in
+    let rtl_outs = Rtl.sim_cycle sim [ ("in1", in1); ("go", go) ] in
+    let inputs_by_name =
+      List.map (fun (s : Rtl.signal) -> (s.Rtl.id, s.Rtl.name)) (Rtl.inputs design)
+    in
+    let origin_value = function
+      | Lut_network.Register_bit (r, bit) ->
+        Hashtbl.find state r land (1 lsl bit) <> 0
+      | Lut_network.Pi_bit (s, bit) ->
+        let v = if List.assoc s inputs_by_name = "in1" then in1 else go in
+        v land (1 lsl bit) <> 0
+      | Lut_network.Const_bit v -> v
+      | Lut_network.Wire_bit _ -> false
+    in
+    let values = Lut_network.eval network origin_value in
+    let outs = Lut_network.outputs network in
+    (* compare the primary output *)
+    let rtl_result = List.assoc "result" rtl_outs in
+    for bit = 0 to 3 do
+      let node = List.assoc (Lut_network.Po_target (Printf.sprintf "result.%d" bit)) outs in
+      let expected = rtl_result land (1 lsl bit) <> 0 in
+      if values.(node) <> expected then incr mismatches
+    done;
+    (* clock the mirrored registers *)
+    List.iter
+      (fun (s : Rtl.signal) ->
+        let v = ref 0 in
+        for bit = 0 to s.Rtl.width - 1 do
+          match List.assoc_opt (Lut_network.Reg_target (s.Rtl.id, bit)) outs with
+          | Some node -> if values.(node) then v := !v lor (1 lsl bit)
+          | None -> ()
+        done;
+        Hashtbl.replace state s.Rtl.id !v)
+      (Rtl.registers design)
+  done;
+  Printf.printf "functional check: %d cycles, %d mismatches between RTL and mapping\n"
+    cycles !mismatches;
+  if !mismatches > 0 then exit 1

@@ -1,0 +1,58 @@
+(* The Section 4.1 "multiple planes are not allowed to share resources"
+   scenario (Eq. 4): a pipelined circuit whose stages must stay resident
+   simultaneously because every plane processes a different data item each
+   clock. Folding then happens within each plane only, and the total area
+   is the SUM over planes rather than the max.
+
+     dune exec examples/pipeline_stages.exe *)
+
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Sched = Nanomap_core.Sched
+module Fold = Nanomap_core.Fold
+module Circuits = Nanomap_circuits.Circuits
+
+let () =
+  let b = Circuits.ex2 () in
+  let p = Mapper.prepare b.Circuits.design in
+  let arch = Arch.unbounded_k in
+  Printf.printf "ex2: %d planes, %d LUTs total, max plane depth %d\n\n"
+    p.Mapper.num_planes p.Mapper.total_luts p.Mapper.depth_max;
+  (* Eq. 4: the folding level a given area budget implies when planes keep
+     separate resources. *)
+  let budget = p.Mapper.total_luts / 3 in
+  let level =
+    Fold.level_pipelined ~depth_max:p.Mapper.depth_max ~available_le:budget
+      ~total_luts:p.Mapper.total_luts
+  in
+  Printf.printf "area budget %d LEs -> Eq. 4 folding level = %d\n\n" budget level;
+  let plan = Mapper.plan_level ~pipelined:true p ~arch ~level in
+  (* Per-plane LE needs from the schedule. *)
+  let per_plane =
+    Array.map
+      (fun (pl : Mapper.plane_plan) ->
+        Sched.les_needed pl.Mapper.problem ~arch pl.Mapper.schedule)
+      plan.Mapper.planes
+  in
+  Array.iteri
+    (fun i les -> Printf.printf "  plane %d: %4d LEs over %d folding stages\n"
+        (i + 1) les plan.Mapper.stages)
+    per_plane;
+  let shared = Array.fold_left max 1 per_plane in
+  let pipelined = plan.Mapper.les in
+  Printf.printf "\nresource-shared execution (planes run one after another): %d LEs\n"
+    shared;
+  Printf.printf "pipelined execution (planes resident simultaneously):    %d LEs\n"
+    pipelined;
+  Printf.printf "sharing saves %.0f%% of the fabric at the cost of 1/%d throughput\n"
+    (100. *. (1. -. (float_of_int shared /. float_of_int pipelined)))
+    p.Mapper.num_planes;
+  (* Throughput view: pipelined mode accepts a new input every plane cycle;
+     shared mode every num_planes plane cycles. *)
+  let plane_cycle =
+    Arch.plane_cycle_ns arch ~level:plan.Mapper.level ~stages:plan.Mapper.stages
+  in
+  Printf.printf
+    "\nthroughput: pipelined %.1f Msamples/s vs shared %.1f Msamples/s\n"
+    (1000. /. plane_cycle)
+    (1000. /. (plane_cycle *. float_of_int p.Mapper.num_planes))

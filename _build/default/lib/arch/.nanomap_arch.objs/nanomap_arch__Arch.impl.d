@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Nanomap_util

@@ -1,0 +1,106 @@
+type t = {
+  lut_inputs : int;
+  luts_per_le : int;
+  ffs_per_le : int;
+  les_per_mb : int;
+  mbs_per_smb : int;
+  smb_input_pins : int;
+  mb_input_ports : int;
+  num_reconf : int option;
+  t_lut : float;
+  t_local : float;
+  t_intra_mb : float;
+  t_reconf : float;
+  t_setup : float;
+  t_direct : float;
+  t_len1 : float;
+  t_len4 : float;
+  t_global : float;
+  smb_area : float;
+  e_lut_eval : float;
+  e_reconf : float;
+  e_wire : float;
+  p_leak_le : float;
+}
+
+(* Delay calibration: the paper reports ex1 (depth 24) at 12.90 ns with no
+   folding, i.e. ~0.5375 ns per LUT level including local routing, and a
+   160 ps NRAM reconfiguration. The split between LUT and local wire is our
+   choice; only the sum is anchored. *)
+let default =
+  { lut_inputs = 4;
+    luts_per_le = 1;
+    ffs_per_le = 2;
+    les_per_mb = 4;
+    mbs_per_smb = 4;
+    smb_input_pins = 40;
+    mb_input_ports = 14;
+    num_reconf = Some 16;
+    t_lut = 0.32;
+    t_local = 0.2175;
+    t_intra_mb = 0.10;
+    t_reconf = 0.16;
+    t_setup = 0.0;
+    t_direct = 0.25;
+    t_len1 = 0.35;
+    t_len4 = 0.55;
+    t_global = 0.90;
+    smb_area = 5400.0;
+    e_lut_eval = 0.012;
+    e_reconf = 0.020;
+    e_wire = 0.008;
+    p_leak_le = 0.06 }
+
+let unbounded_k = { default with num_reconf = None }
+
+let with_num_reconf t num_reconf = { t with num_reconf }
+
+let les_per_smb t = t.les_per_mb * t.mbs_per_smb
+
+let les_to_smbs t les = Nanomap_util.Stats.ceil_div (max les 1) (les_per_smb t)
+
+let area_um2 t les = float_of_int (les_to_smbs t les) *. t.smb_area
+
+let folding_cycle_ns t ~level =
+  (float_of_int level *. (t.t_lut +. t.t_local)) +. t.t_reconf +. t.t_setup
+
+let plane_cycle_ns t ~level ~stages =
+  if stages <= 1 then
+    (* no folding within the plane: no run-time reconfiguration *)
+    (float_of_int level *. (t.t_lut +. t.t_local)) +. t.t_setup
+  else float_of_int stages *. folding_cycle_ns t ~level
+
+let circuit_delay_ns t ~level ~stages ~num_planes =
+  float_of_int num_planes *. plane_cycle_ns t ~level ~stages
+
+let energy_per_computation_pj t ~luts_evaluated ~les ~stages ~num_planes
+    ~wire_segments ~delay_ns =
+  let dynamic = float_of_int luts_evaluated *. t.e_lut_eval in
+  (* every folding cycle after the first reconfigures the active LEs *)
+  let reconf_events = max 0 (stages - 1) * num_planes * les in
+  let reconf = float_of_int reconf_events *. t.e_reconf in
+  let wires = float_of_int wire_segments *. t.e_wire in
+  (* leakage: uW * ns = fJ; /1000 to pJ *)
+  let leak = float_of_int les *. t.p_leak_le *. delay_ns /. 1000.0 in
+  dynamic +. reconf +. wires +. leak
+
+let validate t =
+  let pos name v = if v <= 0 then invalid_arg ("Arch: " ^ name ^ " must be positive") in
+  pos "lut_inputs" t.lut_inputs;
+  pos "luts_per_le" t.luts_per_le;
+  pos "ffs_per_le" t.ffs_per_le;
+  pos "les_per_mb" t.les_per_mb;
+  pos "mbs_per_smb" t.mbs_per_smb;
+  if t.smb_input_pins < t.lut_inputs then
+    invalid_arg "Arch: smb_input_pins must cover one LUT's inputs";
+  if t.mb_input_ports < t.lut_inputs then
+    invalid_arg "Arch: mb_input_ports must cover one LUT's inputs";
+  (match t.num_reconf with Some k -> pos "num_reconf" k | None -> ());
+  let posf name v =
+    if v < 0.0 then invalid_arg ("Arch: " ^ name ^ " must be non-negative")
+  in
+  posf "t_lut" t.t_lut;
+  posf "t_local" t.t_local;
+  posf "t_reconf" t.t_reconf;
+  posf "t_setup" t.t_setup;
+  posf "smb_area" t.smb_area

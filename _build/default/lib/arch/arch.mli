@@ -1,0 +1,99 @@
+(** The NATURE architecture instance (paper Section 2 and [7]).
+
+    NATURE is an island-style FPGA. Each logic block holds one
+    super-macroblock (SMB) of [mbs_per_smb] macroblocks (MBs), each MB holds
+    [les_per_mb] logic elements (LEs), and each LE has one [lut_inputs]-input
+    LUT plus [ffs_per_le] flip-flops. Every logic and interconnect element
+    carries a k-set NRAM: [num_reconf] configuration copies that can be
+    cycled through at run time in [t_reconf] nanoseconds, which is what makes
+    cycle-by-cycle temporal logic folding possible.
+
+    The experiments in the paper use one 4-input LUT per LE, 4 LEs per MB,
+    4 MBs per SMB and two flip-flops per LE (the second flip-flop costs 1.5X
+    SMB area but relieves the register bottleneck that folding exposes); the
+    16-set NRAM adds 10.6% area and 160 ps reconfiguration latency at 100 nm.
+    {!default} reproduces that instance. *)
+
+type t = {
+  lut_inputs : int;        (** K of the LUTs (4) *)
+  luts_per_le : int;       (** h in Eq. 14 (1) *)
+  ffs_per_le : int;        (** l in Eq. 14 (2) *)
+  les_per_mb : int;        (** 4 *)
+  mbs_per_smb : int;       (** 4 *)
+  smb_input_pins : int;    (** distinct signals the SMB crossbar can bring in
+                               per configuration *)
+  mb_input_ports : int;    (** distinct MB-external signals one MB's local
+                               crossbar can select per configuration *)
+  num_reconf : int option; (** k configuration sets; [None] = unbounded *)
+  t_lut : float;           (** LUT evaluation delay, ns *)
+  t_local : float;         (** average intra-SMB interconnect per LUT level, ns *)
+  t_intra_mb : float;      (** fast path between LEs of one MB, ns *)
+  t_reconf : float;        (** NRAM reconfiguration latency, ns (0.16) *)
+  t_setup : float;         (** flip-flop setup + clk-to-q, ns *)
+  t_direct : float;        (** direct inter-SMB link, ns *)
+  t_len1 : float;          (** length-1 wire segment, ns *)
+  t_len4 : float;          (** length-4 wire segment, ns *)
+  t_global : float;        (** global interconnect hop, ns *)
+  smb_area : float;        (** SMB area (um^2, 100 nm), incl. NRAM overhead *)
+  e_lut_eval : float;      (** energy per LUT evaluation, pJ *)
+  e_reconf : float;        (** energy per LE reconfiguration (NRAM -> SRAM), pJ *)
+  e_wire : float;          (** energy per wire-segment traversal, pJ *)
+  p_leak_le : float;       (** leakage power per LE, uW *)
+}
+
+val default : t
+(** The paper's experimental instance with k = 16. *)
+
+val unbounded_k : t
+(** Same, but with as many configuration sets as needed ("k enough"). *)
+
+val with_num_reconf : t -> int option -> t
+
+val les_per_smb : t -> int
+
+val les_to_smbs : t -> int -> int
+(** Number of SMBs needed for a given LE count (ceiling). *)
+
+val area_um2 : t -> int -> float
+(** Silicon area of a given LE count, in SMB granularity. *)
+
+(** {2 Analytical delay model}
+
+    Calibrated against the paper's anchors: ex1 at depth 24 has a 12.90 ns
+    no-folding delay (≈0.54 ns per LUT level including local interconnect)
+    and on-chip reconfiguration costs 160 ps per folding cycle. *)
+
+val folding_cycle_ns : t -> level:int -> float
+(** Period of one folding clock at folding level [level]: [level] LUT+wire
+    levels, one reconfiguration, one latch. *)
+
+val plane_cycle_ns : t -> level:int -> stages:int -> float
+(** [stages] folding cycles; a single no-folding stage pays no
+    reconfiguration. *)
+
+val circuit_delay_ns : t -> level:int -> stages:int -> num_planes:int -> float
+(** Planes propagate sequentially: [num_planes * plane_cycle]. *)
+
+val validate : t -> unit
+(** Sanity checks (positive counts and delays). Raises [Invalid_argument]. *)
+
+(** {2 Energy model (extension)}
+
+    The paper argues NATURE's non-volatile NRAM improves power (no off-chip
+    configuration reloads); this simple event-based model quantifies the
+    tradeoff folding introduces: fewer LEs leak, but every folding cycle
+    pays an on-chip reconfiguration. All values are order-of-magnitude
+    100 nm estimates; only comparisons between mappings are meaningful. *)
+
+val energy_per_computation_pj :
+  t ->
+  luts_evaluated:int ->
+  les:int ->
+  stages:int ->
+  num_planes:int ->
+  wire_segments:int ->
+  delay_ns:float ->
+  float
+(** Energy of one complete evaluation of the circuit (one macro cycle):
+    LUT evaluations + per-stage reconfiguration of the active LEs + wire
+    traffic + leakage integrated over the computation's latency. *)

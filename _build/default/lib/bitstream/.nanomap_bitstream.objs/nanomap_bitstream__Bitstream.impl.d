@@ -1,0 +1,1 @@
+lib/bitstream/bitstream.ml: Array Buffer Bytes Char Hashtbl Int64 List Nanomap_arch Nanomap_cluster Nanomap_core Nanomap_logic Nanomap_route Nanomap_techmap Option

@@ -1,0 +1,1 @@
+lib/bitstream/bitstream.mli: Bytes Nanomap_arch Nanomap_cluster Nanomap_core Nanomap_route

@@ -1,0 +1,208 @@
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Cluster = Nanomap_cluster.Cluster
+module Router = Nanomap_route.Router
+module Rr_graph = Nanomap_route.Rr_graph
+module Lut_network = Nanomap_techmap.Lut_network
+module Partition = Nanomap_techmap.Partition
+module Truth_table = Nanomap_logic.Truth_table
+
+type t = {
+  bytes : Bytes.t;
+  configs : int;
+  bits_per_config : int;
+  lut_bits : int;
+  switch_bits : int;
+}
+
+let u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let generate (plan : Mapper.plan) (cl : Cluster.t) (route : Router.result) =
+  let arch = cl.Cluster.arch in
+  let stages = plan.Mapper.stages in
+  let num_planes = Array.length plan.Mapper.planes in
+  let configs = stages * num_planes in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "NMAP1";
+  u32 buf configs;
+  u32 buf cl.Cluster.num_smbs;
+  let lut_bits = ref 0 and switch_bits = ref 0 in
+  (* group routed nets by timeslot for the switch section *)
+  let nets_of_slot = Hashtbl.create 32 in
+  List.iter
+    (fun (rn : Router.routed_net) ->
+      let key = (rn.Router.net.Cluster.plane, rn.Router.net.Cluster.cycle) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt nets_of_slot key) in
+      Hashtbl.replace nets_of_slot key (rn :: cur))
+    route.Router.routed;
+  for plane = 1 to num_planes do
+    let pl = plan.Mapper.planes.(plane - 1) in
+    let network = pl.Mapper.network in
+    let part = pl.Mapper.partition in
+    for cycle = 1 to stages do
+      (* --- LE section: every LUT configured in this timeslot --- *)
+      let les = ref [] in
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input _ -> ()
+          | Lut_network.Lut { func; fanins } ->
+            let u = part.Partition.unit_of_lut.(l) in
+            if u >= 0 && pl.Mapper.schedule.(u) = cycle then begin
+              let slot = Hashtbl.find cl.Cluster.lut_slots (plane, l) in
+              les := (slot, func, Array.length fanins) :: !les
+            end)
+        network;
+      let les =
+        List.sort
+          (fun ((a : Cluster.slot), _, _) (b, _, _) -> compare a b)
+          !les
+      in
+      u32 buf (List.length les);
+      List.iter
+        (fun ((slot : Cluster.slot), func, num_inputs) ->
+          u16 buf slot.Cluster.smb;
+          Buffer.add_char buf (Char.chr slot.Cluster.mb);
+          Buffer.add_char buf (Char.chr slot.Cluster.le);
+          (* truth table padded to 2^K bits *)
+          let padded =
+            let tbits = Truth_table.bits func in
+            Int64.to_int (Int64.logand tbits 0xFFFFL)
+          in
+          u16 buf padded;
+          Buffer.add_char buf (Char.chr (num_inputs land 0xff));
+          lut_bits := !lut_bits + (1 lsl arch.Arch.lut_inputs))
+        les;
+      (* --- switch section: every wire node used in this timeslot --- *)
+      let nets =
+        Option.value ~default:[] (Hashtbl.find_opt nets_of_slot (plane, cycle))
+      in
+      let switches =
+        List.concat_map
+          (fun (rn : Router.routed_net) ->
+            List.map (fun nd -> nd) rn.Router.tree)
+          nets
+        |> List.sort compare
+      in
+      u32 buf (List.length switches);
+      List.iter
+        (fun nd ->
+          u32 buf nd;
+          (* one switch word per wire node: type tag *)
+          let tag =
+            match route.Router.graph.Rr_graph.kind.(nd) with
+            | Rr_graph.Wire Rr_graph.Direct -> 1
+            | Rr_graph.Wire Rr_graph.Len1 -> 2
+            | Rr_graph.Wire Rr_graph.Len4 -> 3
+            | Rr_graph.Wire Rr_graph.Global -> 4
+            | Rr_graph.Src _ | Rr_graph.Sink _ | Rr_graph.Pad_src _
+            | Rr_graph.Pad_sink _ -> 0
+          in
+          Buffer.add_char buf (Char.chr tag);
+          switch_bits := !switch_bits + 8)
+        switches
+    done
+  done;
+  let bytes = Buffer.to_bytes buf in
+  { bytes;
+    configs;
+    bits_per_config =
+      (if configs = 0 then 0 else 8 * Bytes.length bytes / configs);
+    lut_bits = !lut_bits;
+    switch_bits = !switch_bits }
+
+let nram_bits_required t (arch : Arch.t) = (t.configs, arch.Arch.num_reconf)
+
+let summary t =
+  [ ("bytes", Bytes.length t.bytes);
+    ("configs", t.configs);
+    ("bits_per_config", t.bits_per_config);
+    ("lut_bits", t.lut_bits);
+    ("switch_bits", t.switch_bits) ]
+
+let write_file t path =
+  let oc = open_out_bin path in
+  output_bytes oc t.bytes;
+  close_out oc
+
+type le_config = {
+  le_smb : int;
+  le_mb : int;
+  le_index : int;
+  truth_table : int;
+  used_inputs : int;
+}
+
+type switch_config = {
+  rr_node : int;
+  wire_tag : int;
+}
+
+type config = {
+  les : le_config list;
+  switches : switch_config list;
+}
+
+exception Corrupt of string
+
+let parse bytes =
+  let len = Bytes.length bytes in
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n > len then raise (Corrupt ("truncated " ^ what))
+  in
+  let byte () =
+    need 1 "byte";
+    let v = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v
+  in
+  let ru16 () =
+    let a = byte () in
+    let b = byte () in
+    a lor (b lsl 8)
+  in
+  let ru32 () =
+    let a = ru16 () in
+    let b = ru16 () in
+    a lor (b lsl 16)
+  in
+  need 5 "magic";
+  if Bytes.sub_string bytes 0 5 <> "NMAP1" then raise (Corrupt "bad magic");
+  pos := 5;
+  let configs = ru32 () in
+  let _num_smbs = ru32 () in
+  Array.init configs (fun _ ->
+      let num_les = ru32 () in
+      let les =
+        List.init num_les (fun _ ->
+            let le_smb = ru16 () in
+            let le_mb = byte () in
+            let le_index = byte () in
+            let truth_table = ru16 () in
+            let used_inputs = byte () in
+            { le_smb; le_mb; le_index; truth_table; used_inputs })
+      in
+      let num_switches = ru32 () in
+      let switches =
+        List.init num_switches (fun _ ->
+            let rr_node = ru32 () in
+            let wire_tag = byte () in
+            { rr_node; wire_tag })
+      in
+      { les; switches })
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let bytes = Bytes.create n in
+  really_input ic bytes 0 n;
+  close_in ic;
+  parse bytes

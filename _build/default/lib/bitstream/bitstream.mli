@@ -1,0 +1,70 @@
+(** Configuration bitmap generation — the final output of the flow
+    (Fig. 2, step 15 onwards).
+
+    NATURE stores one configuration set per folding cycle in the k-set
+    NRAMs next to every logic and interconnect element. The bitmap here
+    contains, for every configuration (= timeslot = plane x folding cycle):
+
+    - per used LE: the 2^K LUT truth-table bits, a flip-flop usage mask,
+      and one source selector byte per LUT input;
+    - per used routing wire node: an 8-bit switch word identifying the
+      net's value class.
+
+    The encoding is a documented, deterministic format ("NMAP1" magic,
+    little-endian u32 section lengths), sufficient to reconstruct which
+    resource does what in which cycle — it is what the experiments use to
+    account NRAM capacity, not a tape-out artifact. *)
+
+type t = {
+  bytes : Bytes.t;
+  configs : int;               (** stages x planes *)
+  bits_per_config : int;       (** average configuration size in bits *)
+  lut_bits : int;              (** total truth-table bits *)
+  switch_bits : int;           (** total interconnect configuration bits *)
+}
+
+val generate :
+  Nanomap_core.Mapper.plan ->
+  Nanomap_cluster.Cluster.t ->
+  Nanomap_route.Router.result ->
+  t
+
+val nram_bits_required : t -> Nanomap_arch.Arch.t -> int * int option
+(** [(per-element set count used, NRAM capacity k)] — the first component
+    is [configs]; exceeding [k] means the mapping does not fit the
+    architecture's reconfiguration storage. *)
+
+val summary : t -> (string * int) list
+
+val write_file : t -> string -> unit
+
+(** {2 Parsing (disassembly)}
+
+    The format round-trips: {!parse} recovers the full per-configuration
+    contents, which the tests check against the generator's inputs and the
+    CLI's [disasm] subcommand pretty-prints. *)
+
+type le_config = {
+  le_smb : int;
+  le_mb : int;
+  le_index : int;
+  truth_table : int;          (** 2^K bits, LSB = input assignment 0 *)
+  used_inputs : int;
+}
+
+type switch_config = {
+  rr_node : int;
+  wire_tag : int;             (** 1 direct, 2 len-1, 3 len-4, 4 global *)
+}
+
+type config = {
+  les : le_config list;
+  switches : switch_config list;
+}
+
+exception Corrupt of string
+
+val parse : Bytes.t -> config array
+(** Raises {!Corrupt} on bad magic or truncated sections. *)
+
+val read_file : string -> config array

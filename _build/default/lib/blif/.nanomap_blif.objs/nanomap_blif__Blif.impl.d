@@ -1,0 +1,1 @@
+lib/blif/blif.ml: Array Buffer Fun Hashtbl List Nanomap_logic Printf String

@@ -1,0 +1,1 @@
+lib/blif/blif.mli: Nanomap_logic

@@ -1,0 +1,1 @@
+lib/blif/blif_rtl.ml: Array Blif Hashtbl List Nanomap_logic Nanomap_rtl Option String

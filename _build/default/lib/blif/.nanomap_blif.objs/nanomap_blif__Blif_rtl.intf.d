@@ -1,0 +1,1 @@
+lib/blif/blif_rtl.mli: Blif Nanomap_rtl

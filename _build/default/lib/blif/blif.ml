@@ -1,0 +1,282 @@
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Gen = Nanomap_logic.Gen
+
+type cube = {
+  mask : string;
+  value : bool;
+}
+
+type names = {
+  inputs : string list;
+  output : string;
+  cover : cube list;
+}
+
+type latch = {
+  data_in : string;
+  data_out : string;
+  init : bool;
+}
+
+type model = {
+  name : string;
+  model_inputs : string list;
+  model_outputs : string list;
+  nodes : names list;
+  latches : latch list;
+}
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+(* Logical lines: strip comments, join '\' continuations, keep the line
+   number of the first physical line. *)
+let logical_lines text =
+  let physical = String.split_on_char '\n' text in
+  let strip s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let rec join acc pending pending_line lineno = function
+    | [] ->
+      let acc = match pending with
+        | Some s -> (pending_line, s) :: acc
+        | None -> acc
+      in
+      List.rev acc
+    | raw :: rest ->
+      let s = String.trim (strip raw) in
+      let continued = String.length s > 0 && s.[String.length s - 1] = '\\' in
+      let body = if continued then String.sub s 0 (String.length s - 1) else s in
+      let acc, pending, pending_line =
+        match pending with
+        | Some p ->
+          let merged = p ^ " " ^ body in
+          if continued then (acc, Some merged, pending_line)
+          else ((pending_line, merged) :: acc, None, 0)
+        | None ->
+          if body = "" then (acc, None, 0)
+          else if continued then (acc, Some body, lineno)
+          else ((lineno, body) :: acc, None, 0)
+      in
+      join acc pending pending_line (lineno + 1) rest
+  in
+  join [] None 0 1 physical
+
+let tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_string text =
+  let lines = logical_lines text in
+  let name = ref "" in
+  let inputs = ref [] and outputs = ref [] in
+  let nodes = ref [] and latches = ref [] in
+  let current : (int * string list * cube list) option ref = ref None in
+  let flush_current () =
+    match !current with
+    | None -> ()
+    | Some (line, signals, cubes_rev) ->
+      (match List.rev signals with
+       | [] -> fail line ".names with no signals"
+       | rev_signals ->
+         let rec split_last acc = function
+           | [] -> fail line ".names with no output"
+           | [ out ] -> (List.rev acc, out)
+           | x :: rest -> split_last (x :: acc) rest
+         in
+         let ins, out = split_last [] rev_signals in
+         let cover = List.rev cubes_rev in
+         let expected = List.length ins in
+         List.iter
+           (fun c ->
+             if String.length c.mask <> expected then
+               fail line "cube width does not match .names input count")
+           cover;
+         (match cover with
+          | [] -> ()
+          | first :: rest ->
+            if List.exists (fun c -> c.value <> first.value) rest then
+              fail line "mixed ON/OFF covers in one .names are not supported");
+         nodes := { inputs = ins; output = out; cover } :: !nodes);
+      current := None
+  in
+  let parse_cube line toks =
+    match toks with
+    | [ v ] ->
+      (* zero-input constant *)
+      let value = match v with "1" -> true | "0" -> false | _ -> fail line "bad cube" in
+      { mask = ""; value }
+    | [ mask; v ] ->
+      String.iter
+        (fun c -> if c <> '0' && c <> '1' && c <> '-' then fail line "bad cube mask")
+        mask;
+      let value = match v with "1" -> true | "0" -> false | _ -> fail line "bad cube value" in
+      { mask; value }
+    | _ -> fail line "bad cube line"
+  in
+  let seen_end = ref false in
+  List.iter
+    (fun (line, text) ->
+      if not !seen_end then
+        match tokens text with
+        | [] -> ()
+        | cmd :: args when String.length cmd > 0 && cmd.[0] = '.' ->
+          flush_current ();
+          (match cmd, args with
+           | ".model", [ n ] -> name := n
+           | ".model", _ -> fail line ".model expects one name"
+           | ".inputs", sigs -> inputs := !inputs @ sigs
+           | ".outputs", sigs -> outputs := !outputs @ sigs
+           | ".names", sigs -> current := Some (line, List.rev sigs, [])
+           | ".latch", (din :: dout :: rest) ->
+             let init =
+               match rest with
+               | [] | [ "0" ] | [ "3" ] | [ "2" ] -> false
+               | [ "1" ] -> true
+               | [ _; _; init ] | [ _; init ] ->
+                 (match init with "1" -> true | _ -> false)
+               | _ -> fail line "bad .latch"
+             in
+             latches := { data_in = din; data_out = dout; init } :: !latches
+           | ".latch", _ -> fail line ".latch expects input and output"
+           | ".end", _ -> seen_end := true
+           | ".clock", _ | ".wire_load_slope", _ | ".default_input_arrival", _ -> ()
+           | _, _ -> fail line ("unsupported directive " ^ cmd))
+        | toks ->
+          (match !current with
+           | None -> fail line "cube line outside .names"
+           | Some (l, sigs, cubes) -> current := Some (l, sigs, parse_cube line toks :: cubes)))
+    lines;
+  flush_current ();
+  if !name = "" then fail 1 "missing .model";
+  { name = !name;
+    model_inputs = !inputs;
+    model_outputs = !outputs;
+    nodes = List.rev !nodes;
+    latches = List.rev !latches }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+let cube_matches cube inputs =
+  let ok = ref true in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> if inputs.(i) then ok := false
+      | '1' -> if not inputs.(i) then ok := false
+      | _ -> ())
+    cube.mask;
+  !ok
+
+let cover_value node inputs =
+  match node.cover with
+  | [] -> false
+  | { value; _ } :: _ ->
+    let any = List.exists (fun c -> cube_matches c inputs) node.cover in
+    if value then any else not any
+
+(* Topologically order nodes; model inputs and latch outputs are sources. *)
+let topo_nodes model =
+  let by_output = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace by_output n.output n) model.nodes;
+  let sources = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace sources s ()) model.model_inputs;
+  List.iter (fun l -> Hashtbl.replace sources l.data_out ()) model.latches;
+  let state = Hashtbl.create 64 in (* signal -> [`Visiting | `Done] *)
+  let order = ref [] in
+  let rec visit signal =
+    if Hashtbl.mem sources signal then ()
+    else
+      match Hashtbl.find_opt state signal with
+      | Some `Done -> ()
+      | Some `Visiting -> failwith ("Blif.lower: combinational cycle through " ^ signal)
+      | None ->
+        (match Hashtbl.find_opt by_output signal with
+         | None -> failwith ("Blif.lower: undefined signal " ^ signal)
+         | Some node ->
+           Hashtbl.replace state signal `Visiting;
+           List.iter visit node.inputs;
+           Hashtbl.replace state signal `Done;
+           order := node :: !order)
+  in
+  List.iter (fun n -> visit n.output) model.nodes;
+  List.rev !order
+
+type lowered = {
+  netlist : Gate_netlist.t;
+  latch_list : latch list;
+}
+
+let lower model =
+  let t = Gate_netlist.create () in
+  let env = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace env s (Gate_netlist.add_input t s)) model.model_inputs;
+  List.iter
+    (fun l -> Hashtbl.replace env l.data_out (Gate_netlist.add_input t l.data_out))
+    model.latches;
+  let lookup signal =
+    match Hashtbl.find_opt env signal with
+    | Some id -> id
+    | None -> failwith ("Blif.lower: undefined signal " ^ signal)
+  in
+  let build node =
+    let fanins = List.map lookup node.inputs in
+    let id =
+      match node.cover with
+      | [] -> Gate_netlist.add_const t false
+      | { value; _ } :: _ ->
+        let cube_gate cube =
+          let lits =
+            List.mapi
+              (fun i id ->
+                match cube.mask.[i] with
+                | '1' -> Some id
+                | '0' -> Some (Gate_netlist.add_gate t Gate.Not [| id |])
+                | _ -> None)
+              fanins
+            |> List.filter_map Fun.id
+          in
+          Gen.and_tree t lits
+        in
+        let ors = Gen.or_tree t (List.map cube_gate node.cover) in
+        if value then ors else Gate_netlist.add_gate t Gate.Not [| ors |]
+    in
+    Hashtbl.replace env node.output id
+  in
+  List.iter build (topo_nodes model);
+  List.iter (fun s -> Gate_netlist.mark_output t s (lookup s)) model.model_outputs;
+  List.iter
+    (fun l -> Gate_netlist.mark_output t ("$latch." ^ l.data_out) (lookup l.data_in))
+    model.latches;
+  { netlist = t; latch_list = model.latches }
+
+let write_model m =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf ".model %s\n" m.name;
+  pf ".inputs %s\n" (String.concat " " m.model_inputs);
+  pf ".outputs %s\n" (String.concat " " m.model_outputs);
+  List.iter
+    (fun l -> pf ".latch %s %s re clk %d\n" l.data_in l.data_out (if l.init then 1 else 0))
+    m.latches;
+  List.iter
+    (fun n ->
+      pf ".names %s\n" (String.concat " " (n.inputs @ [ n.output ]));
+      List.iter
+        (fun c ->
+          if c.mask = "" then pf "%d\n" (if c.value then 1 else 0)
+          else pf "%s %d\n" c.mask (if c.value then 1 else 0))
+        n.cover)
+    m.nodes;
+  pf ".end\n";
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** BLIF (Berkeley Logic Interchange Format) subset: the gate-level input
+    frontend of the flow.
+
+    Supported constructs: [.model], [.inputs], [.outputs], [.names] with a
+    sum-of-products cover, [.latch] (rising-edge, optional init), [.end],
+    comments ([#]) and line continuations ([\\]). One model per file.
+
+    A parsed model can be lowered to a {!Nanomap_logic.Gate_netlist.t} plus
+    a list of latches; covers of any arity are expanded as two-level
+    AND/OR logic, so downstream FlowMap re-derives a K-bounded mapping. *)
+
+type cube = {
+  mask : string;   (** one char per input: '0', '1' or '-' *)
+  value : bool;    (** output value of the cube line *)
+}
+
+type names = {
+  inputs : string list;
+  output : string;
+  cover : cube list; (** empty cover means constant 0 *)
+}
+
+type latch = {
+  data_in : string;
+  data_out : string;
+  init : bool;
+}
+
+type model = {
+  name : string;
+  model_inputs : string list;
+  model_outputs : string list;
+  nodes : names list;
+  latches : latch list;
+}
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_string : string -> model
+val parse_file : string -> model
+
+type lowered = {
+  netlist : Nanomap_logic.Gate_netlist.t;
+  (** Combinational part. Latch outputs appear as primary inputs named after
+      [data_out]; latch inputs and model outputs are marked as outputs. *)
+  latch_list : latch list;
+}
+
+val lower : model -> lowered
+(** Raises [Failure] on undefined signals or combinational cycles. *)
+
+val cover_value : names -> bool array -> bool
+(** Reference semantics of a cover (used by tests): inputs in [names.inputs]
+    order. A cover whose lines carry output ['0'] denotes the complement of
+    the OR of its cubes. *)
+
+val write_model : model -> string
+(** Render back to BLIF text (round-trip tested). *)

@@ -1,0 +1,54 @@
+module Rtl = Nanomap_rtl.Rtl
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+
+let design_of_model (model : Blif.model) =
+  let lowered = Blif.lower model in
+  let nl = lowered.Blif.netlist in
+  let design = Rtl.create model.Blif.name in
+  (* latches first: registers whose data inputs we connect at the end *)
+  let regs = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Blif.latch) ->
+      let r =
+        Rtl.add_register design ~init:(if l.Blif.init then 1 else 0)
+          ~name:l.Blif.data_out ~width:1 ()
+      in
+      Hashtbl.replace regs l.Blif.data_out r)
+    lowered.Blif.latch_list;
+  (* map every gate-netlist node to an RTL signal *)
+  let signal_of = Array.make (Gate_netlist.size nl) (-1) in
+  Gate_netlist.iter
+    (fun id (node : Gate_netlist.node) ->
+      let rtl_id =
+        match node.Gate_netlist.kind with
+        | Gate.Input ->
+          let name = Option.value node.Gate_netlist.name ~default:"in" in
+          (match Hashtbl.find_opt regs name with
+           | Some r -> r
+           | None -> Rtl.add_input design name 1)
+        | Gate.Const b -> Rtl.add_const design ~width:1 (if b then 1 else 0)
+        | kind ->
+          let tt = Gate.truth_table kind in
+          let args =
+            Array.to_list (Array.map (fun f -> signal_of.(f)) node.Gate_netlist.fanins)
+          in
+          Rtl.add_op design ?name:node.Gate_netlist.name ~width:1
+            (Rtl.Table (tt, args))
+      in
+      signal_of.(id) <- rtl_id)
+    nl;
+  (* outputs: model POs and latch data inputs *)
+  List.iter
+    (fun (name, gid) ->
+      match String.length name >= 7 && String.sub name 0 7 = "$latch." with
+      | true ->
+        let reg_name = String.sub name 7 (String.length name - 7) in
+        let r = Hashtbl.find regs reg_name in
+        Rtl.connect_register design r ~d:signal_of.(gid)
+      | false -> Rtl.mark_output design name signal_of.(gid))
+    (Gate_netlist.outputs nl);
+  Rtl.validate design;
+  design
+
+let design_of_file path = design_of_model (Blif.parse_file path)

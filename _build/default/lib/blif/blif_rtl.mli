@@ -1,0 +1,11 @@
+(** Bridge from parsed BLIF models to the RTL IR the flow consumes.
+
+    Every combinational gate becomes a 1-bit {!Nanomap_rtl.Rtl.Table}
+    operator (so a gate-level input has no datapath modules — exactly the
+    c5315 situation in the paper), and every latch becomes a register. *)
+
+val design_of_model : Blif.model -> Nanomap_rtl.Rtl.t
+(** Raises [Failure] on combinational cycles or undefined signals. *)
+
+val design_of_file : string -> Nanomap_rtl.Rtl.t
+(** Parse + convert. Raises {!Blif.Parse_error} or [Failure]. *)

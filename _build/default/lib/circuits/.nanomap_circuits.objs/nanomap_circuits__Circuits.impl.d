@@ -1,0 +1,1 @@
+lib/circuits/circuits.ml: Array Int64 List Nanomap_logic Nanomap_rtl Option Printf String

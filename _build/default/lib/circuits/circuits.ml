@@ -1,0 +1,470 @@
+module Rtl = Nanomap_rtl.Rtl
+module Truth_table = Nanomap_logic.Truth_table
+
+type benchmark = {
+  name : string;
+  design : Rtl.t;
+  description : string;
+}
+
+let tt3 bits = Truth_table.of_bits ~arity:3 (Int64.of_int bits)
+
+(* ------------------------------------------------------------------ ex1 *)
+
+(* Fig. 1: a controller (two state flip-flops, four controller LUTs) and a
+   datapath (three registers, a ripple-carry adder, a parallel multiplier),
+   single plane with feedback. *)
+let ex1_width w name =
+  let d = Rtl.create name in
+  let in1 = Rtl.add_input d "in1" w in
+  let go = Rtl.add_input d "go" 1 in
+  let s0 = Rtl.add_register d ~name:"s0" ~width:1 () in
+  let s1 = Rtl.add_register d ~name:"s1" ~width:1 () in
+  let reg1 = Rtl.add_register d ~name:"reg1" ~width:w () in
+  let reg2 = Rtl.add_register d ~name:"reg2" ~width:w () in
+  let reg3 = Rtl.add_register d ~name:"reg3" ~width:w () in
+  let lut1 = Rtl.add_op d ~name:"lut1" ~width:1 (Rtl.Table (tt3 0b10110100, [ s0; s1; go ])) in
+  let lut2 = Rtl.add_op d ~name:"lut2" ~width:1 (Rtl.Table (tt3 0b01101001, [ s0; s1; go ])) in
+  let lut3 = Rtl.add_op d ~name:"lut3" ~width:1 (Rtl.Table (tt3 0b11001010, [ s0; s1; go ])) in
+  let lut4 = Rtl.add_op d ~name:"lut4" ~width:1 (Rtl.Table (tt3 0b00111100, [ s0; s1; go ])) in
+  let add = Rtl.add_op d ~name:"adder" ~width:w (Rtl.Add (reg1, reg2)) in
+  let prod = Rtl.add_op d ~name:"mult" ~width:(2 * w) (Rtl.Mult (reg1, reg3)) in
+  let prod_lo = Rtl.add_op d ~width:w (Rtl.Slice (prod, 0)) in
+  let prod_hi = Rtl.add_op d ~width:w (Rtl.Slice (prod, w)) in
+  Rtl.connect_register d s0 ~d:lut1;
+  Rtl.connect_register d s1 ~d:lut2;
+  Rtl.connect_register d reg1
+    ~d:(Rtl.add_op d ~name:"mux1" ~width:w (Rtl.Mux (lut3, add, in1)));
+  Rtl.connect_register d reg2
+    ~d:(Rtl.add_op d ~name:"mux2" ~width:w (Rtl.Mux (lut4, reg2, prod_lo)));
+  Rtl.connect_register d reg3
+    ~d:(Rtl.add_op d ~name:"mux3" ~width:w (Rtl.Mux (lut4, reg3, prod_hi)));
+  Rtl.mark_output d "result" add;
+  d
+
+let ex1 ?(width = 16) () =
+  { name = "ex1";
+    design = ex1_width width "ex1";
+    description = "Fig.1 controller-datapath (FSM + adder + multiplier), 16-bit" }
+
+let ex1_small () =
+  { name = "ex1-4bit";
+    design = ex1_width 4 "ex1-4bit";
+    description = "Fig.1 motivational example at 4-bit width" }
+
+(* ------------------------------------------------------------------ FIR *)
+
+(* Direct-form FIR: registered delay line, constant coefficients (constant
+   multiplies fold into shift-add trees), combinational MAC to the output.
+   Single plane: the delay line is a direct register-to-register chain. *)
+let fir ?(taps = 8) ?(width = 14) () =
+  let d = Rtl.create "FIR" in
+  let x = Rtl.add_input d "x" width in
+  let coeffs = [| 3; 11; 25; 31; 31; 25; 11; 3; 7; 19; 29; 13 |] in
+  if taps < 2 || taps > Array.length coeffs then invalid_arg "Circuits.fir: taps";
+  let delay =
+    Array.make taps x |> Array.mapi (fun i _ ->
+        Rtl.add_register d ~name:(Printf.sprintf "tap%d" i) ~width ())
+  in
+  Array.iteri
+    (fun i r -> Rtl.connect_register d r ~d:(if i = 0 then x else delay.(i - 1)))
+    delay;
+  let cw = 5 in
+  let products =
+    Array.to_list delay
+    |> List.mapi (fun i tap ->
+           let c = Rtl.add_const d ~width:cw coeffs.(i) in
+           let p =
+             Rtl.add_op d ~name:(Printf.sprintf "mul%d" i) ~width:(width + cw)
+               (Rtl.Mult (tap, c))
+           in
+           p)
+  in
+  (* Balanced adder tree at full precision. *)
+  let rec tree = function
+    | [] -> invalid_arg "fir"
+    | [ p ] -> p
+    | ps ->
+      let rec pair = function
+        | [] -> []
+        | [ p ] -> [ p ]
+        | p :: q :: rest ->
+          Rtl.add_op d ~name:"acc" ~width:(width + cw) (Rtl.Add (p, q)) :: pair rest
+      in
+      tree (pair ps)
+  in
+  let y = tree products in
+  Rtl.mark_output d "y" y;
+  { name = "FIR";
+    design = d;
+    description = "direct-form FIR filter, 8 taps, constant coefficients" }
+
+(* ------------------------------------------------------------------ ex2 *)
+
+(* Three-stage feed-forward pipelined controller-datapath (three planes):
+   multiply, add/sub + compare, final multiply-accumulate. *)
+let ex2 ?(width = 12) () =
+  let w = width in
+  let d = Rtl.create "ex2" in
+  let in1 = Rtl.add_input d "in1" w in
+  let in2 = Rtl.add_input d "in2" w in
+  (* stage 1 input registers *)
+  let ra = Rtl.add_register d ~name:"ra" ~width:w () in
+  let rb = Rtl.add_register d ~name:"rb" ~width:w () in
+  Rtl.connect_register d ra ~d:in1;
+  Rtl.connect_register d rb ~d:in2;
+  (* plane 1: product and sum *)
+  let p1 = Rtl.add_op d ~name:"mul_ab" ~width:(2 * w) (Rtl.Mult (ra, rb)) in
+  let p1_lo = Rtl.add_op d ~width:w (Rtl.Slice (p1, 0)) in
+  let p1_hi = Rtl.add_op d ~width:w (Rtl.Slice (p1, w)) in
+  let s1 = Rtl.add_op d ~name:"add_ab" ~width:w (Rtl.Add (ra, rb)) in
+  let r_lo = Rtl.add_register d ~name:"r_lo" ~width:w () in
+  let r_hi = Rtl.add_register d ~name:"r_hi" ~width:w () in
+  let r_s1 = Rtl.add_register d ~name:"r_s1" ~width:w () in
+  Rtl.connect_register d r_lo ~d:p1_lo;
+  Rtl.connect_register d r_hi ~d:p1_hi;
+  Rtl.connect_register d r_s1 ~d:s1;
+  (* plane 2: add/sub and comparison steering *)
+  let sum2 = Rtl.add_op d ~name:"add2" ~width:w (Rtl.Add (r_lo, r_s1)) in
+  let diff2 = Rtl.add_op d ~name:"sub2" ~width:w (Rtl.Sub (r_hi, r_s1)) in
+  let less = Rtl.add_op d ~name:"cmp2" ~width:1 (Rtl.Lt (r_lo, r_hi)) in
+  let pick = Rtl.add_op d ~name:"mux2" ~width:w (Rtl.Mux (less, sum2, diff2)) in
+  let r_pick = Rtl.add_register d ~name:"r_pick" ~width:w () in
+  let r_sum2 = Rtl.add_register d ~name:"r_sum2" ~width:w () in
+  Rtl.connect_register d r_pick ~d:pick;
+  Rtl.connect_register d r_sum2 ~d:sum2;
+  (* plane 3: final product and blend *)
+  let p3 = Rtl.add_op d ~name:"mul3" ~width:(2 * w) (Rtl.Mult (r_pick, r_sum2)) in
+  let p3_lo = Rtl.add_op d ~width:w (Rtl.Slice (p3, 0)) in
+  let out = Rtl.add_op d ~name:"xor3" ~width:w (Rtl.Bit_xor (p3_lo, r_pick)) in
+  Rtl.mark_output d "out" out;
+  { name = "ex2";
+    design = d;
+    description = "three-stage pipelined controller-datapath (3 planes)" }
+
+(* ---------------------------------------------------------------- c5315 *)
+
+(* Stand-in for the ISCAS'85 c5315 9-bit ALU: purely combinational, two ALU
+   slices plus compare/parity glue. Gate-level in spirit: no registers. *)
+let c5315 ?(width = 9) () =
+  let w = width in
+  let d = Rtl.create "c5315" in
+  let a = Rtl.add_input d "a" w in
+  let b = Rtl.add_input d "b" w in
+  let c = Rtl.add_input d "c" w in
+  let e = Rtl.add_input d "e" w in
+  let op = Rtl.add_input d "op" 1 in
+  let slice name x y =
+    let add = Rtl.add_op d ~name:(name ^ "_add") ~width:w (Rtl.Add (x, y)) in
+    let sub = Rtl.add_op d ~name:(name ^ "_sub") ~width:w (Rtl.Sub (x, y)) in
+    let band = Rtl.add_op d ~name:(name ^ "_and") ~width:w (Rtl.Bit_and (x, y)) in
+    let bor = Rtl.add_op d ~name:(name ^ "_or") ~width:w (Rtl.Bit_or (x, y)) in
+    let bxor = Rtl.add_op d ~name:(name ^ "_xor") ~width:w (Rtl.Bit_xor (x, y)) in
+    let arith = Rtl.add_op d ~name:(name ^ "_m1") ~width:w (Rtl.Mux (op, add, sub)) in
+    let logic = Rtl.add_op d ~name:(name ^ "_m2") ~width:w (Rtl.Mux (op, band, bor)) in
+    let mixed = Rtl.add_op d ~name:(name ^ "_m3") ~width:w (Rtl.Mux (op, logic, bxor)) in
+    let out = Rtl.add_op d ~name:(name ^ "_m4") ~width:w (Rtl.Mux (op, arith, mixed)) in
+    (out, arith, mixed)
+  in
+  let out1, ar1, mx1 = slice "s1" a b in
+  let out2, ar2, mx2 = slice "s2" c e in
+  let cross = Rtl.add_op d ~name:"cross_add" ~width:w (Rtl.Add (ar1, ar2)) in
+  let prod = Rtl.add_op d ~name:"cross_mul" ~width:(2 * w) (Rtl.Mult (mx1, mx2)) in
+  let prod_lo = Rtl.add_op d ~width:w (Rtl.Slice (prod, 0)) in
+  let eq = Rtl.add_op d ~name:"eq" ~width:1 (Rtl.Eq (out1, out2)) in
+  let lt = Rtl.add_op d ~name:"lt" ~width:1 (Rtl.Lt (out1, out2)) in
+  let blend = Rtl.add_op d ~name:"blend" ~width:w (Rtl.Bit_xor (cross, prod_lo)) in
+  Rtl.mark_output d "out1" out1;
+  Rtl.mark_output d "out2" out2;
+  Rtl.mark_output d "blend" blend;
+  Rtl.mark_output d "eq" eq;
+  Rtl.mark_output d "lt" lt;
+  { name = "c5315";
+    design = d;
+    description = "combinational 9-bit dual-slice ALU (ISCAS'85 c5315 stand-in)" }
+
+(* --------------------------------------------------------------- Biquad *)
+
+(* Direct-form-I biquad IIR section with constant coefficients; the output
+   feedback into the y delay line keeps everything in one plane. *)
+let biquad ?(width = 16) () =
+  let w = width in
+  let cw = 5 in
+  let d = Rtl.create "Biquad" in
+  let x = Rtl.add_input d "x" w in
+  let x1 = Rtl.add_register d ~name:"x1" ~width:w () in
+  let x2 = Rtl.add_register d ~name:"x2" ~width:w () in
+  let y1 = Rtl.add_register d ~name:"y1" ~width:w () in
+  let y2 = Rtl.add_register d ~name:"y2" ~width:w () in
+  Rtl.connect_register d x1 ~d:x;
+  Rtl.connect_register d x2 ~d:x1;
+  let cmul name tap coeff =
+    let c = Rtl.add_const d ~width:cw coeff in
+    let p = Rtl.add_op d ~name ~width:(w + cw) (Rtl.Mult (tap, c)) in
+    Rtl.add_op d ~width:w (Rtl.Slice (p, cw - 1))
+  in
+  let b0 = cmul "b0x" x 27 in
+  let b1 = cmul "b1x" x1 21 in
+  let b2 = cmul "b2x" x2 13 in
+  let a1 = cmul "a1y" y1 19 in
+  let a2 = cmul "a2y" y2 9 in
+  let s1 = Rtl.add_op d ~name:"acc1" ~width:w (Rtl.Add (b0, b1)) in
+  let s2 = Rtl.add_op d ~name:"acc2" ~width:w (Rtl.Add (s1, b2)) in
+  let s3 = Rtl.add_op d ~name:"fb1" ~width:w (Rtl.Sub (s2, a1)) in
+  let y = Rtl.add_op d ~name:"fb2" ~width:w (Rtl.Sub (s3, a2)) in
+  Rtl.connect_register d y1 ~d:y;
+  Rtl.connect_register d y2 ~d:y1;
+  Rtl.mark_output d "y" y;
+  { name = "Biquad";
+    design = d;
+    description = "direct-form-I biquad IIR filter section, 16-bit" }
+
+(* --------------------------------------------------------------- Paulin *)
+
+(* The differential-equation solver datapath (Paulin & Knight's classic
+   HLS benchmark), two-stage pipelined: multiplies, then adds/subtracts. *)
+let paulin ?(width = 12) () =
+  let w = width in
+  let d = Rtl.create "Paulin" in
+  let x_in = Rtl.add_input d "x" w in
+  let y_in = Rtl.add_input d "y" w in
+  let u_in = Rtl.add_input d "u" w in
+  let dx_in = Rtl.add_input d "dx" w in
+  (* stage-1 input registers *)
+  let xr = Rtl.add_register d ~name:"xr" ~width:w () in
+  let yr = Rtl.add_register d ~name:"yr" ~width:w () in
+  let ur = Rtl.add_register d ~name:"ur" ~width:w () in
+  let dxr = Rtl.add_register d ~name:"dxr" ~width:w () in
+  Rtl.connect_register d xr ~d:x_in;
+  Rtl.connect_register d yr ~d:y_in;
+  Rtl.connect_register d ur ~d:u_in;
+  Rtl.connect_register d dxr ~d:dx_in;
+  (* plane 1: the three products of the diffeq update *)
+  let mul name a b =
+    let p = Rtl.add_op d ~name ~width:(2 * w) (Rtl.Mult (a, b)) in
+    Rtl.add_op d ~width:w (Rtl.Slice (p, w / 2))
+  in
+  let xu = mul "mul_xu" xr ur in
+  let ydx = mul "mul_ydx" yr dxr in
+  let udx = mul "mul_udx" ur dxr in
+  let p_xu = Rtl.add_register d ~name:"p_xu" ~width:w () in
+  let p_ydx = Rtl.add_register d ~name:"p_ydx" ~width:w () in
+  let p_udx = Rtl.add_register d ~name:"p_udx" ~width:w () in
+  let x2 = Rtl.add_register d ~name:"x2" ~width:w () in
+  let y2 = Rtl.add_register d ~name:"y2" ~width:w () in
+  let u2 = Rtl.add_register d ~name:"u2" ~width:w () in
+  let dx2 = Rtl.add_register d ~name:"dx2" ~width:w () in
+  Rtl.connect_register d p_xu ~d:xu;
+  Rtl.connect_register d p_ydx ~d:ydx;
+  Rtl.connect_register d p_udx ~d:udx;
+  Rtl.connect_register d x2 ~d:xr;
+  Rtl.connect_register d y2 ~d:yr;
+  Rtl.connect_register d u2 ~d:ur;
+  Rtl.connect_register d dx2 ~d:dxr;
+  (* plane 2: u' = u - 3*x*u*dx - 3*y*dx approximated at fixed point as
+     u - 3*p_xu - 3*p_ydx; y' = y + u*dx; x' = x + dx *)
+  let times3 name s =
+    let doubled = Rtl.add_op d ~width:w (Rtl.Concat (Rtl.add_const d ~width:1 0, Rtl.add_op d ~width:(w - 1) (Rtl.Slice (s, 0)))) in
+    Rtl.add_op d ~name ~width:w (Rtl.Add (s, doubled))
+  in
+  let t1 = times3 "t3_xu" p_xu in
+  let t2 = times3 "t3_ydx" p_ydx in
+  let u_a = Rtl.add_op d ~name:"sub_u1" ~width:w (Rtl.Sub (u2, t1)) in
+  let u_next = Rtl.add_op d ~name:"sub_u2" ~width:w (Rtl.Sub (u_a, t2)) in
+  let y_next = Rtl.add_op d ~name:"add_y" ~width:w (Rtl.Add (y2, p_udx)) in
+  let x_next = Rtl.add_op d ~name:"add_x" ~width:w (Rtl.Add (x2, dx2)) in
+  Rtl.mark_output d "x_next" x_next;
+  Rtl.mark_output d "y_next" y_next;
+  Rtl.mark_output d "u_next" u_next;
+  { name = "Paulin";
+    design = d;
+    description = "differential-equation solver datapath, 2-stage pipeline" }
+
+(* ---------------------------------------------------------------- ASPP4 *)
+
+(* An application-specific programmable processor slice: decode/execute
+   pipeline with two multipliers and an ALU bank (two planes). *)
+let aspp4 ?(width = 14) () =
+  let w = width in
+  let d = Rtl.create "ASPP4" in
+  let opa = Rtl.add_input d "opa" w in
+  let opb = Rtl.add_input d "opb" w in
+  let opc = Rtl.add_input d "opc" w in
+  let opd = Rtl.add_input d "opd" w in
+  let ctl = Rtl.add_input d "ctl" 3 in
+  (* stage-1 registers *)
+  let ra = Rtl.add_register d ~name:"ra" ~width:w () in
+  let rb = Rtl.add_register d ~name:"rb" ~width:w () in
+  let rc = Rtl.add_register d ~name:"rc" ~width:w () in
+  let rd = Rtl.add_register d ~name:"rd" ~width:w () in
+  let rctl = Rtl.add_register d ~name:"rctl" ~width:3 () in
+  Rtl.connect_register d ra ~d:opa;
+  Rtl.connect_register d rb ~d:opb;
+  Rtl.connect_register d rc ~d:opc;
+  Rtl.connect_register d rd ~d:opd;
+  Rtl.connect_register d rctl ~d:ctl;
+  (* plane 1: two multipliers and address-style adds *)
+  let m1 = Rtl.add_op d ~name:"mul1" ~width:(2 * w) (Rtl.Mult (ra, rb)) in
+  let m2 = Rtl.add_op d ~name:"mul2" ~width:(2 * w) (Rtl.Mult (rc, rd)) in
+  let m1_lo = Rtl.add_op d ~width:w (Rtl.Slice (m1, 0)) in
+  let m1_hi = Rtl.add_op d ~width:w (Rtl.Slice (m1, w)) in
+  let m2_lo = Rtl.add_op d ~width:w (Rtl.Slice (m2, 0)) in
+  let m2_hi = Rtl.add_op d ~width:w (Rtl.Slice (m2, w)) in
+  let addr = Rtl.add_op d ~name:"addr" ~width:w (Rtl.Add (ra, rc)) in
+  let r_m1l = Rtl.add_register d ~name:"r_m1l" ~width:w () in
+  let r_m1h = Rtl.add_register d ~name:"r_m1h" ~width:w () in
+  let r_m2l = Rtl.add_register d ~name:"r_m2l" ~width:w () in
+  let r_m2h = Rtl.add_register d ~name:"r_m2h" ~width:w () in
+  let r_addr = Rtl.add_register d ~name:"r_addr" ~width:w () in
+  let rctl2 = Rtl.add_register d ~name:"rctl2" ~width:3 () in
+  Rtl.connect_register d r_m1l ~d:m1_lo;
+  Rtl.connect_register d r_m1h ~d:m1_hi;
+  Rtl.connect_register d r_m2l ~d:m2_lo;
+  Rtl.connect_register d r_m2h ~d:m2_hi;
+  Rtl.connect_register d r_addr ~d:addr;
+  Rtl.connect_register d rctl2 ~d:rctl;
+  (* plane 2: ALU bank + writeback select *)
+  let c0 = Rtl.add_op d ~width:1 (Rtl.Slice (rctl2, 0)) in
+  let c1 = Rtl.add_op d ~width:1 (Rtl.Slice (rctl2, 1)) in
+  let c2 = Rtl.add_op d ~width:1 (Rtl.Slice (rctl2, 2)) in
+  let sum_ll = Rtl.add_op d ~name:"alu_add" ~width:w (Rtl.Add (r_m1l, r_m2l)) in
+  let dif_hh = Rtl.add_op d ~name:"alu_sub" ~width:w (Rtl.Sub (r_m1h, r_m2h)) in
+  let mac = Rtl.add_op d ~name:"alu_mac" ~width:w (Rtl.Add (sum_ll, r_addr)) in
+  let bxor = Rtl.add_op d ~name:"alu_xor" ~width:w (Rtl.Bit_xor (r_m1l, r_m2h)) in
+  let band = Rtl.add_op d ~name:"alu_and" ~width:w (Rtl.Bit_and (r_m1h, r_m2l)) in
+  let lt = Rtl.add_op d ~name:"alu_lt" ~width:1 (Rtl.Lt (r_m1l, r_m2l)) in
+  let mx1 = Rtl.add_op d ~name:"wb1" ~width:w (Rtl.Mux (c0, sum_ll, dif_hh)) in
+  let mx2 = Rtl.add_op d ~name:"wb2" ~width:w (Rtl.Mux (c1, mac, bxor)) in
+  let mx3 = Rtl.add_op d ~name:"wb3" ~width:w (Rtl.Mux (c2, mx1, mx2)) in
+  let mx4 = Rtl.add_op d ~name:"wb4" ~width:w (Rtl.Mux (lt, mx3, band)) in
+  Rtl.mark_output d "result" mx4;
+  Rtl.mark_output d "flag" lt;
+  { name = "ASPP4";
+    design = d;
+    description = "ASPP processor slice, decode/execute pipeline" }
+
+(* ------------------------------------------- beyond-paper workloads *)
+
+(* CRC-8 (polynomial x^8+x^2+x+1) updating over one input byte per cycle:
+   pure XOR trees and 8 bits of feedback state — all "glue" logic, the
+   opposite extreme from the module-heavy datapaths above. *)
+let crc8 () =
+  let d = Rtl.create "CRC8" in
+  let data = Rtl.add_input d "data" 8 in
+  let crc = Rtl.add_register d ~name:"crc" ~width:8 () in
+  (* bit-serial formulation unrolled 8x: next = fold over message bits *)
+  let bit i bus = Rtl.add_op d ~width:1 (Rtl.Slice (bus, i)) in
+  let state = ref (Array.init 8 (fun i -> bit i crc)) in
+  for i = 7 downto 0 do
+    let din = bit i data in
+    let fb = Rtl.add_op d ~width:1 (Rtl.Bit_xor ((!state).(7), din)) in
+    let s = !state in
+    let xor_fb j = Rtl.add_op d ~width:1 (Rtl.Bit_xor (s.(j), fb)) in
+    state :=
+      [| fb; xor_fb 0; xor_fb 1; s.(2); s.(3); s.(4); s.(5); s.(6) |]
+  done;
+  let next =
+    Array.fold_left
+      (fun acc b ->
+        match acc with
+        | None -> Some b
+        | Some lo ->
+          let w = (Rtl.signal d lo).Rtl.width in
+          Some (Rtl.add_op d ~width:(w + 1) (Rtl.Concat (lo, b))))
+      None !state
+  in
+  let next = Option.get next in
+  Rtl.connect_register d crc ~d:next;
+  Rtl.mark_output d "crc" next;
+  { name = "CRC8";
+    design = d;
+    description = "unrolled CRC-8 update (pure glue logic, 8-bit state)" }
+
+(* Compare-exchange sorting network over four 6-bit values (a Batcher
+   stage): comparator+mux modules with no state. *)
+let sorter () =
+  let w = 6 in
+  let d = Rtl.create "Sorter4" in
+  let xs = Array.init 4 (fun i -> Rtl.add_input d (Printf.sprintf "x%d" i) w) in
+  let cmpx a b =
+    let lt = Rtl.add_op d ~name:"cmp" ~width:1 (Rtl.Lt (a, b)) in
+    let lo = Rtl.add_op d ~name:"min" ~width:w (Rtl.Mux (lt, b, a)) in
+    let hi = Rtl.add_op d ~name:"max" ~width:w (Rtl.Mux (lt, a, b)) in
+    (lo, hi)
+  in
+  (* Batcher's 4-input network: (0,1) (2,3) (0,2) (1,3) (1,2) *)
+  let a0, a1 = cmpx xs.(0) xs.(1) in
+  let a2, a3 = cmpx xs.(2) xs.(3) in
+  let b0, b2 = cmpx a0 a2 in
+  let b1, b3 = cmpx a1 a3 in
+  let c1, c2 = cmpx b1 b2 in
+  List.iteri
+    (fun i s -> Rtl.mark_output d (Printf.sprintf "y%d" i) s)
+    [ b0; c1; c2; b3 ];
+  { name = "Sorter4";
+    design = d;
+    description = "4-way compare-exchange sorting network, 6-bit keys" }
+
+(* A 4-point DCT-like butterfly with constant multipliers, registered
+   inputs and outputs (two planes). *)
+let dct4 () =
+  let w = 10 in
+  let cw = 5 in
+  let d = Rtl.create "DCT4" in
+  let xs = Array.init 4 (fun i -> Rtl.add_input d (Printf.sprintf "x%d" i) w) in
+  let regs =
+    Array.init 4 (fun i -> Rtl.add_register d ~name:(Printf.sprintf "rx%d" i) ~width:w ())
+  in
+  Array.iteri (fun i r -> Rtl.connect_register d r ~d:xs.(i)) regs;
+  (* stage 1: butterflies *)
+  let s0 = Rtl.add_op d ~name:"bf_add0" ~width:w (Rtl.Add (regs.(0), regs.(3))) in
+  let s1 = Rtl.add_op d ~name:"bf_add1" ~width:w (Rtl.Add (regs.(1), regs.(2))) in
+  let d0 = Rtl.add_op d ~name:"bf_sub0" ~width:w (Rtl.Sub (regs.(0), regs.(3))) in
+  let d1 = Rtl.add_op d ~name:"bf_sub1" ~width:w (Rtl.Sub (regs.(1), regs.(2))) in
+  let r_s0 = Rtl.add_register d ~name:"r_s0" ~width:w () in
+  let r_s1 = Rtl.add_register d ~name:"r_s1" ~width:w () in
+  let r_d0 = Rtl.add_register d ~name:"r_d0" ~width:w () in
+  let r_d1 = Rtl.add_register d ~name:"r_d1" ~width:w () in
+  Rtl.connect_register d r_s0 ~d:s0;
+  Rtl.connect_register d r_s1 ~d:s1;
+  Rtl.connect_register d r_d0 ~d:d0;
+  Rtl.connect_register d r_d1 ~d:d1;
+  (* stage 2: constant rotations *)
+  let cmul name s c =
+    let k = Rtl.add_const d ~width:cw c in
+    let p = Rtl.add_op d ~name ~width:(w + cw) (Rtl.Mult (s, k)) in
+    Rtl.add_op d ~width:w (Rtl.Slice (p, cw - 1))
+  in
+  let y0 = Rtl.add_op d ~name:"out_add" ~width:w (Rtl.Add (r_s0, r_s1)) in
+  let y2 = Rtl.add_op d ~name:"out_sub" ~width:w (Rtl.Sub (r_s0, r_s1)) in
+  let t0 = cmul "rot_c6" r_d0 25 in
+  let t1 = cmul "rot_s6" r_d1 10 in
+  let t2 = cmul "rot_s2" r_d0 10 in
+  let t3 = cmul "rot_c2" r_d1 25 in
+  let y1 = Rtl.add_op d ~name:"rot_add" ~width:w (Rtl.Add (t0, t1)) in
+  let y3 = Rtl.add_op d ~name:"rot_sub" ~width:w (Rtl.Sub (t2, t3)) in
+  List.iteri (fun i s -> Rtl.mark_output d (Printf.sprintf "y%d" i) s) [ y0; y1; y2; y3 ];
+  { name = "DCT4";
+    design = d;
+    description = "4-point DCT butterfly, registered I/O (2 planes)" }
+
+let all () =
+  [ ex1 (); fir (); ex2 (); c5315 (); biquad (); paulin (); aspp4 () ]
+
+let extended () = [ crc8 (); sorter (); dct4 () ]
+
+let by_name name =
+  let lower = String.lowercase_ascii name in
+  match lower with
+  | "ex1" -> ex1 ()
+  | "ex1-4bit" | "ex1_small" -> ex1_small ()
+  | "fir" -> fir ()
+  | "ex2" -> ex2 ()
+  | "c5315" -> c5315 ()
+  | "biquad" -> biquad ()
+  | "paulin" -> paulin ()
+  | "aspp4" -> aspp4 ()
+  | "crc8" -> crc8 ()
+  | "sorter4" | "sorter" -> sorter ()
+  | "dct4" -> dct4 ()
+  | _ -> raise Not_found

@@ -1,0 +1,76 @@
+(** The seven benchmark circuits of the paper's Section 5, reconstructed as
+    RTL designs.
+
+    The original artifacts (RTL circuits from the test-generation papers
+    [19, 20] and the ISCAS'85 c5315 gate-level ALU) are not redistributable
+    here, so each benchmark is rebuilt from its published description with
+    bit-widths chosen to land in the same size class as the paper's Table 1
+    circuit parameters (#planes, logic depth, #LUTs, #flip-flops). The
+    experiment harness reports {e our} circuit parameters alongside the
+    mapping results; the comparisons folding vs. no-folding are internally
+    consistent. See DESIGN.md for the substitution rationale.
+
+    - [ex1]: the paper's Fig. 1 controller-datapath (FSM + registers +
+      ripple-carry adder + parallel multiplier) at 16-bit width; [ex1_small]
+      is the 4-bit version used in the motivational example.
+    - [fir]: direct-form FIR filter, constant coefficients, registered
+      delay line and combinational multiply-accumulate — one plane.
+    - [ex2]: a three-stage pipelined controller-datapath (three planes).
+    - [c5315]: a purely combinational two-slice 9-bit ALU with parity and
+      compare outputs, standing in for the ISCAS'85 netlist (gate-level:
+      no registers at all).
+    - [biquad]: direct-form-I biquad IIR section; output feedback keeps it
+      a single plane.
+    - [paulin]: the differential-equation solver datapath from the
+      high-level-synthesis literature, two-stage pipelined (two planes).
+    - [aspp4]: an application-specific programmable processor slice with a
+      decode/execute pipeline (two planes). *)
+
+type benchmark = {
+  name : string;
+  design : Nanomap_rtl.Rtl.t;
+  description : string;
+}
+
+val ex1 : ?width:int -> unit -> benchmark
+(** Default width 16 (the paper's ex1). *)
+
+val ex1_small : unit -> benchmark
+(** The 4-bit Fig. 1 instance (50 LUTs / 14 flip-flops class). *)
+
+val fir : ?taps:int -> ?width:int -> unit -> benchmark
+(** Default 8 taps, width 14. *)
+
+val ex2 : ?width:int -> unit -> benchmark
+(** Default width 12. *)
+
+val c5315 : ?width:int -> unit -> benchmark
+(** Default width 9 (two 9-bit ALU slices, as in the original). *)
+
+val biquad : ?width:int -> unit -> benchmark
+(** Default width 16. *)
+
+val paulin : ?width:int -> unit -> benchmark
+(** Default width 12. *)
+
+val aspp4 : ?width:int -> unit -> benchmark
+(** Default width 14. *)
+
+val all : unit -> benchmark list
+(** The seven benchmarks in the paper's Table 1 order. *)
+
+val crc8 : unit -> benchmark
+(** Beyond-paper workload: unrolled CRC-8 update — pure glue logic. *)
+
+val sorter : unit -> benchmark
+(** Beyond-paper workload: 4-way compare-exchange sorting network. *)
+
+val dct4 : unit -> benchmark
+(** Beyond-paper workload: 4-point DCT butterfly pipeline. *)
+
+val extended : unit -> benchmark list
+(** The three beyond-paper workloads above. *)
+
+val by_name : string -> benchmark
+(** Raises [Not_found] for unknown names. Accepts the paper's names,
+    case-insensitively. *)

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Hashtbl List Nanomap_arch Nanomap_core Nanomap_rtl Nanomap_techmap

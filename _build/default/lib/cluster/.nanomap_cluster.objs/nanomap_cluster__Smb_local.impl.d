@@ -1,0 +1,1 @@
+lib/cluster/smb_local.ml: Array Cluster Hashtbl List Nanomap_arch Nanomap_core Nanomap_techmap Option

@@ -1,0 +1,1 @@
+lib/cluster/smb_local.mli: Cluster Nanomap_core

@@ -1,0 +1,613 @@
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Sched = Nanomap_core.Sched
+module Partition = Nanomap_techmap.Partition
+module Lut_network = Nanomap_techmap.Lut_network
+
+type slot = {
+  smb : int;
+  mb : int;
+  le : int;
+}
+
+type value =
+  | V_lut of int * int
+  | V_state of int * int
+  | V_pi of int * int
+
+type endpoint =
+  | At_smb of int
+  | At_pad of int
+
+type net = {
+  plane : int;
+  cycle : int;
+  value : value;
+  driver : endpoint;
+  sinks : endpoint list;
+}
+
+type t = {
+  arch : Arch.t;
+  num_smbs : int;
+  les_used : int;
+  lut_slots : (int * int, slot) Hashtbl.t;
+  ff_slots : (value, slot * int) Hashtbl.t;
+  nets : net list;
+  pads : (value * int) list;
+}
+
+(* Mutable packing state. *)
+type pool = {
+  arch_ : Arch.t;
+  timeslots : int;
+  mutable smbs : int;
+  (* (smb, timeslot) -> LUT count; LE-grain occupancy below *)
+  le_busy : (int * int, unit) Hashtbl.t; (* (global le id, timeslot) *)
+  ff_busy : (int * int, unit) Hashtbl.t; (* (global ff id, timeslot) *)
+  smb_values : (int, (value, unit) Hashtbl.t) Hashtbl.t;
+  (* conservative per-configuration input-pin pressure: values consumed in
+     (smb, ts) that are not produced by a LUT of the same smb and ts *)
+  smb_inputs : (int * int, (value, unit) Hashtbl.t) Hashtbl.t;
+  smb_produced : (int * int, (value, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let les_per_smb pool = Arch.les_per_smb pool.arch_
+
+let global_le pool s le_in_smb = (s * les_per_smb pool) + le_in_smb
+
+let slot_of_global pool g =
+  let lps = les_per_smb pool in
+  let smb = g / lps in
+  let within = g mod lps in
+  { smb; mb = within / pool.arch_.Arch.les_per_mb; le = within mod pool.arch_.Arch.les_per_mb }
+
+let global_of_slot pool s =
+  (s.smb * les_per_smb pool) + (s.mb * pool.arch_.Arch.les_per_mb) + s.le
+
+let smb_table pool s =
+  match Hashtbl.find_opt pool.smb_values s with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 32 in
+    Hashtbl.replace pool.smb_values s tbl;
+    tbl
+
+let slot_table map key =
+  match Hashtbl.find_opt map key with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.replace map key tbl;
+    tbl
+
+(* Pin pressure if LUT [l] (producing [out], consuming [ins]) joins
+   (smb, ts): current inputs + new external fanins - anything this LUT's
+   own output satisfies later is not modelled (conservative). *)
+let pins_after pool s ts ~out ~ins =
+  let inputs = slot_table pool.smb_inputs (s, ts) in
+  let produced = slot_table pool.smb_produced (s, ts) in
+  let extra = ref 0 in
+  List.iter
+    (fun v ->
+      if (not (Hashtbl.mem inputs v)) && (not (Hashtbl.mem produced v)) && v <> out
+      then incr extra)
+    ins;
+  (* the new LUT's output may satisfy previously-external inputs, but pins
+     are already counted; keep the conservative figure *)
+  Hashtbl.length inputs + !extra
+
+let commit_pins pool s ts ~out ~ins =
+  let inputs = slot_table pool.smb_inputs (s, ts) in
+  let produced = slot_table pool.smb_produced (s, ts) in
+  List.iter
+    (fun v -> if not (Hashtbl.mem produced v) then Hashtbl.replace inputs v ())
+    ins;
+  Hashtbl.replace produced out ();
+  Hashtbl.remove inputs out
+
+let le_free pool g ts = not (Hashtbl.mem pool.le_busy (g, ts))
+
+let smb_has_free_le pool s ts =
+  let lps = les_per_smb pool in
+  let rec loop i = i < lps && (le_free pool (global_le pool s i) ts || loop (i + 1)) in
+  loop 0
+
+let first_free_le pool s ts =
+  let lps = les_per_smb pool in
+  let rec loop i =
+    if i >= lps then None
+    else if le_free pool (global_le pool s i) ts then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+(* Flip-flop slots: ff id = global_le * ffs_per_le + index. *)
+let ff_free_interval pool ff lo hi =
+  let rec loop ts = ts > hi || ((not (Hashtbl.mem pool.ff_busy (ff, ts))) && loop (ts + 1)) in
+  loop lo
+
+let occupy_ff pool ff lo hi =
+  for ts = lo to hi do
+    Hashtbl.replace pool.ff_busy (ff, ts) ()
+  done
+
+let grow pool = pool.smbs <- pool.smbs + 1
+
+(* ---------------------------------------------------------------- pack *)
+
+let pack (plan : Mapper.plan) ~arch =
+  let planes = plan.Mapper.planes in
+  let num_planes = Array.length planes in
+  let stages = plan.Mapper.stages in
+  (* In pipelined mode every plane runs concurrently, so a timeslot is just
+     the folding cycle: two planes' LUTs in the same cycle must use
+     different LEs, which is exactly what the shared occupancy enforces. *)
+  let pipelined = plan.Mapper.pipelined in
+  let timeslots = if pipelined then stages else num_planes * stages in
+  let ts_of ~plane ~cycle =
+    if pipelined then cycle - 1 else ((plane - 1) * stages) + (cycle - 1)
+  in
+  let pool =
+    { arch_ = arch;
+      timeslots;
+      smbs = max 1 (Arch.les_to_smbs arch plan.Mapper.les);
+      le_busy = Hashtbl.create 1024;
+      ff_busy = Hashtbl.create 1024;
+      smb_values = Hashtbl.create 64;
+      smb_inputs = Hashtbl.create 256;
+      smb_produced = Hashtbl.create 256 }
+  in
+  let lut_slots : (int * int, slot) Hashtbl.t = Hashtbl.create 1024 in
+  let lut_cycle : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* Values associated with a LUT for the attraction function. *)
+  let lut_keys plane network l =
+    match Lut_network.node network l with
+    | Lut_network.Input _ -> []
+    | Lut_network.Lut { fanins; _ } ->
+      let fanin_key f =
+        match Lut_network.node network f with
+        | Lut_network.Lut _ -> Some (V_lut (plane, f))
+        | Lut_network.Input (Lut_network.Register_bit (r, b)) -> Some (V_state (r, b))
+        | Lut_network.Input (Lut_network.Wire_bit (w, b)) -> Some (V_state (w, b))
+        | Lut_network.Input (Lut_network.Pi_bit (s, b)) -> Some (V_pi (s, b))
+        | Lut_network.Input (Lut_network.Const_bit _) -> None
+      in
+      V_lut (plane, l)
+      :: (Array.to_list fanins |> List.filter_map fanin_key)
+  in
+  (* --- LUT packing, cycle by cycle --- *)
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let network = pl.Mapper.network in
+      let part = pl.Mapper.partition in
+      let plane = pl.Mapper.plane_index in
+      (* distinct external inputs per unit, for seed ordering *)
+      let unit_inputs u =
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun l ->
+            match Lut_network.node network l with
+            | Lut_network.Lut { fanins; _ } ->
+              Array.iter
+                (fun f ->
+                  if part.Partition.unit_of_lut.(f) <> u.Partition.uid then
+                    Hashtbl.replace seen f ())
+                fanins
+            | Lut_network.Input _ -> ())
+          u.Partition.luts;
+        Hashtbl.length seen
+      in
+      (* timing criticality (paper Section 4.3): a LUT's slack within the
+         plane; LUTs on the longest paths pack first and therefore get the
+         best-shared SMBs *)
+      let depth_arr = Lut_network.depths network in
+      let height = Array.make (Lut_network.size network) 0 in
+      let fanouts = Lut_network.fanouts network in
+      for id = Lut_network.size network - 1 downto 0 do
+        match Lut_network.node network id with
+        | Lut_network.Input _ -> ()
+        | Lut_network.Lut _ ->
+          height.(id) <-
+            List.fold_left (fun acc f -> max acc (1 + height.(f))) 1 fanouts.(id)
+      done;
+      let network_depth = Array.fold_left max 1 depth_arr in
+      let criticality l =
+        (* path length through l, normalized; 1.0 = on a longest path *)
+        float_of_int (depth_arr.(l) + height.(l) - 1) /. float_of_int network_depth
+      in
+      for cycle = 1 to stages do
+        let ts = ts_of ~plane ~cycle in
+        let units_here =
+          Array.to_list part.Partition.units
+          |> List.filter (fun u -> pl.Mapper.schedule.(u.Partition.uid) = cycle)
+          |> List.map (fun u -> (unit_inputs u, u))
+          |> List.sort (fun (a, _) (b, _) -> compare b a)
+        in
+        List.iter
+          (fun (_, u) ->
+            (* LUTs within a unit: critical and well-connected first *)
+            let luts =
+              List.map
+                (fun l ->
+                  let fanin_count =
+                    match Lut_network.node network l with
+                    | Lut_network.Lut { fanins; _ } -> Array.length fanins
+                    | Lut_network.Input _ -> 0
+                  in
+                  ((criticality l, fanin_count), l))
+                u.Partition.luts
+              |> List.sort (fun (a, _) (b, _) -> compare b a)
+              |> List.map snd
+            in
+            List.iter
+              (fun l ->
+                let keys = lut_keys plane network l in
+                let out, ins =
+                  match keys with
+                  | out :: ins -> (out, ins)
+                  | [] -> (V_lut (plane, l), [])
+                in
+                (* score every SMB with a free LE and spare input pins in
+                   this timeslot *)
+                let best = ref None in
+                for s = 0 to pool.smbs - 1 do
+                  if smb_has_free_le pool s ts
+                     && pins_after pool s ts ~out ~ins <= arch.Arch.smb_input_pins
+                  then begin
+                    let tbl = smb_table pool s in
+                    let score =
+                      List.fold_left
+                        (fun acc k -> if Hashtbl.mem tbl k then acc + 1 else acc)
+                        0 keys
+                    in
+                    match !best with
+                    | None -> best := Some (score, s)
+                    | Some (bs, _) when score > bs -> best := Some (score, s)
+                    | Some _ -> ()
+                  end
+                done;
+                let s =
+                  match !best with
+                  | Some (_, s) -> s
+                  | None ->
+                    grow pool;
+                    pool.smbs - 1
+                in
+                let le_idx =
+                  match first_free_le pool s ts with
+                  | Some i -> i
+                  | None -> assert false
+                in
+                let g = global_le pool s le_idx in
+                Hashtbl.replace pool.le_busy (g, ts) ();
+                Hashtbl.replace lut_slots (plane, l) (slot_of_global pool g);
+                Hashtbl.replace lut_cycle (plane, l) cycle;
+                commit_pins pool s ts ~out ~ins;
+                let tbl = smb_table pool s in
+                List.iter (fun k -> Hashtbl.replace tbl k ()) keys)
+              luts)
+          units_here
+      done)
+    planes;
+  (* --- flip-flop allocation --- *)
+  let ff_slots : (value, slot * int) Hashtbl.t = Hashtbl.create 256 in
+  let ffs_per_le = arch.Arch.ffs_per_le in
+  let alloc_ff ~prefer ~lo ~hi value =
+    (* candidate global LE order: preferred LE, its MB, its SMB, everything *)
+    let lps = Arch.les_per_smb arch in
+    let candidates = ref [] in
+    let push g = candidates := g :: !candidates in
+    (match prefer with
+     | Some slot ->
+       let g0 = global_of_slot pool slot in
+       (* everything else in pool order *)
+       for s = pool.smbs - 1 downto 0 do
+         for i = lps - 1 downto 0 do
+           let g = global_le pool s i in
+           if g <> g0 && s <> slot.smb then push g
+         done
+       done;
+       (* same SMB *)
+       for i = lps - 1 downto 0 do
+         let g = global_le pool slot.smb i in
+         if g <> g0 && i / arch.Arch.les_per_mb <> slot.mb then push g
+       done;
+       (* same MB *)
+       for i = arch.Arch.les_per_mb - 1 downto 0 do
+         let g = global_le pool slot.smb ((slot.mb * arch.Arch.les_per_mb) + i) in
+         if g <> g0 then push g
+       done;
+       push g0
+     | None ->
+       for s = pool.smbs - 1 downto 0 do
+         for i = lps - 1 downto 0 do
+           push (global_le pool s i)
+         done
+       done);
+    let rec try_candidates = function
+      | [] ->
+        (* no capacity anywhere: grow the pool and take the fresh SMB *)
+        grow pool;
+        let g = global_le pool (pool.smbs - 1) 0 in
+        let ff = (g * ffs_per_le) + 0 in
+        occupy_ff pool ff lo hi;
+        (slot_of_global pool g, 0)
+      | g :: rest ->
+        let rec try_ff idx =
+          if idx >= ffs_per_le then None
+          else begin
+            let ff = (g * ffs_per_le) + idx in
+            if ff_free_interval pool ff lo hi then Some idx else try_ff (idx + 1)
+          end
+        in
+        (match try_ff 0 with
+         | Some idx ->
+           let ff = (g * ffs_per_le) + idx in
+           occupy_ff pool ff lo hi;
+           (slot_of_global pool g, idx)
+         | None -> try_candidates rest)
+    in
+    let where = try_candidates !candidates in
+    Hashtbl.replace ff_slots value where;
+    where
+  in
+  (* home slots for every state bit; producers preferred *)
+  let state_producer : (int * int, slot) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      List.iter
+        (fun (target, node) ->
+          match target with
+          | Lut_network.Reg_target (r, b) | Lut_network.Wire_target (r, b) ->
+            (match Hashtbl.find_opt lut_slots (pl.Mapper.plane_index, node) with
+             | Some slot -> Hashtbl.replace state_producer (r, b) slot
+             | None -> ())
+          | Lut_network.Po_target _ -> ())
+        (Lut_network.outputs pl.Mapper.network))
+    planes;
+  (* Every register bit of the design is state, whether or not any plane's
+     logic touches it (delay lines and registered outputs included); wire
+     bits come from the plane networks. *)
+  let state_bits = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Nanomap_rtl.Rtl.signal) ->
+      for b = 0 to s.Nanomap_rtl.Rtl.width - 1 do
+        Hashtbl.replace state_bits (s.Nanomap_rtl.Rtl.id, b) ()
+      done)
+    (Nanomap_rtl.Rtl.registers plan.Mapper.design);
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      Lut_network.iter
+        (fun _ -> function
+          | Lut_network.Input (Lut_network.Wire_bit (r, b)) ->
+            Hashtbl.replace state_bits (r, b) ()
+          | Lut_network.Input
+              (Lut_network.Register_bit _ | Lut_network.Pi_bit _
+              | Lut_network.Const_bit _)
+          | Lut_network.Lut _ -> ())
+        pl.Mapper.network;
+      List.iter
+        (fun (target, _) ->
+          match target with
+          | Lut_network.Wire_target (r, b) -> Hashtbl.replace state_bits (r, b) ()
+          | Lut_network.Reg_target _ | Lut_network.Po_target _ -> ())
+        (Lut_network.outputs pl.Mapper.network))
+    planes;
+  Hashtbl.iter
+    (fun (r, b) () ->
+      ignore
+        (alloc_ff
+           ~prefer:(Hashtbl.find_opt state_producer (r, b))
+           ~lo:0 ~hi:(timeslots - 1)
+           (V_state (r, b))))
+    state_bits;
+  (* intermediates and shadows, merged: a LUT output needs a flip-flop from
+     the cycle after it computes until its last same-plane consumer — and
+     until the end of the plane when it drives a register/wire target (the
+     shadow waiting for the commit). One slot serves both, it is the same
+     bit. *)
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let plane = pl.Mapper.plane_index in
+      let network = pl.Mapper.network in
+      let part = pl.Mapper.partition in
+      let fanouts = Lut_network.fanouts network in
+      let has_target = Hashtbl.create 32 in
+      List.iter
+        (fun (target, node) ->
+          match target with
+          | Lut_network.Reg_target _ | Lut_network.Wire_target _ ->
+            Hashtbl.replace has_target node ()
+          | Lut_network.Po_target _ -> ())
+        (Lut_network.outputs network);
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input _ -> ()
+          | Lut_network.Lut _ ->
+            let u = part.Partition.unit_of_lut.(l) in
+            if u >= 0 then begin
+              let c = pl.Mapper.schedule.(u) in
+              let last =
+                List.fold_left
+                  (fun acc f ->
+                    let v = part.Partition.unit_of_lut.(f) in
+                    if v >= 0 then max acc pl.Mapper.schedule.(v) else acc)
+                  c fanouts.(l)
+              in
+              let last = if Hashtbl.mem has_target l then stages else last in
+              if last > c then
+                ignore
+                  (alloc_ff
+                     ~prefer:(Hashtbl.find_opt lut_slots (plane, l))
+                     ~lo:(ts_of ~plane ~cycle:c + 1)
+                     ~hi:(ts_of ~plane ~cycle:last)
+                     (V_lut (plane, l)))
+            end)
+        network)
+    planes;
+  (* --- pads --- *)
+  let pads = Hashtbl.create 32 in
+  let next_pad = ref 0 in
+  let pad_of value =
+    match Hashtbl.find_opt pads value with
+    | Some id -> id
+    | None ->
+      let id = !next_pad in
+      incr next_pad;
+      Hashtbl.replace pads value id;
+      id
+  in
+  (* --- net extraction --- *)
+  let nets = ref [] in
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let plane = pl.Mapper.plane_index in
+      let network = pl.Mapper.network in
+      let part = pl.Mapper.partition in
+      (* sinks per (value, cycle) *)
+      let sinks : (value * int, endpoint list ref) Hashtbl.t = Hashtbl.create 256 in
+      let add_sink value cycle ep =
+        let key = (value, cycle) in
+        match Hashtbl.find_opt sinks key with
+        | Some l -> if not (List.mem ep !l) then l := ep :: !l
+        | None -> Hashtbl.replace sinks key (ref [ ep ])
+      in
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input _ -> ()
+          | Lut_network.Lut { fanins; _ } ->
+            let u = part.Partition.unit_of_lut.(l) in
+            let c = pl.Mapper.schedule.(u) in
+            let my_smb = (Hashtbl.find lut_slots (plane, l)).smb in
+            Array.iter
+              (fun f ->
+                match Lut_network.node network f with
+                | Lut_network.Lut _ -> add_sink (V_lut (plane, f)) c (At_smb my_smb)
+                | Lut_network.Input (Lut_network.Register_bit (r, b))
+                | Lut_network.Input (Lut_network.Wire_bit (r, b)) ->
+                  add_sink (V_state (r, b)) c (At_smb my_smb)
+                | Lut_network.Input (Lut_network.Pi_bit (s, b)) ->
+                  add_sink (V_pi (s, b)) c (At_smb my_smb)
+                | Lut_network.Input (Lut_network.Const_bit _) -> ())
+              fanins)
+        network;
+      (* target writes: producer value must reach its home FF / pad *)
+      List.iter
+        (fun (target, node) ->
+          match Lut_network.node network node with
+          | Lut_network.Input _ -> () (* pass-through outputs are wiring *)
+          | Lut_network.Lut _ ->
+            let u = part.Partition.unit_of_lut.(node) in
+            let c = pl.Mapper.schedule.(u) in
+            (match target with
+             | Lut_network.Reg_target (r, b) | Lut_network.Wire_target (r, b) ->
+               (match Hashtbl.find_opt ff_slots (V_state (r, b)) with
+                | Some (slot, _) -> add_sink (V_lut (plane, node)) c (At_smb slot.smb)
+                | None -> ())
+             | Lut_network.Po_target name ->
+               add_sink (V_lut (plane, node)) c
+                 (At_pad (pad_of (V_lut (plane, node))));
+               ignore name))
+        (Lut_network.outputs network);
+      (* build nets with drivers *)
+      Hashtbl.iter
+        (fun (value, cycle) sink_list ->
+          let driver =
+            match value with
+            | V_lut (p, l) ->
+              assert (p = plane);
+              let produced_at =
+                pl.Mapper.schedule.(part.Partition.unit_of_lut.(l))
+              in
+              if produced_at = cycle then
+                At_smb (Hashtbl.find lut_slots (p, l)).smb
+              else begin
+                (* read from the intermediate flip-flop copy *)
+                match Hashtbl.find_opt ff_slots value with
+                | Some (slot, _) -> At_smb slot.smb
+                | None -> At_smb (Hashtbl.find lut_slots (p, l)).smb
+              end
+            | V_state _ ->
+              (match Hashtbl.find_opt ff_slots value with
+               | Some (slot, _) -> At_smb slot.smb
+               | None -> At_pad (pad_of value))
+            | V_pi _ -> At_pad (pad_of value)
+          in
+          let pruned = List.filter (fun ep -> ep <> driver) !sink_list in
+          if pruned <> [] then
+            nets := { plane; cycle; value; driver; sinks = pruned } :: !nets)
+        sinks)
+    planes;
+  let les_used =
+    let seen = Hashtbl.create 256 in
+    Hashtbl.iter (fun (g, _) () -> Hashtbl.replace seen g ()) pool.le_busy;
+    Hashtbl.iter
+      (fun (ff, _) () -> Hashtbl.replace seen (ff / ffs_per_le) ())
+      pool.ff_busy;
+    Hashtbl.length seen
+  in
+  { arch;
+    num_smbs = pool.smbs;
+    les_used;
+    lut_slots;
+    ff_slots;
+    nets = !nets;
+    pads = Hashtbl.fold (fun v id acc -> (v, id) :: acc) pads [] }
+
+let area_les t = t.num_smbs * Arch.les_per_smb t.arch
+
+let validate t (plan : Mapper.plan) =
+  let stages = plan.Mapper.stages in
+  (* every scheduled LUT has a slot; no LE double-booked per timeslot *)
+  let le_at : (int * int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let plane = pl.Mapper.plane_index in
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input _ -> ()
+          | Lut_network.Lut _ ->
+            (match Hashtbl.find_opt t.lut_slots (plane, l) with
+             | None -> failwith "Cluster: unplaced LUT"
+             | Some slot ->
+               if slot.smb < 0 || slot.smb >= t.num_smbs then
+                 failwith "Cluster: slot out of range";
+               let u = pl.Mapper.partition.Partition.unit_of_lut.(l) in
+               let cycle = pl.Mapper.schedule.(u) in
+               let ts = ((plane - 1) * stages) + (cycle - 1) in
+               let g =
+                 (slot.smb * Arch.les_per_smb t.arch)
+                 + (slot.mb * t.arch.Arch.les_per_mb)
+                 + slot.le
+               in
+               if Hashtbl.mem le_at (g, ts, 0) then
+                 failwith "Cluster: LE hosts two LUTs in one cycle";
+               Hashtbl.replace le_at (g, ts, 0) ()))
+        pl.Mapper.network)
+    plan.Mapper.planes;
+  (* net endpoints in range *)
+  List.iter
+    (fun n ->
+      let check = function
+        | At_smb s ->
+          if s < 0 || s >= t.num_smbs then failwith "Cluster: net endpoint out of range"
+        | At_pad _ -> ()
+      in
+      check n.driver;
+      List.iter check n.sinks;
+      if n.sinks = [] then failwith "Cluster: empty net")
+    t.nets
+
+let interconnect_stats t =
+  let inter = List.length t.nets in
+  let pad_nets =
+    List.length
+      (List.filter
+         (fun n ->
+           (match n.driver with At_pad _ -> true | At_smb _ -> false)
+           || List.exists (function At_pad _ -> true | At_smb _ -> false) n.sinks)
+         t.nets)
+  in
+  let multi_sink = List.length (List.filter (fun n -> List.length n.sinks > 1) t.nets) in
+  [ ("nets", inter); ("pad_nets", pad_nets); ("multi_sink_nets", multi_sink) ]

@@ -1,0 +1,75 @@
+(** Temporal clustering (paper Section 4.3): assign every scheduled LUT of
+    every folding cycle to a physical logic element, pack LEs into MBs and
+    SMBs, and allocate flip-flops for every value that must live across
+    folding cycles.
+
+    Because of temporal folding a physical LE hosts a {e different} LUT in
+    each folding cycle (one NRAM configuration set per cycle), so packing is
+    constructive over a pool of SMBs whose per-cycle occupancy is tracked
+    separately: a LUT can enter an SMB in cycle 3 even though the same LEs
+    are full in cycle 2. The attraction of a candidate LUT to an SMB is the
+    number of values (fanins, outputs) it shares with LUTs already packed
+    there {e in any folding cycle} — the paper's max-over-cycles attraction
+    — plus a bonus for LUTs of the same scheduling unit.
+
+    Flip-flop allocation distinguishes (cf. {!Nanomap_core.Sched}):
+    - {e home} slots: one per design state bit (register or inter-plane
+      wire), occupied in every cycle;
+    - {e shadow} slots: register/wire values waiting for the plane commit;
+    - {e intermediate} slots: LUT outputs consumed in later cycles.
+    Each allocation prefers the producer's own LE, then its MB, its SMB,
+    and finally any free slot; the pool grows if capacity runs out, so
+    clustering also yields the {e real} LE count that the Fig. 2 area check
+    compares against the constraint. *)
+
+type slot = {
+  smb : int;
+  mb : int;  (** MB within the SMB *)
+  le : int;  (** LE within the MB *)
+}
+
+(** A value that can travel over the interconnect. *)
+type value =
+  | V_lut of int * int      (** plane index (1-based), LUT node id *)
+  | V_state of int * int    (** register/wire RTL signal id, bit *)
+  | V_pi of int * int       (** primary-input RTL signal id, bit *)
+
+type endpoint =
+  | At_smb of int
+  | At_pad of int           (** I/O pad id (see {!pads}) *)
+
+(** One routed connection bundle of one folding cycle of one plane. *)
+type net = {
+  plane : int;
+  cycle : int;
+  value : value;
+  driver : endpoint;
+  sinks : endpoint list;    (** distinct, excludes the driver *)
+}
+
+type t = {
+  arch : Nanomap_arch.Arch.t;
+  num_smbs : int;
+  les_used : int;                  (** distinct LEs hosting at least one LUT
+                                       or flip-flop *)
+  lut_slots : (int * int, slot) Hashtbl.t;  (** (plane, node) -> LE *)
+  ff_slots : (value, slot * int) Hashtbl.t; (** stored value -> FF slot *)
+  nets : net list;
+  pads : (value * int) list;       (** PI/PO pad assignment *)
+}
+
+val pack : Nanomap_core.Mapper.plan -> arch:Nanomap_arch.Arch.t -> t
+(** Never fails: the SMB pool grows as needed. *)
+
+val area_les : t -> int
+(** SMB-granular area: [num_smbs * les_per_smb] — what the Fig. 2 area
+    check uses. *)
+
+val validate : t -> Nanomap_core.Mapper.plan -> unit
+(** Structural invariants: every scheduled LUT placed, no LE hosts two
+    LUTs in one cycle, no flip-flop double-booked in any cycle, all net
+    endpoints within bounds. Raises [Failure]. *)
+
+val interconnect_stats : t -> (string * int) list
+(** Counters used by the experiments: total nets, intra-SMB-only values
+    (absorbed), inter-SMB nets, pad nets. *)

@@ -1,0 +1,202 @@
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Partition = Nanomap_techmap.Partition
+module Lut_network = Nanomap_techmap.Lut_network
+
+type report = {
+  max_smb_inputs : int;
+  smb_pin_violations : int;
+  max_mb_ports : int;
+  mb_port_violations : int;
+  local_connections : int;
+  external_connections : int;
+}
+
+(* Per (smb, timeslot): the LUTs configured there, with their fanin values
+   and output values; plus the values resident in the SMB's flip-flops. *)
+let gather (cl : Cluster.t) (plan : Mapper.plan) =
+  let stages = plan.Mapper.stages in
+  let by_slot : (int * int, (int * int * Cluster.value list * Cluster.value) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let plane = pl.Mapper.plane_index in
+      let network = pl.Mapper.network in
+      let part = pl.Mapper.partition in
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input _ -> ()
+          | Lut_network.Lut { fanins; _ } ->
+            let u = part.Partition.unit_of_lut.(l) in
+            let cycle = pl.Mapper.schedule.(u) in
+            let ts = ((plane - 1) * stages) + (cycle - 1) in
+            let slot = Hashtbl.find cl.Cluster.lut_slots (plane, l) in
+            let ins =
+              Array.to_list fanins
+              |> List.filter_map (fun f ->
+                     match Lut_network.node network f with
+                     | Lut_network.Lut _ -> Some (Cluster.V_lut (plane, f))
+                     | Lut_network.Input (Lut_network.Register_bit (r, b))
+                     | Lut_network.Input (Lut_network.Wire_bit (r, b)) ->
+                       Some (Cluster.V_state (r, b))
+                     | Lut_network.Input (Lut_network.Pi_bit (s, b)) ->
+                       Some (Cluster.V_pi (s, b))
+                     | Lut_network.Input (Lut_network.Const_bit _) -> None)
+            in
+            let key = (slot.Cluster.smb, ts) in
+            let cur =
+              match Hashtbl.find_opt by_slot key with
+              | Some r -> r
+              | None ->
+                let r = ref [] in
+                Hashtbl.replace by_slot key r;
+                r
+            in
+            cur := (plane, l, ins, Cluster.V_lut (plane, l)) :: !cur)
+        network)
+    plan.Mapper.planes;
+  by_slot
+
+(* values resident in an SMB's flip-flops (any configuration; conservative
+   in the right direction — a value in a local FF needs no input pin) *)
+let ff_resident (cl : Cluster.t) =
+  let by_smb : (int, (Cluster.value, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun value ((slot : Cluster.slot), _) ->
+      let tbl =
+        match Hashtbl.find_opt by_smb slot.Cluster.smb with
+        | Some t -> t
+        | None ->
+          let t = Hashtbl.create 32 in
+          Hashtbl.replace by_smb slot.Cluster.smb t;
+          t
+      in
+      Hashtbl.replace tbl value ())
+    cl.Cluster.ff_slots;
+  by_smb
+
+let analyze (cl : Cluster.t) (plan : Mapper.plan) =
+  let arch = cl.Cluster.arch in
+  let by_slot = gather cl plan in
+  let resident = ff_resident cl in
+  let max_smb_inputs = ref 0 and smb_pin_violations = ref 0 in
+  let max_mb_ports = ref 0 and mb_port_violations = ref 0 in
+  let local_connections = ref 0 and external_connections = ref 0 in
+  Hashtbl.iter
+    (fun (smb, _ts) luts ->
+      let produced = Hashtbl.create 16 in
+      List.iter (fun (_, _, _, out) -> Hashtbl.replace produced out ()) !luts;
+      let in_ffs =
+        Option.value ~default:(Hashtbl.create 1) (Hashtbl.find_opt resident smb)
+      in
+      let internal v = Hashtbl.mem produced v || Hashtbl.mem in_ffs v in
+      (* SMB-level pins *)
+      let pins = Hashtbl.create 16 in
+      List.iter
+        (fun (_, _, ins, _) ->
+          List.iter
+            (fun v ->
+              if internal v then incr local_connections
+              else begin
+                incr external_connections;
+                Hashtbl.replace pins v ()
+              end)
+            ins)
+        !luts;
+      let pin_count = Hashtbl.length pins in
+      if pin_count > !max_smb_inputs then max_smb_inputs := pin_count;
+      if pin_count > arch.Arch.smb_input_pins then incr smb_pin_violations;
+      (* MB-level ports: values a MB consumes that it does not itself
+         produce in this configuration *)
+      let mb_of (plane, l) =
+        (Hashtbl.find cl.Cluster.lut_slots (plane, l)).Cluster.mb
+      in
+      let mb_produced = Hashtbl.create 16 and mb_consumed = Hashtbl.create 16 in
+      List.iter
+        (fun (plane, l, ins, out) ->
+          let m = mb_of (plane, l) in
+          Hashtbl.replace mb_produced (m, out) ();
+          List.iter (fun v -> Hashtbl.replace mb_consumed (m, v) ()) ins)
+        !luts;
+      let ports = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun (m, v) () ->
+          if not (Hashtbl.mem mb_produced (m, v)) then begin
+            let tbl =
+              match Hashtbl.find_opt ports m with
+              | Some t -> t
+              | None ->
+                let t = Hashtbl.create 8 in
+                Hashtbl.replace ports m t;
+                t
+            in
+            Hashtbl.replace tbl v ()
+          end)
+        mb_consumed;
+      Hashtbl.iter
+        (fun _ tbl ->
+          let n = Hashtbl.length tbl in
+          if n > !max_mb_ports then max_mb_ports := n;
+          if n > arch.Arch.mb_input_ports then incr mb_port_violations)
+        ports)
+    by_slot;
+  { max_smb_inputs = !max_smb_inputs;
+    smb_pin_violations = !smb_pin_violations;
+    max_mb_ports = !max_mb_ports;
+    mb_port_violations = !mb_port_violations;
+    local_connections = !local_connections;
+    external_connections = !external_connections }
+
+(* Greedy rebalance: within each (smb, ts), re-assign LUTs to MBs by
+   affinity (shared fanin values), filling MBs up to their LE capacity.
+   This can only improve sharing relative to the arbitrary first-free-LE
+   order the packer used. *)
+let rebalance (cl : Cluster.t) (plan : Mapper.plan) =
+  let arch = cl.Cluster.arch in
+  let by_slot = gather cl plan in
+  let moved = ref 0 in
+  Hashtbl.iter
+    (fun (smb, _ts) luts ->
+      let num_mbs = arch.Arch.mbs_per_smb in
+      let cap = arch.Arch.les_per_mb in
+      let mb_fill = Array.make num_mbs 0 in
+      let mb_values : (Cluster.value, unit) Hashtbl.t array =
+        Array.init num_mbs (fun _ -> Hashtbl.create 8)
+      in
+      (* biggest fanin first *)
+      let ordered =
+        List.sort
+          (fun (_, _, a, _) (_, _, b, _) -> compare (List.length b) (List.length a))
+          !luts
+      in
+      List.iter
+        (fun (plane, l, ins, out) ->
+          (* best MB: most shared values, with space *)
+          let best = ref (-1) and best_score = ref (-1) in
+          for m = 0 to num_mbs - 1 do
+            if mb_fill.(m) < cap then begin
+              let score =
+                List.fold_left
+                  (fun acc v -> if Hashtbl.mem mb_values.(m) v then acc + 1 else acc)
+                  0 ins
+              in
+              if score > !best_score then begin
+                best_score := score;
+                best := m
+              end
+            end
+          done;
+          let m = if !best >= 0 then !best else 0 in
+          let le = mb_fill.(m) in
+          mb_fill.(m) <- mb_fill.(m) + 1;
+          List.iter (fun v -> Hashtbl.replace mb_values.(m) v ()) (out :: ins);
+          let old_slot = Hashtbl.find cl.Cluster.lut_slots (plane, l) in
+          let new_slot = { Cluster.smb; mb = m; le } in
+          if old_slot <> new_slot then begin
+            incr moved;
+            Hashtbl.replace cl.Cluster.lut_slots (plane, l) new_slot
+          end)
+        ordered)
+    by_slot;
+  !moved

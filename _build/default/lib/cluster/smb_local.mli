@@ -1,0 +1,29 @@
+(** Local interconnect analysis inside SMBs (paper Section 2.1.1: the SMB
+    is a two-level cluster whose MBs connect through low-latency
+    reconfigurable crossbars with limited ports).
+
+    [analyze] measures, per SMB and configuration, how many distinct
+    signals must enter through the SMB's input pins and how many
+    MB-external signals each MB's local crossbar must select — checked
+    against {!Nanomap_arch.Arch.t}'s [smb_input_pins] / [mb_input_ports].
+    SMB pins are enforced during packing; MB ports are balanced after the
+    fact by {!rebalance}, which permutes LUTs between the LEs of one SMB
+    (the assignment within an SMB is invisible to placement and routing, so
+    this is free). *)
+
+type report = {
+  max_smb_inputs : int;        (** worst per-configuration SMB pin usage *)
+  smb_pin_violations : int;    (** (smb, config) pairs over the cap *)
+  max_mb_ports : int;          (** worst per-configuration MB port usage *)
+  mb_port_violations : int;
+  local_connections : int;     (** fanin connections resolved inside the SMB *)
+  external_connections : int;  (** fanin connections through SMB pins *)
+}
+
+val analyze : Cluster.t -> Nanomap_core.Mapper.plan -> report
+
+val rebalance : Cluster.t -> Nanomap_core.Mapper.plan -> int
+(** Greedy intra-SMB re-assignment of LUTs to MBs to reduce MB port
+    pressure; mutates the cluster's LUT slots in place and returns the
+    number of LUTs moved. Placement/routing remain valid (SMB assignments
+    are untouched). *)

@@ -1,0 +1,1 @@
+lib/core/fds.ml: Array Float List Nanomap_arch Sched

@@ -1,0 +1,1 @@
+lib/core/fds.mli: Nanomap_arch Sched

@@ -1,0 +1,1 @@
+lib/core/fold.ml: Nanomap_util

@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Array Fds Fold List Logs Nanomap_arch Nanomap_rtl Nanomap_techmap Nanomap_util Printf Sched

@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Nanomap_arch Nanomap_rtl Nanomap_techmap Sched

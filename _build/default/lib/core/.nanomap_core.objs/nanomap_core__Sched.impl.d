@@ -1,0 +1,1 @@
+lib/core/sched.ml: Array List Nanomap_arch Nanomap_techmap Nanomap_util Printf Queue

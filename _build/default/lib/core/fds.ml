@@ -1,0 +1,152 @@
+module Arch = Nanomap_arch.Arch
+
+(* All forces are evaluated in O(1) via prefix sums over the distribution
+   graphs: sum dg[a..b] = pref(b) - pref(a-1). *)
+let prefix dg =
+  let n = Array.length dg in
+  let pref = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    pref.(i + 1) <- pref.(i) +. dg.(i)
+  done;
+  pref
+
+(* Sum of dg over the (1-based) cycle interval [a,b], clipped to bounds. *)
+let seg pref ~stages a b =
+  let a = max 1 a and b = min stages b in
+  if a > b then 0.0 else pref.(b + 1) -. pref.(a)
+
+(* Eq. 13 for a uniform frame [a,b] collapsing onto cycle j:
+   sum_k dg(k) * delta_p(k) = w * (dg(j) - avg(dg over frame)). *)
+let self_force dg pref ~stages ~weight ~a ~b j =
+  let span = float_of_int (b - a + 1) in
+  let w = float_of_int weight in
+  w *. (dg.(j) -. (seg pref ~stages a b /. span))
+
+(* Force on a neighbour whose frame [a,b] clips to [a',b']. *)
+let neighbour_force pref ~stages ~weight ~a ~b ~a' ~b' =
+  if a' > b' then infinity
+  else begin
+    let span = float_of_int (b - a + 1) in
+    let span' = float_of_int (b' - a' + 1) in
+    let w = float_of_int weight in
+    w *. ((seg pref ~stages a' b' /. span') -. (seg pref ~stages a b /. span))
+  end
+
+(* Expected storage-DG inner product of one storage operation:
+   inside the overlap the probability is w, elsewhere in max_life it is the
+   Eq. 9 level. *)
+let storage_inner (t : Sched.t) pref ~weight (lt : Sched.lifetime) =
+  let w = float_of_int weight in
+  let stages = t.Sched.stages in
+  let sum_max = seg pref ~stages (fst lt.Sched.max_life) (snd lt.Sched.max_life) in
+  let sum_ov = seg pref ~stages (fst lt.Sched.overlap) (snd lt.Sched.overlap) in
+  let outside = Sched.span_prob lt *. w in
+  (outside *. (sum_max -. sum_ov)) +. (w *. sum_ov)
+
+(* Both storage operations of unit u (intermediates + shadow) re-evaluated
+   with the source fixed at cycle j, minus the current expectation. *)
+let storage_self_force (t : Sched.t) fr pref u j =
+  let delta kind weight =
+    let old_lt, new_lt =
+      match kind with
+      | `Intermediate ->
+        ( Sched.intermediate_lifetime t fr u,
+          Sched.intermediate_lifetime ~source_cycle:j t fr u )
+      | `Shadow ->
+        (Sched.shadow_lifetime t fr u, Sched.shadow_lifetime ~source_cycle:j t fr u)
+    in
+    match old_lt, new_lt with
+    | Some o, Some n ->
+      storage_inner t pref ~weight n -. storage_inner t pref ~weight o
+    | None, None -> 0.0
+    | Some _, None | None, Some _ -> 0.0
+  in
+  delta `Intermediate t.Sched.store_bits.(u) +. delta `Shadow t.Sched.target_bits.(u)
+
+let schedule (t : Sched.t) ~arch =
+  let n = Array.length t.Sched.weights in
+  let fixed : int option array = Array.make n None in
+  let h = float_of_int arch.Arch.luts_per_le in
+  let l = float_of_int arch.Arch.ffs_per_le in
+  let stages = t.Sched.stages in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let fr = Sched.frames t ~fixed in
+    let lut_dg = Sched.lut_dg t fr in
+    let storage_dg = Sched.storage_dg t fr in
+    let lut_pref = prefix lut_dg in
+    let sto_pref = prefix storage_dg in
+    (* Commit every unit whose frame is already a single cycle: their
+       assignment is forced, and skipping the force evaluation keeps the
+       whole pass near the O(n^2) the paper quotes. *)
+    let committed = ref 0 in
+    for u = 0 to n - 1 do
+      if fixed.(u) = None && fr.Sched.asap.(u) = fr.Sched.alap.(u) then begin
+        fixed.(u) <- Some fr.Sched.asap.(u);
+        incr committed;
+        decr remaining
+      end
+    done;
+    if !committed = 0 && !remaining > 0 then begin
+      let best_unit = ref (-1) and best_cycle = ref 0 in
+      let best_force = ref infinity in
+      for u = 0 to n - 1 do
+        if fixed.(u) = None then begin
+          let a = fr.Sched.asap.(u) and b = fr.Sched.alap.(u) in
+          for j = a to b do
+            let lut_self =
+              self_force lut_dg lut_pref ~stages ~weight:t.Sched.weights.(u) ~a ~b j
+            in
+            let sto_self = storage_self_force t fr sto_pref u j in
+            let self = Float.max (lut_self /. h) (sto_self /. l) in
+            let clip_pred limit acc p =
+              let pa = fr.Sched.asap.(p) and pb = fr.Sched.alap.(p) in
+              acc
+              +. neighbour_force lut_pref ~stages ~weight:t.Sched.weights.(p)
+                   ~a:pa ~b:pb ~a':pa ~b':(min pb limit)
+            in
+            let clip_succ limit acc s =
+              let sa = fr.Sched.asap.(s) and sb = fr.Sched.alap.(s) in
+              acc
+              +. neighbour_force lut_pref ~stages ~weight:t.Sched.weights.(s)
+                   ~a:sa ~b:sb ~a':(max sa limit) ~b':sb
+            in
+            let pred_force =
+              List.fold_left (clip_pred (j - 1)) 0.0 t.Sched.preds.(u)
+            in
+            let pred_force =
+              List.fold_left (clip_pred j) pred_force t.Sched.weak_preds.(u)
+            in
+            let succ_force =
+              List.fold_left (clip_succ (j + 1)) 0.0 t.Sched.succs.(u)
+            in
+            let succ_force =
+              List.fold_left (clip_succ j) succ_force t.Sched.weak_succs.(u)
+            in
+            let total = self +. ((pred_force +. succ_force) /. h) in
+            if total < !best_force then begin
+              best_force := total;
+              best_unit := u;
+              best_cycle := j
+            end
+          done
+        end
+      done;
+      assert (!best_unit >= 0);
+      fixed.(!best_unit) <- Some !best_cycle;
+      decr remaining
+    end
+  done;
+  let result = Array.map (function Some c -> c | None -> assert false) fixed in
+  Sched.check_schedule t result;
+  result
+
+let asap_schedule (t : Sched.t) =
+  let fixed = Array.make (Array.length t.Sched.weights) None in
+  let fr = Sched.frames t ~fixed in
+  fr.Sched.asap
+
+let alap_schedule (t : Sched.t) =
+  let fixed = Array.make (Array.length t.Sched.weights) None in
+  let fr = Sched.frames t ~fixed in
+  fr.Sched.alap

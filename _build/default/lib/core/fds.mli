@@ -1,0 +1,25 @@
+(** Force-directed scheduling of LUTs and LUT clusters into folding cycles
+    (paper Section 4.2, Algorithm 1).
+
+    Each iteration rebuilds time frames and the two distribution graphs
+    (LUT computation and register storage), evaluates for every unscheduled
+    unit and every feasible cycle the total force — self-force (Eq. 13)
+    combined across the two DGs by Eq. 14 ([max(LUT/h, storage/l)]) plus the
+    forces exerted on immediate predecessors and successors — and commits
+    the single (unit, cycle) assignment with the lowest total force. Lower
+    force = less concurrency = fewer LEs.
+
+    Predecessor/successor forces are computed on the LUT-computation DG
+    (the storage interaction of a neighbour's frame change is second-order
+    and omitted, as in Paulin-Knight's original formulation). *)
+
+val schedule : Sched.t -> arch:Nanomap_arch.Arch.t -> int array
+(** Complete schedule: unit id -> folding cycle (1-based). Respects all
+    precedence edges; raises {!Sched.Infeasible} if [Sched.t] was
+    infeasible to begin with. *)
+
+val asap_schedule : Sched.t -> int array
+(** Baseline for the FDS ablation: every unit at its ASAP cycle. *)
+
+val alap_schedule : Sched.t -> int array
+(** Every unit at its ALAP cycle (used in tests). *)

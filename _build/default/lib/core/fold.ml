@@ -1,0 +1,29 @@
+let ceil_div = Nanomap_util.Stats.ceil_div
+
+let min_stages ~lut_max ~available_le =
+  if available_le < 1 then invalid_arg "Fold.min_stages: no LEs";
+  max 1 (ceil_div lut_max available_le)
+
+let level_for_stages ~depth_max ~stages =
+  if stages < 1 then invalid_arg "Fold.level_for_stages: stages < 1";
+  max 1 (ceil_div depth_max stages)
+
+let stages_for_level ~depth ~level =
+  if level < 1 then invalid_arg "Fold.stages_for_level: level < 1";
+  max 1 (ceil_div depth level)
+
+let min_level ~depth_max ~num_planes ~num_reconf =
+  match num_reconf with
+  | None -> 1
+  | Some k ->
+    if k < 1 then invalid_arg "Fold.min_level: k < 1";
+    max 1 (ceil_div (depth_max * num_planes) k)
+
+let level_pipelined ~depth_max ~available_le ~total_luts =
+  if total_luts < 1 then invalid_arg "Fold.level_pipelined: empty design";
+  max 1 (ceil_div (depth_max * available_le) total_luts)
+
+let max_stages_allowed ~num_planes ~num_reconf =
+  match num_reconf with
+  | None -> None
+  | Some k -> Some (max 1 (k / max num_planes 1))

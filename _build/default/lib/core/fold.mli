@@ -1,0 +1,32 @@
+(** Folding-level arithmetic (paper Section 4.1, Equations 1–4).
+
+    A {e level-p folding} reconfigures the fabric after every [p] LUT
+    levels; a plane of logic depth [d] then needs [ceil(d/p)] folding
+    stages. All planes must use the same number of folding stages to stay
+    globally synchronized. *)
+
+val min_stages : lut_max:int -> available_le:int -> int
+(** Equation 1: minimum folding stages forced by the area budget —
+    [ceil(LUT_max / available_LE)]. *)
+
+val level_for_stages : depth_max:int -> stages:int -> int
+(** Equation 2: [ceil(depth_max / #stages)]. *)
+
+val stages_for_level : depth:int -> level:int -> int
+(** Inverse view used when sweeping levels: [ceil(depth / level)],
+    at least 1. *)
+
+val min_level : depth_max:int -> num_planes:int -> num_reconf:int option -> int
+(** Equation 3: the smallest usable folding level given k NRAM copies —
+    every folding cycle of every plane needs its own configuration set, so
+    [ceil(depth_max * num_plane / num_reconf)]; 1 when k is unbounded. *)
+
+val level_pipelined :
+  depth_max:int -> available_le:int -> total_luts:int -> int
+(** Equation 4: when planes may {e not} share resources (pipelined
+    execution), the folding level that fits the budget directly —
+    [ceil(depth_max * available_LE / sum_i num_LUT_i)], clamped to >= 1. *)
+
+val max_stages_allowed : num_planes:int -> num_reconf:int option -> int option
+(** Stage budget per plane implied by k: [floor(k / num_plane)];
+    [None] when unbounded. *)

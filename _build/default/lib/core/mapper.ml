@@ -1,0 +1,329 @@
+module Rtl = Nanomap_rtl.Rtl
+module Levelize = Nanomap_rtl.Levelize
+module Decompose = Nanomap_techmap.Decompose
+module Simplify = Nanomap_techmap.Simplify
+module Flowmap = Nanomap_techmap.Flowmap
+module Lut_network = Nanomap_techmap.Lut_network
+module Partition = Nanomap_techmap.Partition
+module Arch = Nanomap_arch.Arch
+
+let log = Logs.Src.create "nanomap.mapper" ~doc:"NanoMap logic mapping"
+
+module Log = (val Logs.src_log log)
+
+type prepared = {
+  design : Rtl.t;
+  levelized : Levelize.t;
+  networks : Lut_network.t array;
+  num_luts : int array;
+  plane_depths : int array;
+  lut_max : int;
+  depth_max : int;
+  total_luts : int;
+  num_planes : int;
+  total_ffs : int;
+  base_ff_bits : int;
+}
+
+let prepare ?(k = 4) design =
+  let levelized = Levelize.levelize design in
+  let num_planes = Levelize.num_planes levelized in
+  let networks =
+    Array.init num_planes (fun i ->
+        let tagged = Simplify.run (Decompose.plane levelized (i + 1)) in
+        let network = Flowmap.map ~k tagged in
+        Lut_network.validate network;
+        network)
+  in
+  let num_luts = Array.map Lut_network.num_luts networks in
+  let plane_depths = Array.map Lut_network.depth networks in
+  let lut_max = Array.fold_left max 1 num_luts in
+  let depth_max = Array.fold_left max 1 plane_depths in
+  let total_luts = Array.fold_left ( + ) 0 num_luts in
+  (* All-time state bits: every design register bit plus every inter-plane
+     wire bit must be held in some flip-flop at all times. *)
+  let wire_bits =
+    Array.fold_left
+      (fun acc network ->
+        List.fold_left
+          (fun acc (target, _) ->
+            match target with
+            | Lut_network.Wire_target _ -> acc + 1
+            | Lut_network.Reg_target _ | Lut_network.Po_target _ -> acc)
+          acc (Lut_network.outputs network))
+      0 networks
+  in
+  let total_ffs = Levelize.total_flip_flops levelized in
+  { design;
+    levelized;
+    networks;
+    num_luts;
+    plane_depths;
+    lut_max;
+    depth_max;
+    total_luts;
+    num_planes;
+    total_ffs;
+    base_ff_bits = total_ffs + wire_bits }
+
+type plane_plan = {
+  plane_index : int;
+  network : Lut_network.t;
+  partition : Partition.t;
+  problem : Sched.t;
+  schedule : int array;
+}
+
+type plan = {
+  design : Rtl.t;
+  level : int;
+  stages : int;
+  planes : plane_plan array;
+  les : int;
+  delay_ns : float;
+  configs_used : int;
+  pipelined : bool;
+}
+
+type scheduler = Fds | Asap_baseline
+
+exception No_feasible_mapping of string
+
+let plan_level ?(scheduler = Fds) ?(pipelined = false) p ~arch ~level =
+  if level < 1 then invalid_arg "Mapper.plan_level: level < 1";
+  let partitions =
+    Array.map (fun network -> Partition.partition network ~level) p.networks
+  in
+  (* Global synchronization: all planes use the same number of folding
+     stages — the max of the Eq. 1 view and each plane's precedence
+     critical path (glue-LUT chains can exceed ceil(depth/level)). *)
+  let stages = ref 1 in
+  Array.iteri
+    (fun i part ->
+      stages :=
+        max !stages
+          (max
+             (Fold.stages_for_level ~depth:p.plane_depths.(i) ~level)
+             (Partition.critical_path_units part)))
+    partitions;
+  let stages = !stages in
+  let configs_used = if pipelined then stages else stages * p.num_planes in
+  (match arch.Arch.num_reconf with
+   | Some kk when stages > 1 && configs_used > kk ->
+     raise
+       (No_feasible_mapping
+          (Printf.sprintf "level %d needs %d configuration sets, NRAM holds %d"
+             level configs_used kk))
+   | Some _ | None -> ());
+  let planes =
+    Array.init p.num_planes (fun i ->
+        let problem =
+          Sched.problem p.networks.(i) partitions.(i) ~stages
+            ~base_ff_bits:p.base_ff_bits
+        in
+        let schedule =
+          match scheduler with
+          | Fds -> Fds.schedule problem ~arch
+          | Asap_baseline -> Fds.asap_schedule problem
+        in
+        { plane_index = i + 1;
+          network = p.networks.(i);
+          partition = partitions.(i);
+          problem;
+          schedule })
+  in
+  (* Shared mode: planes execute sequentially on the same LEs, so the bound
+     is the max across planes. Pipelined mode: planes are resident at the
+     same time, so areas add. *)
+  let les =
+    if pipelined then
+      Array.fold_left
+        (fun acc pl -> acc + Sched.les_needed pl.problem ~arch pl.schedule)
+        0 planes
+    else
+      Array.fold_left
+        (fun acc pl -> max acc (Sched.les_needed pl.problem ~arch pl.schedule))
+        1 planes
+  in
+  let delay_ns =
+    Arch.circuit_delay_ns arch ~level ~stages ~num_planes:p.num_planes
+  in
+  Log.debug (fun m ->
+      m "level %d: stages=%d les=%d delay=%.2fns configs=%d" level stages les
+        delay_ns configs_used);
+  { design = p.design; level; stages; planes; les; delay_ns; configs_used;
+    pipelined }
+
+(* Traditional spatial implementation: every plane is one configuration.
+   Precedence between scheduling units collapses (combinational chains are
+   fine within a single configuration), so the plan is built directly. *)
+let no_folding p ~arch =
+  let level = p.depth_max in
+  let planes =
+    Array.init p.num_planes (fun i ->
+        let partition = Partition.partition p.networks.(i) ~level in
+        let n = Array.length partition.Partition.units in
+        let problem =
+          { Sched.part = partition;
+            stages = 1;
+            weights =
+              Array.map (fun u -> u.Partition.weight) partition.Partition.units;
+            preds = Array.make n [];
+            succs = Array.make n [];
+            weak_preds = Array.make n [];
+            weak_succs = Array.make n [];
+            target_bits = Array.make n 0;
+            store_bits = Array.make n 0;
+            base_ff_bits = p.base_ff_bits }
+        in
+        { plane_index = i + 1;
+          network = p.networks.(i);
+          partition;
+          problem;
+          schedule = Array.make n 1 })
+  in
+  let les =
+    Array.fold_left
+      (fun acc pl -> max acc (Sched.les_needed pl.problem ~arch pl.schedule))
+      1 planes
+  in
+  let delay_ns =
+    Arch.circuit_delay_ns arch ~level ~stages:1 ~num_planes:p.num_planes
+  in
+  { design = p.design;
+    level;
+    stages = 1;
+    planes;
+    les;
+    delay_ns;
+    configs_used = p.num_planes;
+    pipelined = false }
+
+let delay_min_pipelined ~area p ~arch =
+  let level0 =
+    Fold.level_pipelined ~depth_max:p.depth_max ~available_le:area
+      ~total_luts:p.total_luts
+  in
+  let min_level =
+    (* each plane only needs its own folding cycles in NRAM *)
+    match arch.Arch.num_reconf with
+    | None -> 1
+    | Some k -> max 1 (Nanomap_util.Stats.ceil_div p.depth_max k)
+  in
+  let rec refine level =
+    if level < min_level then
+      raise
+        (No_feasible_mapping
+           (Printf.sprintf "no pipelined folding level fits %d LEs" area))
+    else begin
+      match plan_level ~pipelined:true p ~arch ~level with
+      | plan when plan.les <= area -> plan
+      | _ -> refine (level - 1)
+      | exception (Sched.Infeasible _ | No_feasible_mapping _) -> refine (level - 1)
+    end
+  in
+  refine (max level0 min_level)
+
+let min_level_for p ~arch =
+  Fold.min_level ~depth_max:p.depth_max ~num_planes:p.num_planes
+    ~num_reconf:arch.Arch.num_reconf
+
+let sweep ?(scheduler = Fds) p ~arch =
+  let lo = min_level_for p ~arch in
+  let rec loop level acc =
+    if level > p.depth_max then List.rev acc
+    else begin
+      match plan_level ~scheduler p ~arch ~level with
+      | plan -> loop (level + 1) ((level, plan) :: acc)
+      | exception (Sched.Infeasible _ | No_feasible_mapping _) ->
+        loop (level + 1) acc
+    end
+  in
+  loop lo []
+
+let delay_min ?area p ~arch =
+  match area with
+  | None -> no_folding p ~arch
+  | Some available_le ->
+    let stages0 = Fold.min_stages ~lut_max:p.lut_max ~available_le in
+    let level0 = Fold.level_for_stages ~depth_max:p.depth_max ~stages:stages0 in
+    let min_level = min_level_for p ~arch in
+    let rec refine level =
+      if level < min_level then
+        raise
+          (No_feasible_mapping
+             (Printf.sprintf "no folding level in [%d,%d] fits %d LEs" min_level
+                level0 available_le))
+      else begin
+        match plan_level p ~arch ~level with
+        | plan when plan.les <= available_le -> plan
+        | _ -> refine (level - 1)
+        | exception (Sched.Infeasible _ | No_feasible_mapping _) ->
+          refine (level - 1)
+      end
+    in
+    (* No-folding may already fit; prefer it, as it has the least delay. *)
+    let unfolded = try Some (no_folding p ~arch) with _ -> None in
+    (match unfolded with
+     | Some plan when plan.les <= available_le -> plan
+     | Some _ | None -> refine level0)
+
+let area_min ?delay_ns p ~arch =
+  let candidates = sweep p ~arch in
+  let candidates =
+    match delay_ns with
+    | None -> candidates
+    | Some budget -> List.filter (fun (_, pl) -> pl.delay_ns <= budget) candidates
+  in
+  (* Also consider no-folding (it may be the only option meeting a tight
+     delay budget). *)
+  let candidates =
+    match no_folding p ~arch with
+    | plan ->
+      (match delay_ns with
+       | Some budget when plan.delay_ns > budget -> candidates
+       | Some _ | None -> (plan.level, plan) :: candidates)
+    | exception _ -> candidates
+  in
+  match candidates with
+  | [] -> raise (No_feasible_mapping "no folding level meets the delay budget")
+  | (_, first) :: rest ->
+    List.fold_left
+      (fun best (_, pl) -> if pl.les < best.les then pl else best)
+      first rest
+
+let at_min p ~arch =
+  let candidates = sweep p ~arch in
+  let candidates =
+    match no_folding p ~arch with
+    | plan -> (plan.level, plan) :: candidates
+    | exception _ -> candidates
+  in
+  match candidates with
+  | [] -> raise (No_feasible_mapping "no feasible folding level")
+  | (_, first) :: rest ->
+    let product pl = float_of_int pl.les *. pl.delay_ns in
+    List.fold_left
+      (fun best (_, pl) -> if product pl < product best then pl else best)
+      first rest
+
+let both_constraints ~area ~delay_ns p ~arch =
+  let candidates = sweep p ~arch in
+  let candidates =
+    match no_folding p ~arch with
+    | plan -> (plan.level, plan) :: candidates
+    | exception _ -> candidates
+  in
+  let ok =
+    List.filter (fun (_, pl) -> pl.les <= area && pl.delay_ns <= delay_ns) candidates
+  in
+  match ok with
+  | [] ->
+    raise
+      (No_feasible_mapping
+         (Printf.sprintf "no mapping with area <= %d LEs and delay <= %.2f ns" area
+            delay_ns))
+  | (_, first) :: rest ->
+    List.fold_left
+      (fun best (_, pl) -> if pl.delay_ns < best.delay_ns then pl else best)
+      first rest

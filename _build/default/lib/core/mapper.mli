@@ -1,0 +1,108 @@
+(** Logic mapping: the iterative folding-level search of Fig. 2 (steps 2–6).
+
+    [prepare] runs the front half of the flow once — levelization,
+    per-plane decomposition to gates, simplification, FlowMap — since the
+    LUT networks do not depend on the folding level. [plan_level] then
+    evaluates one candidate level: partition every plane into LUT clusters,
+    schedule with FDS (or the ASAP baseline), and report folding stages,
+    estimated LE usage, configuration-set usage and the analytical delay.
+    The objective drivers iterate over levels exactly as Section 4.1
+    prescribes.
+
+    Temporal clustering and placement can later reject a plan (Fig. 2 loops
+    back), which callers express by re-invoking the driver with the
+    [max_level] restriction below the rejected level. *)
+
+type prepared = {
+  design : Nanomap_rtl.Rtl.t;
+  levelized : Nanomap_rtl.Levelize.t;
+  networks : Nanomap_techmap.Lut_network.t array; (** one per plane *)
+  num_luts : int array;                           (** per plane *)
+  plane_depths : int array;                       (** LUT depth per plane *)
+  lut_max : int;                                  (** max over planes *)
+  depth_max : int;
+  total_luts : int;
+  num_planes : int;
+  total_ffs : int;
+  base_ff_bits : int;     (** register bits + inter-plane wire bits: state
+                              that occupies flip-flops at all times *)
+}
+
+val prepare : ?k:int -> Nanomap_rtl.Rtl.t -> prepared
+(** [k] is the LUT input count (default from the architecture, 4). *)
+
+type plane_plan = {
+  plane_index : int;
+  network : Nanomap_techmap.Lut_network.t;
+  partition : Nanomap_techmap.Partition.t;
+  problem : Sched.t;
+  schedule : int array;
+}
+
+type plan = {
+  design : Nanomap_rtl.Rtl.t;
+  level : int;              (** folding level p *)
+  stages : int;             (** folding stages per plane (global) *)
+  planes : plane_plan array;
+  les : int;                (** scheduler LE bound: max over planes and cycles
+                                when planes share resources, sum otherwise *)
+  delay_ns : float;         (** analytical model delay *)
+  configs_used : int;       (** NRAM sets consumed per element *)
+  pipelined : bool;         (** Section 4.1's second scenario: planes stay
+                                resident simultaneously (Eq. 4); folding
+                                happens within each plane only *)
+}
+
+type scheduler = Fds | Asap_baseline
+
+exception No_feasible_mapping of string
+
+val plan_level :
+  ?scheduler:scheduler ->
+  ?pipelined:bool ->
+  prepared ->
+  arch:Nanomap_arch.Arch.t ->
+  level:int ->
+  plan
+(** Raises {!Sched.Infeasible} if the level cannot satisfy precedence, or
+    {!No_feasible_mapping} if it exceeds the NRAM configuration budget.
+    With [pipelined:true] (default false) every plane keeps its own LEs and
+    its own k configuration sets: area sums over planes but the NRAM budget
+    only has to cover one plane's folding cycles. *)
+
+val delay_min_pipelined :
+  area:int -> prepared -> arch:Nanomap_arch.Arch.t -> plan
+(** The Section 4.1 second scenario: choose the folding level directly by
+    Eq. 4 for the given area budget, refining downwards while the schedule
+    does not fit. *)
+
+val sweep :
+  ?scheduler:scheduler ->
+  prepared ->
+  arch:Nanomap_arch.Arch.t ->
+  (int * plan) list
+(** All feasible levels from the Eq. 3 minimum up to [depth_max], with
+    their plans. Never raises; infeasible levels are dropped. *)
+
+(** {2 Objectives (Table 2)} *)
+
+val delay_min :
+  ?area:int -> prepared -> arch:Nanomap_arch.Arch.t -> plan
+(** Circuit-delay minimization under an optional area constraint — the
+    worked objective of Section 4.1: no folding when unconstrained,
+    otherwise start from Eqs. 1–2 and decrease the level until the
+    scheduler bound fits. Raises {!No_feasible_mapping}. *)
+
+val area_min :
+  ?delay_ns:float -> prepared -> arch:Nanomap_arch.Arch.t -> plan
+(** Minimize LEs under an optional delay constraint. *)
+
+val at_min : prepared -> arch:Nanomap_arch.Arch.t -> plan
+(** Minimize the area-delay product (Table 1's objective). *)
+
+val both_constraints :
+  area:int -> delay_ns:float -> prepared -> arch:Nanomap_arch.Arch.t -> plan
+(** Any mapping satisfying both constraints (minimum delay among them). *)
+
+val no_folding : prepared -> arch:Nanomap_arch.Arch.t -> plan
+(** The traditional-FPGA baseline: every plane in one configuration. *)

@@ -1,0 +1,282 @@
+module Partition = Nanomap_techmap.Partition
+module Lut_network = Nanomap_techmap.Lut_network
+module Arch = Nanomap_arch.Arch
+
+type t = {
+  part : Partition.t;
+  stages : int;
+  weights : int array;
+  preds : int list array;
+  succs : int list array;
+  weak_preds : int list array;
+  weak_succs : int list array;
+  target_bits : int array;
+  store_bits : int array;
+  base_ff_bits : int;
+}
+
+exception Infeasible of string
+
+let problem network (part : Partition.t) ~stages ~base_ff_bits =
+  if stages < 1 then raise (Infeasible "stages < 1");
+  let n = Array.length part.Partition.units in
+  let preds = Array.make n [] and succs = Array.make n [] in
+  let weak_preds = Array.make n [] and weak_succs = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      succs.(u) <- v :: succs.(u);
+      preds.(v) <- u :: preds.(v))
+    part.Partition.edges;
+  List.iter
+    (fun (u, v) ->
+      weak_succs.(u) <- v :: weak_succs.(u);
+      weak_preds.(v) <- u :: weak_preds.(v))
+    part.Partition.weak_edges;
+  let weights = Array.map (fun u -> u.Partition.weight) part.Partition.units in
+  let target_bits = Array.make n 0 in
+  List.iter
+    (fun (target, node) ->
+      let u = part.Partition.unit_of_lut.(node) in
+      if u >= 0 then
+        match target with
+        | Lut_network.Reg_target _ | Lut_network.Wire_target _ ->
+          target_bits.(u) <- target_bits.(u) + 1
+        | Lut_network.Po_target _ -> ())
+    (Lut_network.outputs network);
+  (* Bits that can cross folding cycles: LUT outputs with a consumer in a
+     different unit. *)
+  let store_bits = Array.make n 0 in
+  let fanouts = Lut_network.fanouts network in
+  Lut_network.iter
+    (fun l -> function
+      | Lut_network.Lut _ ->
+        let u = part.Partition.unit_of_lut.(l) in
+        if u >= 0
+           && List.exists (fun f -> part.Partition.unit_of_lut.(f) <> u) fanouts.(l)
+        then store_bits.(u) <- store_bits.(u) + 1
+      | Lut_network.Input _ -> ())
+    network;
+  let cp = Partition.critical_path_units part in
+  if cp > stages then
+    raise
+      (Infeasible
+         (Printf.sprintf "critical path %d units exceeds %d stages" cp stages));
+  { part; stages; weights; preds; succs; weak_preds; weak_succs; target_bits;
+    store_bits; base_ff_bits }
+
+type frames = {
+  asap : int array;
+  alap : int array;
+}
+
+(* Unit ids carry no order guarantee, so both sweeps are Kahn passes over
+   the combined graph (strict edges advance the cycle by one, weak edges by
+   zero). *)
+let frames t ~fixed =
+  let n = Array.length t.weights in
+  let asap = Array.make n 1 in
+  let alap = Array.make n t.stages in
+  let indeg =
+    Array.init n (fun u -> List.length t.preds.(u) + List.length t.weak_preds.(u))
+  in
+  let q = Queue.create () in
+  Array.iteri (fun u d -> if d = 0 then Queue.add u q) indeg;
+  let processed = ref 0 in
+  let relax_succ w v cand =
+    if cand > asap.(v) then asap.(v) <- cand;
+    ignore w;
+    indeg.(v) <- indeg.(v) - 1;
+    if indeg.(v) = 0 then Queue.add v q
+  in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    incr processed;
+    (match fixed.(u) with
+     | Some c ->
+       if c < asap.(u) then
+         raise (Infeasible (Printf.sprintf "unit %d fixed before its ASAP" u));
+       asap.(u) <- c
+     | None -> ());
+    List.iter (fun v -> relax_succ 1 v (asap.(u) + 1)) t.succs.(u);
+    List.iter (fun v -> relax_succ 0 v asap.(u)) t.weak_succs.(u)
+  done;
+  if !processed <> n then raise (Infeasible "precedence cycle");
+  let outdeg =
+    Array.init n (fun u -> List.length t.succs.(u) + List.length t.weak_succs.(u))
+  in
+  Array.iteri (fun u d -> if d = 0 then Queue.add u q) outdeg;
+  let relax_pred p cand =
+    if cand < alap.(p) then alap.(p) <- cand;
+    outdeg.(p) <- outdeg.(p) - 1;
+    if outdeg.(p) = 0 then Queue.add p q
+  in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    (match fixed.(u) with
+     | Some c ->
+       if c > alap.(u) then
+         raise (Infeasible (Printf.sprintf "unit %d fixed after its ALAP" u));
+       alap.(u) <- c
+     | None -> ());
+    List.iter (fun p -> relax_pred p (alap.(u) - 1)) t.preds.(u);
+    List.iter (fun p -> relax_pred p alap.(u)) t.weak_preds.(u)
+  done;
+  Array.iteri
+    (fun u a ->
+      if a > alap.(u) || a < 1 || alap.(u) > t.stages then
+        raise
+          (Infeasible
+             (Printf.sprintf "empty time frame for unit %d: [%d,%d]" u a alap.(u))))
+    asap;
+  { asap; alap }
+
+type lifetime = {
+  asap_life : int * int;
+  alap_life : int * int;
+  max_life : int * int;
+  overlap : int * int;
+  avg_life : float;
+}
+
+let span_len (a, b) = max 0 (b - a + 1)
+
+let make_lifetime ~src_asap ~src_alap ~dest_asap ~dest_alap =
+  let asap_life = (src_asap + 1, dest_asap) in
+  let alap_life = (src_alap + 1, dest_alap) in
+  let max_life = (fst asap_life, snd alap_life) in
+  let overlap = (fst alap_life, snd asap_life) in
+  let avg_life =
+    float_of_int (span_len asap_life + span_len alap_life + span_len max_life)
+    /. 3.0
+  in
+  { asap_life; alap_life; max_life; overlap; avg_life }
+
+let source_frame ?source_cycle fr u =
+  match source_cycle with
+  | Some c -> (c, c)
+  | None -> (fr.asap.(u), fr.alap.(u))
+
+let intermediate_lifetime ?source_cycle t fr u =
+  match t.succs.(u) @ t.weak_succs.(u) with
+  | [] -> None
+  | dests ->
+    let dest_asap = List.fold_left (fun acc d -> max acc fr.asap.(d)) 0 dests in
+    let dest_alap = List.fold_left (fun acc d -> max acc fr.alap.(d)) 0 dests in
+    let src_asap, src_alap = source_frame ?source_cycle fr u in
+    Some (make_lifetime ~src_asap ~src_alap ~dest_asap ~dest_alap)
+
+let shadow_lifetime ?source_cycle t fr u =
+  if t.target_bits.(u) = 0 || t.stages <= 1 then None
+  else begin
+    let src_asap, src_alap = source_frame ?source_cycle fr u in
+    Some
+      (make_lifetime ~src_asap ~src_alap ~dest_asap:t.stages ~dest_alap:t.stages)
+  end
+
+let lut_dg t fr =
+  let dg = Array.make (t.stages + 1) 0.0 in
+  Array.iteri
+    (fun u w ->
+      let a = fr.asap.(u) and b = fr.alap.(u) in
+      let p = float_of_int w /. float_of_int (b - a + 1) in
+      for j = a to b do
+        dg.(j) <- dg.(j) +. p
+      done)
+    t.weights;
+  dg
+
+(* Eq. 9: probability level inside max_life but outside the overlap. *)
+let span_prob lt =
+  let ov = float_of_int (span_len lt.overlap) in
+  let mx = float_of_int (span_len lt.max_life) in
+  if mx <= ov then 1.0 else (lt.avg_life -. ov) /. (mx -. ov)
+
+let add_storage_op dg ~stages ~weight lt =
+  let w = float_of_int weight in
+  let outside = span_prob lt *. w in
+  let ma, mb = lt.max_life and oa, ob = lt.overlap in
+  for j = max 1 ma to min stages mb do
+    let p = if j >= oa && j <= ob then w else outside in
+    dg.(j) <- dg.(j) +. p
+  done
+
+let storage_dg t fr =
+  let dg = Array.make (t.stages + 1) 0.0 in
+  Array.iteri
+    (fun u _ ->
+      (match intermediate_lifetime t fr u with
+       | Some lt -> add_storage_op dg ~stages:t.stages ~weight:t.store_bits.(u) lt
+       | None -> ());
+      match shadow_lifetime t fr u with
+      | Some lt -> add_storage_op dg ~stages:t.stages ~weight:t.target_bits.(u) lt
+      | None -> ())
+    t.weights;
+  dg
+
+let check_schedule t schedule =
+  if Array.length schedule <> Array.length t.weights then
+    failwith "Sched: schedule size mismatch";
+  Array.iteri
+    (fun u c ->
+      if c < 1 || c > t.stages then failwith "Sched: cycle out of range";
+      List.iter
+        (fun v ->
+          if schedule.(v) <= c then failwith "Sched: precedence violated")
+        t.succs.(u);
+      List.iter
+        (fun v ->
+          if schedule.(v) < c then failwith "Sched: weak precedence violated")
+        t.weak_succs.(u))
+    schedule
+
+let lut_count_per_stage t schedule =
+  let counts = Array.make (t.stages + 1) 0 in
+  Array.iteri (fun u c -> counts.(c) <- counts.(c) + t.weights.(u)) schedule;
+  counts
+
+let ff_bits_per_stage t schedule =
+  let bits = Array.make (t.stages + 1) t.base_ff_bits in
+  bits.(0) <- 0;
+  (* intermediates, exact per LUT: alive from the cycle after its unit
+     computes through the cycle of its last consumer in another unit *)
+  let network = t.part.Partition.network in
+  let fanouts = Lut_network.fanouts network in
+  Lut_network.iter
+    (fun l -> function
+      | Lut_network.Lut _ ->
+        let u = t.part.Partition.unit_of_lut.(l) in
+        if u >= 0 then begin
+          let c = schedule.(u) in
+          let last =
+            List.fold_left
+              (fun acc f ->
+                let v = t.part.Partition.unit_of_lut.(f) in
+                if v >= 0 && v <> u then max acc schedule.(v) else acc)
+              0 fanouts.(l)
+          in
+          for j = c + 1 to last do
+            bits.(j) <- bits.(j) + 1
+          done
+        end
+      | Lut_network.Input _ -> ())
+    network;
+  (* shadows: target bits wait for the end-of-plane commit *)
+  Array.iteri
+    (fun u c ->
+      if t.target_bits.(u) > 0 then
+        for j = c + 1 to t.stages do
+          bits.(j) <- bits.(j) + t.target_bits.(u)
+        done)
+    schedule;
+  bits
+
+let les_needed t ~arch schedule =
+  let luts = lut_count_per_stage t schedule in
+  let ffs = ff_bits_per_stage t schedule in
+  let need = ref 0 in
+  for j = 1 to t.stages do
+    let by_lut = Nanomap_util.Stats.ceil_div luts.(j) arch.Arch.luts_per_le in
+    let by_ff = Nanomap_util.Stats.ceil_div ffs.(j) arch.Arch.ffs_per_le in
+    need := max !need (max by_lut by_ff)
+  done;
+  max !need 1

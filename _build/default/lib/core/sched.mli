@@ -1,0 +1,117 @@
+(** The per-plane scheduling problem: assign every LUT / LUT-cluster unit of
+    a partitioned plane to one of [stages] folding cycles, respecting strict
+    precedence (a value crosses folding cycles through a flip-flop).
+
+    This module provides the machinery shared by the schedulers: ASAP/ALAP
+    time frames (paper Fig. 3), storage lifetimes (Eqs. 6–8, Fig. 4) and the
+    LUT-computation / register-storage distribution graphs (Eqs. 5, 9–11,
+    Fig. 5).
+
+    {2 Flip-flop accounting}
+
+    Three kinds of bits occupy LE flip-flops:
+
+    - {e state}: every register bit (and inter-plane wire bit) of the whole
+      design holds its value at all times — [base_ff_bits], a constant
+      demand in every folding cycle;
+    - {e shadows}: a freshly computed register/wire value cannot overwrite
+      the state bit before the plane commits, so each target bit produced
+      by a unit scheduled at cycle [c] occupies an extra flip-flop during
+      cycles [c+1 .. stages] (the second flip-flop the paper added to every
+      LE exists exactly for this);
+    - {e intermediates}: a unit's outputs feeding units in later folding
+      cycles live from [c+1] to the cycle of the last consumer (the paper's
+      storage operations, weighted by the unit's LUT count). *)
+
+type t = {
+  part : Nanomap_techmap.Partition.t;
+  stages : int;                  (** folding cycles available, >= 1 *)
+  weights : int array;           (** unit id -> #LUTs (Eq. 5 weight) *)
+  preds : int list array;        (** strict: must run in an earlier cycle *)
+  succs : int list array;
+  weak_preds : int list array;   (** same band: same or earlier cycle *)
+  weak_succs : int list array;
+  target_bits : int array;       (** unit id -> register/wire output bits *)
+  store_bits : int array;        (** unit id -> LUT outputs consumed by a
+                                     {e different} unit (the bits that can
+                                     actually cross folding cycles) *)
+  base_ff_bits : int;            (** all-time state bits of the design *)
+}
+
+exception Infeasible of string
+
+val problem :
+  Nanomap_techmap.Lut_network.t ->
+  Nanomap_techmap.Partition.t ->
+  stages:int ->
+  base_ff_bits:int ->
+  t
+(** Raises {!Infeasible} when the precedence critical path exceeds
+    [stages]. *)
+
+(** {2 Time frames} *)
+
+type frames = {
+  asap : int array;
+  alap : int array;              (** both 1-based; frame of unit u is
+                                     [asap.(u) .. alap.(u)] *)
+}
+
+val frames : t -> fixed:int option array -> frames
+(** Time frames given the partial schedule [fixed] (scheduled units have a
+    one-cycle frame). Raises {!Infeasible} if a unit's frame is empty or a
+    fixed cycle violates precedence. *)
+
+(** {2 Storage lifetimes (Eqs. 6–8)} *)
+
+type lifetime = {
+  asap_life : int * int;         (** [(begin, end)]; empty if begin > end *)
+  alap_life : int * int;
+  max_life : int * int;
+  overlap : int * int;           (** intersection; empty if begin > end *)
+  avg_life : float;              (** Eq. 8 *)
+}
+
+val intermediate_lifetime :
+  ?source_cycle:int -> t -> frames -> int -> lifetime option
+(** Storage of unit [u]'s outputs consumed by later units; [None] when it
+    has no successors at all. Born the cycle after the source executes,
+    dies after the last consumer (weak successors sharing the source's
+    cycle consume combinationally and need no storage — the lifetime is
+    then empty). [source_cycle] overrides the source frame (used to
+    evaluate a tentative assignment). *)
+
+val shadow_lifetime :
+  ?source_cycle:int -> t -> frames -> int -> lifetime option
+(** Storage of unit [u]'s register/wire target bits until the end of the
+    plane; [None] when the unit drives no targets or [stages] is 1. *)
+
+(** {2 Distribution graphs (Eqs. 5 and 9–11)} *)
+
+val lut_dg : t -> frames -> float array
+(** Index j (1-based) = expected LUT-computation concurrency in cycle j. *)
+
+val span_prob : lifetime -> float
+(** Eq. 9's probability level outside the overlap (inside it is 1). *)
+
+val storage_dg : t -> frames -> float array
+(** Eq. 11 over both storage-op kinds, weighted by cross-unit output bits
+    (intermediates) and target bits (shadows). *)
+
+(** {2 Evaluating a complete schedule} *)
+
+val lut_count_per_stage : t -> int array -> int array
+(** [.(j)] = LUTs executing in cycle j, for a complete schedule. *)
+
+val ff_bits_per_stage : t -> int array -> int array
+(** [.(j)] = flip-flop bits occupied in cycle j: state + shadows +
+    intermediates. Intermediates are counted exactly, LUT by LUT: a LUT
+    output computed in cycle [c] whose last consumer LUT runs in cycle [e]
+    occupies a flip-flop during [c+1 .. e]. *)
+
+val les_needed : t -> arch:Nanomap_arch.Arch.t -> int array -> int
+(** Physical LE bound of a complete schedule: the max over folding cycles
+    of [max(luts / h, ceil(ff_bits / l))] (cf. Eq. 14's h and l). *)
+
+val check_schedule : t -> int array -> unit
+(** Validates bounds and precedence; raises [Failure]. *)

@@ -1,0 +1,1 @@
+lib/emu/emulator.ml: Array Hashtbl List Nanomap_cluster Nanomap_core Nanomap_logic Nanomap_rtl Nanomap_techmap Option Printf String

@@ -1,0 +1,1 @@
+lib/emu/emulator.mli: Nanomap_cluster Nanomap_core Nanomap_rtl

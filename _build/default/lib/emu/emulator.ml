@@ -1,0 +1,274 @@
+module Rtl = Nanomap_rtl.Rtl
+module Mapper = Nanomap_core.Mapper
+module Cluster = Nanomap_cluster.Cluster
+module Partition = Nanomap_techmap.Partition
+module Lut_network = Nanomap_techmap.Lut_network
+module Truth_table = Nanomap_logic.Truth_table
+
+exception Fabric_conflict of string
+
+(* A flip-flop cell remembers both its bit and which value wrote it last;
+   reading a cell on behalf of a different value means the slot was
+   overwritten while still live — an illegal clustering. *)
+type cell = {
+  mutable bit : bool;
+  mutable owner : Cluster.value option;
+}
+
+type t = {
+  design : Rtl.t;
+  plan : Mapper.plan;
+  cluster : Cluster.t;
+  cells : (Cluster.slot * int, cell) Hashtbl.t;
+  inputs : (string, int) Hashtbl.t;
+  direct_copies : (Rtl.signal * Rtl.driver) list;
+      (** registers fed by a plain wire (delay lines): no plane computes
+          them, they shift at the macro-cycle commit *)
+}
+
+let cell_of t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+    let c = { bit = false; owner = None } in
+    Hashtbl.replace t.cells key c;
+    c
+
+let create design plan cluster =
+  let direct_copies =
+    List.filter_map
+      (fun (s : Rtl.signal) ->
+        match s.Rtl.driver with
+        | Rtl.Register { d; _ } ->
+          let drv = (Rtl.signal design d).Rtl.driver in
+          (match drv with
+           | Rtl.Register _ | Rtl.Input | Rtl.Const_driver _ ->
+             Some (s, (Rtl.signal design d).Rtl.driver)
+           | Rtl.Comb _ -> None)
+        | Rtl.Input | Rtl.Const_driver _ | Rtl.Comb _ -> None)
+      (Rtl.registers design)
+  in
+  let t =
+    { design;
+      plan;
+      cluster;
+      cells = Hashtbl.create 256;
+      inputs = Hashtbl.create 16;
+      direct_copies }
+  in
+  (* every home cell starts at 0, owned by its state value *)
+  Hashtbl.iter
+    (fun value key ->
+      match value with
+      | Cluster.V_state _ ->
+        let c = cell_of t key in
+        c.bit <- false;
+        c.owner <- Some value
+      | Cluster.V_lut _ | Cluster.V_pi _ -> ())
+    cluster.Cluster.ff_slots;
+  t
+
+let read_ff t value what =
+  match Hashtbl.find_opt t.cluster.Cluster.ff_slots value with
+  | None -> raise (Fabric_conflict ("no flip-flop slot for " ^ what))
+  | Some key ->
+    let c = cell_of t key in
+    (match c.owner with
+     | Some owner when owner = value -> c.bit
+     | Some _ -> raise (Fabric_conflict (what ^ ": slot overwritten while live"))
+     | None -> raise (Fabric_conflict (what ^ ": slot never written")))
+
+let write_ff t value bit =
+  match Hashtbl.find_opt t.cluster.Cluster.ff_slots value with
+  | None -> ()
+  | Some key ->
+    let c = cell_of t key in
+    c.bit <- bit;
+    c.owner <- Some value
+
+let input_bit t sid bit =
+  let name = (Rtl.signal t.design sid).Rtl.name in
+  let v = Option.value ~default:0 (Hashtbl.find_opt t.inputs name) in
+  v land (1 lsl bit) <> 0
+
+(* "result.3" -> ("result", 3) *)
+let split_po_name name =
+  match String.rindex_opt name '.' with
+  | None -> (name, 0)
+  | Some i ->
+    (match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+     | Some bit -> (String.sub name 0 i, bit)
+     | None -> (name, 0))
+
+let macro_cycle t stimulus =
+  List.iter (fun (name, v) -> Hashtbl.replace t.inputs name v) stimulus;
+  let po_acc : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let record_po name value =
+    let base, idx = split_po_name name in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt po_acc base) in
+    Hashtbl.replace po_acc base
+      (if value then cur lor (1 lsl idx) else cur land lnot (1 lsl idx))
+  in
+  let pending_regs : (Cluster.value * bool) list ref = ref [] in
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let plane = pl.Mapper.plane_index in
+      let network = pl.Mapper.network in
+      let part = pl.Mapper.partition in
+      let cycle_of l = pl.Mapper.schedule.(part.Partition.unit_of_lut.(l)) in
+      let live = Array.make (Lut_network.size network) false in
+      (* primary-output bits driven directly by plane inputs *)
+      let po_by_node = Hashtbl.create 8 in
+      List.iter
+        (fun (target, node) ->
+          match target with
+          | Lut_network.Po_target name -> Hashtbl.add po_by_node node name
+          | Lut_network.Reg_target _ | Lut_network.Wire_target _ -> ())
+        (Lut_network.outputs network);
+      let origin_bit = function
+        | Lut_network.Register_bit (r, b) | Lut_network.Wire_bit (r, b) ->
+          read_ff t (Cluster.V_state (r, b)) (Printf.sprintf "state %d.%d" r b)
+        | Lut_network.Pi_bit (s, b) -> input_bit t s b
+        | Lut_network.Const_bit b -> b
+      in
+      (* inputs may drive POs directly *)
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input origin ->
+            List.iter
+              (fun name -> record_po name (origin_bit origin))
+              (Hashtbl.find_all po_by_node l)
+          | Lut_network.Lut _ -> ())
+        network;
+      for cycle = 1 to t.plan.Mapper.stages do
+        (* evaluate this folding cycle's LUTs in dependency order *)
+        Lut_network.iter
+          (fun l -> function
+            | Lut_network.Input _ -> ()
+            | Lut_network.Lut { func; fanins } ->
+              if cycle_of l = cycle then begin
+                let bit_of f =
+                  match Lut_network.node network f with
+                  | Lut_network.Input origin -> origin_bit origin
+                  | Lut_network.Lut _ ->
+                    if cycle_of f = cycle then live.(f)
+                    else
+                      read_ff t (Cluster.V_lut (plane, f))
+                        (Printf.sprintf "plane %d LUT %d" plane f)
+                in
+                let v = Truth_table.eval func (Array.map bit_of fanins) in
+                live.(l) <- v;
+                List.iter
+                  (fun name -> record_po name v)
+                  (Hashtbl.find_all po_by_node l)
+              end)
+          network;
+        (* end of the folding cycle: latch everything that crosses cycles *)
+        Lut_network.iter
+          (fun l -> function
+            | Lut_network.Input _ -> ()
+            | Lut_network.Lut _ ->
+              if cycle_of l = cycle then write_ff t (Cluster.V_lut (plane, l)) live.(l))
+          network
+      done;
+      (* end of the plane: wire targets become visible to later planes;
+         register targets wait for the macro-cycle commit *)
+      List.iter
+        (fun (target, node) ->
+          match target with
+          | Lut_network.Po_target _ -> () (* recorded at compute time *)
+          | Lut_network.Wire_target _ | Lut_network.Reg_target _ ->
+            let bit =
+              match Lut_network.node network node with
+              | Lut_network.Input origin -> origin_bit origin
+              | Lut_network.Lut _ ->
+                if cycle_of node = t.plan.Mapper.stages then live.(node)
+                else
+                  read_ff t (Cluster.V_lut (plane, node))
+                    (Printf.sprintf "plane %d output LUT %d" plane node)
+            in
+            (match target with
+             | Lut_network.Wire_target (w, b) ->
+               write_ff t (Cluster.V_state (w, b)) bit
+             | Lut_network.Reg_target (r, b) ->
+               pending_regs := (Cluster.V_state (r, b), bit) :: !pending_regs
+             | Lut_network.Po_target _ -> assert false))
+        (Lut_network.outputs network))
+    t.plan.Mapper.planes;
+  (* primary outputs driven directly by a register/input/constant belong to
+     no plane; read them now (before the commit), matching the RTL
+     simulator's pre-clock sampling *)
+  List.iter
+    (fun (name, id) ->
+      let s = Rtl.signal t.design id in
+      match s.Rtl.driver with
+      | Rtl.Comb _ -> ()
+      | Rtl.Register _ ->
+        for b = 0 to s.Rtl.width - 1 do
+          let bit =
+            match
+              Hashtbl.find_opt t.cluster.Cluster.ff_slots (Cluster.V_state (id, b))
+            with
+            | Some key -> (cell_of t key).bit
+            | None -> false
+          in
+          record_po (Printf.sprintf "%s.%d" name b) bit
+        done
+      | Rtl.Input ->
+        for b = 0 to s.Rtl.width - 1 do
+          record_po (Printf.sprintf "%s.%d" name b) (input_bit t id b)
+        done
+      | Rtl.Const_driver v ->
+        for b = 0 to s.Rtl.width - 1 do
+          record_po (Printf.sprintf "%s.%d" name b) (v land (1 lsl b) <> 0)
+        done)
+    (Rtl.outputs t.design);
+  (* delay-line registers shift from their (old) sources at the same
+     commit; gather before applying anything *)
+  let copy_commits =
+    List.concat_map
+      (fun ((s : Rtl.signal), _) ->
+        let d =
+          match s.Rtl.driver with
+          | Rtl.Register { d; _ } -> d
+          | Rtl.Input | Rtl.Const_driver _ | Rtl.Comb _ -> assert false
+        in
+        let src = Rtl.signal t.design d in
+        List.init s.Rtl.width (fun b ->
+            let bit =
+              match src.Rtl.driver with
+              | Rtl.Register _ ->
+                (* old value: pending commits are not applied yet *)
+                (match
+                   Hashtbl.find_opt t.cluster.Cluster.ff_slots
+                     (Cluster.V_state (src.Rtl.id, b))
+                 with
+                 | Some key -> (cell_of t key).bit
+                 | None -> false)
+              | Rtl.Input -> input_bit t src.Rtl.id b
+              | Rtl.Const_driver v -> v land (1 lsl b) <> 0
+              | Rtl.Comb _ -> assert false
+            in
+            (Cluster.V_state (s.Rtl.id, b), bit)))
+      t.direct_copies
+  in
+  (* macro-cycle commit: all registers latch simultaneously *)
+  List.iter (fun (value, bit) -> write_ff t value bit) !pending_regs;
+  List.iter (fun (value, bit) -> write_ff t value bit) copy_commits;
+  (* assemble primary outputs in the design's declaration order *)
+  List.filter_map
+    (fun (name, _) ->
+      match Hashtbl.find_opt po_acc name with
+      | Some v -> Some (name, v)
+      | None -> None)
+    (Rtl.outputs t.design)
+
+let peek_state t rid =
+  let s = Rtl.signal t.design rid in
+  let v = ref 0 in
+  for b = 0 to s.Rtl.width - 1 do
+    match Hashtbl.find_opt t.cluster.Cluster.ff_slots (Cluster.V_state (rid, b)) with
+    | Some key -> if (cell_of t key).bit then v := !v lor (1 lsl b)
+    | None -> ()
+  done;
+  !v

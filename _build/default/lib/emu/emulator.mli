@@ -1,0 +1,40 @@
+(** Cycle-accurate emulation of the NATURE fabric executing a mapped design.
+
+    The emulator interprets the flow's output the way the hardware would:
+    one macro cycle = every plane's folding cycles in order; within a
+    folding cycle the LEs configured for that cycle evaluate their LUTs
+    (combinational chains within the cycle resolve in dependency order,
+    which the reconfigurable fabric does electrically); values that cross
+    folding cycles live in the exact flip-flop slots chosen by temporal
+    clustering; register/wire targets commit from their shadow slots to
+    their home slots when the plane ends.
+
+    Because every cross-cycle read goes through a {e physical} flip-flop
+    slot, the emulator catches lifetime violations (a slot overwritten
+    while still live) that network-level evaluation cannot: a wrong
+    allocation produces wrong output values here.
+
+    This is the final link in the verification chain: RTL simulator ==
+    mapped LUT networks == folded execution on the clustered fabric. *)
+
+type t
+
+val create :
+  Nanomap_rtl.Rtl.t -> Nanomap_core.Mapper.plan -> Nanomap_cluster.Cluster.t -> t
+(** The design provides input/output names and register widths. Flip-flops
+    start at 0 (matching {!Nanomap_rtl.Rtl.sim_create} for designs with
+    zero register init values). *)
+
+val macro_cycle : t -> (string * int) list -> (string * int) list
+(** [macro_cycle t inputs] runs all planes' folding cycles once — the
+    equivalent of one clock cycle of the original circuit. Primary inputs
+    are given by name (missing ones hold their previous value) and primary
+    outputs are returned by name, exactly like
+    {!Nanomap_rtl.Rtl.sim_cycle}. *)
+
+val peek_state : t -> Nanomap_rtl.Rtl.id -> int
+(** Current committed value of a register (or inter-plane wire). *)
+
+exception Fabric_conflict of string
+(** Raised when two live values occupy one flip-flop slot — i.e. the
+    clustering produced an illegal allocation. *)

@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Format Logs Nanomap_arch Nanomap_bitstream Nanomap_cluster Nanomap_core Nanomap_place Nanomap_route Nanomap_rtl Printf

@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Format Nanomap_arch Nanomap_bitstream Nanomap_cluster Nanomap_core Nanomap_place Nanomap_route Nanomap_rtl

@@ -1,0 +1,193 @@
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Fold = Nanomap_core.Fold
+module Sched = Nanomap_core.Sched
+module Cluster = Nanomap_cluster.Cluster
+module Place = Nanomap_place.Place
+module Router = Nanomap_route.Router
+module Bitstream = Nanomap_bitstream.Bitstream
+
+let log = Logs.Src.create "nanomap.flow" ~doc:"NanoMap end-to-end flow"
+
+module Log = (val Logs.src_log log)
+
+type objective =
+  | Delay_min of int option
+  | Area_min of float option
+  | At_min
+  | Both of int * float
+  | Fixed_level of int
+  | No_folding
+  | Pipelined_delay_min of int
+
+type options = {
+  objective : objective;
+  physical : bool;
+  seed : int;
+  routability_threshold : float;
+  max_place_retries : int;
+}
+
+let default_options =
+  { objective = At_min;
+    physical = true;
+    seed = 1;
+    routability_threshold = 8.0;
+    max_place_retries = 2 }
+
+type report = {
+  design_name : string;
+  prepared : Mapper.prepared;
+  plan : Mapper.plan;
+  cluster : Cluster.t;
+  area_les : int;
+  area_smbs : int;
+  area_um2 : float;
+  delay_model_ns : float;
+  placement : Place.t option;
+  routing : Router.result option;
+  channel_factor : int;
+  delay_routed_ns : float option;
+  bitstream : Bitstream.t option;
+  mapping_retries : int;
+}
+
+exception Flow_failed of string
+
+let initial_plan options prepared ~arch =
+  match options.objective with
+  | Delay_min area -> Mapper.delay_min ?area prepared ~arch
+  | Area_min delay_ns -> Mapper.area_min ?delay_ns prepared ~arch
+  | At_min -> Mapper.at_min prepared ~arch
+  | Both (area, delay_ns) -> Mapper.both_constraints ~area ~delay_ns prepared ~arch
+  | Fixed_level level -> Mapper.plan_level prepared ~arch ~level
+  | No_folding -> Mapper.no_folding prepared ~arch
+  | Pipelined_delay_min area -> Mapper.delay_min_pipelined ~area prepared ~arch
+
+let area_budget options =
+  match options.objective with
+  | Delay_min (Some area) -> Some area
+  | Both (area, _) -> Some area
+  | Pipelined_delay_min area -> Some area
+  | Delay_min None | Area_min _ | At_min | Fixed_level _ | No_folding -> None
+
+(* The Fig. 2 area loop: clustering is the ground truth for LE usage; if it
+   exceeds the budget, fold one level deeper and redo mapping. *)
+let rec map_and_cluster ?(retries = 0) options prepared ~arch plan =
+  let cluster = Cluster.pack plan ~arch in
+  let moved = Nanomap_cluster.Smb_local.rebalance cluster plan in
+  Log.debug (fun m -> m "intra-SMB rebalance moved %d LUTs" moved);
+  Cluster.validate cluster plan;
+  match area_budget options with
+  | Some budget when cluster.Cluster.les_used > budget ->
+    let min_level =
+      Fold.min_level ~depth_max:prepared.Mapper.depth_max
+        ~num_planes:prepared.Mapper.num_planes ~num_reconf:arch.Arch.num_reconf
+    in
+    let next_level = plan.Mapper.level - 1 in
+    if next_level < min_level then
+      raise
+        (Flow_failed
+           (Printf.sprintf
+              "clustering needs %d LEs > budget %d and no deeper folding level \
+               remains"
+              cluster.Cluster.les_used budget))
+    else begin
+      Log.info (fun m ->
+          m "area loop: clustered %d LEs > %d, retrying at level %d"
+            cluster.Cluster.les_used budget next_level);
+      let pipelined =
+        match options.objective with
+        | Pipelined_delay_min _ -> true
+        | Delay_min _ | Area_min _ | At_min | Both _ | Fixed_level _ | No_folding ->
+          false
+      in
+      let plan = Mapper.plan_level ~pipelined prepared ~arch ~level:next_level in
+      map_and_cluster ~retries:(retries + 1) options prepared ~arch plan
+    end
+  | Some _ | None -> (plan, cluster, retries)
+
+let run ?(options = default_options) ?(arch = Arch.default) design =
+  Nanomap_rtl.Rtl.validate design;
+  let prepared = Mapper.prepare ~k:arch.Arch.lut_inputs design in
+  let plan0 = initial_plan options prepared ~arch in
+  let plan, cluster, mapping_retries =
+    map_and_cluster options prepared ~arch plan0
+  in
+  let delay_model_ns = plan.Mapper.delay_ns in
+  if not options.physical then
+    { design_name = Nanomap_rtl.Rtl.name design;
+      prepared;
+      plan;
+      cluster;
+      area_les = cluster.Cluster.les_used;
+      area_smbs = cluster.Cluster.num_smbs;
+      area_um2 = float_of_int cluster.Cluster.num_smbs *. arch.Arch.smb_area;
+      delay_model_ns;
+      placement = None;
+      routing = None;
+      channel_factor = 1;
+      delay_routed_ns = None;
+      bitstream = None;
+      mapping_retries }
+  else begin
+    (* fast placement, screened by routability (Fig. 2 steps 9-13) *)
+    let rec attempt_placement try_no =
+      let fast =
+        Place.place ~seed:(options.seed + try_no) ~effort:`Fast cluster
+      in
+      let estimate = Place.routability fast cluster in
+      if estimate <= options.routability_threshold
+         || try_no >= options.max_place_retries
+      then begin
+        Log.info (fun m ->
+            m "fast placement %d: routability %.2f%s" try_no estimate
+              (if estimate > options.routability_threshold then " (accepted anyway)"
+               else ""));
+        try_no
+      end
+      else attempt_placement (try_no + 1)
+    in
+    let chosen_try = attempt_placement 0 in
+    let placement =
+      Place.place ~seed:(options.seed + chosen_try) ~effort:`Detailed cluster
+    in
+    Place.validate placement cluster;
+    let routing, channel_factor = Router.route_adaptive placement cluster plan in
+    if routing.Router.success then Router.validate routing;
+    let folding_period = routing.Router.folding_period_ns in
+    let delay_routed_ns =
+      Some
+        (float_of_int (prepared.Mapper.num_planes * plan.Mapper.stages)
+        *. folding_period)
+    in
+    let bitstream = Bitstream.generate plan cluster routing in
+    { design_name = Nanomap_rtl.Rtl.name design;
+      prepared;
+      plan;
+      cluster;
+      area_les = cluster.Cluster.les_used;
+      area_smbs = cluster.Cluster.num_smbs;
+      area_um2 = float_of_int cluster.Cluster.num_smbs *. arch.Arch.smb_area;
+      delay_model_ns;
+      placement = Some placement;
+      routing = Some routing;
+      channel_factor;
+      delay_routed_ns;
+      bitstream = Some bitstream;
+      mapping_retries }
+  end
+
+let circuit_delay_routed report = report.delay_routed_ns
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>design %s:@ level %d, %d stage(s), %d plane(s)@ LEs %d (plan %d), SMBs \
+     %d (%.0f um^2)@ delay (model) %.2f ns%a@ configurations %d@]"
+    r.design_name r.plan.Mapper.level r.plan.Mapper.stages
+    r.prepared.Mapper.num_planes r.area_les r.plan.Mapper.les r.area_smbs
+    r.area_um2 r.delay_model_ns
+    (fun fmt -> function
+      | Some d -> Format.fprintf fmt "@ delay (routed) %.2f ns" d
+      | None -> ())
+    r.delay_routed_ns r.plan.Mapper.configs_used

@@ -1,0 +1,66 @@
+(** The complete NanoMap flow of Fig. 2: logic mapping with iterative
+    folding-level selection, temporal clustering with the post-clustering
+    area check, two-phase temporal placement gated by routability and delay
+    analysis, PathFinder routing, and configuration-bitmap generation.
+
+    The loops of Fig. 2 are realized as:
+    - {e area loop}: if clustering needs more LEs than the constraint
+      allows, the folding level decreases by one and mapping repeats;
+    - {e placement loop}: if the fast placement's routability estimate is
+      poor, placement is retried with fresh seeds before the detailed pass
+      (and the detailed router can still widen its channels). *)
+
+type objective =
+  | Delay_min of int option       (** minimize delay, optional LE budget *)
+  | Area_min of float option      (** minimize LEs, optional delay budget (ns) *)
+  | At_min                        (** minimize the area-delay product *)
+  | Both of int * float           (** satisfy LE and delay budgets *)
+  | Fixed_level of int            (** force one folding level (sweeps) *)
+  | No_folding                    (** baseline *)
+  | Pipelined_delay_min of int    (** Eq. 4: planes resident simultaneously,
+                                      minimize delay within an LE budget *)
+
+type options = {
+  objective : objective;
+  physical : bool;      (** run place & route & bitstream (else stop after
+                            clustering) *)
+  seed : int;
+  routability_threshold : float;
+  max_place_retries : int;
+}
+
+val default_options : options
+(** [At_min], physical, seed 1, threshold 8.0, 2 retries. *)
+
+type report = {
+  design_name : string;
+  prepared : Nanomap_core.Mapper.prepared;
+  plan : Nanomap_core.Mapper.plan;
+  cluster : Nanomap_cluster.Cluster.t;
+  area_les : int;                     (** post-clustering LE count *)
+  area_smbs : int;
+  area_um2 : float;                   (** SMB-granular silicon area (100 nm) *)
+  delay_model_ns : float;             (** analytical circuit delay *)
+  placement : Nanomap_place.Place.t option;
+  routing : Nanomap_route.Router.result option;
+  channel_factor : int;               (** track-count multiplier the router
+                                          needed (1 = base fabric) *)
+  delay_routed_ns : float option;     (** circuit delay with the routed
+                                          folding-clock period *)
+  bitstream : Nanomap_bitstream.Bitstream.t option;
+  mapping_retries : int;              (** area-loop iterations taken *)
+}
+
+exception Flow_failed of string
+
+val run :
+  ?options:options -> ?arch:Nanomap_arch.Arch.t -> Nanomap_rtl.Rtl.t -> report
+(** End-to-end flow on a validated RTL design. [arch] defaults to
+    {!Nanomap_arch.Arch.default} (k = 16). Raises {!Flow_failed} (or
+    {!Nanomap_core.Mapper.No_feasible_mapping}) when no folding level
+    satisfies the constraints. *)
+
+val circuit_delay_routed : report -> float option
+(** [num_planes * stages * routed folding period], when routed. *)
+
+val pp_report : Format.formatter -> report -> unit

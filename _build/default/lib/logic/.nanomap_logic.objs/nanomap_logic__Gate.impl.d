@@ -1,0 +1,1 @@
+lib/logic/gate.ml: Array Format Truth_table

@@ -1,0 +1,1 @@
+lib/logic/gate_netlist.ml: Array Gate Hashtbl List Nanomap_util Option

@@ -1,0 +1,1 @@
+lib/logic/gate_netlist.mli: Gate

@@ -1,0 +1,1 @@
+lib/logic/gen.ml: Array Gate Gate_netlist List Nanomap_util Printf

@@ -1,0 +1,1 @@
+lib/logic/gen.mli: Gate Gate_netlist Nanomap_util

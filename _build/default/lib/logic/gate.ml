@@ -1,0 +1,54 @@
+type kind =
+  | Input
+  | Const of bool
+  | Buf
+  | Not
+  | And2
+  | Or2
+  | Nand2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | Mux2
+
+let arity = function
+  | Input | Const _ -> 0
+  | Buf | Not -> 1
+  | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 -> 2
+  | Mux2 -> 3
+
+let eval kind inputs =
+  if Array.length inputs <> arity kind then invalid_arg "Gate.eval: fanin mismatch";
+  match kind with
+  | Input -> invalid_arg "Gate.eval: Input has no function"
+  | Const b -> b
+  | Buf -> inputs.(0)
+  | Not -> not inputs.(0)
+  | And2 -> inputs.(0) && inputs.(1)
+  | Or2 -> inputs.(0) || inputs.(1)
+  | Nand2 -> not (inputs.(0) && inputs.(1))
+  | Nor2 -> not (inputs.(0) || inputs.(1))
+  | Xor2 -> inputs.(0) <> inputs.(1)
+  | Xnor2 -> inputs.(0) = inputs.(1)
+  | Mux2 -> if inputs.(0) then inputs.(2) else inputs.(1)
+
+let truth_table kind =
+  match kind with
+  | Input -> invalid_arg "Gate.truth_table: Input has no function"
+  | _ -> Truth_table.of_fun ~arity:(arity kind) (eval kind)
+
+let name = function
+  | Input -> "input"
+  | Const false -> "const0"
+  | Const true -> "const1"
+  | Buf -> "buf"
+  | Not -> "not"
+  | And2 -> "and2"
+  | Or2 -> "or2"
+  | Nand2 -> "nand2"
+  | Nor2 -> "nor2"
+  | Xor2 -> "xor2"
+  | Xnor2 -> "xnor2"
+  | Mux2 -> "mux2"
+
+let pp fmt kind = Format.pp_print_string fmt (name kind)

@@ -1,0 +1,31 @@
+(** Primitive combinational gate alphabet for gate-level netlists.
+
+    All gates have bounded fanin (at most 3, for [Mux2]), which keeps every
+    netlist K-bounded for K >= 3 as required by FlowMap. *)
+
+type kind =
+  | Input                    (** primary input or register output feeding the plane *)
+  | Const of bool
+  | Buf
+  | Not
+  | And2
+  | Or2
+  | Nand2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | Mux2                     (** fanins [sel; a; b]: value is [b] when [sel], else [a] *)
+
+val arity : kind -> int
+(** Expected number of fanins; [Input] and [Const] take none. *)
+
+val eval : kind -> bool array -> bool
+(** Combinational semantics. Raises [Invalid_argument] on [Input] (it has no
+    local function) or on a fanin-count mismatch. *)
+
+val truth_table : kind -> Truth_table.t
+(** The gate function as a truth table on [arity kind] variables.
+    Raises [Invalid_argument] on [Input]. *)
+
+val name : kind -> string
+val pp : Format.formatter -> kind -> unit

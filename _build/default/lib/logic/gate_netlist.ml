@@ -1,0 +1,133 @@
+module Vec = Nanomap_util.Vec
+
+type id = int
+
+type node = {
+  kind : Gate.kind;
+  fanins : id array;
+  name : string option;
+}
+
+type t = {
+  nodes : node Vec.t;
+  mutable inputs_rev : (string * id) list;
+  mutable outputs_rev : (string * id) list;
+  output_names : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  { nodes = Vec.create ();
+    inputs_rev = [];
+    outputs_rev = [];
+    output_names = Hashtbl.create 16 }
+
+let add_input t name =
+  let id = Vec.push t.nodes { kind = Gate.Input; fanins = [||]; name = Some name } in
+  t.inputs_rev <- (name, id) :: t.inputs_rev;
+  id
+
+let add_const t b =
+  Vec.push t.nodes { kind = Gate.Const b; fanins = [||]; name = None }
+
+let add_gate ?name t kind fanins =
+  (match kind with
+   | Gate.Input | Gate.Const _ ->
+     invalid_arg "Gate_netlist.add_gate: use add_input/add_const"
+   | Gate.Buf | Gate.Not | Gate.And2 | Gate.Or2 | Gate.Nand2 | Gate.Nor2
+   | Gate.Xor2 | Gate.Xnor2 | Gate.Mux2 -> ());
+  if Array.length fanins <> Gate.arity kind then
+    invalid_arg "Gate_netlist.add_gate: fanin count mismatch";
+  let n = Vec.length t.nodes in
+  Array.iter
+    (fun f -> if f < 0 || f >= n then invalid_arg "Gate_netlist.add_gate: undefined fanin")
+    fanins;
+  Vec.push t.nodes { kind; fanins; name }
+
+let mark_output t name id =
+  if id < 0 || id >= Vec.length t.nodes then
+    invalid_arg "Gate_netlist.mark_output: undefined node";
+  if Hashtbl.mem t.output_names name then
+    invalid_arg ("Gate_netlist.mark_output: duplicate output " ^ name);
+  Hashtbl.add t.output_names name ();
+  t.outputs_rev <- (name, id) :: t.outputs_rev
+
+let size t = Vec.length t.nodes
+
+let node t id = Vec.get t.nodes id
+
+let inputs t = List.rev t.inputs_rev
+let outputs t = List.rev t.outputs_rev
+
+let iter f t = Vec.iteri f t.nodes
+
+let fanout_counts t =
+  let counts = Array.make (size t) 0 in
+  iter (fun _ n -> Array.iter (fun f -> counts.(f) <- counts.(f) + 1) n.fanins) t;
+  counts
+
+let num_gates t =
+  Vec.fold
+    (fun acc n ->
+      match n.kind with
+      | Gate.Input | Gate.Const _ | Gate.Buf -> acc
+      | Gate.Not | Gate.And2 | Gate.Or2 | Gate.Nand2 | Gate.Nor2 | Gate.Xor2
+      | Gate.Xnor2 | Gate.Mux2 -> acc + 1)
+    0 t.nodes
+
+let levels t =
+  let lv = Array.make (size t) 0 in
+  iter
+    (fun id n ->
+      match n.kind with
+      | Gate.Input | Gate.Const _ -> lv.(id) <- 0
+      | Gate.Buf -> lv.(id) <- lv.(n.fanins.(0))
+      | Gate.Not | Gate.And2 | Gate.Or2 | Gate.Nand2 | Gate.Nor2 | Gate.Xor2
+      | Gate.Xnor2 | Gate.Mux2 ->
+        let m = Array.fold_left (fun acc f -> max acc lv.(f)) 0 n.fanins in
+        lv.(id) <- m + 1)
+    t;
+  lv
+
+let depth t =
+  let lv = levels t in
+  List.fold_left (fun acc (_, id) -> max acc lv.(id)) 0 (outputs t)
+
+let simulate t input_values =
+  let ins = inputs t in
+  if Array.length input_values <> List.length ins then
+    invalid_arg "Gate_netlist.simulate: input count mismatch";
+  let values = Array.make (size t) false in
+  List.iteri (fun i (_, id) -> values.(id) <- input_values.(i)) ins;
+  iter
+    (fun id n ->
+      match n.kind with
+      | Gate.Input -> ()
+      | kind -> values.(id) <- Gate.eval kind (Array.map (fun f -> values.(f)) n.fanins))
+    t;
+  values
+
+let output_values t input_values =
+  let values = simulate t input_values in
+  List.map (fun (name, id) -> (name, values.(id))) (outputs t)
+
+let transitive_fanin t root =
+  let member = Array.make (size t) false in
+  let rec visit id =
+    if not member.(id) then begin
+      member.(id) <- true;
+      Array.iter visit (node t id).fanins
+    end
+  in
+  visit root;
+  member
+
+let stats t =
+  let table = Hashtbl.create 16 in
+  iter
+    (fun _ n ->
+      let key = Gate.name n.kind in
+      Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key)))
+    t;
+  let hist = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  let hist = List.sort compare hist in
+  hist @ [ ("depth", depth t); ("nodes", size t) ]

@@ -1,0 +1,67 @@
+(** Combinational gate-level netlists as append-only DAGs.
+
+    Nodes are created in topological order: a gate's fanins must already
+    exist, so the array order is always a valid topological order and no
+    cycle check is needed. Primary outputs are named references to nodes.
+
+    This is the common currency between the RTL decomposer, the BLIF
+    frontend and the FlowMap technology mapper. *)
+
+type id = int
+
+type node = {
+  kind : Gate.kind;
+  fanins : id array;
+  name : string option; (** debug / source name, if any *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_input : t -> string -> id
+val add_const : t -> bool -> id
+val add_gate : ?name:string -> t -> Gate.kind -> id array -> id
+(** Raises [Invalid_argument] if the fanin count does not match the gate
+    kind, if any fanin id is not yet defined, or if the kind is [Input] or
+    [Const] (use the dedicated constructors). *)
+
+val mark_output : t -> string -> id -> unit
+(** Register a named primary output. A node may drive several outputs;
+    re-using an output name is an error. *)
+
+val size : t -> int
+val node : t -> id -> node
+val inputs : t -> (string * id) list
+(** In creation order. *)
+
+val outputs : t -> (string * id) list
+(** In creation order. *)
+
+val iter : (id -> node -> unit) -> t -> unit
+(** In topological (creation) order. *)
+
+val fanout_counts : t -> int array
+
+val num_gates : t -> int
+(** Nodes that are neither inputs nor constants nor buffers. *)
+
+val levels : t -> int array
+(** Unit-delay level per node: inputs and constants are 0, a gate is
+    1 + max over fanins. *)
+
+val depth : t -> int
+(** Max level over primary-output drivers (0 for a constant netlist). *)
+
+val simulate : t -> bool array -> bool array
+(** [simulate t input_values] evaluates the whole netlist; [input_values]
+    are in primary-input creation order; result is indexed by node id. *)
+
+val output_values : t -> bool array -> (string * bool) list
+(** Convenience: simulate then project onto named outputs. *)
+
+val transitive_fanin : t -> id -> bool array
+(** Membership array for the cone of node [id] (including [id]). *)
+
+val stats : t -> (string * int) list
+(** Gate-kind histogram plus ["depth"] and ["nodes"]. *)

@@ -1,0 +1,244 @@
+module Rng = Nanomap_util.Rng
+
+type id = Gate_netlist.id
+type bus = id array
+
+let input_bus t name w =
+  Array.init w (fun i -> Gate_netlist.add_input t (Printf.sprintf "%s.%d" name i))
+
+let mark_output_bus t name bus =
+  Array.iteri
+    (fun i id -> Gate_netlist.mark_output t (Printf.sprintf "%s.%d" name i) id)
+    bus
+
+let g = Gate_netlist.add_gate
+
+let half_adder t a b =
+  let sum = g t Gate.Xor2 [| a; b |] in
+  let carry = g t Gate.And2 [| a; b |] in
+  (sum, carry)
+
+let full_adder t a b cin =
+  let axb = g t Gate.Xor2 [| a; b |] in
+  let sum = g t Gate.Xor2 [| axb; cin |] in
+  let c1 = g t Gate.And2 [| a; b |] in
+  let c2 = g t Gate.And2 [| axb; cin |] in
+  let cout = g t Gate.Or2 [| c1; c2 |] in
+  (sum, cout)
+
+let ripple_carry_adder ?cin t a b =
+  let w = Array.length a in
+  if Array.length b <> w then invalid_arg "Gen.ripple_carry_adder: width mismatch";
+  let sums = Array.make w 0 in
+  let carry = ref (match cin with Some c -> c | None -> Gate_netlist.add_const t false) in
+  for i = 0 to w - 1 do
+    let s, c = full_adder t a.(i) b.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+let subtractor t a b =
+  let nb = Array.map (fun x -> g t Gate.Not [| x |]) b in
+  let one = Gate_netlist.add_const t true in
+  ripple_carry_adder ~cin:one t a nb
+
+(* Row accumulation: [acc] always holds the [wa] running-sum bits just above
+   the product bits already emitted; each row adds one shifted partial
+   product and emits one more low product bit. *)
+let array_multiplier t a b =
+  let wa = Array.length a and wb = Array.length b in
+  if wa = 0 || wb = 0 then invalid_arg "Gen.array_multiplier: empty bus";
+  let partial j = Array.map (fun ai -> g t Gate.And2 [| ai; b.(j) |]) a in
+  let product = Array.make (wa + wb) 0 in
+  let first = partial 0 in
+  product.(0) <- first.(0);
+  let zero = Gate_netlist.add_const t false in
+  let acc = ref (Array.append (Array.sub first 1 (wa - 1)) [| zero |]) in
+  for j = 1 to wb - 1 do
+    let sums, carry = ripple_carry_adder t !acc (partial j) in
+    product.(j) <- sums.(0);
+    acc := Array.append (Array.sub sums 1 (wa - 1)) [| carry |]
+  done;
+  Array.blit !acc 0 product wb wa;
+  product
+
+let mux_bus t sel a b =
+  if Array.length a <> Array.length b then invalid_arg "Gen.mux_bus: width mismatch";
+  Array.map2 (fun x y -> g t Gate.Mux2 [| sel; x; y |]) a b
+
+let carry_select_adder ?cin ?(block = 4) t a b =
+  let w = Array.length a in
+  if Array.length b <> w then invalid_arg "Gen.carry_select_adder: width mismatch";
+  if block < 1 then invalid_arg "Gen.carry_select_adder: block < 1";
+  let sums = Array.make w 0 in
+  let carry = ref (match cin with Some c -> c | None -> Gate_netlist.add_const t false) in
+  let pos = ref 0 in
+  let first = ref true in
+  while !pos < w do
+    let len = min block (w - !pos) in
+    let sub x = Array.sub x !pos len in
+    if !first then begin
+      (* the first block sees its carry immediately; plain ripple *)
+      let s, c = ripple_carry_adder ~cin:!carry t (sub a) (sub b) in
+      Array.blit s 0 sums !pos len;
+      carry := c;
+      first := false
+    end
+    else begin
+      let zero = Gate_netlist.add_const t false in
+      let one = Gate_netlist.add_const t true in
+      let s0, c0 = ripple_carry_adder ~cin:zero t (sub a) (sub b) in
+      let s1, c1 = ripple_carry_adder ~cin:one t (sub a) (sub b) in
+      let chosen = mux_bus t !carry s0 s1 in
+      Array.blit chosen 0 sums !pos len;
+      carry := g t Gate.Mux2 [| !carry; c0; c1 |]
+    end;
+    pos := !pos + len
+  done;
+  (sums, !carry)
+
+(* Wallace tree: dot-diagram columns compressed with full/half adders until
+   every column holds at most two dots, then one carry-propagate add. *)
+let wallace_multiplier ?(final = `Carry_select) t a b =
+  let wa = Array.length a and wb = Array.length b in
+  if wa = 0 || wb = 0 then invalid_arg "Gen.wallace_multiplier: empty bus";
+  let width = wa + wb in
+  let cols = Array.make width [] in
+  for i = 0 to wa - 1 do
+    for j = 0 to wb - 1 do
+      let pp = g t Gate.And2 [| a.(i); b.(j) |] in
+      cols.(i + j) <- pp :: cols.(i + j)
+    done
+  done;
+  let too_tall cols = Array.exists (fun c -> List.length c > 2) cols in
+  let current = ref cols in
+  while too_tall !current do
+    let next = Array.make width [] in
+    Array.iteri
+      (fun c dots ->
+        let rec compress = function
+          | x :: y :: z :: rest ->
+            let s, cy = full_adder t x y z in
+            next.(c) <- s :: next.(c);
+            if c + 1 < width then next.(c + 1) <- cy :: next.(c + 1);
+            compress rest
+          | [ x; y ] when List.length dots > 2 ->
+            (* half-adder the tail of a tall column to speed convergence *)
+            let s, cy = half_adder t x y in
+            next.(c) <- s :: next.(c);
+            if c + 1 < width then next.(c + 1) <- cy :: next.(c + 1)
+          | rest -> next.(c) <- rest @ next.(c)
+        in
+        compress dots)
+      !current;
+    current := next
+  done;
+  let zero = Gate_netlist.add_const t false in
+  let row n = Array.map (fun dots -> match List.nth_opt dots n with Some d -> d | None -> zero) !current in
+  let lo = row 0 and hi = row 1 in
+  let sums, _ =
+    match final with
+    | `Carry_select -> carry_select_adder t lo hi
+    | `Ripple -> ripple_carry_adder t lo hi
+  in
+  sums
+
+let bitwise t kind a b =
+  if Array.length a <> Array.length b then invalid_arg "Gen.bitwise: width mismatch";
+  Array.map2 (fun x y -> g t kind [| x; y |]) a b
+
+let rec tree t kind const_empty = function
+  | [] -> Gate_netlist.add_const t const_empty
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | x :: y :: rest -> g t kind [| x; y |] :: pair rest
+    in
+    tree t kind const_empty (pair xs)
+
+let and_tree t xs = tree t Gate.And2 true xs
+let or_tree t xs = tree t Gate.Or2 false xs
+let xor_tree t xs = tree t Gate.Xor2 false xs
+
+let equality t a b =
+  if Array.length a <> Array.length b then invalid_arg "Gen.equality: width mismatch";
+  let eqs = Array.to_list (Array.map2 (fun x y -> g t Gate.Xnor2 [| x; y |]) a b) in
+  and_tree t eqs
+
+let less_than t a b =
+  (* a < b  <=>  borrow out of a - b. Ripple borrow: bw_{i+1} =
+     (~a_i & b_i) | (~(a_i ^ b_i) & bw_i). *)
+  if Array.length a <> Array.length b then invalid_arg "Gen.less_than: width mismatch";
+  let borrow = ref (Gate_netlist.add_const t false) in
+  Array.iteri
+    (fun i ai ->
+      let bi = b.(i) in
+      let na = g t Gate.Not [| ai |] in
+      let t1 = g t Gate.And2 [| na; bi |] in
+      let eq = g t Gate.Xnor2 [| ai; bi |] in
+      let t2 = g t Gate.And2 [| eq; !borrow |] in
+      borrow := g t Gate.Or2 [| t1; t2 |])
+    a;
+  !borrow
+
+let decoder t sel =
+  let w = Array.length sel in
+  let n = 1 lsl w in
+  let nots = Array.map (fun s -> g t Gate.Not [| s |]) sel in
+  Array.init n (fun v ->
+      let lits =
+        List.init w (fun i -> if v land (1 lsl i) <> 0 then sel.(i) else nots.(i))
+      in
+      and_tree t lits)
+
+let alu t ~op a b =
+  if Array.length op <> 3 then invalid_arg "Gen.alu: op must be 3 bits";
+  let add_r, add_c = ripple_carry_adder t a b in
+  let sub_r, sub_c = subtractor t a b in
+  let and_r = bitwise t Gate.And2 a b in
+  let or_r = bitwise t Gate.Or2 a b in
+  let xor_r = bitwise t Gate.Xor2 a b in
+  let nota = Array.map (fun x -> g t Gate.Not [| x |]) a in
+  (* op2 op1 op0: 000 add, 001 sub, 010 and, 011 or, 100 xor, 101 a,
+     110 not a, 111 b. Select with a mux tree on the op bits. *)
+  let m00 = mux_bus t op.(0) add_r sub_r in
+  let m01 = mux_bus t op.(0) and_r or_r in
+  let m10 = mux_bus t op.(0) xor_r a in
+  let m11 = mux_bus t op.(0) nota b in
+  let lo = mux_bus t op.(1) m00 m01 in
+  let hi = mux_bus t op.(1) m10 m11 in
+  let result = mux_bus t op.(2) lo hi in
+  let carry = g t Gate.Mux2 [| op.(0); add_c; sub_c |] in
+  (result, carry)
+
+let random_layered rng ~num_inputs ~layers ~layer_width ~num_outputs =
+  if num_inputs < 2 || layer_width < 1 || layers < 1 then
+    invalid_arg "Gen.random_layered";
+  let t = Gate_netlist.create () in
+  let pis = Array.init num_inputs (fun i -> Gate_netlist.add_input t (Printf.sprintf "pi.%d" i)) in
+  let kinds = [| Gate.And2; Gate.Or2; Gate.Nand2; Gate.Nor2; Gate.Xor2; Gate.Xnor2 |] in
+  let prev = ref pis and prev2 = ref pis in
+  for _ = 1 to layers do
+    let pick () =
+      (* Bias towards the immediately preceding rank so depth grows. *)
+      let src = if Rng.int rng 4 = 0 then !prev2 else !prev in
+      src.(Rng.int rng (Array.length src))
+    in
+    let rank =
+      Array.init layer_width (fun _ ->
+          let kind = kinds.(Rng.int rng (Array.length kinds)) in
+          let a = pick () in
+          let b = pick () in
+          g t kind [| a; b |])
+    in
+    prev2 := !prev;
+    prev := rank
+  done;
+  let last = !prev in
+  for i = 0 to num_outputs - 1 do
+    Gate_netlist.mark_output t (Printf.sprintf "po.%d" i) last.(i mod Array.length last)
+  done;
+  t

@@ -1,0 +1,82 @@
+(** Structural generators for common datapath blocks.
+
+    All functions append gates to an existing {!Gate_netlist.t} and return
+    the ids of the produced signals. Buses are [id array]s, least-significant
+    bit first. These are the building blocks the RTL decomposer uses to turn
+    datapath operators (adders, multipliers, comparators, muxes) into gates,
+    and they also serve to construct the gate-level benchmarks. *)
+
+type id = Gate_netlist.id
+type bus = id array
+
+val input_bus : Gate_netlist.t -> string -> int -> bus
+(** [input_bus t name w] creates inputs [name.0 .. name.(w-1)]. *)
+
+val mark_output_bus : Gate_netlist.t -> string -> bus -> unit
+
+val half_adder : Gate_netlist.t -> id -> id -> id * id
+(** [(sum, carry)]. *)
+
+val full_adder : Gate_netlist.t -> id -> id -> id -> id * id
+(** [full_adder t a b cin] is [(sum, cout)]. *)
+
+val ripple_carry_adder : ?cin:id -> Gate_netlist.t -> bus -> bus -> bus * id
+(** Equal-width addition; result [(sums, carry_out)]. *)
+
+val subtractor : Gate_netlist.t -> bus -> bus -> bus * id
+(** [a - b] in two's complement; second component is borrow-free flag
+    (carry out). *)
+
+val array_multiplier : Gate_netlist.t -> bus -> bus -> bus
+(** Unsigned array multiplier; the product has [wa + wb] bits. Carry-save
+    rows of full adders, ripple-finished — the classic parallel multiplier
+    of the paper's motivational example. Depth grows linearly with both
+    widths. *)
+
+val carry_select_adder : ?cin:id -> ?block:int -> Gate_netlist.t -> bus -> bus -> bus * id
+(** Carry-select adder: fixed-size blocks (default 4) compute both carry
+    assumptions in parallel and a mux chain selects; logarithmically deeper
+    than a single block but far shallower than ripple for wide buses. *)
+
+val wallace_multiplier :
+  ?final:[ `Carry_select | `Ripple ] -> Gate_netlist.t -> bus -> bus -> bus
+(** Wallace-tree multiplier: 3:2 full-adder column compression of the
+    partial products, finished with a carry-propagate adder
+    (carry-select by default). The "parallel multiplier" used for the wide
+    datapaths of the benchmark circuits. *)
+
+val equality : Gate_netlist.t -> bus -> bus -> id
+val less_than : Gate_netlist.t -> bus -> bus -> id
+(** Unsigned [a < b]. *)
+
+val mux_bus : Gate_netlist.t -> id -> bus -> bus -> bus
+(** [mux_bus t sel a b] selects [b] when [sel] is high. *)
+
+val and_tree : Gate_netlist.t -> id list -> id
+val or_tree : Gate_netlist.t -> id list -> id
+val xor_tree : Gate_netlist.t -> id list -> id
+(** Balanced reduction trees; the empty list yields a constant
+    (true for [and_tree], false for the others). *)
+
+val bitwise : Gate_netlist.t -> Gate.kind -> bus -> bus -> bus
+(** Apply a 2-input gate bitwise across two equal-width buses. *)
+
+val decoder : Gate_netlist.t -> bus -> bus
+(** [decoder t sel] produces [2^(width sel)] one-hot outputs. *)
+
+val alu : Gate_netlist.t -> op:bus -> bus -> bus -> bus * id
+(** A small ALU: op 000 add, 001 sub, 010 and, 011 or, 100 xor, 101 a,
+    110 not a, 111 b. [op] must be 3 bits. Returns [(result, carry_out)].
+    Used by the synthetic c5315 substitute. *)
+
+val random_layered :
+  Nanomap_util.Rng.t ->
+  num_inputs:int ->
+  layers:int ->
+  layer_width:int ->
+  num_outputs:int ->
+  Gate_netlist.t
+(** Synthetic layered random logic: [layers] ranks of random 2-input gates,
+    each choosing fanins from the two previous ranks (locality-biased).
+    Deterministic in the generator state. Used for synthetic gate-level
+    workloads in tests and ablations. *)

@@ -1,0 +1,85 @@
+type t = {
+  arity : int;
+  bits : int64;
+}
+
+let max_arity = 6
+
+let mask arity =
+  if arity = max_arity then -1L
+  else Int64.sub (Int64.shift_left 1L (1 lsl arity)) 1L
+
+let arity t = t.arity
+let bits t = t.bits
+
+let of_bits ~arity bits =
+  if arity < 0 || arity > max_arity then invalid_arg "Truth_table.of_bits";
+  { arity; bits = Int64.logand bits (mask arity) }
+
+let const ~arity b = of_bits ~arity (if b then -1L else 0L)
+
+(* Projection patterns: for variable i the table alternates runs of 2^i
+   zeros and 2^i ones. *)
+let var ~arity i =
+  if i < 0 || i >= arity then invalid_arg "Truth_table.var";
+  let run = 1 lsl i in
+  let rec build acc pos =
+    if pos >= 1 lsl arity then acc
+    else
+      let acc =
+        if pos land run <> 0 then Int64.logor acc (Int64.shift_left 1L pos) else acc
+      in
+      build acc (pos + 1)
+  in
+  { arity; bits = build 0L 0 }
+
+let check_pair a b =
+  if a.arity <> b.arity then invalid_arg "Truth_table: arity mismatch"
+
+let lognot a = { a with bits = Int64.logand (Int64.lognot a.bits) (mask a.arity) }
+let logand a b = check_pair a b; { a with bits = Int64.logand a.bits b.bits }
+let logor a b = check_pair a b; { a with bits = Int64.logor a.bits b.bits }
+let logxor a b = check_pair a b; { a with bits = Int64.logxor a.bits b.bits }
+
+let equal a b = a.arity = b.arity && Int64.equal a.bits b.bits
+
+let index_of_inputs inputs =
+  let idx = ref 0 in
+  Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) inputs;
+  !idx
+
+let eval t inputs =
+  if Array.length inputs <> t.arity then invalid_arg "Truth_table.eval";
+  let idx = index_of_inputs inputs in
+  Int64.logand (Int64.shift_right_logical t.bits idx) 1L = 1L
+
+let of_fun ~arity f =
+  if arity < 0 || arity > max_arity then invalid_arg "Truth_table.of_fun";
+  let bits = ref 0L in
+  for idx = 0 to (1 lsl arity) - 1 do
+    let inputs = Array.init arity (fun i -> idx land (1 lsl i) <> 0) in
+    if f inputs then bits := Int64.logor !bits (Int64.shift_left 1L idx)
+  done;
+  { arity; bits = !bits }
+
+let depends_on t i =
+  if i < 0 || i >= t.arity then false
+  else begin
+    let shift = 1 lsl i in
+    (* Compare cofactors: f with x_i = 0 vs x_i = 1. *)
+    let moved = Int64.shift_right_logical t.bits shift in
+    let relevant = bits (var ~arity:t.arity i) in
+    (* positions where x_i = 1 hold f(x_i=1); shifting brings them onto the
+       matching x_i = 0 positions. *)
+    let diff = Int64.logxor t.bits moved in
+    Int64.logand diff (Int64.logand (Int64.lognot relevant) (mask t.arity)) <> 0L
+  end
+
+let support_size t =
+  let n = ref 0 in
+  for i = 0 to t.arity - 1 do
+    if depends_on t i then incr n
+  done;
+  !n
+
+let to_string t = Printf.sprintf "0x%Lx" t.bits

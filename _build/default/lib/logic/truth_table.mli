@@ -1,0 +1,46 @@
+(** Boolean functions of up to {!max_arity} variables as 64-bit truth tables.
+
+    Bit [i] of the table is the function value on the input assignment whose
+    bits are the binary digits of [i] (variable 0 is the least significant).
+    This is the representation stored in each mapped LUT and written into the
+    configuration bitstream. *)
+
+type t
+
+val max_arity : int
+(** 6 — the largest function representable in one 64-bit word. NATURE's LEs
+    use 4-input LUTs, so this leaves headroom. *)
+
+val arity : t -> int
+val bits : t -> int64
+(** Raw table; bits above [2^arity - 1] are guaranteed zero. *)
+
+val of_bits : arity:int -> int64 -> t
+(** Masks away bits beyond [2^arity]. Raises [Invalid_argument] if
+    [arity < 0 || arity > max_arity]. *)
+
+val const : arity:int -> bool -> t
+val var : arity:int -> int -> t
+(** [var ~arity i] is the projection on variable [i < arity]. *)
+
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+(** Binary operators require equal arities. *)
+
+val equal : t -> t -> bool
+val eval : t -> bool array -> bool
+(** [eval f inputs] with [Array.length inputs = arity f]. *)
+
+val of_fun : arity:int -> (bool array -> bool) -> t
+(** Tabulate an OCaml predicate over all [2^arity] assignments. *)
+
+val depends_on : t -> int -> bool
+(** True if the function value changes with variable [i] for some input. *)
+
+val support_size : t -> int
+(** Number of variables the function actually depends on. *)
+
+val to_string : t -> string
+(** Hex string of the table, e.g. 4-input AND is ["0x8000"]. *)

@@ -1,0 +1,1 @@
+lib/place/place.ml: Array Float Hashtbl List Nanomap_arch Nanomap_cluster Nanomap_core Nanomap_techmap Nanomap_util

@@ -1,0 +1,1 @@
+lib/place/place.mli: Nanomap_cluster Nanomap_core

@@ -1,0 +1,325 @@
+module Rng = Nanomap_util.Rng
+module Arch = Nanomap_arch.Arch
+module Cluster = Nanomap_cluster.Cluster
+module Mapper = Nanomap_core.Mapper
+module Partition = Nanomap_techmap.Partition
+module Lut_network = Nanomap_techmap.Lut_network
+
+type t = {
+  width : int;
+  height : int;
+  smb_xy : (int * int) array;
+  pad_xy : (int * int) array;
+  hpwl : float;
+  moves_tried : int;
+  moves_accepted : int;
+}
+
+(* Pads sit on a perimeter ring just outside the SMB grid. *)
+let perimeter_positions width height =
+  let ring = ref [] in
+  for x = 0 to width - 1 do
+    ring := (x, -1) :: (x, height) :: !ring
+  done;
+  for y = 0 to height - 1 do
+    ring := (-1, y) :: (width, y) :: !ring
+  done;
+  Array.of_list (List.sort compare !ring)
+
+type flat_net = {
+  smb_eps : int array;  (** distinct SMB endpoints *)
+  pad_eps : int array;  (** distinct pad endpoints *)
+  weight : float;
+}
+
+let flatten_nets ?(joint = true) (cl : Cluster.t) =
+  List.filter_map
+    (fun (n : Cluster.net) ->
+      let weight =
+        if joint then 1.0 else if n.Cluster.cycle = 1 then 1.0 else 0.0
+      in
+      if weight = 0.0 then None
+      else begin
+        let smbs = Hashtbl.create 4 and pads = Hashtbl.create 4 in
+        let add = function
+          | Cluster.At_smb s -> Hashtbl.replace smbs s ()
+          | Cluster.At_pad p -> Hashtbl.replace pads p ()
+        in
+        add n.Cluster.driver;
+        List.iter add n.Cluster.sinks;
+        Some
+          { smb_eps = Hashtbl.fold (fun s () acc -> s :: acc) smbs [] |> Array.of_list;
+            pad_eps = Hashtbl.fold (fun p () acc -> p :: acc) pads [] |> Array.of_list;
+            weight }
+      end)
+    cl.Cluster.nets
+  |> Array.of_list
+
+let net_hpwl smb_xy pad_xy net =
+  let minx = ref max_int and maxx = ref min_int in
+  let miny = ref max_int and maxy = ref min_int in
+  let visit (x, y) =
+    if x < !minx then minx := x;
+    if x > !maxx then maxx := x;
+    if y < !miny then miny := y;
+    if y > !maxy then maxy := y
+  in
+  Array.iter (fun s -> visit smb_xy.(s)) net.smb_eps;
+  Array.iter (fun p -> visit pad_xy.(p)) net.pad_eps;
+  if !minx > !maxx then 0.0
+  else float_of_int ((!maxx - !minx) + (!maxy - !miny)) *. net.weight
+
+let total_hpwl smb_xy pad_xy nets =
+  Array.fold_left (fun acc n -> acc +. net_hpwl smb_xy pad_xy n) 0.0 nets
+
+let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) (cl : Cluster.t) =
+  let rng = Rng.create seed in
+  let n_smb = max cl.Cluster.num_smbs 1 in
+  let width = int_of_float (ceil (sqrt (float_of_int n_smb))) in
+  let height = (n_smb + width - 1) / width in
+  (* a little slack so relocation moves exist even on a full grid *)
+  let height = if width * height = n_smb then height + 1 else height in
+  let perim = perimeter_positions width height in
+  let n_pads = List.length cl.Cluster.pads in
+  let pad_xy =
+    Array.init (max n_pads 1) (fun i ->
+        perim.(i * Array.length perim / max n_pads 1 mod Array.length perim))
+  in
+  let nets = flatten_nets ~joint cl in
+  (* site occupancy *)
+  let site_of = Array.make (width * height) (-1) in
+  let smb_xy = Array.make n_smb (0, 0) in
+  for s = 0 to n_smb - 1 do
+    let x = s mod width and y = s / width in
+    smb_xy.(s) <- (x, y);
+    site_of.((y * width) + x) <- s
+  done;
+  (* incident nets per smb *)
+  let incident = Array.make n_smb [] in
+  Array.iteri
+    (fun i net -> Array.iter (fun s -> incident.(s) <- i :: incident.(s)) net.smb_eps)
+    nets;
+  let cost = ref (total_hpwl smb_xy pad_xy nets) in
+  let moves_tried = ref 0 and moves_accepted = ref 0 in
+  let affected a b =
+    match b with
+    | None -> incident.(a)
+    | Some b -> List.rev_append incident.(a) incident.(b)
+  in
+  let try_move ~temp ~rlim =
+    incr moves_tried;
+    let a = Rng.int rng n_smb in
+    let ax, ay = smb_xy.(a) in
+    let dx = Rng.int rng ((2 * rlim) + 1) - rlim in
+    let dy = Rng.int rng ((2 * rlim) + 1) - rlim in
+    let tx = max 0 (min (width - 1) (ax + dx)) in
+    let ty = max 0 (min (height - 1) (ay + dy)) in
+    if (tx, ty) = (ax, ay) then ()
+    else begin
+      let target_site = (ty * width) + tx in
+      let occupant = site_of.(target_site) in
+      let nets_touched =
+        affected a (if occupant >= 0 then Some occupant else None)
+      in
+      let before =
+        List.fold_left (fun acc i -> acc +. net_hpwl smb_xy pad_xy nets.(i)) 0.0
+          nets_touched
+      in
+      (* apply *)
+      smb_xy.(a) <- (tx, ty);
+      if occupant >= 0 then smb_xy.(occupant) <- (ax, ay);
+      let after =
+        List.fold_left (fun acc i -> acc +. net_hpwl smb_xy pad_xy nets.(i)) 0.0
+          nets_touched
+      in
+      let delta = after -. before in
+      let accept =
+        delta <= 0.0 || (temp > 0.0 && Rng.float rng 1.0 < exp (-.delta /. temp))
+      in
+      if accept then begin
+        cost := !cost +. delta;
+        incr moves_accepted;
+        site_of.(target_site) <- a;
+        site_of.((ay * width) + ax) <- (match occupant with -1 -> -1 | b -> b)
+      end
+      else begin
+        (* revert *)
+        smb_xy.(a) <- (ax, ay);
+        if occupant >= 0 then smb_xy.(occupant) <- (tx, ty)
+      end
+    end
+  in
+  if Array.length nets > 0 && n_smb > 1 then begin
+    (* initial temperature: sample random moves *)
+    let samples = 50 in
+    let base = !cost in
+    let sum_sq = ref 0.0 in
+    for _ = 1 to samples do
+      try_move ~temp:infinity ~rlim:(max width height);
+      let d = !cost -. base in
+      sum_sq := !sum_sq +. (d *. d)
+    done;
+    let t0 = 20.0 *. sqrt (!sum_sq /. float_of_int samples) +. 1.0 in
+    let factor = match effort with `Fast -> 1 | `Detailed -> 4 in
+    let inner =
+      factor * int_of_float (4.0 *. (float_of_int n_smb ** 1.3333)) |> max 32
+    in
+    let temp = ref t0 in
+    let rlim = ref (max width height) in
+    let stop_at = 0.005 *. (!cost +. 1.0) /. float_of_int (Array.length nets) in
+    while !temp > stop_at do
+      let before_accepted = !moves_accepted in
+      for _ = 1 to inner do
+        try_move ~temp:!temp ~rlim:!rlim
+      done;
+      let alpha =
+        float_of_int (!moves_accepted - before_accepted) /. float_of_int inner
+      in
+      (* VPR-style adaptive cooling *)
+      let gamma =
+        if alpha > 0.96 then 0.5
+        else if alpha > 0.8 then 0.9
+        else if alpha > 0.15 then 0.95
+        else 0.8
+      in
+      temp := !temp *. gamma;
+      rlim :=
+        max 1
+          (min (max width height)
+             (int_of_float (float_of_int !rlim *. (1.0 -. 0.44 +. alpha))))
+    done;
+    (* greedy cleanup *)
+    for _ = 1 to inner do
+      try_move ~temp:0.0 ~rlim:1
+    done
+  end;
+  { width;
+    height;
+    smb_xy;
+    pad_xy;
+    hpwl = total_hpwl smb_xy pad_xy nets;
+    moves_tried = !moves_tried;
+    moves_accepted = !moves_accepted }
+
+let hpwl t (cl : Cluster.t) =
+  total_hpwl t.smb_xy t.pad_xy (flatten_nets ~joint:true cl)
+
+(* RISA-flavoured estimate: each net spreads q(pins) * hpwl wire over its
+   bounding box; channel supply is one track-bundle per grid edge. The
+   utilization peaks where boxes stack, approximated by summing per-cell
+   demand; cycles are independent configurations, so take the max. *)
+let routability t (cl : Cluster.t) =
+  let cells = Array.make (t.width * t.height) 0.0 in
+  let cycles = Hashtbl.create 8 in
+  List.iter
+    (fun (n : Cluster.net) ->
+      Hashtbl.replace cycles (n.Cluster.plane, n.Cluster.cycle) ())
+    cl.Cluster.nets;
+  let max_util = ref 0.0 in
+  Hashtbl.iter
+    (fun (plane, cycle) () ->
+      Array.fill cells 0 (Array.length cells) 0.0;
+      List.iter
+        (fun (n : Cluster.net) ->
+          if n.Cluster.plane = plane && n.Cluster.cycle = cycle then begin
+            let xy = function
+              | Cluster.At_smb s -> t.smb_xy.(s)
+              | Cluster.At_pad p -> t.pad_xy.(p)
+            in
+            let eps = xy n.Cluster.driver :: List.map xy n.Cluster.sinks in
+            let xs = List.map fst eps and ys = List.map snd eps in
+            let minx = List.fold_left min max_int xs
+            and maxx = List.fold_left max min_int xs in
+            let miny = List.fold_left min max_int ys
+            and maxy = List.fold_left max min_int ys in
+            let pins = List.length eps in
+            let q = 1.0 +. (0.1 *. float_of_int (max 0 (pins - 3))) in
+            let w = max 1 (maxx - minx) and h = max 1 (maxy - miny) in
+            let demand = q /. float_of_int (w * h) in
+            for x = max 0 minx to min (t.width - 1) maxx do
+              for y = max 0 miny to min (t.height - 1) maxy do
+                cells.((y * t.width) + x) <- cells.((y * t.width) + x) +. demand
+              done
+            done
+          end)
+        cl.Cluster.nets;
+      Array.iter (fun d -> if d > !max_util then max_util := d) cells)
+    cycles;
+  (* normalize by nominal per-cell capacity (tracks per channel) *)
+  !max_util /. 8.0
+
+let wire_delay (arch : Arch.t) dist =
+  if dist <= 0 then arch.Arch.t_local
+  else if dist = 1 then arch.Arch.t_direct
+  else if dist <= 4 then arch.Arch.t_len1 +. (0.02 *. float_of_int dist)
+  else if dist <= 8 then arch.Arch.t_len4 +. (0.02 *. float_of_int dist)
+  else arch.Arch.t_global
+
+let timing_estimate t (cl : Cluster.t) (plan : Mapper.plan) =
+  let arch = cl.Cluster.arch in
+  let dist (x1, y1) (x2, y2) = abs (x1 - x2) + abs (y1 - y2) in
+  let worst = ref 0.0 in
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      let plane = pl.Mapper.plane_index in
+      let network = pl.Mapper.network in
+      let part = pl.Mapper.partition in
+      let arrival = Array.make (Lut_network.size network) 0.0 in
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input _ -> ()
+          | Lut_network.Lut { fanins; _ } ->
+            let u = part.Partition.unit_of_lut.(l) in
+            let c = pl.Mapper.schedule.(u) in
+            let my_xy = t.smb_xy.((Hashtbl.find cl.Cluster.lut_slots (plane, l)).Cluster.smb) in
+            let input_arrival f =
+              match Lut_network.node network f with
+              | Lut_network.Lut _ ->
+                let fu = part.Partition.unit_of_lut.(f) in
+                if pl.Mapper.schedule.(fu) = c then begin
+                  let fxy =
+                    t.smb_xy.((Hashtbl.find cl.Cluster.lut_slots (plane, f)).Cluster.smb)
+                  in
+                  arrival.(f) +. wire_delay arch (dist fxy my_xy)
+                end
+                else begin
+                  (* from the stored copy's flip-flop *)
+                  match Hashtbl.find_opt cl.Cluster.ff_slots (Cluster.V_lut (plane, f)) with
+                  | Some (slot, _) ->
+                    wire_delay arch (dist t.smb_xy.(slot.Cluster.smb) my_xy)
+                  | None -> arch.Arch.t_local
+                end
+              | Lut_network.Input (Lut_network.Register_bit (r, b))
+              | Lut_network.Input (Lut_network.Wire_bit (r, b)) ->
+                (match Hashtbl.find_opt cl.Cluster.ff_slots (Cluster.V_state (r, b)) with
+                 | Some (slot, _) ->
+                   wire_delay arch (dist t.smb_xy.(slot.Cluster.smb) my_xy)
+                 | None -> arch.Arch.t_local)
+              | Lut_network.Input (Lut_network.Pi_bit _) -> arch.Arch.t_global
+              | Lut_network.Input (Lut_network.Const_bit _) -> 0.0
+            in
+            let worst_in =
+              Array.fold_left (fun acc f -> Float.max acc (input_arrival f)) 0.0 fanins
+            in
+            arrival.(l) <- worst_in +. arch.Arch.t_lut;
+            if arrival.(l) > !worst then worst := arrival.(l))
+        network)
+    plan.Mapper.planes;
+  !worst +. arch.Arch.t_reconf +. arch.Arch.t_setup
+
+let validate t (cl : Cluster.t) =
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun s (x, y) ->
+      if x < 0 || x >= t.width || y < 0 || y >= t.height then
+        failwith "Place: SMB off grid";
+      if Hashtbl.mem seen (x, y) then failwith "Place: two SMBs on one site";
+      Hashtbl.replace seen (x, y) ();
+      ignore s)
+    t.smb_xy;
+  Array.iter
+    (fun (x, y) ->
+      let on_perimeter = x = -1 || y = -1 || x = t.width || y = t.height in
+      if not on_perimeter then failwith "Place: pad not on perimeter")
+    t.pad_xy;
+  ignore cl

@@ -1,0 +1,57 @@
+(** Temporal placement (paper Section 4.4).
+
+    SMBs are placed on a square island grid with I/O pads on the perimeter,
+    by VPR-style simulated annealing: random swap/relocate moves inside a
+    shrinking range window, adaptive temperature schedule, half-perimeter
+    wirelength (HPWL) cost. Temporal folding enters through the cost: the
+    nets of {e all} folding cycles are summed, so two SMBs that only talk
+    in a late folding cycle still attract each other (the paper adds the
+    Manhattan distance between SMB pairs of other folding stages to the
+    current cycle's cost — summing every cycle's HPWL generalizes that).
+    [joint:false] restricts the cost to first-cycle nets, which is the
+    ablation knob for that design choice.
+
+    The flow runs {!place} twice, mirroring Fig. 2: a [`Fast] low-precision
+    pass whose result is screened by {!routability} and
+    {!timing_estimate}, then a [`Detailed] pass. *)
+
+type t = {
+  width : int;
+  height : int;                    (** SMB grid dimensions *)
+  smb_xy : (int * int) array;      (** SMB id -> grid coordinates *)
+  pad_xy : (int * int) array;      (** pad id -> perimeter coordinates *)
+  hpwl : float;                    (** final joint HPWL *)
+  moves_tried : int;
+  moves_accepted : int;
+}
+
+val place :
+  ?seed:int ->
+  ?effort:[ `Fast | `Detailed ] ->
+  ?joint:bool ->
+  Nanomap_cluster.Cluster.t ->
+  t
+(** [joint] defaults to [true]. Deterministic in [seed] (default 1). *)
+
+val hpwl : t -> Nanomap_cluster.Cluster.t -> float
+(** Joint HPWL of a placement (recomputed from scratch; used by tests and
+    the ablation, independent of the annealer's incremental bookkeeping). *)
+
+val routability : t -> Nanomap_cluster.Cluster.t -> float
+(** RISA-flavoured routability estimate: expected peak channel utilization
+    (demand / supply) given per-net bounding boxes, in [0, inf); values
+    under ~1 predict routable. The folding cycles are independent
+    configurations, so the estimate is the max over cycles. *)
+
+val timing_estimate :
+  t ->
+  Nanomap_cluster.Cluster.t ->
+  Nanomap_core.Mapper.plan ->
+  float
+(** Pre-route estimate of the folding-clock period (ns): longest
+    LUT-chain path within any folding cycle, with net delays taken from
+    bounding-box Manhattan distances. *)
+
+val validate : t -> Nanomap_cluster.Cluster.t -> unit
+(** No two SMBs on one site, all coordinates on the grid, pads on the
+    perimeter. Raises [Failure]. *)

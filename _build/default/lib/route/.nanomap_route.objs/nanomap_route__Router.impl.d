@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Float Hashtbl List Nanomap_arch Nanomap_cluster Nanomap_core Nanomap_place Nanomap_techmap Option Rr_graph

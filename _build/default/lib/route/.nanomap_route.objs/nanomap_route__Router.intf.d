@@ -1,0 +1,1 @@
+lib/route/router.mli: Nanomap_cluster Nanomap_core Nanomap_place Rr_graph

@@ -1,0 +1,1 @@
+lib/route/rr_graph.ml: Array Hashtbl List Nanomap_arch Nanomap_place Nanomap_util

@@ -1,0 +1,1 @@
+lib/route/rr_graph.mli: Nanomap_arch Nanomap_place

@@ -1,0 +1,429 @@
+module Arch = Nanomap_arch.Arch
+module Cluster = Nanomap_cluster.Cluster
+module Place = Nanomap_place.Place
+module Mapper = Nanomap_core.Mapper
+module Partition = Nanomap_techmap.Partition
+module Lut_network = Nanomap_techmap.Lut_network
+
+type routed_net = {
+  net : Cluster.net;
+  tree : int list;
+  sink_delays : (Cluster.endpoint * float) list;
+}
+
+type result = {
+  graph : Rr_graph.t;
+  routed : routed_net list;
+  success : bool;
+  iterations : int;
+  usage_by_kind : (string * int) list;
+  nets_using_global : int;
+  total_nets : int;
+  wirelength : int;
+  folding_period_ns : float;
+}
+
+(* Minimal binary min-heap on (cost, node). *)
+module Heap = struct
+  type t = {
+    mutable data : (float * int) array;
+    mutable len : int;
+  }
+
+  let create () = { data = Array.make 64 (0.0, 0); len = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h item =
+    if h.len = Array.length h.data then begin
+      let bigger = Array.make (2 * h.len) (0.0, 0) in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- item;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      h.data.(0) <- h.data.(h.len);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue_ := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+
+  let clear h = h.len <- 0
+end
+
+let is_wire (g : Rr_graph.t) n =
+  match g.Rr_graph.kind.(n) with
+  | Rr_graph.Wire _ -> true
+  | Rr_graph.Src _ | Rr_graph.Sink _ | Rr_graph.Pad_src _ | Rr_graph.Pad_sink _ ->
+    false
+
+let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
+    (cl : Cluster.t) (plan : Mapper.plan) =
+  let arch = cl.Cluster.arch in
+  let g = Rr_graph.build ~caps ~arch pl in
+  let n = g.Rr_graph.num_nodes in
+  let node_of_src = function
+    | Cluster.At_smb s -> g.Rr_graph.src_of_smb.(s)
+    | Cluster.At_pad p -> g.Rr_graph.src_of_pad.(p)
+  in
+  let node_of_sink = function
+    | Cluster.At_smb s -> g.Rr_graph.sink_of_smb.(s)
+    | Cluster.At_pad p -> g.Rr_graph.sink_of_pad.(p)
+  in
+  (* timeslot buckets, deterministic order *)
+  let by_slot = Hashtbl.create 32 in
+  List.iter
+    (fun (net : Cluster.net) ->
+      let key = (net.Cluster.plane, net.Cluster.cycle) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_slot key) in
+      Hashtbl.replace by_slot key (net :: cur))
+    cl.Cluster.nets;
+  let slots =
+    Hashtbl.fold (fun k v acc -> (k, List.sort compare v) :: acc) by_slot []
+    |> List.sort compare
+  in
+  (* scratch state reused per timeslot *)
+  let usage = Array.make n 0 in
+  let history = Array.make n 0.0 in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let touched = ref [] in
+  let heap = Heap.create () in
+  let all_routed = ref [] in
+  let worst_iters = ref 0 in
+  let all_success = ref true in
+  List.iter
+    (fun (_slot, nets) ->
+      Array.fill usage 0 n 0;
+      Array.fill history 0 n 0.0;
+      let trees : (Cluster.net * int list) array =
+        Array.of_list (List.map (fun net -> (net, [])) nets)
+      in
+      let pres_fac = ref 0.5 in
+      let iter = ref 0 in
+      let overused = ref 1 in
+      while !overused > 0 && !iter < max_iterations do
+        incr iter;
+        Array.iteri
+          (fun idx (net, old_tree) ->
+            (* rip up *)
+            List.iter (fun nd -> usage.(nd) <- usage.(nd) - 1) old_tree;
+            let src = node_of_src net.Cluster.driver in
+            let tree_nodes = ref [ src ] in
+            let tree_wires = ref [] in
+            let cost_of nd =
+              let base = g.Rr_graph.delay.(nd) +. 0.01 in
+              if is_wire g nd then begin
+                let over = usage.(nd) + 1 - 1 in
+                let pres = if over > 0 then 1.0 +. (!pres_fac *. float_of_int over) else 1.0 in
+                base *. (1.0 +. history.(nd)) *. pres
+              end
+              else base
+            in
+            List.iter
+              (fun sink_ep ->
+                let target = node_of_sink sink_ep in
+                (* multi-source Dijkstra from the current tree *)
+                Heap.clear heap;
+                List.iter
+                  (fun t ->
+                    dist.(t) <- 0.0;
+                    prev.(t) <- -1;
+                    touched := t :: !touched;
+                    Heap.push heap (0.0, t))
+                  !tree_nodes;
+                let found = ref false in
+                while not !found do
+                  match Heap.pop heap with
+                  | None -> failwith "Router: unreachable sink"
+                  | Some (d, u) ->
+                    if d <= dist.(u) then begin
+                      if u = target then found := true
+                      else
+                        List.iter
+                          (fun v ->
+                            let nd = d +. cost_of v in
+                            if nd < dist.(v) then begin
+                              if dist.(v) = infinity then touched := v :: !touched;
+                              dist.(v) <- nd;
+                              prev.(v) <- u;
+                              Heap.push heap (nd, v)
+                            end)
+                          g.Rr_graph.adj.(u)
+                    end
+                done;
+                (* walk back, add new nodes to tree *)
+                let rec walk v acc =
+                  if List.mem v !tree_nodes then acc
+                  else walk prev.(v) (v :: acc)
+                in
+                let path = walk target [] in
+                List.iter
+                  (fun v ->
+                    tree_nodes := v :: !tree_nodes;
+                    if is_wire g v then begin
+                      usage.(v) <- usage.(v) + 1;
+                      tree_wires := v :: !tree_wires
+                    end)
+                  path;
+                (* reset dijkstra scratch *)
+                List.iter
+                  (fun v ->
+                    dist.(v) <- infinity;
+                    prev.(v) <- -1)
+                  !touched;
+                touched := [])
+              net.Cluster.sinks;
+            trees.(idx) <- (net, !tree_wires))
+          trees;
+        (* congestion accounting *)
+        overused := 0;
+        for nd = 0 to n - 1 do
+          if usage.(nd) > 1 then begin
+            incr overused;
+            history.(nd) <- history.(nd) +. 1.0
+          end
+        done;
+        pres_fac := !pres_fac *. 2.0
+      done;
+      if !overused > 0 then all_success := false;
+      if !iter > !worst_iters then worst_iters := !iter;
+      (* final per-net delays: pure-delay Dijkstra restricted to the tree *)
+      Array.iter
+        (fun (net, wires) ->
+          let allowed = Hashtbl.create 16 in
+          List.iter (fun nd -> Hashtbl.replace allowed nd ()) wires;
+          let src = node_of_src net.Cluster.driver in
+          Hashtbl.replace allowed src ();
+          List.iter
+            (fun ep -> Hashtbl.replace allowed (node_of_sink ep) ())
+            net.Cluster.sinks;
+          (* simple Bellman-ish relaxation over the small tree *)
+          let d = Hashtbl.create 16 in
+          Hashtbl.replace d src 0.0;
+          let changed = ref true in
+          while !changed do
+            changed := false;
+            Hashtbl.iter
+              (fun u du ->
+                List.iter
+                  (fun v ->
+                    if Hashtbl.mem allowed v then begin
+                      let cand = du +. g.Rr_graph.delay.(v) in
+                      match Hashtbl.find_opt d v with
+                      | Some dv when dv <= cand -> ()
+                      | _ ->
+                        Hashtbl.replace d v cand;
+                        changed := true
+                    end)
+                  g.Rr_graph.adj.(u))
+              (Hashtbl.copy d)
+          done;
+          let sink_delays =
+            List.map
+              (fun ep ->
+                let nd = node_of_sink ep in
+                (ep, Option.value ~default:arch.Arch.t_global (Hashtbl.find_opt d nd)))
+              net.Cluster.sinks
+          in
+          all_routed := { net; tree = wires; sink_delays } :: !all_routed)
+        trees)
+    slots;
+  let routed = !all_routed in
+  (* usage stats *)
+  let count kind_name pred =
+    ( kind_name,
+      List.fold_left
+        (fun acc rn ->
+          acc + List.length (List.filter (fun nd -> pred g.Rr_graph.kind.(nd)) rn.tree))
+        0 routed )
+  in
+  let usage_by_kind =
+    [ count "direct" (function Rr_graph.Wire Rr_graph.Direct -> true | _ -> false);
+      count "len1" (function Rr_graph.Wire Rr_graph.Len1 -> true | _ -> false);
+      count "len4" (function Rr_graph.Wire Rr_graph.Len4 -> true | _ -> false);
+      count "global" (function Rr_graph.Wire Rr_graph.Global -> true | _ -> false) ]
+  in
+  (* Core nets only: pad I/O legitimately rides the global lines, so the
+     paper's "global interconnect usage" claim is about SMB-to-SMB traffic. *)
+  let is_core rn =
+    let smb_only = function Cluster.At_smb _ -> true | Cluster.At_pad _ -> false in
+    smb_only rn.net.Cluster.driver && List.for_all smb_only rn.net.Cluster.sinks
+  in
+  let nets_using_global =
+    List.length
+      (List.filter
+         (fun rn ->
+           is_core rn
+           && List.exists
+                (fun nd ->
+                  match g.Rr_graph.kind.(nd) with
+                  | Rr_graph.Wire Rr_graph.Global -> true
+                  | _ -> false)
+                rn.tree)
+         routed)
+  in
+  let wirelength = List.fold_left (fun acc rn -> acc + List.length rn.tree) 0 routed in
+  (* routed timing: longest LUT chain within any folding cycle *)
+  let delay_lookup = Hashtbl.create 256 in
+  List.iter
+    (fun rn ->
+      List.iter
+        (fun (ep, d) ->
+          Hashtbl.replace delay_lookup
+            (rn.net.Cluster.plane, rn.net.Cluster.cycle, rn.net.Cluster.value, ep)
+            d)
+        rn.sink_delays)
+    routed;
+  let worst = ref 0.0 in
+  Array.iter
+    (fun (plp : Mapper.plane_plan) ->
+      let plane = plp.Mapper.plane_index in
+      let network = plp.Mapper.network in
+      let part = plp.Mapper.partition in
+      let arrival = Array.make (Lut_network.size network) 0.0 in
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input _ -> ()
+          | Lut_network.Lut { fanins; _ } ->
+            let u = part.Partition.unit_of_lut.(l) in
+            let c = plp.Mapper.schedule.(u) in
+            let my_slot = Hashtbl.find cl.Cluster.lut_slots (plane, l) in
+            let my_smb = my_slot.Cluster.smb in
+            (* absorbed nets stay inside the SMB: LEs of one MB talk over
+               the fast local crossbar, different MBs over the SMB-level
+               crossbar *)
+            let local_delay source_slot =
+              match source_slot with
+              | Some (slot : Cluster.slot)
+                when slot.Cluster.smb = my_smb && slot.Cluster.mb = my_slot.Cluster.mb
+                -> arch.Arch.t_intra_mb
+              | Some _ | None -> arch.Arch.t_local
+            in
+            let slot_of_value = function
+              | Cluster.V_lut (p', l') -> Hashtbl.find_opt cl.Cluster.lut_slots (p', l')
+              | (Cluster.V_state _ | Cluster.V_pi _) as v ->
+                (match Hashtbl.find_opt cl.Cluster.ff_slots v with
+                 | Some (slot, _) -> Some slot
+                 | None -> None)
+            in
+            let net_delay value =
+              match
+                Hashtbl.find_opt delay_lookup (plane, c, value, Cluster.At_smb my_smb)
+              with
+              | Some d -> d
+              | None -> local_delay (slot_of_value value)
+            in
+            let input_arrival f =
+              match Lut_network.node network f with
+              | Lut_network.Lut _ ->
+                let fu = part.Partition.unit_of_lut.(f) in
+                let chain =
+                  if plp.Mapper.schedule.(fu) = c then arrival.(f) else 0.0
+                in
+                chain +. net_delay (Cluster.V_lut (plane, f))
+              | Lut_network.Input (Lut_network.Register_bit (r, b))
+              | Lut_network.Input (Lut_network.Wire_bit (r, b)) ->
+                net_delay (Cluster.V_state (r, b))
+              | Lut_network.Input (Lut_network.Pi_bit (s, b)) ->
+                net_delay (Cluster.V_pi (s, b))
+              | Lut_network.Input (Lut_network.Const_bit _) -> 0.0
+            in
+            let worst_in =
+              Array.fold_left (fun acc f -> Float.max acc (input_arrival f)) 0.0 fanins
+            in
+            arrival.(l) <- worst_in +. arch.Arch.t_lut;
+            if arrival.(l) > !worst then worst := arrival.(l))
+        network)
+    plan.Mapper.planes;
+  let folding_period_ns = !worst +. arch.Arch.t_reconf +. arch.Arch.t_setup in
+  { graph = g;
+    routed;
+    success = !all_success;
+    iterations = !worst_iters;
+    usage_by_kind;
+    nets_using_global;
+    total_nets = List.length routed;
+    wirelength;
+    folding_period_ns }
+
+let validate r =
+  let g = r.graph in
+  (* per-timeslot single use of each wire node *)
+  let used = Hashtbl.create 256 in
+  List.iter
+    (fun rn ->
+      let slot = (rn.net.Cluster.plane, rn.net.Cluster.cycle) in
+      List.iter
+        (fun nd ->
+          if Hashtbl.mem used (slot, nd) then
+            failwith "Router: wire node shared within a timeslot";
+          Hashtbl.replace used (slot, nd) ())
+        rn.tree)
+    r.routed;
+  (* connectivity: driver reaches every sink through tree edges *)
+  List.iter
+    (fun rn ->
+      let allowed = Hashtbl.create 16 in
+      List.iter (fun nd -> Hashtbl.replace allowed nd ()) rn.tree;
+      let src =
+        match rn.net.Cluster.driver with
+        | Cluster.At_smb s -> g.Rr_graph.src_of_smb.(s)
+        | Cluster.At_pad p -> g.Rr_graph.src_of_pad.(p)
+      in
+      let sinks =
+        List.map
+          (function
+            | Cluster.At_smb s -> g.Rr_graph.sink_of_smb.(s)
+            | Cluster.At_pad p -> g.Rr_graph.sink_of_pad.(p))
+          rn.net.Cluster.sinks
+      in
+      let reached = Hashtbl.create 16 in
+      let rec visit u =
+        if not (Hashtbl.mem reached u) then begin
+          Hashtbl.replace reached u ();
+          List.iter
+            (fun v ->
+              if Hashtbl.mem allowed v || List.mem v sinks then visit v)
+            g.Rr_graph.adj.(u)
+        end
+      in
+      visit src;
+      List.iter
+        (fun snk ->
+          if not (Hashtbl.mem reached snk) then failwith "Router: sink not reached")
+        sinks)
+    r.routed
+
+let route_adaptive ?(caps = Rr_graph.default_caps) ?(max_doublings = 4) pl cl plan =
+  let rec attempt factor =
+    let result = route ~caps:(Rr_graph.scale_caps caps factor) pl cl plan in
+    if result.success || factor >= 1 lsl max_doublings then (result, factor)
+    else attempt (2 * factor)
+  in
+  attempt 1

@@ -1,0 +1,60 @@
+(** PathFinder negotiated-congestion routing (the VPR router the paper
+    builds on), applied per folding cycle.
+
+    Every folding cycle of every plane is a separate configuration of the
+    same physical switches, so each (plane, cycle) timeslot is routed
+    independently on a fresh congestion state of the shared
+    {!Rr_graph.t}. Within a timeslot the classic PathFinder loop runs:
+    every net is ripped up and re-routed by Dijkstra over node costs
+    [(delay + eps) * (1 + history) * present], sink by sink growing a
+    Steiner-ish tree; present-sharing penalties double each iteration until
+    no node is overused.
+
+    Routing is hierarchical in cost, as in the paper: direct links are the
+    cheapest, then length-1 and length-4 segments, then the global lines —
+    the router naturally prefers the shortest hierarchy level that works. *)
+
+type routed_net = {
+  net : Nanomap_cluster.Cluster.net;
+  tree : int list;                       (** rr wire nodes used *)
+  sink_delays : (Nanomap_cluster.Cluster.endpoint * float) list;
+}
+
+type result = {
+  graph : Rr_graph.t;
+  routed : routed_net list;
+  success : bool;                        (** no overused node in any timeslot *)
+  iterations : int;                      (** max PathFinder iterations used *)
+  usage_by_kind : (string * int) list;   (** wire-node usages summed over all
+                                             timeslots/configurations *)
+  nets_using_global : int;                (** core (SMB-to-SMB) nets touching a
+                                              global line; pad I/O excluded *)
+  total_nets : int;
+  wirelength : int;                      (** total wire nodes over all nets *)
+  folding_period_ns : float;             (** routed critical folding period *)
+}
+
+val route :
+  ?caps:Rr_graph.caps ->
+  ?max_iterations:int ->
+  Nanomap_place.Place.t ->
+  Nanomap_cluster.Cluster.t ->
+  Nanomap_core.Mapper.plan ->
+  result
+(** Deterministic. [max_iterations] defaults to 12. *)
+
+val route_adaptive :
+  ?caps:Rr_graph.caps ->
+  ?max_doublings:int ->
+  Nanomap_place.Place.t ->
+  Nanomap_cluster.Cluster.t ->
+  Nanomap_core.Mapper.plan ->
+  result * int
+(** Minimum-channel-width style search: retry with doubled track counts
+    until the router succeeds (or [max_doublings], default 4, is
+    exhausted). Returns the result and the scale factor used. *)
+
+val validate : result -> unit
+(** Every net's tree connects its driver to every sink through existing
+    edges, and no wire node is used by two nets of the same timeslot.
+    Raises [Failure]. *)

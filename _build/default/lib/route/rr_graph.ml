@@ -1,0 +1,262 @@
+module Arch = Nanomap_arch.Arch
+module Place = Nanomap_place.Place
+
+type wire_kind =
+  | Direct
+  | Len1
+  | Len4
+  | Global
+
+type node_kind =
+  | Src of int
+  | Sink of int
+  | Pad_src of int
+  | Pad_sink of int
+  | Wire of wire_kind
+
+type caps = {
+  direct_tracks : int;
+  len1_tracks : int;
+  len4_tracks : int;
+  global_tracks : int;
+}
+
+let default_caps =
+  { direct_tracks = 4; len1_tracks = 16; len4_tracks = 4; global_tracks = 4 }
+
+let scale_caps c f =
+  { direct_tracks = c.direct_tracks * f;
+    len1_tracks = c.len1_tracks * f;
+    len4_tracks = c.len4_tracks * f;
+    global_tracks = c.global_tracks * f }
+
+type t = {
+  num_nodes : int;
+  kind : node_kind array;
+  delay : float array;
+  adj : int list array;
+  src_of_smb : int array;
+  sink_of_smb : int array;
+  src_of_pad : int array;
+  sink_of_pad : int array;
+}
+
+type builder = {
+  kinds : node_kind Nanomap_util.Vec.t;
+  delays : float Nanomap_util.Vec.t;
+  mutable edges : (int * int) list;
+}
+
+let new_node b kind delay =
+  let id = Nanomap_util.Vec.push b.kinds kind in
+  ignore (Nanomap_util.Vec.push b.delays delay);
+  id
+
+let edge b u v = b.edges <- (u, v) :: b.edges
+
+let build ?(caps = default_caps) ~arch (pl : Place.t) =
+  let w = pl.Place.width and h = pl.Place.height in
+  let b = { kinds = Nanomap_util.Vec.create (); delays = Nanomap_util.Vec.create (); edges = [] } in
+  let n_smb = Array.length pl.Place.smb_xy in
+  let n_pad = Array.length pl.Place.pad_xy in
+  (* SMB occupancy by coordinate *)
+  let smb_at = Hashtbl.create 64 in
+  Array.iteri (fun s xy -> Hashtbl.replace smb_at xy s) pl.Place.smb_xy;
+  let src_of_smb = Array.init n_smb (fun s -> new_node b (Src s) 0.0) in
+  let sink_of_smb = Array.init n_smb (fun s -> new_node b (Sink s) 0.0) in
+  let src_of_pad = Array.init n_pad (fun p -> new_node b (Pad_src p) 0.0) in
+  let sink_of_pad = Array.init n_pad (fun p -> new_node b (Pad_sink p) 0.0) in
+  (* --- direct links between adjacent SMBs --- *)
+  Array.iteri
+    (fun s (x, y) ->
+      List.iter
+        (fun (nx, ny) ->
+          match Hashtbl.find_opt smb_at (nx, ny) with
+          | Some s' ->
+            for _ = 1 to caps.direct_tracks do
+              let d = new_node b (Wire Direct) arch.Arch.t_direct in
+              edge b src_of_smb.(s) d;
+              edge b d sink_of_smb.(s')
+            done
+          | None -> ())
+        [ (x + 1, y); (x - 1, y); (x, y + 1); (x, y - 1) ])
+    pl.Place.smb_xy;
+  (* --- length-1 wires ---
+     horizontal channel y_ch in 0..h (south of row y_ch), position x,
+     track t; vertical channel x_ch in 0..w, position y, track t. *)
+  let len1_h = Array.init (h + 1) (fun _ -> Array.make_matrix w caps.len1_tracks (-1)) in
+  let len1_v = Array.init (w + 1) (fun _ -> Array.make_matrix h caps.len1_tracks (-1)) in
+  for yc = 0 to h do
+    for x = 0 to w - 1 do
+      for t = 0 to caps.len1_tracks - 1 do
+        len1_h.(yc).(x).(t) <- new_node b (Wire Len1) arch.Arch.t_len1
+      done
+    done
+  done;
+  for xc = 0 to w do
+    for y = 0 to h - 1 do
+      for t = 0 to caps.len1_tracks - 1 do
+        len1_v.(xc).(y).(t) <- new_node b (Wire Len1) arch.Arch.t_len1
+      done
+    done
+  done;
+  (* SMB <-> len1 and len1 adjacency *)
+  let connect_smb_to_len1 s (x, y) =
+    for t = 0 to caps.len1_tracks - 1 do
+      (* channels north (y) and south (y+1)? channel yc sits below row yc:
+         row y borders channels y (south) and y+1 (north) *)
+      List.iter
+        (fun wire ->
+          edge b src_of_smb.(s) wire;
+          edge b wire sink_of_smb.(s))
+        [ len1_h.(y).(x).(t); len1_h.(y + 1).(x).(t);
+          len1_v.(x).(y).(t); len1_v.(x + 1).(y).(t) ]
+    done
+  in
+  Array.iteri (fun s xy -> connect_smb_to_len1 s xy) pl.Place.smb_xy;
+  (* wire-to-wire: same track continues straight; turns at crossings *)
+  for yc = 0 to h do
+    for x = 0 to w - 1 do
+      for t = 0 to caps.len1_tracks - 1 do
+        let me = len1_h.(yc).(x).(t) in
+        if x + 1 < w then begin
+          edge b me len1_h.(yc).(x + 1).(t);
+          edge b len1_h.(yc).(x + 1).(t) me
+        end;
+        (* turns: vertical channels x and x+1 at rows yc-1 / yc *)
+        List.iter
+          (fun (xc, y) ->
+            if xc >= 0 && xc <= w && y >= 0 && y < h then begin
+              let v = len1_v.(xc).(y).(t) in
+              edge b me v;
+              edge b v me
+            end)
+          [ (x, yc - 1); (x, yc); (x + 1, yc - 1); (x + 1, yc) ]
+      done
+    done
+  done;
+  for xc = 0 to w do
+    for y = 0 to h - 1 do
+      for t = 0 to caps.len1_tracks - 1 do
+        let me = len1_v.(xc).(y).(t) in
+        if y + 1 < h then begin
+          edge b me len1_v.(xc).(y + 1).(t);
+          edge b len1_v.(xc).(y + 1).(t) me
+        end
+      done
+    done
+  done;
+  (* --- length-4 wires: horizontal spans, endpoints tied into len1 --- *)
+  if w >= 4 then
+    for yc = 0 to h do
+      let x0 = ref 0 in
+      while !x0 + 3 <= w - 1 do
+        for t = 0 to caps.len4_tracks - 1 do
+          let wire = new_node b (Wire Len4) arch.Arch.t_len4 in
+          for x = !x0 to !x0 + 3 do
+            (* sinks + sources along the span (both rows bordering channel) *)
+            List.iter
+              (fun row ->
+                match Hashtbl.find_opt smb_at (x, row) with
+                | Some s ->
+                  edge b src_of_smb.(s) wire;
+                  edge b wire sink_of_smb.(s)
+                | None -> ())
+              [ yc - 1; yc ]
+          done;
+          (* endpoints into len1 of the same channel *)
+          let t1 = t mod caps.len1_tracks in
+          edge b wire len1_h.(yc).(!x0).(t1);
+          edge b len1_h.(yc).(!x0).(t1) wire;
+          edge b wire len1_h.(yc).(!x0 + 3).(t1);
+          edge b len1_h.(yc).(!x0 + 3).(t1) wire
+        done;
+        x0 := !x0 + 4
+      done
+    done;
+  (* --- global row/column lines --- *)
+  let grow_ = Array.make_matrix h caps.global_tracks (-1) in
+  let gcol = Array.make_matrix w caps.global_tracks (-1) in
+  for y = 0 to h - 1 do
+    for t = 0 to caps.global_tracks - 1 do
+      grow_.(y).(t) <- new_node b (Wire Global) arch.Arch.t_global
+    done
+  done;
+  for x = 0 to w - 1 do
+    for t = 0 to caps.global_tracks - 1 do
+      gcol.(x).(t) <- new_node b (Wire Global) arch.Arch.t_global
+    done
+  done;
+  Array.iteri
+    (fun s (x, y) ->
+      for t = 0 to caps.global_tracks - 1 do
+        edge b src_of_smb.(s) grow_.(y).(t);
+        edge b grow_.(y).(t) sink_of_smb.(s);
+        edge b src_of_smb.(s) gcol.(x).(t);
+        edge b gcol.(x).(t) sink_of_smb.(s)
+      done)
+    pl.Place.smb_xy;
+  (* row-column transitions for full reachability *)
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      for t = 0 to caps.global_tracks - 1 do
+        edge b grow_.(y).(t) gcol.(x).(t);
+        edge b gcol.(x).(t) grow_.(y).(t)
+      done
+    done
+  done;
+  (* --- pads --- *)
+  Array.iteri
+    (fun p (px, py) ->
+      (* nearest in-grid coordinate and bordering channel *)
+      let x = max 0 (min (w - 1) px) and y = max 0 (min (h - 1) py) in
+      for t = 0 to caps.global_tracks - 1 do
+        edge b src_of_pad.(p) grow_.(y).(t);
+        edge b grow_.(y).(t) sink_of_pad.(p);
+        edge b src_of_pad.(p) gcol.(x).(t);
+        edge b gcol.(x).(t) sink_of_pad.(p)
+      done;
+      for t = 0 to caps.len1_tracks - 1 do
+        (* the channel that runs along the pad's border *)
+        let wires =
+          if py = -1 then [ len1_h.(0).(x).(t) ]
+          else if py = h then [ len1_h.(h).(x).(t) ]
+          else if px = -1 then [ len1_v.(0).(y).(t) ]
+          else [ len1_v.(w).(y).(t) ]
+        in
+        List.iter
+          (fun wire ->
+            edge b src_of_pad.(p) wire;
+            edge b wire sink_of_pad.(p))
+          wires
+      done;
+      (* direct hop to the adjacent SMB if present *)
+      match Hashtbl.find_opt smb_at (x, y) with
+      | Some s ->
+        let d1 = new_node b (Wire Direct) arch.Arch.t_direct in
+        edge b src_of_pad.(p) d1;
+        edge b d1 sink_of_smb.(s);
+        let d2 = new_node b (Wire Direct) arch.Arch.t_direct in
+        edge b src_of_smb.(s) d2;
+        edge b d2 sink_of_pad.(p)
+      | None -> ())
+    pl.Place.pad_xy;
+  let num_nodes = Nanomap_util.Vec.length b.kinds in
+  let adj = Array.make num_nodes [] in
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) b.edges;
+  { num_nodes;
+    kind = Nanomap_util.Vec.to_array b.kinds;
+    delay = Nanomap_util.Vec.to_array b.delays;
+    adj;
+    src_of_smb;
+    sink_of_smb;
+    src_of_pad;
+    sink_of_pad }
+
+let stats t =
+  let count pred = Array.fold_left (fun acc k -> if pred k then acc + 1 else acc) 0 t.kind in
+  [ ("nodes", t.num_nodes);
+    ("direct", count (function Wire Direct -> true | _ -> false));
+    ("len1", count (function Wire Len1 -> true | _ -> false));
+    ("len4", count (function Wire Len4 -> true | _ -> false));
+    ("global", count (function Wire Global -> true | _ -> false)) ]

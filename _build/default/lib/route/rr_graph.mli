@@ -1,0 +1,52 @@
+(** Routing-resource graph for the NATURE island fabric.
+
+    Nodes model the four interconnect types of the architecture (Section
+    4.4): direct links between adjacent SMBs, length-1 and length-4 wire
+    segments in the channels, and global row/column lines; plus logical
+    source/sink nodes per SMB and per I/O pad. Congestion lives on nodes
+    (every wire node has unit capacity; there are [len1_tracks] /
+    [len4_tracks] / [global_tracks] parallel nodes per channel position),
+    which is the PathFinder formulation. *)
+
+type wire_kind =
+  | Direct
+  | Len1
+  | Len4
+  | Global
+
+type node_kind =
+  | Src of int              (** SMB output *)
+  | Sink of int             (** SMB input *)
+  | Pad_src of int
+  | Pad_sink of int
+  | Wire of wire_kind
+
+type caps = {
+  direct_tracks : int;      (** parallel direct wires per adjacent SMB pair *)
+  len1_tracks : int;        (** per channel position and direction *)
+  len4_tracks : int;
+  global_tracks : int;      (** per row and per column *)
+}
+
+val scale_caps : caps -> int -> caps
+(** Multiply every track count (used by the minimum-channel-width search). *)
+
+val default_caps : caps
+
+type t = {
+  num_nodes : int;
+  kind : node_kind array;
+  delay : float array;      (** traversal delay of each node, ns *)
+  adj : int list array;     (** directed edges *)
+  src_of_smb : int array;
+  sink_of_smb : int array;
+  src_of_pad : int array;
+  sink_of_pad : int array;
+}
+
+val build :
+  ?caps:caps -> arch:Nanomap_arch.Arch.t -> Nanomap_place.Place.t -> t
+(** Builds the graph for the placement's grid and pad ring. *)
+
+val stats : t -> (string * int) list
+(** Node counts by kind. *)

@@ -1,0 +1,1 @@
+lib/rtl/levelize.ml: Array Format Hashtbl Int List Nanomap_util Queue Rtl Set

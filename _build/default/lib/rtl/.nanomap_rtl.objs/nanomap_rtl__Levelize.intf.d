@@ -1,0 +1,1 @@
+lib/rtl/levelize.mli: Format Rtl

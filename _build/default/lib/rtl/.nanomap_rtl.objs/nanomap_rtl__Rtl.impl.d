@@ -1,0 +1,1 @@
+lib/rtl/rtl.ml: Array Hashtbl List Nanomap_logic Nanomap_util Option Printf

@@ -1,0 +1,273 @@
+module IntSet = Set.Make (Int)
+
+type plane = {
+  index : int;
+  ops : Rtl.id list;
+  input_signals : Rtl.id list;
+  input_registers : Rtl.id list;
+  output_registers : Rtl.id list;
+  primary_outputs : (string * Rtl.id) list;
+}
+
+type t = {
+  design : Rtl.t;
+  planes : plane array;
+  register_level : (Rtl.id * int) list;
+}
+
+(* Register dependency edges, derived from the data cone of each register:
+   weight 0 for a direct register-to-register wire, 1 when logic intervenes. *)
+type reg_edge = { src : Rtl.id; dst : Rtl.id; weight : int }
+
+let register_edges design order =
+  (* reg_sources.(comb id) = registers reachable backwards without crossing
+     another register. *)
+  let n = Rtl.num_signals design in
+  let sources = Array.make n IntSet.empty in
+  let source_of id =
+    match (Rtl.signal design id).driver with
+    | Rtl.Register _ -> IntSet.singleton id
+    | Rtl.Input | Rtl.Const_driver _ -> IntSet.empty
+    | Rtl.Comb _ -> sources.(id)
+  in
+  List.iter
+    (fun id ->
+      match (Rtl.signal design id).driver with
+      | Rtl.Comb op ->
+        sources.(id) <-
+          List.fold_left
+            (fun acc i -> IntSet.union acc (source_of i))
+            IntSet.empty (Rtl.op_inputs op)
+      | Rtl.Input | Rtl.Const_driver _ | Rtl.Register _ -> ())
+    order;
+  let edges = ref [] in
+  List.iter
+    (fun (s : Rtl.signal) ->
+      match s.driver with
+      | Rtl.Register { d; _ } ->
+        (match (Rtl.signal design d).driver with
+         | Rtl.Register _ -> edges := { src = d; dst = s.id; weight = 0 } :: !edges
+         | Rtl.Input | Rtl.Const_driver _ -> ()
+         | Rtl.Comb _ ->
+           IntSet.iter
+             (fun src -> edges := { src; dst = s.id; weight = 1 } :: !edges)
+             sources.(d))
+      | Rtl.Input | Rtl.Const_driver _ | Rtl.Comb _ -> ())
+    (Rtl.registers design |> List.to_seq |> List.of_seq);
+  (!edges, sources)
+
+(* Tarjan's strongly connected components over the register graph. *)
+let sccs nodes edges =
+  let adj = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.add adj e.src e.dst) edges;
+  let index = Hashtbl.create 64 and low = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp = Hashtbl.create 64 in
+  let ncomp = ref 0 in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (Hashtbl.find_all adj v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let cid = !ncomp in
+      incr ncomp;
+      let rec pop () =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          Hashtbl.replace comp w cid;
+          if w <> v then pop ()
+      in
+      pop ()
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (comp, !ncomp)
+
+(* Plane levels. A weakly-connected component of the register graph that
+   contains any directed cycle (an FSM, an accumulator, a controller coupled
+   to the datapath it steers) is one synchronous core: temporal execution
+   cannot be pipelined across it, so all its registers live in plane 1.
+   Pure feed-forward components (pipelines) levelize by longest path, with
+   direct register-to-register copies (shift lines) sharing a level. *)
+let register_levels design order =
+  let regs = List.map (fun (s : Rtl.signal) -> s.id) (Rtl.registers design) in
+  let edges, sources = register_edges design order in
+  let comp, ncomp = sccs regs edges in
+  (* An SCC is cyclic if it has >1 member or a self edge. *)
+  let scc_size = Array.make (max ncomp 1) 0 in
+  List.iter (fun r -> scc_size.(Hashtbl.find comp r) <- scc_size.(Hashtbl.find comp r) + 1) regs;
+  let cyclic_scc = Array.make (max ncomp 1) false in
+  Array.iteri (fun c size -> if size > 1 then cyclic_scc.(c) <- true) scc_size;
+  List.iter (fun e -> if e.src = e.dst then cyclic_scc.(Hashtbl.find comp e.src) <- true) edges;
+  (* Weak components over registers. *)
+  let index_of = Hashtbl.create 64 in
+  List.iteri (fun i r -> Hashtbl.replace index_of r i) regs;
+  let uf = Nanomap_util.Union_find.create (max (List.length regs) 1) in
+  List.iter
+    (fun e ->
+      Nanomap_util.Union_find.union uf (Hashtbl.find index_of e.src)
+        (Hashtbl.find index_of e.dst))
+    edges;
+  let component_cyclic = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if cyclic_scc.(Hashtbl.find comp r) then
+        Hashtbl.replace component_cyclic
+          (Nanomap_util.Union_find.find uf (Hashtbl.find index_of r))
+          ())
+    regs;
+  let in_cyclic_component r =
+    Hashtbl.mem component_cyclic
+      (Nanomap_util.Union_find.find uf (Hashtbl.find index_of r))
+  in
+  let reg_level = Hashtbl.create 64 in
+  (* Cyclic components: everything at level 1. *)
+  List.iter (fun r -> if in_cyclic_component r then Hashtbl.replace reg_level r 1) regs;
+  (* Acyclic components: longest path over registers in topological order.
+     The register graph there is a DAG, so Kahn's algorithm applies. *)
+  let ff_regs = List.filter (fun r -> not (in_cyclic_component r)) regs in
+  let ff_edges = List.filter (fun e -> not (in_cyclic_component e.src)) edges in
+  let indeg = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace indeg r 0) ff_regs;
+  List.iter
+    (fun e -> Hashtbl.replace indeg e.dst (1 + Hashtbl.find indeg e.dst))
+    ff_edges;
+  let level = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace level r 1) ff_regs;
+  let queue = Queue.create () in
+  List.iter (fun r -> if Hashtbl.find indeg r = 0 then Queue.add r queue) ff_regs;
+  let remaining = ref ff_edges in
+  while not (Queue.is_empty queue) do
+    let r = Queue.pop queue in
+    let outgoing, rest = List.partition (fun e -> e.src = r) !remaining in
+    remaining := rest;
+    List.iter
+      (fun e ->
+        let cand = Hashtbl.find level r + e.weight in
+        if cand > Hashtbl.find level e.dst then Hashtbl.replace level e.dst cand;
+        Hashtbl.replace indeg e.dst (Hashtbl.find indeg e.dst - 1);
+        if Hashtbl.find indeg e.dst = 0 then Queue.add e.dst queue)
+      outgoing
+  done;
+  List.iter (fun r -> Hashtbl.replace reg_level r (Hashtbl.find level r)) ff_regs;
+  (reg_level, sources)
+
+let levelize design =
+  let order = Rtl.comb_order design in
+  let reg_level, _sources = register_levels design order in
+  let n = Rtl.num_signals design in
+  (* Plane of each combinational signal: deepest register source level seen
+     on any path into it, at least 1. *)
+  let plane = Array.make n 0 in
+  let contribution id =
+    match (Rtl.signal design id).driver with
+    | Rtl.Register _ -> Hashtbl.find reg_level id
+    | Rtl.Input | Rtl.Const_driver _ -> 1
+    | Rtl.Comb _ -> plane.(id)
+  in
+  List.iter
+    (fun id ->
+      match (Rtl.signal design id).driver with
+      | Rtl.Comb op ->
+        plane.(id) <-
+          List.fold_left (fun acc i -> max acc (contribution i)) 1 (Rtl.op_inputs op)
+      | Rtl.Input | Rtl.Const_driver _ | Rtl.Register _ -> ())
+    order;
+  let num_plane = List.fold_left (fun acc id -> max acc plane.(id)) 1 order in
+  let plane_of id = plane.(id) in
+  let planes =
+    Array.init num_plane (fun i ->
+        let p = i + 1 in
+        let ops = List.filter (fun id -> plane_of id = p) order in
+        let op_set = IntSet.of_list ops in
+        let inputs =
+          List.fold_left
+            (fun acc id ->
+              match (Rtl.signal design id).driver with
+              | Rtl.Comb op ->
+                List.fold_left
+                  (fun acc i -> if IntSet.mem i op_set then acc else IntSet.add i acc)
+                  acc (Rtl.op_inputs op)
+              | Rtl.Input | Rtl.Const_driver _ | Rtl.Register _ -> acc)
+            IntSet.empty ops
+        in
+        let input_signals = IntSet.elements inputs in
+        let input_registers =
+          List.filter
+            (fun id ->
+              match (Rtl.signal design id).driver with
+              | Rtl.Register _ -> true
+              | Rtl.Input | Rtl.Const_driver _ | Rtl.Comb _ -> false)
+            input_signals
+        in
+        let output_registers =
+          List.filter_map
+            (fun (s : Rtl.signal) ->
+              match s.driver with
+              | Rtl.Register { d; _ } ->
+                let source_plane =
+                  match (Rtl.signal design d).driver with
+                  | Rtl.Comb _ -> plane_of d
+                  | Rtl.Input | Rtl.Const_driver _ | Rtl.Register _ -> 0
+                in
+                if source_plane = p then Some s.id else None
+              | Rtl.Input | Rtl.Const_driver _ | Rtl.Comb _ -> None)
+            (Rtl.registers design)
+        in
+        let primary_outputs =
+          List.filter
+            (fun (_, id) ->
+              match (Rtl.signal design id).driver with
+              | Rtl.Comb _ -> plane_of id = p
+              | Rtl.Input | Rtl.Const_driver _ | Rtl.Register _ -> false)
+            (Rtl.outputs design)
+        in
+        { index = p; ops; input_signals; input_registers; output_registers;
+          primary_outputs })
+  in
+  let register_level =
+    List.map (fun (s : Rtl.signal) -> (s.id, Hashtbl.find reg_level s.id))
+      (Rtl.registers design)
+  in
+  { design; planes; register_level }
+
+let num_planes t = Array.length t.planes
+
+let plane_of_op t id =
+  let found = ref 0 in
+  Array.iter (fun p -> if List.mem id p.ops then found := p.index) t.planes;
+  if !found = 0 then invalid_arg "Levelize.plane_of_op: not a combinational signal";
+  !found
+
+let total_flip_flops t =
+  List.fold_left
+    (fun acc (s : Rtl.signal) -> acc + s.width)
+    0 (Rtl.registers t.design)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "design %s: %d plane(s), %d flip-flops@."
+    (Rtl.name t.design) (num_planes t) (total_flip_flops t);
+  Array.iter
+    (fun p ->
+      Format.fprintf fmt "  plane %d: %d ops, %d input regs, %d output regs, %d POs@."
+        p.index (List.length p.ops)
+        (List.length p.input_registers)
+        (List.length p.output_registers)
+        (List.length p.primary_outputs))
+    t.planes

@@ -1,0 +1,50 @@
+(** Register levelization and plane extraction (paper Section 3).
+
+    Registers are levelized: primary inputs sit at level 0 and a register's
+    level is one more than the deepest register feeding logic in its data
+    cone. Two refinements make the notion match the paper's benchmarks:
+
+    - registers connected by a {e direct wire} (no logic in between, e.g. a
+      shift-register delay line) share a level — the copy is just a delayed
+      plane register, not a new plane;
+    - a weakly-connected register component containing any directed cycle
+      (an FSM, an accumulator, a controller coupled with its datapath) is a
+      single synchronous core that cannot be pipelined: all its registers
+      sit at level 1, i.e. the whole core is one plane.
+
+    The combinational logic whose deepest register source has level [p]
+    forms {e plane p}; [num_plane] is the number of planes. Circuit delay is
+    [plane cycle x num_plane] and NanoMap folds each plane into folding
+    stages. *)
+
+type plane = {
+  index : int;                        (** 1-based plane number *)
+  ops : Rtl.id list;                  (** combinational signals, topological order *)
+  input_signals : Rtl.id list;        (** registers/inputs/constants/earlier-plane
+                                          ops read by this plane *)
+  input_registers : Rtl.id list;      (** subset of [input_signals] that are
+                                          registers — the plane registers *)
+  output_registers : Rtl.id list;     (** registers whose data input is computed
+                                          by this plane *)
+  primary_outputs : (string * Rtl.id) list; (** POs driven from this plane *)
+}
+
+type t = {
+  design : Rtl.t;
+  planes : plane array;               (** index [p-1] holds plane [p] *)
+  register_level : (Rtl.id * int) list;
+}
+
+val levelize : Rtl.t -> t
+(** Raises [Failure] on invalid designs (see {!Rtl.validate}). A design
+    with no combinational logic still gets one (empty) plane. *)
+
+val num_planes : t -> int
+
+val plane_of_op : t -> Rtl.id -> int
+(** Plane number of a combinational signal. *)
+
+val total_flip_flops : t -> int
+(** Sum of register widths — the paper's "#Flip-flops" column. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,240 @@
+module Vec = Nanomap_util.Vec
+module Truth_table = Nanomap_logic.Truth_table
+
+type id = int
+
+type op =
+  | Add of id * id
+  | Sub of id * id
+  | Mult of id * id
+  | Eq of id * id
+  | Lt of id * id
+  | Bit_and of id * id
+  | Bit_or of id * id
+  | Bit_xor of id * id
+  | Bit_not of id
+  | Mux of id * id * id
+  | Slice of id * int
+  | Concat of id * id
+  | Table of Truth_table.t * id list
+
+type driver =
+  | Input
+  | Const_driver of int
+  | Register of { d : id; init : int }
+  | Comb of op
+
+type signal = {
+  id : id;
+  name : string;
+  width : int;
+  driver : driver;
+}
+
+type t = {
+  design_name : string;
+  signals : signal Vec.t;
+  mutable outputs_rev : (string * id) list;
+}
+
+let create design_name = { design_name; signals = Vec.create (); outputs_rev = [] }
+
+let name t = t.design_name
+
+let num_signals t = Vec.length t.signals
+
+let signal t id = Vec.get t.signals id
+
+let check_id t id =
+  if id < 0 || id >= num_signals t then invalid_arg "Rtl: undefined signal"
+
+let width_of t id = (signal t id).width
+
+let add_signal t name width driver =
+  if width < 1 || width > 48 then invalid_arg "Rtl: width must be in 1..48";
+  let id = Vec.length t.signals in
+  ignore (Vec.push t.signals { id; name; width; driver });
+  id
+
+let add_input t name width = add_signal t name width Input
+
+let add_const t ?name ~width value =
+  if value < 0 || value lsr width <> 0 then invalid_arg "Rtl.add_const: value too wide";
+  let name = Option.value name ~default:(Printf.sprintf "const%d_w%d" value width) in
+  add_signal t name width (Const_driver value)
+
+let op_inputs = function
+  | Add (a, b) | Sub (a, b) | Mult (a, b) | Eq (a, b) | Lt (a, b)
+  | Bit_and (a, b) | Bit_or (a, b) | Bit_xor (a, b) | Concat (a, b) -> [ a; b ]
+  | Bit_not a | Slice (a, _) -> [ a ]
+  | Mux (s, a, b) -> [ s; a; b ]
+  | Table (_, args) -> args
+
+let check_op t ~width op =
+  List.iter (check_id t) (op_inputs op);
+  let w = width_of t in
+  let expect cond = if not cond then invalid_arg "Rtl.add_op: width mismatch" in
+  match op with
+  | Add (a, b) | Sub (a, b) | Bit_and (a, b) | Bit_or (a, b) | Bit_xor (a, b) ->
+    expect (w a = width && w b = width)
+  | Mult (a, b) -> expect (width = w a + w b)
+  | Eq (a, b) | Lt (a, b) -> expect (width = 1 && w a = w b)
+  | Bit_not a -> expect (w a = width)
+  | Mux (s, a, b) -> expect (w s = 1 && w a = width && w b = width)
+  | Slice (a, lo) -> expect (lo >= 0 && lo + width <= w a)
+  | Concat (a, b) -> expect (width = w a + w b)
+  | Table (tt, args) ->
+    expect (width = 1);
+    expect (Truth_table.arity tt = List.length args);
+    List.iter (fun a -> expect (w a = 1)) args
+
+let counter = ref 0
+
+let add_op t ?name ~width op =
+  check_op t ~width op;
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "w%d" !counter
+  in
+  add_signal t name width (Comb op)
+
+let add_register t ?(init = 0) ~name ~width () =
+  add_signal t name width (Register { d = -1; init })
+
+let connect_register t id ~d =
+  check_id t id;
+  check_id t d;
+  let s = signal t id in
+  match s.driver with
+  | Register { d = -1; init } ->
+    if width_of t d <> s.width then invalid_arg "Rtl.connect_register: width mismatch";
+    Vec.set t.signals id { s with driver = Register { d; init } }
+  | Register _ -> invalid_arg "Rtl.connect_register: already connected"
+  | Input | Const_driver _ | Comb _ -> invalid_arg "Rtl.connect_register: not a register"
+
+let mark_output t name id =
+  check_id t id;
+  if List.mem_assoc name t.outputs_rev then
+    invalid_arg ("Rtl.mark_output: duplicate output " ^ name);
+  t.outputs_rev <- (name, id) :: t.outputs_rev
+
+let iter_signals f t = Vec.iter f t.signals
+
+let inputs t =
+  Vec.fold (fun acc s -> match s.driver with Input -> s :: acc | _ -> acc) [] t.signals
+  |> List.rev
+
+let registers t =
+  Vec.fold
+    (fun acc s -> match s.driver with Register _ -> s :: acc | _ -> acc)
+    [] t.signals
+  |> List.rev
+
+let outputs t = List.rev t.outputs_rev
+
+(* Combinational topological order (registers, inputs and constants are
+   sources). Raises on cycles or unconnected registers. *)
+let comb_topo t =
+  let n = num_signals t in
+  let state = Array.make n 0 in (* 0 unvisited, 1 visiting, 2 done *)
+  let order = ref [] in
+  let rec visit id =
+    let s = signal t id in
+    match s.driver with
+    | Input | Const_driver _ -> ()
+    | Register { d; _ } ->
+      if d = -1 then failwith ("Rtl: unconnected register " ^ s.name)
+    | Comb op ->
+      (match state.(id) with
+       | 2 -> ()
+       | 1 -> failwith ("Rtl: combinational cycle through " ^ s.name)
+       | _ ->
+         state.(id) <- 1;
+         List.iter visit (op_inputs op);
+         state.(id) <- 2;
+         order := id :: !order)
+  in
+  for id = 0 to n - 1 do visit id done;
+  List.rev !order
+
+let validate t = ignore (comb_topo t)
+
+let comb_order = comb_topo
+
+type sim = {
+  design : t;
+  values : int array;
+  order : id list;
+  input_index : (string, id) Hashtbl.t;
+}
+
+let mask w = (1 lsl w) - 1
+
+let sim_create design =
+  let order = comb_topo design in
+  let values = Array.make (num_signals design) 0 in
+  iter_signals
+    (fun s ->
+      match s.driver with
+      | Register { init; _ } -> values.(s.id) <- init land mask s.width
+      | Const_driver v -> values.(s.id) <- v
+      | Input | Comb _ -> ())
+    design;
+  let input_index = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace input_index s.name s.id) (inputs design);
+  { design; values; order; input_index }
+
+let eval_op sim ~width op =
+  let v id = sim.values.(id) in
+  let m = mask width in
+  match op with
+  | Add (a, b) -> (v a + v b) land m
+  | Sub (a, b) -> (v a - v b) land m
+  | Mult (a, b) -> (v a * v b) land m
+  | Eq (a, b) -> if v a = v b then 1 else 0
+  | Lt (a, b) -> if v a < v b then 1 else 0
+  | Bit_and (a, b) -> v a land v b
+  | Bit_or (a, b) -> v a lor v b
+  | Bit_xor (a, b) -> v a lxor v b
+  | Bit_not a -> lnot (v a) land m
+  | Mux (s, a, b) -> if v s = 1 then v b else v a
+  | Slice (a, lo) -> (v a lsr lo) land m
+  | Concat (a, b) ->
+    let wa = (signal sim.design a).width in
+    v a lor (v b lsl wa)
+  | Table (tt, args) ->
+    let bools = Array.of_list (List.map (fun a -> v a = 1) args) in
+    if Truth_table.eval tt bools then 1 else 0
+
+let sim_cycle sim ins =
+  List.iter
+    (fun (name, value) ->
+      match Hashtbl.find_opt sim.input_index name with
+      | Some id -> sim.values.(id) <- value land mask (width_of sim.design id)
+      | None -> invalid_arg ("Rtl.sim_cycle: no input " ^ name))
+    ins;
+  List.iter
+    (fun id ->
+      match (signal sim.design id).driver with
+      | Comb op -> sim.values.(id) <- eval_op sim ~width:(width_of sim.design id) op
+      | Input | Const_driver _ | Register _ -> assert false)
+    sim.order;
+  let outs =
+    List.map (fun (name, id) -> (name, sim.values.(id))) (outputs sim.design)
+  in
+  (* Clock edge: all registers latch simultaneously. *)
+  let next =
+    List.filter_map
+      (fun s ->
+        match s.driver with
+        | Register { d; _ } -> Some (s.id, sim.values.(d) land mask s.width)
+        | Input | Const_driver _ | Comb _ -> None)
+      (registers sim.design)
+  in
+  List.iter (fun (id, value) -> sim.values.(id) <- value) next;
+  outs
+
+let sim_peek sim id = sim.values.(id)

@@ -1,0 +1,100 @@
+(** Register-transfer-level intermediate representation.
+
+    A design is a set of {e signals} (named buses), each driven by exactly
+    one driver: a primary input, a constant, a register, or a combinational
+    operator. Registers are the only sequential elements; they all share one
+    implicit clock, which matches the NATURE execution model where a plane's
+    logic propagates in one plane cycle.
+
+    The IR is deliberately small: it is what the paper's flow consumes after
+    RTL synthesis — datapath macro-operators (add/sub/mult/compare/mux) that
+    NanoMap treats as modules to partition into LUT clusters, plus arbitrary
+    single-bit controller logic expressed as truth tables. *)
+
+type id = int
+
+type op =
+  | Add of id * id          (** result width = signal width (carry dropped) *)
+  | Sub of id * id
+  | Mult of id * id         (** truncated to the result signal's width *)
+  | Eq of id * id           (** 1-bit *)
+  | Lt of id * id           (** unsigned, 1-bit *)
+  | Bit_and of id * id
+  | Bit_or of id * id
+  | Bit_xor of id * id
+  | Bit_not of id
+  | Mux of id * id * id     (** [Mux (sel, a, b)]: [b] when [sel] *)
+  | Slice of id * int       (** [Slice (s, lo)]: bits [lo .. lo+width-1] of [s] *)
+  | Concat of id * id       (** low part first *)
+  | Table of Nanomap_logic.Truth_table.t * id list
+      (** single-bit controller logic over 1-bit operands *)
+
+type driver =
+  | Input
+  | Const_driver of int
+  | Register of { d : id; init : int }
+  | Comb of op
+
+type signal = {
+  id : id;
+  name : string;
+  width : int;
+  driver : driver;
+}
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val add_input : t -> string -> int -> id
+val add_const : t -> ?name:string -> width:int -> int -> id
+val add_op : t -> ?name:string -> width:int -> op -> id
+(** Width-checks the operands (raises [Invalid_argument] on mismatch):
+    [Add]/[Sub]/bitwise need equal widths equal to the result width;
+    [Mult] needs result width = wa + wb; [Eq]/[Lt]/[Table] produce 1 bit;
+    [Mux] needs a 1-bit selector. Operands must already exist. *)
+
+val add_register : t -> ?init:int -> name:string -> width:int -> unit -> id
+(** Registers are created first and get their data input later with
+    {!connect_register}, so feedback (FSMs, accumulators) is expressible. *)
+
+val connect_register : t -> id -> d:id -> unit
+(** Raises [Invalid_argument] if [id] is not a register, is already
+    connected, or widths differ. *)
+
+val mark_output : t -> string -> id -> unit
+
+val signal : t -> id -> signal
+val num_signals : t -> int
+val iter_signals : (signal -> unit) -> t -> unit
+val inputs : t -> signal list
+val registers : t -> signal list
+val outputs : t -> (string * id) list
+
+val validate : t -> unit
+(** Checks that every register is connected and that the combinational part
+    is acyclic. Raises [Failure] otherwise. Must be called (or implied via
+    {!simulate} / levelization) before handing the design to the flow. *)
+
+val op_inputs : op -> id list
+
+val comb_order : t -> id list
+(** Topological order of the combinational signals (validates as a side
+    effect; raises [Failure] like {!validate}). *)
+
+(** {2 Cycle-accurate reference simulation}
+
+    Used by the equivalence tests between the RTL and its gate-level
+    decomposition, and by the examples to demonstrate functional identity
+    before/after mapping. *)
+
+type sim
+
+val sim_create : t -> sim
+val sim_cycle : sim -> (string * int) list -> (string * int) list
+(** [sim_cycle s ins] applies primary-input values (by name, missing
+    inputs keep their previous value, initially 0), computes the
+    combinational fabric, returns outputs, then clocks every register. *)
+
+val sim_peek : sim -> id -> int

@@ -1,0 +1,1 @@
+lib/techmap/decompose.ml: Array Hashtbl Int64 List Lut_network Nanomap_logic Nanomap_rtl Printf

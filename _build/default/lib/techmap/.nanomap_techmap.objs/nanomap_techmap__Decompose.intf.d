@@ -1,0 +1,1 @@
+lib/techmap/decompose.mli: Lut_network Nanomap_logic Nanomap_rtl

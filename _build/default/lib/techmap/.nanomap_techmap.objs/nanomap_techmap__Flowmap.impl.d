@@ -1,0 +1,1 @@
+lib/techmap/flowmap.ml: Array Decompose Hashtbl List Lut_network Nanomap_logic Nanomap_util Option Printf Queue

@@ -1,0 +1,1 @@
+lib/techmap/lut_blif.ml: Array List Lut_network Nanomap_blif Nanomap_logic Printf String

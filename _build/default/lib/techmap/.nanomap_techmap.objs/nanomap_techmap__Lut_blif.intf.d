@@ -1,0 +1,1 @@
+lib/techmap/lut_blif.mli: Lut_network Nanomap_blif

@@ -1,0 +1,1 @@
+lib/techmap/lut_network.ml: Array Hashtbl List Nanomap_logic Nanomap_rtl Nanomap_util Option Printf

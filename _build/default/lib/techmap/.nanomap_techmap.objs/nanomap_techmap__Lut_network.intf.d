@@ -1,0 +1,1 @@
+lib/techmap/lut_network.mli: Nanomap_logic Nanomap_rtl

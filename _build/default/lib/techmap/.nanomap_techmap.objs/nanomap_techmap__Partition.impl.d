@@ -1,0 +1,1 @@
+lib/techmap/partition.ml: Array Hashtbl List Lut_network Option Printf Queue

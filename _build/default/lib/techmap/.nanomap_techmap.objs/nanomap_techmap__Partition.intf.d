@@ -1,0 +1,1 @@
+lib/techmap/partition.mli: Lut_network

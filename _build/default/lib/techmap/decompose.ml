@@ -1,0 +1,150 @@
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Gen = Nanomap_logic.Gen
+module Truth_table = Nanomap_logic.Truth_table
+module Rtl = Nanomap_rtl.Rtl
+module Levelize = Nanomap_rtl.Levelize
+
+type tagged = {
+  gates : Gate_netlist.t;
+  tags : int array;
+  input_origins : (Gate_netlist.id * Lut_network.input_origin) list;
+  output_targets : (Lut_network.target * Gate_netlist.id) list;
+}
+
+let wire_outputs (lv : Levelize.t) p =
+  let mine = (lv.planes.(p - 1)).Levelize.ops in
+  let mine_set = List.fold_left (fun acc id -> id :: acc) [] mine in
+  let wanted = Hashtbl.create 16 in
+  Array.iter
+    (fun (q : Levelize.plane) ->
+      if q.index > p then
+        List.iter
+          (fun id -> if List.mem id mine_set then Hashtbl.replace wanted id ())
+          q.input_signals)
+    lv.planes;
+  Hashtbl.fold (fun id () acc -> id :: acc) wanted [] |> List.sort compare
+
+(* Shannon decomposition of a truth table into a MUX tree over gate ids. *)
+let rec table_gates gates tt (args : int array) =
+  let n = Truth_table.arity tt in
+  if n = 0 then Gate_netlist.add_const gates (Truth_table.bits tt <> 0L)
+  else begin
+    let half_bits = Truth_table.bits tt in
+    let lo = Truth_table.of_bits ~arity:(n - 1) half_bits in
+    let hi =
+      Truth_table.of_bits ~arity:(n - 1)
+        (Int64.shift_right_logical half_bits (1 lsl (n - 1)))
+    in
+    let sub = Array.sub args 0 (n - 1) in
+    if Truth_table.equal lo hi then table_gates gates lo sub
+    else
+      let glo = table_gates gates lo sub in
+      let ghi = table_gates gates hi sub in
+      Gate_netlist.add_gate gates Gate.Mux2 [| args.(n - 1); glo; ghi |]
+  end
+
+let plane (lv : Levelize.t) p =
+  let design = lv.design in
+  let pl = lv.planes.(p - 1) in
+  let gates = Gate_netlist.create () in
+  let env : (Rtl.id, int array) Hashtbl.t = Hashtbl.create 64 in
+  let input_origins = ref [] in
+  (* Plane inputs become gate-level primary inputs (bit-blasted). *)
+  List.iter
+    (fun sid ->
+      let s = Rtl.signal design sid in
+      let make origin_of =
+        Array.init s.width (fun b ->
+            let gid = Gate_netlist.add_input gates (Printf.sprintf "%s.%d" s.name b) in
+            input_origins := (gid, origin_of b) :: !input_origins;
+            gid)
+      in
+      let bus =
+        match s.driver with
+        | Rtl.Register _ -> make (fun b -> Lut_network.Register_bit (sid, b))
+        | Rtl.Input -> make (fun b -> Lut_network.Pi_bit (sid, b))
+        | Rtl.Const_driver v ->
+          Array.init s.width (fun b -> Gate_netlist.add_const gates (v lsr b land 1 = 1))
+        | Rtl.Comb _ -> make (fun b -> Lut_network.Wire_bit (sid, b))
+      in
+      Hashtbl.replace env sid bus)
+    pl.input_signals;
+  let lookup sid =
+    match Hashtbl.find_opt env sid with
+    | Some bus -> bus
+    | None -> failwith "Decompose.plane: operand not available"
+  in
+  (* Tag spans: gates created while building op [sid] get tag [sid]. *)
+  let spans = ref [] in
+  List.iter
+    (fun sid ->
+      let s = Rtl.signal design sid in
+      let op = match s.driver with Rtl.Comb op -> op | _ -> assert false in
+      let start = Gate_netlist.size gates in
+      let bus =
+        match op with
+        | Rtl.Add (a, b) -> fst (Gen.ripple_carry_adder gates (lookup a) (lookup b))
+        | Rtl.Sub (a, b) -> fst (Gen.subtractor gates (lookup a) (lookup b))
+        | Rtl.Mult (a, b) -> Gen.array_multiplier gates (lookup a) (lookup b)
+        | Rtl.Eq (a, b) -> [| Gen.equality gates (lookup a) (lookup b) |]
+        | Rtl.Lt (a, b) -> [| Gen.less_than gates (lookup a) (lookup b) |]
+        | Rtl.Bit_and (a, b) -> Gen.bitwise gates Gate.And2 (lookup a) (lookup b)
+        | Rtl.Bit_or (a, b) -> Gen.bitwise gates Gate.Or2 (lookup a) (lookup b)
+        | Rtl.Bit_xor (a, b) -> Gen.bitwise gates Gate.Xor2 (lookup a) (lookup b)
+        | Rtl.Bit_not a ->
+          Array.map (fun g -> Gate_netlist.add_gate gates Gate.Not [| g |]) (lookup a)
+        | Rtl.Mux (sel, a, b) ->
+          Gen.mux_bus gates (lookup sel).(0) (lookup a) (lookup b)
+        | Rtl.Slice (a, lo) -> Array.sub (lookup a) lo s.width
+        | Rtl.Concat (a, b) -> Array.append (lookup a) (lookup b)
+        | Rtl.Table (tt, args) ->
+          let arg_bits = Array.of_list (List.map (fun a -> (lookup a).(0)) args) in
+          [| table_gates gates tt arg_bits |]
+      in
+      let stop = Gate_netlist.size gates in
+      if stop > start then spans := (start, stop, sid) :: !spans;
+      Hashtbl.replace env sid bus)
+    pl.ops;
+  (* Outputs: register data inputs, primary outputs, and wires consumed by
+     later planes. *)
+  let output_targets = ref [] in
+  List.iter
+    (fun rid ->
+      let r = Rtl.signal design rid in
+      match r.driver with
+      | Rtl.Register { d; _ } ->
+        let bus = lookup d in
+        Array.iteri
+          (fun b gid ->
+            output_targets := (Lut_network.Reg_target (rid, b), gid) :: !output_targets)
+          bus
+      | Rtl.Input | Rtl.Const_driver _ | Rtl.Comb _ -> assert false)
+    pl.output_registers;
+  List.iter
+    (fun (name, sid) ->
+      let bus = lookup sid in
+      Array.iteri
+        (fun b gid ->
+          output_targets :=
+            (Lut_network.Po_target (Printf.sprintf "%s.%d" name b), gid)
+            :: !output_targets)
+        bus)
+    pl.primary_outputs;
+  List.iter
+    (fun sid ->
+      let bus = lookup sid in
+      Array.iteri
+        (fun b gid ->
+          output_targets := (Lut_network.Wire_target (sid, b), gid) :: !output_targets)
+        bus)
+    (wire_outputs lv p);
+  let tags = Array.make (Gate_netlist.size gates) (-1) in
+  List.iter
+    (fun (start, stop, sid) ->
+      for g = start to stop - 1 do tags.(g) <- sid done)
+    !spans;
+  { gates;
+    tags;
+    input_origins = List.rev !input_origins;
+    output_targets = List.rev !output_targets }

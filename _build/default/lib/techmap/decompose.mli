@@ -1,0 +1,23 @@
+(** Decomposition of a plane's RTL operators into primitive gates.
+
+    Every datapath operator expands through the structural generators of
+    {!Nanomap_logic.Gen} (ripple-carry adders, array multipliers, ...), and
+    controller truth tables expand through Shannon decomposition into MUX
+    trees. Each produced gate is tagged with the RTL signal id of the
+    operator it came from, so that after FlowMap the LUTs of one operator
+    can be re-grouped into the paper's LUT clusters. *)
+
+type tagged = {
+  gates : Nanomap_logic.Gate_netlist.t;
+  tags : int array;
+      (** gate id -> RTL signal id of the originating operator, or [-1] for
+          inputs/constants/wiring *)
+  input_origins : (Nanomap_logic.Gate_netlist.id * Lut_network.input_origin) list;
+  output_targets : (Lut_network.target * Nanomap_logic.Gate_netlist.id) list;
+}
+
+val wire_outputs : Nanomap_rtl.Levelize.t -> int -> Nanomap_rtl.Rtl.id list
+(** Combinational signals of plane [p] that a later plane reads. *)
+
+val plane : Nanomap_rtl.Levelize.t -> int -> tagged
+(** [plane lv p] decomposes plane [p] (1-based). *)

@@ -1,0 +1,408 @@
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Truth_table = Nanomap_logic.Truth_table
+module Vec = Nanomap_util.Vec
+
+let default_k = 4
+
+let is_source (n : Gate_netlist.node) =
+  match n.Gate_netlist.kind with
+  | Gate.Input | Gate.Const _ -> true
+  | Gate.Buf | Gate.Not | Gate.And2 | Gate.Or2 | Gate.Nand2 | Gate.Nor2
+  | Gate.Xor2 | Gate.Xnor2 | Gate.Mux2 -> false
+
+let dedup_fanins fanins =
+  Array.to_list fanins |> List.sort_uniq compare
+
+(* A small max-flow network rebuilt for every labeled node. Unit vertex
+   capacities are modeled by node splitting; augmenting stops as soon as the
+   flow exceeds [k], so each run costs at most k+2 BFS passes. *)
+module Flow = struct
+  type t = {
+    mutable num_nodes : int;
+    dst : int Vec.t;
+    cap : int Vec.t;
+    adj : int list array; (* node -> edge indices *)
+  }
+
+  let inf = max_int / 2
+
+  let create max_nodes =
+    { num_nodes = max_nodes;
+      dst = Vec.create ();
+      cap = Vec.create ();
+      adj = Array.make max_nodes [] }
+
+  let add_edge t u v c =
+    let e = Vec.push t.dst v in
+    ignore (Vec.push t.cap c);
+    let e' = Vec.push t.dst u in
+    ignore (Vec.push t.cap 0);
+    t.adj.(u) <- e :: t.adj.(u);
+    t.adj.(v) <- e' :: t.adj.(v)
+
+  (* One BFS augmentation; returns the pushed amount (0 if no path). *)
+  let augment t src snk =
+    let pred = Array.make t.num_nodes (-1) in (* incoming edge index *)
+    let seen = Array.make t.num_nodes false in
+    seen.(src) <- true;
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun e ->
+          let v = Vec.get t.dst e in
+          if (not seen.(v)) && Vec.get t.cap e > 0 then begin
+            seen.(v) <- true;
+            pred.(v) <- e;
+            if v = snk then found := true else Queue.add v q
+          end)
+        t.adj.(u)
+    done;
+    if not !found then 0
+    else begin
+      (* bottleneck *)
+      let rec bottleneck v acc =
+        if v = src then acc
+        else
+          let e = pred.(v) in
+          let u = Vec.get t.dst (e lxor 1) in
+          bottleneck u (min acc (Vec.get t.cap e))
+      in
+      let b = bottleneck snk inf in
+      let rec push v =
+        if v <> src then begin
+          let e = pred.(v) in
+          Vec.set t.cap e (Vec.get t.cap e - b);
+          Vec.set t.cap (e lxor 1) (Vec.get t.cap (e lxor 1) + b);
+          push (Vec.get t.dst (e lxor 1))
+        end
+      in
+      push snk;
+      b
+    end
+
+  (* Max flow, aborting once the value exceeds [limit]. *)
+  let max_flow_capped t src snk limit =
+    let flow = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !flow <= limit do
+      let pushed = augment t src snk in
+      if pushed = 0 then continue_ := false else flow := !flow + pushed
+    done;
+    !flow
+
+  let residual_reachable t src =
+    let seen = Array.make t.num_nodes false in
+    seen.(src) <- true;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun e ->
+          let v = Vec.get t.dst e in
+          if (not seen.(v)) && Vec.get t.cap e > 0 then begin
+            seen.(v) <- true;
+            Queue.add v q
+          end)
+        t.adj.(u)
+    done;
+    seen
+end
+
+(* Labeling phase: label.(t) and cut.(t) for every node. *)
+let compute nl k =
+  let n = Gate_netlist.size nl in
+  let label = Array.make n 0 in
+  let cut = Array.make n [] in
+  (* Scratch buffers reused across nodes. *)
+  let loc = Array.make n (-1) in
+  for t = 0 to n - 1 do
+    let node = Gate_netlist.node nl t in
+    if not (is_source node) then begin
+      if Array.length node.Gate_netlist.fanins > k then
+        invalid_arg "Flowmap: netlist is not K-bounded";
+      let cone = Gate_netlist.transitive_fanin nl t in
+      (* Collect cone members and the max label below t. *)
+      let members = ref [] in
+      let p = ref 0 in
+      for u = 0 to t do
+        if cone.(u) then begin
+          members := u :: !members;
+          if u <> t then p := max !p label.(u)
+        end
+      done;
+      let members = !members in
+      let p = !p in
+      if p = 0 then begin
+        label.(t) <- 1;
+        cut.(t) <- dedup_fanins node.Gate_netlist.fanins
+      end
+      else begin
+        let collapsed u = u = t || label.(u) = p in
+        (* Local indices for non-collapsed members. *)
+        let m = ref 0 in
+        List.iter
+          (fun u ->
+            if not (collapsed u) then begin
+              loc.(u) <- !m;
+              incr m
+            end)
+          members;
+        let m = !m in
+        let sink = 2 * m and source = (2 * m) + 1 in
+        let fl = Flow.create ((2 * m) + 2) in
+        List.iter
+          (fun u ->
+            if not (collapsed u) then begin
+              let ui = 2 * loc.(u) and uo = (2 * loc.(u)) + 1 in
+              Flow.add_edge fl ui uo 1;
+              if is_source (Gate_netlist.node nl u) then
+                Flow.add_edge fl source ui Flow.inf
+            end)
+          members;
+        List.iter
+          (fun v ->
+            let vn = Gate_netlist.node nl v in
+            if not (is_source vn) then
+              Array.iter
+                (fun u ->
+                  match collapsed v, collapsed u with
+                  | true, true -> ()
+                  | true, false -> Flow.add_edge fl ((2 * loc.(u)) + 1) sink Flow.inf
+                  | false, false ->
+                    Flow.add_edge fl ((2 * loc.(u)) + 1) (2 * loc.(v)) Flow.inf
+                  | false, true ->
+                    (* labels are monotone along edges, so a collapsed node
+                       cannot feed a non-collapsed one inside the cone *)
+                    assert false)
+                vn.Gate_netlist.fanins)
+          members;
+        let flow = Flow.max_flow_capped fl source sink k in
+        if flow <= k then begin
+          label.(t) <- p;
+          let reach = Flow.residual_reachable fl source in
+          let cut_nodes =
+            List.filter
+              (fun u ->
+                (not (collapsed u))
+                && reach.(2 * loc.(u))
+                && not (reach.((2 * loc.(u)) + 1)))
+              members
+          in
+          cut.(t) <- List.sort compare cut_nodes
+        end
+        else begin
+          label.(t) <- p + 1;
+          cut.(t) <- dedup_fanins node.Gate_netlist.fanins
+        end;
+        (* Reset scratch. *)
+        List.iter (fun u -> loc.(u) <- -1) members
+      end
+    end
+  done;
+  (label, cut)
+
+let labels ?(k = default_k) (tg : Decompose.tagged) =
+  fst (compute tg.Decompose.gates k)
+
+(* Derive the function of the LUT rooted at [t] with inputs [cut] by
+   re-simulating the cone between them. *)
+let lut_func nl cut t =
+  let cut = Array.of_list cut in
+  let arity = Array.length cut in
+  assert (arity <= Truth_table.max_arity);
+  Truth_table.of_fun ~arity (fun inputs ->
+      let memo = Hashtbl.create 16 in
+      Array.iteri (fun i id -> Hashtbl.replace memo id inputs.(i)) cut;
+      let rec eval id =
+        match Hashtbl.find_opt memo id with
+        | Some v -> v
+        | None ->
+          let n = Gate_netlist.node nl id in
+          let v =
+            match n.Gate_netlist.kind with
+            | Gate.Const b -> b
+            | Gate.Input -> failwith "Flowmap: primary input below cut"
+            | kind -> Gate.eval kind (Array.map eval n.Gate_netlist.fanins)
+          in
+          Hashtbl.replace memo id v;
+          v
+      in
+      eval t)
+
+(* Area recovery: greedily absorb single-consumer LUTs into their consumer
+   when the merged support still fits in k inputs. Works on mutable arrays
+   and rebuilds the network at the end (dropping the dissolved LUTs). *)
+let area_recover_pass k network =
+  let n = Lut_network.size network in
+  let fanins = Array.make n [||] in
+  let funcs = Array.make n (Truth_table.const ~arity:0 false) in
+  let is_lut = Array.make n false in
+  Lut_network.iter
+    (fun id -> function
+      | Lut_network.Input _ -> ()
+      | Lut_network.Lut { func; fanins = f } ->
+        is_lut.(id) <- true;
+        fanins.(id) <- Array.copy f;
+        funcs.(id) <- func)
+    network;
+  let alive = Array.copy is_lut in
+  let protected_ = Array.make n false in
+  List.iter (fun (_, id) -> protected_.(id) <- true) (Lut_network.outputs network);
+  (* distinct consumer sets *)
+  let consumers = Array.make n [] in
+  let recompute_consumers () =
+    Array.fill consumers 0 n [];
+    for u = 0 to n - 1 do
+      if alive.(u) then
+        Array.iter
+          (fun f -> if not (List.mem u consumers.(f)) then consumers.(f) <- u :: consumers.(f))
+          fanins.(u)
+    done
+  in
+  recompute_consumers ();
+  let merged = ref true in
+  while !merged do
+    merged := false;
+    for v = n - 1 downto 0 do
+      if alive.(v) && not protected_.(v) then begin
+        match consumers.(v) with
+        | [ u ] when alive.(u) && u <> v ->
+          (* merged support *)
+          let keep = Array.to_list fanins.(u) |> List.filter (fun f -> f <> v) in
+          let extra =
+            Array.to_list fanins.(v) |> List.filter (fun f -> not (List.mem f keep))
+          in
+          let support = keep @ extra in
+          if List.length support <= k then begin
+            (* compose u's function with v substituted *)
+            let support_arr = Array.of_list support in
+            let index_of f =
+              let rec find i = if support_arr.(i) = f then i else find (i + 1) in
+              find 0
+            in
+            let old_u_fanins = fanins.(u) and old_u_func = funcs.(u) in
+            let v_fanins = fanins.(v) and v_func = funcs.(v) in
+            let new_func =
+              Truth_table.of_fun ~arity:(Array.length support_arr) (fun inputs ->
+                  let v_val =
+                    Truth_table.eval v_func
+                      (Array.map (fun f -> inputs.(index_of f)) v_fanins)
+                  in
+                  Truth_table.eval old_u_func
+                    (Array.map
+                       (fun f -> if f = v then v_val else inputs.(index_of f))
+                       old_u_fanins))
+            in
+            fanins.(u) <- support_arr;
+            funcs.(u) <- new_func;
+            alive.(v) <- false;
+            (* v's fanins gain u as a consumer; cheap local update *)
+            Array.iter
+              (fun f ->
+                consumers.(f) <- List.filter (fun c -> c <> v) consumers.(f);
+                if not (List.mem u consumers.(f)) then consumers.(f) <- u :: consumers.(f))
+              v_fanins;
+            Array.iter
+              (fun f -> consumers.(f) <- List.filter (fun c -> c <> v) consumers.(f))
+              old_u_fanins;
+            Array.iter
+              (fun f ->
+                if not (List.mem u consumers.(f)) then consumers.(f) <- u :: consumers.(f))
+              fanins.(u);
+            merged := true
+          end
+        | _ -> ()
+      end
+    done
+  done;
+  (* rebuild *)
+  let out = Lut_network.create () in
+  let remap = Array.make n (-1) in
+  Lut_network.iter
+    (fun id node ->
+      match node with
+      | Lut_network.Input origin ->
+        remap.(id) <- Lut_network.add_input out ~name:(Lut_network.node_name network id) origin
+      | Lut_network.Lut _ ->
+        if alive.(id) then
+          remap.(id) <-
+            Lut_network.add_lut out
+              ~name:(Lut_network.node_name network id)
+              ~module_id:(Lut_network.module_id network id)
+              ~func:funcs.(id)
+              ~fanins:(Array.map (fun f -> remap.(f)) fanins.(id))
+              ())
+    network;
+  List.iter
+    (fun (target, id) -> Lut_network.mark_output out target remap.(id))
+    (Lut_network.outputs network);
+  out
+
+let map ?(k = default_k) ?(area_recover = true) (tg : Decompose.tagged) =
+  let nl = tg.Decompose.gates in
+  let _, cut = compute nl k in
+  (* Mapping phase: walk back from the output drivers, materializing one LUT
+     per needed non-source gate. *)
+  let needed = Hashtbl.create 64 in
+  let rec need gid =
+    if not (Hashtbl.mem needed gid) then
+      if not (is_source (Gate_netlist.node nl gid)) then begin
+        Hashtbl.replace needed gid ();
+        List.iter need cut.(gid)
+      end
+  in
+  List.iter (fun (_, gid) -> need gid) tg.Decompose.output_targets;
+  (* Inputs referenced by any chosen LUT or directly by an output. *)
+  let lut = Lut_network.create () in
+  let node_map = Hashtbl.create 64 in (* gate id -> lut node id *)
+  let origin_of gid =
+    match List.assoc_opt gid tg.Decompose.input_origins with
+    | Some origin -> origin
+    | None ->
+      (match (Gate_netlist.node nl gid).Gate_netlist.kind with
+       | Gate.Const b -> Lut_network.Const_bit b
+       | _ -> failwith "Flowmap: input gate without origin")
+  in
+  let input_node gid =
+    match Hashtbl.find_opt node_map gid with
+    | Some id -> id
+    | None ->
+      let name = Option.value (Gate_netlist.node nl gid).Gate_netlist.name ~default:"in" in
+      let id = Lut_network.add_input lut ~name (origin_of gid) in
+      Hashtbl.replace node_map gid id;
+      id
+  in
+  let chosen = Hashtbl.fold (fun gid () acc -> gid :: acc) needed [] |> List.sort compare in
+  (* Fanins (cut nodes) always have smaller gate ids, so ascending order is
+     topological. *)
+  List.iter
+    (fun gid ->
+      let fanins =
+        List.map
+          (fun u ->
+            if is_source (Gate_netlist.node nl u) then input_node u
+            else Hashtbl.find node_map u)
+          cut.(gid)
+      in
+      let func = lut_func nl cut.(gid) gid in
+      let name = Printf.sprintf "g%d" gid in
+      let id =
+        Lut_network.add_lut lut ~name ~module_id:tg.Decompose.tags.(gid) ~func
+          ~fanins:(Array.of_list fanins) ()
+      in
+      Hashtbl.replace node_map gid id)
+    chosen;
+  List.iter
+    (fun (target, gid) ->
+      let id =
+        if is_source (Gate_netlist.node nl gid) then input_node gid
+        else Hashtbl.find node_map gid
+      in
+      Lut_network.mark_output lut target id)
+    tg.Decompose.output_targets;
+  if area_recover then area_recover_pass k lut else lut

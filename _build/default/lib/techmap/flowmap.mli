@@ -1,0 +1,27 @@
+(** FlowMap: depth-optimal technology mapping onto K-input LUTs
+    (Cong & Ding, TCAD 1994) — the mapper the paper relies on for its input
+    LUT networks.
+
+    Labeling phase: nodes are processed in topological order; the label of a
+    node is the depth of its best mapping, decided by testing whether the
+    node's fanin cone (with all maximum-label nodes collapsed into the sink)
+    admits a K-feasible node cut, via at most K+1 augmenting-path steps of a
+    unit-capacity max-flow. Mapping phase: LUTs are generated at the stored
+    min-cuts, walking from the outputs; each LUT's function is obtained by
+    re-simulating its cone over all input assignments.
+
+    The produced {!Lut_network.t} preserves input origins, output targets
+    and RTL module tags. *)
+
+val map : ?k:int -> ?area_recover:bool -> Decompose.tagged -> Lut_network.t
+(** [k] defaults to 4 (NATURE's LE). Raises [Invalid_argument] if the gate
+    netlist is not K-bounded (some gate has more than [k] fanins).
+
+    [area_recover] (default true) runs a post-pass that merges every LUT
+    with a single consumer into that consumer when the union of their
+    inputs still fits in [k] — the standard duplication/area cleanup after
+    depth-optimal mapping. Depth never increases. *)
+
+val labels : ?k:int -> Decompose.tagged -> int array
+(** The label (optimal mapping depth) of every gate — exposed for the
+    depth-optimality tests. *)

@@ -1,0 +1,96 @@
+module Blif = Nanomap_blif.Blif
+module Truth_table = Nanomap_logic.Truth_table
+
+let sanitize name = String.map (fun c -> if c = '.' then '_' else c) name
+
+let node_name network id =
+  match Lut_network.node network id with
+  | Lut_network.Lut _ -> sanitize (Lut_network.node_name network id)
+  | Lut_network.Input origin ->
+    (match origin with
+     | Lut_network.Register_bit (r, b) -> Printf.sprintf "reg%d_%d" r b
+     | Lut_network.Pi_bit (s, b) -> Printf.sprintf "pi%d_%d" s b
+     | Lut_network.Wire_bit (w, b) -> Printf.sprintf "wire%d_%d" w b
+     | Lut_network.Const_bit b -> if b then "const1" else "const0")
+
+(* ON-set cover of a truth table: one cube per minterm (downstream tools
+   minimize if they care). *)
+let cover_of func =
+  let arity = Truth_table.arity func in
+  let cubes = ref [] in
+  for idx = (1 lsl arity) - 1 downto 0 do
+    let inputs = Array.init arity (fun i -> idx land (1 lsl i) <> 0) in
+    if Truth_table.eval func inputs then begin
+      let mask = String.init arity (fun i -> if inputs.(i) then '1' else '0') in
+      cubes := { Blif.mask; value = true } :: !cubes
+    end
+  done;
+  !cubes
+
+let model_of_network ~name network =
+  let inputs = ref [] and consts = ref [] in
+  let nodes = ref [] in
+  Lut_network.iter
+    (fun id -> function
+      | Lut_network.Input (Lut_network.Const_bit b) ->
+        (* constants become 0-input .names *)
+        let nm = node_name network id in
+        if not (List.mem_assoc nm !consts) then consts := (nm, b) :: !consts
+      | Lut_network.Input _ ->
+        let nm = node_name network id in
+        if not (List.mem nm !inputs) then inputs := nm :: !inputs
+      | Lut_network.Lut { func; fanins } ->
+        nodes :=
+          { Blif.inputs = Array.to_list (Array.map (node_name network) fanins);
+            output = node_name network id;
+            cover = cover_of func }
+          :: !nodes)
+    network;
+  let const_nodes =
+    List.map
+      (fun (nm, b) ->
+        { Blif.inputs = [];
+          output = nm;
+          cover = (if b then [ { Blif.mask = ""; value = true } ] else []) })
+      !consts
+  in
+  (* outputs: POs by (sanitized) name via buffer nodes; register and wire
+     targets become latches *)
+  let outputs = ref [] and latches = ref [] and buffers = ref [] in
+  List.iter
+    (fun (target, id) ->
+      let src = node_name network id in
+      match target with
+      | Lut_network.Po_target po ->
+        let po = sanitize po in
+        outputs := po :: !outputs;
+        if po <> src then
+          buffers :=
+            { Blif.inputs = [ src ];
+              output = po;
+              cover = [ { Blif.mask = "1"; value = true } ] }
+            :: !buffers
+      | Lut_network.Reg_target (r, b) ->
+        latches := { Blif.data_in = src; data_out = Printf.sprintf "reg%d_%d" r b; init = false } :: !latches
+      | Lut_network.Wire_target (w, b) ->
+        let po = Printf.sprintf "wireout%d_%d" w b in
+        outputs := po :: !outputs;
+        buffers :=
+          { Blif.inputs = [ src ];
+            output = po;
+            cover = [ { Blif.mask = "1"; value = true } ] }
+          :: !buffers)
+    (Lut_network.outputs network);
+  (* latch outputs must not also be model inputs *)
+  let latch_outs = List.map (fun (l : Blif.latch) -> l.Blif.data_out) !latches in
+  let model_inputs = List.filter (fun i -> not (List.mem i latch_outs)) !inputs in
+  { Blif.name = sanitize name;
+    model_inputs = List.rev model_inputs;
+    model_outputs = List.rev !outputs;
+    nodes = const_nodes @ List.rev !nodes @ List.rev !buffers;
+    latches = List.rev !latches }
+
+let write_file ~name network path =
+  let oc = open_out path in
+  output_string oc (Blif.write_model (model_of_network ~name network));
+  close_out oc

@@ -1,0 +1,20 @@
+(** Export of mapped LUT networks as BLIF models, the lingua franca of
+    academic FPGA tool chains: each LUT becomes a [.names] node whose cover
+    enumerates the ON-set of its truth table, register targets become
+    [.latch] entries, and plane inputs become model inputs. A design mapped
+    by NanoMap can therefore be inspected with (or compared against) any
+    BLIF-consuming tool.
+
+    Folding is a run-time notion, so the export is per plane and flattens
+    the folding stages back into one combinational network — it round-trips
+    functionally with the pre-scheduling network, which the tests verify by
+    re-parsing and re-simulating. *)
+
+val model_of_network :
+  name:string -> Lut_network.t -> Nanomap_blif.Blif.model
+(** Signal naming: LUT nodes use their network names; input bits are
+    ["<kind><signal>_<bit>"]; primary-output targets keep their PO names
+    with dots replaced by underscores (BLIF treats dots as plain
+    characters, but uniformity helps diffing). *)
+
+val write_file : name:string -> Lut_network.t -> string -> unit

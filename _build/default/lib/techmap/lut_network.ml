@@ -1,0 +1,157 @@
+module Vec = Nanomap_util.Vec
+module Truth_table = Nanomap_logic.Truth_table
+
+type input_origin =
+  | Register_bit of Nanomap_rtl.Rtl.id * int
+  | Pi_bit of Nanomap_rtl.Rtl.id * int
+  | Const_bit of bool
+  | Wire_bit of Nanomap_rtl.Rtl.id * int
+
+type node =
+  | Input of input_origin
+  | Lut of {
+      func : Truth_table.t;
+      fanins : int array;
+    }
+
+type target =
+  | Reg_target of Nanomap_rtl.Rtl.id * int
+  | Po_target of string
+  | Wire_target of Nanomap_rtl.Rtl.id * int
+
+type info = {
+  node : node;
+  module_id : int;
+  name : string;
+}
+
+type t = {
+  nodes : info Vec.t;
+  mutable outputs_rev : (target * int) list;
+}
+
+let create () = { nodes = Vec.create (); outputs_rev = [] }
+
+let size t = Vec.length t.nodes
+
+let add_input t ?name origin =
+  let name = Option.value name ~default:(Printf.sprintf "in%d" (size t)) in
+  Vec.push t.nodes { node = Input origin; module_id = -1; name }
+
+let add_lut t ?name ~module_id ~func ~fanins () =
+  if Array.length fanins <> Truth_table.arity func then
+    invalid_arg "Lut_network.add_lut: fanin/arity mismatch";
+  let n = size t in
+  Array.iter
+    (fun f -> if f < 0 || f >= n then invalid_arg "Lut_network.add_lut: bad fanin")
+    fanins;
+  let name = Option.value name ~default:(Printf.sprintf "lut%d" n) in
+  Vec.push t.nodes { node = Lut { func; fanins }; module_id; name }
+
+let mark_output t target id =
+  if id < 0 || id >= size t then invalid_arg "Lut_network.mark_output: bad node";
+  t.outputs_rev <- (target, id) :: t.outputs_rev
+
+let node t id = (Vec.get t.nodes id).node
+let module_id t id = (Vec.get t.nodes id).module_id
+let node_name t id = (Vec.get t.nodes id).name
+let outputs t = List.rev t.outputs_rev
+
+let iter f t = Vec.iteri (fun i info -> f i info.node) t.nodes
+
+let num_luts t =
+  Vec.fold (fun acc info -> match info.node with Lut _ -> acc + 1 | Input _ -> acc) 0 t.nodes
+
+let num_inputs t =
+  Vec.fold (fun acc info -> match info.node with Input _ -> acc + 1 | Lut _ -> acc) 0 t.nodes
+
+let depths t =
+  let d = Array.make (size t) 0 in
+  iter
+    (fun id -> function
+      | Input _ -> d.(id) <- 0
+      | Lut { fanins; _ } ->
+        d.(id) <- 1 + Array.fold_left (fun acc f -> max acc d.(f)) 0 fanins)
+    t;
+  d
+
+let depth t = Array.fold_left max 0 (depths t)
+
+let fanouts t =
+  let fo = Array.make (size t) [] in
+  iter
+    (fun id -> function
+      | Input _ -> ()
+      | Lut { fanins; _ } -> Array.iter (fun f -> fo.(f) <- id :: fo.(f)) fanins)
+    t;
+  Array.map List.rev fo
+
+let modules t =
+  let table = Hashtbl.create 16 in
+  Vec.iteri
+    (fun id info ->
+      match info.node with
+      | Lut _ ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt table info.module_id) in
+        Hashtbl.replace table info.module_id (id :: cur)
+      | Input _ -> ())
+    t.nodes;
+  Hashtbl.fold (fun m ids acc -> (m, List.rev ids) :: acc) table []
+  |> List.sort compare
+
+let module_depths t m =
+  let d = Array.make (size t) 0 in
+  Vec.iteri
+    (fun id info ->
+      match info.node with
+      | Lut { fanins; _ } when info.module_id = m ->
+        d.(id) <- 1 + Array.fold_left (fun acc f -> max acc d.(f)) 0 fanins
+      | Lut _ | Input _ -> ())
+    t.nodes;
+  d
+
+let lut_input_count t id =
+  match node t id with
+  | Lut { fanins; _ } -> Array.length fanins
+  | Input _ -> invalid_arg "Lut_network.lut_input_count: not a LUT"
+
+let eval t assign =
+  let values = Array.make (size t) false in
+  iter
+    (fun id -> function
+      | Input (Const_bit b) -> values.(id) <- b
+      | Input origin -> values.(id) <- assign origin
+      | Lut { func; fanins } ->
+        values.(id) <- Truth_table.eval func (Array.map (fun f -> values.(f)) fanins))
+    t;
+  values
+
+let validate t =
+  let n = size t in
+  Vec.iteri
+    (fun id info ->
+      match info.node with
+      | Input _ -> ()
+      | Lut { func; fanins } ->
+        if Array.length fanins <> Truth_table.arity func then
+          failwith "Lut_network: fanin/arity mismatch";
+        Array.iter
+          (fun f ->
+            if f < 0 || f >= id then failwith "Lut_network: fanin out of order")
+          fanins)
+    t.nodes;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (target, id) ->
+      if id < 0 || id >= n then failwith "Lut_network: dangling output";
+      match target with
+      | Reg_target (r, b) ->
+        if Hashtbl.mem seen (`R (r, b)) then failwith "Lut_network: register bit driven twice";
+        Hashtbl.replace seen (`R (r, b)) ()
+      | Po_target s ->
+        if Hashtbl.mem seen (`P s) then failwith "Lut_network: PO driven twice";
+        Hashtbl.replace seen (`P s) ()
+      | Wire_target (w, b) ->
+        if Hashtbl.mem seen (`W (w, b)) then failwith "Lut_network: wire bit driven twice";
+        Hashtbl.replace seen (`W (w, b)) ())
+    (outputs t)

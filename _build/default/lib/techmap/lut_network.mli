@@ -1,0 +1,82 @@
+(** The mapped LUT network of one plane: what logic mapping hands to the
+    scheduler, the clusterer and ultimately the placer.
+
+    Nodes are either plane inputs (register bits, primary-input bits,
+    constants, or wires computed by an earlier plane) or K-input LUTs whose
+    function is an explicit truth table. Every LUT carries the RTL module it
+    was mapped from ([module_id], an {!Nanomap_rtl.Rtl.id}, or [-1] for glue
+    logic) — NanoMap partitions module LUTs into LUT clusters and schedules
+    whole clusters at once. *)
+
+type input_origin =
+  | Register_bit of Nanomap_rtl.Rtl.id * int  (** plane register bit *)
+  | Pi_bit of Nanomap_rtl.Rtl.id * int        (** primary-input bit *)
+  | Const_bit of bool
+  | Wire_bit of Nanomap_rtl.Rtl.id * int      (** computed by an earlier plane *)
+
+type node =
+  | Input of input_origin
+  | Lut of {
+      func : Nanomap_logic.Truth_table.t;
+      fanins : int array; (** node ids; length = arity of [func] *)
+    }
+
+type target =
+  | Reg_target of Nanomap_rtl.Rtl.id * int    (** register bit written at end of plane *)
+  | Po_target of string                       (** primary-output bit *)
+  | Wire_target of Nanomap_rtl.Rtl.id * int   (** read by a later plane *)
+
+type t
+
+val create : unit -> t
+
+val add_input : t -> ?name:string -> input_origin -> int
+val add_lut :
+  t -> ?name:string -> module_id:int ->
+  func:Nanomap_logic.Truth_table.t -> fanins:int array -> unit -> int
+(** Fanins must exist and match the function arity; raises
+    [Invalid_argument] otherwise. Nodes are appended in topological order. *)
+
+val mark_output : t -> target -> int -> unit
+
+val size : t -> int
+val node : t -> int -> node
+val module_id : t -> int -> int
+val node_name : t -> int -> string
+val outputs : t -> (target * int) list
+val iter : (int -> node -> unit) -> t -> unit
+
+val num_luts : t -> int
+val num_inputs : t -> int
+
+val depths : t -> int array
+(** LUT level: inputs 0, LUT = 1 + max over fanins. *)
+
+val depth : t -> int
+(** Max LUT level in the network (the plane's logic depth). *)
+
+val fanouts : t -> int list array
+(** For each node, the LUT nodes it feeds. *)
+
+val modules : t -> (int * int list) list
+(** Module id -> its LUT node ids (topological order within the module);
+    glue LUTs appear under id [-1]. *)
+
+val module_depths : t -> int -> int array
+(** Depth of each node {e relative to the module}: a LUT of module [m] has
+    relative depth 1 + max over same-module fanins (other fanins count 0).
+    Indexed by node id; non-module nodes hold 0. Used by LUT-cluster
+    partitioning. *)
+
+val lut_input_count : t -> int -> int
+(** Number of fanins of a LUT node. *)
+
+val eval : t -> (input_origin -> bool) -> bool array
+(** Evaluate the whole network under an assignment of the input origins
+    ([Const_bit b] always evaluates to [b], the callback is not consulted).
+    Returns the value of every node. Used by the functional-equivalence
+    tests between gate and LUT levels. *)
+
+val validate : t -> unit
+(** Structural checks: fanin arity = function arity, all referenced nodes
+    exist, every output target driven once. Raises [Failure]. *)

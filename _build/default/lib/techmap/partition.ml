@@ -1,0 +1,231 @@
+type unit_node = {
+  uid : int;
+  luts : int list;
+  weight : int;
+  module_id : int;
+  band : int;
+  label : string;
+}
+
+type t = {
+  units : unit_node array;
+  edges : (int * int) list;
+  weak_edges : (int * int) list;
+  unit_of_lut : int array;
+  num_bands : int;
+  network : Lut_network.t;
+}
+
+(* Global ALAP depth of every LUT: alap(l) = depth - height(l) + 1, where
+   height is the longest LUT chain from l to any sink. Banding by ALAP
+   (rather than ASAP) keeps producers next to their consumers, which both
+   shortens storage lifetimes and balances band sizes for array-style
+   arithmetic whose input rank is very wide. *)
+let alap_depths network =
+  let n = Lut_network.size network in
+  let height = Array.make n 0 in
+  let fanouts = Lut_network.fanouts network in
+  for id = n - 1 downto 0 do
+    match Lut_network.node network id with
+    | Lut_network.Input _ -> ()
+    | Lut_network.Lut _ ->
+      height.(id) <-
+        List.fold_left (fun acc f -> max acc (1 + height.(f))) 1 fanouts.(id)
+  done;
+  let depth =
+    let d = ref 0 in
+    Lut_network.iter
+      (fun id -> function
+        | Lut_network.Lut _ -> d := max !d height.(id)
+        | Lut_network.Input _ -> ())
+      network;
+    !d
+  in
+  let alap = Array.make n 0 in
+  Lut_network.iter
+    (fun id -> function
+      | Lut_network.Lut _ -> alap.(id) <- depth - height.(id) + 1
+      | Lut_network.Input _ -> ())
+    network;
+  (alap, depth)
+
+(* Balanced band assignment. Every LUT may sit in any band between the one
+   its fanins force and the one its global ALAP depth allows; picking the
+   least-loaded band in that window evens out per-folding-cycle LUT counts
+   (otherwise the fat middle ranks of a multiplier all pile into the bands
+   their ALAP dictates). Invariants maintained, which guarantee that any
+   schedule respecting the derived precedence keeps every folding cycle at
+   most [level] LUT levels deep:
+   - along every edge the band is non-decreasing;
+   - within one band, chains are at most [level] LUTs long (tracked via
+     [in_band_depth]; the ALAP window always leaves a feasible band). *)
+let assign_bands network ~level ~alap ~num_bands =
+  let n = Lut_network.size network in
+  let band = Array.make n (-1) in
+  let in_band_depth = Array.make n 0 in
+  let load = Array.make num_bands 0 in
+  Lut_network.iter
+    (fun id -> function
+      | Lut_network.Input _ -> ()
+      | Lut_network.Lut { fanins; _ } ->
+        let hi = (alap.(id) - 1) / level in
+        let lo =
+          Array.fold_left
+            (fun acc f -> match band.(f) with -1 -> acc | b -> max acc b)
+            0 fanins
+        in
+        let depth_at b =
+          1
+          + Array.fold_left
+              (fun acc f -> if band.(f) = b then max acc in_band_depth.(f) else acc)
+              0 fanins
+        in
+        let best = ref (-1) in
+        for b = lo to hi do
+          if depth_at b <= level then
+            match !best with
+            | -1 -> best := b
+            | cur -> if load.(b) < load.(cur) then best := b
+        done;
+        let b = match !best with -1 -> assert false | b -> b in
+        band.(id) <- b;
+        in_band_depth.(id) <- depth_at b;
+        load.(b) <- load.(b) + 1)
+    network;
+  band
+
+let partition network ~level =
+  if level < 1 then invalid_arg "Partition.partition: level < 1";
+  let alap, depth = alap_depths network in
+  let num_bands = max 1 ((depth + level - 1) / level) in
+  let bands = assign_bands network ~level ~alap ~num_bands in
+  let band_of l = bands.(l) in
+  let unit_of_lut = Array.make (Lut_network.size network) (-1) in
+  let units = ref [] in
+  let next_uid = ref 0 in
+  let add_unit luts module_id band label =
+    let uid = !next_uid in
+    incr next_uid;
+    List.iter (fun l -> unit_of_lut.(l) <- uid) luts;
+    units := { uid; luts; weight = List.length luts; module_id; band; label } :: !units
+  in
+  List.iter
+    (fun (module_id, luts) ->
+      if module_id < 0 then
+        (* Glue logic: one unit per LUT. *)
+        List.iter
+          (fun l ->
+            add_unit [ l ] module_id (band_of l) (Lut_network.node_name network l))
+          luts
+      else begin
+        (* One cluster per (module, band). *)
+        let bands = Hashtbl.create 4 in
+        List.iter
+          (fun l ->
+            let b = band_of l in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt bands b) in
+            Hashtbl.replace bands b (l :: cur))
+          luts;
+        Hashtbl.fold (fun b _ acc -> b :: acc) bands []
+        |> List.sort compare
+        |> List.iter (fun b ->
+               let members = List.rev (Hashtbl.find bands b) in
+               add_unit members module_id b (Printf.sprintf "m%d:c%d" module_id (b + 1)))
+      end)
+    (Lut_network.modules network);
+  let units = Array.of_list (List.rev !units) in
+  let strict = Hashtbl.create 64 and weak = Hashtbl.create 64 in
+  Lut_network.iter
+    (fun id -> function
+      | Lut_network.Lut { fanins; _ } ->
+        let v = unit_of_lut.(id) in
+        Array.iter
+          (fun f ->
+            let u = unit_of_lut.(f) in
+            if u >= 0 && u <> v then
+              if units.(u).band = units.(v).band then Hashtbl.replace weak (u, v) ()
+              else Hashtbl.replace strict (u, v) ())
+          fanins
+      | Lut_network.Input _ -> ())
+    network;
+  let to_list tbl = Hashtbl.fold (fun e () acc -> e :: acc) tbl [] |> List.sort compare in
+  { units;
+    edges = to_list strict;
+    weak_edges = to_list weak;
+    unit_of_lut;
+    num_bands;
+    network }
+
+(* Longest path with strict edges weight 1, weak edges weight 0. *)
+let critical_path_units t =
+  let n = Array.length t.units in
+  if n = 0 then 0
+  else begin
+    let adj = Array.make n [] in
+    let indeg = Array.make n 0 in
+    let add w (u, v) =
+      adj.(u) <- (v, w) :: adj.(u);
+      indeg.(v) <- indeg.(v) + 1
+    in
+    List.iter (add 1) t.edges;
+    List.iter (add 0) t.weak_edges;
+    let dist = Array.make n 1 in
+    let q = Queue.create () in
+    Array.iteri (fun u d -> if d = 0 then Queue.add u q) indeg;
+    let longest = ref 1 in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      longest := max !longest dist.(u);
+      List.iter
+        (fun (v, w) ->
+          if dist.(u) + w > dist.(v) then dist.(v) <- dist.(u) + w;
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.add v q)
+        adj.(u)
+    done;
+    !longest
+  end
+
+let validate t =
+  Lut_network.iter
+    (fun id -> function
+      | Lut_network.Lut _ ->
+        if t.unit_of_lut.(id) < 0 then failwith "Partition: LUT not in any unit"
+      | Lut_network.Input _ ->
+        if t.unit_of_lut.(id) >= 0 then failwith "Partition: input in a unit")
+    t.network;
+  let n = Array.length t.units in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then failwith "Partition: bad edge";
+      if t.units.(u).band >= t.units.(v).band then
+        failwith "Partition: strict edge does not increase band")
+    t.edges;
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then failwith "Partition: bad edge";
+      if t.units.(u).band <> t.units.(v).band then
+        failwith "Partition: weak edge across bands")
+    t.weak_edges;
+  (* Acyclicity of the combined graph. *)
+  let indeg = Array.make n 0 in
+  let adj = Array.make n [] in
+  let add (u, v) =
+    indeg.(v) <- indeg.(v) + 1;
+    adj.(u) <- v :: adj.(u)
+  in
+  List.iter add t.edges;
+  List.iter add t.weak_edges;
+  let q = Queue.create () in
+  Array.iteri (fun u d -> if d = 0 then Queue.add u q) indeg;
+  let consumed = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    incr consumed;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v q)
+      adj.(u)
+  done;
+  if !consumed <> n then failwith "Partition: precedence cycle"

@@ -1,0 +1,46 @@
+(** Partitioning of a plane's LUT network into scheduling units (paper
+    Section 3): for a chosen folding level [p], the network is cut into
+    {e depth bands} of [p] LUT levels using global as-late-as-possible
+    depths, so that a plane of depth [d] yields exactly [ceil(d/p)] bands —
+    one folding stage's worth of logic each. Within a band, each RTL
+    module's LUTs form one LUT cluster (the paper's [mul:c1], [add:c1],
+    ...); glue LUTs (controller logic outside any datapath module) stay
+    individual, as in the paper.
+
+    Precedence comes in two strengths. An edge that crosses bands is
+    {e strict}: the consumer must execute in a strictly later folding cycle
+    (its value crosses cycles through a flip-flop). An edge between units
+    of the same band is {e weak}: the consumer may share the producer's
+    cycle (the chain still fits within [p] LUT levels, by construction of
+    the bands) or run later. *)
+
+type unit_node = {
+  uid : int;                     (** dense unit id *)
+  luts : int list;               (** LUT node ids of the {!Lut_network.t} *)
+  weight : int;                  (** number of LUTs (paper's [weight_i]) *)
+  module_id : int;               (** RTL signal id, or [-1] for glue *)
+  band : int;                    (** 0-based depth band *)
+  label : string;                (** e.g. "mul:c1" *)
+}
+
+type t = {
+  units : unit_node array;
+  edges : (int * int) list;      (** strict: strictly increasing cycles *)
+  weak_edges : (int * int) list; (** same band: non-decreasing cycles *)
+  unit_of_lut : int array;       (** LUT node id -> unit id (-1 for inputs) *)
+  num_bands : int;               (** = ceil(plane depth / level) *)
+  network : Lut_network.t;
+}
+
+val partition : Lut_network.t -> level:int -> t
+(** [level >= 1]. Raises [Invalid_argument] on [level < 1]. *)
+
+val critical_path_units : t -> int
+(** Longest chain counting strict edges as 1 and weak edges as 0 — the
+    minimum number of folding stages of this plane (= [num_bands] unless
+    the network is empty). *)
+
+val validate : t -> unit
+(** Every LUT in exactly one unit; bands consistent with edges (strict
+    edges increase the band, weak edges stay inside one band); the
+    combined precedence graph is acyclic. Raises [Failure]. *)

@@ -1,0 +1,201 @@
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+
+type value =
+  | Const of bool
+  | Node of int (* id in the new netlist *)
+
+let target_name = function
+  | Lut_network.Po_target s -> s
+  | Lut_network.Reg_target (r, b) -> Printf.sprintf "$reg.%d.%d" r b
+  | Lut_network.Wire_target (w, b) -> Printf.sprintf "$wire.%d.%d" w b
+
+let mark_targets tg =
+  List.iter
+    (fun (target, gid) ->
+      Gate_netlist.mark_output tg.Decompose.gates (target_name target) gid)
+    tg.Decompose.output_targets;
+  tg
+
+let rec run (tg : Decompose.tagged) =
+  let old_nl = tg.Decompose.gates in
+  let nl = Gate_netlist.create () in
+  let new_tags = Nanomap_util.Vec.create () in
+  let memo : (int, value) Hashtbl.t = Hashtbl.create 256 in
+  let hash_cons : (Gate.kind * int list, int) Hashtbl.t = Hashtbl.create 256 in
+  let kind_of_new : (int, Gate.kind * int array) Hashtbl.t = Hashtbl.create 256 in
+  let new_origin = ref [] in
+  let emit tag kind fanins =
+    (* Canonical operand order for commutative gates. *)
+    let fanins =
+      match kind with
+      | Gate.And2 | Gate.Or2 | Gate.Nand2 | Gate.Nor2 | Gate.Xor2 | Gate.Xnor2 ->
+        let a = fanins.(0) and b = fanins.(1) in
+        if a <= b then fanins else [| b; a |]
+      | Gate.Input | Gate.Const _ | Gate.Buf | Gate.Not | Gate.Mux2 -> fanins
+    in
+    let key = (kind, Array.to_list fanins) in
+    match Hashtbl.find_opt hash_cons key with
+    | Some id -> id
+    | None ->
+      let id = Gate_netlist.add_gate nl kind fanins in
+      ignore (Nanomap_util.Vec.push new_tags tag);
+      Hashtbl.replace hash_cons key id;
+      Hashtbl.replace kind_of_new id (kind, fanins);
+      id
+  in
+  let is_not id =
+    match Hashtbl.find_opt kind_of_new id with
+    | Some (Gate.Not, f) -> Some f.(0)
+    | _ -> None
+  in
+  let mk_not tag a =
+    match is_not a with
+    | Some inner -> Node inner
+    | None -> Node (emit tag Gate.Not [| a |])
+  in
+  let rec value old_id =
+    match Hashtbl.find_opt memo old_id with
+    | Some v -> v
+    | None ->
+      let n = Gate_netlist.node old_nl old_id in
+      let tag = tg.Decompose.tags.(old_id) in
+      let v =
+        match n.Gate_netlist.kind with
+        | Gate.Input ->
+          let name = Option.value n.Gate_netlist.name ~default:"in" in
+          let id = Gate_netlist.add_input nl name in
+          ignore (Nanomap_util.Vec.push new_tags (-1));
+          (match List.assoc_opt old_id tg.Decompose.input_origins with
+           | Some origin -> new_origin := (id, origin) :: !new_origin
+           | None -> ());
+          Node id
+        | Gate.Const b -> Const b
+        | Gate.Buf -> value n.Gate_netlist.fanins.(0)
+        | Gate.Not ->
+          (match value n.Gate_netlist.fanins.(0) with
+           | Const b -> Const (not b)
+           | Node a -> mk_not tag a)
+        | Gate.And2 -> binary tag `And n.Gate_netlist.fanins
+        | Gate.Or2 -> binary tag `Or n.Gate_netlist.fanins
+        | Gate.Nand2 -> negate tag (binary tag `And n.Gate_netlist.fanins)
+        | Gate.Nor2 -> negate tag (binary tag `Or n.Gate_netlist.fanins)
+        | Gate.Xor2 -> binary tag `Xor n.Gate_netlist.fanins
+        | Gate.Xnor2 -> negate tag (binary tag `Xor n.Gate_netlist.fanins)
+        | Gate.Mux2 ->
+          let s = value n.Gate_netlist.fanins.(0) in
+          let a = value n.Gate_netlist.fanins.(1) in
+          let b = value n.Gate_netlist.fanins.(2) in
+          (match s, a, b with
+           | Const false, x, _ -> x
+           | Const true, _, y -> y
+           | Node _, x, y when x = y -> x
+           | Node sv, Const false, Const true -> Node sv
+           | Node sv, Const true, Const false -> mk_not tag sv
+           | Node _, Const _, Const _ -> assert false (* equal consts matched above *)
+           | Node sv, Const false, Node bv -> Node (emit tag Gate.And2 [| min sv bv; max sv bv |])
+           | Node sv, Node av, Const true -> Node (emit tag Gate.Or2 [| min sv av; max sv av |])
+           | Node sv, Const true, Node bv ->
+             (* !s or b *)
+             (match mk_not tag sv with
+              | Node ns -> Node (emit tag Gate.Or2 [| min ns bv; max ns bv |])
+              | Const _ -> assert false)
+           | Node sv, Node av, Const false ->
+             (match mk_not tag sv with
+              | Node ns -> Node (emit tag Gate.And2 [| min ns av; max ns av |])
+              | Const _ -> assert false)
+           | Node sv, Node av, Node bv -> Node (emit tag Gate.Mux2 [| sv; av; bv |]))
+      in
+      Hashtbl.replace memo old_id v;
+      v
+  and negate tag v =
+    match v with
+    | Const b -> Const (not b)
+    | Node a -> mk_not tag a
+  and binary tag op fanins =
+    let a = value fanins.(0) and b = value fanins.(1) in
+    match op, a, b with
+    | `And, Const false, _ | `And, _, Const false -> Const false
+    | `And, Const true, x | `And, x, Const true -> x
+    | `And, Node x, Node y when x = y -> Node x
+    | `And, Node x, Node y -> Node (emit tag Gate.And2 [| x; y |])
+    | `Or, Const true, _ | `Or, _, Const true -> Const true
+    | `Or, Const false, x | `Or, x, Const false -> x
+    | `Or, Node x, Node y when x = y -> Node x
+    | `Or, Node x, Node y -> Node (emit tag Gate.Or2 [| x; y |])
+    | `Xor, Const false, x | `Xor, x, Const false -> x
+    | `Xor, Const true, x | `Xor, x, Const true -> negate tag x
+    | `Xor, Node x, Node y when x = y -> Const false
+    | `Xor, Node x, Node y -> Node (emit tag Gate.Xor2 [| x; y |])
+  in
+  let const_cache = Hashtbl.create 2 in
+  let node_of_value tag = function
+    | Node id -> id
+    | Const b ->
+      (match Hashtbl.find_opt const_cache b with
+       | Some id -> id
+       | None ->
+         let id = Gate_netlist.add_const nl b in
+         ignore (Nanomap_util.Vec.push new_tags tag);
+         Hashtbl.replace const_cache b id;
+         id)
+  in
+  let output_targets =
+    List.map
+      (fun (target, gid) -> (target, node_of_value tg.Decompose.tags.(gid) (value gid)))
+      tg.Decompose.output_targets
+  in
+  mark_targets
+    (prune
+       { Decompose.gates = nl;
+         tags = Nanomap_util.Vec.to_array new_tags;
+         input_origins = List.rev !new_origin;
+         output_targets })
+
+(* Dead-node elimination: rebuild keeping only the cones of the outputs.
+   Rewrite rules above may orphan intermediate gates (e.g. an inverter whose
+   double negation cancelled); this sweep guarantees the advertised
+   invariant that only output cones survive. *)
+and prune (tg : Decompose.tagged) =
+  let old_nl = tg.Decompose.gates in
+  let live = Array.make (Gate_netlist.size old_nl) false in
+  let rec mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      Array.iter mark (Gate_netlist.node old_nl id).Gate_netlist.fanins
+    end
+  in
+  List.iter (fun (_, gid) -> mark gid) tg.Decompose.output_targets;
+  let all_live = ref true in
+  Array.iter (fun l -> if not l then all_live := false) live;
+  if !all_live then tg
+  else begin
+    let nl = Gate_netlist.create () in
+    let tags = Nanomap_util.Vec.create () in
+    let remap = Array.make (Gate_netlist.size old_nl) (-1) in
+    Gate_netlist.iter
+      (fun id n ->
+        if live.(id) then begin
+          let nid =
+            match n.Gate_netlist.kind with
+            | Gate.Input ->
+              Gate_netlist.add_input nl (Option.value n.Gate_netlist.name ~default:"in")
+            | Gate.Const b -> Gate_netlist.add_const nl b
+            | kind ->
+              Gate_netlist.add_gate ?name:n.Gate_netlist.name nl kind
+                (Array.map (fun f -> remap.(f)) n.Gate_netlist.fanins)
+          in
+          remap.(id) <- nid;
+          ignore (Nanomap_util.Vec.push tags tg.Decompose.tags.(id))
+        end)
+      old_nl;
+    { Decompose.gates = nl;
+      tags = Nanomap_util.Vec.to_array tags;
+      input_origins =
+        List.filter_map
+          (fun (gid, origin) ->
+            if live.(gid) then Some (remap.(gid), origin) else None)
+          tg.Decompose.input_origins;
+      output_targets =
+        List.map (fun (t, gid) -> (t, remap.(gid))) tg.Decompose.output_targets }
+  end

@@ -1,0 +1,19 @@
+(** Gate-level netlist cleanup ahead of FlowMap.
+
+    The structural generators instantiate textbook blocks (ripple adders
+    with constant carry-in, Shannon MUX trees with constant leaves, ...), so
+    the raw decomposition carries constants, buffers and duplicate
+    structure. This pass performs, in one topological sweep over the cones
+    of the outputs:
+
+    - constant folding (including MUX select folding),
+    - buffer and double-inverter collapsing,
+    - identical/complementary operand rules ([x AND x = x], [x XOR x = 0]),
+    - structural hashing (common-subexpression elimination, commutative
+      operands canonicalized),
+    - dead-node elimination (only output cones survive).
+
+    Module tags and input origins are preserved; an output that folds to a
+    constant is re-driven by a fresh constant gate. *)
+
+val run : Decompose.tagged -> Decompose.tagged

@@ -1,0 +1,56 @@
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  headers : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells > List.length t.headers then
+    invalid_arg "Ascii_table.add_row: more cells than headers";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let to_string t =
+  let ncols = List.length t.headers in
+  let pad cells = cells @ List.init (ncols - List.length cells) (fun _ -> "") in
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) (pad cells)
+  in
+  List.iter (function Cells c -> update c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let rule ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (widths.(i) - String.length c + 1) ' ');
+        Buffer.add_char buf '|')
+      (pad cells);
+    Buffer.add_char buf '\n'
+  in
+  rule '-';
+  line t.headers;
+  rule '=';
+  List.iter (function Cells c -> line c | Separator -> rule '-') rows;
+  rule '-';
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,18 @@
+(** Fixed-width ASCII tables, used to print the paper's Tables 1 and 2 and
+    the experiment summaries in the bench harness. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells print empty.
+    Extra cells are rejected. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val to_string : t -> string
+val print : t -> unit
+(** [to_string] renders with a box border; [print] writes it to stdout. *)

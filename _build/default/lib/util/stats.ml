@@ -1,0 +1,23 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let s = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (s /. float_of_int (List.length xs))
+
+let maxf = function
+  | [] -> neg_infinity
+  | x :: xs -> List.fold_left max x xs
+
+let minf = function
+  | [] -> infinity
+  | x :: xs -> List.fold_left min x xs
+
+let ceil_div a b =
+  assert (b > 0);
+  (a + b - 1) / b
+
+let round2 x = Float.round (x *. 100.) /. 100.

@@ -1,0 +1,16 @@
+(** Small numeric helpers shared by the delay models and the bench harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0. on the empty list. All elements must be positive. *)
+
+val maxf : float list -> float
+val minf : float list -> float
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] = ceiling of a/b for positive [b]. *)
+
+val round2 : float -> float
+(** Round to two decimal places (table printing). *)

@@ -1,0 +1,23 @@
+(** Growable arrays, used pervasively when building graphs whose final size
+    is unknown (gate netlists, routing-resource graphs). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of [n] copies of [x]. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val map_to_array : ('a -> 'b) -> 'a t -> 'b array
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val exists : ('a -> bool) -> 'a t -> bool
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/vhdl/vhdl.ml: Array Hashtbl List Nanomap_rtl Printf String

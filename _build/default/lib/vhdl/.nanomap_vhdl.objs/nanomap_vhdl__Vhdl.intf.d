@@ -1,0 +1,1 @@
+lib/vhdl/vhdl.mli: Nanomap_rtl

@@ -1,0 +1,650 @@
+module Rtl = Nanomap_rtl.Rtl
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+type ty =
+  | Std_logic
+  | Vector of int
+
+type expr =
+  | Name of string
+  | Index of string * int
+  | Slice of string * int * int
+  | Bit_lit of bool
+  | Bits_lit of string
+  | Others_lit of bool
+  | Binop of binop * expr * expr
+  | Not of expr
+  | When_else of expr * cond * expr
+
+and binop = Add | Sub | Mul | And | Or | Xor | Concat
+
+and cond =
+  | Eq of expr * expr
+  | Neq of expr * expr
+  | Lt of expr * expr
+
+type concurrent =
+  | Assign of string * expr
+  | Clocked of string * (string * expr) list
+
+type design = {
+  entity_name : string;
+  ports : (string * [ `In | `Out ] * ty) list;
+  signals : (string * ty) list;
+  statements : concurrent list;
+}
+
+(* ----------------------------------------------------------------- lexer *)
+
+type token =
+  | TId of string
+  | TInt of int
+  | TChar of bool
+  | TStr of string
+  | TLparen
+  | TRparen
+  | TSemi
+  | TColon
+  | TComma
+  | TAssign (* <= *)
+  | TArrow (* => *)
+  | TEq
+  | TNeq
+  | TLt
+  | TAmp
+  | TPlus
+  | TMinus
+  | TStar
+  | TEof
+
+let lex text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let push t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some text.[!i + k] else None in
+  while !i < n do
+    let c = text.[!i] in
+    (match c with
+     | '\n' -> incr line; incr i
+     | ' ' | '\t' | '\r' -> incr i
+     | '-' when peek 1 = Some '-' ->
+       while !i < n && text.[!i] <> '\n' do incr i done
+     | '-' -> push TMinus; incr i
+     | '(' -> push TLparen; incr i
+     | ')' -> push TRparen; incr i
+     | ';' -> push TSemi; incr i
+     | ':' -> push TColon; incr i
+     | ',' -> push TComma; incr i
+     | '&' -> push TAmp; incr i
+     | '+' -> push TPlus; incr i
+     | '*' -> push TStar; incr i
+     | '=' when peek 1 = Some '>' -> push TArrow; i := !i + 2
+     | '=' -> push TEq; incr i
+     | '/' when peek 1 = Some '=' -> push TNeq; i := !i + 2
+     | '<' when peek 1 = Some '=' -> push TAssign; i := !i + 2
+     | '<' -> push TLt; incr i
+     | '\'' ->
+       (match peek 1, peek 2 with
+        | Some ('0' | '1' as b), Some '\'' ->
+          push (TChar (b = '1'));
+          i := !i + 3
+        | _ -> fail !line "expected '0' or '1' between quotes")
+     | '"' ->
+       let start = !i + 1 in
+       let j = ref start in
+       while !j < n && text.[!j] <> '"' do incr j done;
+       if !j >= n then fail !line "unterminated bit string";
+       let s = String.sub text start (!j - start) in
+       String.iter
+         (fun ch -> if ch <> '0' && ch <> '1' then fail !line "bit string must be 0/1")
+         s;
+       push (TStr s);
+       i := !j + 1
+     | '0' .. '9' ->
+       let start = !i in
+       while !i < n && (match text.[!i] with '0' .. '9' -> true | _ -> false) do
+         incr i
+       done;
+       push (TInt (int_of_string (String.sub text start (!i - start))))
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+       let start = !i in
+       while
+         !i < n
+         && (match text.[!i] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | _ -> false)
+       do
+         incr i
+       done;
+       push (TId (String.lowercase_ascii (String.sub text start (!i - start))))
+     | _ -> fail !line (Printf.sprintf "unexpected character %c" c))
+  done;
+  push TEof;
+  Array.of_list (List.rev !tokens)
+
+(* ---------------------------------------------------------------- parser *)
+
+type parser_state = {
+  toks : (token * int) array;
+  mutable pos : int;
+}
+
+let cur p = fst p.toks.(p.pos)
+let cur_line p = snd p.toks.(p.pos)
+let advance p = p.pos <- p.pos + 1
+
+let expect p t what =
+  if cur p = t then advance p else fail (cur_line p) ("expected " ^ what)
+
+let expect_kw p kw =
+  match cur p with
+  | TId id when id = kw -> advance p
+  | _ -> fail (cur_line p) ("expected keyword '" ^ kw ^ "'")
+
+let ident p =
+  match cur p with
+  | TId id -> advance p; id
+  | _ -> fail (cur_line p) "expected identifier"
+
+let int_lit p =
+  match cur p with
+  | TInt v -> advance p; v
+  | _ -> fail (cur_line p) "expected integer"
+
+let keywords =
+  [ "entity"; "is"; "port"; "end"; "architecture"; "of"; "signal"; "begin";
+    "process"; "if"; "then"; "when"; "else"; "not"; "and"; "or"; "xor";
+    "downto"; "others"; "rising_edge"; "in"; "out"; "std_logic";
+    "std_logic_vector" ]
+
+let check_name line name =
+  if List.mem name keywords then fail line (name ^ " is a reserved word")
+
+let parse_type p =
+  match cur p with
+  | TId "std_logic" -> advance p; Std_logic
+  | TId "std_logic_vector" ->
+    advance p;
+    expect p TLparen "(";
+    let hi = int_lit p in
+    expect_kw p "downto";
+    let lo = int_lit p in
+    if lo <> 0 then fail (cur_line p) "only (H downto 0) vectors are supported";
+    expect p TRparen ")";
+    Vector (hi + 1)
+  | _ -> fail (cur_line p) "expected std_logic or std_logic_vector"
+
+(* expression grammar: logic < add/concat < mul < unary *)
+let rec parse_expr p =
+  let lhs = parse_add p in
+  let rec loop lhs =
+    match cur p with
+    | TId "and" -> advance p; loop (Binop (And, lhs, parse_add p))
+    | TId "or" -> advance p; loop (Binop (Or, lhs, parse_add p))
+    | TId "xor" -> advance p; loop (Binop (Xor, lhs, parse_add p))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_add p =
+  let lhs = parse_mul p in
+  let rec loop lhs =
+    match cur p with
+    | TPlus -> advance p; loop (Binop (Add, lhs, parse_mul p))
+    | TMinus -> advance p; loop (Binop (Sub, lhs, parse_mul p))
+    | TAmp -> advance p; loop (Binop (Concat, lhs, parse_mul p))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_mul p =
+  let lhs = parse_unary p in
+  let rec loop lhs =
+    match cur p with
+    | TStar -> advance p; loop (Binop (Mul, lhs, parse_unary p))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary p =
+  match cur p with
+  | TId "not" -> advance p; Not (parse_unary p)
+  | _ -> parse_primary p
+
+and parse_primary p =
+  match cur p with
+  | TChar b -> advance p; Bit_lit b
+  | TStr s -> advance p; Bits_lit s
+  | TLparen ->
+    advance p;
+    (match cur p with
+     | TId "others" ->
+       advance p;
+       expect p TArrow "=>";
+       let b = match cur p with
+         | TChar b -> advance p; b
+         | _ -> fail (cur_line p) "expected '0' or '1' after others =>"
+       in
+       expect p TRparen ")";
+       Others_lit b
+     | _ ->
+       let e = parse_expr p in
+       expect p TRparen ")";
+       e)
+  | TId id when not (List.mem id keywords) ->
+    advance p;
+    (match cur p with
+     | TLparen ->
+       advance p;
+       let first = int_lit p in
+       (match cur p with
+        | TId "downto" ->
+          advance p;
+          let lo = int_lit p in
+          expect p TRparen ")";
+          Slice (id, first, lo)
+        | TRparen -> advance p; Index (id, first)
+        | _ -> fail (cur_line p) "expected downto or )")
+     | _ -> Name id)
+  | _ -> fail (cur_line p) "expected expression"
+
+let parse_cond p =
+  let lhs = parse_expr p in
+  match cur p with
+  | TEq -> advance p; Eq (lhs, parse_expr p)
+  | TNeq -> advance p; Neq (lhs, parse_expr p)
+  | TLt -> advance p; Lt (lhs, parse_expr p)
+  | _ -> fail (cur_line p) "expected = /= or < in condition"
+
+let parse_rhs p =
+  let value = parse_expr p in
+  match cur p with
+  | TId "when" ->
+    advance p;
+    let c = parse_cond p in
+    expect_kw p "else";
+    let other = parse_expr p in
+    When_else (value, c, other)
+  | _ -> value
+
+let parse_process p =
+  (* 'process' already consumed *)
+  expect p TLparen "(";
+  let clock = ident p in
+  expect p TRparen ")";
+  expect_kw p "begin";
+  expect_kw p "if";
+  expect_kw p "rising_edge";
+  expect p TLparen "(";
+  let clock2 = ident p in
+  if clock2 <> clock then
+    fail (cur_line p) "rising_edge clock differs from the sensitivity list";
+  expect p TRparen ")";
+  expect_kw p "then";
+  (* Registered assignments, possibly under nested if/else (synchronous
+     reset / enable idioms). Nested conditions desugar per target into
+     when/else chains; a target missing from a branch holds its value. *)
+  let rec parse_block () =
+    let assigns = ref [] in
+    let rec loop () =
+      match cur p with
+      | TId "end" | TId "else" -> ()
+      | TId "if" ->
+        advance p;
+        let c = parse_cond p in
+        expect_kw p "then";
+        let then_assigns = parse_block () in
+        let else_assigns =
+          match cur p with
+          | TId "else" ->
+            advance p;
+            parse_block ()
+          | _ -> []
+        in
+        expect_kw p "end";
+        expect_kw p "if";
+        expect p TSemi ";";
+        (* merge: every target assigned in either branch *)
+        let targets =
+          List.sort_uniq compare (List.map fst (then_assigns @ else_assigns))
+        in
+        List.iter
+          (fun target ->
+            let value_of branch =
+              match List.assoc_opt target branch with
+              | Some e -> e
+              | None -> Name target (* hold *)
+            in
+            assigns :=
+              (target, When_else (value_of then_assigns, c, value_of else_assigns))
+              :: !assigns)
+          targets;
+        loop ()
+      | TId id when not (List.mem id keywords) ->
+        advance p;
+        expect p TAssign "<=";
+        let rhs = parse_rhs p in
+        expect p TSemi ";";
+        assigns := (id, rhs) :: !assigns;
+        loop ()
+      | _ -> fail (cur_line p) "expected a registered assignment, if, else or end"
+    in
+    loop ();
+    List.rev !assigns
+  in
+  let assigns = parse_block () in
+  expect_kw p "end";
+  expect_kw p "if";
+  expect p TSemi ";";
+  expect_kw p "end";
+  expect_kw p "process";
+  expect p TSemi ";";
+  Clocked (clock, assigns)
+
+let parse_string text =
+  let p = { toks = lex text; pos = 0 } in
+  (* entity *)
+  expect_kw p "entity";
+  let entity_name = ident p in
+  expect_kw p "is";
+  expect_kw p "port";
+  expect p TLparen "(";
+  let ports = ref [] in
+  let rec parse_ports () =
+    let names = ref [ ident p ] in
+    while cur p = TComma do
+      advance p;
+      names := ident p :: !names
+    done;
+    expect p TColon ":";
+    let dir =
+      match cur p with
+      | TId "in" -> advance p; `In
+      | TId "out" -> advance p; `Out
+      | _ -> fail (cur_line p) "expected in or out"
+    in
+    let ty = parse_type p in
+    List.iter (fun nm -> ports := (nm, dir, ty) :: !ports) (List.rev !names);
+    match cur p with
+    | TSemi -> advance p; parse_ports ()
+    | TRparen -> advance p
+    | _ -> fail (cur_line p) "expected ; or ) in port list"
+  in
+  parse_ports ();
+  expect p TSemi ";";
+  expect_kw p "end";
+  (match cur p with
+   | TId "entity" -> advance p
+   | _ -> ());
+  (match cur p with
+   | TId id when id = entity_name -> advance p
+   | _ -> ());
+  expect p TSemi ";";
+  (* architecture *)
+  expect_kw p "architecture";
+  let _arch_name = ident p in
+  expect_kw p "of";
+  let of_name = ident p in
+  if of_name <> entity_name then
+    fail (cur_line p) "architecture names a different entity";
+  expect_kw p "is";
+  let signals = ref [] in
+  while cur p = TId "signal" do
+    advance p;
+    let names = ref [ ident p ] in
+    while cur p = TComma do
+      advance p;
+      names := ident p :: !names
+    done;
+    expect p TColon ":";
+    let ty = parse_type p in
+    expect p TSemi ";";
+    List.iter (fun nm -> signals := (nm, ty) :: !signals) (List.rev !names)
+  done;
+  expect_kw p "begin";
+  let statements = ref [] in
+  let rec parse_statements () =
+    match cur p with
+    | TId "end" ->
+      advance p;
+      (match cur p with
+       | TId "architecture" -> advance p
+       | _ -> ());
+      (match cur p with
+       | TId _ -> advance p (* architecture name *)
+       | _ -> ());
+      expect p TSemi ";"
+    | TId "process" ->
+      advance p;
+      statements := parse_process p :: !statements;
+      parse_statements ()
+    | TId id when not (List.mem id keywords) ->
+      advance p;
+      (match cur p with
+       | TColon ->
+         (* a label; the real statement follows *)
+         advance p;
+         (match cur p with
+          | TId "process" ->
+            advance p;
+            statements := parse_process p :: !statements
+          | TId target when not (List.mem target keywords) ->
+            advance p;
+            expect p TAssign "<=";
+            let rhs = parse_rhs p in
+            expect p TSemi ";";
+            statements := Assign (target, rhs) :: !statements
+          | _ -> fail (cur_line p) "expected statement after label")
+       | TAssign ->
+         advance p;
+         let rhs = parse_rhs p in
+         expect p TSemi ";";
+         statements := Assign (id, rhs) :: !statements
+       | _ -> fail (cur_line p) "expected <= or : after identifier");
+      parse_statements ()
+    | _ -> fail (cur_line p) "expected a concurrent statement or end"
+  in
+  parse_statements ();
+  { entity_name;
+    ports = List.rev !ports;
+    signals = List.rev !signals;
+    statements = List.rev !statements }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+(* ------------------------------------------------------------ elaborator *)
+
+let width_of_ty = function Std_logic -> 1 | Vector w -> w
+
+let elaborate (dsn : design) =
+  let err msg = fail 0 msg in
+  let rtl = Rtl.create dsn.entity_name in
+  (* clocks are structural, not data *)
+  let clocks =
+    List.filter_map (function Clocked (c, _) -> Some c | Assign _ -> None)
+      dsn.statements
+  in
+  let declared = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _, ty) ->
+      check_name 0 name;
+      Hashtbl.replace declared name (width_of_ty ty))
+    dsn.ports;
+  List.iter
+    (fun (name, ty) ->
+      check_name 0 name;
+      Hashtbl.replace declared name (width_of_ty ty))
+    dsn.signals;
+  let width_of name =
+    match Hashtbl.find_opt declared name with
+    | Some w -> w
+    | None -> err ("undeclared signal " ^ name)
+  in
+  (* registers: every clocked target *)
+  let reg_exprs = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Clocked (_, assigns) ->
+        List.iter
+          (fun (target, rhs) ->
+            if Hashtbl.mem reg_exprs target then
+              err ("register " ^ target ^ " driven twice");
+            Hashtbl.replace reg_exprs target rhs)
+          assigns
+      | Assign _ -> ())
+    dsn.statements;
+  (* combinational drivers *)
+  let comb_exprs = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Assign (target, rhs) ->
+        if Hashtbl.mem comb_exprs target || Hashtbl.mem reg_exprs target then
+          err ("signal " ^ target ^ " driven twice");
+        Hashtbl.replace comb_exprs target rhs
+      | Clocked _ -> ())
+    dsn.statements;
+  (* create inputs and registers up front so feedback works *)
+  let env : (string, Rtl.id) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, dir, ty) ->
+      if dir = `In && not (List.mem name clocks) then
+        Hashtbl.replace env name (Rtl.add_input rtl name (width_of_ty ty)))
+    dsn.ports;
+  Hashtbl.iter
+    (fun target _ ->
+      Hashtbl.replace env target
+        (Rtl.add_register rtl ~name:target ~width:(width_of target) ()))
+    reg_exprs;
+  (* demand-driven elaboration of combinational signals *)
+  let visiting = Hashtbl.create 16 in
+  let rec signal_value name =
+    match Hashtbl.find_opt env name with
+    | Some id -> id
+    | None ->
+      if Hashtbl.mem visiting name then err ("combinational cycle through " ^ name);
+      (match Hashtbl.find_opt comb_exprs name with
+       | None -> err ("signal " ^ name ^ " is never driven")
+       | Some rhs ->
+         Hashtbl.replace visiting name ();
+         let id = elab ~hint:(Some (width_of name)) rhs in
+         Hashtbl.remove visiting name;
+         let id =
+           if Rtl.(signal rtl id).Rtl.width <> width_of name then
+             err
+               (Printf.sprintf "width mismatch assigning %s: %d /= %d" name
+                  Rtl.(signal rtl id).Rtl.width (width_of name))
+           else id
+         in
+         Hashtbl.replace env name id;
+         id)
+  and elab ~hint e =
+    match e with
+    | Name n -> signal_value n
+    | Index (n, i) ->
+      let s = signal_value n in
+      Rtl.add_op rtl ~width:1 (Rtl.Slice (s, i))
+    | Slice (n, hi, lo) ->
+      let s = signal_value n in
+      if hi < lo then err "slice high < low";
+      Rtl.add_op rtl ~width:(hi - lo + 1) (Rtl.Slice (s, lo))
+    | Bit_lit b -> Rtl.add_const rtl ~width:1 (if b then 1 else 0)
+    | Bits_lit s ->
+      let w = String.length s in
+      if w = 0 then err "empty bit string";
+      let v = ref 0 in
+      String.iter (fun c -> v := (!v lsl 1) lor (if c = '1' then 1 else 0)) s;
+      Rtl.add_const rtl ~width:w !v
+    | Others_lit b ->
+      let w = match hint with Some w -> w | None -> err "(others => ...) needs width context" in
+      Rtl.add_const rtl ~width:w (if b then (1 lsl w) - 1 else 0)
+    | Not e ->
+      let a = elab ~hint e in
+      Rtl.add_op rtl ~width:Rtl.(signal rtl a).Rtl.width (Rtl.Bit_not a)
+    | Binop (op, a, b) -> elab_binop ~hint op a b
+    | When_else (then_e, c, else_e) ->
+      let sel = elab_cond c in
+      let t = elab ~hint then_e in
+      let f = elab ~hint:(Some Rtl.(signal rtl t).Rtl.width) else_e in
+      let wt = Rtl.(signal rtl t).Rtl.width in
+      if Rtl.(signal rtl f).Rtl.width <> wt then err "when/else branch widths differ";
+      Rtl.add_op rtl ~width:wt (Rtl.Mux (sel, f, t))
+  and elab_binop ~hint op a b =
+    match op with
+    | Mul ->
+      let x = elab ~hint:None a and y = elab ~hint:None b in
+      let w = Rtl.(signal rtl x).Rtl.width + Rtl.(signal rtl y).Rtl.width in
+      Rtl.add_op rtl ~width:w (Rtl.Mult (x, y))
+    | Concat ->
+      (* VHDL: a & b has a as the most significant part *)
+      let x = elab ~hint:None a and y = elab ~hint:None b in
+      let w = Rtl.(signal rtl x).Rtl.width + Rtl.(signal rtl y).Rtl.width in
+      Rtl.add_op rtl ~width:w (Rtl.Concat (y, x))
+    | Add | Sub | And | Or | Xor ->
+      let x, y = elab_same_width ~hint a b in
+      let w = Rtl.(signal rtl x).Rtl.width in
+      let rtl_op =
+        match op with
+        | Add -> Rtl.Add (x, y)
+        | Sub -> Rtl.Sub (x, y)
+        | And -> Rtl.Bit_and (x, y)
+        | Or -> Rtl.Bit_or (x, y)
+        | Xor -> Rtl.Bit_xor (x, y)
+        | Mul | Concat -> assert false
+      in
+      Rtl.add_op rtl ~width:w rtl_op
+  and elab_same_width ~hint a b =
+    (* elaborate the self-sized operand first so (others => ...) can adopt
+       its width *)
+    match a, b with
+    | Others_lit _, Others_lit _ ->
+      let x = elab ~hint a in
+      (x, elab ~hint b)
+    | Others_lit _, _ ->
+      let y = elab ~hint b in
+      let x = elab ~hint:(Some Rtl.(signal rtl y).Rtl.width) a in
+      (x, y)
+    | _, _ ->
+      let x = elab ~hint a in
+      let y = elab ~hint:(Some Rtl.(signal rtl x).Rtl.width) b in
+      if Rtl.(signal rtl x).Rtl.width <> Rtl.(signal rtl y).Rtl.width then
+        err "operand widths differ";
+      (x, y)
+  and elab_cond = function
+    | Eq (a, b) ->
+      let x, y = elab_same_width ~hint:None a b in
+      Rtl.add_op rtl ~width:1 (Rtl.Eq (x, y))
+    | Neq (a, b) ->
+      let x, y = elab_same_width ~hint:None a b in
+      let eq = Rtl.add_op rtl ~width:1 (Rtl.Eq (x, y)) in
+      Rtl.add_op rtl ~width:1 (Rtl.Bit_not eq)
+    | Lt (a, b) ->
+      let x, y = elab_same_width ~hint:None a b in
+      Rtl.add_op rtl ~width:1 (Rtl.Lt (x, y))
+  in
+  (* connect registers *)
+  Hashtbl.iter
+    (fun target rhs ->
+      let d = elab ~hint:(Some (width_of target)) rhs in
+      if Rtl.(signal rtl d).Rtl.width <> width_of target then
+        err ("width mismatch on register " ^ target);
+      Rtl.connect_register rtl (Hashtbl.find env target) ~d)
+    reg_exprs;
+  (* outputs *)
+  List.iter
+    (fun (name, dir, _) ->
+      if dir = `Out then Rtl.mark_output rtl name (signal_value name))
+    dsn.ports;
+  Rtl.validate rtl;
+  rtl
+
+let design_of_file path = elaborate (parse_file path)

@@ -1,0 +1,75 @@
+(** RTL-VHDL frontend: the input format the paper names ("RTL and/or
+    gate-level VHDL"), for a synthesizable subset sufficient for the
+    benchmark class of the paper — controller/datapath circuits built from
+    registers, arithmetic operators and multiplexers.
+
+    Supported subset:
+    - one [entity] with a port list of [in]/[out] ports of type
+      [std_logic] or [std_logic_vector(H downto 0)];
+    - one [architecture] with [signal] declarations of the same types;
+    - concurrent signal assignments with the operators [+ - * and or xor
+      not & ] (concatenation), static slices [s(H downto L)], indexing
+      [s(I)], the literals ['0' '1'], bit strings ["0101"], and
+      [(others => '0'/'1')];
+    - conditional assignment [x <= a when cond else b] where [cond] is
+      [sig = lit], [sig = sig], or [sig < sig];
+    - clocked processes [process (clk) ... if rising_edge(clk) then
+      r <= expr; ... end if; ... end process] — each such assignment
+      declares a register; nested [if cond then ... else ... end if]
+      blocks inside the clocked region express synchronous resets and
+      enables (they desugar to when/else per target, holding the old
+      value in branches that do not assign).
+
+    Comments ([--]) are ignored; identifiers are case-insensitive as in
+    VHDL. Anything outside the subset raises {!Parse_error} with a line
+    number. *)
+
+exception Parse_error of int * string
+
+(** {2 AST} *)
+
+type ty =
+  | Std_logic
+  | Vector of int (** std_logic_vector(width-1 downto 0) *)
+
+type expr =
+  | Name of string
+  | Index of string * int
+  | Slice of string * int * int          (** high, low *)
+  | Bit_lit of bool
+  | Bits_lit of string                   (** MSB-first, as written *)
+  | Others_lit of bool
+  | Binop of binop * expr * expr
+  | Not of expr
+  | When_else of expr * cond * expr      (** value-if-true, cond, value-if-false *)
+
+and binop = Add | Sub | Mul | And | Or | Xor | Concat
+
+and cond =
+  | Eq of expr * expr
+  | Neq of expr * expr
+  | Lt of expr * expr
+
+type concurrent =
+  | Assign of string * expr
+  | Clocked of string * (string * expr) list
+      (** one process: clock name, registered assignments *)
+
+type design = {
+  entity_name : string;
+  ports : (string * [ `In | `Out ] * ty) list;
+  signals : (string * ty) list;
+  statements : concurrent list;
+}
+
+val parse_string : string -> design
+val parse_file : string -> design
+
+val elaborate : design -> Nanomap_rtl.Rtl.t
+(** Lower to the RTL IR: out ports become primary outputs, clocked
+    assignments become registers, [when/else] becomes a mux. Width rules
+    are strict (arithmetic operands must match, [*] produces the sum of
+    the operand widths); violations raise {!Parse_error} with line 0. *)
+
+val design_of_file : string -> Nanomap_rtl.Rtl.t
+(** Parse + elaborate. *)

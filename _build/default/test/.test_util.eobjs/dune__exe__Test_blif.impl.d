@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest List Nanomap_blif Nanomap_logic

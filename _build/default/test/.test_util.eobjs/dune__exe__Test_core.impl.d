@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Nanomap_arch Nanomap_core Nanomap_logic Nanomap_rtl Nanomap_techmap Printf

@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Filename List Nanomap_arch Nanomap_cluster Nanomap_core Nanomap_emu Nanomap_rtl Nanomap_util Nanomap_vhdl Option Printf Sys

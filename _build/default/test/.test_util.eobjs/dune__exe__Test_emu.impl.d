@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest List Nanomap_arch Nanomap_circuits Nanomap_cluster Nanomap_core Nanomap_emu Nanomap_rtl Nanomap_util Option Printf

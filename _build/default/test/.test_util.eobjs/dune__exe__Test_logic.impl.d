@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array List Nanomap_logic Nanomap_util Printf QCheck QCheck_alcotest

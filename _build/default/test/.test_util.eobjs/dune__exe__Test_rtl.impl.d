@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array List Nanomap_logic Nanomap_rtl Printf

@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Array Hashtbl List Nanomap_blif Nanomap_logic Nanomap_rtl Nanomap_techmap Nanomap_util Printf QCheck QCheck_alcotest

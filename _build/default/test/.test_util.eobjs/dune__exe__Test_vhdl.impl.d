@@ -1,0 +1,1 @@
+test/test_vhdl.ml: Alcotest List Nanomap_arch Nanomap_core Nanomap_rtl Nanomap_util Nanomap_vhdl

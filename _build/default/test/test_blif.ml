@@ -1,0 +1,151 @@
+module Blif = Nanomap_blif.Blif
+module Gate_netlist = Nanomap_logic.Gate_netlist
+
+let check = Alcotest.check
+
+let sample =
+  {|# a tiny sequential model
+.model counter
+.inputs en
+.outputs q0 q1
+.latch n0 s0 re clk 0
+.latch n1 s1 re clk 0
+.names en s0 n0
+10 1
+01 1
+.names en s0 s1 n1
+011 1
+101 1
+110 1
+.names s0 q0
+1 1
+.names s1 q1
+1 1
+.end
+|}
+
+let test_parse_basic () =
+  let m = Blif.parse_string sample in
+  check Alcotest.string "name" "counter" m.Blif.name;
+  check (Alcotest.list Alcotest.string) "inputs" [ "en" ] m.Blif.model_inputs;
+  check (Alcotest.list Alcotest.string) "outputs" [ "q0"; "q1" ] m.Blif.model_outputs;
+  check Alcotest.int "latches" 2 (List.length m.Blif.latches);
+  check Alcotest.int "nodes" 4 (List.length m.Blif.nodes)
+
+let test_parse_continuation () =
+  let text = ".model m\n.inputs a \\\nb\n.outputs x\n.names a b x\n11 1\n.end\n" in
+  let m = Blif.parse_string text in
+  check (Alcotest.list Alcotest.string) "continued inputs" [ "a"; "b" ] m.Blif.model_inputs
+
+let test_parse_comments () =
+  let text = ".model m # comment\n.inputs a\n.outputs x\n.names a x\n1 1 # cube\n.end\n" in
+  let m = Blif.parse_string text in
+  check Alcotest.int "one node" 1 (List.length m.Blif.nodes)
+
+let test_parse_errors () =
+  let bad fragment =
+    match Blif.parse_string fragment with
+    | exception Blif.Parse_error _ -> true
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "no model" true (bad ".inputs a\n.end\n");
+  check Alcotest.bool "bad cube" true (bad ".model m\n.names a x\n2 1\n.end\n");
+  check Alcotest.bool "cube width" true (bad ".model m\n.names a b x\n1 1\n.end\n");
+  check Alcotest.bool "mixed cover" true
+    (bad ".model m\n.names a b x\n11 1\n00 0\n.end\n")
+
+let test_cover_semantics () =
+  let node =
+    { Blif.inputs = [ "a"; "b" ];
+      output = "x";
+      cover = [ { Blif.mask = "1-"; value = true }; { Blif.mask = "01"; value = true } ] }
+  in
+  (* x = a OR (!a AND b)  = a or b *)
+  check Alcotest.bool "10" true (Blif.cover_value node [| true; false |]);
+  check Alcotest.bool "01" true (Blif.cover_value node [| false; true |]);
+  check Alcotest.bool "00" false (Blif.cover_value node [| false; false |])
+
+let test_cover_offset () =
+  let node =
+    { Blif.inputs = [ "a"; "b" ];
+      output = "x";
+      cover = [ { Blif.mask = "11"; value = false } ] }
+  in
+  (* OFF-set cover: x = NOT (a AND b) = nand *)
+  check Alcotest.bool "11" false (Blif.cover_value node [| true; true |]);
+  check Alcotest.bool "10" true (Blif.cover_value node [| true; false |])
+
+let test_lower_combinational_equiv () =
+  let m = Blif.parse_string sample in
+  let lowered = Blif.lower m in
+  let nl = lowered.Blif.netlist in
+  (* Inputs of the lowered netlist: model inputs then latch outputs. *)
+  let input_names = List.map fst (Gate_netlist.inputs nl) in
+  check (Alcotest.list Alcotest.string) "inputs" [ "en"; "s0"; "s1" ] input_names;
+  (* Compare against cover_value on all input combinations. *)
+  let node_by_output o = List.find (fun n -> n.Blif.output = o) m.Blif.nodes in
+  for v = 0 to 7 do
+    let en = v land 1 = 1 and s0 = v land 2 <> 0 and s1 = v land 4 <> 0 in
+    let outs = Gate_netlist.output_values nl [| en; s0; s1 |] in
+    let expect_n0 = Blif.cover_value (node_by_output "n0") [| en; s0 |] in
+    let expect_n1 = Blif.cover_value (node_by_output "n1") [| en; s0; s1 |] in
+    check Alcotest.bool "latch n0 input" expect_n0 (List.assoc "$latch.s0" outs);
+    check Alcotest.bool "latch n1 input" expect_n1 (List.assoc "$latch.s1" outs);
+    check Alcotest.bool "q0" s0 (List.assoc "q0" outs)
+  done
+
+let test_lower_cycle_detection () =
+  let text = ".model m\n.inputs a\n.outputs x\n.names x a y\n11 1\n.names y a x\n11 1\n.end\n" in
+  let m = Blif.parse_string text in
+  check Alcotest.bool "cycle rejected" true
+    (match Blif.lower m with exception Failure _ -> true | _ -> false)
+
+let test_lower_undefined_signal () =
+  let text = ".model m\n.inputs a\n.outputs x\n.names a ghost x\n11 1\n.end\n" in
+  let m = Blif.parse_string text in
+  check Alcotest.bool "undefined rejected" true
+    (match Blif.lower m with exception Failure _ -> true | _ -> false)
+
+let test_constant_nodes () =
+  let text = ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n" in
+  let m = Blif.parse_string text in
+  let lowered = Blif.lower m in
+  let outs = Gate_netlist.output_values lowered.Blif.netlist [| false |] in
+  check Alcotest.bool "const one" true (List.assoc "one" outs);
+  check Alcotest.bool "const zero" false (List.assoc "zero" outs)
+
+let test_roundtrip () =
+  let m = Blif.parse_string sample in
+  let text = Blif.write_model m in
+  let m2 = Blif.parse_string text in
+  check Alcotest.string "name" m.Blif.name m2.Blif.name;
+  check Alcotest.int "nodes" (List.length m.Blif.nodes) (List.length m2.Blif.nodes);
+  check Alcotest.int "latches" (List.length m.Blif.latches) (List.length m2.Blif.latches);
+  (* Functional identity on the combinational part. *)
+  let l1 = Blif.lower m and l2 = Blif.lower m2 in
+  for v = 0 to 7 do
+    let ins = [| v land 1 = 1; v land 2 <> 0; v land 4 <> 0 |] in
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.bool))
+      "outputs equal"
+      (Gate_netlist.output_values l1.Blif.netlist ins)
+      (Gate_netlist.output_values l2.Blif.netlist ins)
+  done
+
+let () =
+  Alcotest.run "blif"
+    [ ( "parse",
+        [ Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "continuation" `Quick test_parse_continuation;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+      ( "cover",
+        [ Alcotest.test_case "on-set" `Quick test_cover_semantics;
+          Alcotest.test_case "off-set" `Quick test_cover_offset ] );
+      ( "lower",
+        [ Alcotest.test_case "equivalence" `Quick test_lower_combinational_equiv;
+          Alcotest.test_case "cycle" `Quick test_lower_cycle_detection;
+          Alcotest.test_case "undefined" `Quick test_lower_undefined_signal;
+          Alcotest.test_case "constants" `Quick test_constant_nodes ] );
+      ("roundtrip", [ Alcotest.test_case "write/parse" `Quick test_roundtrip ]) ]

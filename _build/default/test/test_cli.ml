@@ -1,0 +1,107 @@
+(* Integration tests of the command-line driver: every subcommand runs,
+   produces the expected artifacts, and fails cleanly on bad input. *)
+
+let check = Alcotest.check
+
+(* The test binary runs under _build/default/test; the CLI executable is a
+   sibling. Hunt upward like test_designs does for robustness. *)
+let cli =
+  let rec hunt dir depth =
+    let candidates =
+      [ Filename.concat dir "bin/nanomap_cli.exe";
+        Filename.concat dir "_build/default/bin/nanomap_cli.exe" ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some c -> c
+    | None ->
+      if depth > 8 then failwith "nanomap_cli.exe not found"
+      else hunt (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  hunt (Sys.getcwd ()) 0
+
+let run args =
+  let cmd = Printf.sprintf "%s %s > /tmp/nanomap_cli_test.out 2>&1" cli args in
+  let code = Sys.command cmd in
+  let ic = open_in "/tmp/nanomap_cli_test.out" in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  (code, out)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  loop 0
+
+let test_list () =
+  let code, out = run "list" in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "mentions ex1" true (contains out "ex1");
+  check Alcotest.bool "mentions ASPP4" true (contains out "ASPP4")
+
+let test_stats () =
+  let code, out = run "stats -c biquad" in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "plane count" true (contains out "planes: 1")
+
+let test_map_logical () =
+  let code, out = run "map -c ex1-4bit --logical" in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "reports LEs" true (contains out "LEs")
+
+let test_map_physical_with_bitstream () =
+  let code, out =
+    run "map -c ex1-4bit --level 2 --bitstream /tmp/nanomap_test.nmap" in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "routing legal" true (contains out "routing: legal");
+  check Alcotest.bool "bitstream written" true (Sys.file_exists "/tmp/nanomap_test.nmap")
+
+let test_disasm () =
+  (* depends on the bitstream produced above; regenerate defensively *)
+  ignore (run "map -c ex1-4bit --level 2 --bitstream /tmp/nanomap_test.nmap");
+  let code, out = run "disasm /tmp/nanomap_test.nmap" in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "prints configurations" true (contains out "configurations")
+
+let test_emulate () =
+  let code, out = run "emulate -c ex1-4bit --level 2 --cycles 50" in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "no mismatches" true (contains out "0 mismatches")
+
+let test_sweep () =
+  let code, out = run "sweep -c c5315 -k 0" in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "has level column" true (contains out "Level")
+
+let test_map_infeasible () =
+  let code, _ = run "map -c ex1-4bit -o delay --area 1 --logical" in
+  check Alcotest.bool "nonzero exit" true (code <> 0)
+
+let test_unknown_circuit () =
+  let code, out = run "map -c nonsense" in
+  check Alcotest.bool "nonzero exit" true (code <> 0);
+  check Alcotest.bool "error message" true (contains out "unknown benchmark")
+
+let test_dump_blif_feeds_back () =
+  (* the exported BLIF must itself be a valid flow input *)
+  let code, _ = run "map -c ex1-4bit --logical --dump-blif /tmp/nanomap_test.blif" in
+  check Alcotest.int "export ok" 0 code;
+  let code, out = run "stats --blif /tmp/nanomap_test.blif" in
+  check Alcotest.int "reimport ok" 0 code;
+  check Alcotest.bool "has LUTs" true (contains out "LUTs")
+
+let () =
+  Alcotest.run "cli"
+    [ ( "subcommands",
+        [ Alcotest.test_case "list" `Quick test_list;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "map logical" `Quick test_map_logical;
+          Alcotest.test_case "map + bitstream" `Quick test_map_physical_with_bitstream;
+          Alcotest.test_case "disasm" `Quick test_disasm;
+          Alcotest.test_case "emulate" `Quick test_emulate;
+          Alcotest.test_case "sweep" `Quick test_sweep ] );
+      ( "errors",
+        [ Alcotest.test_case "infeasible budget" `Quick test_map_infeasible;
+          Alcotest.test_case "unknown circuit" `Quick test_unknown_circuit ] );
+      ( "interop",
+        [ Alcotest.test_case "blif export feeds back" `Quick test_dump_blif_feeds_back ] ) ]

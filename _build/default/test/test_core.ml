@@ -1,0 +1,369 @@
+module Rtl = Nanomap_rtl.Rtl
+module Truth_table = Nanomap_logic.Truth_table
+module Lut_network = Nanomap_techmap.Lut_network
+module Partition = Nanomap_techmap.Partition
+module Fold = Nanomap_core.Fold
+module Sched = Nanomap_core.Sched
+module Fds = Nanomap_core.Fds
+module Mapper = Nanomap_core.Mapper
+module Arch = Nanomap_arch.Arch
+
+let check = Alcotest.check
+
+(* --- Fold: the paper's motivational example numbers --- *)
+
+let test_fold_motivational_example () =
+  (* Section 3: 50 LUTs, area constraint 32 LEs -> 2 stages; depth 9 ->
+     initial level 5; refined to level 4 -> 3 stages. *)
+  check Alcotest.int "Eq.1 stages" 2 (Fold.min_stages ~lut_max:50 ~available_le:32);
+  check Alcotest.int "Eq.2 level" 5 (Fold.level_for_stages ~depth_max:9 ~stages:2);
+  check Alcotest.int "level 4 -> 3 stages" 3 (Fold.stages_for_level ~depth:9 ~level:4)
+
+let test_fold_min_level () =
+  (* Eq. 3 with the Table 1 k=16 instances. *)
+  check Alcotest.int "ex1: depth 24, 1 plane, k=16" 2
+    (Fold.min_level ~depth_max:24 ~num_planes:1 ~num_reconf:(Some 16));
+  check Alcotest.int "c5315: depth 14, 1 plane, k=16" 1
+    (Fold.min_level ~depth_max:14 ~num_planes:1 ~num_reconf:(Some 16));
+  check Alcotest.int "unbounded k" 1
+    (Fold.min_level ~depth_max:100 ~num_planes:4 ~num_reconf:None)
+
+let test_fold_pipelined () =
+  (* Eq. 4. *)
+  check Alcotest.int "pipelined level" 3
+    (Fold.level_pipelined ~depth_max:10 ~available_le:30 ~total_luts:100);
+  check Alcotest.int "stage budget" 5
+    (match Fold.max_stages_allowed ~num_planes:3 ~num_reconf:(Some 16) with
+     | Some s -> s
+     | None -> -1)
+
+(* --- a hand-built 5-unit scheduling problem reproducing Fig. 4 ---
+
+   network: A = lut(in0), B = lut(in1), C = lut(A), D = lut(B), E = lut(B,C)
+   precedence: A->C, B->D, B->E, C->E; 3 folding stages.
+   ASAP: A1 B1 C2 D2 E3.  ALAP: A1 B2 C2 D3 E3.
+   Fig. 4 storage for B: ASAP_life [2,3] (len 2), ALAP_life [3,3] (len 1),
+   max_life [2,3] (len 2, Eq. 6), overlap [3,3] (len 1, Eq. 7),
+   avg_life 5/3 (Eq. 8). *)
+let fig4_problem () =
+  let nw = Lut_network.create () in
+  let in0 = Lut_network.add_input nw (Lut_network.Pi_bit (0, 0)) in
+  let in1 = Lut_network.add_input nw (Lut_network.Pi_bit (1, 0)) in
+  let buf = Truth_table.var ~arity:1 0 in
+  let and2 = Truth_table.of_fun ~arity:2 (fun i -> i.(0) && i.(1)) in
+  let a = Lut_network.add_lut nw ~name:"A" ~module_id:(-1) ~func:buf ~fanins:[| in0 |] () in
+  let b = Lut_network.add_lut nw ~name:"B" ~module_id:(-1) ~func:buf ~fanins:[| in1 |] () in
+  let c = Lut_network.add_lut nw ~name:"C" ~module_id:(-1) ~func:buf ~fanins:[| a |] () in
+  let d = Lut_network.add_lut nw ~name:"D" ~module_id:(-1) ~func:buf ~fanins:[| b |] () in
+  let e = Lut_network.add_lut nw ~name:"E" ~module_id:(-1) ~func:and2 ~fanins:[| b; c |] () in
+  Lut_network.mark_output nw (Lut_network.Po_target "d") d;
+  Lut_network.mark_output nw (Lut_network.Po_target "e") e;
+  let part = Partition.partition nw ~level:1 in
+  Partition.validate part;
+  let prob = Sched.problem nw part ~stages:3 ~base_ff_bits:0 in
+  (prob, (a, b, c, d, e))
+
+let test_frames_fig4 () =
+  let prob, (a, b, c, d, e) = fig4_problem () in
+  let unit_of l = prob.Sched.part.Partition.unit_of_lut.(l) in
+  let fixed = Array.make 5 None in
+  let fr = Sched.frames prob ~fixed in
+  let expect name l asap alap =
+    check Alcotest.int (name ^ " asap") asap fr.Sched.asap.(unit_of l);
+    check Alcotest.int (name ^ " alap") alap fr.Sched.alap.(unit_of l)
+  in
+  expect "A" a 1 1;
+  expect "B" b 1 2;
+  expect "C" c 2 2;
+  expect "D" d 2 3;
+  expect "E" e 3 3
+
+let test_storage_lifetime_fig4 () =
+  let prob, (_, b, _, _, _) = fig4_problem () in
+  let unit_of l = prob.Sched.part.Partition.unit_of_lut.(l) in
+  let fixed = Array.make 5 None in
+  let fr = Sched.frames prob ~fixed in
+  match Sched.intermediate_lifetime prob fr (unit_of b) with
+  | None -> Alcotest.fail "B has storage"
+  | Some lt ->
+    check (Alcotest.pair Alcotest.int Alcotest.int) "ASAP_life" (2, 3) lt.Sched.asap_life;
+    check (Alcotest.pair Alcotest.int Alcotest.int) "ALAP_life" (3, 3) lt.Sched.alap_life;
+    check (Alcotest.pair Alcotest.int Alcotest.int) "max_life (Eq.6)" (2, 3) lt.Sched.max_life;
+    check (Alcotest.pair Alcotest.int Alcotest.int) "overlap (Eq.7)" (3, 3) lt.Sched.overlap;
+    check (Alcotest.float 1e-9) "avg_life (Eq.8)" (5.0 /. 3.0) lt.Sched.avg_life
+
+let test_lut_dg_conservation () =
+  let prob, _ = fig4_problem () in
+  let fixed = Array.make 5 None in
+  let fr = Sched.frames prob ~fixed in
+  let dg = Sched.lut_dg prob fr in
+  let total = Array.fold_left ( +. ) 0.0 dg in
+  check (Alcotest.float 1e-9) "DG mass = total weight" 5.0 total;
+  (* every entry non-negative *)
+  Array.iter (fun v -> check Alcotest.bool "dg >= 0" true (v >= 0.0)) dg
+
+let test_storage_dg_bounds () =
+  let prob, _ = fig4_problem () in
+  let fixed = Array.make 5 None in
+  let fr = Sched.frames prob ~fixed in
+  let dg = Sched.storage_dg prob fr in
+  Array.iter (fun v -> check Alcotest.bool "dg >= 0" true (v >= 0.0)) dg;
+  check Alcotest.bool "cycle 0 empty" true (dg.(0) = 0.0)
+
+let test_fds_valid_and_balanced () =
+  let prob, _ = fig4_problem () in
+  let arch = Arch.default in
+  let sched = Fds.schedule prob ~arch in
+  Sched.check_schedule prob sched;
+  let les_fds = Sched.les_needed prob ~arch sched in
+  let asap = Fds.asap_schedule prob in
+  let les_asap = Sched.les_needed prob ~arch asap in
+  check Alcotest.bool "FDS no worse than ASAP" true (les_fds <= les_asap)
+
+let test_asap_alap_are_valid () =
+  let prob, _ = fig4_problem () in
+  Sched.check_schedule prob (Fds.asap_schedule prob);
+  Sched.check_schedule prob (Fds.alap_schedule prob)
+
+let test_infeasible_stages () =
+  let nw = Lut_network.create () in
+  let i0 = Lut_network.add_input nw (Lut_network.Pi_bit (0, 0)) in
+  let buf = Truth_table.var ~arity:1 0 in
+  let a = Lut_network.add_lut nw ~module_id:(-1) ~func:buf ~fanins:[| i0 |] () in
+  let b = Lut_network.add_lut nw ~module_id:(-1) ~func:buf ~fanins:[| a |] () in
+  let c = Lut_network.add_lut nw ~module_id:(-1) ~func:buf ~fanins:[| b |] () in
+  Lut_network.mark_output nw (Lut_network.Po_target "c") c;
+  let part = Partition.partition nw ~level:1 in
+  check Alcotest.bool "3-chain in 2 stages infeasible" true
+    (match Sched.problem nw part ~stages:2 ~base_ff_bits:0 with
+     | exception Sched.Infeasible _ -> true
+     | _ -> false)
+
+(* --- FDS balances an imbalanced parallel graph --- *)
+
+let test_fds_balances_parallel_work () =
+  (* 8 independent 1-LUT units, 4 stages: ASAP piles all in cycle 1; FDS
+     should spread them out to ~2 per stage. *)
+  let nw = Lut_network.create () in
+  let i0 = Lut_network.add_input nw (Lut_network.Pi_bit (0, 0)) in
+  let i1 = Lut_network.add_input nw (Lut_network.Pi_bit (1, 0)) in
+  let and2 = Truth_table.of_fun ~arity:2 (fun i -> i.(0) && i.(1)) in
+  let luts =
+    List.init 8 (fun i ->
+        Lut_network.add_lut nw
+          ~name:(Printf.sprintf "p%d" i)
+          ~module_id:(-1) ~func:and2 ~fanins:[| i0; i1 |] ())
+  in
+  List.iteri
+    (fun i l ->
+      Lut_network.mark_output nw (Lut_network.Po_target (Printf.sprintf "o%d" i)) l)
+    luts;
+  let part = Partition.partition nw ~level:1 in
+  let prob = Sched.problem nw part ~stages:4 ~base_ff_bits:0 in
+  let arch = Arch.default in
+  let sched = Fds.schedule prob ~arch in
+  let counts = Sched.lut_count_per_stage prob sched in
+  let maxc = Array.fold_left max 0 counts in
+  check Alcotest.bool "FDS spreads independent LUTs" true (maxc <= 3);
+  let asap_counts = Sched.lut_count_per_stage prob (Fds.asap_schedule prob) in
+  check Alcotest.int "ASAP piles up" 8 asap_counts.(1)
+
+(* --- Mapper end-to-end on a small design --- *)
+
+let small_design () =
+  let d = Rtl.create "small" in
+  let x = Rtl.add_input d "x" 6 in
+  let s = Rtl.add_register d ~name:"s" ~width:1 () in
+  let acc = Rtl.add_register d ~name:"acc" ~width:6 () in
+  let sum = Rtl.add_op d ~width:6 (Rtl.Add (acc, x)) in
+  let prod = Rtl.add_op d ~width:12 (Rtl.Mult (acc, x)) in
+  let prod_lo = Rtl.add_op d ~width:6 (Rtl.Slice (prod, 0)) in
+  let next = Rtl.add_op d ~width:6 (Rtl.Mux (s, sum, prod_lo)) in
+  Rtl.connect_register d acc ~d:next;
+  Rtl.connect_register d s ~d:(Rtl.add_op d ~width:1 (Rtl.Bit_not s));
+  Rtl.mark_output d "acc" next;
+  d
+
+let test_mapper_no_folding () =
+  let p = Mapper.prepare (small_design ()) in
+  let plan = Mapper.no_folding p ~arch:Arch.default in
+  check Alcotest.int "one stage" 1 plan.Mapper.stages;
+  check Alcotest.int "LEs = LUT count" p.Mapper.lut_max plan.Mapper.les
+
+let test_mapper_folding_reduces_les () =
+  let p = Mapper.prepare (small_design ()) in
+  let arch = Arch.unbounded_k in
+  let nf = Mapper.no_folding p ~arch in
+  let l1 = Mapper.plan_level p ~arch ~level:1 in
+  check Alcotest.bool "folding reduces LEs" true (l1.Mapper.les < nf.Mapper.les);
+  check Alcotest.bool "folding increases delay" true
+    (l1.Mapper.delay_ns > nf.Mapper.delay_ns)
+
+let test_mapper_delay_min_respects_area () =
+  let p = Mapper.prepare (small_design ()) in
+  let arch = Arch.unbounded_k in
+  let budget = (Mapper.plan_level p ~arch ~level:1).Mapper.les + 5 in
+  let plan = Mapper.delay_min ~area:budget p ~arch in
+  check Alcotest.bool "fits budget" true (plan.Mapper.les <= budget);
+  (* a looser budget can only improve (or keep) delay *)
+  let plan2 = Mapper.delay_min ~area:(budget * 4) p ~arch in
+  check Alcotest.bool "looser budget, no worse delay" true
+    (plan2.Mapper.delay_ns <= plan.Mapper.delay_ns)
+
+let test_mapper_at_min_best_product () =
+  let p = Mapper.prepare (small_design ()) in
+  let arch = Arch.unbounded_k in
+  let best = Mapper.at_min p ~arch in
+  let product pl = float_of_int pl.Mapper.les *. pl.Mapper.delay_ns in
+  List.iter
+    (fun (_, pl) ->
+      check Alcotest.bool "at_min is minimal" true (product best <= product pl +. 1e-9))
+    (Mapper.sweep p ~arch);
+  let nf = Mapper.no_folding p ~arch in
+  check Alcotest.bool "beats no-folding" true (product best <= product nf +. 1e-9)
+
+let test_mapper_infeasible_area () =
+  let p = Mapper.prepare (small_design ()) in
+  check Alcotest.bool "1 LE impossible" true
+    (match Mapper.delay_min ~area:1 p ~arch:Arch.unbounded_k with
+     | exception Mapper.No_feasible_mapping _ -> true
+     | _ -> false)
+
+let test_mapper_k_limits_levels () =
+  let p = Mapper.prepare (small_design ()) in
+  let k2 = Arch.with_num_reconf Arch.default (Some 2) in
+  List.iter
+    (fun (_, pl) ->
+      check Alcotest.bool "configs within k" true (pl.Mapper.configs_used <= 2))
+    (Mapper.sweep p ~arch:k2)
+
+let test_mapper_area_min () =
+  let p = Mapper.prepare (small_design ()) in
+  let arch = Arch.unbounded_k in
+  let plan = Mapper.area_min p ~arch in
+  List.iter
+    (fun (_, pl) ->
+      check Alcotest.bool "area_min minimal" true (plan.Mapper.les <= pl.Mapper.les))
+    (Mapper.sweep p ~arch)
+
+let test_mapper_both_constraints () =
+  let p = Mapper.prepare (small_design ()) in
+  let arch = Arch.unbounded_k in
+  let loose = Mapper.no_folding p ~arch in
+  let plan =
+    Mapper.both_constraints ~area:loose.Mapper.les
+      ~delay_ns:(loose.Mapper.delay_ns *. 3.0)
+      p ~arch
+  in
+  check Alcotest.bool "meets area" true (plan.Mapper.les <= loose.Mapper.les);
+  check Alcotest.bool "meets delay" true
+    (plan.Mapper.delay_ns <= loose.Mapper.delay_ns *. 3.0)
+
+(* --- degenerate designs --- *)
+
+(* A design with no combinational logic at all (one register copying an
+   input): the flow must still produce a sane empty-plane mapping. *)
+let test_mapper_pure_copy_design () =
+  let d = Rtl.create "copyonly" in
+  let x = Rtl.add_input d "x" 4 in
+  let r = Rtl.add_register d ~name:"r" ~width:4 () in
+  Rtl.connect_register d r ~d:x;
+  Rtl.mark_output d "q" r;
+  let p = Mapper.prepare d in
+  check Alcotest.int "one (empty) plane" 1 p.Mapper.num_planes;
+  let plan = Mapper.plan_level p ~arch:Arch.unbounded_k ~level:1 in
+  check Alcotest.int "one stage" 1 plan.Mapper.stages;
+  check Alcotest.bool "at least one LE for the state" true (plan.Mapper.les >= 1)
+
+let test_mapper_single_lut_design () =
+  let d = Rtl.create "tiny" in
+  let a = Rtl.add_input d "a" 1 in
+  let b = Rtl.add_input d "b" 1 in
+  let y = Rtl.add_op d ~width:1 (Rtl.Bit_and (a, b)) in
+  Rtl.mark_output d "y" y;
+  let p = Mapper.prepare d in
+  check Alcotest.int "one LUT" 1 p.Mapper.total_luts;
+  let plan = Mapper.at_min p ~arch:Arch.unbounded_k in
+  check Alcotest.int "one LE" 1 plan.Mapper.les
+
+let test_fold_edge_cases () =
+  Alcotest.check_raises "no LEs" (Invalid_argument "Fold.min_stages: no LEs")
+    (fun () -> ignore (Fold.min_stages ~lut_max:10 ~available_le:0));
+  Alcotest.check_raises "stages < 1"
+    (Invalid_argument "Fold.level_for_stages: stages < 1") (fun () ->
+      ignore (Fold.level_for_stages ~depth_max:5 ~stages:0));
+  check Alcotest.int "depth 0 still level 1" 1
+    (Fold.level_for_stages ~depth_max:0 ~stages:3)
+
+let test_arch_validate_errors () =
+  Alcotest.check_raises "bad lut_inputs"
+    (Invalid_argument "Arch: lut_inputs must be positive") (fun () ->
+      Arch.validate { Arch.default with Arch.lut_inputs = 0 });
+  Alcotest.check_raises "pins below K"
+    (Invalid_argument "Arch: smb_input_pins must cover one LUT's inputs")
+    (fun () -> Arch.validate { Arch.default with Arch.smb_input_pins = 2 })
+
+(* two independent FSMs: separate cyclic weak components, both plane 1 *)
+let test_levelize_two_fsms () =
+  let d = Rtl.create "twofsm" in
+  let mk name =
+    let s = Rtl.add_register d ~name ~width:2 () in
+    let one = Rtl.add_const d ~width:2 1 in
+    Rtl.connect_register d s ~d:(Rtl.add_op d ~width:2 (Rtl.Add (s, one)));
+    s
+  in
+  let a = mk "fsm_a" and b = mk "fsm_b" in
+  Rtl.mark_output d "a" a;
+  Rtl.mark_output d "b" b;
+  let lv = Nanomap_rtl.Levelize.levelize d in
+  check Alcotest.int "one plane" 1 (Nanomap_rtl.Levelize.num_planes lv);
+  List.iter
+    (fun (_, level) -> check Alcotest.int "level 1" 1 level)
+    lv.Nanomap_rtl.Levelize.register_level
+
+(* --- Arch --- *)
+
+let test_arch_model () =
+  Arch.validate Arch.default;
+  check Alcotest.int "LEs per SMB" 16 (Arch.les_per_smb Arch.default);
+  check Alcotest.int "SMBs for 17 LEs" 2 (Arch.les_to_smbs Arch.default 17);
+  let d1 = Arch.folding_cycle_ns Arch.default ~level:1 in
+  let d2 = Arch.folding_cycle_ns Arch.default ~level:2 in
+  check Alcotest.bool "cycle grows with level" true (d2 > d1);
+  (* no-folding pays no reconfiguration *)
+  let nf = Arch.plane_cycle_ns Arch.default ~level:10 ~stages:1 in
+  let f2 = Arch.plane_cycle_ns Arch.default ~level:5 ~stages:2 in
+  check Alcotest.bool "folding adds reconf overhead" true (f2 > nf)
+
+let () =
+  Alcotest.run "core"
+    [ ( "fold",
+        [ Alcotest.test_case "motivational example" `Quick test_fold_motivational_example;
+          Alcotest.test_case "min level (Eq.3)" `Quick test_fold_min_level;
+          Alcotest.test_case "pipelined (Eq.4)" `Quick test_fold_pipelined ] );
+      ( "sched",
+        [ Alcotest.test_case "frames Fig.3" `Quick test_frames_fig4;
+          Alcotest.test_case "storage lifetime Fig.4" `Quick test_storage_lifetime_fig4;
+          Alcotest.test_case "LUT DG conservation" `Quick test_lut_dg_conservation;
+          Alcotest.test_case "storage DG bounds" `Quick test_storage_dg_bounds;
+          Alcotest.test_case "infeasible stages" `Quick test_infeasible_stages ] );
+      ( "fds",
+        [ Alcotest.test_case "valid and balanced" `Quick test_fds_valid_and_balanced;
+          Alcotest.test_case "asap/alap valid" `Quick test_asap_alap_are_valid;
+          Alcotest.test_case "balances parallel work" `Quick test_fds_balances_parallel_work ] );
+      ( "mapper",
+        [ Alcotest.test_case "no folding" `Quick test_mapper_no_folding;
+          Alcotest.test_case "folding reduces LEs" `Quick test_mapper_folding_reduces_les;
+          Alcotest.test_case "delay_min area" `Quick test_mapper_delay_min_respects_area;
+          Alcotest.test_case "at_min product" `Quick test_mapper_at_min_best_product;
+          Alcotest.test_case "infeasible area" `Quick test_mapper_infeasible_area;
+          Alcotest.test_case "k limits levels" `Quick test_mapper_k_limits_levels;
+          Alcotest.test_case "area_min" `Quick test_mapper_area_min;
+          Alcotest.test_case "both constraints" `Quick test_mapper_both_constraints ] );
+      ( "edge-cases",
+        [ Alcotest.test_case "pure copy design" `Quick test_mapper_pure_copy_design;
+          Alcotest.test_case "single LUT design" `Quick test_mapper_single_lut_design;
+          Alcotest.test_case "fold edges" `Quick test_fold_edge_cases;
+          Alcotest.test_case "arch validation" `Quick test_arch_validate_errors;
+          Alcotest.test_case "two FSMs one plane" `Quick test_levelize_two_fsms ] );
+      ("arch", [ Alcotest.test_case "model" `Quick test_arch_model ]) ]

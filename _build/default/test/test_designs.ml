@@ -1,0 +1,120 @@
+(* The VHDL designs shipped in designs/ must parse, elaborate, behave
+   correctly under reference simulation, and survive the full flow with the
+   fabric emulator agreeing cycle-for-cycle. *)
+
+module Vhdl = Nanomap_vhdl.Vhdl
+module Rtl = Nanomap_rtl.Rtl
+module Levelize = Nanomap_rtl.Levelize
+module Mapper = Nanomap_core.Mapper
+module Arch = Nanomap_arch.Arch
+module Cluster = Nanomap_cluster.Cluster
+module Emulator = Nanomap_emu.Emulator
+module Rng = Nanomap_util.Rng
+
+let check = Alcotest.check
+
+(* Tests run somewhere under _build; walk up until the source designs/
+   directory appears. *)
+let design_path name =
+  let rec hunt dir depth =
+    let candidate = Filename.concat (Filename.concat dir "designs") name in
+    if Sys.file_exists candidate then candidate
+    else if depth > 8 then failwith ("designs/" ^ name ^ " not found")
+    else hunt (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  hunt (Sys.getcwd ()) 0
+
+let load name = Vhdl.design_of_file (design_path name)
+
+(* --- behavioural reference checks --- *)
+
+let test_mac_behaviour () =
+  let d = load "mac.vhd" in
+  let sim = Rtl.sim_create d in
+  ignore (Rtl.sim_cycle sim [ ("a", 7); ("b", 6); ("clear", 0) ]);
+  let outs = Rtl.sim_cycle sim [ ("a", 2); ("b", 9); ("clear", 0) ] in
+  check Alcotest.int "7*6 + 2*9" 60 (List.assoc "acc" outs)
+
+let test_fir4_behaviour () =
+  let d = load "fir4.vhd" in
+  let sim = Rtl.sim_create d in
+  (* impulse response must read out the coefficients 3,11,11,3 *)
+  ignore (Rtl.sim_cycle sim [ ("x", 1) ]);
+  let y1 = List.assoc "y" (Rtl.sim_cycle sim [ ("x", 0) ]) in
+  let y2 = List.assoc "y" (Rtl.sim_cycle sim [ ("x", 0) ]) in
+  let y3 = List.assoc "y" (Rtl.sim_cycle sim [ ("x", 0) ]) in
+  let y4 = List.assoc "y" (Rtl.sim_cycle sim [ ("x", 0) ]) in
+  let y5 = List.assoc "y" (Rtl.sim_cycle sim [ ("x", 0) ]) in
+  check (Alcotest.list Alcotest.int) "impulse response" [ 3; 11; 11; 3; 0 ]
+    [ y1; y2; y3; y4; y5 ]
+
+let test_counter_behaviour () =
+  let d = load "counter.vhd" in
+  let sim = Rtl.sim_create d in
+  ignore (Rtl.sim_cycle sim [ ("rst", 1); ("en", 0); ("step", 3) ]);
+  let q = List.assoc "q" (Rtl.sim_cycle sim [ ("rst", 0); ("en", 1); ("step", 3) ]) in
+  check Alcotest.int "after reset" 0 q;
+  let q = List.assoc "q" (Rtl.sim_cycle sim [ ("rst", 0); ("en", 1); ("step", 5) ]) in
+  check Alcotest.int "counted 3" 3 q;
+  let q = List.assoc "q" (Rtl.sim_cycle sim [ ("rst", 0); ("en", 0); ("step", 5) ]) in
+  check Alcotest.int "counted 8" 8 q;
+  let q = List.assoc "q" (Rtl.sim_cycle sim [ ("rst", 0); ("en", 1); ("step", 1) ]) in
+  check Alcotest.int "held while disabled" 8 q
+
+let test_pipeline3_planes () =
+  let d = load "pipeline3.vhd" in
+  let lv = Levelize.levelize d in
+  check Alcotest.int "three planes" 3 (Levelize.num_planes lv)
+
+let test_biquad_single_plane () =
+  let d = load "biquad.vhd" in
+  let lv = Levelize.levelize d in
+  check Alcotest.int "one plane (feedback)" 1 (Levelize.num_planes lv)
+
+(* --- through the full flow with fabric emulation --- *)
+
+let lockstep ?(cycles = 60) name level =
+  let design = load name in
+  let arch = Arch.unbounded_k in
+  let p = Mapper.prepare design in
+  let plan = Mapper.plan_level p ~arch ~level in
+  let cl = Cluster.pack plan ~arch in
+  Cluster.validate cl plan;
+  let emu = Emulator.create design plan cl in
+  let sim = Rtl.sim_create design in
+  let rng = Rng.create 42 in
+  for cycle = 1 to cycles do
+    let stimulus =
+      List.map
+        (fun (s : Rtl.signal) -> (s.Rtl.name, Rng.int rng (1 lsl min s.Rtl.width 12)))
+        (Rtl.inputs design)
+    in
+    let expected = Rtl.sim_cycle sim stimulus in
+    let got = Emulator.macro_cycle emu stimulus in
+    List.iter
+      (fun (n, v) ->
+        check Alcotest.int (Printf.sprintf "%s cycle %d output %s" name cycle n) v
+          (Option.value ~default:(-1) (List.assoc_opt n got)))
+      expected
+  done
+
+let test_mac_folded () = lockstep "mac.vhd" 2
+let test_fir4_folded () = lockstep "fir4.vhd" 1
+let test_biquad_folded () = lockstep "biquad.vhd" 2
+let test_pipeline3_folded () = lockstep "pipeline3.vhd" 2
+let test_counter_folded () = lockstep "counter.vhd" 1
+
+let () =
+  Alcotest.run "designs"
+    [ ( "behaviour",
+        [ Alcotest.test_case "mac" `Quick test_mac_behaviour;
+          Alcotest.test_case "fir4 impulse" `Quick test_fir4_behaviour;
+          Alcotest.test_case "counter" `Quick test_counter_behaviour;
+          Alcotest.test_case "pipeline3 planes" `Quick test_pipeline3_planes;
+          Alcotest.test_case "biquad plane" `Quick test_biquad_single_plane ] );
+      ( "folded",
+        [ Alcotest.test_case "mac" `Quick test_mac_folded;
+          Alcotest.test_case "fir4" `Quick test_fir4_folded;
+          Alcotest.test_case "biquad" `Quick test_biquad_folded;
+          Alcotest.test_case "pipeline3" `Quick test_pipeline3_folded;
+          Alcotest.test_case "counter" `Quick test_counter_folded ] ) ]

@@ -1,0 +1,144 @@
+(* Fabric-emulation tests: the folded execution on the clustered fabric must
+   match the RTL reference simulator cycle for cycle, for every benchmark
+   and several folding levels. This exercises scheduling, clustering and
+   flip-flop lifetime allocation functionally, not just structurally. *)
+
+module Rtl = Nanomap_rtl.Rtl
+module Mapper = Nanomap_core.Mapper
+module Arch = Nanomap_arch.Arch
+module Cluster = Nanomap_cluster.Cluster
+module Emulator = Nanomap_emu.Emulator
+module Circuits = Nanomap_circuits.Circuits
+module Rng = Nanomap_util.Rng
+
+let check = Alcotest.check
+
+let random_stimulus rng design =
+  List.map
+    (fun (s : Rtl.signal) -> (s.Rtl.name, Rng.int rng (1 lsl min s.Rtl.width 16)))
+    (Rtl.inputs design)
+
+(* Core harness: lockstep RTL sim vs fabric emulator. *)
+let lockstep ?(cycles = 120) ~level design =
+  let arch = Arch.unbounded_k in
+  let p = Mapper.prepare design in
+  let plan =
+    if level = 0 then Mapper.no_folding p ~arch else Mapper.plan_level p ~arch ~level
+  in
+  let cl = Cluster.pack plan ~arch in
+  Cluster.validate cl plan;
+  let emu = Emulator.create design plan cl in
+  let sim = Rtl.sim_create design in
+  let rng = Rng.create 99 in
+  for cycle = 1 to cycles do
+    let stimulus = random_stimulus rng design in
+    let expected = Rtl.sim_cycle sim stimulus in
+    let got = Emulator.macro_cycle emu stimulus in
+    List.iter
+      (fun (name, v) ->
+        match List.assoc_opt name got with
+        | Some g ->
+          check Alcotest.int (Printf.sprintf "cycle %d output %s" cycle name) v g
+        | None -> Alcotest.fail ("missing output " ^ name))
+      expected
+  done
+
+let test_ex1_small_level1 () = lockstep ~level:1 (Circuits.ex1_small ()).Circuits.design
+let test_ex1_small_level2 () = lockstep ~level:2 (Circuits.ex1_small ()).Circuits.design
+let test_ex1_small_level3 () = lockstep ~level:3 (Circuits.ex1_small ()).Circuits.design
+
+let test_ex1_small_no_folding () =
+  lockstep ~level:0 (Circuits.ex1_small ()).Circuits.design
+
+(* FIR exercises delay-line registers (direct copies outside any plane). *)
+let test_fir_level2 () =
+  lockstep ~cycles:60 ~level:2 (Circuits.fir ~taps:4 ~width:6 ()).Circuits.design
+
+(* ex2 exercises multi-plane execution and inter-plane wires. *)
+let test_ex2_level2 () =
+  lockstep ~cycles:60 ~level:2 (Circuits.ex2 ~width:5 ()).Circuits.design
+
+(* Biquad exercises feedback through the output delay line. *)
+let test_biquad_level2 () =
+  lockstep ~cycles:60 ~level:2 (Circuits.biquad ~width:6 ()).Circuits.design
+
+(* Paulin: two pipelined planes with carried registers. *)
+let test_paulin_level2 () =
+  lockstep ~cycles:40 ~level:2 (Circuits.paulin ~width:5 ()).Circuits.design
+
+(* beyond-paper workloads *)
+let test_crc8_level1 () =
+  lockstep ~cycles:80 ~level:1 (Circuits.crc8 ()).Circuits.design
+
+let test_sorter_level1 () =
+  lockstep ~cycles:60 ~level:1 (Circuits.sorter ()).Circuits.design
+
+let test_dct4_level2 () =
+  lockstep ~cycles:40 ~level:2 (Circuits.dct4 ()).Circuits.design
+
+(* c5315: purely combinational. *)
+let test_c5315_level1 () =
+  lockstep ~cycles:60 ~level:1 (Circuits.c5315 ~width:5 ()).Circuits.design
+
+(* pipelined clustering keeps planes on disjoint LEs; functionally the
+   macro cycle is identical, and the emulator must agree through the
+   different flip-flop slot assignment *)
+let test_pipelined_lockstep () =
+  let design = (Circuits.ex2 ~width:5 ()).Circuits.design in
+  let arch = Arch.unbounded_k in
+  let p = Mapper.prepare design in
+  let plan = Mapper.plan_level ~pipelined:true p ~arch ~level:2 in
+  let cl = Cluster.pack plan ~arch in
+  Cluster.validate cl plan;
+  let emu = Emulator.create design plan cl in
+  let sim = Rtl.sim_create design in
+  let rng = Rng.create 11 in
+  for cycle = 1 to 60 do
+    let stimulus = random_stimulus rng design in
+    let expected = Rtl.sim_cycle sim stimulus in
+    let got = Emulator.macro_cycle emu stimulus in
+    List.iter
+      (fun (name, v) ->
+        check Alcotest.int (Printf.sprintf "cycle %d %s" cycle name) v
+          (Option.value ~default:(-1) (List.assoc_opt name got)))
+      expected
+  done
+
+let test_peek_state () =
+  let design = (Circuits.ex1_small ()).Circuits.design in
+  let arch = Arch.unbounded_k in
+  let p = Mapper.prepare design in
+  let plan = Mapper.plan_level p ~arch ~level:2 in
+  let cl = Cluster.pack plan ~arch in
+  let emu = Emulator.create design plan cl in
+  let sim = Rtl.sim_create design in
+  let rng = Rng.create 4 in
+  for _ = 1 to 50 do
+    let stimulus = random_stimulus rng design in
+    ignore (Rtl.sim_cycle sim stimulus);
+    ignore (Emulator.macro_cycle emu stimulus)
+  done;
+  List.iter
+    (fun (s : Rtl.signal) ->
+      check Alcotest.int ("register " ^ s.Rtl.name) (Rtl.sim_peek sim s.Rtl.id)
+        (Emulator.peek_state emu s.Rtl.id))
+    (Rtl.registers design)
+
+let () =
+  Alcotest.run "emulator"
+    [ ( "lockstep",
+        [ Alcotest.test_case "ex1-4bit level 1" `Quick test_ex1_small_level1;
+          Alcotest.test_case "ex1-4bit level 2" `Quick test_ex1_small_level2;
+          Alcotest.test_case "ex1-4bit level 3" `Quick test_ex1_small_level3;
+          Alcotest.test_case "ex1-4bit no folding" `Quick test_ex1_small_no_folding;
+          Alcotest.test_case "FIR (delay line)" `Quick test_fir_level2;
+          Alcotest.test_case "ex2 (3 planes)" `Quick test_ex2_level2;
+          Alcotest.test_case "Biquad (feedback)" `Quick test_biquad_level2;
+          Alcotest.test_case "Paulin (2 planes)" `Quick test_paulin_level2;
+          Alcotest.test_case "c5315 (pure comb)" `Quick test_c5315_level1;
+          Alcotest.test_case "CRC8 (glue logic)" `Quick test_crc8_level1;
+          Alcotest.test_case "Sorter4" `Quick test_sorter_level1;
+          Alcotest.test_case "DCT4 (2 planes)" `Quick test_dct4_level2 ] );
+      ( "pipelined",
+        [ Alcotest.test_case "ex2 pipelined lockstep" `Quick test_pipelined_lockstep ] );
+      ("state", [ Alcotest.test_case "peek_state" `Quick test_peek_state ]) ]

@@ -1,0 +1,376 @@
+module Truth_table = Nanomap_logic.Truth_table
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Gen = Nanomap_logic.Gen
+module Rng = Nanomap_util.Rng
+
+let check = Alcotest.check
+
+(* --- truth tables --- *)
+
+let test_tt_const () =
+  let t0 = Truth_table.const ~arity:3 false in
+  let t1 = Truth_table.const ~arity:3 true in
+  check Alcotest.bool "const0" false (Truth_table.eval t0 [| true; false; true |]);
+  check Alcotest.bool "const1" true (Truth_table.eval t1 [| false; false; false |]);
+  check Alcotest.int64 "const1 bits masked" 0xFFL (Truth_table.bits t1)
+
+let test_tt_var () =
+  for arity = 1 to Truth_table.max_arity do
+    for i = 0 to arity - 1 do
+      let v = Truth_table.var ~arity i in
+      for idx = 0 to (1 lsl arity) - 1 do
+        let inputs = Array.init arity (fun j -> idx land (1 lsl j) <> 0) in
+        check Alcotest.bool "projection" inputs.(i) (Truth_table.eval v inputs)
+      done
+    done
+  done
+
+let test_tt_ops () =
+  let a = Truth_table.var ~arity:2 0 and b = Truth_table.var ~arity:2 1 in
+  let f = Truth_table.logand a b in
+  check Alcotest.int64 "and" 0x8L (Truth_table.bits f);
+  let g = Truth_table.logor a b in
+  check Alcotest.int64 "or" 0xEL (Truth_table.bits g);
+  let h = Truth_table.logxor a b in
+  check Alcotest.int64 "xor" 0x6L (Truth_table.bits h);
+  let n = Truth_table.lognot a in
+  check Alcotest.int64 "not" 0x5L (Truth_table.bits n)
+
+let test_tt_of_fun () =
+  let maj =
+    Truth_table.of_fun ~arity:3 (fun i ->
+        (if i.(0) then 1 else 0) + (if i.(1) then 1 else 0) + (if i.(2) then 1 else 0)
+        >= 2)
+  in
+  check Alcotest.bool "majority 110" true (Truth_table.eval maj [| true; true; false |]);
+  check Alcotest.bool "majority 100" false (Truth_table.eval maj [| true; false; false |])
+
+let test_tt_support () =
+  let a = Truth_table.var ~arity:4 2 in
+  check Alcotest.bool "depends" true (Truth_table.depends_on a 2);
+  check Alcotest.bool "independent" false (Truth_table.depends_on a 0);
+  check Alcotest.int "support" 1 (Truth_table.support_size a);
+  let c = Truth_table.const ~arity:4 true in
+  check Alcotest.int "const support" 0 (Truth_table.support_size c)
+
+let test_tt_arity_mismatch () =
+  let a = Truth_table.var ~arity:2 0 and b = Truth_table.var ~arity:3 0 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Truth_table: arity mismatch")
+    (fun () -> ignore (Truth_table.logand a b))
+
+let tt_roundtrip_prop =
+  QCheck.Test.make ~name:"of_bits/bits roundtrip modulo mask" ~count:200
+    QCheck.(pair (int_bound Truth_table.max_arity) int64)
+    (fun (arity, bits) ->
+      let t = Truth_table.of_bits ~arity bits in
+      let t' = Truth_table.of_bits ~arity (Truth_table.bits t) in
+      Truth_table.equal t t')
+
+let tt_demorgan_prop =
+  QCheck.Test.make ~name:"De Morgan on truth tables" ~count:200
+    QCheck.(pair int64 int64)
+    (fun (x, y) ->
+      let a = Truth_table.of_bits ~arity:4 x and b = Truth_table.of_bits ~arity:4 y in
+      Truth_table.equal
+        (Truth_table.lognot (Truth_table.logand a b))
+        (Truth_table.logor (Truth_table.lognot a) (Truth_table.lognot b)))
+
+(* --- gates --- *)
+
+let test_gate_eval () =
+  check Alcotest.bool "and" true (Gate.eval Gate.And2 [| true; true |]);
+  check Alcotest.bool "nand" false (Gate.eval Gate.Nand2 [| true; true |]);
+  check Alcotest.bool "xor" true (Gate.eval Gate.Xor2 [| true; false |]);
+  check Alcotest.bool "mux sel0" true (Gate.eval Gate.Mux2 [| false; true; false |]);
+  check Alcotest.bool "mux sel1" false (Gate.eval Gate.Mux2 [| true; true; false |]);
+  check Alcotest.bool "const" true (Gate.eval (Gate.Const true) [||])
+
+let test_gate_truth_table () =
+  let tt = Gate.truth_table Gate.And2 in
+  check Alcotest.int64 "and2 table" 0x8L (Truth_table.bits tt);
+  let mux = Gate.truth_table Gate.Mux2 in
+  (* fanins [sel; a; b]: sel is var 0. *)
+  check Alcotest.bool "mux table" true
+    (Truth_table.eval mux [| true; false; true |])
+
+(* --- gate netlists --- *)
+
+let test_netlist_topo_invariant () =
+  let t = Gate_netlist.create () in
+  let a = Gate_netlist.add_input t "a" in
+  Alcotest.check_raises "fanin must exist"
+    (Invalid_argument "Gate_netlist.add_gate: undefined fanin")
+    (fun () -> ignore (Gate_netlist.add_gate t Gate.And2 [| a; 99 |]))
+
+let test_netlist_levels_depth () =
+  let t = Gate_netlist.create () in
+  let a = Gate_netlist.add_input t "a" in
+  let b = Gate_netlist.add_input t "b" in
+  let x = Gate_netlist.add_gate t Gate.And2 [| a; b |] in
+  let y = Gate_netlist.add_gate t Gate.Or2 [| x; b |] in
+  Gate_netlist.mark_output t "y" y;
+  let lv = Gate_netlist.levels t in
+  check Alcotest.int "pi level" 0 lv.(a);
+  check Alcotest.int "and level" 1 lv.(x);
+  check Alcotest.int "or level" 2 lv.(y);
+  check Alcotest.int "depth" 2 (Gate_netlist.depth t)
+
+let test_netlist_simulation () =
+  let t = Gate_netlist.create () in
+  let a = Gate_netlist.add_input t "a" in
+  let b = Gate_netlist.add_input t "b" in
+  let s, c = Gen.half_adder t a b in
+  Gate_netlist.mark_output t "s" s;
+  Gate_netlist.mark_output t "c" c;
+  List.iter
+    (fun (va, vb, vs, vc) ->
+      let outs = Gate_netlist.output_values t [| va; vb |] in
+      check Alcotest.bool "sum" vs (List.assoc "s" outs);
+      check Alcotest.bool "carry" vc (List.assoc "c" outs))
+    [ (false, false, false, false);
+      (true, false, true, false);
+      (false, true, true, false);
+      (true, true, false, true) ]
+
+let bits_to_int bus values =
+  Array.to_list bus
+  |> List.mapi (fun i id -> if values.(id) then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+let int_to_bools width v = Array.init width (fun i -> v lsr i land 1 = 1)
+
+(* Exhaustive functional check of the adder generator at width 4. *)
+let test_adder_exhaustive () =
+  let t = Gate_netlist.create () in
+  let a = Gen.input_bus t "a" 4 in
+  let b = Gen.input_bus t "b" 4 in
+  let sums, cout = Gen.ripple_carry_adder t a b in
+  Gen.mark_output_bus t "s" sums;
+  Gate_netlist.mark_output t "cout" cout;
+  for va = 0 to 15 do
+    for vb = 0 to 15 do
+      let ins = Array.append (int_to_bools 4 va) (int_to_bools 4 vb) in
+      let values = Gate_netlist.simulate t ins in
+      let s = bits_to_int sums values in
+      let c = if values.(cout) then 1 else 0 in
+      check Alcotest.int
+        (Printf.sprintf "%d+%d" va vb)
+        (va + vb) (s + (c lsl 4))
+    done
+  done
+
+let test_subtractor_exhaustive () =
+  let t = Gate_netlist.create () in
+  let a = Gen.input_bus t "a" 4 in
+  let b = Gen.input_bus t "b" 4 in
+  let diff, _ = Gen.subtractor t a b in
+  for va = 0 to 15 do
+    for vb = 0 to 15 do
+      let ins = Array.append (int_to_bools 4 va) (int_to_bools 4 vb) in
+      let values = Gate_netlist.simulate t ins in
+      check Alcotest.int
+        (Printf.sprintf "%d-%d" va vb)
+        ((va - vb) land 15)
+        (bits_to_int diff values)
+    done
+  done
+
+let test_multiplier_exhaustive () =
+  let t = Gate_netlist.create () in
+  let a = Gen.input_bus t "a" 4 in
+  let b = Gen.input_bus t "b" 3 in
+  let p = Gen.array_multiplier t a b in
+  check Alcotest.int "product width" 7 (Array.length p);
+  for va = 0 to 15 do
+    for vb = 0 to 7 do
+      let ins = Array.append (int_to_bools 4 va) (int_to_bools 3 vb) in
+      let values = Gate_netlist.simulate t ins in
+      check Alcotest.int
+        (Printf.sprintf "%d*%d" va vb)
+        (va * vb) (bits_to_int p values)
+    done
+  done
+
+let test_carry_select_adder_exhaustive () =
+  let t = Gate_netlist.create () in
+  let a = Gen.input_bus t "a" 6 in
+  let b = Gen.input_bus t "b" 6 in
+  let sums, cout = Gen.carry_select_adder ~block:3 t a b in
+  for va = 0 to 63 do
+    for vb = 0 to 63 do
+      let ins = Array.append (int_to_bools 6 va) (int_to_bools 6 vb) in
+      let values = Gate_netlist.simulate t ins in
+      let s = bits_to_int sums values in
+      let c = if values.(cout) then 1 else 0 in
+      check Alcotest.int (Printf.sprintf "%d+%d" va vb) (va + vb) (s + (c lsl 6))
+    done
+  done
+
+let test_wallace_multiplier_exhaustive () =
+  let t = Gate_netlist.create () in
+  let a = Gen.input_bus t "a" 4 in
+  let b = Gen.input_bus t "b" 4 in
+  let p = Gen.wallace_multiplier t a b in
+  check Alcotest.int "product width" 8 (Array.length p);
+  for va = 0 to 15 do
+    for vb = 0 to 15 do
+      let ins = Array.append (int_to_bools 4 va) (int_to_bools 4 vb) in
+      let values = Gate_netlist.simulate t ins in
+      check Alcotest.int (Printf.sprintf "%d*%d" va vb) (va * vb) (bits_to_int p values)
+    done
+  done
+
+let test_wallace_shallower_than_array () =
+  let depth_of build =
+    let t = Gate_netlist.create () in
+    let a = Gen.input_bus t "a" 12 in
+    let b = Gen.input_bus t "b" 12 in
+    let p = build t a b in
+    Gen.mark_output_bus t "p" p;
+    Gate_netlist.depth t
+  in
+  let wallace = depth_of Gen.wallace_multiplier in
+  let array_d = depth_of Gen.array_multiplier in
+  check Alcotest.bool
+    (Printf.sprintf "wallace %d < array %d" wallace array_d)
+    true (wallace < array_d)
+
+let test_comparators_exhaustive () =
+  let t = Gate_netlist.create () in
+  let a = Gen.input_bus t "a" 4 in
+  let b = Gen.input_bus t "b" 4 in
+  let eq = Gen.equality t a b in
+  let lt = Gen.less_than t a b in
+  for va = 0 to 15 do
+    for vb = 0 to 15 do
+      let ins = Array.append (int_to_bools 4 va) (int_to_bools 4 vb) in
+      let values = Gate_netlist.simulate t ins in
+      check Alcotest.bool "eq" (va = vb) values.(eq);
+      check Alcotest.bool "lt" (va < vb) values.(lt)
+    done
+  done
+
+let test_mux_and_trees () =
+  let t = Gate_netlist.create () in
+  let sel = Gate_netlist.add_input t "sel" in
+  let a = Gen.input_bus t "a" 3 in
+  let b = Gen.input_bus t "b" 3 in
+  let m = Gen.mux_bus t sel a b in
+  let ins vsel va vb =
+    Array.concat [ [| vsel |]; int_to_bools 3 va; int_to_bools 3 vb ]
+  in
+  let values = Gate_netlist.simulate t (ins false 5 2) in
+  check Alcotest.int "mux sel=0 picks a" 5 (bits_to_int m values);
+  let values = Gate_netlist.simulate t (ins true 5 2) in
+  check Alcotest.int "mux sel=1 picks b" 2 (bits_to_int m values)
+
+let test_trees_exhaustive () =
+  let t = Gate_netlist.create () in
+  let xs = Gen.input_bus t "x" 5 in
+  let a = Gen.and_tree t (Array.to_list xs) in
+  let o = Gen.or_tree t (Array.to_list xs) in
+  let x = Gen.xor_tree t (Array.to_list xs) in
+  for v = 0 to 31 do
+    let ins = int_to_bools 5 v in
+    let values = Gate_netlist.simulate t ins in
+    check Alcotest.bool "and_tree" (v = 31) values.(a);
+    check Alcotest.bool "or_tree" (v <> 0) values.(o);
+    let parity = Array.fold_left (fun acc b -> acc <> b) false ins in
+    check Alcotest.bool "xor_tree" parity values.(x)
+  done
+
+let test_empty_trees () =
+  let t = Gate_netlist.create () in
+  let a = Gen.and_tree t [] in
+  let o = Gen.or_tree t [] in
+  let values = Gate_netlist.simulate t [||] in
+  check Alcotest.bool "empty and = 1" true values.(a);
+  check Alcotest.bool "empty or = 0" false values.(o)
+
+let test_decoder () =
+  let t = Gate_netlist.create () in
+  let sel = Gen.input_bus t "s" 3 in
+  let outs = Gen.decoder t sel in
+  check Alcotest.int "8 outputs" 8 (Array.length outs);
+  for v = 0 to 7 do
+    let values = Gate_netlist.simulate t (int_to_bools 3 v) in
+    Array.iteri
+      (fun i o -> check Alcotest.bool "one-hot" (i = v) values.(o))
+      outs
+  done
+
+let test_alu () =
+  let t = Gate_netlist.create () in
+  let op = Gen.input_bus t "op" 3 in
+  let a = Gen.input_bus t "a" 4 in
+  let b = Gen.input_bus t "b" 4 in
+  let r, _ = Gen.alu t ~op a b in
+  let run vop va vb =
+    let ins = Array.concat [ int_to_bools 3 vop; int_to_bools 4 va; int_to_bools 4 vb ] in
+    bits_to_int r (Gate_netlist.simulate t ins)
+  in
+  check Alcotest.int "add" ((7 + 9) land 15) (run 0 7 9);
+  check Alcotest.int "sub" ((7 - 9) land 15) (run 1 7 9);
+  check Alcotest.int "and" (12 land 10) (run 2 12 10);
+  check Alcotest.int "or" (12 lor 10) (run 3 12 10);
+  check Alcotest.int "xor" (12 lxor 10) (run 4 12 10);
+  check Alcotest.int "pass a" 12 (run 5 12 10);
+  check Alcotest.int "not a" (lnot 12 land 15) (run 6 12 10);
+  check Alcotest.int "pass b" 10 (run 7 12 10)
+
+let test_random_layered () =
+  let rng = Rng.create 5 in
+  let t = Gen.random_layered rng ~num_inputs:8 ~layers:6 ~layer_width:10 ~num_outputs:4 in
+  check Alcotest.int "outputs" 4 (List.length (Gate_netlist.outputs t));
+  check Alcotest.bool "has gates" true (Gate_netlist.num_gates t > 30);
+  (* determinism *)
+  let rng2 = Rng.create 5 in
+  let t2 = Gen.random_layered rng2 ~num_inputs:8 ~layers:6 ~layer_width:10 ~num_outputs:4 in
+  check Alcotest.int "deterministic size" (Gate_netlist.size t) (Gate_netlist.size t2)
+
+let test_stats () =
+  let t = Gate_netlist.create () in
+  let a = Gate_netlist.add_input t "a" in
+  let b = Gate_netlist.add_input t "b" in
+  let x = Gate_netlist.add_gate t Gate.Xor2 [| a; b |] in
+  Gate_netlist.mark_output t "x" x;
+  let stats = Gate_netlist.stats t in
+  check Alcotest.int "xor count" 1 (List.assoc "xor2" stats);
+  check Alcotest.int "nodes" 3 (List.assoc "nodes" stats);
+  check Alcotest.int "gates" 1 (Gate_netlist.num_gates t)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ tt_roundtrip_prop; tt_demorgan_prop ]
+
+let () =
+  Alcotest.run "logic"
+    [ ( "truth_table",
+        [ Alcotest.test_case "const" `Quick test_tt_const;
+          Alcotest.test_case "var" `Quick test_tt_var;
+          Alcotest.test_case "ops" `Quick test_tt_ops;
+          Alcotest.test_case "of_fun" `Quick test_tt_of_fun;
+          Alcotest.test_case "support" `Quick test_tt_support;
+          Alcotest.test_case "arity mismatch" `Quick test_tt_arity_mismatch ]
+        @ qsuite );
+      ( "gate",
+        [ Alcotest.test_case "eval" `Quick test_gate_eval;
+          Alcotest.test_case "truth table" `Quick test_gate_truth_table ] );
+      ( "netlist",
+        [ Alcotest.test_case "topo invariant" `Quick test_netlist_topo_invariant;
+          Alcotest.test_case "levels/depth" `Quick test_netlist_levels_depth;
+          Alcotest.test_case "simulation" `Quick test_netlist_simulation;
+          Alcotest.test_case "stats" `Quick test_stats ] );
+      ( "generators",
+        [ Alcotest.test_case "adder" `Quick test_adder_exhaustive;
+          Alcotest.test_case "subtractor" `Quick test_subtractor_exhaustive;
+          Alcotest.test_case "multiplier" `Quick test_multiplier_exhaustive;
+          Alcotest.test_case "carry-select adder" `Quick test_carry_select_adder_exhaustive;
+          Alcotest.test_case "wallace multiplier" `Quick test_wallace_multiplier_exhaustive;
+          Alcotest.test_case "wallace depth" `Quick test_wallace_shallower_than_array;
+          Alcotest.test_case "comparators" `Quick test_comparators_exhaustive;
+          Alcotest.test_case "mux bus" `Quick test_mux_and_trees;
+          Alcotest.test_case "trees" `Quick test_trees_exhaustive;
+          Alcotest.test_case "empty trees" `Quick test_empty_trees;
+          Alcotest.test_case "decoder" `Quick test_decoder;
+          Alcotest.test_case "alu" `Quick test_alu;
+          Alcotest.test_case "random layered" `Quick test_random_layered ] ) ]

@@ -1,0 +1,311 @@
+(* Tests for the physical back-end: temporal clustering, placement,
+   routing-resource graph, PathFinder routing and bitstream generation. *)
+
+module Rtl = Nanomap_rtl.Rtl
+module Mapper = Nanomap_core.Mapper
+module Sched = Nanomap_core.Sched
+module Arch = Nanomap_arch.Arch
+module Cluster = Nanomap_cluster.Cluster
+module Place = Nanomap_place.Place
+module Rr_graph = Nanomap_route.Rr_graph
+module Router = Nanomap_route.Router
+module Bitstream = Nanomap_bitstream.Bitstream
+module Circuits = Nanomap_circuits.Circuits
+module Partition = Nanomap_techmap.Partition
+module Lut_network = Nanomap_techmap.Lut_network
+
+let check = Alcotest.check
+
+let small_plan level =
+  let b = Circuits.ex1_small () in
+  let p = Mapper.prepare b.Circuits.design in
+  let arch = Arch.unbounded_k in
+  let plan =
+    if level = 0 then Mapper.no_folding p ~arch else Mapper.plan_level p ~arch ~level
+  in
+  (plan, arch)
+
+(* --- cluster --- *)
+
+let test_cluster_all_luts_placed () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  Cluster.validate cl plan;
+  let total_luts =
+    Array.fold_left
+      (fun acc pl -> acc + Lut_network.num_luts pl.Mapper.network)
+      0 plan.Mapper.planes
+  in
+  check Alcotest.int "every LUT has a slot" total_luts (Hashtbl.length cl.Cluster.lut_slots)
+
+let test_cluster_no_le_conflicts () =
+  (* validate already checks; also confirm a mid folding level *)
+  let plan, arch = small_plan 2 in
+  let cl = Cluster.pack plan ~arch in
+  Cluster.validate cl plan
+
+let test_cluster_area_close_to_plan () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  check Alcotest.bool "clustering within 2x of scheduler bound" true
+    (cl.Cluster.les_used <= 2 * plan.Mapper.les);
+  check Alcotest.bool "clustering not below LUT need" true
+    (Cluster.area_les cl >= plan.Mapper.les)
+
+let test_cluster_state_bits_have_homes () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  (* every register bit read by some plane must have a home flip-flop *)
+  Array.iter
+    (fun (pl : Mapper.plane_plan) ->
+      Lut_network.iter
+        (fun _ -> function
+          | Lut_network.Input (Lut_network.Register_bit (r, b)) ->
+            check Alcotest.bool "state home exists" true
+              (Hashtbl.mem cl.Cluster.ff_slots (Cluster.V_state (r, b)))
+          | Lut_network.Input
+              (Lut_network.Pi_bit _ | Lut_network.Const_bit _ | Lut_network.Wire_bit _)
+          | Lut_network.Lut _ -> ())
+        pl.Mapper.network)
+    plan.Mapper.planes
+
+let test_cluster_nets_have_sinks () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  List.iter
+    (fun (n : Cluster.net) ->
+      check Alcotest.bool "non-empty" true (n.Cluster.sinks <> []);
+      check Alcotest.bool "driver not in sinks" true
+        (not (List.mem n.Cluster.driver n.Cluster.sinks)))
+    cl.Cluster.nets
+
+let test_cluster_stats () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let stats = Cluster.interconnect_stats cl in
+  check Alcotest.int "net count" (List.length cl.Cluster.nets) (List.assoc "nets" stats)
+
+let test_smb_local_analysis () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let before = Nanomap_cluster.Smb_local.analyze cl plan in
+  (* the packer's conservative pin guard must keep the exact count legal *)
+  check Alcotest.int "no SMB pin violations" 0 before.Nanomap_cluster.Smb_local.smb_pin_violations;
+  check Alcotest.bool "pin usage within cap" true
+    (before.Nanomap_cluster.Smb_local.max_smb_inputs <= arch.Arch.smb_input_pins);
+  let _moved = Nanomap_cluster.Smb_local.rebalance cl plan in
+  Cluster.validate cl plan;
+  let after = Nanomap_cluster.Smb_local.analyze cl plan in
+  check Alcotest.int "rebalance keeps pins legal" 0
+    after.Nanomap_cluster.Smb_local.smb_pin_violations;
+  check Alcotest.bool "rebalance does not hurt MB ports" true
+    (after.Nanomap_cluster.Smb_local.max_mb_ports
+    <= before.Nanomap_cluster.Smb_local.max_mb_ports);
+  check Alcotest.bool "some locality" true
+    (after.Nanomap_cluster.Smb_local.local_connections > 0)
+
+let test_smb_pin_guard_spreads () =
+  (* a tiny pin budget must force the packer onto more SMBs, legally *)
+  let b = Circuits.ex1_small () in
+  let p = Mapper.prepare b.Circuits.design in
+  let tight = { Arch.unbounded_k with Arch.smb_input_pins = 8 } in
+  let plan = Mapper.plan_level p ~arch:tight ~level:2 in
+  let cl = Cluster.pack plan ~arch:tight in
+  Cluster.validate cl plan;
+  let r = Nanomap_cluster.Smb_local.analyze cl plan in
+  check Alcotest.int "still no violations" 0 r.Nanomap_cluster.Smb_local.smb_pin_violations;
+  let roomy = Arch.unbounded_k in
+  let cl2 = Cluster.pack (Mapper.plan_level p ~arch:roomy ~level:2) ~arch:roomy in
+  check Alcotest.bool "tight pins need at least as many SMBs" true
+    (cl.Cluster.num_smbs >= cl2.Cluster.num_smbs)
+
+(* --- place --- *)
+
+let test_place_legal_and_deterministic () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let p1 = Place.place ~seed:7 cl in
+  let p2 = Place.place ~seed:7 cl in
+  Place.validate p1 cl;
+  check Alcotest.bool "deterministic" true (p1.Place.smb_xy = p2.Place.smb_xy)
+
+let test_place_improves_over_initial () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  (* an "identity" placement is the annealer's starting point; the detailed
+     result should not be worse *)
+  let detailed = Place.place ~effort:`Detailed cl in
+  let fast = Place.place ~effort:`Fast cl in
+  check Alcotest.bool "hpwl positive" true (detailed.Place.hpwl > 0.0);
+  check Alcotest.bool "detailed <= fast * 1.05" true
+    (detailed.Place.hpwl <= (fast.Place.hpwl *. 1.05) +. 1.0)
+
+let test_place_routability_positive () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let p = Place.place ~effort:`Fast cl in
+  check Alcotest.bool "routability finite" true (Place.routability p cl > 0.0);
+  check Alcotest.bool "timing positive" true (Place.timing_estimate p cl plan > 0.0)
+
+(* --- rr graph --- *)
+
+let test_rr_graph_shapes () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let p = Place.place ~effort:`Fast cl in
+  let g = Rr_graph.build ~arch p in
+  let stats = Rr_graph.stats g in
+  check Alcotest.bool "has len1 wires" true (List.assoc "len1" stats > 0);
+  check Alcotest.bool "has globals" true (List.assoc "global" stats > 0);
+  (* all adjacency targets in range *)
+  Array.iter
+    (List.iter (fun v ->
+         check Alcotest.bool "edge target in range" true (v >= 0 && v < g.Rr_graph.num_nodes)))
+    g.Rr_graph.adj
+
+let test_rr_graph_full_reachability () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let p = Place.place ~effort:`Fast cl in
+  let g = Rr_graph.build ~arch p in
+  (* BFS from SMB 0's source must reach every SMB sink and pad sink *)
+  let seen = Array.make g.Rr_graph.num_nodes false in
+  let q = Queue.create () in
+  Queue.add g.Rr_graph.src_of_smb.(0) q;
+  seen.(g.Rr_graph.src_of_smb.(0)) <- true;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+      g.Rr_graph.adj.(u)
+  done;
+  Array.iter
+    (fun snk -> check Alcotest.bool "smb sink reachable" true seen.(snk))
+    g.Rr_graph.sink_of_smb;
+  Array.iter
+    (fun snk -> check Alcotest.bool "pad sink reachable" true seen.(snk))
+    g.Rr_graph.sink_of_pad
+
+(* --- router --- *)
+
+let routed_fixture level =
+  let plan, arch = small_plan level in
+  let cl = Cluster.pack plan ~arch in
+  let p = Place.place ~effort:`Fast cl in
+  let r, factor = Router.route_adaptive p cl plan in
+  (plan, cl, r, factor)
+
+let test_router_succeeds_and_validates () =
+  let _, _, r, _ = routed_fixture 1 in
+  check Alcotest.bool "success" true r.Router.success;
+  Router.validate r
+
+let test_router_no_folding () =
+  let _, _, r, _ = routed_fixture 0 in
+  check Alcotest.bool "success" true r.Router.success;
+  Router.validate r
+
+let test_router_all_nets_routed () =
+  let _, cl, r, _ = routed_fixture 1 in
+  check Alcotest.int "every net routed" (List.length cl.Cluster.nets) r.Router.total_nets
+
+let test_router_timing_positive () =
+  let plan, _, r, _ = routed_fixture 1 in
+  check Alcotest.bool "period sane" true
+    (r.Router.folding_period_ns > 0.3 && r.Router.folding_period_ns < 50.0);
+  ignore plan
+
+let test_router_usage_stats_consistent () =
+  let _, _, r, _ = routed_fixture 1 in
+  let total_by_kind =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 r.Router.usage_by_kind
+  in
+  check Alcotest.int "usage = wirelength" r.Router.wirelength total_by_kind
+
+(* --- bitstream --- *)
+
+let test_bitstream_shape () =
+  let plan, cl, r, _ = routed_fixture 1 in
+  let bs = Bitstream.generate plan cl r in
+  check Alcotest.bool "magic" true
+    (Bytes.length bs.Bitstream.bytes > 5
+    && Bytes.sub_string bs.Bitstream.bytes 0 5 = "NMAP1");
+  check Alcotest.int "configs" plan.Mapper.configs_used bs.Bitstream.configs;
+  check Alcotest.bool "nonzero luts" true (bs.Bitstream.lut_bits > 0);
+  check Alcotest.bool "nonzero switches" true (bs.Bitstream.switch_bits > 0)
+
+let test_bitstream_deterministic () =
+  let plan, cl, r, _ = routed_fixture 1 in
+  let b1 = Bitstream.generate plan cl r in
+  let b2 = Bitstream.generate plan cl r in
+  check Alcotest.bool "identical bytes" true
+    (Bytes.equal b1.Bitstream.bytes b2.Bitstream.bytes)
+
+let test_bitstream_roundtrip () =
+  let plan, cl, r, _ = routed_fixture 1 in
+  let bs = Bitstream.generate plan cl r in
+  let configs = Bitstream.parse bs.Bitstream.bytes in
+  check Alcotest.int "config count" plan.Mapper.configs_used (Array.length configs);
+  (* total LE configurations = total scheduled LUTs *)
+  let total_les =
+    Array.fold_left (fun acc c -> acc + List.length c.Bitstream.les) 0 configs
+  in
+  let total_luts =
+    Array.fold_left
+      (fun acc pl -> acc + Lut_network.num_luts pl.Mapper.network)
+      0 plan.Mapper.planes
+  in
+  check Alcotest.int "LE sections cover all LUTs" total_luts total_les;
+  (* switch records match the router's wirelength *)
+  let total_switches =
+    Array.fold_left (fun acc c -> acc + List.length c.Bitstream.switches) 0 configs
+  in
+  check Alcotest.int "switch records = wirelength" r.Router.wirelength total_switches;
+  (* corrupt magic is rejected *)
+  let bad = Bytes.copy bs.Bitstream.bytes in
+  Bytes.set bad 0 'X';
+  check Alcotest.bool "bad magic rejected" true
+    (match Bitstream.parse bad with exception Bitstream.Corrupt _ -> true | _ -> false)
+
+let test_bitstream_nram_accounting () =
+  let plan, cl, r, _ = routed_fixture 1 in
+  let bs = Bitstream.generate plan cl r in
+  let used, cap = Bitstream.nram_bits_required bs Arch.default in
+  check Alcotest.int "configs used" plan.Mapper.configs_used used;
+  check Alcotest.bool "cap is k" true (cap = Some 16)
+
+let () =
+  Alcotest.run "physical"
+    [ ( "cluster",
+        [ Alcotest.test_case "all LUTs placed" `Quick test_cluster_all_luts_placed;
+          Alcotest.test_case "no LE conflicts" `Quick test_cluster_no_le_conflicts;
+          Alcotest.test_case "area close to plan" `Quick test_cluster_area_close_to_plan;
+          Alcotest.test_case "state homes" `Quick test_cluster_state_bits_have_homes;
+          Alcotest.test_case "net shape" `Quick test_cluster_nets_have_sinks;
+          Alcotest.test_case "stats" `Quick test_cluster_stats ] );
+      ( "smb-local",
+        [ Alcotest.test_case "analysis + rebalance" `Quick test_smb_local_analysis;
+          Alcotest.test_case "pin guard spreads" `Quick test_smb_pin_guard_spreads ] );
+      ( "place",
+        [ Alcotest.test_case "legal + deterministic" `Quick
+            test_place_legal_and_deterministic;
+          Alcotest.test_case "quality" `Quick test_place_improves_over_initial;
+          Alcotest.test_case "estimates" `Quick test_place_routability_positive ] );
+      ( "rr_graph",
+        [ Alcotest.test_case "shapes" `Quick test_rr_graph_shapes;
+          Alcotest.test_case "reachability" `Quick test_rr_graph_full_reachability ] );
+      ( "router",
+        [ Alcotest.test_case "success + valid" `Quick test_router_succeeds_and_validates;
+          Alcotest.test_case "no-folding" `Quick test_router_no_folding;
+          Alcotest.test_case "all nets routed" `Quick test_router_all_nets_routed;
+          Alcotest.test_case "timing" `Quick test_router_timing_positive;
+          Alcotest.test_case "usage stats" `Quick test_router_usage_stats_consistent ] );
+      ( "bitstream",
+        [ Alcotest.test_case "shape" `Quick test_bitstream_shape;
+          Alcotest.test_case "deterministic" `Quick test_bitstream_deterministic;
+          Alcotest.test_case "roundtrip" `Quick test_bitstream_roundtrip;
+          Alcotest.test_case "nram accounting" `Quick test_bitstream_nram_accounting ] ) ]

@@ -1,0 +1,209 @@
+module Rtl = Nanomap_rtl.Rtl
+module Levelize = Nanomap_rtl.Levelize
+module Truth_table = Nanomap_logic.Truth_table
+
+let check = Alcotest.check
+
+(* --- builder validation --- *)
+
+let test_width_checks () =
+  let d = Rtl.create "t" in
+  let a = Rtl.add_input d "a" 4 in
+  let b = Rtl.add_input d "b" 8 in
+  Alcotest.check_raises "add width" (Invalid_argument "Rtl.add_op: width mismatch")
+    (fun () -> ignore (Rtl.add_op d ~width:4 (Rtl.Add (a, b))));
+  Alcotest.check_raises "mult width" (Invalid_argument "Rtl.add_op: width mismatch")
+    (fun () -> ignore (Rtl.add_op d ~width:4 (Rtl.Mult (a, b))));
+  ignore (Rtl.add_op d ~width:12 (Rtl.Mult (a, b)));
+  Alcotest.check_raises "slice range" (Invalid_argument "Rtl.add_op: width mismatch")
+    (fun () -> ignore (Rtl.add_op d ~width:4 (Rtl.Slice (a, 2))))
+
+let test_register_connect () =
+  let d = Rtl.create "t" in
+  let r = Rtl.add_register d ~name:"r" ~width:4 () in
+  let x = Rtl.add_input d "x" 4 in
+  Alcotest.check_raises "unconnected register fails validate"
+    (Failure "Rtl: unconnected register r") (fun () -> Rtl.validate d);
+  Rtl.connect_register d r ~d:x;
+  Rtl.validate d;
+  Alcotest.check_raises "double connect"
+    (Invalid_argument "Rtl.connect_register: already connected")
+    (fun () -> Rtl.connect_register d r ~d:x)
+
+let test_comb_cycle_detected () =
+  let d = Rtl.create "t" in
+  let a = Rtl.add_input d "a" 1 in
+  (* Build a cycle through a register-free path is impossible via the
+     builder (operands must exist), which is itself the invariant. *)
+  let x = Rtl.add_op d ~width:1 (Rtl.Bit_not a) in
+  ignore x;
+  Rtl.validate d
+
+(* --- simulation --- *)
+
+let test_sim_accumulator () =
+  let d = Rtl.create "acc" in
+  let x = Rtl.add_input d "x" 8 in
+  let acc = Rtl.add_register d ~name:"acc" ~width:8 () in
+  let sum = Rtl.add_op d ~width:8 (Rtl.Add (acc, x)) in
+  Rtl.connect_register d acc ~d:sum;
+  Rtl.mark_output d "sum" sum;
+  let sim = Rtl.sim_create d in
+  let outs = Rtl.sim_cycle sim [ ("x", 5) ] in
+  check Alcotest.int "cycle1" 5 (List.assoc "sum" outs);
+  let outs = Rtl.sim_cycle sim [ ("x", 7) ] in
+  check Alcotest.int "cycle2" 12 (List.assoc "sum" outs);
+  let outs = Rtl.sim_cycle sim [ ("x", 250) ] in
+  check Alcotest.int "wraps mod 256" ((12 + 250) land 255) (List.assoc "sum" outs)
+
+let test_sim_ops () =
+  let d = Rtl.create "ops" in
+  let a = Rtl.add_input d "a" 4 in
+  let b = Rtl.add_input d "b" 4 in
+  let s = Rtl.add_input d "s" 1 in
+  let add = Rtl.add_op d ~width:4 (Rtl.Add (a, b)) in
+  let sub = Rtl.add_op d ~width:4 (Rtl.Sub (a, b)) in
+  let mult = Rtl.add_op d ~width:8 (Rtl.Mult (a, b)) in
+  let eq = Rtl.add_op d ~width:1 (Rtl.Eq (a, b)) in
+  let lt = Rtl.add_op d ~width:1 (Rtl.Lt (a, b)) in
+  let mux = Rtl.add_op d ~width:4 (Rtl.Mux (s, a, b)) in
+  let slice = Rtl.add_op d ~width:2 (Rtl.Slice (mult, 2)) in
+  let cat = Rtl.add_op d ~width:8 (Rtl.Concat (a, b)) in
+  List.iteri (fun i id -> Rtl.mark_output d (Printf.sprintf "o%d" i) id)
+    [ add; sub; mult; eq; lt; mux; slice; cat ];
+  let sim = Rtl.sim_create d in
+  let outs = Rtl.sim_cycle sim [ ("a", 9); ("b", 3); ("s", 1) ] in
+  check Alcotest.int "add" 12 (List.assoc "o0" outs);
+  check Alcotest.int "sub" 6 (List.assoc "o1" outs);
+  check Alcotest.int "mult" 27 (List.assoc "o2" outs);
+  check Alcotest.int "eq" 0 (List.assoc "o3" outs);
+  check Alcotest.int "lt" 0 (List.assoc "o4" outs);
+  check Alcotest.int "mux picks b" 3 (List.assoc "o5" outs);
+  check Alcotest.int "slice" (27 lsr 2 land 3) (List.assoc "o6" outs);
+  check Alcotest.int "concat" (9 lor (3 lsl 4)) (List.assoc "o7" outs)
+
+let test_sim_table () =
+  let d = Rtl.create "tbl" in
+  let a = Rtl.add_input d "a" 1 in
+  let b = Rtl.add_input d "b" 1 in
+  let maj =
+    Truth_table.of_fun ~arity:2 (fun i -> i.(0) && i.(1))
+  in
+  let t = Rtl.add_op d ~width:1 (Rtl.Table (maj, [ a; b ])) in
+  Rtl.mark_output d "t" t;
+  let sim = Rtl.sim_create d in
+  let outs = Rtl.sim_cycle sim [ ("a", 1); ("b", 1) ] in
+  check Alcotest.int "table 11" 1 (List.assoc "t" outs);
+  let outs = Rtl.sim_cycle sim [ ("a", 1); ("b", 0) ] in
+  check Alcotest.int "table 10" 0 (List.assoc "t" outs)
+
+(* --- levelization --- *)
+
+(* Single-plane FSM + datapath with feedback (ex1 shape). *)
+let fsm_datapath () =
+  let d = Rtl.create "fsm" in
+  let x = Rtl.add_input d "x" 4 in
+  let s = Rtl.add_register d ~name:"state" ~width:1 () in
+  let r = Rtl.add_register d ~name:"r" ~width:4 () in
+  let sum = Rtl.add_op d ~width:4 (Rtl.Add (r, x)) in
+  let hold = Rtl.add_op d ~width:4 (Rtl.Mux (s, sum, r)) in
+  let ns = Rtl.add_op d ~width:1 (Rtl.Bit_not s) in
+  Rtl.connect_register d r ~d:hold;
+  Rtl.connect_register d s ~d:ns;
+  Rtl.mark_output d "r" hold;
+  d
+
+let test_levelize_single_plane_feedback () =
+  let lv = Levelize.levelize (fsm_datapath ()) in
+  check Alcotest.int "one plane" 1 (Levelize.num_planes lv);
+  check Alcotest.int "ffs" 5 (Levelize.total_flip_flops lv);
+  let p = lv.Levelize.planes.(0) in
+  check Alcotest.int "ops in plane" 3 (List.length p.Levelize.ops);
+  check Alcotest.int "input registers" 2 (List.length p.Levelize.input_registers);
+  check Alcotest.int "output registers" 2 (List.length p.Levelize.output_registers)
+
+(* Three-stage feed-forward pipeline: levels 1,2,3 -> 3 planes. *)
+let pipeline () =
+  let d = Rtl.create "pipe" in
+  let x = Rtl.add_input d "x" 4 in
+  let r1 = Rtl.add_register d ~name:"r1" ~width:4 () in
+  let r2 = Rtl.add_register d ~name:"r2" ~width:4 () in
+  let r3 = Rtl.add_register d ~name:"r3" ~width:4 () in
+  let one = Rtl.add_const d ~width:4 1 in
+  Rtl.connect_register d r1 ~d:(Rtl.add_op d ~width:4 (Rtl.Add (x, one)));
+  Rtl.connect_register d r2 ~d:(Rtl.add_op d ~width:4 (Rtl.Add (r1, one)));
+  Rtl.connect_register d r3 ~d:(Rtl.add_op d ~width:4 (Rtl.Add (r2, one)));
+  let out = Rtl.add_op d ~width:4 (Rtl.Add (r3, one)) in
+  Rtl.mark_output d "y" out;
+  d
+
+let test_levelize_pipeline () =
+  let lv = Levelize.levelize (pipeline ()) in
+  (* Logic reading only PIs shares plane 1 with the logic reading the
+     level-1 registers; the deeper register levels open planes 2 and 3. *)
+  check Alcotest.int "planes" 3 (Levelize.num_planes lv);
+  let ops_per_plane =
+    Array.to_list
+      (Array.map (fun (p : Levelize.plane) -> List.length p.Levelize.ops)
+         lv.Levelize.planes)
+  in
+  check (Alcotest.list Alcotest.int) "ops per plane" [ 2; 1; 1 ] ops_per_plane
+
+(* FIR-style shift line: direct register-to-register copies share a level,
+   the combinational MAC is the only plane. *)
+let fir_like () =
+  let d = Rtl.create "fir" in
+  let x = Rtl.add_input d "x" 4 in
+  let t1 = Rtl.add_register d ~name:"t1" ~width:4 () in
+  let t2 = Rtl.add_register d ~name:"t2" ~width:4 () in
+  let t3 = Rtl.add_register d ~name:"t3" ~width:4 () in
+  Rtl.connect_register d t1 ~d:x;
+  Rtl.connect_register d t2 ~d:t1;
+  Rtl.connect_register d t3 ~d:t2;
+  let s1 = Rtl.add_op d ~width:4 (Rtl.Add (t1, t2)) in
+  let s2 = Rtl.add_op d ~width:4 (Rtl.Add (s1, t3)) in
+  Rtl.mark_output d "y" s2;
+  d
+
+let test_levelize_shift_line () =
+  let lv = Levelize.levelize (fir_like ()) in
+  check Alcotest.int "one plane despite delay line" 1 (Levelize.num_planes lv);
+  let p = lv.Levelize.planes.(0) in
+  check Alcotest.int "two adders" 2 (List.length p.Levelize.ops);
+  check Alcotest.int "three plane registers" 3 (List.length p.Levelize.input_registers)
+
+let test_levelize_pure_comb () =
+  let d = Rtl.create "comb" in
+  let a = Rtl.add_input d "a" 4 in
+  let b = Rtl.add_input d "b" 4 in
+  let s = Rtl.add_op d ~width:4 (Rtl.Add (a, b)) in
+  Rtl.mark_output d "s" s;
+  let lv = Levelize.levelize d in
+  check Alcotest.int "one plane" 1 (Levelize.num_planes lv);
+  check Alcotest.int "no ffs" 0 (Levelize.total_flip_flops lv);
+  check Alcotest.int "po in plane 1" 1
+    (List.length lv.Levelize.planes.(0).Levelize.primary_outputs)
+
+let test_levelize_register_levels () =
+  let lv = Levelize.levelize (pipeline ()) in
+  let levels = List.map snd lv.Levelize.register_level in
+  check (Alcotest.list Alcotest.int) "levels 1 2 3" [ 1; 2; 3 ]
+    (List.sort compare levels)
+
+let () =
+  Alcotest.run "rtl"
+    [ ( "builder",
+        [ Alcotest.test_case "width checks" `Quick test_width_checks;
+          Alcotest.test_case "register connect" `Quick test_register_connect;
+          Alcotest.test_case "validate" `Quick test_comb_cycle_detected ] );
+      ( "sim",
+        [ Alcotest.test_case "accumulator" `Quick test_sim_accumulator;
+          Alcotest.test_case "operators" `Quick test_sim_ops;
+          Alcotest.test_case "table" `Quick test_sim_table ] );
+      ( "levelize",
+        [ Alcotest.test_case "feedback single plane" `Quick
+            test_levelize_single_plane_feedback;
+          Alcotest.test_case "pipeline" `Quick test_levelize_pipeline;
+          Alcotest.test_case "shift line" `Quick test_levelize_shift_line;
+          Alcotest.test_case "pure comb" `Quick test_levelize_pure_comb;
+          Alcotest.test_case "register levels" `Quick test_levelize_register_levels ] ) ]

@@ -1,0 +1,466 @@
+module Rtl = Nanomap_rtl.Rtl
+module Levelize = Nanomap_rtl.Levelize
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Gen = Nanomap_logic.Gen
+module Truth_table = Nanomap_logic.Truth_table
+module Decompose = Nanomap_techmap.Decompose
+module Simplify = Nanomap_techmap.Simplify
+module Flowmap = Nanomap_techmap.Flowmap
+module Lut_network = Nanomap_techmap.Lut_network
+module Partition = Nanomap_techmap.Partition
+module Rng = Nanomap_util.Rng
+
+let check = Alcotest.check
+
+(* Wrap a bare gate netlist as a tagged network (inputs become fake PI
+   origins keyed by their creation index). *)
+let tag_netlist nl =
+  let input_origins =
+    List.mapi (fun i (_, gid) -> (gid, Lut_network.Pi_bit (i, 0))) (Gate_netlist.inputs nl)
+  in
+  let output_targets =
+    List.map (fun (name, gid) -> (Lut_network.Po_target name, gid)) (Gate_netlist.outputs nl)
+  in
+  { Decompose.gates = nl;
+    tags = Array.make (Gate_netlist.size nl) (-1);
+    input_origins;
+    output_targets }
+
+(* Evaluate a mapped LUT network against gate-level simulation of the same
+   tagged netlist, over the full input space (distinct PI origins <= 16).
+   Values are keyed by origin, not creation order, because simplification
+   reorders and drops inputs. *)
+let equivalent_exhaustive tg lut =
+  let nl = tg.Decompose.gates in
+  let ins = Gate_netlist.inputs nl in
+  let n =
+    List.fold_left
+      (fun acc (_, origin) ->
+        match origin with Lut_network.Pi_bit (i, _) -> max acc (i + 1) | _ -> acc)
+      0 tg.Decompose.input_origins
+  in
+  assert (n <= 16);
+  let ok = ref true in
+  for v = 0 to (1 lsl n) - 1 do
+    let input_values = Array.init n (fun i -> v land (1 lsl i) <> 0) in
+    let sim_inputs =
+      List.map
+        (fun (_, gid) ->
+          match List.assoc gid tg.Decompose.input_origins with
+          | Lut_network.Pi_bit (i, _) -> input_values.(i)
+          | Lut_network.Const_bit b -> b
+          | Lut_network.Register_bit _ | Lut_network.Wire_bit _ -> false)
+        ins
+    in
+    let gate_values = Gate_netlist.simulate nl (Array.of_list sim_inputs) in
+    let origin_value = function
+      | Lut_network.Pi_bit (i, _) -> input_values.(i)
+      | Lut_network.Register_bit _ | Lut_network.Wire_bit _ -> false
+      | Lut_network.Const_bit b -> b
+    in
+    let lut_values = Lut_network.eval lut origin_value in
+    List.iter
+      (fun (target, gid) ->
+        let expected = gate_values.(gid) in
+        let node =
+          List.assoc target (Lut_network.outputs lut)
+        in
+        if lut_values.(node) <> expected then ok := false)
+      tg.Decompose.output_targets
+  done;
+  !ok
+
+(* --- decompose --- *)
+
+let fsm_datapath () =
+  let d = Rtl.create "fsm" in
+  let x = Rtl.add_input d "x" 4 in
+  let s = Rtl.add_register d ~name:"state" ~width:1 () in
+  let r = Rtl.add_register d ~name:"r" ~width:4 () in
+  let sum = Rtl.add_op d ~name:"sum" ~width:4 (Rtl.Add (r, x)) in
+  let hold = Rtl.add_op d ~name:"hold" ~width:4 (Rtl.Mux (s, sum, r)) in
+  let ns = Rtl.add_op d ~name:"ns" ~width:1 (Rtl.Bit_not s) in
+  Rtl.connect_register d r ~d:hold;
+  Rtl.connect_register d s ~d:ns;
+  Rtl.mark_output d "r_out" hold;
+  (d, x, s, r)
+
+let test_decompose_outputs () =
+  let d, _, _, _ = fsm_datapath () in
+  let lv = Levelize.levelize d in
+  let tg = Decompose.plane lv 1 in
+  (* outputs: 4 register bits for r, 1 for s, 4 PO bits *)
+  check Alcotest.int "outputs" 9 (List.length tg.Decompose.output_targets);
+  (* inputs: x(4) + r(4) + s(1) bits *)
+  check Alcotest.int "inputs" 9 (List.length tg.Decompose.input_origins)
+
+(* Decomposed plane must compute the same register next-state function as
+   the RTL simulator across exhaustive register/input values. *)
+let test_decompose_equivalence () =
+  let d, x, s, r = fsm_datapath () in
+  let lv = Levelize.levelize d in
+  let tg = Decompose.plane lv 1 in
+  let nl = tg.Decompose.gates in
+  for vx = 0 to 15 do
+    for vr = 0 to 15 do
+      for vs = 0 to 1 do
+        (* Gate-level: order inputs by their creation order via origins. *)
+        let ins = Gate_netlist.inputs nl in
+        let input_values =
+          List.map
+            (fun (_, gid) ->
+              match List.assoc gid tg.Decompose.input_origins with
+              | Lut_network.Register_bit (sid, b) ->
+                let v = if sid = r then vr else vs in
+                v land (1 lsl b) <> 0
+              | Lut_network.Pi_bit (sid, b) ->
+                assert (sid = x);
+                vx land (1 lsl b) <> 0
+              | Lut_network.Const_bit b -> b
+              | Lut_network.Wire_bit _ -> assert false)
+            ins
+        in
+        let values = Gate_netlist.simulate nl (Array.of_list input_values) in
+        let reg_next sid bit =
+          let target = Lut_network.Reg_target (sid, bit) in
+          values.(List.assoc target tg.Decompose.output_targets)
+        in
+        let expect_hold = if vs = 1 then vr else (vr + vx) land 15 in
+        for b = 0 to 3 do
+          check Alcotest.bool "r next" (expect_hold land (1 lsl b) <> 0) (reg_next r b)
+        done;
+        check Alcotest.bool "s next" (vs = 0) (reg_next s 0)
+      done
+    done
+  done
+
+(* --- simplify --- *)
+
+let test_simplify_shrinks_and_preserves () =
+  let nl = Gate_netlist.create () in
+  let a = Gen.input_bus nl "a" 4 in
+  let b = Gen.input_bus nl "b" 4 in
+  let sums, cout = Gen.ripple_carry_adder nl a b in
+  Gen.mark_output_bus nl "s" sums;
+  Gate_netlist.mark_output nl "cout" cout;
+  let tg = tag_netlist nl in
+  let tg' = Simplify.run tg in
+  check Alcotest.bool "shrinks"
+    true
+    (Gate_netlist.num_gates tg'.Decompose.gates < Gate_netlist.num_gates nl);
+  (* exhaustive equivalence of old vs new netlists; the simplified netlist
+     re-creates inputs in traversal order so values go through origins *)
+  for v = 0 to 255 do
+    let ins = Array.init 8 (fun i -> v land (1 lsl i) <> 0) in
+    let old_outs = Gate_netlist.output_values nl ins in
+    let sim_inputs =
+      List.map
+        (fun (_, gid) ->
+          match List.assoc gid tg'.Decompose.input_origins with
+          | Lut_network.Pi_bit (i, _) -> ins.(i)
+          | _ -> false)
+        (Gate_netlist.inputs tg'.Decompose.gates)
+    in
+    let new_values = Gate_netlist.simulate tg'.Decompose.gates (Array.of_list sim_inputs) in
+    List.iter
+      (fun (target, gid) ->
+        let name = match target with Lut_network.Po_target n -> n | _ -> assert false in
+        check Alcotest.bool name (List.assoc name old_outs) new_values.(gid))
+      tg'.Decompose.output_targets
+  done
+
+let test_simplify_constant_folding () =
+  let nl = Gate_netlist.create () in
+  let a = Gate_netlist.add_input nl "a" in
+  let zero = Gate_netlist.add_const nl false in
+  let one = Gate_netlist.add_const nl true in
+  let x = Gate_netlist.add_gate nl Gate.And2 [| a; one |] in
+  let y = Gate_netlist.add_gate nl Gate.Or2 [| x; zero |] in
+  let z = Gate_netlist.add_gate nl Gate.Xor2 [| y; zero |] in
+  let w = Gate_netlist.add_gate nl Gate.Not [| z |] in
+  let w2 = Gate_netlist.add_gate nl Gate.Not [| w |] in
+  Gate_netlist.mark_output nl "w2" w2;
+  let tg' = Simplify.run (tag_netlist nl) in
+  (* everything folds to just the input *)
+  check Alcotest.int "no gates left" 0 (Gate_netlist.num_gates tg'.Decompose.gates);
+  let _, gid = List.hd (List.rev tg'.Decompose.output_targets) in
+  let values = Gate_netlist.simulate tg'.Decompose.gates [| true |] in
+  check Alcotest.bool "w2 = a" true values.(gid)
+
+let test_simplify_cse () =
+  let nl = Gate_netlist.create () in
+  let a = Gate_netlist.add_input nl "a" in
+  let b = Gate_netlist.add_input nl "b" in
+  let x1 = Gate_netlist.add_gate nl Gate.And2 [| a; b |] in
+  let x2 = Gate_netlist.add_gate nl Gate.And2 [| b; a |] in
+  let y = Gate_netlist.add_gate nl Gate.Or2 [| x1; x2 |] in
+  Gate_netlist.mark_output nl "y" y;
+  let tg' = Simplify.run (tag_netlist nl) in
+  (* x1 = x2 after commutative canonicalization; OR of equals folds. *)
+  check Alcotest.int "single and" 1 (Gate_netlist.num_gates tg'.Decompose.gates)
+
+(* --- flowmap --- *)
+
+let test_flowmap_k_feasible () =
+  let nl = Gate_netlist.create () in
+  let a = Gen.input_bus nl "a" 4 in
+  let b = Gen.input_bus nl "b" 4 in
+  let sums, cout = Gen.ripple_carry_adder nl a b in
+  Gen.mark_output_bus nl "s" sums;
+  Gate_netlist.mark_output nl "cout" cout;
+  let tg = Simplify.run (tag_netlist nl) in
+  let lut = Flowmap.map ~k:4 tg in
+  Lut_network.validate lut;
+  Lut_network.iter
+    (fun _ -> function
+      | Lut_network.Lut { fanins; _ } ->
+        check Alcotest.bool "<=4 inputs" true (Array.length fanins <= 4)
+      | Lut_network.Input _ -> ())
+    lut;
+  check Alcotest.bool "equivalent" true (equivalent_exhaustive tg lut)
+
+let test_flowmap_depth_optimal_tree () =
+  (* 16-input AND tree: gate depth 4, optimal 4-LUT depth 2. *)
+  let nl = Gate_netlist.create () in
+  let xs = Gen.input_bus nl "x" 16 in
+  let root = Gen.and_tree nl (Array.to_list xs) in
+  Gate_netlist.mark_output nl "y" root;
+  let tg = Simplify.run (tag_netlist nl) in
+  let lut = Flowmap.map ~k:4 tg in
+  check Alcotest.int "depth 2" 2 (Lut_network.depth lut)
+
+let test_flowmap_labels_monotone () =
+  let rng = Rng.create 99 in
+  let nl = Gen.random_layered rng ~num_inputs:10 ~layers:8 ~layer_width:12 ~num_outputs:6 in
+  let tg = Simplify.run (tag_netlist nl) in
+  let labels = Flowmap.labels ~k:4 tg in
+  Gate_netlist.iter
+    (fun id n ->
+      Array.iter
+        (fun f ->
+          check Alcotest.bool "label monotone" true (labels.(f) <= labels.(id)))
+        n.Gate_netlist.fanins)
+    tg.Decompose.gates
+
+let test_flowmap_depth_le_gate_depth () =
+  let rng = Rng.create 123 in
+  let nl = Gen.random_layered rng ~num_inputs:8 ~layers:10 ~layer_width:10 ~num_outputs:4 in
+  let tg = Simplify.run (tag_netlist nl) in
+  let lut = Flowmap.map ~k:4 tg in
+  check Alcotest.bool "lut depth <= gate depth" true
+    (Lut_network.depth lut <= Gate_netlist.depth tg.Decompose.gates);
+  check Alcotest.bool "equivalent" true (equivalent_exhaustive tg lut)
+
+let flowmap_equiv_prop =
+  QCheck.Test.make ~name:"flowmap preserves function on random netlists" ~count:20
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nl =
+        Gen.random_layered rng ~num_inputs:6 ~layers:5 ~layer_width:8 ~num_outputs:5
+      in
+      let tg = Simplify.run (tag_netlist nl) in
+      let lut = Flowmap.map ~k:4 tg in
+      Lut_network.validate lut;
+      equivalent_exhaustive tg lut)
+
+let test_area_recovery_shrinks () =
+  let rng = Rng.create 2718 in
+  let nl = Gen.random_layered rng ~num_inputs:8 ~layers:7 ~layer_width:12 ~num_outputs:5 in
+  let tg = Simplify.run (tag_netlist nl) in
+  let raw = Flowmap.map ~k:4 ~area_recover:false tg in
+  let packed = Flowmap.map ~k:4 ~area_recover:true tg in
+  check Alcotest.bool "recovery never grows" true
+    (Lut_network.num_luts packed <= Lut_network.num_luts raw);
+  check Alcotest.bool "depth never grows" true
+    (Lut_network.depth packed <= Lut_network.depth raw);
+  check Alcotest.bool "equivalent" true (equivalent_exhaustive tg packed)
+
+(* --- partition --- *)
+
+let mapped_fsm () =
+  let d, _, _, _ = fsm_datapath () in
+  let lv = Levelize.levelize d in
+  let tg = Simplify.run (Decompose.plane lv 1) in
+  Flowmap.map ~k:4 tg
+
+let test_partition_covers_luts () =
+  let lut = mapped_fsm () in
+  let part = Partition.partition lut ~level:2 in
+  Partition.validate part;
+  let total_weight =
+    Array.fold_left (fun acc u -> acc + u.Partition.weight) 0 part.Partition.units
+  in
+  check Alcotest.int "weights cover all LUTs" (Lut_network.num_luts lut) total_weight
+
+let test_partition_level1_bands () =
+  let lut = mapped_fsm () in
+  let p1 = Partition.partition lut ~level:1 in
+  let p_big = Partition.partition lut ~level:100 in
+  Partition.validate p1;
+  Partition.validate p_big;
+  (* level-1: every module LUT band has depth exactly 1, so for each module
+     the number of units equals the module depth; with a huge level, each
+     module is one unit. *)
+  let modules = Lut_network.modules lut in
+  let real_modules = List.filter (fun (m, _) -> m >= 0) modules in
+  let units_of p =
+    Array.to_list p.Partition.units
+    |> List.filter (fun u -> u.Partition.module_id >= 0)
+    |> List.length
+  in
+  check Alcotest.int "one unit per module at huge level" (List.length real_modules)
+    (units_of p_big);
+  check Alcotest.bool "more units at level 1" true (units_of p1 >= units_of p_big)
+
+let test_partition_critical_path () =
+  let lut = mapped_fsm () in
+  let part = Partition.partition lut ~level:1 in
+  let cp = Partition.critical_path_units part in
+  check Alcotest.bool "critical path sane" true (cp >= 1 && cp <= Lut_network.size lut)
+
+let test_partition_rejects_bad_level () =
+  let lut = mapped_fsm () in
+  Alcotest.check_raises "level 0" (Invalid_argument "Partition.partition: level < 1")
+    (fun () -> ignore (Partition.partition lut ~level:0))
+
+(* --- BLIF export of mapped networks --- *)
+
+let test_lut_blif_roundtrip () =
+  let lut = mapped_fsm () in
+  let model = Nanomap_techmap.Lut_blif.model_of_network ~name:"fsm" lut in
+  let text = Nanomap_blif.Blif.write_model model in
+  let reparsed = Nanomap_blif.Blif.parse_string text in
+  let lowered = Nanomap_blif.Blif.lower reparsed in
+  (* functional identity across all input assignments: the BLIF netlist's
+     inputs are the network's register/PI bits by name *)
+  let nl = lowered.Nanomap_blif.Blif.netlist in
+  let rng = Rng.create 31 in
+  for _ = 1 to 100 do
+    let assignment = Hashtbl.create 16 in
+    let origin_value origin =
+      let key =
+        match origin with
+        | Lut_network.Register_bit (r, b) -> Printf.sprintf "reg%d_%d" r b
+        | Lut_network.Pi_bit (s, b) -> Printf.sprintf "pi%d_%d" s b
+        | Lut_network.Wire_bit (w, b) -> Printf.sprintf "wire%d_%d" w b
+        | Lut_network.Const_bit b -> if b then "const1" else "const0"
+      in
+      match Hashtbl.find_opt assignment key with
+      | Some v -> v
+      | None ->
+        let v = Rng.bool rng in
+        Hashtbl.replace assignment key v;
+        v
+    in
+    let lut_values = Lut_network.eval lut origin_value in
+    let blif_inputs =
+      List.map
+        (fun (name, _) ->
+          match Hashtbl.find_opt assignment name with
+          | Some v -> v
+          | None ->
+            let v = Rng.bool rng in
+            Hashtbl.replace assignment name v;
+            v)
+        (Gate_netlist.inputs nl)
+    in
+    let blif_outs = Gate_netlist.output_values nl (Array.of_list blif_inputs) in
+    (* compare every register-target bit (exported as $latch outputs) *)
+    List.iter
+      (fun (target, node) ->
+        match target with
+        | Lut_network.Reg_target (r, b) ->
+          let blif_name = Printf.sprintf "$latch.reg%d_%d" r b in
+          (match List.assoc_opt blif_name blif_outs with
+           | Some v ->
+             check Alcotest.bool
+               (Printf.sprintf "reg%d.%d" r b)
+               lut_values.(node) v
+           | None -> Alcotest.fail ("missing latch " ^ blif_name))
+        | Lut_network.Po_target _ | Lut_network.Wire_target _ -> ())
+      (Lut_network.outputs lut)
+  done
+
+(* --- full chain: RTL -> planes -> gates -> simplify -> flowmap, compared
+   against the RTL reference simulator over a clocked run. --- *)
+
+let test_full_chain_against_rtl_sim () =
+  let d, x, s, r = fsm_datapath () in
+  let lv = Levelize.levelize d in
+  let tg = Simplify.run (Decompose.plane lv 1) in
+  let lut = Flowmap.map ~k:4 tg in
+  Lut_network.validate lut;
+  let sim = Rtl.sim_create d in
+  (* Mirror the register state manually through LUT-network evaluation. *)
+  let state = Hashtbl.create 4 in
+  Hashtbl.replace state r 0;
+  Hashtbl.replace state s 0;
+  let rng = Rng.create 2024 in
+  for _ = 1 to 200 do
+    let vx = Rng.int rng 16 in
+    let rtl_outs = Rtl.sim_cycle sim [ ("x", vx) ] in
+    let origin_value = function
+      | Lut_network.Register_bit (sid, b) -> Hashtbl.find state sid land (1 lsl b) <> 0
+      | Lut_network.Pi_bit (_, b) -> vx land (1 lsl b) <> 0
+      | Lut_network.Const_bit bv -> bv
+      | Lut_network.Wire_bit _ -> assert false
+    in
+    let values = Lut_network.eval lut origin_value in
+    let outs = Lut_network.outputs lut in
+    (* Compare PO against RTL sim. *)
+    let po_value name =
+      let node = List.assoc (Lut_network.Po_target name) outs in
+      values.(node)
+    in
+    let rtl_r_out = List.assoc "r_out" rtl_outs in
+    for b = 0 to 3 do
+      check Alcotest.bool "po bit" (rtl_r_out land (1 lsl b) <> 0)
+        (po_value (Printf.sprintf "r_out.%d" b))
+    done;
+    (* Clock: update mirrored registers from Reg_targets. *)
+    let next sid width =
+      let v = ref 0 in
+      for b = 0 to width - 1 do
+        let node = List.assoc (Lut_network.Reg_target (sid, b)) outs in
+        if values.(node) then v := !v lor (1 lsl b)
+      done;
+      !v
+    in
+    let nr = next r 4 and ns = next s 1 in
+    Hashtbl.replace state r nr;
+    Hashtbl.replace state s ns;
+    (* Registers must agree with the RTL simulator state. *)
+    check Alcotest.int "r state" (Rtl.sim_peek sim r) nr;
+    check Alcotest.int "s state" (Rtl.sim_peek sim s) ns
+  done;
+  ignore x
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ flowmap_equiv_prop ]
+
+let () =
+  Alcotest.run "techmap"
+    [ ( "decompose",
+        [ Alcotest.test_case "outputs/inputs" `Quick test_decompose_outputs;
+          Alcotest.test_case "equivalence" `Quick test_decompose_equivalence ] );
+      ( "simplify",
+        [ Alcotest.test_case "shrinks+preserves" `Quick test_simplify_shrinks_and_preserves;
+          Alcotest.test_case "constant folding" `Quick test_simplify_constant_folding;
+          Alcotest.test_case "cse" `Quick test_simplify_cse ] );
+      ( "flowmap",
+        [ Alcotest.test_case "k-feasible adder" `Quick test_flowmap_k_feasible;
+          Alcotest.test_case "depth-optimal tree" `Quick test_flowmap_depth_optimal_tree;
+          Alcotest.test_case "labels monotone" `Quick test_flowmap_labels_monotone;
+          Alcotest.test_case "depth bound" `Quick test_flowmap_depth_le_gate_depth;
+          Alcotest.test_case "area recovery" `Quick test_area_recovery_shrinks ]
+        @ qsuite );
+      ( "partition",
+        [ Alcotest.test_case "covers LUTs" `Quick test_partition_covers_luts;
+          Alcotest.test_case "bands" `Quick test_partition_level1_bands;
+          Alcotest.test_case "critical path" `Quick test_partition_critical_path;
+          Alcotest.test_case "bad level" `Quick test_partition_rejects_bad_level ] );
+      ( "blif-export",
+        [ Alcotest.test_case "roundtrip" `Quick test_lut_blif_roundtrip ] );
+      ( "full-chain",
+        [ Alcotest.test_case "RTL sim vs mapped" `Quick test_full_chain_against_rtl_sim ] ) ]

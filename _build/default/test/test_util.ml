@@ -1,0 +1,144 @@
+module Rng = Nanomap_util.Rng
+module Vec = Nanomap_util.Vec
+module Union_find = Nanomap_util.Union_find
+module Stats = Nanomap_util.Stats
+module Ascii_table = Nanomap_util.Ascii_table
+
+let check = Alcotest.check
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Rng.int64 a) (Rng.int64 b) then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 5)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 13 in
+    check Alcotest.bool "in range" true (x >= 0 && x < 13)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 2.5 in
+    check Alcotest.bool "in range" true (x >= 0. && x < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 3 in
+  let s = Rng.split r in
+  check Alcotest.bool "split differs from parent" true
+    (not (Int64.equal (Rng.int64 r) (Rng.int64 s)))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 11 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" (Array.init 100 Fun.id) sorted;
+  check Alcotest.bool "actually moved" true (a <> Array.init 100 Fun.id)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    check Alcotest.int "index" i (Vec.push v (i * 2))
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    check Alcotest.int "value" (i * 2) (Vec.get v i)
+  done
+
+let test_vec_set () =
+  let v = Vec.make 5 0 in
+  Vec.set v 3 42;
+  check Alcotest.int "set" 42 (Vec.get v 3);
+  check Alcotest.int "others" 0 (Vec.get v 2)
+
+let test_vec_out_of_bounds () =
+  let v = Vec.make 3 0 in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 3))
+
+let test_vec_fold_iter () =
+  let v = Vec.create () in
+  List.iter (fun x -> ignore (Vec.push v x)) [ 1; 2; 3; 4 ];
+  check Alcotest.int "fold sum" 10 (Vec.fold ( + ) 0 v);
+  check (Alcotest.list Alcotest.int) "to_list" [ 1; 2; 3; 4 ] (Vec.to_list v);
+  check Alcotest.bool "exists" true (Vec.exists (fun x -> x = 3) v);
+  check Alcotest.bool "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let test_union_find_basic () =
+  let uf = Union_find.create 10 in
+  check Alcotest.int "initial sets" 10 (Union_find.count uf);
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Union_find.union uf 1 2;
+  check Alcotest.bool "same" true (Union_find.same uf 0 3);
+  check Alcotest.bool "diff" false (Union_find.same uf 0 4);
+  check Alcotest.int "sets after" 7 (Union_find.count uf)
+
+let test_union_find_idempotent () =
+  let uf = Union_find.create 4 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 0;
+  check Alcotest.int "count stable" 3 (Union_find.count uf)
+
+let test_stats () =
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check (Alcotest.float 1e-9) "mean empty" 0. (Stats.mean []);
+  check (Alcotest.float 1e-9) "geomean" 2. (Stats.geomean [ 1.; 4. ]);
+  check (Alcotest.float 1e-9) "maxf" 4. (Stats.maxf [ 1.; 4.; 2. ]);
+  check (Alcotest.float 1e-9) "minf" 1. (Stats.minf [ 1.; 4.; 2. ]);
+  check Alcotest.int "ceil_div exact" 3 (Stats.ceil_div 9 3);
+  check Alcotest.int "ceil_div up" 4 (Stats.ceil_div 10 3);
+  check Alcotest.int "ceil_div one" 1 (Stats.ceil_div 1 5);
+  check (Alcotest.float 1e-9) "round2" 1.23 (Stats.round2 1.2349)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  loop 0
+
+let test_ascii_table () =
+  let t = Ascii_table.create [ "a"; "bb" ] in
+  Ascii_table.add_row t [ "x"; "y" ];
+  Ascii_table.add_separator t;
+  Ascii_table.add_row t [ "long-cell" ];
+  let s = Ascii_table.to_string t in
+  check Alcotest.bool "contains header" true (contains s "bb");
+  check Alcotest.bool "contains row" true (contains s "long-cell");
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Ascii_table.add_row: more cells than headers")
+    (fun () -> Ascii_table.add_row t [ "1"; "2"; "3" ])
+
+let () =
+  Alcotest.run "util"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_different_seeds;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes ] );
+      ( "vec",
+        [ Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "set" `Quick test_vec_set;
+          Alcotest.test_case "out of bounds" `Quick test_vec_out_of_bounds;
+          Alcotest.test_case "fold/iter" `Quick test_vec_fold_iter ] );
+      ( "union_find",
+        [ Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "idempotent" `Quick test_union_find_idempotent ] );
+      ("stats", [ Alcotest.test_case "all" `Quick test_stats ]);
+      ("ascii_table", [ Alcotest.test_case "render" `Quick test_ascii_table ]) ]

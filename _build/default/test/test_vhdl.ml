@@ -1,0 +1,218 @@
+module Vhdl = Nanomap_vhdl.Vhdl
+module Rtl = Nanomap_rtl.Rtl
+module Mapper = Nanomap_core.Mapper
+module Arch = Nanomap_arch.Arch
+module Rng = Nanomap_util.Rng
+
+let check = Alcotest.check
+
+let mac_source =
+  {|
+-- multiply-accumulate with synchronous clear
+entity mac is
+  port (
+    clk   : in std_logic;
+    clear : in std_logic;
+    a     : in std_logic_vector(7 downto 0);
+    b     : in std_logic_vector(7 downto 0);
+    acc   : out std_logic_vector(15 downto 0)
+  );
+end entity;
+
+architecture rtl of mac is
+  signal product : std_logic_vector(15 downto 0);
+  signal sum     : std_logic_vector(15 downto 0);
+  signal nxt     : std_logic_vector(15 downto 0);
+  signal acc_r   : std_logic_vector(15 downto 0);
+begin
+  product <= a * b;
+  sum <= acc_r + product;
+  nxt <= (others => '0') when clear = '1' else sum;
+  acc <= nxt;
+
+  reg: process (clk)
+  begin
+    if rising_edge(clk) then
+      acc_r <= nxt;
+    end if;
+  end process;
+end architecture;
+|}
+
+(* --- parsing --- *)
+
+let test_parse_mac () =
+  let d = Vhdl.parse_string mac_source in
+  check Alcotest.string "entity" "mac" d.Vhdl.entity_name;
+  check Alcotest.int "ports" 5 (List.length d.Vhdl.ports);
+  check Alcotest.int "signals" 4 (List.length d.Vhdl.signals);
+  check Alcotest.int "statements" 5 (List.length d.Vhdl.statements)
+
+let test_parse_multi_name_ports () =
+  let src =
+    "entity e is port (a, b : in std_logic; y : out std_logic); end entity;\n\
+     architecture r of e is begin y <= a and b; end architecture;"
+  in
+  let d = Vhdl.parse_string src in
+  check Alcotest.int "three ports" 3 (List.length d.Vhdl.ports)
+
+let test_parse_case_insensitive () =
+  let src =
+    "ENTITY E IS PORT (A : IN STD_LOGIC; Y : OUT STD_LOGIC); END ENTITY;\n\
+     ARCHITECTURE R OF E IS BEGIN Y <= NOT A; END ARCHITECTURE;"
+  in
+  let d = Vhdl.parse_string src in
+  check Alcotest.string "lowercased" "e" d.Vhdl.entity_name
+
+let test_parse_errors () =
+  let bad src =
+    match Vhdl.parse_string src with
+    | exception Vhdl.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "missing entity" true (bad "architecture r of e is begin end;");
+  check Alcotest.bool "bad range" true
+    (bad
+       "entity e is port (a : in std_logic_vector(3 downto 1)); end entity;\n\
+        architecture r of e is begin end architecture;");
+  check Alcotest.bool "garbage" true (bad "entity e is @;")
+
+(* --- elaboration + simulation --- *)
+
+let test_elaborate_mac_behaviour () =
+  let d = Vhdl.elaborate (Vhdl.parse_string mac_source) in
+  let sim = Rtl.sim_create d in
+  ignore (Rtl.sim_cycle sim [ ("a", 3); ("b", 5); ("clear", 0) ]);
+  let outs = Rtl.sim_cycle sim [ ("a", 10); ("b", 10); ("clear", 0) ] in
+  check Alcotest.int "3*5 + 10*10" 115 (List.assoc "acc" outs);
+  let outs = Rtl.sim_cycle sim [ ("a", 1); ("b", 1); ("clear", 1) ] in
+  check Alcotest.int "clear" 0 (List.assoc "acc" outs)
+
+let test_elaborate_operators () =
+  let src =
+    {|entity ops is
+      port (x : in std_logic_vector(3 downto 0);
+            y : in std_logic_vector(3 downto 0);
+            cat : out std_logic_vector(7 downto 0);
+            hi  : out std_logic_vector(1 downto 0);
+            bit1 : out std_logic;
+            inv : out std_logic_vector(3 downto 0);
+            sel : out std_logic_vector(3 downto 0));
+      end entity;
+      architecture r of ops is
+      begin
+        cat <= x & y;
+        hi <= x(3 downto 2);
+        bit1 <= y(1);
+        inv <= not x;
+        sel <= x when x < y else y;
+      end architecture;|}
+  in
+  let d = Vhdl.elaborate (Vhdl.parse_string src) in
+  let sim = Rtl.sim_create d in
+  let outs = Rtl.sim_cycle sim [ ("x", 0b1010); ("y", 0b0110) ] in
+  (* VHDL x & y: x is the most significant part *)
+  check Alcotest.int "concat" 0b10100110 (List.assoc "cat" outs);
+  check Alcotest.int "slice" 0b10 (List.assoc "hi" outs);
+  check Alcotest.int "index" 1 (List.assoc "bit1" outs);
+  check Alcotest.int "not" 0b0101 (List.assoc "inv" outs);
+  check Alcotest.int "mux (x<y false -> y)" 0b0110 (List.assoc "sel" outs)
+
+let test_elaborate_bit_string () =
+  let src =
+    "entity c is port (y : out std_logic_vector(3 downto 0)); end entity;\n\
+     architecture r of c is begin y <= \"1010\"; end architecture;"
+  in
+  let d = Vhdl.elaborate (Vhdl.parse_string src) in
+  let sim = Rtl.sim_create d in
+  check Alcotest.int "MSB-first literal" 0b1010
+    (List.assoc "y" (Rtl.sim_cycle sim []))
+
+let test_elaborate_width_mismatch () =
+  let src =
+    "entity w is port (a : in std_logic_vector(3 downto 0);\n\
+     b : in std_logic_vector(7 downto 0); y : out std_logic_vector(3 downto 0));\n\
+     end entity;\n\
+     architecture r of w is begin y <= a + b; end architecture;"
+  in
+  check Alcotest.bool "width mismatch rejected" true
+    (match Vhdl.elaborate (Vhdl.parse_string src) with
+     | exception Vhdl.Parse_error _ -> true
+     | _ -> false)
+
+let test_elaborate_cycle_detected () =
+  let src =
+    "entity c is port (y : out std_logic); end entity;\n\
+     architecture r of c is signal a, b : std_logic; begin\n\
+     a <= b; b <= a; y <= a; end architecture;"
+  in
+  check Alcotest.bool "comb cycle rejected" true
+    (match Vhdl.elaborate (Vhdl.parse_string src) with
+     | exception Vhdl.Parse_error _ -> true
+     | _ -> false)
+
+let test_elaborate_undriven () =
+  let src =
+    "entity u is port (y : out std_logic); end entity;\n\
+     architecture r of u is signal ghost : std_logic; begin\n\
+     y <= ghost; end architecture;"
+  in
+  check Alcotest.bool "undriven signal rejected" true
+    (match Vhdl.elaborate (Vhdl.parse_string src) with
+     | exception Vhdl.Parse_error _ -> true
+     | _ -> false)
+
+(* --- through the whole flow --- *)
+
+let test_vhdl_through_mapper () =
+  let d = Vhdl.elaborate (Vhdl.parse_string mac_source) in
+  let p = Mapper.prepare d in
+  check Alcotest.int "one plane (accumulator feedback)" 1 p.Mapper.num_planes;
+  check Alcotest.bool "has LUTs" true (p.Mapper.total_luts > 50);
+  let plan = Mapper.at_min p ~arch:Arch.unbounded_k in
+  check Alcotest.bool "folding reduces LEs" true (plan.Mapper.les < p.Mapper.total_luts)
+
+(* VHDL vs hand-built RTL equivalence over random stimulus. *)
+let test_vhdl_matches_handbuilt () =
+  let vhdl_design = Vhdl.elaborate (Vhdl.parse_string mac_source) in
+  let hand =
+    let d = Rtl.create "mac" in
+    let a = Rtl.add_input d "a" 8 in
+    let b = Rtl.add_input d "b" 8 in
+    let clear = Rtl.add_input d "clear" 1 in
+    let acc = Rtl.add_register d ~name:"acc_r" ~width:16 () in
+    let product = Rtl.add_op d ~width:16 (Rtl.Mult (a, b)) in
+    let sum = Rtl.add_op d ~width:16 (Rtl.Add (acc, product)) in
+    let zero = Rtl.add_const d ~width:16 0 in
+    let next = Rtl.add_op d ~width:16 (Rtl.Mux (clear, sum, zero)) in
+    Rtl.connect_register d acc ~d:next;
+    Rtl.mark_output d "acc" next;
+    d
+  in
+  let s1 = Rtl.sim_create vhdl_design and s2 = Rtl.sim_create hand in
+  let rng = Rng.create 17 in
+  for _ = 1 to 200 do
+    let ins =
+      [ ("a", Rng.int rng 256); ("b", Rng.int rng 256); ("clear", Rng.int rng 2) ]
+    in
+    let o1 = Rtl.sim_cycle s1 ins and o2 = Rtl.sim_cycle s2 ins in
+    check Alcotest.int "same acc" (List.assoc "acc" o2) (List.assoc "acc" o1)
+  done
+
+let () =
+  Alcotest.run "vhdl"
+    [ ( "parse",
+        [ Alcotest.test_case "mac" `Quick test_parse_mac;
+          Alcotest.test_case "multi-name ports" `Quick test_parse_multi_name_ports;
+          Alcotest.test_case "case insensitive" `Quick test_parse_case_insensitive;
+          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+      ( "elaborate",
+        [ Alcotest.test_case "mac behaviour" `Quick test_elaborate_mac_behaviour;
+          Alcotest.test_case "operators" `Quick test_elaborate_operators;
+          Alcotest.test_case "bit string" `Quick test_elaborate_bit_string;
+          Alcotest.test_case "width mismatch" `Quick test_elaborate_width_mismatch;
+          Alcotest.test_case "comb cycle" `Quick test_elaborate_cycle_detected;
+          Alcotest.test_case "undriven" `Quick test_elaborate_undriven ] );
+      ( "integration",
+        [ Alcotest.test_case "through mapper" `Quick test_vhdl_through_mapper;
+          Alcotest.test_case "matches hand-built RTL" `Quick test_vhdl_matches_handbuilt ] ) ]

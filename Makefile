@@ -1,0 +1,23 @@
+# Convenience wrapper; everything is plain dune underneath.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The PR gate: full build, every test suite, and a smoke-mode profile
+# run that exercises the telemetry pipeline end to end.
+check: build test
+	dune exec bench/main.exe -- --smoke profile
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -f BENCH_profile.json

@@ -4,7 +4,8 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- one experiment
      (table1 table2 fig1 fig35 interconnect tradeoff ablation-fds
-      ablation-place ablation-ffs speed)
+      ablation-place ablation-ffs speed profile; --smoke shrinks profile
+      to one small circuit)
 
    Absolute numbers come from our own substrate (see DESIGN.md for the
    substitutions); the shapes are what reproduce the paper. *)
@@ -663,16 +664,64 @@ let speed () =
         ols)
     tests
 
+(* ----------------------------------------------------- Profile (tele) *)
+
+(* Full-flow telemetry per benchmark: the per-stage table on stdout, and a
+   machine-readable BENCH_profile.json for regression tracking. *)
+let smoke = ref false
+
+let profile () =
+  section "Flow profile: per-stage spans and cross-layer counters";
+  let module Telemetry = Nanomap_util.Telemetry in
+  let benches =
+    if !smoke then [ Circuits.ex1_small () ] else Circuits.all ()
+  in
+  let runs =
+    List.map
+      (fun (b : Circuits.benchmark) ->
+        let r = Flow.run ~arch:Arch.unbounded_k b.Circuits.design in
+        Printf.printf "--- %s ---\n%s\n%!" b.Circuits.name
+          (Telemetry.to_table_string r.Flow.telemetry);
+        (b.Circuits.name, r.Flow.telemetry))
+      benches
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"benchmarks\":[";
+  List.iteri
+    (fun i (name, tele) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":%s,\"telemetry\":%s}"
+           (Telemetry.json_string name) (Telemetry.to_json_string tele)))
+    runs;
+  Buffer.add_string buf "]}";
+  let oc = open_out "BENCH_profile.json" in
+  Buffer.output_buffer oc buf;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_profile.json (%d benchmark(s))\n%!" (List.length runs)
+
 (* ------------------------------------------------------------- driver *)
 
 let () =
-  let wanted = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wanted =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          smoke := true;
+          false
+        end
+        else true)
+      args
+  in
   let all_experiments =
     [ ("table1", table1); ("table2", table2); ("fig1", fig1); ("fig35", fig35);
       ("interconnect", interconnect); ("tradeoff", tradeoff);
       ("ablation-fds", ablation_fds); ("ablation-place", ablation_place);
       ("ablation-ffs", ablation_ffs); ("arch-geometry", arch_geometry);
-      ("energy", energy); ("extended", extended); ("speed", speed) ]
+      ("energy", energy); ("extended", extended); ("speed", speed);
+      ("profile", profile) ]
   in
   let to_run =
     match wanted with

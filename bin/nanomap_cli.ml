@@ -87,7 +87,7 @@ let objective_conv =
   Arg.conv (parse, print)
 
 let run_map circuit blif vhdl objective area delay level logical pipelined seed
-    bitstream_out dump_blif verbose k =
+    bitstream_out dump_blif trace json_out verbose k =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   match load_design circuit blif vhdl with
   | Error (`Msg m) -> prerr_endline ("error: " ^ m); 1
@@ -144,6 +144,17 @@ let run_map circuit blif vhdl objective area delay level logical pipelined seed
         | Some _, None ->
           Format.printf "bitstream: not generated (logical-only run)@."
         | None, _ -> ());
+       if trace then
+         print_string
+           (Nanomap_util.Telemetry.to_table_string report.Flow.telemetry);
+       (match json_out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Nanomap_util.Telemetry.to_json_string report.Flow.telemetry);
+          close_out oc;
+          Format.printf "telemetry: -> %s@." path
+        | None -> ());
        0
      | exception Flow.Flow_failed msg ->
        prerr_endline ("flow failed: " ^ msg); 1
@@ -189,12 +200,23 @@ let map_cmd =
          & info [ "dump-blif" ] ~docv:"FILE"
              ~doc:"Write the mapped LUT network(s) as BLIF.")
   in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the per-stage telemetry table (timings, counters, \
+                   events) after the run.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the run telemetry as JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "map" ~doc:"Run the NanoMap flow on a design")
     Term.(
       const run_map $ circuit_arg $ blif_arg $ vhdl_arg $ objective $ area $ delay
-      $ level $ logical $ pipelined $ seed $ bitstream_out $ dump_blif $ verbosity
-      $ k_arg)
+      $ level $ logical $ pipelined $ seed $ bitstream_out $ dump_blif $ trace
+      $ json_out $ verbosity $ k_arg)
 
 (* ----------------------------------------------------------- stats cmd *)
 

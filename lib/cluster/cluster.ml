@@ -3,6 +3,11 @@ module Mapper = Nanomap_core.Mapper
 module Sched = Nanomap_core.Sched
 module Partition = Nanomap_techmap.Partition
 module Lut_network = Nanomap_techmap.Lut_network
+module Telemetry = Nanomap_util.Telemetry
+
+let c_luts_packed = Telemetry.counter "cluster.luts_packed"
+let c_smbs_grown = Telemetry.counter "cluster.smbs_grown"
+let c_ffs_allocated = Telemetry.counter "cluster.ffs_allocated"
 
 type slot = {
   smb : int;
@@ -132,7 +137,9 @@ let occupy_ff pool ff lo hi =
     Hashtbl.replace pool.ff_busy (ff, ts) ()
   done
 
-let grow pool = pool.smbs <- pool.smbs + 1
+let grow pool =
+  Telemetry.incr c_smbs_grown;
+  pool.smbs <- pool.smbs + 1
 
 (* ---------------------------------------------------------------- pack *)
 
@@ -279,6 +286,7 @@ let pack (plan : Mapper.plan) ~arch =
                   | Some i -> i
                   | None -> assert false
                 in
+                Telemetry.incr c_luts_packed;
                 let g = global_le pool s le_idx in
                 Hashtbl.replace pool.le_busy (g, ts) ();
                 Hashtbl.replace lut_slots (plane, l) (slot_of_global pool g);
@@ -294,6 +302,7 @@ let pack (plan : Mapper.plan) ~arch =
   let ff_slots : (value, slot * int) Hashtbl.t = Hashtbl.create 256 in
   let ffs_per_le = arch.Arch.ffs_per_le in
   let alloc_ff ~prefer ~lo ~hi value =
+    Telemetry.incr c_ffs_allocated;
     (* candidate global LE order: preferred LE, its MB, its SMB, everything *)
     let lps = Arch.les_per_smb arch in
     let candidates = ref [] in

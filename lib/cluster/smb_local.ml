@@ -2,6 +2,9 @@ module Arch = Nanomap_arch.Arch
 module Mapper = Nanomap_core.Mapper
 module Partition = Nanomap_techmap.Partition
 module Lut_network = Nanomap_techmap.Lut_network
+module Telemetry = Nanomap_util.Telemetry
+
+let c_rebalance_moves = Telemetry.counter "cluster.rebalance_moves"
 
 type report = {
   max_smb_inputs : int;
@@ -195,6 +198,7 @@ let rebalance (cl : Cluster.t) (plan : Mapper.plan) =
           let new_slot = { Cluster.smb; mb = m; le } in
           if old_slot <> new_slot then begin
             incr moved;
+            Telemetry.incr c_rebalance_moves;
             Hashtbl.replace cl.Cluster.lut_slots (plane, l) new_slot
           end)
         ordered)

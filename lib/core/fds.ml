@@ -1,4 +1,8 @@
 module Arch = Nanomap_arch.Arch
+module Telemetry = Nanomap_util.Telemetry
+
+let c_force_evals = Telemetry.counter "fds.force_evals"
+let c_passes = Telemetry.counter "fds.passes"
 
 (* All forces are evaluated in O(1) via prefix sums over the distribution
    graphs: sum dg[a..b] = pref(b) - pref(a-1). *)
@@ -71,6 +75,7 @@ let schedule (t : Sched.t) ~arch =
   let stages = t.Sched.stages in
   let remaining = ref n in
   while !remaining > 0 do
+    Telemetry.incr c_passes;
     let fr = Sched.frames t ~fixed in
     let lut_dg = Sched.lut_dg t fr in
     let storage_dg = Sched.storage_dg t fr in
@@ -94,6 +99,7 @@ let schedule (t : Sched.t) ~arch =
         if fixed.(u) = None then begin
           let a = fr.Sched.asap.(u) and b = fr.Sched.alap.(u) in
           for j = a to b do
+            Telemetry.incr c_force_evals;
             let lut_self =
               self_force lut_dg lut_pref ~stages ~weight:t.Sched.weights.(u) ~a ~b j
             in

@@ -1,6 +1,10 @@
 module Partition = Nanomap_techmap.Partition
 module Lut_network = Nanomap_techmap.Lut_network
 module Arch = Nanomap_arch.Arch
+module Telemetry = Nanomap_util.Telemetry
+
+let c_frame_passes = Telemetry.counter "sched.frame_passes"
+let c_problems = Telemetry.counter "sched.problems_built"
 
 type t = {
   part : Partition.t;
@@ -18,6 +22,7 @@ type t = {
 exception Infeasible of string
 
 let problem network (part : Partition.t) ~stages ~base_ff_bits =
+  Telemetry.incr c_problems;
   if stages < 1 then raise (Infeasible "stages < 1");
   let n = Array.length part.Partition.units in
   let preds = Array.make n [] and succs = Array.make n [] in
@@ -73,6 +78,7 @@ type frames = {
    the combined graph (strict edges advance the cycle by one, weak edges by
    zero). *)
 let frames t ~fixed =
+  Telemetry.incr c_frame_passes;
   let n = Array.length t.weights in
   let asap = Array.make n 1 in
   let alap = Array.make n t.stages in

@@ -6,6 +6,7 @@ module Cluster = Nanomap_cluster.Cluster
 module Place = Nanomap_place.Place
 module Router = Nanomap_route.Router
 module Bitstream = Nanomap_bitstream.Bitstream
+module Telemetry = Nanomap_util.Telemetry
 
 let log = Logs.Src.create "nanomap.flow" ~doc:"NanoMap end-to-end flow"
 
@@ -50,6 +51,7 @@ type report = {
   delay_routed_ns : float option;
   bitstream : Bitstream.t option;
   mapping_retries : int;
+  telemetry : Telemetry.run;
 }
 
 exception Flow_failed of string
@@ -72,10 +74,15 @@ let area_budget options =
   | Delay_min None | Area_min _ | At_min | Fixed_level _ | No_folding -> None
 
 (* The Fig. 2 area loop: clustering is the ground truth for LE usage; if it
-   exceeds the budget, fold one level deeper and redo mapping. *)
-let rec map_and_cluster ?(retries = 0) options prepared ~arch plan =
-  let cluster = Cluster.pack plan ~arch in
-  let moved = Nanomap_cluster.Smb_local.rebalance cluster plan in
+   exceeds the budget, fold one level deeper and redo mapping. Every
+   iteration is a fresh cluster/rebalance stage pair in the telemetry run,
+   and each re-fold lands in the event journal. *)
+let rec map_and_cluster ?(retries = 0) tele options prepared ~arch plan =
+  let cluster = Telemetry.span tele "cluster" (fun () -> Cluster.pack plan ~arch) in
+  let moved =
+    Telemetry.span tele "rebalance" (fun () ->
+        Nanomap_cluster.Smb_local.rebalance cluster plan)
+  in
   Log.debug (fun m -> m "intra-SMB rebalance moved %d LUTs" moved);
   Cluster.validate cluster plan;
   match area_budget options with
@@ -96,26 +103,43 @@ let rec map_and_cluster ?(retries = 0) options prepared ~arch plan =
       Log.info (fun m ->
           m "area loop: clustered %d LEs > %d, retrying at level %d"
             cluster.Cluster.les_used budget next_level);
+      Telemetry.event tele "area_loop.refold"
+        ~data:
+          [ ("clustered_les", string_of_int cluster.Cluster.les_used);
+            ("budget", string_of_int budget);
+            ("next_level", string_of_int next_level) ];
       let pipelined =
         match options.objective with
         | Pipelined_delay_min _ -> true
         | Delay_min _ | Area_min _ | At_min | Both _ | Fixed_level _ | No_folding ->
           false
       in
-      let plan = Mapper.plan_level ~pipelined prepared ~arch ~level:next_level in
-      map_and_cluster ~retries:(retries + 1) options prepared ~arch plan
+      let plan =
+        Telemetry.span tele "plan" (fun () ->
+            Mapper.plan_level ~pipelined prepared ~arch ~level:next_level)
+      in
+      map_and_cluster ~retries:(retries + 1) tele options prepared ~arch plan
     end
   | Some _ | None -> (plan, cluster, retries)
 
 let run ?(options = default_options) ?(arch = Arch.default) design =
-  Nanomap_rtl.Rtl.validate design;
-  let prepared = Mapper.prepare ~k:arch.Arch.lut_inputs design in
-  let plan0 = initial_plan options prepared ~arch in
-  let plan, cluster, mapping_retries =
-    map_and_cluster options prepared ~arch plan0
+  let tele = Telemetry.start ("flow:" ^ Nanomap_rtl.Rtl.name design) in
+  let prepared =
+    Telemetry.span tele "prepare" (fun () ->
+        Nanomap_rtl.Rtl.validate design;
+        Mapper.prepare ~k:arch.Arch.lut_inputs design)
   in
+  let plan0 =
+    Telemetry.span tele "plan" (fun () -> initial_plan options prepared ~arch)
+  in
+  let plan, cluster, mapping_retries =
+    map_and_cluster tele options prepared ~arch plan0
+  in
+  Telemetry.set_gauge tele "cluster.les_used"
+    (float_of_int cluster.Cluster.les_used);
   let delay_model_ns = plan.Mapper.delay_ns in
-  if not options.physical then
+  if not options.physical then begin
+    Telemetry.finish tele;
     { design_name = Nanomap_rtl.Rtl.name design;
       prepared;
       plan;
@@ -129,12 +153,17 @@ let run ?(options = default_options) ?(arch = Arch.default) design =
       channel_factor = 1;
       delay_routed_ns = None;
       bitstream = None;
-      mapping_retries }
+      mapping_retries;
+      telemetry = tele }
+  end
   else begin
-    (* fast placement, screened by routability (Fig. 2 steps 9-13) *)
+    (* fast placement, screened by routability (Fig. 2 steps 9-13); the
+       winning fast placement is returned, not re-derived, and seeds the
+       detailed pass *)
     let rec attempt_placement try_no =
       let fast =
-        Place.place ~seed:(options.seed + try_no) ~effort:`Fast cluster
+        Telemetry.span tele "place_fast" (fun () ->
+            Place.place ~seed:(options.seed + try_no) ~effort:`Fast cluster)
       in
       let estimate = Place.routability fast cluster in
       if estimate <= options.routability_threshold
@@ -144,24 +173,44 @@ let run ?(options = default_options) ?(arch = Arch.default) design =
             m "fast placement %d: routability %.2f%s" try_no estimate
               (if estimate > options.routability_threshold then " (accepted anyway)"
                else ""));
-        try_no
+        Telemetry.set_gauge tele "place.routability" estimate;
+        (try_no, fast)
       end
-      else attempt_placement (try_no + 1)
+      else begin
+        Telemetry.event tele "place.retry"
+          ~data:
+            [ ("try", string_of_int try_no);
+              ("routability", Printf.sprintf "%.2f" estimate) ];
+        attempt_placement (try_no + 1)
+      end
     in
-    let chosen_try = attempt_placement 0 in
+    let chosen_try, fast = attempt_placement 0 in
     let placement =
-      Place.place ~seed:(options.seed + chosen_try) ~effort:`Detailed cluster
+      Telemetry.span tele "place_detailed" (fun () ->
+          Place.place ~seed:(options.seed + chosen_try) ~effort:`Detailed
+            ~init:fast cluster)
     in
     Place.validate placement cluster;
-    let routing, channel_factor = Router.route_adaptive placement cluster plan in
+    Telemetry.set_gauge tele "place.hpwl" placement.Place.hpwl;
+    let routing, channel_factor =
+      Telemetry.span tele "route" (fun () ->
+          Router.route_adaptive placement cluster plan)
+    in
     if routing.Router.success then Router.validate routing;
+    Telemetry.set_gauge tele "route.wirelength"
+      (float_of_int routing.Router.wirelength);
+    Telemetry.set_gauge tele "route.channel_factor" (float_of_int channel_factor);
     let folding_period = routing.Router.folding_period_ns in
     let delay_routed_ns =
       Some
         (float_of_int (prepared.Mapper.num_planes * plan.Mapper.stages)
         *. folding_period)
     in
-    let bitstream = Bitstream.generate plan cluster routing in
+    let bitstream =
+      Telemetry.span tele "bitstream" (fun () ->
+          Bitstream.generate plan cluster routing)
+    in
+    Telemetry.finish tele;
     { design_name = Nanomap_rtl.Rtl.name design;
       prepared;
       plan;
@@ -175,7 +224,8 @@ let run ?(options = default_options) ?(arch = Arch.default) design =
       channel_factor;
       delay_routed_ns;
       bitstream = Some bitstream;
-      mapping_retries }
+      mapping_retries;
+      telemetry = tele }
   end
 
 let circuit_delay_routed report = report.delay_routed_ns

@@ -49,6 +49,10 @@ type report = {
                                           folding-clock period *)
   bitstream : Nanomap_bitstream.Bitstream.t option;
   mapping_retries : int;              (** area-loop iterations taken *)
+  telemetry : Nanomap_util.Telemetry.run;
+                                      (** completed per-stage span tree,
+                                          counter deltas, gauges, and the
+                                          event journal for this run *)
 }
 
 exception Flow_failed of string

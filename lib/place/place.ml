@@ -4,6 +4,11 @@ module Cluster = Nanomap_cluster.Cluster
 module Mapper = Nanomap_core.Mapper
 module Partition = Nanomap_techmap.Partition
 module Lut_network = Nanomap_techmap.Lut_network
+module Telemetry = Nanomap_util.Telemetry
+
+let c_moves_tried = Telemetry.counter "place.moves_tried"
+let c_moves_accepted = Telemetry.counter "place.moves_accepted"
+let c_temp_steps = Telemetry.counter "place.temperature_steps"
 
 type t = {
   width : int;
@@ -72,7 +77,7 @@ let net_hpwl smb_xy pad_xy net =
 let total_hpwl smb_xy pad_xy nets =
   Array.fold_left (fun acc n -> acc +. net_hpwl smb_xy pad_xy n) 0.0 nets
 
-let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) (cl : Cluster.t) =
+let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init (cl : Cluster.t) =
   let rng = Rng.create seed in
   let n_smb = max cl.Cluster.num_smbs 1 in
   let width = int_of_float (ceil (sqrt (float_of_int n_smb))) in
@@ -94,6 +99,19 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) (cl : Cluster.t) =
     smb_xy.(s) <- (x, y);
     site_of.((y * width) + x) <- s
   done;
+  (* seed from a previous placement of the same cluster (two-phase flow:
+     the detailed pass refines the accepted fast placement instead of
+     re-deriving the global structure from scratch) *)
+  let seeded =
+    match init with
+    | Some p
+      when p.width = width && p.height = height && Array.length p.smb_xy = n_smb ->
+      Array.fill site_of 0 (width * height) (-1);
+      Array.blit p.smb_xy 0 smb_xy 0 n_smb;
+      Array.iteri (fun s (x, y) -> site_of.((y * width) + x) <- s) smb_xy;
+      true
+    | Some _ | None -> false
+  in
   (* incident nets per smb *)
   let incident = Array.make n_smb [] in
   Array.iteri
@@ -106,15 +124,18 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) (cl : Cluster.t) =
     | None -> incident.(a)
     | Some b -> List.rev_append incident.(a) incident.(b)
   in
+  (* Returns the cost delta it computed (0.0 for degenerate no-op moves),
+     so callers can calibrate temperatures without replaying moves. *)
   let try_move ~temp ~rlim =
     incr moves_tried;
+    Telemetry.incr c_moves_tried;
     let a = Rng.int rng n_smb in
     let ax, ay = smb_xy.(a) in
     let dx = Rng.int rng ((2 * rlim) + 1) - rlim in
     let dy = Rng.int rng ((2 * rlim) + 1) - rlim in
     let tx = max 0 (min (width - 1) (ax + dx)) in
     let ty = max 0 (min (height - 1) (ay + dy)) in
-    if (tx, ty) = (ax, ay) then ()
+    if (tx, ty) = (ax, ay) then 0.0
     else begin
       let target_site = (ty * width) + tx in
       let occupant = site_of.(target_site) in
@@ -139,6 +160,7 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) (cl : Cluster.t) =
       if accept then begin
         cost := !cost +. delta;
         incr moves_accepted;
+        Telemetry.incr c_moves_accepted;
         site_of.(target_site) <- a;
         site_of.((ay * width) + ax) <- (match occupant with -1 -> -1 | b -> b)
       end
@@ -146,20 +168,36 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) (cl : Cluster.t) =
         (* revert *)
         smb_xy.(a) <- (ax, ay);
         if occupant >= 0 then smb_xy.(occupant) <- (tx, ty)
-      end
+      end;
+      delta
     end
   in
   if Array.length nets > 0 && n_smb > 1 then begin
     (* initial temperature: sample random moves *)
     let samples = 50 in
-    let base = !cost in
-    let sum_sq = ref 0.0 in
-    for _ = 1 to samples do
-      try_move ~temp:infinity ~rlim:(max width height);
-      let d = !cost -. base in
-      sum_sq := !sum_sq +. (d *. d)
-    done;
-    let t0 = 20.0 *. sqrt (!sum_sq /. float_of_int samples) +. 1.0 in
+    let t0 =
+      if seeded then begin
+        (* refinement: probe at zero temperature (only improvements commit)
+           and start just warm enough to escape local minima without
+           scrambling the seed placement *)
+        let sum_sq = ref 0.0 in
+        for _ = 1 to samples do
+          let d = try_move ~temp:0.0 ~rlim:(max width height) in
+          sum_sq := !sum_sq +. (d *. d)
+        done;
+        sqrt (!sum_sq /. float_of_int samples) +. 0.1
+      end
+      else begin
+        let base = !cost in
+        let sum_sq = ref 0.0 in
+        for _ = 1 to samples do
+          ignore (try_move ~temp:infinity ~rlim:(max width height));
+          let d = !cost -. base in
+          sum_sq := !sum_sq +. (d *. d)
+        done;
+        (20.0 *. sqrt (!sum_sq /. float_of_int samples)) +. 1.0
+      end
+    in
     let factor = match effort with `Fast -> 1 | `Detailed -> 4 in
     let inner =
       factor * int_of_float (4.0 *. (float_of_int n_smb ** 1.3333)) |> max 32
@@ -168,9 +206,10 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) (cl : Cluster.t) =
     let rlim = ref (max width height) in
     let stop_at = 0.005 *. (!cost +. 1.0) /. float_of_int (Array.length nets) in
     while !temp > stop_at do
+      Telemetry.incr c_temp_steps;
       let before_accepted = !moves_accepted in
       for _ = 1 to inner do
-        try_move ~temp:!temp ~rlim:!rlim
+        ignore (try_move ~temp:!temp ~rlim:!rlim)
       done;
       let alpha =
         float_of_int (!moves_accepted - before_accepted) /. float_of_int inner
@@ -190,7 +229,7 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) (cl : Cluster.t) =
     done;
     (* greedy cleanup *)
     for _ = 1 to inner do
-      try_move ~temp:0.0 ~rlim:1
+      ignore (try_move ~temp:0.0 ~rlim:1)
     done
   end;
   { width;

@@ -29,9 +29,15 @@ val place :
   ?seed:int ->
   ?effort:[ `Fast | `Detailed ] ->
   ?joint:bool ->
+  ?init:t ->
   Nanomap_cluster.Cluster.t ->
   t
-(** [joint] defaults to [true]. Deterministic in [seed] (default 1). *)
+(** [joint] defaults to [true]. Deterministic in [seed] (default 1).
+    [init] seeds the annealer with a previous placement of the {e same}
+    cluster and switches to a low-temperature refinement schedule, so the
+    detailed pass improves on the accepted fast placement instead of
+    re-deriving the global structure; an [init] of mismatched dimensions is
+    ignored. *)
 
 val hpwl : t -> Nanomap_cluster.Cluster.t -> float
 (** Joint HPWL of a placement (recomputed from scratch; used by tests and

@@ -4,6 +4,12 @@ module Place = Nanomap_place.Place
 module Mapper = Nanomap_core.Mapper
 module Partition = Nanomap_techmap.Partition
 module Lut_network = Nanomap_techmap.Lut_network
+module Telemetry = Nanomap_util.Telemetry
+
+let c_pathfinder_iters = Telemetry.counter "route.pathfinder_iters"
+let c_heap_pushes = Telemetry.counter "route.heap_pushes"
+let c_heap_pops = Telemetry.counter "route.heap_pops"
+let c_nodes_expanded = Telemetry.counter "route.nodes_expanded"
 
 type routed_net = {
   net : Cluster.net;
@@ -38,6 +44,7 @@ module Heap = struct
     h.data.(j) <- tmp
 
   let push h item =
+    Telemetry.incr c_heap_pushes;
     if h.len = Array.length h.data then begin
       let bigger = Array.make (2 * h.len) (0.0, 0) in
       Array.blit h.data 0 bigger 0 h.len;
@@ -54,6 +61,7 @@ module Heap = struct
   let pop h =
     if h.len = 0 then None
     else begin
+      Telemetry.incr c_heap_pops;
       let top = h.data.(0) in
       h.len <- h.len - 1;
       h.data.(0) <- h.data.(h.len);
@@ -129,6 +137,7 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
       let overused = ref 1 in
       while !overused > 0 && !iter < max_iterations do
         incr iter;
+        Telemetry.incr c_pathfinder_iters;
         Array.iteri
           (fun idx (net, old_tree) ->
             (* rip up *)
@@ -163,6 +172,7 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
                   | None -> failwith "Router: unreachable sink"
                   | Some (d, u) ->
                     if d <= dist.(u) then begin
+                      Telemetry.incr c_nodes_expanded;
                       if u = target then found := true
                       else
                         List.iter

@@ -1,6 +1,28 @@
 let mean = function
   | [] -> 0.
-  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  | xs ->
+    let n, sum = List.fold_left (fun (n, s) x -> (n + 1, s +. x)) (0, 0.) xs in
+    sum /. float_of_int n
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let n, sum, sumsq =
+      List.fold_left
+        (fun (n, s, s2) x -> (n + 1, s +. x, s2 +. (x *. x)))
+        (0, 0., 0.) xs
+    in
+    let nf = float_of_int n in
+    let m = sum /. nf in
+    sqrt (Float.max 0. ((sumsq /. nf) -. (m *. m)))
+
+let median = function
+  | [] -> 0.
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
 let geomean = function
   | [] -> 0.

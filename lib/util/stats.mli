@@ -1,7 +1,15 @@
 (** Small numeric helpers shared by the delay models and the bench harness. *)
 
 val mean : float list -> float
-(** Arithmetic mean; 0. on the empty list. *)
+(** Arithmetic mean in a single traversal; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists of fewer than two
+    elements. *)
+
+val median : float list -> float
+(** Middle element (mean of the two middles for even lengths); 0. on the
+    empty list. *)
 
 val geomean : float list -> float
 (** Geometric mean; 0. on the empty list. All elements must be positive. *)

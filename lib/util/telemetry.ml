@@ -1,0 +1,480 @@
+(* Counters are process-global so that hot layers never thread a handle;
+   a run reports deltas against snapshots taken at span boundaries. *)
+
+type counter = {
+  cname : string;
+  mutable count : int;
+}
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+let all_counters : counter list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { cname = name; count = 0 } in
+    Hashtbl.replace registry name c;
+    all_counters := c :: !all_counters;
+    c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+
+(* ------------------------------------------------------------- runs *)
+
+type span = {
+  span_name : string;
+  start_ns : int64;
+  stop_ns : int64;
+  deltas : (string * int) list;
+  children : span list;
+}
+
+type event = {
+  at_ns : int64;
+  label : string;
+  data : (string * string) list;
+}
+
+(* A snapshot pairs each live counter with its value at snapshot time;
+   counters registered afterwards implicitly start from 0. *)
+type snapshot = (counter * int) list
+
+type open_span = {
+  oname : string;
+  ostart : int64;
+  osnap : snapshot;
+  mutable ochildren : span list; (* reversed *)
+}
+
+type run = {
+  rname : string;
+  clock : unit -> int64;
+  t0 : int64;
+  rsnap : snapshot;
+  mutable rtotal_ns : int64;
+  mutable rfinished : bool;
+  mutable rtop : span list;      (* reversed *)
+  mutable rstack : open_span list;
+  mutable revents : event list;  (* reversed *)
+  mutable rgauges : (string * float) list;
+  mutable rcounters : (string * int) list;
+}
+
+let take_snapshot () : snapshot =
+  List.rev_map (fun c -> (c, c.count)) !all_counters
+
+let deltas_since (snap : snapshot) =
+  List.filter_map
+    (fun c ->
+      let base = match List.assq_opt c snap with Some v -> v | None -> 0 in
+      if c.count <> base then Some (c.cname, c.count - base) else None)
+    !all_counters
+  |> List.sort compare
+
+let default_clock = Monotonic_clock.now
+
+let start ?(clock = default_clock) name =
+  { rname = name;
+    clock;
+    t0 = clock ();
+    rsnap = take_snapshot ();
+    rtotal_ns = 0L;
+    rfinished = false;
+    rtop = [];
+    rstack = [];
+    revents = [];
+    rgauges = [];
+    rcounters = [] }
+
+let now run = Int64.sub (run.clock ()) run.t0
+
+let finish run =
+  if not run.rfinished then begin
+    run.rfinished <- true;
+    run.rtotal_ns <- now run;
+    run.rcounters <- deltas_since run.rsnap
+  end
+
+let span run name f =
+  let os =
+    { oname = name; ostart = now run; osnap = take_snapshot (); ochildren = [] }
+  in
+  run.rstack <- os :: run.rstack;
+  let close () =
+    let stop = now run in
+    (match run.rstack with
+     | top :: rest when top == os -> run.rstack <- rest
+     | stack ->
+       (* unbalanced close (an inner span leaked an exception past us):
+          drop everything above this span *)
+       let rec unwind = function
+         | top :: rest when top == os -> rest
+         | _ :: rest -> unwind rest
+         | [] -> []
+       in
+       run.rstack <- unwind stack);
+    let sp =
+      { span_name = os.oname;
+        start_ns = os.ostart;
+        stop_ns = stop;
+        deltas = deltas_since os.osnap;
+        children = List.rev os.ochildren }
+    in
+    match run.rstack with
+    | parent :: _ -> parent.ochildren <- sp :: parent.ochildren
+    | [] -> run.rtop <- sp :: run.rtop
+  in
+  match f () with
+  | v ->
+    close ();
+    v
+  | exception e ->
+    close ();
+    raise e
+
+let event ?(data = []) run label =
+  run.revents <- { at_ns = now run; label; data } :: run.revents
+
+let set_gauge run name v =
+  run.rgauges <- (name, v) :: List.remove_assoc name run.rgauges
+
+let name run = run.rname
+let total_ns run = run.rtotal_ns
+let spans run = List.rev run.rtop
+let events run = List.rev run.revents
+let gauges run = List.sort compare run.rgauges
+let counters run = run.rcounters
+
+let find_spans run wanted =
+  let rec collect acc sp =
+    let acc = if sp.span_name = wanted then sp :: acc else acc in
+    List.fold_left collect acc sp.children
+  in
+  List.rev (List.fold_left collect [] (spans run))
+
+let span_ms sp = Int64.to_float (Int64.sub sp.stop_ns sp.start_ns) /. 1e6
+
+(* ----------------------------------------------------------- table *)
+
+(* A stage can accumulate more counters than fit a terminal line; break the
+   [k=v] tokens into chunks and print the overflow as continuation rows. *)
+let wrap_tokens ?(width = 72) tokens =
+  match tokens with
+  | [] -> [ "" ]
+  | first :: rest ->
+    let lines, last =
+      List.fold_left
+        (fun (lines, cur) tok ->
+          if String.length cur + 1 + String.length tok <= width then
+            (lines, cur ^ " " ^ tok)
+          else (cur :: lines, tok))
+        ([], first) rest
+    in
+    List.rev (last :: lines)
+
+let add_wrapped t col0 col1 tokens =
+  match wrap_tokens tokens with
+  | [] -> Ascii_table.add_row t [ col0; col1; "" ]
+  | first :: rest ->
+    Ascii_table.add_row t [ col0; col1; first ];
+    List.iter (fun line -> Ascii_table.add_row t [ ""; ""; line ]) rest
+
+let to_table_string run =
+  let t = Ascii_table.create [ "Stage"; "ms"; "counters" ] in
+  let counter_tokens cs =
+    List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cs
+  in
+  let rec add_span indent sp =
+    add_wrapped t (indent ^ sp.span_name)
+      (Printf.sprintf "%.3f" (span_ms sp))
+      (counter_tokens sp.deltas);
+    List.iter (add_span (indent ^ "  ")) sp.children
+  in
+  List.iter (add_span "") (spans run);
+  (match events run with
+   | [] -> ()
+   | evs ->
+     Ascii_table.add_separator t;
+     List.iter
+       (fun ev ->
+         add_wrapped t ("! " ^ ev.label)
+           (Printf.sprintf "%.3f" (Int64.to_float ev.at_ns /. 1e6))
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) ev.data))
+       evs);
+  Ascii_table.add_separator t;
+  add_wrapped t "total"
+    (Printf.sprintf "%.3f" (Int64.to_float run.rtotal_ns /. 1e6))
+    (counter_tokens run.rcounters);
+  (match gauges run with
+   | [] -> ()
+   | gs ->
+     add_wrapped t "gauges" ""
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) gs));
+  Ascii_table.to_string t
+
+(* ------------------------------------------------------------ JSON *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* %.6g round-trips: parsing the printed form and re-printing it yields the
+   same bytes, which the determinism guard relies on. *)
+let fmt_float v = Printf.sprintf "%.6g" v
+
+let to_json_string ?(timings = true) run =
+  let buf = Buffer.create 1024 in
+  let str s = Buffer.add_string buf (json_string s) in
+  let ns t = Buffer.add_string buf (Int64.to_string (if timings then t else 0L)) in
+  let obj_of add_fields =
+    Buffer.add_char buf '{';
+    add_fields ();
+    Buffer.add_char buf '}'
+  in
+  let field first name add_value =
+    if not first then Buffer.add_char buf ',';
+    str name;
+    Buffer.add_char buf ':';
+    add_value ()
+  in
+  let list items add_item =
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_item x)
+      items;
+    Buffer.add_char buf ']'
+  in
+  let str_map kvs add_value =
+    obj_of (fun () ->
+        List.iteri (fun i (k, v) -> field (i = 0) k (fun () -> add_value v)) kvs)
+  in
+  let int_map kvs =
+    str_map kvs (fun v -> Buffer.add_string buf (string_of_int v))
+  in
+  let rec add_span sp =
+    obj_of (fun () ->
+        field true "name" (fun () -> str sp.span_name);
+        field false "start_ns" (fun () -> ns sp.start_ns);
+        field false "stop_ns" (fun () -> ns sp.stop_ns);
+        field false "counters" (fun () -> int_map sp.deltas);
+        field false "children" (fun () -> list sp.children add_span))
+  in
+  let add_event ev =
+    obj_of (fun () ->
+        field true "at_ns" (fun () -> ns ev.at_ns);
+        field false "label" (fun () -> str ev.label);
+        field false "data" (fun () -> str_map ev.data str))
+  in
+  obj_of (fun () ->
+      field true "run" (fun () -> str run.rname);
+      field false "total_ns" (fun () -> ns run.rtotal_ns);
+      field false "spans" (fun () -> list (spans run) add_span);
+      field false "events" (fun () -> list (events run) add_event);
+      field false "gauges" (fun () ->
+          str_map (gauges run) (fun v -> Buffer.add_string buf (fmt_float v)));
+      field false "counters" (fun () -> int_map run.rcounters));
+  Buffer.contents buf
+
+(* A minimal recursive-descent parser for the subset we emit. *)
+
+type jv =
+  | J_obj of (string * jv) list
+  | J_arr of jv list
+  | J_str of string
+  | J_num of string
+  | J_bool of bool
+  | J_null
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = failwith (Printf.sprintf "Telemetry.of_json_string: %s at %d" msg !pos) in
+  let peek () = if !pos < len then s.[!pos] else '\000' in
+  let advance () = Stdlib.incr pos in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= len then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= len then fail "bad escape");
+        (match s.[!pos] with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+           if !pos + 4 >= len then fail "bad \\u escape";
+           let hex = String.sub s (!pos + 1) 4 in
+           let code =
+             try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+           in
+           (* we only emit \u00XX control codes; anything larger would need
+              UTF-8 encoding, which our own output never contains *)
+           if code < 0x100 then Buffer.add_char buf (Char.chr code)
+           else fail "unsupported \\u escape";
+           pos := !pos + 4
+         | _ -> fail "bad escape");
+        advance ();
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> J_str (parse_string ())
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin advance (); J_obj [] end
+      else begin
+        let rec fields acc =
+          let k = (skip_ws (); parse_string ()) in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); fields ((k, v) :: acc)
+          | '}' -> advance (); List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or }"
+        in
+        J_obj (fields [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin advance (); J_arr [] end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); items (v :: acc)
+          | ']' -> advance (); List.rev (v :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        J_arr (items [])
+      end
+    | 't' when !pos + 4 <= len && String.sub s !pos 4 = "true" ->
+      pos := !pos + 4;
+      J_bool true
+    | 'f' when !pos + 5 <= len && String.sub s !pos 5 = "false" ->
+      pos := !pos + 5;
+      J_bool false
+    | 'n' when !pos + 4 <= len && String.sub s !pos 4 = "null" ->
+      pos := !pos + 4;
+      J_null
+    | c when c = '-' || (c >= '0' && c <= '9') ->
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < len && num_char s.[!pos] do
+        advance ()
+      done;
+      J_num (String.sub s start (!pos - start))
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let of_json_string text =
+  let get_field obj name =
+    match obj with
+    | J_obj fields ->
+      (match List.assoc_opt name fields with
+       | Some v -> v
+       | None -> failwith ("Telemetry.of_json_string: missing field " ^ name))
+    | _ -> failwith "Telemetry.of_json_string: expected object"
+  in
+  let as_str = function
+    | J_str s -> s
+    | _ -> failwith "Telemetry.of_json_string: expected string"
+  in
+  let as_int64 = function
+    | J_num n -> Int64.of_string n
+    | _ -> failwith "Telemetry.of_json_string: expected number"
+  in
+  let as_arr = function
+    | J_arr xs -> xs
+    | _ -> failwith "Telemetry.of_json_string: expected array"
+  in
+  let as_map f = function
+    | J_obj fields -> List.map (fun (k, v) -> (k, f v)) fields
+    | _ -> failwith "Telemetry.of_json_string: expected object"
+  in
+  let as_int v = Int64.to_int (as_int64 v) in
+  let as_float = function
+    | J_num n -> float_of_string n
+    | _ -> failwith "Telemetry.of_json_string: expected number"
+  in
+  let rec span_of v =
+    { span_name = as_str (get_field v "name");
+      start_ns = as_int64 (get_field v "start_ns");
+      stop_ns = as_int64 (get_field v "stop_ns");
+      deltas = as_map as_int (get_field v "counters");
+      children = List.map span_of (as_arr (get_field v "children")) }
+  in
+  let event_of v =
+    { at_ns = as_int64 (get_field v "at_ns");
+      label = as_str (get_field v "label");
+      data = as_map as_str (get_field v "data") }
+  in
+  let root = parse_json text in
+  { rname = as_str (get_field root "run");
+    clock = (fun () -> 0L);
+    t0 = 0L;
+    rsnap = [];
+    rtotal_ns = as_int64 (get_field root "total_ns");
+    rfinished = true;
+    rtop = List.rev_map span_of (as_arr (get_field root "spans"));
+    rstack = [];
+    revents = List.rev_map event_of (as_arr (get_field root "events"));
+    rgauges = as_map as_float (get_field root "gauges");
+    rcounters = as_map as_int (get_field root "counters") }

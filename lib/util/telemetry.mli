@@ -1,0 +1,108 @@
+(** Cross-layer telemetry: monotonic-clock spans, named counters and
+    gauges, and a per-run event journal, with ASCII-table and stable-JSON
+    renderers.
+
+    Counters are process-global and always on: incrementing one is a single
+    unboxed field write, so hot loops (annealer moves, router heap traffic,
+    FDS force evaluations) can call {!incr} unconditionally. A {!run}
+    attributes counter activity to stages by snapshotting the registry at
+    span boundaries; everything a run reports is a {e delta} against those
+    snapshots, so runs are independent even though the counters are shared. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] interns a process-global counter. Calling it twice with
+    the same name returns the same counter. Prefer binding the result at
+    module level so hot paths pay only the increment. *)
+
+val incr : counter -> unit
+(** Add one. Does not allocate. *)
+
+val add : counter -> int -> unit
+(** Add [n]. Does not allocate. *)
+
+val value : counter -> int
+(** Current absolute value (since process start). *)
+
+(** {1 Runs, spans, events, gauges} *)
+
+type span = {
+  span_name : string;
+  start_ns : int64;                (** relative to the run's start *)
+  stop_ns : int64;
+  deltas : (string * int) list;    (** nonzero counter deltas over the span
+                                       (children included), sorted by name *)
+  children : span list;
+}
+
+type event = {
+  at_ns : int64;                   (** relative to the run's start *)
+  label : string;
+  data : (string * string) list;
+}
+
+type run
+
+val start : ?clock:(unit -> int64) -> string -> run
+(** [start name] opens a run. [clock] (nanoseconds, monotonic) defaults to
+    the OS monotonic clock; tests inject a fake clock for determinism. *)
+
+val finish : run -> unit
+(** Seal the run: record total wall-clock and run-level counter deltas.
+    Idempotent. *)
+
+val span : run -> string -> (unit -> 'a) -> 'a
+(** [span run name f] runs [f ()] inside a named span. Spans nest: a span
+    opened while another is running becomes its child. The span is closed
+    (and its counter deltas captured) even if [f] raises. *)
+
+val event : ?data:(string * string) list -> run -> string -> unit
+(** Append a journal entry, e.g. an area-loop re-fold or a placement
+    retry. *)
+
+val set_gauge : run -> string -> float -> unit
+(** Record a named measurement (HPWL, routability estimate, ...). Setting
+    the same name again overwrites. *)
+
+(** {1 Accessors} *)
+
+val name : run -> string
+val total_ns : run -> int64
+val spans : run -> span list
+(** Completed top-level spans, in execution order. *)
+
+val events : run -> event list
+val gauges : run -> (string * float) list
+(** Sorted by name. *)
+
+val counters : run -> (string * int) list
+(** Nonzero counter deltas over the whole run, sorted by name. Only
+    meaningful after {!finish}. *)
+
+val find_spans : run -> string -> span list
+(** All spans with the given name, depth-first. *)
+
+val span_ms : span -> float
+
+(** {1 Renderers} *)
+
+val to_table_string : run -> string
+(** Per-stage ASCII table: one row per span (children indented), the event
+    journal, and run totals. *)
+
+val to_json_string : ?timings:bool -> run -> string
+(** Stable JSON: fields in fixed order, counters/gauges sorted by name, no
+    whitespace. With [~timings:false] every clock reading is emitted as 0,
+    making the output a pure function of the work performed — the
+    determinism guard used by the tests. *)
+
+val of_json_string : string -> run
+(** Parse a string produced by {!to_json_string} back into a (sealed) run.
+    Raises [Failure] on malformed input. *)
+
+val json_string : string -> string
+(** Quote and escape a string as a JSON string literal (for harnesses that
+    splice telemetry JSON into larger documents). *)

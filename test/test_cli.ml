@@ -49,6 +49,23 @@ let test_map_logical () =
   check Alcotest.int "exit 0" 0 code;
   check Alcotest.bool "reports LEs" true (contains out "LEs")
 
+let test_map_trace_json () =
+  let code, out =
+    run "map -c ex1-4bit --trace --json /tmp/nanomap_test_tele.json" in
+  check Alcotest.int "exit 0" 0 code;
+  (* per-stage table with counters from all four instrumented layers *)
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (needle ^ " in trace") true (contains out needle))
+    [ "place_detailed"; "fds."; "cluster."; "place.moves_tried"; "route." ];
+  check Alcotest.bool "json written" true
+    (Sys.file_exists "/tmp/nanomap_test_tele.json");
+  let ic = open_in "/tmp/nanomap_test_tele.json" in
+  let json = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  check Alcotest.bool "json names the run" true
+    (contains json "\"run\":\"flow:ex1-4bit\"")
+
 let test_map_physical_with_bitstream () =
   let code, out =
     run "map -c ex1-4bit --level 2 --bitstream /tmp/nanomap_test.nmap" in
@@ -96,6 +113,7 @@ let () =
         [ Alcotest.test_case "list" `Quick test_list;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "map logical" `Quick test_map_logical;
+          Alcotest.test_case "map trace + json" `Quick test_map_trace_json;
           Alcotest.test_case "map + bitstream" `Quick test_map_physical_with_bitstream;
           Alcotest.test_case "disasm" `Quick test_disasm;
           Alcotest.test_case "emulate" `Quick test_emulate;

@@ -1,0 +1,166 @@
+module Telemetry = Nanomap_util.Telemetry
+module Flow = Nanomap_flow.Flow
+module Arch = Nanomap_arch.Arch
+module Circuits = Nanomap_circuits.Circuits
+
+let check = Alcotest.check
+
+(* A fake clock ticking 10 ns per reading makes every span width exact. *)
+let fake_clock () =
+  let t = ref (-10L) in
+  fun () ->
+    t := Int64.add !t 10L;
+    !t
+
+let test_spans_nest () =
+  let run = Telemetry.start ~clock:(fake_clock ()) "nesting" in
+  let r =
+    Telemetry.span run "outer" (fun () ->
+        let a = Telemetry.span run "inner1" (fun () -> 1) in
+        let b = Telemetry.span run "inner2" (fun () -> 2) in
+        a + b)
+  in
+  Telemetry.finish run;
+  check Alcotest.int "body result" 3 r;
+  match Telemetry.spans run with
+  | [ outer ] ->
+    check Alcotest.string "outer name" "outer" outer.Telemetry.span_name;
+    check Alcotest.(list string) "children in order" [ "inner1"; "inner2" ]
+      (List.map (fun s -> s.Telemetry.span_name) outer.Telemetry.children);
+    List.iter
+      (fun (c : Telemetry.span) ->
+        check Alcotest.bool "child within parent" true
+          (c.Telemetry.start_ns >= outer.Telemetry.start_ns
+          && c.Telemetry.stop_ns <= outer.Telemetry.stop_ns))
+      outer.Telemetry.children
+  | spans ->
+    Alcotest.failf "expected one top-level span, got %d" (List.length spans)
+
+let test_span_closes_on_raise () =
+  let run = Telemetry.start ~clock:(fake_clock ()) "raise" in
+  (try
+     Telemetry.span run "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Telemetry.span run "after" (fun () -> ());
+  Telemetry.finish run;
+  check Alcotest.(list string) "both spans top-level, closed"
+    [ "doomed"; "after" ]
+    (List.map (fun s -> s.Telemetry.span_name) (Telemetry.spans run))
+
+let test_counters_sum_across_stages () =
+  let c = Telemetry.counter "test.widgets" in
+  let run = Telemetry.start ~clock:(fake_clock ()) "counting" in
+  Telemetry.span run "stage1" (fun () ->
+      for _ = 1 to 3 do
+        Telemetry.incr c
+      done);
+  Telemetry.span run "stage2" (fun () -> Telemetry.add c 4);
+  Telemetry.finish run;
+  let delta name =
+    match Telemetry.find_spans run name with
+    | [ sp ] -> (try List.assoc "test.widgets" sp.Telemetry.deltas with Not_found -> 0)
+    | _ -> Alcotest.failf "expected exactly one %s span" name
+  in
+  check Alcotest.int "stage1 delta" 3 (delta "stage1");
+  check Alcotest.int "stage2 delta" 4 (delta "stage2");
+  check Alcotest.int "run total is the sum" 7
+    (try List.assoc "test.widgets" (Telemetry.counters run) with Not_found -> 0)
+
+let test_runs_independent () =
+  (* counters are shared globals, but a second run only sees its own work *)
+  let c = Telemetry.counter "test.independent" in
+  let run1 = Telemetry.start ~clock:(fake_clock ()) "first" in
+  Telemetry.span run1 "s" (fun () -> Telemetry.add c 100);
+  Telemetry.finish run1;
+  let run2 = Telemetry.start ~clock:(fake_clock ()) "second" in
+  Telemetry.span run2 "s" (fun () -> Telemetry.add c 5);
+  Telemetry.finish run2;
+  check Alcotest.int "second run sees only its delta" 5
+    (try List.assoc "test.independent" (Telemetry.counters run2) with Not_found -> 0)
+
+let test_json_round_trip () =
+  let c = Telemetry.counter "test.json" in
+  let run = Telemetry.start ~clock:(fake_clock ()) "json \"run\"" in
+  Telemetry.span run "outer" (fun () ->
+      Telemetry.incr c;
+      Telemetry.span run "inner" (fun () -> Telemetry.add c 2));
+  Telemetry.event run "note" ~data:[ ("k", "v with \"quotes\"") ];
+  Telemetry.set_gauge run "g.one" 1.25;
+  Telemetry.set_gauge run "g.two" 3.0;
+  Telemetry.finish run;
+  let s1 = Telemetry.to_json_string run in
+  let run' = Telemetry.of_json_string s1 in
+  let s2 = Telemetry.to_json_string run' in
+  check Alcotest.string "round-trip is byte-identical" s1 s2;
+  check Alcotest.string "name survives" (Telemetry.name run)
+    (Telemetry.name run');
+  check Alcotest.int "counters survive"
+    (List.length (Telemetry.counters run))
+    (List.length (Telemetry.counters run'))
+
+let flow_options =
+  { Flow.default_options with Flow.objective = Flow.At_min; seed = 3 }
+
+let flow_run () =
+  let design = (Circuits.ex1_small ()).Circuits.design in
+  Flow.run ~options:flow_options ~arch:Arch.unbounded_k design
+
+let test_flow_deterministic_json () =
+  let r1 = flow_run () and r2 = flow_run () in
+  let j1 = Telemetry.to_json_string ~timings:false r1.Flow.telemetry in
+  let j2 = Telemetry.to_json_string ~timings:false r2.Flow.telemetry in
+  check Alcotest.string "same-seed runs emit identical timeless JSON" j1 j2
+
+let test_flow_covers_layers () =
+  let r = flow_run () in
+  let counters = Telemetry.counters r.Flow.telemetry in
+  let layer_hit prefixes =
+    List.exists
+      (fun (name, v) ->
+        v > 0 && List.exists (fun p -> String.length name >= String.length p
+                                       && String.sub name 0 (String.length p) = p)
+                   prefixes)
+      counters
+  in
+  check Alcotest.bool "core counters" true (layer_hit [ "fds."; "sched." ]);
+  check Alcotest.bool "cluster counters" true (layer_hit [ "cluster." ]);
+  check Alcotest.bool "place counters" true (layer_hit [ "place." ]);
+  check Alcotest.bool "route counters" true (layer_hit [ "route." ]);
+  let stage_names =
+    List.map (fun s -> s.Telemetry.span_name) (Telemetry.spans r.Flow.telemetry)
+  in
+  List.iter
+    (fun expected ->
+      check Alcotest.bool (expected ^ " stage present") true
+        (List.mem expected stage_names))
+    [ "prepare"; "plan"; "cluster"; "rebalance"; "place_fast"; "place_detailed";
+      "route"; "bitstream" ];
+  (* the table renderer shows every stage with a nonzero duration *)
+  let table = Telemetry.to_table_string r.Flow.telemetry in
+  List.iter
+    (fun expected ->
+      check Alcotest.bool (expected ^ " in table") true
+        (let re = expected in
+         let n = String.length table and m = String.length re in
+         let rec scan i =
+           i + m <= n && (String.sub table i m = re || scan (i + 1))
+         in
+         scan 0))
+    [ "place_detailed"; "total"; "gauges" ]
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "spans",
+        [ Alcotest.test_case "nesting" `Quick test_spans_nest;
+          Alcotest.test_case "closes on raise" `Quick test_span_closes_on_raise ] );
+      ( "counters",
+        [ Alcotest.test_case "sum across stages" `Quick
+            test_counters_sum_across_stages;
+          Alcotest.test_case "runs independent" `Quick test_runs_independent ] );
+      ( "json",
+        [ Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "flow determinism" `Quick
+            test_flow_deterministic_json ] );
+      ( "flow",
+        [ Alcotest.test_case "covers four layers" `Quick test_flow_covers_layers ]
+      ) ]

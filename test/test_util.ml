@@ -104,7 +104,15 @@ let test_stats () =
   check Alcotest.int "ceil_div exact" 3 (Stats.ceil_div 9 3);
   check Alcotest.int "ceil_div up" 4 (Stats.ceil_div 10 3);
   check Alcotest.int "ceil_div one" 1 (Stats.ceil_div 1 5);
-  check (Alcotest.float 1e-9) "round2" 1.23 (Stats.round2 1.2349)
+  check (Alcotest.float 1e-9) "round2" 1.23 (Stats.round2 1.2349);
+  check (Alcotest.float 1e-9) "stddev" (sqrt 1.25)
+    (Stats.stddev [ 1.; 2.; 3.; 4. ]);
+  check (Alcotest.float 1e-9) "stddev constant" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  check (Alcotest.float 1e-9) "stddev singleton" 0. (Stats.stddev [ 7. ]);
+  check (Alcotest.float 1e-9) "stddev empty" 0. (Stats.stddev []);
+  check (Alcotest.float 1e-9) "median odd" 3. (Stats.median [ 5.; 1.; 3. ]);
+  check (Alcotest.float 1e-9) "median even" 2.5 (Stats.median [ 4.; 1.; 2.; 3. ]);
+  check (Alcotest.float 1e-9) "median empty" 0. (Stats.median [])
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in

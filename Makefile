@@ -1,6 +1,6 @@
 # Convenience wrapper; everything is plain dune underneath.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench regen-golden clean
 
 all: build
 
@@ -10,13 +10,19 @@ build:
 test:
 	dune runtest
 
-# The PR gate: full build, every test suite, and a smoke-mode profile
-# run that exercises the telemetry pipeline end to end.
+# The PR gate: full build, every test suite, and a smoke-mode profile run
+# of BOTH router algorithms that exercises the telemetry pipeline end to
+# end and fails on an illegal routing or empty telemetry.
 check: build test
-	dune exec bench/main.exe -- --smoke profile
+	dune exec bench/main.exe -- --smoke --route-alg=both profile
 
 bench:
 	dune exec bench/main.exe
+
+# Refresh the routed-result regression corpus in test/golden/ after an
+# intentional router change (the golden diff test will tell you when).
+regen-golden: build
+	NANOMAP_REGEN_GOLDEN=$(CURDIR)/test/golden dune exec test/test_router.exe -- test golden
 
 clean:
 	dune clean

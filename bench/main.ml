@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- table1  -- one experiment
      (table1 table2 fig1 fig35 interconnect tradeoff ablation-fds
       ablation-place ablation-ffs speed profile; --smoke shrinks profile
-      to one small circuit)
+      to one small circuit; --route-alg=full, =incremental or =both selects
+      the router variant(s) the profile experiment exercises)
 
    Absolute numbers come from our own substrate (see DESIGN.md for the
    substitutions); the shapes are what reproduce the paper. *)
@@ -666,9 +667,13 @@ let speed () =
 
 (* ----------------------------------------------------- Profile (tele) *)
 
-(* Full-flow telemetry per benchmark: the per-stage table on stdout, and a
-   machine-readable BENCH_profile.json for regression tracking. *)
+(* Full-flow telemetry per benchmark and per router algorithm: the
+   per-stage table on stdout, a full-vs-incremental heap-traffic
+   comparison, and a machine-readable BENCH_profile.json for regression
+   tracking. Doubles as the CI gate for the router: an illegal routing or
+   an empty telemetry run aborts the harness with a nonzero exit. *)
 let smoke = ref false
+let route_algs = ref `Both
 
 let profile () =
   section "Flow profile: per-stage spans and cross-layer counters";
@@ -676,30 +681,95 @@ let profile () =
   let benches =
     if !smoke then [ Circuits.ex1_small () ] else Circuits.all ()
   in
+  let algs =
+    match !route_algs with
+    | `Both -> [ (Router.Full, "full"); (Router.Incremental, "incremental") ]
+    | `Full -> [ (Router.Full, "full") ]
+    | `Incremental -> [ (Router.Incremental, "incremental") ]
+  in
+  let gate cond msg =
+    if not cond then begin
+      Printf.eprintf "profile: FAILED: %s\n%!" msg;
+      exit 1
+    end
+  in
   let runs =
-    List.map
+    List.concat_map
       (fun (b : Circuits.benchmark) ->
-        let r = Flow.run ~arch:Arch.unbounded_k b.Circuits.design in
-        Printf.printf "--- %s ---\n%s\n%!" b.Circuits.name
-          (Telemetry.to_table_string r.Flow.telemetry);
-        (b.Circuits.name, r.Flow.telemetry))
+        List.map
+          (fun (alg, alg_name) ->
+            let options = { Flow.default_options with Flow.route_alg = alg } in
+            let r = Flow.run ~options ~arch:Arch.unbounded_k b.Circuits.design in
+            let tag = Printf.sprintf "%s [%s]" b.Circuits.name alg_name in
+            (match r.Flow.routing with
+             | Some rt ->
+               gate rt.Router.success (tag ^ ": routing left overused nodes");
+               (match Router.validate rt with
+                | () -> ()
+                | exception Failure msg -> gate false (tag ^ ": " ^ msg))
+             | None -> gate false (tag ^ ": flow produced no routing"));
+            let tele = r.Flow.telemetry in
+            gate (Telemetry.spans tele <> []) (tag ^ ": telemetry has no spans");
+            gate
+              (List.exists
+                 (fun (name, v) ->
+                   String.length name >= 6 && String.sub name 0 6 = "route." && v > 0)
+                 (Telemetry.counters tele))
+              (tag ^ ": telemetry has no route counters");
+            Printf.printf "--- %s ---\n%s\n%!" tag (Telemetry.to_table_string tele);
+            (b.Circuits.name, alg_name, tele))
+          algs)
       benches
+  in
+  let pops_of tele =
+    Option.value ~default:0
+      (List.assoc_opt "route.heap_pops" (Nanomap_util.Telemetry.counters tele))
+  in
+  let total_pops name =
+    List.fold_left
+      (fun acc (_, alg, tele) -> if alg = name then acc + pops_of tele else acc)
+      0 runs
+  in
+  let comparison =
+    if List.length algs < 2 then None
+    else begin
+      let full = total_pops "full" and inc = total_pops "incremental" in
+      let reduction =
+        if full > 0 then 100.0 *. (1.0 -. (float_of_int inc /. float_of_int full))
+        else 0.0
+      in
+      Printf.printf
+        "router heap traffic: full %d pops, incremental %d pops (%.1f%% \
+         reduction)\n%!"
+        full inc reduction;
+      Some (full, inc, reduction)
+    end
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"benchmarks\":[";
   List.iteri
-    (fun i (name, tele) ->
+    (fun i (name, alg_name, tele) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf "{\"name\":%s,\"telemetry\":%s}"
-           (Telemetry.json_string name) (Telemetry.to_json_string tele)))
+        (Printf.sprintf "{\"name\":%s,\"route_alg\":%s,\"telemetry\":%s}"
+           (Telemetry.json_string name)
+           (Telemetry.json_string alg_name)
+           (Telemetry.to_json_string tele)))
     runs;
-  Buffer.add_string buf "]}";
+  Buffer.add_string buf "]";
+  (match comparison with
+   | Some (full, inc, reduction) ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          ",\"router_comparison\":{\"full_heap_pops\":%d,\"incremental_heap_pops\":%d,\"heap_pops_reduction_pct\":%.1f}"
+          full inc reduction)
+   | None -> ());
+  Buffer.add_string buf "}";
   let oc = open_out "BENCH_profile.json" in
   Buffer.output_buffer oc buf;
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote BENCH_profile.json (%d benchmark(s))\n%!" (List.length runs)
+  Printf.printf "wrote BENCH_profile.json (%d run(s))\n%!" (List.length runs)
 
 (* ------------------------------------------------------------- driver *)
 
@@ -710,6 +780,18 @@ let () =
       (fun a ->
         if a = "--smoke" then begin
           smoke := true;
+          false
+        end
+        else if a = "--route-alg=full" then begin
+          route_algs := `Full;
+          false
+        end
+        else if a = "--route-alg=incremental" then begin
+          route_algs := `Incremental;
+          false
+        end
+        else if a = "--route-alg=both" then begin
+          route_algs := `Both;
           false
         end
         else true)

@@ -86,8 +86,21 @@ let objective_conv =
   in
   Arg.conv (parse, print)
 
+let route_alg_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "full" -> Ok Router.Full
+    | "incremental" | "inc" -> Ok Router.Incremental
+    | _ -> Error (`Msg "route-alg must be full|incremental")
+  in
+  let print fmt a =
+    Format.pp_print_string fmt
+      (match a with Router.Full -> "full" | Router.Incremental -> "incremental")
+  in
+  Arg.conv (parse, print)
+
 let run_map circuit blif vhdl objective area delay level logical pipelined seed
-    bitstream_out dump_blif trace json_out verbose k =
+    route_alg bitstream_out dump_blif trace json_out verbose k =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   match load_design circuit blif vhdl with
   | Error (`Msg m) -> prerr_endline ("error: " ^ m); 1
@@ -110,7 +123,11 @@ let run_map circuit blif vhdl objective area delay level logical pipelined seed
            exit 1)
     in
     let options =
-      { Flow.default_options with Flow.objective = obj; physical = not logical; seed }
+      { Flow.default_options with
+        Flow.objective = obj;
+        physical = not logical;
+        seed;
+        route_alg }
     in
     (match Flow.run ~options ~arch:(arch_of_k k) design with
      | report ->
@@ -191,6 +208,13 @@ let map_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
   in
+  let route_alg =
+    Arg.(value & opt route_alg_conv Router.Incremental
+         & info [ "route-alg" ] ~docv:"ALG"
+             ~doc:"Router variant: $(b,full) (classic PathFinder, every net \
+                   re-routed each iteration) or $(b,incremental) (A* lookahead \
+                   + incremental rip-up; default).")
+  in
   let bitstream_out =
     Arg.(value & opt (some string) None
          & info [ "bitstream" ] ~docv:"FILE" ~doc:"Write the configuration bitmap.")
@@ -215,8 +239,8 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Run the NanoMap flow on a design")
     Term.(
       const run_map $ circuit_arg $ blif_arg $ vhdl_arg $ objective $ area $ delay
-      $ level $ logical $ pipelined $ seed $ bitstream_out $ dump_blif $ trace
-      $ json_out $ verbosity $ k_arg)
+      $ level $ logical $ pipelined $ seed $ route_alg $ bitstream_out $ dump_blif
+      $ trace $ json_out $ verbosity $ k_arg)
 
 (* ----------------------------------------------------------- stats cmd *)
 

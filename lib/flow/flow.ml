@@ -27,6 +27,7 @@ type options = {
   seed : int;
   routability_threshold : float;
   max_place_retries : int;
+  route_alg : Router.algorithm;
 }
 
 let default_options =
@@ -34,7 +35,8 @@ let default_options =
     physical = true;
     seed = 1;
     routability_threshold = 8.0;
-    max_place_retries = 2 }
+    max_place_retries = 2;
+    route_alg = Router.Incremental }
 
 type report = {
   design_name : string;
@@ -194,7 +196,7 @@ let run ?(options = default_options) ?(arch = Arch.default) design =
     Telemetry.set_gauge tele "place.hpwl" placement.Place.hpwl;
     let routing, channel_factor =
       Telemetry.span tele "route" (fun () ->
-          Router.route_adaptive placement cluster plan)
+          Router.route_adaptive ~alg:options.route_alg placement cluster plan)
     in
     if routing.Router.success then Router.validate routing;
     Telemetry.set_gauge tele "route.wirelength"

@@ -27,10 +27,15 @@ type options = {
   seed : int;
   routability_threshold : float;
   max_place_retries : int;
+  route_alg : Nanomap_route.Router.algorithm;
+                        (** router variant: [Full] (classic PathFinder) or
+                            [Incremental] (A* lookahead + incremental
+                            rip-up) *)
 }
 
 val default_options : options
-(** [At_min], physical, seed 1, threshold 8.0, 2 retries. *)
+(** [At_min], physical, seed 1, threshold 8.0, 2 retries, incremental
+    routing. *)
 
 type report = {
   design_name : string;

@@ -5,11 +5,16 @@ module Mapper = Nanomap_core.Mapper
 module Partition = Nanomap_techmap.Partition
 module Lut_network = Nanomap_techmap.Lut_network
 module Telemetry = Nanomap_util.Telemetry
+module Min_heap = Nanomap_util.Min_heap
 
 let c_pathfinder_iters = Telemetry.counter "route.pathfinder_iters"
 let c_heap_pushes = Telemetry.counter "route.heap_pushes"
 let c_heap_pops = Telemetry.counter "route.heap_pops"
 let c_nodes_expanded = Telemetry.counter "route.nodes_expanded"
+let c_nets_rerouted = Telemetry.counter "route.nets_rerouted"
+let c_astar_pruned = Telemetry.counter "route.astar_pruned"
+
+type algorithm = Full | Incremental
 
 type routed_net = {
   net : Cluster.net;
@@ -22,6 +27,7 @@ type result = {
   routed : routed_net list;
   success : bool;
   iterations : int;
+  overused : int;
   usage_by_kind : (string * int) list;
   nets_using_global : int;
   total_nets : int;
@@ -29,59 +35,36 @@ type result = {
   folding_period_ns : float;
 }
 
-(* Minimal binary min-heap on (cost, node). *)
-module Heap = struct
+(* Wavefront scratch (distances and backpointers) over flat arrays indexed
+   by rr-node id. A search is invalidated in O(1) by bumping the generation
+   stamp instead of refilling the arrays or walking a touched list: a cell
+   belongs to the current search only if its stamp matches. *)
+module Scratch = struct
   type t = {
-    mutable data : (float * int) array;
-    mutable len : int;
+    dist_a : float array;
+    prev_a : int array;
+    gen : int array;
+    mutable stamp : int;
   }
 
-  let create () = { data = Array.make 64 (0.0, 0); len = 0 }
+  let create n =
+    { dist_a = Array.make n infinity;
+      prev_a = Array.make n (-1);
+      gen = Array.make n 0;
+      stamp = 0 }
 
-  let swap h i j =
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(j);
-    h.data.(j) <- tmp
+  let size s = Array.length s.gen
 
-  let push h item =
-    Telemetry.incr c_heap_pushes;
-    if h.len = Array.length h.data then begin
-      let bigger = Array.make (2 * h.len) (0.0, 0) in
-      Array.blit h.data 0 bigger 0 h.len;
-      h.data <- bigger
-    end;
-    h.data.(h.len) <- item;
-    h.len <- h.len + 1;
-    let i = ref (h.len - 1) in
-    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
-      swap h !i ((!i - 1) / 2);
-      i := (!i - 1) / 2
-    done
+  let begin_search s = s.stamp <- s.stamp + 1
 
-  let pop h =
-    if h.len = 0 then None
-    else begin
-      Telemetry.incr c_heap_pops;
-      let top = h.data.(0) in
-      h.len <- h.len - 1;
-      h.data.(0) <- h.data.(h.len);
-      let i = ref 0 in
-      let continue_ = ref true in
-      while !continue_ do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
-        if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
-        if !smallest = !i then continue_ := false
-        else begin
-          swap h !i !smallest;
-          i := !smallest
-        end
-      done;
-      Some top
-    end
+  let dist s v = if s.gen.(v) = s.stamp then s.dist_a.(v) else infinity
 
-  let clear h = h.len <- 0
+  let prev s v = if s.gen.(v) = s.stamp then s.prev_a.(v) else -1
+
+  let set s v ~dist ~prev =
+    s.dist_a.(v) <- dist;
+    s.prev_a.(v) <- prev;
+    s.gen.(v) <- s.stamp
 end
 
 let is_wire (g : Rr_graph.t) n =
@@ -90,11 +73,27 @@ let is_wire (g : Rr_graph.t) n =
   | Rr_graph.Src _ | Rr_graph.Sink _ | Rr_graph.Pad_src _ | Rr_graph.Pad_sink _ ->
     false
 
-let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
-    (cl : Cluster.t) (plan : Mapper.plan) =
+(* Deterministic timeslot buckets: slots ascending by (plane, cycle), nets
+   within a slot in their original cluster order. The Hashtbl only groups;
+   its iteration order never reaches the routing order, so same-seed runs
+   route nets identically. *)
+let group_by_slot nets =
+  let by_slot = Hashtbl.create 32 in
+  List.iter
+    (fun (net : Cluster.net) ->
+      let key = (net.Cluster.plane, net.Cluster.cycle) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_slot key) in
+      Hashtbl.replace by_slot key (net :: cur))
+    nets;
+  Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) by_slot []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12)
+    ?(alg = Incremental) (pl : Place.t) (cl : Cluster.t) (plan : Mapper.plan) =
   let arch = cl.Cluster.arch in
   let g = Rr_graph.build ~caps ~arch pl in
   let n = g.Rr_graph.num_nodes in
+  let astar = alg = Incremental in
   let node_of_src = function
     | Cluster.At_smb s -> g.Rr_graph.src_of_smb.(s)
     | Cluster.At_pad p -> g.Rr_graph.src_of_pad.(p)
@@ -103,27 +102,18 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
     | Cluster.At_smb s -> g.Rr_graph.sink_of_smb.(s)
     | Cluster.At_pad p -> g.Rr_graph.sink_of_pad.(p)
   in
-  (* timeslot buckets, deterministic order *)
-  let by_slot = Hashtbl.create 32 in
-  List.iter
-    (fun (net : Cluster.net) ->
-      let key = (net.Cluster.plane, net.Cluster.cycle) in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt by_slot key) in
-      Hashtbl.replace by_slot key (net :: cur))
-    cl.Cluster.nets;
-  let slots =
-    Hashtbl.fold (fun k v acc -> (k, List.sort compare v) :: acc) by_slot []
-    |> List.sort compare
-  in
-  (* scratch state reused per timeslot *)
+  let slots = group_by_slot cl.Cluster.nets in
+  (* scratch state reused across nets and timeslots *)
   let usage = Array.make n 0 in
   let history = Array.make n 0.0 in
-  let dist = Array.make n infinity in
-  let prev = Array.make n (-1) in
-  let touched = ref [] in
-  let heap = Heap.create () in
+  let scratch = Scratch.create n in
+  let heap = Min_heap.create () in
+  (* tree membership by stamp: on_tree.(v) = current net's stamp *)
+  let on_tree = Array.make n 0 in
+  let tree_stamp = ref 0 in
   let all_routed = ref [] in
   let worst_iters = ref 0 in
+  let total_overused = ref 0 in
   let all_success = ref true in
   List.iter
     (fun (_slot, nets) ->
@@ -133,6 +123,96 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
         Array.of_list (List.map (fun net -> (net, [])) nets)
       in
       let pres_fac = ref 0.5 in
+      let cost_of nd =
+        let base = Rr_graph.base_cost g nd in
+        if is_wire g nd then begin
+          let over = usage.(nd) in
+          let pres =
+            if over > 0 then 1.0 +. (!pres_fac *. float_of_int over) else 1.0
+          in
+          base *. (1.0 +. history.(nd)) *. pres
+        end
+        else base
+      in
+      (* Rip up [old_tree] and grow a fresh Steiner-ish tree, sink by sink.
+         Multi-source Dijkstra from the current tree; with [astar] the
+         priority is dist + lookahead-to-sink, and discoveries the bound
+         proves useless (unreachable sink, or provably no better than an
+         already-found path to the sink) never enter the heap. *)
+      let route_one (net : Cluster.net) old_tree =
+        Telemetry.incr c_nets_rerouted;
+        List.iter (fun nd -> usage.(nd) <- usage.(nd) - 1) old_tree;
+        let src = node_of_src net.Cluster.driver in
+        incr tree_stamp;
+        let stamp = !tree_stamp in
+        on_tree.(src) <- stamp;
+        let tree_nodes = ref [ src ] in
+        let tree_wires = ref [] in
+        List.iter
+          (fun sink_ep ->
+            let target = node_of_sink sink_ep in
+            let lb = if astar then Rr_graph.lookahead g target else [||] in
+            let h v = if astar then lb.(v) else 0.0 in
+            Scratch.begin_search scratch;
+            Min_heap.clear heap;
+            List.iter
+              (fun t ->
+                Scratch.set scratch t ~dist:0.0 ~prev:(-1);
+                let f = h t in
+                if f < infinity then begin
+                  Telemetry.incr c_heap_pushes;
+                  Min_heap.push heap f t
+                end)
+              !tree_nodes;
+            (* tightest complete-path cost discovered so far; with A* any
+               frontier entry at least this expensive is dead weight *)
+            let upper = ref infinity in
+            let found = ref false in
+            while not !found do
+              match Min_heap.pop heap with
+              | None -> failwith "Router: unreachable sink"
+              | Some (f, u) ->
+                Telemetry.incr c_heap_pops;
+                let du = Scratch.dist scratch u in
+                if f <= du +. h u +. 1e-9 then begin
+                  if u = target then found := true
+                  else begin
+                    Telemetry.incr c_nodes_expanded;
+                    List.iter
+                      (fun v ->
+                        let nd = du +. cost_of v in
+                        if nd < Scratch.dist scratch v then begin
+                          if astar && nd +. lb.(v) >= !upper then
+                            Telemetry.incr c_astar_pruned
+                          else begin
+                            Scratch.set scratch v ~dist:nd ~prev:u;
+                            if v = target then upper := nd;
+                            Telemetry.incr c_heap_pushes;
+                            Min_heap.push heap (nd +. h v) v
+                          end
+                        end)
+                      g.Rr_graph.adj.(u)
+                  end
+                end
+            done;
+            (* walk back, add new nodes to the tree *)
+            let rec walk v acc =
+              if on_tree.(v) = stamp then acc
+              else walk (Scratch.prev scratch v) (v :: acc)
+            in
+            let path = walk target [] in
+            List.iter
+              (fun v ->
+                on_tree.(v) <- stamp;
+                tree_nodes := v :: !tree_nodes;
+                if is_wire g v then begin
+                  usage.(v) <- usage.(v) + 1;
+                  tree_wires := v :: !tree_wires
+                end)
+              path)
+          net.Cluster.sinks;
+        !tree_wires
+      in
       let iter = ref 0 in
       let overused = ref 1 in
       while !overused > 0 && !iter < max_iterations do
@@ -140,76 +220,15 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
         Telemetry.incr c_pathfinder_iters;
         Array.iteri
           (fun idx (net, old_tree) ->
-            (* rip up *)
-            List.iter (fun nd -> usage.(nd) <- usage.(nd) - 1) old_tree;
-            let src = node_of_src net.Cluster.driver in
-            let tree_nodes = ref [ src ] in
-            let tree_wires = ref [] in
-            let cost_of nd =
-              let base = g.Rr_graph.delay.(nd) +. 0.01 in
-              if is_wire g nd then begin
-                let over = usage.(nd) + 1 - 1 in
-                let pres = if over > 0 then 1.0 +. (!pres_fac *. float_of_int over) else 1.0 in
-                base *. (1.0 +. history.(nd)) *. pres
-              end
-              else base
+            (* Full: classic PathFinder, every net re-negotiates every
+               iteration. Incremental: after the first iteration only nets
+               sitting on an overused node are ripped up; legal nets keep
+               their routes (their usage still shapes everyone's costs). *)
+            let must_reroute =
+              !iter = 1 || alg = Full
+              || List.exists (fun nd -> usage.(nd) > 1) old_tree
             in
-            List.iter
-              (fun sink_ep ->
-                let target = node_of_sink sink_ep in
-                (* multi-source Dijkstra from the current tree *)
-                Heap.clear heap;
-                List.iter
-                  (fun t ->
-                    dist.(t) <- 0.0;
-                    prev.(t) <- -1;
-                    touched := t :: !touched;
-                    Heap.push heap (0.0, t))
-                  !tree_nodes;
-                let found = ref false in
-                while not !found do
-                  match Heap.pop heap with
-                  | None -> failwith "Router: unreachable sink"
-                  | Some (d, u) ->
-                    if d <= dist.(u) then begin
-                      Telemetry.incr c_nodes_expanded;
-                      if u = target then found := true
-                      else
-                        List.iter
-                          (fun v ->
-                            let nd = d +. cost_of v in
-                            if nd < dist.(v) then begin
-                              if dist.(v) = infinity then touched := v :: !touched;
-                              dist.(v) <- nd;
-                              prev.(v) <- u;
-                              Heap.push heap (nd, v)
-                            end)
-                          g.Rr_graph.adj.(u)
-                    end
-                done;
-                (* walk back, add new nodes to tree *)
-                let rec walk v acc =
-                  if List.mem v !tree_nodes then acc
-                  else walk prev.(v) (v :: acc)
-                in
-                let path = walk target [] in
-                List.iter
-                  (fun v ->
-                    tree_nodes := v :: !tree_nodes;
-                    if is_wire g v then begin
-                      usage.(v) <- usage.(v) + 1;
-                      tree_wires := v :: !tree_wires
-                    end)
-                  path;
-                (* reset dijkstra scratch *)
-                List.iter
-                  (fun v ->
-                    dist.(v) <- infinity;
-                    prev.(v) <- -1)
-                  !touched;
-                touched := [])
-              net.Cluster.sinks;
-            trees.(idx) <- (net, !tree_wires))
+            if must_reroute then trees.(idx) <- (net, route_one net old_tree))
           trees;
         (* congestion accounting *)
         overused := 0;
@@ -222,8 +241,9 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
         pres_fac := !pres_fac *. 2.0
       done;
       if !overused > 0 then all_success := false;
+      total_overused := !total_overused + !overused;
       if !iter > !worst_iters then worst_iters := !iter;
-      (* final per-net delays: pure-delay Dijkstra restricted to the tree *)
+      (* final per-net delays: pure-delay relaxation restricted to the tree *)
       Array.iter
         (fun (net, wires) ->
           let allowed = Hashtbl.create 16 in
@@ -376,6 +396,7 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12) (pl : Place.t)
     routed;
     success = !all_success;
     iterations = !worst_iters;
+    overused = !total_overused;
     usage_by_kind;
     nets_using_global;
     total_nets = List.length routed;
@@ -430,9 +451,10 @@ let validate r =
         sinks)
     r.routed
 
-let route_adaptive ?(caps = Rr_graph.default_caps) ?(max_doublings = 4) pl cl plan =
+let route_adaptive ?(caps = Rr_graph.default_caps) ?(max_doublings = 4)
+    ?(alg = Incremental) pl cl plan =
   let rec attempt factor =
-    let result = route ~caps:(Rr_graph.scale_caps caps factor) pl cl plan in
+    let result = route ~caps:(Rr_graph.scale_caps caps factor) ~alg pl cl plan in
     if result.success || factor >= 1 lsl max_doublings then (result, factor)
     else attempt (2 * factor)
   in

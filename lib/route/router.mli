@@ -4,15 +4,33 @@
     Every folding cycle of every plane is a separate configuration of the
     same physical switches, so each (plane, cycle) timeslot is routed
     independently on a fresh congestion state of the shared
-    {!Rr_graph.t}. Within a timeslot the classic PathFinder loop runs:
-    every net is ripped up and re-routed by Dijkstra over node costs
+    {!Rr_graph.t}. Within a timeslot the PathFinder loop runs: nets are
+    ripped up and re-routed by wavefront search over node costs
     [(delay + eps) * (1 + history) * present], sink by sink growing a
     Steiner-ish tree; present-sharing penalties double each iteration until
     no node is overused.
 
+    Two {!algorithm}s share that contract:
+    - {!Full} — the classic formulation: every iteration rips up and
+      re-routes every net with plain Dijkstra wavefronts;
+    - {!Incremental} (default) — iterations after the first rip up only
+      the nets sitting on an overused node, and every wavefront is an A*
+      search ordered by [dist + lookahead], where the lookahead is the
+      exact uncongested distance-to-sink of {!Rr_graph.lookahead} —
+      admissible (congestion only raises costs), so routes are identical
+      in quality while the wavefront stops flooding the fabric.
+
+    Search state (distances, backpointers, tree membership) lives in flat
+    arrays indexed by rr-node id and is invalidated between searches by
+    generation stamps, never reallocated or refilled.
+
     Routing is hierarchical in cost, as in the paper: direct links are the
     cheapest, then length-1 and length-4 segments, then the global lines —
     the router naturally prefers the shortest hierarchy level that works. *)
+
+type algorithm =
+  | Full         (** re-route every net each iteration, plain Dijkstra *)
+  | Incremental  (** A* lookahead + rip up only congested nets *)
 
 type routed_net = {
   net : Nanomap_cluster.Cluster.net;
@@ -25,6 +43,9 @@ type result = {
   routed : routed_net list;
   success : bool;                        (** no overused node in any timeslot *)
   iterations : int;                      (** max PathFinder iterations used *)
+  overused : int;                        (** nodes still overused at exit,
+                                             summed over timeslots (0 iff
+                                             [success]) *)
   usage_by_kind : (string * int) list;   (** wire-node usages summed over all
                                              timeslots/configurations *)
   nets_using_global : int;                (** core (SMB-to-SMB) nets touching a
@@ -37,15 +58,18 @@ type result = {
 val route :
   ?caps:Rr_graph.caps ->
   ?max_iterations:int ->
+  ?alg:algorithm ->
   Nanomap_place.Place.t ->
   Nanomap_cluster.Cluster.t ->
   Nanomap_core.Mapper.plan ->
   result
-(** Deterministic. [max_iterations] defaults to 12. *)
+(** Deterministic. [max_iterations] defaults to 12, [alg] to
+    {!Incremental}. *)
 
 val route_adaptive :
   ?caps:Rr_graph.caps ->
   ?max_doublings:int ->
+  ?alg:algorithm ->
   Nanomap_place.Place.t ->
   Nanomap_cluster.Cluster.t ->
   Nanomap_core.Mapper.plan ->
@@ -58,3 +82,28 @@ val validate : result -> unit
 (** Every net's tree connects its driver to every sink through existing
     edges, and no wire node is used by two nets of the same timeslot.
     Raises [Failure]. *)
+
+(** {1 Internals exposed for the test harness} *)
+
+val group_by_slot :
+  Nanomap_cluster.Cluster.net list ->
+  ((int * int) * Nanomap_cluster.Cluster.net list) list
+(** Buckets nets into (plane, cycle) timeslots: slots sorted ascending by
+    key, nets within a slot in their input order — the routing order is a
+    pure function of the net list, independent of hash-table iteration. *)
+
+(** Generation-stamped wavefront scratch: [dist]/[prev] reads outside the
+    current search (see {!Scratch.begin_search}) give [infinity]/[-1]
+    without any per-search refill. *)
+module Scratch : sig
+  type t
+
+  val create : int -> t
+  val size : t -> int
+  val begin_search : t -> unit
+  (** Invalidate every cell in O(1). *)
+
+  val dist : t -> int -> float
+  val prev : t -> int -> int
+  val set : t -> int -> dist:float -> prev:int -> unit
+end

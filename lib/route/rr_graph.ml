@@ -35,11 +35,78 @@ type t = {
   kind : node_kind array;
   delay : float array;
   adj : int list array;
+  radj : int list array;
   src_of_smb : int array;
   sink_of_smb : int array;
   src_of_pad : int array;
   sink_of_pad : int array;
+  lookahead_cache : (int, float array) Hashtbl.t;
 }
+
+let cost_eps = 0.01
+
+let base_cost t nd = t.delay.(nd) +. cost_eps
+
+let reverse_adjacency adj =
+  let radj = Array.make (Array.length adj) [] in
+  Array.iteri (fun u vs -> List.iter (fun v -> radj.(v) <- u :: radj.(v)) vs) adj;
+  radj
+
+let make ~kind ~delay ~adj ~src_of_smb ~sink_of_smb ~src_of_pad ~sink_of_pad =
+  let num_nodes = Array.length kind in
+  if Array.length delay <> num_nodes || Array.length adj <> num_nodes then
+    invalid_arg "Rr_graph.make: kind/delay/adj length mismatch";
+  Array.iter
+    (List.iter (fun v ->
+         if v < 0 || v >= num_nodes then
+           invalid_arg "Rr_graph.make: edge target out of range"))
+    adj;
+  { num_nodes;
+    kind;
+    delay;
+    adj;
+    radj = reverse_adjacency adj;
+    src_of_smb;
+    sink_of_smb;
+    src_of_pad;
+    sink_of_pad;
+    lookahead_cache = Hashtbl.create 32 }
+
+(* Exact distance-to-sink lower bounds: a backward Dijkstra from [sink]
+   over the reversed graph with uncongested base costs. The router's
+   congestion cost of a node is [base * (1 + history) * present >= base]
+   (history >= 0, present >= 1), so these distances are admissible — and
+   consistent — A* heuristics for any congestion state. Cached per sink:
+   every net of every PathFinder iteration targeting the same SMB/pad sink
+   shares one computation. *)
+let lookahead t sink =
+  match Hashtbl.find_opt t.lookahead_cache sink with
+  | Some dist -> dist
+  | None ->
+    let dist = Array.make t.num_nodes infinity in
+    let heap = Nanomap_util.Min_heap.create () in
+    dist.(sink) <- 0.0;
+    Nanomap_util.Min_heap.push heap 0.0 sink;
+    let continue_ = ref true in
+    while !continue_ do
+      match Nanomap_util.Min_heap.pop heap with
+      | None -> continue_ := false
+      | Some (d, v) ->
+        if d <= dist.(v) then begin
+          (* entering [v] on a forward path costs [base_cost v], paid when
+             the wavefront relaxes into it *)
+          let through = d +. base_cost t v in
+          List.iter
+            (fun u ->
+              if through < dist.(u) then begin
+                dist.(u) <- through;
+                Nanomap_util.Min_heap.push heap through u
+              end)
+            t.radj.(v)
+        end
+    done;
+    Hashtbl.replace t.lookahead_cache sink dist;
+    dist
 
 type builder = {
   kinds : node_kind Nanomap_util.Vec.t;
@@ -244,14 +311,10 @@ let build ?(caps = default_caps) ~arch (pl : Place.t) =
   let num_nodes = Nanomap_util.Vec.length b.kinds in
   let adj = Array.make num_nodes [] in
   List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) b.edges;
-  { num_nodes;
-    kind = Nanomap_util.Vec.to_array b.kinds;
-    delay = Nanomap_util.Vec.to_array b.delays;
-    adj;
-    src_of_smb;
-    sink_of_smb;
-    src_of_pad;
-    sink_of_pad }
+  make
+    ~kind:(Nanomap_util.Vec.to_array b.kinds)
+    ~delay:(Nanomap_util.Vec.to_array b.delays)
+    ~adj ~src_of_smb ~sink_of_smb ~src_of_pad ~sink_of_pad
 
 let stats t =
   let count pred = Array.fold_left (fun acc k -> if pred k then acc + 1 else acc) 0 t.kind in

@@ -38,15 +38,49 @@ type t = {
   kind : node_kind array;
   delay : float array;      (** traversal delay of each node, ns *)
   adj : int list array;     (** directed edges *)
+  radj : int list array;    (** reversed edges (for the sink lookahead) *)
   src_of_smb : int array;
   sink_of_smb : int array;
   src_of_pad : int array;
   sink_of_pad : int array;
+  lookahead_cache : (int, float array) Hashtbl.t;
+                            (** sink node -> per-node lower bounds; filled
+                                lazily by {!lookahead} *)
 }
 
 val build :
   ?caps:caps -> arch:Nanomap_arch.Arch.t -> Nanomap_place.Place.t -> t
 (** Builds the graph for the placement's grid and pad ring. *)
+
+val make :
+  kind:node_kind array ->
+  delay:float array ->
+  adj:int list array ->
+  src_of_smb:int array ->
+  sink_of_smb:int array ->
+  src_of_pad:int array ->
+  sink_of_pad:int array ->
+  t
+(** Assemble a graph from explicit arrays — the reverse adjacency and an
+    empty lookahead cache are derived. Used by {!build} and by tests that
+    hand-craft small graphs. Raises [Invalid_argument] on mismatched
+    lengths or out-of-range edges. *)
+
+val cost_eps : float
+(** The ε added to every node delay in routing costs, so zero-delay nodes
+    still cost something and hop counts break delay ties. *)
+
+val base_cost : t -> int -> float
+(** [delay + cost_eps]: the uncongested cost of entering a node. The
+    router's congested node cost is always ≥ this (history ≥ 0 and
+    present-sharing ≥ 1 only multiply it up). *)
+
+val lookahead : t -> int -> float array
+(** [lookahead g sink] is the exact base-cost distance from every node to
+    [sink] ([infinity] where the sink is unreachable), computed by one
+    backward Dijkstra over {!field-radj} and cached in the graph. Because
+    congested costs never drop below {!base_cost}, this is an admissible
+    and consistent A* heuristic for any congestion state. *)
 
 val stats : t -> (string * int) list
 (** Node counts by kind. *)

@@ -1,0 +1,67 @@
+type t = {
+  mutable keys : float array;
+  mutable payloads : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  { keys = Array.make capacity 0.0; payloads = Array.make capacity 0; len = 0 }
+
+let length h = h.len
+let is_empty h = h.len = 0
+let clear h = h.len <- 0
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let p = h.payloads.(i) in
+  h.payloads.(i) <- h.payloads.(j);
+  h.payloads.(j) <- p
+
+let grow h =
+  let cap = Array.length h.keys in
+  let keys = Array.make (2 * cap) 0.0 in
+  let payloads = Array.make (2 * cap) 0 in
+  Array.blit h.keys 0 keys 0 h.len;
+  Array.blit h.payloads 0 payloads 0 h.len;
+  h.keys <- keys;
+  h.payloads <- payloads
+
+let push h key payload =
+  if h.len = Array.length h.keys then grow h;
+  h.keys.(h.len) <- key;
+  h.payloads.(h.len) <- payload;
+  h.len <- h.len + 1;
+  let i = ref (h.len - 1) in
+  while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let sift_down h =
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+    if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+    if !smallest = !i then continue_ := false
+    else begin
+      swap h !i !smallest;
+      i := !smallest
+    end
+  done
+
+let pop_unsafe h =
+  if h.len = 0 then invalid_arg "Min_heap.pop_unsafe: empty heap";
+  let key = h.keys.(0) and payload = h.payloads.(0) in
+  h.len <- h.len - 1;
+  h.keys.(0) <- h.keys.(h.len);
+  h.payloads.(0) <- h.payloads.(h.len);
+  sift_down h;
+  (key, payload)
+
+let pop h = if h.len = 0 then None else Some (pop_unsafe h)

@@ -1,0 +1,32 @@
+(** Minimal binary min-heap on [(float key, int payload)] pairs, backed by
+    a pair of flat growable arrays so neither {!push} nor {!pop} allocates
+    (beyond occasional doubling). Shared by the router's wavefront
+    expansion and the routing-graph lookahead precomputation — both hot
+    paths that live and die by heap traffic. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty heap. [capacity] (default 64) is only the initial array
+    size; the heap grows as needed. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all entries, keeping the backing storage. *)
+
+val push : t -> float -> int -> unit
+(** [push h key payload] inserts. Duplicate keys and payloads are fine
+    (the router pushes stale re-discoveries rather than decrease-key). *)
+
+val pop : t -> (float * int) option
+(** Remove and return an entry with the minimum key, or [None] when
+    empty. Ties are broken arbitrarily but deterministically (the heap is
+    a pure function of the push/pop sequence). *)
+
+val pop_unsafe : t -> float * int
+(** Like {!pop} but raises [Invalid_argument] on an empty heap; avoids
+    the option allocation on paths that already know the heap is
+    non-empty. *)

@@ -146,6 +146,35 @@ let physical_prop =
         end
         else false)
 
+(* The two router algorithms are different search strategies over the same
+   contract: both must terminate with a legal routing of the same nets, and
+   the incremental variant (A* + partial rip-up) must never end more
+   congested than the full re-route it replaces. *)
+let router_differential_prop =
+  QCheck.Test.make ~name:"router: incremental agrees with full" ~count:8
+    QCheck.(int_range 0 1500)
+    (fun seed ->
+      QCheck.assume (seed >= 0);
+      let design = random_design seed in
+      let arch = Arch.unbounded_k in
+      let p = Mapper.prepare design in
+      match Mapper.plan_level p ~arch ~level:1 with
+      | exception Sched.Infeasible _ -> true
+      | plan ->
+        let cl = Cluster.pack plan ~arch in
+        let place = Nanomap_place.Place.place ~effort:`Fast cl in
+        let module R = Nanomap_route.Router in
+        let full, _ = R.route_adaptive ~alg:R.Full place cl plan in
+        let inc, _ = R.route_adaptive ~alg:R.Incremental place cl plan in
+        if not (full.R.success && inc.R.success) then false
+        else begin
+          R.validate full;
+          R.validate inc;
+          inc.R.overused <= full.R.overused
+          && full.R.total_nets = inc.R.total_nets
+          && List.length full.R.routed = List.length inc.R.routed
+        end)
+
 (* ------------------------------------------- partition invariants *)
 
 let tag_netlist nl =
@@ -347,7 +376,7 @@ let () =
   let to_alco = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
     [ ("full-chain", [ to_alco full_chain_prop ]);
-      ("physical", [ to_alco physical_prop ]);
+      ("physical", [ to_alco physical_prop; to_alco router_differential_prop ]);
       ( "partition",
         [ to_alco partition_invariants_prop ] );
       ("scheduling", [ to_alco fds_props; to_alco lut_dg_conservation_prop ]);

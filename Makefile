@@ -11,10 +11,11 @@ test:
 	dune runtest
 
 # The PR gate: full build, every test suite, and a smoke-mode profile run
-# of BOTH router algorithms that exercises the telemetry pipeline end to
-# end and fails on an illegal routing or empty telemetry.
+# of BOTH router algorithms at the strictest inter-stage checking level;
+# it exercises the telemetry pipeline end to end and fails on an illegal
+# routing, a checker violation, or empty telemetry.
 check: build test
-	dune exec bench/main.exe -- --smoke --route-alg=both profile
+	dune exec bench/main.exe -- --smoke --route-alg=both --check=full profile
 
 bench:
 	dune exec bench/main.exe

@@ -6,7 +6,9 @@
      (table1 table2 fig1 fig35 interconnect tradeoff ablation-fds
       ablation-place ablation-ffs speed profile; --smoke shrinks profile
       to one small circuit; --route-alg=full, =incremental or =both selects
-      the router variant(s) the profile experiment exercises)
+      the router variant(s) the profile experiment exercises;
+      --check=off|fast|full sets the flow's inter-stage invariant checking
+      level for the profile runs)
 
    Absolute numbers come from our own substrate (see DESIGN.md for the
    substitutions); the shapes are what reproduce the paper. *)
@@ -26,6 +28,8 @@ module Circuits = Nanomap_circuits.Circuits
 module Lut_network = Nanomap_techmap.Lut_network
 module Partition = Nanomap_techmap.Partition
 module Truth_table = Nanomap_logic.Truth_table
+module Check = Nanomap_flow.Check
+module Diag = Nanomap_util.Diag
 
 let section title = Printf.printf "\n=== %s ===\n\n%!" title
 
@@ -674,6 +678,7 @@ let speed () =
    an empty telemetry run aborts the harness with a nonzero exit. *)
 let smoke = ref false
 let route_algs = ref `Both
+let check_level = ref Check.Fast
 
 let profile () =
   section "Flow profile: per-stage spans and cross-layer counters";
@@ -698,7 +703,11 @@ let profile () =
       (fun (b : Circuits.benchmark) ->
         List.map
           (fun (alg, alg_name) ->
-            let options = { Flow.default_options with Flow.route_alg = alg } in
+            let options =
+              { Flow.default_options with
+                Flow.route_alg = alg;
+                check_level = !check_level }
+            in
             let r = Flow.run ~options ~arch:Arch.unbounded_k b.Circuits.design in
             let tag = Printf.sprintf "%s [%s]" b.Circuits.name alg_name in
             (match r.Flow.routing with
@@ -706,7 +715,9 @@ let profile () =
                gate rt.Router.success (tag ^ ": routing left overused nodes");
                (match Router.validate rt with
                 | () -> ()
-                | exception Failure msg -> gate false (tag ^ ": " ^ msg))
+                | exception Failure msg -> gate false (tag ^ ": " ^ msg)
+                | exception Diag.Fail d ->
+                  gate false (tag ^ ": " ^ Diag.to_string d))
              | None -> gate false (tag ^ ": flow produced no routing"));
             let tele = r.Flow.telemetry in
             gate (Telemetry.spans tele <> []) (tag ^ ": telemetry has no spans");
@@ -745,6 +756,31 @@ let profile () =
       Some (full, inc, reduction)
     end
   in
+  (* Checker-overhead sub-experiment: the same flow with inter-stage
+     checkers off vs fast, wall-clock. Quantifies what --check=fast costs
+     on top of an unchecked run. *)
+  let overheads =
+    List.map
+      (fun (b : Circuits.benchmark) ->
+        let time level =
+          let options =
+            { Flow.default_options with Flow.check_level = level }
+          in
+          let t0 = Unix.gettimeofday () in
+          let r = Flow.run ~options ~arch:Arch.unbounded_k b.Circuits.design in
+          let dt = Unix.gettimeofday () -. t0 in
+          ignore r;
+          dt
+        in
+        let off = time Check.Off in
+        let fast = time Check.Fast in
+        let pct = if off > 0.0 then 100.0 *. ((fast /. off) -. 1.0) else 0.0 in
+        Printf.printf
+          "checker overhead %-12s off %.3fs  fast %.3fs  (+%.1f%%)\n%!"
+          b.Circuits.name off fast pct;
+        (b.Circuits.name, off, fast, pct))
+      benches
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"benchmarks\":[";
   List.iteri
@@ -764,6 +800,16 @@ let profile () =
           ",\"router_comparison\":{\"full_heap_pops\":%d,\"incremental_heap_pops\":%d,\"heap_pops_reduction_pct\":%.1f}"
           full inc reduction)
    | None -> ());
+  Buffer.add_string buf ",\"checker_overhead\":[";
+  List.iteri
+    (fun i (name, off, fast, pct) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%s,\"check_off_s\":%.4f,\"check_fast_s\":%.4f,\"overhead_pct\":%.1f}"
+           (Telemetry.json_string name) off fast pct))
+    overheads;
+  Buffer.add_string buf "]";
   Buffer.add_string buf "}";
   let oc = open_out "BENCH_profile.json" in
   Buffer.output_buffer oc buf;
@@ -792,6 +838,14 @@ let () =
         end
         else if a = "--route-alg=both" then begin
           route_algs := `Both;
+          false
+        end
+        else if String.length a > 8 && String.sub a 0 8 = "--check=" then begin
+          (match Check.level_of_string (String.sub a 8 (String.length a - 8)) with
+           | Some l -> check_level := l
+           | None ->
+             Printf.eprintf "bad --check level in %s (off|fast|full)\n" a;
+             exit 2);
           false
         end
         else true)

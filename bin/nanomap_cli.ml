@@ -15,6 +15,9 @@ module Circuits = Nanomap_circuits.Circuits
 module Bitstream = Nanomap_bitstream.Bitstream
 module Router = Nanomap_route.Router
 module Ascii_table = Nanomap_util.Ascii_table
+module Check = Nanomap_flow.Check
+module Defect = Nanomap_arch.Defect
+module Diag = Nanomap_util.Diag
 
 let setup_logs level =
   Fmt_tty.setup_std_outputs ();
@@ -86,6 +89,15 @@ let objective_conv =
   in
   Arg.conv (parse, print)
 
+let check_conv =
+  let parse s =
+    match Check.level_of_string (String.lowercase_ascii s) with
+    | Some l -> Ok l
+    | None -> Error (`Msg "check must be off|fast|full")
+  in
+  let print fmt l = Format.pp_print_string fmt (Check.string_of_level l) in
+  Arg.conv (parse, print)
+
 let route_alg_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -100,11 +112,20 @@ let route_alg_conv =
   Arg.conv (parse, print)
 
 let run_map circuit blif vhdl objective area delay level logical pipelined seed
-    route_alg bitstream_out dump_blif trace json_out verbose k =
+    route_alg check_level defects_file bitstream_out dump_blif trace json_out
+    verbose k =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
-  match load_design circuit blif vhdl with
-  | Error (`Msg m) -> prerr_endline ("error: " ^ m); 1
-  | Ok design ->
+  let defects =
+    match defects_file with
+    | None -> Ok Defect.none
+    | Some path ->
+      (try Ok (Defect.of_file path) with
+       | Diag.Fail d -> Error (Diag.to_string d)
+       | Sys_error msg -> Error msg)
+  in
+  match load_design circuit blif vhdl, defects with
+  | Error (`Msg m), _ | _, Error m -> prerr_endline ("error: " ^ m); 1
+  | Ok design, Ok defects ->
     let obj =
       match level, pipelined, area with
       | Some l, _, _ -> Flow.Fixed_level l
@@ -127,10 +148,13 @@ let run_map circuit blif vhdl objective area delay level logical pipelined seed
         Flow.objective = obj;
         physical = not logical;
         seed;
-        route_alg }
+        route_alg;
+        check_level;
+        defects }
     in
-    (match Flow.run ~options ~arch:(arch_of_k k) design with
-     | report ->
+    (match Flow.run_result ~options ~arch:(arch_of_k k) design with
+     | Error d -> prerr_endline ("error: " ^ Diag.to_string d); 2
+     | Ok report ->
        Format.printf "%a@." Flow.pp_report report;
        (match report.Flow.routing with
         | Some r ->
@@ -173,8 +197,6 @@ let run_map circuit blif vhdl objective area delay level logical pipelined seed
           Format.printf "telemetry: -> %s@." path
         | None -> ());
        0
-     | exception Flow.Flow_failed msg ->
-       prerr_endline ("flow failed: " ^ msg); 1
      | exception Mapper.No_feasible_mapping msg ->
        prerr_endline ("no feasible mapping: " ^ msg); 1)
 
@@ -215,6 +237,22 @@ let map_cmd =
                    re-routed each iteration) or $(b,incremental) (A* lookahead \
                    + incremental rip-up; default).")
   in
+  let check_level =
+    Arg.(value & opt check_conv Check.Fast
+         & info [ "check" ] ~docv:"LEVEL"
+             ~doc:"Inter-stage invariant checking: $(b,off), $(b,fast) \
+                   (spot checks; default) or $(b,full) (exhaustive re-validation \
+                   of every stage hand-off). Violations abort with exit code 2 \
+                   and a stage-naming diagnostic.")
+  in
+  let defects =
+    Arg.(value & opt (some file) None
+         & info [ "defects" ] ~docv:"FILE"
+             ~doc:"Defect map of known-bad fabric resources to place and route \
+                   around. Lines: $(b,le X Y MB LE) (one defective logic \
+                   element) or $(b,track KIND N) (the $(i,N)-th wire of kind \
+                   direct|len1|len4|global); $(b,#) starts a comment.")
+  in
   let bitstream_out =
     Arg.(value & opt (some string) None
          & info [ "bitstream" ] ~docv:"FILE" ~doc:"Write the configuration bitmap.")
@@ -239,8 +277,8 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Run the NanoMap flow on a design")
     Term.(
       const run_map $ circuit_arg $ blif_arg $ vhdl_arg $ objective $ area $ delay
-      $ level $ logical $ pipelined $ seed $ route_alg $ bitstream_out $ dump_blif
-      $ trace $ json_out $ verbosity $ k_arg)
+      $ level $ logical $ pipelined $ seed $ route_alg $ check_level $ defects
+      $ bitstream_out $ dump_blif $ trace $ json_out $ verbosity $ k_arg)
 
 (* ----------------------------------------------------------- stats cmd *)
 

@@ -1,0 +1,95 @@
+type t = {
+  les : (int * int * int * int) list;
+  tracks : (string * int) list;
+}
+
+let none = { les = []; tracks = [] }
+let is_none t = t.les = [] && t.tracks = []
+let count t = List.length t.les + List.length t.tracks
+let track_kinds = [ "direct"; "len1"; "len4"; "global" ]
+
+let random_les ~seed ~fraction ~width ~height arch =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Defect.random_les: fraction out of [0,1]";
+  let rng = Nanomap_util.Rng.create seed in
+  let les = ref [] in
+  for x = 0 to width - 1 do
+    for y = 0 to height - 1 do
+      for mb = 0 to arch.Arch.mbs_per_smb - 1 do
+        for le = 0 to arch.Arch.les_per_mb - 1 do
+          if Nanomap_util.Rng.float rng 1.0 < fraction then
+            les := (x, y, mb, le) :: !les
+        done
+      done
+    done
+  done;
+  { none with les = List.rev !les }
+
+let parse_error lineno token msg =
+  Nanomap_util.Diag.fail ~stage:"defects" ~code:"parse-error"
+    ~context:[ ("line", string_of_int lineno); ("token", token) ]
+    msg
+
+let parse_int lineno tok what =
+  match int_of_string_opt tok with
+  | Some n when n >= 0 -> n
+  | _ -> parse_error lineno tok (Printf.sprintf "expected non-negative %s" what)
+
+let of_string s =
+  let les = ref [] and tracks = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "" && w <> "\r")
+      in
+      match words with
+      | [] -> ()
+      | [ "le"; x; y; mb; le ] ->
+          les :=
+            ( parse_int lineno x "x coordinate",
+              parse_int lineno y "y coordinate",
+              parse_int lineno mb "MB index",
+              parse_int lineno le "LE index" )
+            :: !les
+      | [ "track"; kind; ord ] ->
+          if not (List.mem kind track_kinds) then
+            parse_error lineno kind
+              (Printf.sprintf "unknown wire kind (expected one of %s)"
+                 (String.concat "/" track_kinds));
+          tracks := (kind, parse_int lineno ord "wire ordinal") :: !tracks
+      | tok :: _ ->
+          parse_error lineno tok
+            "expected 'le X Y MB LE' or 'track KIND ORDINAL'")
+    lines;
+  { les = List.rev !les; tracks = List.rev !tracks }
+
+let of_file path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Nanomap_util.Diag.fail ~stage:"defects" ~code:"unreadable"
+        ~context:[ ("file", path) ]
+        msg
+  in
+  of_string contents
+
+let to_string t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (x, y, mb, le) -> Printf.bprintf b "le %d %d %d %d\n" x y mb le)
+    t.les;
+  List.iter (fun (kind, ord) -> Printf.bprintf b "track %s %d\n" kind ord) t.tracks;
+  Buffer.contents b

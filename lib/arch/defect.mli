@@ -1,0 +1,57 @@
+(** Fabric defect maps.
+
+    Nanotube fabrics ship with defective logic elements and broken wire
+    segments; NATURE's CAD flow is expected to map around them rather than
+    discard the die. A defect map lists known-bad resources:
+
+    - [les]: defective logic elements as [(x, y, mb, le)] — the LE at index
+      [le] of macroblock [mb] inside the SMB placed on grid site [(x, y)].
+      Placement must not assign an SMB that uses that (mb, le) slot to that
+      site.
+    - [tracks]: defective routing wires as [(kind, ordinal)] where [kind] is
+      one of ["direct"], ["len1"], ["len4"], ["global"] and [ordinal] is the
+      0-based index of the wire among the nodes of that kind in the routing
+      resource graph's deterministic construction order. Routing must not use
+      that wire.
+
+    The on-disk format is line oriented; [#] starts a comment:
+    {v
+    # defect map for die 0317
+    le 2 1 0 3        # SMB site (2,1), MB 0, LE 3
+    track len4 17     # 18th length-4 segment
+    v} *)
+
+type t = {
+  les : (int * int * int * int) list;  (** (x, y, mb, le) *)
+  tracks : (string * int) list;        (** (wire kind, per-kind ordinal) *)
+}
+
+val none : t
+(** The empty defect map (a perfect die). *)
+
+val is_none : t -> bool
+
+val count : t -> int
+(** Total number of defective resources. *)
+
+val track_kinds : string list
+(** The accepted wire-kind names: ["direct"; "len1"; "len4"; "global"]. *)
+
+val random_les :
+  seed:int -> fraction:float -> width:int -> height:int -> Arch.t -> t
+(** [random_les ~seed ~fraction ~width ~height arch] marks [fraction] of the
+    LEs of a [width] x [height] SMB fabric defective, chosen uniformly by a
+    deterministic PRNG. Used by the fault-injection tests to model a die with
+    e.g. 5% bad LEs. *)
+
+val of_string : string -> t
+(** Parse the defect-map format above. Raises [Diag.Fail] (stage
+    ["defects"]) with the line number and offending token on malformed
+    input. *)
+
+val of_file : string -> t
+(** [of_string] on a file's contents; raises [Diag.Fail] (code
+    ["unreadable"]) if the file cannot be read. *)
+
+val to_string : t -> string
+(** Render back into the on-disk format (parseable by [of_string]). *)

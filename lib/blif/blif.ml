@@ -76,6 +76,18 @@ let parse_string text =
   let name = ref "" in
   let inputs = ref [] and outputs = ref [] in
   let nodes = ref [] and latches = ref [] in
+  (* every signal may be driven once: by .inputs, a .latch output, or a
+     .names output *)
+  let defined : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let define line signal =
+    match Hashtbl.find_opt defined signal with
+    | Some first ->
+      fail line
+        (Printf.sprintf "duplicate definition of '%s' (first defined at line %d)"
+           signal first)
+    | None -> Hashtbl.replace defined signal line
+  in
+  let latch_lines = ref [] in
   let current : (int * string list * cube list) option ref = ref None in
   let flush_current () =
     match !current with
@@ -90,6 +102,7 @@ let parse_string text =
            | x :: rest -> split_last (x :: acc) rest
          in
          let ins, out = split_last [] rev_signals in
+         define line out;
          let cover = List.rev cubes_rev in
          let expected = List.length ins in
          List.iter
@@ -109,15 +122,27 @@ let parse_string text =
     match toks with
     | [ v ] ->
       (* zero-input constant *)
-      let value = match v with "1" -> true | "0" -> false | _ -> fail line "bad cube" in
+      let value =
+        match v with
+        | "1" -> true
+        | "0" -> false
+        | _ -> fail line ("bad cube '" ^ v ^ "'")
+      in
       { mask = ""; value }
     | [ mask; v ] ->
       String.iter
-        (fun c -> if c <> '0' && c <> '1' && c <> '-' then fail line "bad cube mask")
+        (fun c ->
+          if c <> '0' && c <> '1' && c <> '-' then
+            fail line ("bad cube mask '" ^ mask ^ "'"))
         mask;
-      let value = match v with "1" -> true | "0" -> false | _ -> fail line "bad cube value" in
+      let value =
+        match v with
+        | "1" -> true
+        | "0" -> false
+        | _ -> fail line ("bad cube value '" ^ v ^ "'")
+      in
       { mask; value }
-    | _ -> fail line "bad cube line"
+    | toks -> fail line ("bad cube line '" ^ String.concat " " toks ^ "'")
   in
   let seen_end = ref false in
   List.iter
@@ -130,7 +155,9 @@ let parse_string text =
           (match cmd, args with
            | ".model", [ n ] -> name := n
            | ".model", _ -> fail line ".model expects one name"
-           | ".inputs", sigs -> inputs := !inputs @ sigs
+           | ".inputs", sigs ->
+             List.iter (define line) sigs;
+             inputs := !inputs @ sigs
            | ".outputs", sigs -> outputs := !outputs @ sigs
            | ".names", sigs -> current := Some (line, List.rev sigs, [])
            | ".latch", (din :: dout :: rest) ->
@@ -142,6 +169,8 @@ let parse_string text =
                  (match init with "1" -> true | _ -> false)
                | _ -> fail line "bad .latch"
              in
+             define line dout;
+             latch_lines := (line, din) :: !latch_lines;
              latches := { data_in = din; data_out = dout; init } :: !latches
            | ".latch", _ -> fail line ".latch expects input and output"
            | ".end", _ -> seen_end := true
@@ -153,6 +182,13 @@ let parse_string text =
            | Some (l, sigs, cubes) -> current := Some (l, sigs, parse_cube line toks :: cubes)))
     lines;
   flush_current ();
+  List.iter
+    (fun (line, din) ->
+      if not (Hashtbl.mem defined din) then
+        fail line
+          ("latch input '" ^ din
+           ^ "' is not driven by any .names, .latch, or .inputs"))
+    (List.rev !latch_lines);
   if !name = "" then fail 1 "missing .model";
   { name = !name;
     model_inputs = !inputs;

@@ -35,9 +35,16 @@ type model = {
 }
 
 exception Parse_error of int * string
-(** Line number (1-based) and message. *)
+(** Line number (1-based) and message; messages quote the offending token
+    or signal. *)
 
 val parse_string : string -> model
+(** Besides syntax errors, rejects (with {!Parse_error}):
+    - a signal driven twice — by two [.names] outputs, a [.names] output
+      and a [.latch] output, or either colliding with an [.inputs] name;
+    - a [.latch] whose data input is not driven by any [.names], [.latch]
+      or [.inputs] declaration anywhere in the model. *)
+
 val parse_file : string -> model
 
 type lowered = {

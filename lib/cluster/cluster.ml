@@ -1,4 +1,5 @@
 module Arch = Nanomap_arch.Arch
+module Diag = Nanomap_util.Diag
 module Mapper = Nanomap_core.Mapper
 module Sched = Nanomap_core.Sched
 module Partition = Nanomap_techmap.Partition
@@ -578,10 +579,18 @@ let validate t (plan : Mapper.plan) =
           | Lut_network.Input _ -> ()
           | Lut_network.Lut _ ->
             (match Hashtbl.find_opt t.lut_slots (plane, l) with
-             | None -> failwith "Cluster: unplaced LUT"
+             | None ->
+               Diag.fail ~stage:"cluster" ~code:"lut-unplaced"
+                 ~context:
+                   [ ("plane", string_of_int plane); ("lut", string_of_int l) ]
+                 "scheduled LUT has no LE slot"
              | Some slot ->
                if slot.smb < 0 || slot.smb >= t.num_smbs then
-                 failwith "Cluster: slot out of range";
+                 Diag.fail ~stage:"cluster" ~code:"slot-range"
+                   ~context:
+                     [ ("smb", string_of_int slot.smb);
+                       ("num_smbs", string_of_int t.num_smbs) ]
+                   "LE slot names an SMB outside the cluster";
                let u = pl.Mapper.partition.Partition.unit_of_lut.(l) in
                let cycle = pl.Mapper.schedule.(u) in
                let ts = ((plane - 1) * stages) + (cycle - 1) in
@@ -591,7 +600,14 @@ let validate t (plan : Mapper.plan) =
                  + slot.le
                in
                if Hashtbl.mem le_at (g, ts, 0) then
-                 failwith "Cluster: LE hosts two LUTs in one cycle";
+                 Diag.fail ~stage:"cluster" ~code:"le-double-booked"
+                   ~context:
+                     [ ("plane", string_of_int plane);
+                       ("cycle", string_of_int cycle);
+                       ("smb", string_of_int slot.smb);
+                       ("mb", string_of_int slot.mb);
+                       ("le", string_of_int slot.le) ]
+                   "LE hosts two LUTs in one folding cycle";
                Hashtbl.replace le_at (g, ts, 0) ()))
         pl.Mapper.network)
     plan.Mapper.planes;
@@ -600,12 +616,21 @@ let validate t (plan : Mapper.plan) =
     (fun n ->
       let check = function
         | At_smb s ->
-          if s < 0 || s >= t.num_smbs then failwith "Cluster: net endpoint out of range"
+          if s < 0 || s >= t.num_smbs then
+            Diag.fail ~stage:"cluster" ~code:"endpoint-range"
+              ~context:
+                [ ("smb", string_of_int s);
+                  ("num_smbs", string_of_int t.num_smbs) ]
+              "net endpoint names an SMB outside the cluster"
         | At_pad _ -> ()
       in
       check n.driver;
       List.iter check n.sinks;
-      if n.sinks = [] then failwith "Cluster: empty net")
+      if n.sinks = [] then
+        Diag.fail ~stage:"cluster" ~code:"empty-net"
+          ~context:
+            [ ("plane", string_of_int n.plane); ("cycle", string_of_int n.cycle) ]
+          "net has a driver but no sinks")
     t.nets
 
 let interconnect_stats t =

@@ -68,7 +68,9 @@ val area_les : t -> int
 val validate : t -> Nanomap_core.Mapper.plan -> unit
 (** Structural invariants: every scheduled LUT placed, no LE hosts two
     LUTs in one cycle, no flip-flop double-booked in any cycle, all net
-    endpoints within bounds. Raises [Failure]. *)
+    endpoints within bounds. Raises [Nanomap_util.Diag.Fail] (stage
+    ["cluster"], codes ["lut-unplaced"], ["slot-range"],
+    ["le-double-booked"], ["endpoint-range"], ["empty-net"]). *)
 
 val interconnect_stats : t -> (string * int) list
 (** Counters used by the experiments: total nets, intra-SMB-only values

@@ -1,0 +1,266 @@
+module Diag = Nanomap_util.Diag
+module Rng = Nanomap_util.Rng
+module Telemetry = Nanomap_util.Telemetry
+module Arch = Nanomap_arch.Arch
+module Defect = Nanomap_arch.Defect
+module Mapper = Nanomap_core.Mapper
+module Sched = Nanomap_core.Sched
+module Cluster = Nanomap_cluster.Cluster
+module Place = Nanomap_place.Place
+module Router = Nanomap_route.Router
+module Rr_graph = Nanomap_route.Rr_graph
+module Bitstream = Nanomap_bitstream.Bitstream
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Lut_network = Nanomap_techmap.Lut_network
+module Decompose = Nanomap_techmap.Decompose
+module Simplify = Nanomap_techmap.Simplify
+
+type level = Off | Fast | Full
+
+let level_of_string = function
+  | "off" -> Some Off
+  | "fast" -> Some Fast
+  | "full" -> Some Full
+  | _ -> None
+
+let string_of_level = function Off -> "off" | Fast -> "fast" | Full -> "full"
+
+let c_violations = Telemetry.counter "check.violations"
+
+(* Run a checker body that signals problems by raising [Diag.Fail]; every
+   failure counts as one check violation. *)
+let guard stage f =
+  match f () with
+  | () -> Ok ()
+  | exception Diag.Fail d ->
+    Telemetry.incr c_violations;
+    Error d
+  | exception Failure msg ->
+    Telemetry.incr c_violations;
+    Error (Diag.make ~stage ~code:"uncaught-failure" msg)
+
+(* --- techmap: LUT network vs gate netlist simulation spot-check --- *)
+
+let techmap level (prepared : Mapper.prepared) =
+  if level = Off then Ok ()
+  else
+    guard "techmap" (fun () ->
+        let planes =
+          match level with
+          | Full -> prepared.Mapper.num_planes
+          | Off | Fast -> min 1 prepared.Mapper.num_planes
+        in
+        let vectors = match level with Full -> 8 | Off | Fast -> 2 in
+        for p = 1 to planes do
+          let tagged =
+            Simplify.run (Decompose.plane prepared.Mapper.levelized p)
+          in
+          let network = prepared.Mapper.networks.(p - 1) in
+          let origin_of_gate = Hashtbl.create 32 in
+          List.iter
+            (fun (gid, origin) -> Hashtbl.replace origin_of_gate gid origin)
+            tagged.Decompose.input_origins;
+          let gate_inputs = Gate_netlist.inputs tagged.Decompose.gates in
+          let lut_outs = Lut_network.outputs network in
+          for v = 1 to vectors do
+            let rng = Rng.create (0x7ec4 + (p * 131) + v) in
+            (* one random value per input origin, shared by both sides *)
+            let memo = Hashtbl.create 32 in
+            let assign = function
+              | Lut_network.Const_bit b -> b
+              | origin ->
+                (match Hashtbl.find_opt memo origin with
+                | Some b -> b
+                | None ->
+                  let b = Rng.bool rng in
+                  Hashtbl.replace memo origin b;
+                  b)
+            in
+            let input_values =
+              List.map
+                (fun (_, gid) ->
+                  match Hashtbl.find_opt origin_of_gate gid with
+                  | Some origin -> assign origin
+                  | None -> false)
+                gate_inputs
+              |> Array.of_list
+            in
+            let sim = Gate_netlist.simulate tagged.Decompose.gates input_values in
+            let lut_vals = Lut_network.eval network assign in
+            List.iter
+              (fun (target, gid) ->
+                match List.assoc_opt target lut_outs with
+                | None ->
+                  Diag.fail ~stage:"techmap" ~code:"missing-target"
+                    ~context:[ ("plane", string_of_int p) ]
+                    "gate-level output target absent from the LUT network"
+                | Some lnode ->
+                  if sim.(gid) <> lut_vals.(lnode) then
+                    Diag.fail ~stage:"techmap" ~code:"sim-mismatch"
+                      ~context:
+                        [ ("plane", string_of_int p);
+                          ("vector", string_of_int v);
+                          ("gate_value", string_of_bool sim.(gid));
+                          ("lut_value", string_of_bool lut_vals.(lnode)) ]
+                      "LUT network disagrees with the gate netlist")
+              tagged.Decompose.output_targets
+          done
+        done)
+
+(* --- fds: schedule legality + NRAM budget --- *)
+
+let fds level ~arch (plan : Mapper.plan) =
+  if level = Off then Ok ()
+  else
+    guard "fds" (fun () ->
+        Array.iter
+          (fun (plp : Mapper.plane_plan) ->
+            try Sched.check_schedule plp.Mapper.problem plp.Mapper.schedule
+            with Failure msg ->
+              Diag.fail ~stage:"fds" ~code:"schedule-illegal"
+                ~context:[ ("plane", string_of_int plp.Mapper.plane_index) ]
+                msg)
+          plan.Mapper.planes;
+        match arch.Arch.num_reconf with
+        | Some k when plan.Mapper.configs_used > k ->
+          Diag.fail ~stage:"fds" ~code:"config-overflow"
+            ~context:
+              [ ("configs_used", string_of_int plan.Mapper.configs_used);
+                ("num_reconf", string_of_int k) ]
+            "plan needs more configuration sets than the NRAM holds"
+        | Some _ | None -> ())
+
+(* --- cluster: structural legality + capacity --- *)
+
+let cluster level (plan : Mapper.plan) (cl : Cluster.t) =
+  if level = Off then Ok ()
+  else
+    guard "cluster" (fun () ->
+        Cluster.validate cl plan;
+        let arch = cl.Cluster.arch in
+        let capacity = cl.Cluster.num_smbs * Arch.les_per_smb arch in
+        if cl.Cluster.les_used > capacity then
+          Diag.fail ~stage:"cluster" ~code:"capacity"
+            ~context:
+              [ ("les_used", string_of_int cl.Cluster.les_used);
+                ("capacity", string_of_int capacity) ]
+            "cluster uses more LEs than its SMB pool provides";
+        Hashtbl.iter
+          (fun _ (slot : Cluster.slot) ->
+            if
+              slot.Cluster.mb < 0
+              || slot.Cluster.mb >= arch.Arch.mbs_per_smb
+              || slot.Cluster.le < 0
+              || slot.Cluster.le >= arch.Arch.les_per_mb
+            then
+              Diag.fail ~stage:"cluster" ~code:"slot-range"
+                ~context:
+                  [ ("mb", string_of_int slot.Cluster.mb);
+                    ("le", string_of_int slot.Cluster.le) ]
+                "LE slot outside the SMB's MB/LE geometry")
+          cl.Cluster.lut_slots)
+
+(* --- place: slot exclusivity + defect avoidance --- *)
+
+let place level ?(defects = Defect.none) (cl : Cluster.t) (pl : Place.t) =
+  if level = Off then Ok ()
+  else
+    guard "place" (fun () ->
+        Place.validate pl cl;
+        if not (Defect.is_none defects) then begin
+          let smb_at = Hashtbl.create 64 in
+          Array.iteri
+            (fun s xy -> Hashtbl.replace smb_at xy s)
+            pl.Place.smb_xy;
+          let used = Hashtbl.create 64 in
+          Hashtbl.iter
+            (fun _ (slot : Cluster.slot) ->
+              Hashtbl.replace used
+                (slot.Cluster.smb, slot.Cluster.mb, slot.Cluster.le)
+                ())
+            cl.Cluster.lut_slots;
+          Hashtbl.iter
+            (fun _ ((slot : Cluster.slot), _) ->
+              Hashtbl.replace used
+                (slot.Cluster.smb, slot.Cluster.mb, slot.Cluster.le)
+                ())
+            cl.Cluster.ff_slots;
+          List.iter
+            (fun (x, y, mb, le) ->
+              match Hashtbl.find_opt smb_at (x, y) with
+              | Some s when Hashtbl.mem used (s, mb, le) ->
+                Diag.fail ~stage:"place" ~code:"defective-le"
+                  ~context:
+                    [ ("smb", string_of_int s);
+                      ("x", string_of_int x);
+                      ("y", string_of_int y);
+                      ("mb", string_of_int mb);
+                      ("le", string_of_int le) ]
+                  "SMB occupies a defective LE"
+              | Some _ | None -> ())
+            defects.Defect.les
+        end)
+
+(* --- route: legality + completeness --- *)
+
+let route level (cl : Cluster.t) (r : Router.result) =
+  if level = Off then Ok ()
+  else
+    guard "route" (fun () ->
+        if not r.Router.success then
+          Diag.fail ~stage:"route" ~code:"congested"
+            ~context:[ ("overused", string_of_int r.Router.overused) ]
+            "routing left overused wire nodes";
+        Router.validate r;
+        if level = Full then begin
+          let routed_keys = Hashtbl.create 256 in
+          List.iter
+            (fun (rn : Router.routed_net) ->
+              Hashtbl.replace routed_keys
+                ( rn.Router.net.Cluster.plane,
+                  rn.Router.net.Cluster.cycle,
+                  rn.Router.net.Cluster.value )
+                ())
+            r.Router.routed;
+          List.iter
+            (fun (n : Cluster.net) ->
+              if
+                n.Cluster.sinks <> []
+                && not
+                     (Hashtbl.mem routed_keys
+                        (n.Cluster.plane, n.Cluster.cycle, n.Cluster.value))
+              then
+                Diag.fail ~stage:"route" ~code:"net-missing"
+                  ~context:
+                    [ ("plane", string_of_int n.Cluster.plane);
+                      ("cycle", string_of_int n.Cluster.cycle) ]
+                  "cluster net has no routed tree")
+            cl.Cluster.nets
+        end)
+
+(* --- bitstream: config bounds + parse round-trip --- *)
+
+let bitstream level ~arch (bs : Bitstream.t) =
+  if level = Off then Ok ()
+  else
+    guard "bitstream" (fun () ->
+        (match Bitstream.nram_bits_required bs arch with
+        | configs, Some k when configs > k ->
+          Diag.fail ~stage:"bitstream" ~code:"config-overflow"
+            ~context:
+              [ ("configs", string_of_int configs);
+                ("num_reconf", string_of_int k) ]
+            "bitstream holds more configuration sets than the NRAM"
+        | _ -> ());
+        if level = Full then begin
+          match Bitstream.parse bs.Bitstream.bytes with
+          | parsed ->
+            if Array.length parsed <> bs.Bitstream.configs then
+              Diag.fail ~stage:"bitstream" ~code:"config-count"
+                ~context:
+                  [ ("parsed", string_of_int (Array.length parsed));
+                    ("expected", string_of_int bs.Bitstream.configs) ]
+                "parsed configuration count disagrees with the header"
+          | exception Bitstream.Corrupt msg ->
+            Diag.fail ~stage:"bitstream" ~code:"corrupt" msg
+        end)

@@ -1,0 +1,80 @@
+(** Inter-stage invariant checkers.
+
+    Every hand-off in the Fig. 2 pipeline can be validated before the next
+    stage consumes it: the mapped LUT networks against the gate-level
+    netlists they came from (by simulation spot-check), the FDS schedule
+    against precedence and the NRAM budget, the clustering against LE/MB/SMB
+    capacity, the placement against slot exclusivity and the defect map, the
+    routing against occupancy/connectivity legality, and the bitstream
+    against its configuration-set bounds and its own parser.
+
+    Checkers return [(unit, Diag.t) result] rather than raising, bump the
+    [check.violations] telemetry counter on every failure, and are selected
+    by a {!level}:
+
+    - {!Off} — no checking (every checker returns [Ok ()] immediately);
+    - {!Fast} — cheap structural checks, simulation limited to the first
+      plane and a couple of random vectors;
+    - {!Full} — everything: all planes, more vectors, route completeness,
+      bitstream parse round-trip. *)
+
+type level = Off | Fast | Full
+
+val level_of_string : string -> level option
+(** ["off"], ["fast"], ["full"]. *)
+
+val string_of_level : level -> string
+
+val techmap :
+  level -> Nanomap_core.Mapper.prepared -> (unit, Nanomap_util.Diag.t) result
+(** Functional-equivalence spot-check: re-derives each plane's simplified
+    gate netlist and compares [Gate_netlist.simulate] against
+    [Lut_network.eval] on random input vectors drawn per
+    [input_origin]. [Fast]: first plane, 2 vectors; [Full]: all planes, 8
+    vectors. Failure code: ["sim-mismatch"]. *)
+
+val fds :
+  level ->
+  arch:Nanomap_arch.Arch.t ->
+  Nanomap_core.Mapper.plan ->
+  (unit, Nanomap_util.Diag.t) result
+(** Every plane's schedule respects precedence and stage bounds
+    (["schedule-illegal"]); the plan's configuration-set usage fits the
+    NRAM budget (["config-overflow"]). *)
+
+val cluster :
+  level ->
+  Nanomap_core.Mapper.plan ->
+  Nanomap_cluster.Cluster.t ->
+  (unit, Nanomap_util.Diag.t) result
+(** Structural legality via [Cluster.validate] (unplaced LUTs, double-booked
+    LEs, endpoint ranges), plus LE capacity vs the SMB pool (["capacity"])
+    and MB/LE slot indices within the architecture (["slot-range"]). *)
+
+val place :
+  level ->
+  ?defects:Nanomap_arch.Defect.t ->
+  Nanomap_cluster.Cluster.t ->
+  Nanomap_place.Place.t ->
+  (unit, Nanomap_util.Diag.t) result
+(** Slot exclusivity and grid legality via [Place.validate], plus defect
+    avoidance: no SMB sits on a site whose defective [(mb, le)] it occupies
+    (["defective-le"]). *)
+
+val route :
+  level ->
+  Nanomap_cluster.Cluster.t ->
+  Nanomap_route.Router.result ->
+  (unit, Nanomap_util.Diag.t) result
+(** The routing claims success (["congested"]); occupancy, connectivity and
+    defect legality via [Router.validate]; with [Full], every cluster net
+    with sinks actually has a routed tree (["net-missing"]). *)
+
+val bitstream :
+  level ->
+  arch:Nanomap_arch.Arch.t ->
+  Nanomap_bitstream.Bitstream.t ->
+  (unit, Nanomap_util.Diag.t) result
+(** Configuration-set count within the NRAM capacity (["config-overflow"]);
+    with [Full], the bitmap parses back (["corrupt"]) into the advertised
+    number of configurations (["config-count"]). *)

@@ -1,0 +1,101 @@
+module Defect = Nanomap_arch.Defect
+module Mapper = Nanomap_core.Mapper
+module Partition = Nanomap_techmap.Partition
+module Lut_network = Nanomap_techmap.Lut_network
+module Cluster = Nanomap_cluster.Cluster
+module Place = Nanomap_place.Place
+module Router = Nanomap_route.Router
+module Rr_graph = Nanomap_route.Rr_graph
+module Bitstream = Nanomap_bitstream.Bitstream
+
+let drop_net (r : Router.result) =
+  match r.Router.routed with
+  | [] -> r
+  | _ :: rest -> { r with Router.routed = rest }
+
+(* Two LUTs of one plane scheduled in the same folding cycle: give the
+   second the first's LE slot, creating a within-timeslot double booking. *)
+let overfill_cluster (plan : Mapper.plan) (cl : Cluster.t) =
+  let victim = ref None in
+  Array.iter
+    (fun (plp : Mapper.plane_plan) ->
+      if !victim = None then begin
+        let plane = plp.Mapper.plane_index in
+        let first_in_cycle = Hashtbl.create 16 in
+        Lut_network.iter
+          (fun l -> function
+            | Lut_network.Input _ -> ()
+            | Lut_network.Lut _ ->
+              if !victim = None then begin
+                let u = plp.Mapper.partition.Partition.unit_of_lut.(l) in
+                let cycle = plp.Mapper.schedule.(u) in
+                match Hashtbl.find_opt first_in_cycle cycle with
+                | None -> Hashtbl.replace first_in_cycle cycle (plane, l)
+                | Some (p0, l0) ->
+                  (* only a real conflict if the two LUTs sit on different
+                     LEs right now *)
+                  let s0 = Hashtbl.find_opt cl.Cluster.lut_slots (p0, l0) in
+                  let s1 = Hashtbl.find_opt cl.Cluster.lut_slots (plane, l) in
+                  (match (s0, s1) with
+                  | Some a, Some b when a <> b ->
+                    victim := Some ((p0, l0), (plane, l))
+                  | _ -> ())
+              end)
+          plp.Mapper.network
+      end)
+    plan.Mapper.planes;
+  match !victim with
+  | None -> cl
+  | Some (first, second) ->
+    let lut_slots = Hashtbl.copy cl.Cluster.lut_slots in
+    Hashtbl.replace lut_slots second (Hashtbl.find lut_slots first);
+    { cl with Cluster.lut_slots }
+
+let double_book_slot (pl : Place.t) =
+  if Array.length pl.Place.smb_xy < 2 then pl
+  else begin
+    let smb_xy = Array.copy pl.Place.smb_xy in
+    smb_xy.(1) <- smb_xy.(0);
+    { pl with Place.smb_xy }
+  end
+
+let mark_used_le_defective (cl : Cluster.t) (pl : Place.t) =
+  (* deterministic pick: the slot of the smallest (plane, lut) key *)
+  let best = ref None in
+  Hashtbl.iter
+    (fun key slot ->
+      match !best with
+      | Some (k, _) when compare k key <= 0 -> ()
+      | _ -> best := Some (key, slot))
+    cl.Cluster.lut_slots;
+  match !best with
+  | None -> Defect.none
+  | Some (_, (slot : Cluster.slot)) ->
+    let x, y = pl.Place.smb_xy.(slot.Cluster.smb) in
+    { Defect.none with
+      Defect.les = [ (x, y, slot.Cluster.mb, slot.Cluster.le) ] }
+
+let mark_used_track_defective (r : Router.result) =
+  let rec first_wire = function
+    | [] -> -1
+    | (rn : Router.routed_net) :: rest ->
+      (match rn.Router.tree with [] -> first_wire rest | nd :: _ -> nd)
+  in
+  let nd = first_wire r.Router.routed in
+  if nd >= 0 then r.Router.graph.Rr_graph.defective.(nd) <- true;
+  nd
+
+let corrupt_bitstream (bs : Bitstream.t) =
+  (* header: "NMAP1" + u32 configs + u32 num_smbs = 13 bytes; the word at
+     offset 13 is the first configuration's LE-section length *)
+  let bytes =
+    if Bytes.length bs.Bitstream.bytes >= 17 then begin
+      let b = Bytes.copy bs.Bitstream.bytes in
+      Bytes.set_int32_le b 13 0x7FFFFFFFl;
+      b
+    end
+    else
+      (* degenerate zero-config bitmap: truncate the header instead *)
+      Bytes.sub bs.Bitstream.bytes 0 (min 8 (Bytes.length bs.Bitstream.bytes))
+  in
+  { bs with Bitstream.bytes }

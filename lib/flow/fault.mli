@@ -1,0 +1,40 @@
+(** Deterministic fault injection for the checker test-bench.
+
+    Each injector corrupts one intermediate artifact of the flow in a way
+    that exactly one {!Check} validator (or stage validator) must catch —
+    the test suite uses them to prove the checkers detect what they claim.
+    All injectors are pure copies except {!mark_used_track_defective},
+    which mutates the routing graph's defect marks in place (the graph owns
+    that array). Injectors return the artifact unchanged when the fault
+    cannot be expressed (e.g. dropping a net from an empty routing). *)
+
+val drop_net : Nanomap_route.Router.result -> Nanomap_route.Router.result
+(** Remove one routed net. Caught by [Check.route] at [Full] level
+    (["net-missing"]). *)
+
+val overfill_cluster :
+  Nanomap_core.Mapper.plan -> Nanomap_cluster.Cluster.t ->
+  Nanomap_cluster.Cluster.t
+(** Reassign one LUT's LE slot onto an LE already hosting another LUT of the
+    same folding cycle. Caught by [Cluster.validate] / [Check.cluster]
+    (["le-double-booked"]). *)
+
+val double_book_slot : Nanomap_place.Place.t -> Nanomap_place.Place.t
+(** Move SMB 1 onto SMB 0's grid site. Caught by [Place.validate] /
+    [Check.place] (["site-conflict"]). *)
+
+val mark_used_le_defective :
+  Nanomap_cluster.Cluster.t -> Nanomap_place.Place.t -> Nanomap_arch.Defect.t
+(** A defect map declaring one LE that the placed design actually uses
+    defective. Caught by [Check.place] (["defective-le"]). *)
+
+val mark_used_track_defective : Nanomap_route.Router.result -> int
+(** Mark one wire node used by a routed net defective {e in the graph}
+    (mutates [graph.defective]); returns the node id, or [-1] if no net
+    uses a wire. Caught by [Router.validate] / [Check.route]
+    (["defective-track"]). *)
+
+val corrupt_bitstream :
+  Nanomap_bitstream.Bitstream.t -> Nanomap_bitstream.Bitstream.t
+(** Smash a section-length word in the encoded bytes. Caught by
+    [Check.bitstream] at [Full] level (["corrupt"]). *)

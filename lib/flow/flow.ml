@@ -1,16 +1,21 @@
 module Arch = Nanomap_arch.Arch
+module Defect = Nanomap_arch.Defect
 module Mapper = Nanomap_core.Mapper
 module Fold = Nanomap_core.Fold
 module Sched = Nanomap_core.Sched
 module Cluster = Nanomap_cluster.Cluster
 module Place = Nanomap_place.Place
 module Router = Nanomap_route.Router
+module Rr_graph = Nanomap_route.Rr_graph
 module Bitstream = Nanomap_bitstream.Bitstream
 module Telemetry = Nanomap_util.Telemetry
+module Diag = Nanomap_util.Diag
 
 let log = Logs.Src.create "nanomap.flow" ~doc:"NanoMap end-to-end flow"
 
 module Log = (val Logs.src_log log)
+
+let c_degradations = Telemetry.counter "flow.degradations"
 
 type objective =
   | Delay_min of int option
@@ -28,6 +33,9 @@ type options = {
   routability_threshold : float;
   max_place_retries : int;
   route_alg : Router.algorithm;
+  check_level : Check.level;
+  defects : Defect.t;
+  route_caps : Rr_graph.caps;
 }
 
 let default_options =
@@ -36,7 +44,10 @@ let default_options =
     seed = 1;
     routability_threshold = 8.0;
     max_place_retries = 2;
-    route_alg = Router.Incremental }
+    route_alg = Router.Incremental;
+    check_level = Check.Fast;
+    defects = Defect.none;
+    route_caps = Rr_graph.default_caps }
 
 type report = {
   design_name : string;
@@ -53,6 +64,7 @@ type report = {
   delay_routed_ns : float option;
   bitstream : Bitstream.t option;
   mapping_retries : int;
+  degradations : string list;
   telemetry : Telemetry.run;
 }
 
@@ -75,6 +87,12 @@ let area_budget options =
   | Pipelined_delay_min area -> Some area
   | Delay_min None | Area_min _ | At_min | Fixed_level _ | No_folding -> None
 
+let is_pipelined options =
+  match options.objective with
+  | Pipelined_delay_min _ -> true
+  | Delay_min _ | Area_min _ | At_min | Both _ | Fixed_level _ | No_folding ->
+    false
+
 (* The Fig. 2 area loop: clustering is the ground truth for LE usage; if it
    exceeds the budget, fold one level deeper and redo mapping. Every
    iteration is a fresh cluster/rebalance stage pair in the telemetry run,
@@ -95,12 +113,13 @@ let rec map_and_cluster ?(retries = 0) tele options prepared ~arch plan =
     in
     let next_level = plan.Mapper.level - 1 in
     if next_level < min_level then
-      raise
-        (Flow_failed
-           (Printf.sprintf
-              "clustering needs %d LEs > budget %d and no deeper folding level \
-               remains"
-              cluster.Cluster.les_used budget))
+      Diag.fail ~stage:"cluster" ~code:"area-budget"
+        ~context:
+          [ ("clustered_les", string_of_int cluster.Cluster.les_used);
+            ("budget", string_of_int budget);
+            ("level", string_of_int plan.Mapper.level);
+            ("min_level", string_of_int min_level) ]
+        "clustering exceeds the LE budget and no deeper folding level remains"
     else begin
       Log.info (fun m ->
           m "area loop: clustered %d LEs > %d, retrying at level %d"
@@ -110,12 +129,7 @@ let rec map_and_cluster ?(retries = 0) tele options prepared ~arch plan =
           [ ("clustered_les", string_of_int cluster.Cluster.les_used);
             ("budget", string_of_int budget);
             ("next_level", string_of_int next_level) ];
-      let pipelined =
-        match options.objective with
-        | Pipelined_delay_min _ -> true
-        | Delay_min _ | Area_min _ | At_min | Both _ | Fixed_level _ | No_folding ->
-          false
-      in
+      let pipelined = is_pipelined options in
       let plan =
         Telemetry.span tele "plan" (fun () ->
             Mapper.plan_level ~pipelined prepared ~arch ~level:next_level)
@@ -124,118 +138,280 @@ let rec map_and_cluster ?(retries = 0) tele options prepared ~arch plan =
     end
   | Some _ | None -> (plan, cluster, retries)
 
-let run ?(options = default_options) ?(arch = Arch.default) design =
+let ( let* ) = Result.bind
+
+let run_result ?(options = default_options) ?(arch = Arch.default) design =
   let tele = Telemetry.start ("flow:" ^ Nanomap_rtl.Rtl.name design) in
-  let prepared =
-    Telemetry.span tele "prepare" (fun () ->
-        Nanomap_rtl.Rtl.validate design;
-        Mapper.prepare ~k:arch.Arch.lut_inputs design)
+  (* Every diagnostic — fatal or recovered-from — lands in the event
+     journal, so [--trace] shows the full failure/recovery path. *)
+  let journal d =
+    Telemetry.event tele "diag" ~data:(Diag.event_data d);
+    d
   in
-  let plan0 =
-    Telemetry.span tele "plan" (fun () -> initial_plan options prepared ~arch)
+  let protect stage f =
+    match f () with
+    | v -> Ok v
+    | exception Diag.Fail d -> Error (journal d)
+    | exception Mapper.No_feasible_mapping msg ->
+      Error (journal (Diag.make ~stage ~code:"no-feasible-mapping" msg))
+    | exception Sched.Infeasible msg ->
+      Error (journal (Diag.make ~stage ~code:"infeasible-schedule" msg))
+    | exception Flow_failed msg ->
+      Error (journal (Diag.make ~stage ~code:"flow-failed" msg))
+    | exception Failure msg ->
+      Error (journal (Diag.make ~stage ~code:"uncaught-failure" msg))
+    | exception Invalid_argument msg ->
+      Error (journal (Diag.make ~stage ~code:"invalid-argument" msg))
+    | exception Stack_overflow -> raise Stack_overflow
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception exn ->
+      Error (journal (Diag.make ~stage ~code:"exception" (Printexc.to_string exn)))
   in
-  let plan, cluster, mapping_retries =
-    map_and_cluster tele options prepared ~arch plan0
+  let checked result =
+    match result with Ok () -> Ok () | Error d -> Error (journal d)
   in
-  Telemetry.set_gauge tele "cluster.les_used"
-    (float_of_int cluster.Cluster.les_used);
-  let delay_model_ns = plan.Mapper.delay_ns in
-  if not options.physical then begin
+  let level = options.check_level in
+  let finish_with result =
     Telemetry.finish tele;
-    { design_name = Nanomap_rtl.Rtl.name design;
-      prepared;
-      plan;
-      cluster;
-      area_les = cluster.Cluster.les_used;
-      area_smbs = cluster.Cluster.num_smbs;
-      area_um2 = float_of_int cluster.Cluster.num_smbs *. arch.Arch.smb_area;
-      delay_model_ns;
-      placement = None;
-      routing = None;
-      channel_factor = 1;
-      delay_routed_ns = None;
-      bitstream = None;
-      mapping_retries;
-      telemetry = tele }
-  end
-  else begin
-    (* fast placement, screened by routability (Fig. 2 steps 9-13); the
-       winning fast placement is returned, not re-derived, and seeds the
-       detailed pass *)
-    let rec attempt_placement try_no =
-      let fast =
-        Telemetry.span tele "place_fast" (fun () ->
-            Place.place ~seed:(options.seed + try_no) ~effort:`Fast cluster)
+    result
+  in
+  let body =
+    let* prepared =
+      protect "prepare" (fun () ->
+          Telemetry.span tele "prepare" (fun () ->
+              Nanomap_rtl.Rtl.validate design;
+              Mapper.prepare ~k:arch.Arch.lut_inputs design))
+    in
+    let* () = checked (Check.techmap level prepared) in
+    let* plan0 =
+      protect "plan" (fun () ->
+          Telemetry.span tele "plan" (fun () -> initial_plan options prepared ~arch))
+    in
+    let* plan, cluster, mapping_retries =
+      protect "cluster" (fun () ->
+          map_and_cluster tele options prepared ~arch plan0)
+    in
+    let* () = checked (Check.fds level ~arch plan) in
+    let* () = checked (Check.cluster level plan cluster) in
+    Telemetry.set_gauge tele "cluster.les_used"
+      (float_of_int cluster.Cluster.les_used);
+    let report ~plan ~cluster ~mapping_retries ~degradations physical_part =
+      let placement, routing, channel_factor, delay_routed_ns, bitstream =
+        match physical_part with
+        | None -> (None, None, 1, None, None)
+        | Some (placement, routing, channel_factor, bitstream) ->
+          let delay_routed_ns =
+            float_of_int
+              (prepared.Mapper.num_planes * plan.Mapper.stages)
+            *. routing.Router.folding_period_ns
+          in
+          ( Some placement,
+            Some routing,
+            channel_factor,
+            Some delay_routed_ns,
+            Some bitstream )
       in
-      let estimate = Place.routability fast cluster in
-      if estimate <= options.routability_threshold
-         || try_no >= options.max_place_retries
-      then begin
-        Log.info (fun m ->
-            m "fast placement %d: routability %.2f%s" try_no estimate
-              (if estimate > options.routability_threshold then " (accepted anyway)"
-               else ""));
-        Telemetry.set_gauge tele "place.routability" estimate;
-        (try_no, fast)
-      end
-      else begin
-        Telemetry.event tele "place.retry"
+      { design_name = Nanomap_rtl.Rtl.name design;
+        prepared;
+        plan;
+        cluster;
+        area_les = cluster.Cluster.les_used;
+        area_smbs = cluster.Cluster.num_smbs;
+        area_um2 = float_of_int cluster.Cluster.num_smbs *. arch.Arch.smb_area;
+        delay_model_ns = plan.Mapper.delay_ns;
+        placement;
+        routing;
+        channel_factor;
+        delay_routed_ns;
+        bitstream;
+        mapping_retries;
+        degradations;
+        telemetry = tele }
+    in
+    if not options.physical then
+      Ok (report ~plan ~cluster ~mapping_retries ~degradations:[] None)
+    else begin
+      (* One end-to-end physical attempt: fast placement screened by
+         routability (Fig. 2 steps 9-13) seeding the detailed pass, adaptive
+         routing, bitstream — each stage validated per [check_level]. *)
+      let physical_attempt ~seed ~caps plan cluster =
+        let* chosen_try, fast =
+          protect "place" (fun () ->
+              let rec attempt_placement try_no =
+                let fast =
+                  Telemetry.span tele "place_fast" (fun () ->
+                      Place.place ~seed:(seed + try_no) ~effort:`Fast
+                        ~defects:options.defects cluster)
+                in
+                let estimate = Place.routability fast cluster in
+                if
+                  estimate <= options.routability_threshold
+                  || try_no >= options.max_place_retries
+                then begin
+                  Log.info (fun m ->
+                      m "fast placement %d: routability %.2f%s" try_no estimate
+                        (if estimate > options.routability_threshold then
+                           " (accepted anyway)"
+                         else ""));
+                  Telemetry.set_gauge tele "place.routability" estimate;
+                  (try_no, fast)
+                end
+                else begin
+                  Telemetry.event tele "place.retry"
+                    ~data:
+                      [ ("try", string_of_int try_no);
+                        ("routability", Printf.sprintf "%.2f" estimate) ];
+                  attempt_placement (try_no + 1)
+                end
+              in
+              attempt_placement 0)
+        in
+        let* placement =
+          protect "place" (fun () ->
+              let placement =
+                Telemetry.span tele "place_detailed" (fun () ->
+                    Place.place ~seed:(seed + chosen_try) ~effort:`Detailed
+                      ~init:fast ~defects:options.defects cluster)
+              in
+              Place.validate placement cluster;
+              placement)
+        in
+        let* () =
+          checked (Check.place level ~defects:options.defects cluster placement)
+        in
+        Telemetry.set_gauge tele "place.hpwl" placement.Place.hpwl;
+        let* routing, channel_factor =
+          protect "route" (fun () ->
+              Telemetry.span tele "route" (fun () ->
+                  Router.route_adaptive ~caps ~defects:options.defects
+                    ~alg:options.route_alg placement cluster plan))
+        in
+        let* () =
+          if routing.Router.success then
+            protect "route" (fun () -> Router.validate routing)
+          else
+            Error
+              (journal
+                 (Diag.make ~stage:"route" ~code:"congested"
+                    ~context:
+                      [ ("overused", string_of_int routing.Router.overused);
+                        ("channel_factor", string_of_int channel_factor) ]
+                    "adaptive routing still overuses wires at the widest fabric"))
+        in
+        let* () = checked (Check.route level cluster routing) in
+        Telemetry.set_gauge tele "route.wirelength"
+          (float_of_int routing.Router.wirelength);
+        Telemetry.set_gauge tele "route.channel_factor"
+          (float_of_int channel_factor);
+        let* bitstream =
+          protect "bitstream" (fun () ->
+              Telemetry.span tele "bitstream" (fun () ->
+                  Bitstream.generate plan cluster routing))
+        in
+        let* () = checked (Check.bitstream level ~arch bitstream) in
+        Ok (placement, routing, channel_factor, bitstream)
+      in
+      (* Bounded graceful degradation: a failed physical attempt retries
+         with a fresh seed, then a widened fabric, then progressively lower
+         folding levels; each step is journaled and counted so the recovery
+         path is visible in --trace. The last diagnostic carries the trail. *)
+      let degrade_step step detail d =
+        Telemetry.incr c_degradations;
+        Telemetry.event tele "flow.degradation"
           ~data:
-            [ ("try", string_of_int try_no);
-              ("routability", Printf.sprintf "%.2f" estimate) ];
-        attempt_placement (try_no + 1)
-      end
-    in
-    let chosen_try, fast = attempt_placement 0 in
-    let placement =
-      Telemetry.span tele "place_detailed" (fun () ->
-          Place.place ~seed:(options.seed + chosen_try) ~effort:`Detailed
-            ~init:fast cluster)
-    in
-    Place.validate placement cluster;
-    Telemetry.set_gauge tele "place.hpwl" placement.Place.hpwl;
-    let routing, channel_factor =
-      Telemetry.span tele "route" (fun () ->
-          Router.route_adaptive ~alg:options.route_alg placement cluster plan)
-    in
-    if routing.Router.success then Router.validate routing;
-    Telemetry.set_gauge tele "route.wirelength"
-      (float_of_int routing.Router.wirelength);
-    Telemetry.set_gauge tele "route.channel_factor" (float_of_int channel_factor);
-    let folding_period = routing.Router.folding_period_ns in
-    let delay_routed_ns =
-      Some
-        (float_of_int (prepared.Mapper.num_planes * plan.Mapper.stages)
-        *. folding_period)
-    in
-    let bitstream =
-      Telemetry.span tele "bitstream" (fun () ->
-          Bitstream.generate plan cluster routing)
-    in
-    Telemetry.finish tele;
-    { design_name = Nanomap_rtl.Rtl.name design;
-      prepared;
-      plan;
-      cluster;
-      area_les = cluster.Cluster.les_used;
-      area_smbs = cluster.Cluster.num_smbs;
-      area_um2 = float_of_int cluster.Cluster.num_smbs *. arch.Arch.smb_area;
-      delay_model_ns;
-      placement = Some placement;
-      routing = Some routing;
-      channel_factor;
-      delay_routed_ns;
-      bitstream = Some bitstream;
-      mapping_retries;
-      telemetry = tele }
-  end
+            [ ("step", step);
+              ("detail", detail);
+              ("after", Diag.to_string d) ]
+      in
+      let rec with_degradation ~trail ~step plan cluster mapping_retries ~seed
+          ~caps =
+        match physical_attempt ~seed ~caps plan cluster with
+        | Ok phys ->
+          Ok
+            (report ~plan ~cluster ~mapping_retries
+               ~degradations:(List.rev trail) (Some phys))
+        | Error d ->
+          let give_up () =
+            Error
+              (Diag.add_context d
+                 (match trail with
+                 | [] -> []
+                 | t -> [ ("degradations", String.concat "," (List.rev t)) ]))
+          in
+          (match step with
+          | 0 ->
+            let seed' = seed + 17 in
+            degrade_step "reseed" (string_of_int seed') d;
+            with_degradation ~trail:("reseed" :: trail) ~step:1 plan cluster
+              mapping_retries ~seed:seed' ~caps
+          | 1 ->
+            let caps' = Rr_graph.scale_caps caps 2 in
+            degrade_step "widen" "2x" d;
+            with_degradation ~trail:("widen" :: trail) ~step:2 plan cluster
+              mapping_retries ~seed ~caps:caps'
+          | _ ->
+            let min_level =
+              Fold.min_level ~depth_max:prepared.Mapper.depth_max
+                ~num_planes:prepared.Mapper.num_planes
+                ~num_reconf:arch.Arch.num_reconf
+            in
+            let next_level = plan.Mapper.level - 1 in
+            if next_level < min_level then give_up ()
+            else begin
+              degrade_step "refold" (string_of_int next_level) d;
+              match
+                protect "plan" (fun () ->
+                    let plan' =
+                      Telemetry.span tele "plan" (fun () ->
+                          Mapper.plan_level ~pipelined:(is_pipelined options)
+                            prepared ~arch ~level:next_level)
+                    in
+                    map_and_cluster tele options prepared ~arch plan')
+              with
+              | Ok (plan', cluster', retries') ->
+                with_degradation ~trail:("refold" :: trail) ~step:2 plan'
+                  cluster'
+                  (mapping_retries + retries' + 1)
+                  ~seed ~caps
+              | Error _ -> give_up ()
+            end)
+      in
+      with_degradation ~trail:[] ~step:0 plan cluster mapping_retries
+        ~seed:options.seed ~caps:options.route_caps
+    end
+  in
+  finish_with body
+
+let run ?options ?arch design =
+  match run_result ?options ?arch design with
+  | Ok report -> report
+  | Error d -> raise (Flow_failed (Diag.to_string d))
+
+let validate_report ?(level = Check.Full) ?(defects = Defect.none) r =
+  let arch = r.cluster.Cluster.arch in
+  let* () = Check.techmap level r.prepared in
+  let* () = Check.fds level ~arch r.plan in
+  let* () = Check.cluster level r.plan r.cluster in
+  let* () =
+    match r.placement with
+    | None -> Ok ()
+    | Some pl -> Check.place level ~defects r.cluster pl
+  in
+  let* () =
+    match r.routing with
+    | None -> Ok ()
+    | Some rt -> Check.route level r.cluster rt
+  in
+  match r.bitstream with
+  | None -> Ok ()
+  | Some bs -> Check.bitstream level ~arch bs
 
 let circuit_delay_routed report = report.delay_routed_ns
 
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>design %s:@ level %d, %d stage(s), %d plane(s)@ LEs %d (plan %d), SMBs \
-     %d (%.0f um^2)@ delay (model) %.2f ns%a@ configurations %d@]"
+     %d (%.0f um^2)@ delay (model) %.2f ns%a@ configurations %d%a@]"
     r.design_name r.plan.Mapper.level r.plan.Mapper.stages
     r.prepared.Mapper.num_planes r.area_les r.plan.Mapper.les r.area_smbs
     r.area_um2 r.delay_model_ns
@@ -243,3 +419,8 @@ let pp_report fmt r =
       | Some d -> Format.fprintf fmt "@ delay (routed) %.2f ns" d
       | None -> ())
     r.delay_routed_ns r.plan.Mapper.configs_used
+    (fun fmt -> function
+      | [] -> ()
+      | steps ->
+        Format.fprintf fmt "@ degraded via %s" (String.concat " -> " steps))
+    r.degradations

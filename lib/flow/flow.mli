@@ -8,7 +8,28 @@
       allows, the folding level decreases by one and mapping repeats;
     - {e placement loop}: if the fast placement's routability estimate is
       poor, placement is retried with fresh seeds before the detailed pass
-      (and the detailed router can still widen its channels). *)
+      (and the detailed router can still widen its channels).
+
+    {2 Failure semantics}
+
+    The flow has two entry points with one behavior:
+
+    - {!run_result} never raises on flow problems — every stage failure
+      becomes a typed {!Nanomap_util.Diag.t} carrying the stage, a stable
+      code, and context, and is journaled in the telemetry event stream
+      before being returned as [Error];
+    - {!run} is a thin wrapper that raises {!Flow_failed} with the rendered
+      diagnostic.
+
+    Inter-stage invariant checkers ({!Check}) run between stages at
+    {!options.check_level}. A failed {e physical} stage (placement,
+    routing, bitstream) triggers bounded graceful degradation before the
+    flow gives up: retry with a fresh placement seed, then widen the
+    routing fabric 2x, then lower the folding level while one remains.
+    Every degradation step is journaled (event ["flow.degradation"]) and
+    counted (counter [flow.degradations]); steps taken appear in
+    {!report.degradations} and, on failure, in the diagnostic's
+    ["degradations"] context key. *)
 
 type objective =
   | Delay_min of int option       (** minimize delay, optional LE budget *)
@@ -31,11 +52,20 @@ type options = {
                         (** router variant: [Full] (classic PathFinder) or
                             [Incremental] (A* lookahead + incremental
                             rip-up) *)
+  check_level : Check.level;
+                        (** inter-stage invariant checking: [Off], [Fast]
+                            (default) or [Full] *)
+  defects : Nanomap_arch.Defect.t;
+                        (** known-bad fabric LEs and wire segments that
+                            placement and routing must avoid *)
+  route_caps : Nanomap_route.Rr_graph.caps;
+                        (** base per-channel track counts (the adaptive
+                            router and the degradation policy scale them) *)
 }
 
 val default_options : options
 (** [At_min], physical, seed 1, threshold 8.0, 2 retries, incremental
-    routing. *)
+    routing, [Fast] checks, no defects, default track caps. *)
 
 type report = {
   design_name : string;
@@ -54,6 +84,8 @@ type report = {
                                           folding-clock period *)
   bitstream : Nanomap_bitstream.Bitstream.t option;
   mapping_retries : int;              (** area-loop iterations taken *)
+  degradations : string list;         (** graceful-degradation steps taken,
+                                          in order ([] = clean run) *)
   telemetry : Nanomap_util.Telemetry.run;
                                       (** completed per-stage span tree,
                                           counter deltas, gauges, and the
@@ -62,12 +94,31 @@ type report = {
 
 exception Flow_failed of string
 
+val run_result :
+  ?options:options ->
+  ?arch:Nanomap_arch.Arch.t ->
+  Nanomap_rtl.Rtl.t ->
+  (report, Nanomap_util.Diag.t) result
+(** End-to-end flow on a validated RTL design; [arch] defaults to
+    {!Nanomap_arch.Arch.default} (k = 16). Returns [Error] instead of
+    raising on any flow failure — infeasible mapping, budget overrun,
+    stage-validator rejection, checker violation, unroutable fabric — after
+    exhausting the graceful-degradation policy. The diagnostic is also the
+    last ["diag"] event of {!report.telemetry}'s journal. *)
+
 val run :
   ?options:options -> ?arch:Nanomap_arch.Arch.t -> Nanomap_rtl.Rtl.t -> report
-(** End-to-end flow on a validated RTL design. [arch] defaults to
-    {!Nanomap_arch.Arch.default} (k = 16). Raises {!Flow_failed} (or
-    {!Nanomap_core.Mapper.No_feasible_mapping}) when no folding level
-    satisfies the constraints. *)
+(** [run_result] unwrapped: raises {!Flow_failed} with the rendered
+    diagnostic on [Error]. *)
+
+val validate_report :
+  ?level:Check.level ->
+  ?defects:Nanomap_arch.Defect.t ->
+  report ->
+  (unit, Nanomap_util.Diag.t) result
+(** Re-run every applicable inter-stage checker on a finished report
+    ([Full] by default) — the property tests' oracle that an [Ok] report is
+    internally consistent. *)
 
 val circuit_delay_routed : report -> float option
 (** [num_planes * stages * routed folding period], when routed. *)

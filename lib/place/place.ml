@@ -1,5 +1,7 @@
 module Rng = Nanomap_util.Rng
+module Diag = Nanomap_util.Diag
 module Arch = Nanomap_arch.Arch
+module Defect = Nanomap_arch.Defect
 module Cluster = Nanomap_cluster.Cluster
 module Mapper = Nanomap_core.Mapper
 module Partition = Nanomap_techmap.Partition
@@ -77,13 +79,54 @@ let net_hpwl smb_xy pad_xy net =
 let total_hpwl smb_xy pad_xy nets =
   Array.fold_left (fun acc n -> acc +. net_hpwl smb_xy pad_xy n) 0.0 nets
 
-let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init (cl : Cluster.t) =
-  let rng = Rng.create seed in
+let grid_dims (cl : Cluster.t) =
   let n_smb = max cl.Cluster.num_smbs 1 in
   let width = int_of_float (ceil (sqrt (float_of_int n_smb))) in
   let height = (n_smb + width - 1) / width in
   (* a little slack so relocation moves exist even on a full grid *)
   let height = if width * height = n_smb then height + 1 else height in
+  (width, height)
+
+(* Which (mb, le) positions each SMB actually occupies, from the cluster's
+   LUT and flip-flop slot assignments. An SMB only conflicts with a
+   defective LE if it uses that LE. *)
+let used_les (cl : Cluster.t) =
+  let used = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ (slot : Cluster.slot) ->
+      Hashtbl.replace used (slot.Cluster.smb, slot.Cluster.mb, slot.Cluster.le) ())
+    cl.Cluster.lut_slots;
+  Hashtbl.iter
+    (fun _ ((slot : Cluster.slot), _) ->
+      Hashtbl.replace used (slot.Cluster.smb, slot.Cluster.mb, slot.Cluster.le) ())
+    cl.Cluster.ff_slots;
+  used
+
+(* illegal.(s * nsites + site) = placing SMB s on site would put one of its
+   occupied LEs on a defective fabric LE. *)
+let illegal_sites (defects : Defect.t) (cl : Cluster.t) ~n_smb ~width ~height =
+  if Defect.is_none defects then None
+  else begin
+    let nsites = width * height in
+    let arr = Array.make (n_smb * nsites) false in
+    let used = used_les cl in
+    List.iter
+      (fun (x, y, mb, le) ->
+        if x >= 0 && x < width && y >= 0 && y < height then begin
+          let site = (y * width) + x in
+          for s = 0 to n_smb - 1 do
+            if Hashtbl.mem used (s, mb, le) then arr.((s * nsites) + site) <- true
+          done
+        end)
+      defects.Defect.les;
+    Some arr
+  end
+
+let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init
+    ?(defects = Defect.none) (cl : Cluster.t) =
+  let rng = Rng.create seed in
+  let n_smb = max cl.Cluster.num_smbs 1 in
+  let width, height = grid_dims cl in
   let perim = perimeter_positions width height in
   let n_pads = List.length cl.Cluster.pads in
   let pad_xy =
@@ -91,22 +134,51 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init (cl : Cluster.
         perim.(i * Array.length perim / max n_pads 1 mod Array.length perim))
   in
   let nets = flatten_nets ~joint cl in
+  let nsites = width * height in
+  let illegal = illegal_sites defects cl ~n_smb ~width ~height in
+  let legal s site =
+    match illegal with
+    | None -> true
+    | Some arr -> not arr.((s * nsites) + site)
+  in
   (* site occupancy *)
-  let site_of = Array.make (width * height) (-1) in
+  let site_of = Array.make nsites (-1) in
   let smb_xy = Array.make n_smb (0, 0) in
-  for s = 0 to n_smb - 1 do
-    let x = s mod width and y = s / width in
-    smb_xy.(s) <- (x, y);
-    site_of.((y * width) + x) <- s
-  done;
+  (match illegal with
+   | None ->
+     for s = 0 to n_smb - 1 do
+       let x = s mod width and y = s / width in
+       smb_xy.(s) <- (x, y);
+       site_of.((y * width) + x) <- s
+     done
+   | Some _ ->
+     (* first free site the SMB's occupied LEs are all healthy on *)
+     for s = 0 to n_smb - 1 do
+       let rec find site =
+         if site >= nsites then
+           Diag.fail ~stage:"place" ~code:"defect-unplaceable"
+             ~context:[ ("smb", string_of_int s) ]
+             "no defect-free site remains for SMB"
+         else if site_of.(site) = -1 && legal s site then site
+         else find (site + 1)
+       in
+       let site = find 0 in
+       smb_xy.(s) <- (site mod width, site / width);
+       site_of.(site) <- s
+     done);
   (* seed from a previous placement of the same cluster (two-phase flow:
      the detailed pass refines the accepted fast placement instead of
      re-deriving the global structure from scratch) *)
   let seeded =
     match init with
     | Some p
-      when p.width = width && p.height = height && Array.length p.smb_xy = n_smb ->
-      Array.fill site_of 0 (width * height) (-1);
+      when p.width = width && p.height = height && Array.length p.smb_xy = n_smb
+           && Array.for_all
+                (fun s ->
+                  let x, y = p.smb_xy.(s) in
+                  legal s ((y * width) + x))
+                (Array.init n_smb Fun.id) ->
+      Array.fill site_of 0 nsites (-1);
       Array.blit p.smb_xy 0 smb_xy 0 n_smb;
       Array.iteri (fun s (x, y) -> site_of.((y * width) + x) <- s) smb_xy;
       true
@@ -139,6 +211,12 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init (cl : Cluster.
     else begin
       let target_site = (ty * width) + tx in
       let occupant = site_of.(target_site) in
+      let source_site = (ay * width) + ax in
+      if
+        (not (legal a target_site))
+        || (occupant >= 0 && not (legal occupant source_site))
+      then 0.0
+      else begin
       let nets_touched =
         affected a (if occupant >= 0 then Some occupant else None)
       in
@@ -170,6 +248,7 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init (cl : Cluster.
         if occupant >= 0 then smb_xy.(occupant) <- (tx, ty)
       end;
       delta
+      end
     end
   in
   if Array.length nets > 0 && n_smb > 1 then begin
@@ -348,17 +427,31 @@ let timing_estimate t (cl : Cluster.t) (plan : Mapper.plan) =
 
 let validate t (cl : Cluster.t) =
   let seen = Hashtbl.create 64 in
+  let xy_ctx s x y =
+    [ ("smb", string_of_int s); ("x", string_of_int x); ("y", string_of_int y) ]
+  in
   Array.iteri
     (fun s (x, y) ->
       if x < 0 || x >= t.width || y < 0 || y >= t.height then
-        failwith "Place: SMB off grid";
-      if Hashtbl.mem seen (x, y) then failwith "Place: two SMBs on one site";
-      Hashtbl.replace seen (x, y) ();
-      ignore s)
+        Diag.fail ~stage:"place" ~code:"off-grid" ~context:(xy_ctx s x y)
+          "SMB placed off the grid";
+      (match Hashtbl.find_opt seen (x, y) with
+      | Some other ->
+        Diag.fail ~stage:"place" ~code:"site-conflict"
+          ~context:(("other_smb", string_of_int other) :: xy_ctx s x y)
+          "two SMBs on one site"
+      | None -> ());
+      Hashtbl.replace seen (x, y) s)
     t.smb_xy;
-  Array.iter
-    (fun (x, y) ->
+  Array.iteri
+    (fun p (x, y) ->
       let on_perimeter = x = -1 || y = -1 || x = t.width || y = t.height in
-      if not on_perimeter then failwith "Place: pad not on perimeter")
+      if not on_perimeter then
+        Diag.fail ~stage:"place" ~code:"pad-perimeter"
+          ~context:
+            [ ("pad", string_of_int p);
+              ("x", string_of_int x);
+              ("y", string_of_int y) ]
+          "pad not on the perimeter ring")
     t.pad_xy;
   ignore cl

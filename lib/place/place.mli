@@ -25,11 +25,17 @@ type t = {
   moves_accepted : int;
 }
 
+val grid_dims : Nanomap_cluster.Cluster.t -> int * int
+(** [(width, height)] of the SMB grid {!place} will use for this cluster
+    (square-ish, with one slack row so relocation moves always exist).
+    Exposed so defect maps can be generated in fabric coordinates. *)
+
 val place :
   ?seed:int ->
   ?effort:[ `Fast | `Detailed ] ->
   ?joint:bool ->
   ?init:t ->
+  ?defects:Nanomap_arch.Defect.t ->
   Nanomap_cluster.Cluster.t ->
   t
 (** [joint] defaults to [true]. Deterministic in [seed] (default 1).
@@ -37,7 +43,12 @@ val place :
     cluster and switches to a low-temperature refinement schedule, so the
     detailed pass improves on the accepted fast placement instead of
     re-deriving the global structure; an [init] of mismatched dimensions is
-    ignored. *)
+    ignored. [defects] (default {!Nanomap_arch.Defect.none}) lists known-bad
+    fabric LEs: an SMB whose cluster assignment occupies a defective
+    [(mb, le)] is never placed on that site — the initial assignment routes
+    around them, annealing moves that would land on one are rejected, and an
+    [init] that violates the map is discarded. Raises [Diag.Fail] (code
+    ["defect-unplaceable"]) if no defect-free site remains for some SMB. *)
 
 val hpwl : t -> Nanomap_cluster.Cluster.t -> float
 (** Joint HPWL of a placement (recomputed from scratch; used by tests and
@@ -60,4 +71,5 @@ val timing_estimate :
 
 val validate : t -> Nanomap_cluster.Cluster.t -> unit
 (** No two SMBs on one site, all coordinates on the grid, pads on the
-    perimeter. Raises [Failure]. *)
+    perimeter. Raises [Nanomap_util.Diag.Fail] (stage ["place"], codes
+    ["off-grid"], ["site-conflict"], ["pad-perimeter"]). *)

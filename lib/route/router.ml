@@ -1,4 +1,6 @@
 module Arch = Nanomap_arch.Arch
+module Defect = Nanomap_arch.Defect
+module Diag = Nanomap_util.Diag
 module Cluster = Nanomap_cluster.Cluster
 module Place = Nanomap_place.Place
 module Mapper = Nanomap_core.Mapper
@@ -88,10 +90,15 @@ let group_by_slot nets =
   Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) by_slot []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12)
-    ?(alg = Incremental) (pl : Place.t) (cl : Cluster.t) (plan : Mapper.plan) =
+let ep_string = function
+  | Cluster.At_smb s -> "smb:" ^ string_of_int s
+  | Cluster.At_pad p -> "pad:" ^ string_of_int p
+
+let route ?(caps = Rr_graph.default_caps) ?(defects = Defect.none)
+    ?(max_iterations = 12) ?(alg = Incremental) (pl : Place.t) (cl : Cluster.t)
+    (plan : Mapper.plan) =
   let arch = cl.Cluster.arch in
-  let g = Rr_graph.build ~caps ~arch pl in
+  let g = Rr_graph.build ~caps ~defects ~arch pl in
   let n = g.Rr_graph.num_nodes in
   let astar = alg = Incremental in
   let node_of_src = function
@@ -170,7 +177,14 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12)
             let found = ref false in
             while not !found do
               match Min_heap.pop heap with
-              | None -> failwith "Router: unreachable sink"
+              | None ->
+                Diag.fail ~stage:"route" ~code:"unreachable-sink"
+                  ~context:
+                    [ ("plane", string_of_int net.Cluster.plane);
+                      ("cycle", string_of_int net.Cluster.cycle);
+                      ("driver", ep_string net.Cluster.driver);
+                      ("sink", ep_string sink_ep) ]
+                  "no path to sink exists in the routing graph"
               | Some (f, u) ->
                 Telemetry.incr c_heap_pops;
                 let du = Scratch.dist scratch u in
@@ -405,15 +419,28 @@ let route ?(caps = Rr_graph.default_caps) ?(max_iterations = 12)
 
 let validate r =
   let g = r.graph in
-  (* per-timeslot single use of each wire node *)
+  (* per-timeslot single use of each wire node; never a defective node *)
   let used = Hashtbl.create 256 in
   List.iter
     (fun rn ->
       let slot = (rn.net.Cluster.plane, rn.net.Cluster.cycle) in
       List.iter
         (fun nd ->
+          if g.Rr_graph.defective.(nd) then
+            Diag.fail ~stage:"route" ~code:"defective-track"
+              ~context:
+                [ ("node", string_of_int nd);
+                  ("kind", match g.Rr_graph.kind.(nd) with
+                           | Rr_graph.Wire wk -> Rr_graph.wire_kind_name wk
+                           | _ -> "non-wire") ]
+              "routed net uses a wire marked defective";
           if Hashtbl.mem used (slot, nd) then
-            failwith "Router: wire node shared within a timeslot";
+            Diag.fail ~stage:"route" ~code:"wire-shared"
+              ~context:
+                [ ("node", string_of_int nd);
+                  ("plane", string_of_int rn.net.Cluster.plane);
+                  ("cycle", string_of_int rn.net.Cluster.cycle) ]
+              "wire node shared by two nets within one timeslot";
           Hashtbl.replace used (slot, nd) ())
         rn.tree)
     r.routed;
@@ -447,14 +474,22 @@ let validate r =
       visit src;
       List.iter
         (fun snk ->
-          if not (Hashtbl.mem reached snk) then failwith "Router: sink not reached")
+          if not (Hashtbl.mem reached snk) then
+            Diag.fail ~stage:"route" ~code:"sink-unreached"
+              ~context:
+                [ ("plane", string_of_int rn.net.Cluster.plane);
+                  ("cycle", string_of_int rn.net.Cluster.cycle);
+                  ("driver", ep_string rn.net.Cluster.driver) ]
+              "sink not reached through the net's routed tree")
         sinks)
     r.routed
 
-let route_adaptive ?(caps = Rr_graph.default_caps) ?(max_doublings = 4)
-    ?(alg = Incremental) pl cl plan =
+let route_adaptive ?(caps = Rr_graph.default_caps) ?(defects = Defect.none)
+    ?(max_doublings = 4) ?(alg = Incremental) pl cl plan =
   let rec attempt factor =
-    let result = route ~caps:(Rr_graph.scale_caps caps factor) ~alg pl cl plan in
+    let result =
+      route ~caps:(Rr_graph.scale_caps caps factor) ~defects ~alg pl cl plan
+    in
     if result.success || factor >= 1 lsl max_doublings then (result, factor)
     else attempt (2 * factor)
   in

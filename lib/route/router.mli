@@ -57,6 +57,7 @@ type result = {
 
 val route :
   ?caps:Rr_graph.caps ->
+  ?defects:Nanomap_arch.Defect.t ->
   ?max_iterations:int ->
   ?alg:algorithm ->
   Nanomap_place.Place.t ->
@@ -64,10 +65,15 @@ val route :
   Nanomap_core.Mapper.plan ->
   result
 (** Deterministic. [max_iterations] defaults to 12, [alg] to
-    {!Incremental}. *)
+    {!Incremental}. [defects] (default {!Nanomap_arch.Defect.none}) removes
+    the named wire segments from the routing graph before any search, so
+    routes avoid them by construction. Raises [Nanomap_util.Diag.Fail]
+    (stage ["route"], code ["unreachable-sink"]) if some sink has no path at
+    all — e.g. the fabric is too damaged or the track caps are zero. *)
 
 val route_adaptive :
   ?caps:Rr_graph.caps ->
+  ?defects:Nanomap_arch.Defect.t ->
   ?max_doublings:int ->
   ?alg:algorithm ->
   Nanomap_place.Place.t ->
@@ -80,8 +86,10 @@ val route_adaptive :
 
 val validate : result -> unit
 (** Every net's tree connects its driver to every sink through existing
-    edges, and no wire node is used by two nets of the same timeslot.
-    Raises [Failure]. *)
+    edges, no wire node is used by two nets of the same timeslot, and no
+    routed tree touches a node the defect map marked bad. Raises
+    [Nanomap_util.Diag.Fail] (stage ["route"], codes ["wire-shared"],
+    ["sink-unreached"], ["defective-track"]). *)
 
 (** {1 Internals exposed for the test harness} *)
 

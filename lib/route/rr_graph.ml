@@ -1,4 +1,5 @@
 module Arch = Nanomap_arch.Arch
+module Defect = Nanomap_arch.Defect
 module Place = Nanomap_place.Place
 
 type wire_kind =
@@ -13,6 +14,12 @@ type node_kind =
   | Pad_src of int
   | Pad_sink of int
   | Wire of wire_kind
+
+let wire_kind_name = function
+  | Direct -> "direct"
+  | Len1 -> "len1"
+  | Len4 -> "len4"
+  | Global -> "global"
 
 type caps = {
   direct_tracks : int;
@@ -40,6 +47,7 @@ type t = {
   sink_of_smb : int array;
   src_of_pad : int array;
   sink_of_pad : int array;
+  defective : bool array;
   lookahead_cache : (int, float array) Hashtbl.t;
 }
 
@@ -52,10 +60,19 @@ let reverse_adjacency adj =
   Array.iteri (fun u vs -> List.iter (fun v -> radj.(v) <- u :: radj.(v)) vs) adj;
   radj
 
-let make ~kind ~delay ~adj ~src_of_smb ~sink_of_smb ~src_of_pad ~sink_of_pad =
+let make ?defective ~kind ~delay ~adj ~src_of_smb ~sink_of_smb ~src_of_pad
+    ~sink_of_pad () =
   let num_nodes = Array.length kind in
   if Array.length delay <> num_nodes || Array.length adj <> num_nodes then
     invalid_arg "Rr_graph.make: kind/delay/adj length mismatch";
+  let defective =
+    match defective with
+    | None -> Array.make num_nodes false
+    | Some d ->
+      if Array.length d <> num_nodes then
+        invalid_arg "Rr_graph.make: defective length mismatch";
+      d
+  in
   Array.iter
     (List.iter (fun v ->
          if v < 0 || v >= num_nodes then
@@ -70,6 +87,7 @@ let make ~kind ~delay ~adj ~src_of_smb ~sink_of_smb ~src_of_pad ~sink_of_pad =
     sink_of_smb;
     src_of_pad;
     sink_of_pad;
+    defective;
     lookahead_cache = Hashtbl.create 32 }
 
 (* Exact distance-to-sink lower bounds: a backward Dijkstra from [sink]
@@ -121,7 +139,7 @@ let new_node b kind delay =
 
 let edge b u v = b.edges <- (u, v) :: b.edges
 
-let build ?(caps = default_caps) ~arch (pl : Place.t) =
+let build ?(caps = default_caps) ?(defects = Defect.none) ~arch (pl : Place.t) =
   let w = pl.Place.width and h = pl.Place.height in
   let b = { kinds = Nanomap_util.Vec.create (); delays = Nanomap_util.Vec.create (); edges = [] } in
   let n_smb = Array.length pl.Place.smb_xy in
@@ -309,12 +327,36 @@ let build ?(caps = default_caps) ~arch (pl : Place.t) =
       | None -> ())
     pl.Place.pad_xy;
   let num_nodes = Nanomap_util.Vec.length b.kinds in
+  let kind = Nanomap_util.Vec.to_array b.kinds in
+  (* Known-bad wire segments: defects name them (kind, ordinal), where the
+     ordinal counts nodes of that wire kind in this deterministic
+     construction order. Mark them, then drop every edge touching one, so
+     the router simply never sees a defective track. *)
+  let defective = Array.make num_nodes false in
+  if defects.Defect.tracks <> [] then begin
+    let want = Hashtbl.create 16 in
+    List.iter (fun (k, o) -> Hashtbl.replace want (k, o) ()) defects.Defect.tracks;
+    let counters = Hashtbl.create 4 in
+    Array.iteri
+      (fun id k ->
+        match k with
+        | Wire wk ->
+          let name = wire_kind_name wk in
+          let ord = Option.value ~default:0 (Hashtbl.find_opt counters name) in
+          Hashtbl.replace counters name (ord + 1);
+          if Hashtbl.mem want (name, ord) then defective.(id) <- true
+        | _ -> ())
+      kind
+  end;
+  let edges =
+    if defects.Defect.tracks = [] then b.edges
+    else List.filter (fun (u, v) -> not (defective.(u) || defective.(v))) b.edges
+  in
   let adj = Array.make num_nodes [] in
-  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) b.edges;
-  make
-    ~kind:(Nanomap_util.Vec.to_array b.kinds)
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
+  make ~defective ~kind
     ~delay:(Nanomap_util.Vec.to_array b.delays)
-    ~adj ~src_of_smb ~sink_of_smb ~src_of_pad ~sink_of_pad
+    ~adj ~src_of_smb ~sink_of_smb ~src_of_pad ~sink_of_pad ()
 
 let stats t =
   let count pred = Array.fold_left (fun acc k -> if pred k then acc + 1 else acc) 0 t.kind in

@@ -21,6 +21,10 @@ type node_kind =
   | Pad_sink of int
   | Wire of wire_kind
 
+val wire_kind_name : wire_kind -> string
+(** ["direct"], ["len1"], ["len4"] or ["global"] — the names used by defect
+    maps ({!Nanomap_arch.Defect}). *)
+
 type caps = {
   direct_tracks : int;      (** parallel direct wires per adjacent SMB pair *)
   len1_tracks : int;        (** per channel position and direction *)
@@ -43,16 +47,28 @@ type t = {
   sink_of_smb : int array;
   src_of_pad : int array;
   sink_of_pad : int array;
+  defective : bool array;   (** known-bad nodes from the defect map; they
+                                keep their ids but have no edges *)
   lookahead_cache : (int, float array) Hashtbl.t;
                             (** sink node -> per-node lower bounds; filled
                                 lazily by {!lookahead} *)
 }
 
 val build :
-  ?caps:caps -> arch:Nanomap_arch.Arch.t -> Nanomap_place.Place.t -> t
-(** Builds the graph for the placement's grid and pad ring. *)
+  ?caps:caps ->
+  ?defects:Nanomap_arch.Defect.t ->
+  arch:Nanomap_arch.Arch.t ->
+  Nanomap_place.Place.t ->
+  t
+(** Builds the graph for the placement's grid and pad ring. [defects]
+    (default {!Nanomap_arch.Defect.none}) names broken wire segments as
+    [(kind, ordinal)] pairs, the ordinal counting nodes of that wire kind in
+    the deterministic construction order; defective nodes are marked in
+    {!field-defective} and every edge touching one is dropped, so routing
+    transparently avoids them. *)
 
 val make :
+  ?defective:bool array ->
   kind:node_kind array ->
   delay:float array ->
   adj:int list array ->
@@ -60,6 +76,7 @@ val make :
   sink_of_smb:int array ->
   src_of_pad:int array ->
   sink_of_pad:int array ->
+  unit ->
   t
 (** Assemble a graph from explicit arrays — the reverse adjacency and an
     empty lookahead cache are derived. Used by {!build} and by tests that

@@ -1,0 +1,62 @@
+type severity = Warning | Error | Fatal
+
+type t = {
+  stage : string;
+  severity : severity;
+  code : string;
+  message : string;
+  context : (string * string) list;
+}
+
+exception Fail of t
+
+let make ~stage ?(severity = Error) ~code ?(context = []) message =
+  { stage; severity; code; message; context }
+
+let fail ~stage ?severity ~code ?context message =
+  raise (Fail (make ~stage ?severity ~code ?context message))
+
+let add_context t kvs = { t with context = t.context @ kvs }
+
+let severity_string = function
+  | Warning -> "warning"
+  | Error -> "error"
+  | Fatal -> "fatal"
+
+let to_string t =
+  let b = Buffer.create 80 in
+  Buffer.add_string b (severity_string t.severity);
+  Buffer.add_char b '[';
+  Buffer.add_string b t.stage;
+  Buffer.add_char b '/';
+  Buffer.add_string b t.code;
+  Buffer.add_string b "] ";
+  Buffer.add_string b t.message;
+  (match t.context with
+  | [] -> ()
+  | kvs ->
+      Buffer.add_string b " (";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b "; ";
+          Buffer.add_string b k;
+          Buffer.add_char b '=';
+          Buffer.add_string b v)
+        kvs;
+      Buffer.add_char b ')');
+  Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let event_data t =
+  ("stage", t.stage)
+  :: ("severity", severity_string t.severity)
+  :: ("code", t.code)
+  :: ("message", t.message)
+  :: t.context
+
+let of_exn ~stage = function
+  | Fail d -> Some d
+  | Failure msg -> Some (make ~stage ~code:"uncaught-failure" msg)
+  | Invalid_argument msg -> Some (make ~stage ~code:"invalid-argument" msg)
+  | _ -> None

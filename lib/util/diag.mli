@@ -1,0 +1,70 @@
+(** Structured flow diagnostics.
+
+    Every failure on the flow path is a typed value: which {e stage} of the
+    Fig. 2 pipeline detected it, how bad it is, a stable machine-readable
+    [code], a human message, and free-form context key/values (the net, the
+    slot, the budget that was exceeded, ...). Stages raise {!Fail} instead
+    of [failwith]; the flow driver catches it, journals the diagnostic into
+    the telemetry event stream and either degrades gracefully or returns it
+    as the [Error] of [Flow.run_result]. *)
+
+type severity =
+  | Warning  (** recoverable; the flow can degrade and continue *)
+  | Error    (** the artifact is illegal; the stage result is unusable *)
+  | Fatal    (** no recovery policy applies *)
+
+type t = {
+  stage : string;                  (** pipeline stage that detected it
+                                       ("techmap", "fds", "cluster",
+                                       "place", "route", "bitstream", ...) *)
+  severity : severity;
+  code : string;                   (** stable kebab-case identifier, e.g.
+                                       ["le-double-booked"] *)
+  message : string;
+  context : (string * string) list;
+}
+
+exception Fail of t
+
+val make :
+  stage:string ->
+  ?severity:severity ->
+  code:string ->
+  ?context:(string * string) list ->
+  string ->
+  t
+(** [make ~stage ~code msg] builds a diagnostic; [severity] defaults to
+    {!Error}, [context] to []. *)
+
+val fail :
+  stage:string ->
+  ?severity:severity ->
+  code:string ->
+  ?context:(string * string) list ->
+  string ->
+  'a
+(** [fail ~stage ~code msg] raises {!Fail}. *)
+
+val add_context : t -> (string * string) list -> t
+(** Append key/values to the context (later entries win on render order;
+    existing entries are kept). *)
+
+val severity_string : severity -> string
+(** ["warning"], ["error"] or ["fatal"]. *)
+
+val to_string : t -> string
+(** One line: [severity[stage/code] message (k=v; k2=v2)] — what the CLI
+    prints on flow failure. *)
+
+val pp : Format.formatter -> t -> unit
+
+val event_data : t -> (string * string) list
+(** The diagnostic flattened to telemetry-event key/values: [stage],
+    [severity], [code], [message], then the context pairs. *)
+
+val of_exn : stage:string -> exn -> t option
+(** Adopt an exception raised inside a stage: {!Fail} passes through
+    (keeping its own stage), [Failure]/[Invalid_argument] become
+    ["uncaught-failure"]/["invalid-argument"] diagnostics at [stage].
+    [None] for exceptions that should keep propagating (e.g.
+    [Out_of_memory], [Stack_overflow]). *)

@@ -55,6 +55,76 @@ let test_parse_errors () =
   check Alcotest.bool "mixed cover" true
     (bad ".model m\n.names a b x\n11 1\n00 0\n.end\n")
 
+(* Errors must carry the (1-based) line number and quote the offending
+   token or signal. *)
+let test_parse_error_details () =
+  let expect_err fragment pred label =
+    match Blif.parse_string fragment with
+    | exception Blif.Parse_error (line, msg) ->
+      check Alcotest.bool (label ^ ": " ^ msg) true (pred line msg)
+    | _ -> Alcotest.failf "%s: parse unexpectedly succeeded" label
+  in
+  let contains msg sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  expect_err ".model m\n.inputs a\n.names a x\n2 1\n.end\n"
+    (fun line msg -> line = 4 && contains msg "'2'")
+    "bad cube token";
+  expect_err ".model m\n.inputs a\n.names a x\n1 maybe\n.end\n"
+    (fun line msg -> line = 4 && contains msg "'maybe'")
+    "bad cube value token";
+  expect_err ".model m\n.frobnicate a\n.end\n"
+    (fun line msg -> line = 2 && contains msg ".frobnicate")
+    "unknown directive named"
+
+let test_parse_duplicate_output () =
+  let expect_err fragment label =
+    match Blif.parse_string fragment with
+    | exception Blif.Parse_error (_, msg) ->
+      check Alcotest.bool label true
+        (String.length msg > 0
+         &&
+         let rec has i =
+           i + 1 <= String.length msg && (msg.[i] = '\'' || has (i + 1))
+         in
+         has 0)
+    | _ -> Alcotest.failf "%s: parse unexpectedly succeeded" label
+  in
+  (* two .names driving the same signal *)
+  expect_err ".model m\n.inputs a b\n.outputs x\n.names a x\n1 1\n.names b x\n1 1\n.end\n"
+    "duplicate .names output";
+  (* .names output colliding with a latch output *)
+  expect_err ".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.names a q\n1 1\n.end\n"
+    "names vs latch output";
+  (* .names output colliding with a model input *)
+  expect_err ".model m\n.inputs a\n.outputs a\n.names a a\n1 1\n.end\n"
+    "names vs model input"
+
+let test_parse_dangling_latch () =
+  (match
+     Blif.parse_string
+       ".model m\n.inputs a\n.outputs q\n.latch ghost q re clk 0\n.end\n"
+   with
+  | exception Blif.Parse_error (line, msg) ->
+    check Alcotest.int "latch line" 4 line;
+    check Alcotest.bool "names the signal" true
+      (let n = String.length msg in
+       let sub = "'ghost'" in
+       let m = String.length sub in
+       let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+       go 0)
+  | _ -> Alcotest.fail "dangling latch input accepted");
+  (* a latch fed by a later .names is fine (order-independent) *)
+  let m =
+    Blif.parse_string
+      ".model m\n.inputs a\n.outputs q\n.latch n q re clk 0\n.names a n\n1 1\n.end\n"
+  in
+  check Alcotest.int "forward-referenced latch ok" 1 (List.length m.Blif.latches)
+
 let test_cover_semantics () =
   let node =
     { Blif.inputs = [ "a"; "b" ];
@@ -139,7 +209,10 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_parse_basic;
           Alcotest.test_case "continuation" `Quick test_parse_continuation;
           Alcotest.test_case "comments" `Quick test_parse_comments;
-          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error details" `Quick test_parse_error_details;
+          Alcotest.test_case "duplicate output" `Quick test_parse_duplicate_output;
+          Alcotest.test_case "dangling latch" `Quick test_parse_dangling_latch ] );
       ( "cover",
         [ Alcotest.test_case "on-set" `Quick test_cover_semantics;
           Alcotest.test_case "off-set" `Quick test_cover_offset ] );

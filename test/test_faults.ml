@@ -1,0 +1,177 @@
+(* Fault-injection test-bench: every injector in Nanomap_flow.Fault must be
+   caught by exactly the checker (and diagnostic code) it claims to target,
+   and a fabric with a defect map must still produce a legal mapping that
+   routes around the bad resources. *)
+
+module Arch = Nanomap_arch.Arch
+module Defect = Nanomap_arch.Defect
+module Diag = Nanomap_util.Diag
+module Flow = Nanomap_flow.Flow
+module Check = Nanomap_flow.Check
+module Fault = Nanomap_flow.Fault
+module Place = Nanomap_place.Place
+module Router = Nanomap_route.Router
+module Rr_graph = Nanomap_route.Rr_graph
+module Cluster = Nanomap_cluster.Cluster
+module Circuits = Nanomap_circuits.Circuits
+
+let check = Alcotest.check
+let arch = Arch.unbounded_k
+
+(* One clean physical run shared by all injection tests. Checks stay off so
+   the baseline artifacts reach the tests unmodified. *)
+let baseline =
+  lazy
+    (let options = { Flow.default_options with Flow.check_level = Check.Off } in
+     let design = (Circuits.ex1_small ()).Circuits.design in
+     Flow.run ~options ~arch design)
+
+let placement r = Option.get r.Flow.placement
+let routing r = Option.get r.Flow.routing
+let bitstream r = Option.get r.Flow.bitstream
+
+(* Assert a checker result is the intended diagnostic, no other. *)
+let expect_diag label ~stage ~code = function
+  | Ok () -> Alcotest.failf "%s: checker accepted the faulted artifact" label
+  | Error (d : Diag.t) ->
+    check Alcotest.string (label ^ " stage") stage d.Diag.stage;
+    check Alcotest.string (label ^ " code") code d.Diag.code
+
+let test_drop_net () =
+  let r = Lazy.force baseline in
+  let faulted = Fault.drop_net (routing r) in
+  check Alcotest.int "one net fewer"
+    (List.length (routing r).Router.routed - 1)
+    (List.length faulted.Router.routed);
+  expect_diag "drop_net" ~stage:"route" ~code:"net-missing"
+    (Check.route Check.Full r.Flow.cluster faulted);
+  (* completeness is a Full-level check: Fast must not pay for it *)
+  (match Check.route Check.Fast r.Flow.cluster faulted with
+   | Ok () -> ()
+   | Error d -> Alcotest.failf "fast level ran completeness: %s" (Diag.to_string d))
+
+let test_overfill_cluster () =
+  let r = Lazy.force baseline in
+  let faulted = Fault.overfill_cluster r.Flow.plan r.Flow.cluster in
+  check Alcotest.bool "fault applied" true (faulted != r.Flow.cluster);
+  expect_diag "overfill" ~stage:"cluster" ~code:"le-double-booked"
+    (Check.cluster Check.Fast r.Flow.plan faulted)
+
+let test_double_book_slot () =
+  let r = Lazy.force baseline in
+  let faulted = Fault.double_book_slot (placement r) in
+  expect_diag "double-book" ~stage:"place" ~code:"site-conflict"
+    (Check.place Check.Fast r.Flow.cluster faulted)
+
+let test_defective_le () =
+  let r = Lazy.force baseline in
+  let defects = Fault.mark_used_le_defective r.Flow.cluster (placement r) in
+  check Alcotest.int "one defective LE" 1 (Defect.count defects);
+  expect_diag "defective-le" ~stage:"place" ~code:"defective-le"
+    (Check.place Check.Fast ~defects r.Flow.cluster (placement r));
+  (* the clean placement against an empty defect map still passes *)
+  (match Check.place Check.Fast r.Flow.cluster (placement r) with
+   | Ok () -> ()
+   | Error d -> Alcotest.failf "clean placement rejected: %s" (Diag.to_string d))
+
+let test_defective_track () =
+  let r = Lazy.force baseline in
+  let rt = routing r in
+  let nd = Fault.mark_used_track_defective rt in
+  check Alcotest.bool "marked a wire node" true (nd >= 0);
+  Fun.protect
+    ~finally:(fun () -> rt.Router.graph.Rr_graph.defective.(nd) <- false)
+    (fun () ->
+      expect_diag "defective-track" ~stage:"route" ~code:"defective-track"
+        (Check.route Check.Fast r.Flow.cluster rt))
+
+let test_corrupt_bitstream () =
+  let r = Lazy.force baseline in
+  let faulted = Fault.corrupt_bitstream (bitstream r) in
+  expect_diag "corrupt" ~stage:"bitstream" ~code:"corrupt"
+    (Check.bitstream Check.Full ~arch faulted);
+  (* parse round-trip is a Full-level check *)
+  (match Check.bitstream Check.Fast ~arch faulted with
+   | Ok () -> ()
+   | Error d -> Alcotest.failf "fast level parsed the bitmap: %s" (Diag.to_string d))
+
+(* A clean report passes every checker the injectors just defeated. *)
+let test_clean_report_validates () =
+  let r = Lazy.force baseline in
+  match Flow.validate_report ~level:Check.Full r with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "clean report rejected: %s" (Diag.to_string d)
+
+(* End-to-end graceful degradation: 5% of the fabric's LEs are defective;
+   the flow must still complete with a placement that avoids every bad LE
+   and a routing that is legal on the thinned graph. *)
+let test_defective_fabric_end_to_end () =
+  let base = Lazy.force baseline in
+  let width, height = Place.grid_dims base.Flow.cluster in
+  let defects = Defect.random_les ~seed:7 ~fraction:0.05 ~width ~height arch in
+  check Alcotest.bool "some defects drawn" true (Defect.count defects > 0);
+  let options =
+    { Flow.default_options with
+      Flow.check_level = Check.Full;
+      defects }
+  in
+  let design = (Circuits.ex1_small ()).Circuits.design in
+  match Flow.run_result ~options ~arch design with
+  | Error d -> Alcotest.failf "defective fabric failed: %s" (Diag.to_string d)
+  | Ok r ->
+    let pl = placement r in
+    (* no used LE sits on a defective site *)
+    (match Check.place Check.Full ~defects r.Flow.cluster pl with
+     | Ok () -> ()
+     | Error d -> Alcotest.failf "placement on defect: %s" (Diag.to_string d));
+    let rt = routing r in
+    check Alcotest.bool "routing legal" true rt.Router.success;
+    Router.validate rt;
+    (* the independent oracle agrees end to end *)
+    (match Flow.validate_report ~defects r with
+     | Ok () -> ()
+     | Error d -> Alcotest.failf "report oracle: %s" (Diag.to_string d))
+
+(* Defective tracks: knock out a handful of interconnect wires and make
+   sure the router worked around them (none appear in any routed tree). *)
+let test_defective_tracks_end_to_end () =
+  let defects =
+    { Defect.none with
+      Defect.tracks =
+        [ ("len1", 0); ("len1", 3); ("len4", 1); ("direct", 2); ("global", 0) ] }
+  in
+  let options = { Flow.default_options with Flow.defects } in
+  let design = (Circuits.ex1_small ()).Circuits.design in
+  match Flow.run_result ~options ~arch design with
+  | Error d -> Alcotest.failf "defective tracks failed: %s" (Diag.to_string d)
+  | Ok r ->
+    let rt = routing r in
+    let g = rt.Router.graph in
+    let hit = ref 0 in
+    Array.iteri (fun _ d -> if d then incr hit) g.Rr_graph.defective;
+    check Alcotest.bool "graph carries defect marks" true (!hit > 0);
+    List.iter
+      (fun (rn : Router.routed_net) ->
+        List.iter
+          (fun nd ->
+            if g.Rr_graph.defective.(nd) then
+              Alcotest.failf "net routed through defective node %d" nd)
+          rn.Router.tree)
+      rt.Router.routed
+
+let () =
+  Alcotest.run "faults"
+    [ ( "injectors",
+        [ Alcotest.test_case "drop net" `Quick test_drop_net;
+          Alcotest.test_case "overfill cluster" `Quick test_overfill_cluster;
+          Alcotest.test_case "double-book slot" `Quick test_double_book_slot;
+          Alcotest.test_case "defective LE" `Quick test_defective_le;
+          Alcotest.test_case "defective track" `Quick test_defective_track;
+          Alcotest.test_case "corrupt bitstream" `Quick test_corrupt_bitstream ] );
+      ( "degradation",
+        [ Alcotest.test_case "clean report validates" `Quick
+            test_clean_report_validates;
+          Alcotest.test_case "5% defective LEs" `Quick
+            test_defective_fabric_end_to_end;
+          Alcotest.test_case "defective tracks" `Quick
+            test_defective_tracks_end_to_end ] ) ]

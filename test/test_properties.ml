@@ -19,6 +19,9 @@ module Arch = Nanomap_arch.Arch
 module Cluster = Nanomap_cluster.Cluster
 module Emulator = Nanomap_emu.Emulator
 module Rng = Nanomap_util.Rng
+module Flow = Nanomap_flow.Flow
+module Check = Nanomap_flow.Check
+module Diag = Nanomap_util.Diag
 
 (* ------------------------------------------------ random RTL designs *)
 
@@ -174,6 +177,36 @@ let router_differential_prop =
           && full.R.total_nets = inc.R.total_nets
           && List.length full.R.routed = List.length inc.R.routed
         end)
+
+(* Totality of the guarded flow: run_result must never raise — every
+   failure (infeasible level, budget overrun, unroutable fabric) comes back
+   as a structured diagnostic — and any Ok report must satisfy every
+   Full-level inter-stage checker after the fact. *)
+let flow_result_total_prop =
+  QCheck.Test.make ~name:"flow: run_result is total, Ok passes all checkers"
+    ~count:8
+    QCheck.(pair (int_range 0 1500) (int_range 1 4))
+    (fun (seed, level) ->
+      QCheck.assume (level >= 1 && seed >= 0);
+      let design = random_design seed in
+      let options =
+        { Flow.default_options with
+          Flow.objective = Flow.Fixed_level level;
+          check_level = Check.Full;
+          seed = seed + 1 }
+      in
+      match Flow.run_result ~options ~arch:Arch.unbounded_k design with
+      | exception e ->
+        QCheck.Test.fail_reportf "run_result raised %s" (Printexc.to_string e)
+      | Error d ->
+        (* a well-formed diagnostic names the stage and carries a code *)
+        d.Diag.stage <> "" && d.Diag.code <> ""
+      | Ok r ->
+        (match Flow.validate_report ~level:Check.Full r with
+         | Ok () -> true
+         | Error d ->
+           QCheck.Test.fail_reportf "Ok report rejected by oracle: %s"
+             (Diag.to_string d)))
 
 (* ------------------------------------------- partition invariants *)
 
@@ -376,7 +409,9 @@ let () =
   let to_alco = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
     [ ("full-chain", [ to_alco full_chain_prop ]);
-      ("physical", [ to_alco physical_prop; to_alco router_differential_prop ]);
+      ( "physical",
+        [ to_alco physical_prop; to_alco router_differential_prop;
+          to_alco flow_result_total_prop ] );
       ( "partition",
         [ to_alco partition_invariants_prop ] );
       ("scheduling", [ to_alco fds_props; to_alco lut_dg_conservation_prop ]);

@@ -166,6 +166,7 @@ let hand_graph () =
     ~delay:[| 0.0; 0.35; 0.35; 0.9; 0.0; 0.25 |]
     ~adj:[| [ 1; 3; 5 ]; [ 2 ]; [ 4 ]; [ 4 ]; []; [] |]
     ~src_of_smb:[| 0 |] ~sink_of_smb:[| 4 |] ~src_of_pad:[||] ~sink_of_pad:[||]
+    ()
 
 let check_admissible g sink =
   let lb = Rr_graph.lookahead g sink in

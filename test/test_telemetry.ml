@@ -1,6 +1,10 @@
 module Telemetry = Nanomap_util.Telemetry
 module Flow = Nanomap_flow.Flow
+module Check = Nanomap_flow.Check
+module Fault = Nanomap_flow.Fault
+module Diag = Nanomap_util.Diag
 module Arch = Nanomap_arch.Arch
+module Rr_graph = Nanomap_route.Rr_graph
 module Circuits = Nanomap_circuits.Circuits
 
 let check = Alcotest.check
@@ -148,6 +152,111 @@ let test_flow_covers_layers () =
          scan 0))
     [ "place_detailed"; "total"; "gauges" ]
 
+(* ------------------------------------ guardrail counters and journal *)
+
+(* A clean run takes no degradation step and journals no violations. *)
+let test_clean_run_guardrail_telemetry () =
+  let r = flow_run () in
+  check Alcotest.(list string) "no degradation steps" [] r.Flow.degradations;
+  let events = Telemetry.events r.Flow.telemetry in
+  check Alcotest.bool "no degradation events" true
+    (not (List.exists (fun e -> e.Telemetry.label = "flow.degradation") events));
+  check Alcotest.bool "no diag events" true
+    (not (List.exists (fun e -> e.Telemetry.label = "diag") events));
+  let counters = Telemetry.counters r.Flow.telemetry in
+  check Alcotest.int "no violations counted" 0
+    (Option.value ~default:0 (List.assoc_opt "check.violations" counters));
+  check Alcotest.int "no degradations counted" 0
+    (Option.value ~default:0 (List.assoc_opt "flow.degradations" counters))
+
+(* Every checker rejection bumps the global check.violations counter. *)
+let test_violation_counter () =
+  let r = flow_run () in
+  let bs = Option.get r.Flow.bitstream in
+  let c = Telemetry.counter "check.violations" in
+  let v0 = Telemetry.value c in
+  (match
+     Check.bitstream Check.Full ~arch:Arch.unbounded_k
+       (Fault.corrupt_bitstream bs)
+   with
+  | Ok () -> Alcotest.fail "corrupt bitstream accepted"
+  | Error _ -> ());
+  check Alcotest.bool "check.violations bumped" true (Telemetry.value c > v0)
+
+(* A fabric with no routing tracks at all cannot recover: the flow must
+   walk the whole degradation ladder (reseed, widen, refold), count every
+   step, and surface the trail in the final diagnostic. *)
+let test_degradation_exhausts_and_counts () =
+  let options =
+    { flow_options with
+      Flow.check_level = Check.Off;
+      route_caps =
+        { Rr_graph.direct_tracks = 0; len1_tracks = 0; len4_tracks = 0;
+          global_tracks = 0 } }
+  in
+  let design = (Circuits.ex1_small ()).Circuits.design in
+  let c = Telemetry.counter "flow.degradations" in
+  let v0 = Telemetry.value c in
+  match Flow.run_result ~options ~arch:Arch.unbounded_k design with
+  | Ok _ -> Alcotest.fail "trackless fabric routed"
+  | Error d ->
+    check Alcotest.string "fails in routing" "route" d.Diag.stage;
+    check Alcotest.bool "steps counted" true (Telemetry.value c - v0 >= 3);
+    (match List.assoc_opt "degradations" d.Diag.context with
+     | None -> Alcotest.fail "diagnostic lacks the degradation trail"
+     | Some trail ->
+       List.iter
+         (fun step ->
+           let n = String.length trail and m = String.length step in
+           let rec scan i =
+             i + m <= n && (String.sub trail i m = step || scan (i + 1))
+           in
+           check Alcotest.bool (step ^ " in trail") true (scan 0))
+         [ "reseed"; "widen"; "refold" ])
+
+(* Recovery through refold: at folding level 7 ex1-4bit needs 4 SMBs on a
+   2x3 grid; with three grid sites fully defective only 3 sites remain, so
+   placement is impossible until the degradation ladder refolds to level 6
+   (3 SMBs on a 2x2 grid, where just one defective site overlaps). The
+   successful run must journal the flow.degradation events and record the
+   trail in the report. *)
+let test_degradation_recovers_and_journals () =
+  let bad_site (x, y) =
+    List.concat_map
+      (fun mb -> List.init 4 (fun le -> (x, y, mb, le)))
+      [ 0; 1; 2; 3 ]
+  in
+  let defects =
+    { Nanomap_arch.Defect.none with
+      Nanomap_arch.Defect.les =
+        List.concat_map bad_site [ (1, 1); (0, 2); (1, 2) ] }
+  in
+  let options =
+    { flow_options with
+      Flow.objective = Flow.Fixed_level 7;
+      check_level = Check.Full;
+      defects }
+  in
+  let design = (Circuits.ex1_small ()).Circuits.design in
+  match Flow.run_result ~options ~arch:Arch.unbounded_k design with
+  | Error d ->
+    Alcotest.failf "starved fabric did not recover: %s" (Diag.to_string d)
+  | Ok r ->
+    check Alcotest.(list string) "degradation trail recorded"
+      [ "reseed"; "widen"; "refold" ] r.Flow.degradations;
+    check Alcotest.int "refolded to level 6" 6
+      r.Flow.plan.Nanomap_core.Mapper.level;
+    let events = Telemetry.events r.Flow.telemetry in
+    let degr =
+      List.filter (fun e -> e.Telemetry.label = "flow.degradation") events
+    in
+    check Alcotest.(list (option string)) "journaled steps in order"
+      [ Some "reseed"; Some "widen"; Some "refold" ]
+      (List.map (fun e -> List.assoc_opt "step" e.Telemetry.data) degr);
+    let counters = Telemetry.counters r.Flow.telemetry in
+    check Alcotest.int "flow.degradations counted in-run" 3
+      (Option.value ~default:0 (List.assoc_opt "flow.degradations" counters))
+
 let () =
   Alcotest.run "telemetry"
     [ ( "spans",
@@ -163,4 +272,12 @@ let () =
             test_flow_deterministic_json ] );
       ( "flow",
         [ Alcotest.test_case "covers four layers" `Quick test_flow_covers_layers ]
-      ) ]
+      );
+      ( "guardrails",
+        [ Alcotest.test_case "clean run" `Quick
+            test_clean_run_guardrail_telemetry;
+          Alcotest.test_case "violation counter" `Quick test_violation_counter;
+          Alcotest.test_case "degradation exhausts" `Quick
+            test_degradation_exhausts_and_counts;
+          Alcotest.test_case "degradation recovers" `Quick
+            test_degradation_recovers_and_journals ] ) ]

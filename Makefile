@@ -1,6 +1,6 @@
 # Convenience wrapper; everything is plain dune underneath.
 
-.PHONY: all build test check bench regen-golden clean
+.PHONY: all build test check bench fuzz fuzz-smoke regen-golden clean
 
 all: build
 
@@ -19,6 +19,24 @@ check: build test
 
 bench:
 	dune exec bench/main.exe
+
+# Differential fuzzing: random designs through the whole flow, four
+# evaluation levels cross-checked per cycle (rtl-sim, lut-network,
+# fabric-emulator, bitstream-replay). Failures shrink to minimal
+# reproducers under test/corpus/, which dune runtest replays forever.
+# Override e.g. FUZZ_SEED=7 FUZZ_COUNT=500 to steer a long campaign.
+FUZZ_SEED ?= 1
+FUZZ_COUNT ?= 200
+fuzz: build
+	dune exec bin/nanomap_cli.exe -- fuzz --seed $(FUZZ_SEED) --count $(FUZZ_COUNT) --corpus $(CURDIR)/test/corpus
+
+# CI gate: a fixed-seed campaign sized to stay well under a minute,
+# sweeping the folding regimes and larger designs than the default.
+fuzz-smoke: build
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 42 --count 2000 --cycles 60
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 43 --count 1200 --folding none
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 44 --count 1200 --folding 2
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 45 --count 600 --steps 48 --max-regs 6 --max-width 8
 
 # Refresh the routed-result regression corpus in test/golden/ after an
 # intentional router change (the golden diff test will tell you when).

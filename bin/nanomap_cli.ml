@@ -18,6 +18,8 @@ module Ascii_table = Nanomap_util.Ascii_table
 module Check = Nanomap_flow.Check
 module Defect = Nanomap_arch.Defect
 module Diag = Nanomap_util.Diag
+module Fuzz = Nanomap_verify.Fuzz
+module Gen_rtl = Nanomap_verify.Gen_rtl
 
 let setup_logs level =
   Fmt_tty.setup_std_outputs ();
@@ -444,6 +446,87 @@ let emulate_cmd =
       const run_emulate $ circuit_arg $ blif_arg $ vhdl_arg $ level $ cycles $ seed
       $ verbosity)
 
+(* ------------------------------------------------------------ fuzz cmd *)
+
+let run_fuzz seed count cycles steps max_width max_regs max_inputs folding
+    corpus trace verbose =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  match Fuzz.fold_of_string folding with
+  | None ->
+    prerr_endline "error: --folding must be auto|none|LEVEL";
+    1
+  | Some fold ->
+    let cfg =
+      { Fuzz.default_config with
+        Fuzz.seed;
+        count;
+        cycles;
+        fold;
+        corpus_dir = corpus;
+        gen =
+          { Gen_rtl.steps;
+            max_width;
+            max_regs;
+            max_inputs } }
+    in
+    let summary = Fuzz.run cfg in
+    Fuzz.print_summary stdout summary;
+    if trace then
+      print_string (Nanomap_util.Telemetry.to_table_string summary.Fuzz.telemetry);
+    if summary.Fuzz.failures = [] && summary.Fuzz.flow_errors = [] then 0 else 1
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let count =
+    Arg.(value & opt int 50
+         & info [ "count" ] ~docv:"N" ~doc:"Number of random designs.")
+  in
+  let cycles =
+    Arg.(value & opt int 40
+         & info [ "cycles" ] ~docv:"N" ~doc:"Macro cycles of stimulus per design.")
+  in
+  let steps =
+    Arg.(value & opt int Gen_rtl.default_params.Gen_rtl.steps
+         & info [ "steps" ] ~docv:"N" ~doc:"Build steps per random design.")
+  in
+  let max_width =
+    Arg.(value & opt int Gen_rtl.default_params.Gen_rtl.max_width
+         & info [ "max-width" ] ~docv:"N" ~doc:"Maximum bus width.")
+  in
+  let max_regs =
+    Arg.(value & opt int Gen_rtl.default_params.Gen_rtl.max_regs
+         & info [ "max-regs" ] ~docv:"N" ~doc:"Maximum registers per design.")
+  in
+  let max_inputs =
+    Arg.(value & opt int Gen_rtl.default_params.Gen_rtl.max_inputs
+         & info [ "max-inputs" ] ~docv:"N" ~doc:"Maximum primary inputs.")
+  in
+  let folding =
+    Arg.(value & opt string "auto"
+         & info [ "folding" ] ~docv:"F"
+             ~doc:"Folding objective per design: $(b,auto) (area-delay \
+                   product), $(b,none), or a fixed level.")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Write shrunk counterexamples to $(docv) (created if needed).")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Print the campaign telemetry table.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random designs through the whole flow, \
+             cross-checked at four levels (RTL sim, LUT networks, fabric \
+             emulator, decoded-bitstream replay)")
+    Term.(
+      const run_fuzz $ seed $ count $ cycles $ steps $ max_width $ max_regs
+      $ max_inputs $ folding $ corpus $ trace $ verbosity)
+
 (* ------------------------------------------------------------ list cmd *)
 
 let run_list () =
@@ -466,4 +549,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ map_cmd; stats_cmd; sweep_cmd; list_cmd; disasm_cmd; emulate_cmd ]))
+          [ map_cmd; stats_cmd; sweep_cmd; list_cmd; disasm_cmd; emulate_cmd;
+            fuzz_cmd ]))

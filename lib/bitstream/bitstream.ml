@@ -71,7 +71,14 @@ let generate (plan : Mapper.plan) (cl : Cluster.t) (route : Router.result) =
           u16 buf slot.Cluster.smb;
           Buffer.add_char buf (Char.chr slot.Cluster.mb);
           Buffer.add_char buf (Char.chr slot.Cluster.le);
-          (* truth table padded to 2^K bits *)
+          (* truth table padded to 2^K bits; a >4-input function does not
+             fit the u16 field and must not be silently truncated *)
+          if Truth_table.arity func > 4 then
+            Nanomap_util.Diag.fail ~stage:"bitstream" ~code:"lut-arity"
+              ~context:
+                [ ("arity", string_of_int (Truth_table.arity func));
+                  ("smb", string_of_int slot.Cluster.smb) ]
+              "LUT function too wide for the u16 truth-table field";
           let padded =
             let tbits = Truth_table.bits func in
             Int64.to_int (Int64.logand tbits 0xFFFFL)
@@ -152,7 +159,7 @@ type config = {
 
 exception Corrupt of string
 
-let parse bytes =
+let parse_full bytes =
   let len = Bytes.length bytes in
   let pos = ref 0 in
   let need n what =
@@ -178,26 +185,58 @@ let parse bytes =
   if Bytes.sub_string bytes 0 5 <> "NMAP1" then raise (Corrupt "bad magic");
   pos := 5;
   let configs = ru32 () in
-  let _num_smbs = ru32 () in
-  Array.init configs (fun _ ->
-      let num_les = ru32 () in
-      let les =
-        List.init num_les (fun _ ->
-            let le_smb = ru16 () in
-            let le_mb = byte () in
-            let le_index = byte () in
-            let truth_table = ru16 () in
-            let used_inputs = byte () in
-            { le_smb; le_mb; le_index; truth_table; used_inputs })
-      in
-      let num_switches = ru32 () in
-      let switches =
-        List.init num_switches (fun _ ->
-            let rr_node = ru32 () in
-            let wire_tag = byte () in
-            { rr_node; wire_tag })
-      in
-      { les; switches })
+  let num_smbs = ru32 () in
+  let parsed =
+    Array.init configs (fun _ ->
+        let num_les = ru32 () in
+        let les =
+          List.init num_les (fun _ ->
+              let le_smb = ru16 () in
+              let le_mb = byte () in
+              let le_index = byte () in
+              let truth_table = ru16 () in
+              let used_inputs = byte () in
+              { le_smb; le_mb; le_index; truth_table; used_inputs })
+        in
+        let num_switches = ru32 () in
+        let switches =
+          List.init num_switches (fun _ ->
+              let rr_node = ru32 () in
+              let wire_tag = byte () in
+              { rr_node; wire_tag })
+        in
+        { les; switches })
+  in
+  if !pos <> len then
+    raise (Corrupt (Printf.sprintf "%d trailing bytes" (len - !pos)));
+  (num_smbs, parsed)
+
+let parse bytes = snd (parse_full bytes)
+
+let encode_configs ~num_smbs configs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "NMAP1";
+  u32 buf (Array.length configs);
+  u32 buf num_smbs;
+  Array.iter
+    (fun { les; switches } ->
+      u32 buf (List.length les);
+      List.iter
+        (fun le ->
+          u16 buf le.le_smb;
+          Buffer.add_char buf (Char.chr le.le_mb);
+          Buffer.add_char buf (Char.chr le.le_index);
+          u16 buf le.truth_table;
+          Buffer.add_char buf (Char.chr (le.used_inputs land 0xff)))
+        les;
+      u32 buf (List.length switches);
+      List.iter
+        (fun sw ->
+          u32 buf sw.rr_node;
+          Buffer.add_char buf (Char.chr (sw.wire_tag land 0xff)))
+        switches)
+    configs;
+  Buffer.to_bytes buf
 
 let read_file path =
   let ic = open_in_bin path in

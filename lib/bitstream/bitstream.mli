@@ -13,7 +13,15 @@
     The encoding is a documented, deterministic format ("NMAP1" magic,
     little-endian u32 section lengths), sufficient to reconstruct which
     resource does what in which cycle — it is what the experiments use to
-    account NRAM capacity, not a tape-out artifact. *)
+    account NRAM capacity, not a tape-out artifact. LUT input
+    {e connectivity} is not encoded (the clustering supplies it); the
+    decode-and-replay verification level therefore cross-references the
+    parsed configurations with the cluster (see [Nanomap_verify.Oracle]).
+
+    The format round-trips exactly: {!parse_full} followed by
+    {!encode_configs} reproduces the input byte-for-byte, and the parser
+    rejects trailing garbage — the invariant [Check.bitstream] asserts at
+    [Full] level. *)
 
 type t = {
   bytes : Bytes.t;
@@ -28,6 +36,10 @@ val generate :
   Nanomap_cluster.Cluster.t ->
   Nanomap_route.Router.result ->
   t
+(** Raises [Nanomap_util.Diag.Fail] (stage ["bitstream"], code
+    ["lut-arity"]) if a mapped LUT has more than 4 inputs — the u16
+    truth-table field cannot hold it and silent truncation would
+    miscompile. *)
 
 val nram_bits_required : t -> Nanomap_arch.Arch.t -> int * int option
 (** [(per-element set count used, NRAM capacity k)] — the first component
@@ -65,6 +77,17 @@ type config = {
 exception Corrupt of string
 
 val parse : Bytes.t -> config array
-(** Raises {!Corrupt} on bad magic or truncated sections. *)
+(** Raises {!Corrupt} on bad magic, truncated sections, or trailing
+    bytes after the last configuration. *)
+
+val parse_full : Bytes.t -> int * config array
+(** Like {!parse} but also recovers the header's SMB count, so the parse
+    result carries everything needed to re-encode the bitmap. *)
+
+val encode_configs : num_smbs:int -> config array -> Bytes.t
+(** Re-encode a parsed bitmap. [encode_configs ~num_smbs cfgs] is
+    byte-identical to the input of the [parse_full] that produced
+    [(num_smbs, cfgs)] — the round-trip invariant the [Full] checker and
+    the differential oracle rely on. *)
 
 val read_file : string -> config array

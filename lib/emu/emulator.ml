@@ -4,8 +4,7 @@ module Cluster = Nanomap_cluster.Cluster
 module Partition = Nanomap_techmap.Partition
 module Lut_network = Nanomap_techmap.Lut_network
 module Truth_table = Nanomap_logic.Truth_table
-
-exception Fabric_conflict of string
+module Diag = Nanomap_util.Diag
 
 (* A flip-flop cell remembers both its bit and which value wrote it last;
    reading a cell on behalf of a different value means the slot was
@@ -15,16 +14,30 @@ type cell = {
   mutable owner : Cluster.value option;
 }
 
+type overrides = {
+  lut_func : plane:int -> lut:int -> Truth_table.t option;
+  lut_cycle : plane:int -> lut:int -> int option;
+}
+
+let no_overrides =
+  { lut_func = (fun ~plane:_ ~lut:_ -> None);
+    lut_cycle = (fun ~plane:_ ~lut:_ -> None) }
+
 type t = {
   design : Rtl.t;
   plan : Mapper.plan;
   cluster : Cluster.t;
+  overrides : overrides;
   cells : (Cluster.slot * int, cell) Hashtbl.t;
   inputs : (string, int) Hashtbl.t;
   direct_copies : (Rtl.signal * Rtl.driver) list;
       (** registers fed by a plain wire (delay lines): no plane computes
           them, they shift at the macro-cycle commit *)
 }
+
+let fabric_fail code what =
+  Diag.fail ~stage:"emulate" ~code ~context:[ ("value", what) ]
+    "fabric flip-flop allocation is inconsistent"
 
 let cell_of t key =
   match Hashtbl.find_opt t.cells key with
@@ -34,7 +47,7 @@ let cell_of t key =
     Hashtbl.replace t.cells key c;
     c
 
-let create design plan cluster =
+let create ?(overrides = no_overrides) design plan cluster =
   let direct_copies =
     List.filter_map
       (fun (s : Rtl.signal) ->
@@ -52,6 +65,7 @@ let create design plan cluster =
     { design;
       plan;
       cluster;
+      overrides;
       cells = Hashtbl.create 256;
       inputs = Hashtbl.create 16;
       direct_copies }
@@ -70,13 +84,13 @@ let create design plan cluster =
 
 let read_ff t value what =
   match Hashtbl.find_opt t.cluster.Cluster.ff_slots value with
-  | None -> raise (Fabric_conflict ("no flip-flop slot for " ^ what))
+  | None -> fabric_fail "slot-missing" what
   | Some key ->
     let c = cell_of t key in
     (match c.owner with
      | Some owner when owner = value -> c.bit
-     | Some _ -> raise (Fabric_conflict (what ^ ": slot overwritten while live"))
-     | None -> raise (Fabric_conflict (what ^ ": slot never written")))
+     | Some _ -> fabric_fail "slot-overwritten" what
+     | None -> fabric_fail "slot-unwritten" what)
 
 let write_ff t value bit =
   match Hashtbl.find_opt t.cluster.Cluster.ff_slots value with
@@ -115,7 +129,11 @@ let macro_cycle t stimulus =
       let plane = pl.Mapper.plane_index in
       let network = pl.Mapper.network in
       let part = pl.Mapper.partition in
-      let cycle_of l = pl.Mapper.schedule.(part.Partition.unit_of_lut.(l)) in
+      let cycle_of l =
+        match t.overrides.lut_cycle ~plane ~lut:l with
+        | Some c -> c
+        | None -> pl.Mapper.schedule.(part.Partition.unit_of_lut.(l))
+      in
       let live = Array.make (Lut_network.size network) false in
       (* primary-output bits driven directly by plane inputs *)
       let po_by_node = Hashtbl.create 8 in
@@ -155,6 +173,9 @@ let macro_cycle t stimulus =
                     else
                       read_ff t (Cluster.V_lut (plane, f))
                         (Printf.sprintf "plane %d LUT %d" plane f)
+                in
+                let func =
+                  Option.value ~default:func (t.overrides.lut_func ~plane ~lut:l)
                 in
                 let v = Truth_table.eval func (Array.map bit_of fanins) in
                 live.(l) <- v;

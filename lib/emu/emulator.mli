@@ -14,12 +14,26 @@
     while still live) that network-level evaluation cannot: a wrong
     allocation produces wrong output values here.
 
-    This is the final link in the verification chain: RTL simulator ==
-    mapped LUT networks == folded execution on the clustered fabric. *)
+    This is one link in the verification chain: RTL simulator == mapped
+    LUT networks == folded execution on the clustered fabric == replay of
+    the decoded bitstream (see [Nanomap_verify.Oracle]). *)
 
 type t
 
+(** Per-LUT configuration overrides, used by the bitstream decode-and-replay
+    verification level: the truth table and folding-cycle assignment of a LUT
+    can be taken from a {e decoded} configuration bitmap instead of the plan.
+    Returning [None] falls back to the plan's network/schedule. A
+    [lut_cycle] of [Some 0] (no folding cycle runs cycle 0) effectively
+    removes the LUT from execution: its consumers then read an unwritten
+    flip-flop slot and the emulator reports the divergence. *)
+type overrides = {
+  lut_func : plane:int -> lut:int -> Nanomap_logic.Truth_table.t option;
+  lut_cycle : plane:int -> lut:int -> int option;
+}
+
 val create :
+  ?overrides:overrides ->
   Nanomap_rtl.Rtl.t -> Nanomap_core.Mapper.plan -> Nanomap_cluster.Cluster.t -> t
 (** The design provides input/output names and register widths. Flip-flops
     start at 0 (matching {!Nanomap_rtl.Rtl.sim_create} for designs with
@@ -28,13 +42,26 @@ val create :
 val macro_cycle : t -> (string * int) list -> (string * int) list
 (** [macro_cycle t inputs] runs all planes' folding cycles once — the
     equivalent of one clock cycle of the original circuit. Primary inputs
-    are given by name (missing ones hold their previous value) and primary
-    outputs are returned by name, exactly like
-    {!Nanomap_rtl.Rtl.sim_cycle}. *)
+    are given by name and primary outputs are returned by name, exactly
+    like {!Nanomap_rtl.Rtl.sim_cycle}.
+
+    {b Missing-input hold semantics:} a primary input absent from
+    [inputs] {e holds} the value it was last driven with (initially 0) —
+    the fabric's input pads are latched, they do not float. This matches
+    {!Nanomap_rtl.Rtl.sim_cycle} exactly, so a differential harness may
+    drive partial stimulus into both sides without divergence.
+
+    Raises {!Nanomap_util.Diag.Fail} (stage ["emulate"]) when the mapping
+    itself is inconsistent — i.e. clustering produced an illegal
+    flip-flop allocation, or an override (decoded bitstream) disagrees
+    with the fabric's connectivity. Stable codes:
+    - ["slot-missing"]: a live value has no allocated flip-flop slot;
+    - ["slot-overwritten"]: two live values occupied one slot (lifetime
+      violation);
+    - ["slot-unwritten"]: a consumer read a slot no producer wrote (e.g.
+      a LUT dropped from the decoded bitstream).
+    The diagnostic context names the value ([value]) and, where known,
+    the plane and folding cycle. *)
 
 val peek_state : t -> Nanomap_rtl.Rtl.id -> int
 (** Current committed value of a register (or inter-plane wire). *)
-
-exception Fabric_conflict of string
-(** Raised when two live values occupy one flip-flop slot — i.e. the
-    clustering produced an illegal allocation. *)

@@ -253,14 +253,24 @@ let bitstream level ~arch (bs : Bitstream.t) =
             "bitstream holds more configuration sets than the NRAM"
         | _ -> ());
         if level = Full then begin
-          match Bitstream.parse bs.Bitstream.bytes with
-          | parsed ->
+          match Bitstream.parse_full bs.Bitstream.bytes with
+          | num_smbs, parsed ->
             if Array.length parsed <> bs.Bitstream.configs then
               Diag.fail ~stage:"bitstream" ~code:"config-count"
                 ~context:
                   [ ("parsed", string_of_int (Array.length parsed));
                     ("expected", string_of_int bs.Bitstream.configs) ]
-                "parsed configuration count disagrees with the header"
+                "parsed configuration count disagrees with the header";
+            (* encode -> parse -> encode must reproduce the bitmap exactly,
+               otherwise the decode-and-replay oracle verifies a different
+               configuration than the one shipped *)
+            let re = Bitstream.encode_configs ~num_smbs parsed in
+            if not (Bytes.equal re bs.Bitstream.bytes) then
+              Diag.fail ~stage:"bitstream" ~code:"roundtrip"
+                ~context:
+                  [ ("bytes", string_of_int (Bytes.length bs.Bitstream.bytes));
+                    ("reencoded", string_of_int (Bytes.length re)) ]
+                "re-encoding the parsed bitmap does not reproduce it"
           | exception Bitstream.Corrupt msg ->
             Diag.fail ~stage:"bitstream" ~code:"corrupt" msg
         end)

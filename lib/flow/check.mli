@@ -77,4 +77,5 @@ val bitstream :
   (unit, Nanomap_util.Diag.t) result
 (** Configuration-set count within the NRAM capacity (["config-overflow"]);
     with [Full], the bitmap parses back (["corrupt"]) into the advertised
-    number of configurations (["config-count"]). *)
+    number of configurations (["config-count"]), and re-encoding the parse
+    result reproduces the bitmap byte-for-byte (["roundtrip"]). *)

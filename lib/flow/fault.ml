@@ -2,6 +2,7 @@ module Defect = Nanomap_arch.Defect
 module Mapper = Nanomap_core.Mapper
 module Partition = Nanomap_techmap.Partition
 module Lut_network = Nanomap_techmap.Lut_network
+module Truth_table = Nanomap_logic.Truth_table
 module Cluster = Nanomap_cluster.Cluster
 module Place = Nanomap_place.Place
 module Router = Nanomap_route.Router
@@ -84,6 +85,147 @@ let mark_used_track_defective (r : Router.result) =
   let nd = first_wire r.Router.routed in
   if nd >= 0 then r.Router.graph.Rr_graph.defective.(nd) <- true;
   nd
+
+(* --- functional faults for the differential oracle --- *)
+
+(* Rebuild [network] node for node, inverting the function of LUT
+   [victim]. Node ids, names, module tags and output targets are
+   preserved, so partitions and schedules indexed by node id stay valid. *)
+let rebuild_with_inverted_lut network victim =
+  let n' = Lut_network.create () in
+  Lut_network.iter
+    (fun i node ->
+      let i' =
+        match node with
+        | Lut_network.Input origin ->
+          Lut_network.add_input n' ~name:(Lut_network.node_name network i) origin
+        | Lut_network.Lut { func; fanins } ->
+          let func = if i = victim then Truth_table.lognot func else func in
+          Lut_network.add_lut n'
+            ~name:(Lut_network.node_name network i)
+            ~module_id:(Lut_network.module_id network i)
+            ~func ~fanins:(Array.copy fanins) ()
+      in
+      assert (i' = i))
+    network;
+  List.iter
+    (fun (target, node) -> Lut_network.mark_output n' target node)
+    (Lut_network.outputs network);
+  n'
+
+let flip_network_lut (prepared : Mapper.prepared) (plan : Mapper.plan) =
+  (* invert a LUT that directly drives an output target — preferably a
+     primary output, so the divergence is observable immediately *)
+  let victim = ref None in
+  Array.iteri
+    (fun pi (plp : Mapper.plane_plan) ->
+      if !victim = None then begin
+        let network = plp.Mapper.network in
+        let is_lut n =
+          match Lut_network.node network n with
+          | Lut_network.Lut _ -> true
+          | Lut_network.Input _ -> false
+        in
+        let outs = Lut_network.outputs network in
+        let pick pred =
+          List.find_opt (fun (t, n) -> pred t && is_lut n) outs
+        in
+        match
+          pick (function Lut_network.Po_target _ -> true | _ -> false)
+        with
+        | Some (_, n) -> victim := Some (pi, n)
+        | None ->
+          (match pick (fun _ -> true) with
+           | Some (_, n) -> victim := Some (pi, n)
+           | None -> ())
+      end)
+    plan.Mapper.planes;
+  match !victim with
+  | None -> (prepared, plan)
+  | Some (pi, node) ->
+    let network' =
+      rebuild_with_inverted_lut plan.Mapper.planes.(pi).Mapper.network node
+    in
+    let networks = Array.copy prepared.Mapper.networks in
+    networks.(pi) <- network';
+    let planes = Array.copy plan.Mapper.planes in
+    planes.(pi) <- { planes.(pi) with Mapper.network = network' };
+    ( { prepared with Mapper.networks },
+      { plan with Mapper.planes = planes } )
+
+let misroute_ff_slot (plan : Mapper.plan) (cl : Cluster.t) =
+  (* Redirect an intermediate V_lut value written in folding cycle c onto
+     the home slot of a state value some LUT of a *later* cycle of the same
+     plane still reads: the emulator's owner check must fire within the
+     first macro cycle. *)
+  let found = ref None in
+  Array.iter
+    (fun (plp : Mapper.plane_plan) ->
+      if !found = None then begin
+        let plane = plp.Mapper.plane_index in
+        let network = plp.Mapper.network in
+        let cycle_of l =
+          plp.Mapper.schedule.(plp.Mapper.partition.Partition.unit_of_lut.(l))
+        in
+        let luts = ref [] and state_reads = ref [] in
+        Lut_network.iter
+          (fun l -> function
+            | Lut_network.Input _ -> ()
+            | Lut_network.Lut { fanins; _ } ->
+              let c = cycle_of l in
+              if Hashtbl.mem cl.Cluster.ff_slots (Cluster.V_lut (plane, l))
+              then luts := (l, c) :: !luts;
+              Array.iter
+                (fun f ->
+                  match Lut_network.node network f with
+                  | Lut_network.Input
+                      (Lut_network.Register_bit (r, b)
+                      | Lut_network.Wire_bit (r, b)) ->
+                    if Hashtbl.mem cl.Cluster.ff_slots (Cluster.V_state (r, b))
+                    then state_reads := ((r, b), c) :: !state_reads
+                  | Lut_network.Input _ | Lut_network.Lut _ -> ())
+                fanins)
+          network;
+        List.iter
+          (fun (l, cw) ->
+            if !found = None then
+              match List.find_opt (fun (_, cr) -> cr > cw) !state_reads with
+              | Some ((r, b), _) ->
+                found :=
+                  Some (Cluster.V_lut (plane, l), Cluster.V_state (r, b))
+              | None -> ())
+          (List.rev !luts)
+      end)
+    plan.Mapper.planes;
+  match !found with
+  | None -> cl
+  | Some (vlut, vstate) ->
+    let ff_slots = Hashtbl.copy cl.Cluster.ff_slots in
+    Hashtbl.replace ff_slots vlut (Hashtbl.find ff_slots vstate);
+    { cl with Cluster.ff_slots }
+
+let invert_bitstream_luts (bs : Bitstream.t) =
+  match Bitstream.parse_full bs.Bitstream.bytes with
+  | exception Bitstream.Corrupt _ -> bs
+  | num_smbs, configs ->
+    let any = ref false in
+    let configs =
+      Array.map
+        (fun (c : Bitstream.config) ->
+          { c with
+            Bitstream.les =
+              List.map
+                (fun (le : Bitstream.le_config) ->
+                  any := true;
+                  { le with
+                    Bitstream.truth_table =
+                      le.Bitstream.truth_table lxor 0xFFFF })
+                c.Bitstream.les })
+        configs
+    in
+    if not !any then bs
+    else
+      { bs with Bitstream.bytes = Bitstream.encode_configs ~num_smbs configs }
 
 let corrupt_bitstream (bs : Bitstream.t) =
   (* header: "NMAP1" + u32 configs + u32 num_smbs = 13 bytes; the word at

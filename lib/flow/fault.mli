@@ -37,4 +37,39 @@ val mark_used_track_defective : Nanomap_route.Router.result -> int
 val corrupt_bitstream :
   Nanomap_bitstream.Bitstream.t -> Nanomap_bitstream.Bitstream.t
 (** Smash a section-length word in the encoded bytes. Caught by
-    [Check.bitstream] at [Full] level (["corrupt"]). *)
+    [Check.bitstream] at [Full] level (["corrupt"]) and by the oracle's
+    decode-and-replay level. *)
+
+(** {2 Functional faults}
+
+    The injectors above violate {e structural} invariants; the ones below
+    produce structurally legal artifacts that compute the {e wrong
+    function}, which only the differential oracle
+    ([Nanomap_verify.Oracle]) can catch — each at a specific level pair
+    of the verification chain. *)
+
+val flip_network_lut :
+  Nanomap_core.Mapper.prepared -> Nanomap_core.Mapper.plan ->
+  Nanomap_core.Mapper.prepared * Nanomap_core.Mapper.plan
+(** Invert the function of one output-driving LUT, consistently in the
+    prepared networks and the plan (ids, partitions and schedules stay
+    valid). Caught by the oracle as an (rtl-sim, lut-network) mismatch,
+    and by [Check.techmap]'s simulation spot-check. Unchanged if the
+    design maps to zero LUTs. *)
+
+val misroute_ff_slot :
+  Nanomap_core.Mapper.plan -> Nanomap_cluster.Cluster.t ->
+  Nanomap_cluster.Cluster.t
+(** Redirect one intermediate (LUT-output) flip-flop value onto the home
+    slot of a state value that a later folding cycle of the same plane
+    still reads — a lifetime violation. Caught by the emulator's
+    owner check ([Diag.Fail], stage ["emulate"], code
+    ["slot-overwritten"]) within the first macro cycle. Unchanged if the
+    schedule has no such overlapping pair (e.g. no folding). *)
+
+val invert_bitstream_luts :
+  Nanomap_bitstream.Bitstream.t -> Nanomap_bitstream.Bitstream.t
+(** Invert every LE truth table in the encoded bytes (via
+    parse/re-encode, so the bitmap stays well-formed). Caught by the
+    oracle as an (emulator, bitstream-replay) mismatch. Unchanged if no
+    configuration contains an LE. *)

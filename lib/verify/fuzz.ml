@@ -1,0 +1,222 @@
+module Diag = Nanomap_util.Diag
+module Rng = Nanomap_util.Rng
+module Telemetry = Nanomap_util.Telemetry
+module Arch = Nanomap_arch.Arch
+module Flow = Nanomap_flow.Flow
+module Check = Nanomap_flow.Check
+
+type fold = F_auto | F_none | F_level of int
+
+let fold_of_string = function
+  | "auto" -> Some F_auto
+  | "none" -> Some F_none
+  | s ->
+    (match int_of_string_opt s with
+    | Some l when l >= 1 -> Some (F_level l)
+    | Some _ | None -> None)
+
+let string_of_fold = function
+  | F_auto -> "auto"
+  | F_none -> "none"
+  | F_level l -> string_of_int l
+
+type config = {
+  seed : int;
+  count : int;
+  cycles : int;
+  gen : Gen_rtl.params;
+  fold : fold;
+  corpus_dir : string option;
+  shrink_budget : int;
+}
+
+let default_config =
+  { seed = 1;
+    count = 50;
+    cycles = 40;
+    gen = Gen_rtl.default_params;
+    fold = F_auto;
+    corpus_dir = None;
+    shrink_budget = 200 }
+
+type failure = {
+  index : int;
+  spec : Gen_rtl.spec;
+  shrunk : Gen_rtl.spec;
+  outcome : Oracle.outcome;
+  corpus_file : string option;
+}
+
+type summary = {
+  cases : int;
+  passed : int;
+  failures : failure list;
+  flow_errors : (int * Diag.t) list;
+  telemetry : Telemetry.run;
+}
+
+let flow_options ~seed fold =
+  let objective =
+    match fold with
+    | F_auto -> Flow.At_min
+    | F_none -> Flow.No_folding
+    | F_level l -> Flow.Fixed_level l
+  in
+  { Flow.default_options with
+    Flow.objective;
+    physical = true;
+    seed;
+    check_level = Check.Off }
+
+let run_spec ?(cycles = 40) ?(seed = 1) fold spec =
+  match Gen_rtl.build spec with
+  | exception e ->
+    (match Diag.of_exn ~stage:"generate" e with
+    | Some d -> Oracle.Flow_error d
+    | None -> raise e)
+  | design ->
+    (match
+       Flow.run_result ~options:(flow_options ~seed fold)
+         ~arch:Arch.unbounded_k design
+     with
+    | Error d -> Oracle.Flow_error d
+    | Ok report -> Oracle.run ~cycles ~seed (Oracle.subject_of_report report))
+
+let same_failure_class (a : Oracle.outcome) (b : Oracle.outcome) =
+  match (a, b) with
+  | Oracle.Pass _, Oracle.Pass _ -> true
+  | Oracle.Mismatch ma, Oracle.Mismatch mb ->
+    ma.Oracle.golden = mb.Oracle.golden && ma.Oracle.suspect = mb.Oracle.suspect
+  | Oracle.Level_fault (la, _), Oracle.Level_fault (lb, _) -> la = lb
+  | Oracle.Flow_error _, Oracle.Flow_error _ -> true
+  | _ -> false
+
+let shrink ~budget ~still_fails spec =
+  let evals = ref 0 in
+  let try_spec s =
+    if !evals >= budget then false
+    else begin
+      incr evals;
+      still_fails s
+    end
+  in
+  let rec descend current =
+    let next =
+      List.find_opt
+        (fun cand -> Gen_rtl.spec_size cand < Gen_rtl.spec_size current
+                     && try_spec cand)
+        (Gen_rtl.shrink_candidates current)
+    in
+    match next with
+    | Some smaller when !evals < budget -> descend smaller
+    | Some smaller -> smaller
+    | None -> current
+  in
+  descend spec
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let write_counterexample ~dir ~name ~comment spec =
+  ensure_dir dir;
+  let path = Filename.concat dir (name ^ ".rtl") in
+  let oc = open_out path in
+  List.iter (fun line -> Printf.fprintf oc "# %s\n" line) comment;
+  output_string oc (Gen_rtl.spec_to_string spec);
+  close_out oc;
+  path
+
+let load_corpus dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".rtl")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           let ic = open_in_bin path in
+           let len = in_channel_length ic in
+           let body = really_input_string ic len in
+           close_in ic;
+           match Gen_rtl.spec_of_string body with
+           | spec -> (f, spec)
+           | exception Failure msg ->
+             failwith (Printf.sprintf "%s: %s" path msg))
+
+let run ?eval (cfg : config) =
+  let eval =
+    match eval with
+    | Some f -> f
+    | None -> fun spec -> run_spec ~cycles:cfg.cycles ~seed:cfg.seed cfg.fold spec
+  in
+  let tele = Telemetry.start "fuzz" in
+  let rng = Rng.create cfg.seed in
+  let passed = ref 0 in
+  let failures = ref [] in
+  let flow_errors = ref [] in
+  for i = 1 to cfg.count do
+    let spec = Gen_rtl.random_spec rng cfg.gen in
+    let outcome = eval spec in
+    Telemetry.event tele "verify.case"
+      ~data:
+        [ ("index", string_of_int i);
+          ("steps", string_of_int (Gen_rtl.spec_size spec));
+          ("outcome", Oracle.describe outcome) ];
+    match outcome with
+    | Oracle.Pass _ -> incr passed
+    | Oracle.Flow_error d -> flow_errors := (i, d) :: !flow_errors
+    | Oracle.Mismatch _ | Oracle.Level_fault _ ->
+      let shrunk =
+        shrink ~budget:cfg.shrink_budget
+          ~still_fails:(fun s -> same_failure_class (eval s) outcome)
+          spec
+      in
+      let corpus_file =
+        Option.map
+          (fun dir ->
+            let name = Printf.sprintf "cex-seed%d-case%d" cfg.seed i in
+            let comment =
+              [ Oracle.describe outcome;
+                Printf.sprintf "fuzz seed %d, case %d, folding %s, shrunk %d -> %d steps"
+                  cfg.seed i (string_of_fold cfg.fold)
+                  (Gen_rtl.spec_size spec) (Gen_rtl.spec_size shrunk) ]
+            in
+            write_counterexample ~dir ~name ~comment shrunk)
+          cfg.corpus_dir
+      in
+      failures := { index = i; spec; shrunk; outcome; corpus_file } :: !failures
+  done;
+  let failures = List.rev !failures in
+  let flow_errors = List.rev !flow_errors in
+  Telemetry.set_gauge tele "verify.pass_rate"
+    (if cfg.count = 0 then 1.
+     else float_of_int !passed /. float_of_int cfg.count);
+  Telemetry.finish tele;
+  { cases = cfg.count;
+    passed = !passed;
+    failures;
+    flow_errors;
+    telemetry = tele }
+
+let print_summary oc (s : summary) =
+  Printf.fprintf oc "fuzz: %d cases, %d passed, %d failed, %d flow errors\n"
+    s.cases s.passed (List.length s.failures) (List.length s.flow_errors);
+  List.iter
+    (fun (f : failure) ->
+      Printf.fprintf oc "  case %d: %s\n" f.index (Oracle.describe f.outcome);
+      Printf.fprintf oc "    shrunk to %d steps%s\n"
+        (Gen_rtl.spec_size f.shrunk)
+        (match f.corpus_file with
+        | Some p -> Printf.sprintf ", corpus %s" p
+        | None -> ""))
+    s.failures;
+  List.iter
+    (fun (i, d) ->
+      Printf.fprintf oc "  case %d: flow error: %s\n" i (Diag.to_string d))
+    s.flow_errors;
+  List.iter
+    (fun (name, v) ->
+      if String.length name >= 7 && String.sub name 0 7 = "verify." then
+        Printf.fprintf oc "  %s = %d\n" name v)
+    (Telemetry.counters s.telemetry)

@@ -1,0 +1,92 @@
+(** The fuzzing campaign driver: generate random designs ({!Gen_rtl}), run
+    each through the whole flow, differential-check the result at four
+    levels ({!Oracle}), shrink failing specs to minimal reproducers and
+    write them to the counterexample corpus.
+
+    {2 Corpus convention}
+
+    A failing case is shrunk greedily (drop steps while the same failure
+    class persists) and written to [<corpus>/cex-seed<S>-case<I>.rtl] in
+    the {!Gen_rtl.spec_to_string} format, with the failure description in
+    leading [#] comment lines. Files under [test/corpus/] are replayed
+    forever by the tier-1 test suite: a bug caught once can never quietly
+    return. *)
+
+type fold =
+  | F_auto  (** area-delay-product objective picks the folding level *)
+  | F_none  (** no folding (traditional-FPGA baseline) *)
+  | F_level of int  (** force one folding level *)
+
+val fold_of_string : string -> fold option
+(** ["auto"], ["none"], or a positive integer. *)
+
+val string_of_fold : fold -> string
+
+type config = {
+  seed : int;
+  count : int;  (** number of random designs *)
+  cycles : int;  (** macro cycles of stimulus per design *)
+  gen : Gen_rtl.params;
+  fold : fold;
+  corpus_dir : string option;  (** where shrunk counterexamples land *)
+  shrink_budget : int;  (** max oracle evaluations spent shrinking *)
+}
+
+val default_config : config
+(** seed 1, 50 cases, 40 cycles, {!Gen_rtl.default_params}, [F_auto],
+    no corpus dir, budget 200. *)
+
+type failure = {
+  index : int;  (** 1-based case number within the campaign *)
+  spec : Gen_rtl.spec;  (** as generated *)
+  shrunk : Gen_rtl.spec;  (** minimized reproducer *)
+  outcome : Oracle.outcome;
+  corpus_file : string option;
+}
+
+type summary = {
+  cases : int;
+  passed : int;
+  failures : failure list;  (** mismatches and level faults, in order *)
+  flow_errors : (int * Nanomap_util.Diag.t) list;
+      (** cases the flow rejected outright (no oracle verdict), in order *)
+  telemetry : Nanomap_util.Telemetry.run;  (** sealed campaign run *)
+}
+
+val flow_options : seed:int -> fold -> Nanomap_flow.Flow.options
+(** Physical flow (the bitstream level needs a bitmap), checkers [Off]
+    (the oracle {e is} the checker here). *)
+
+val run_spec :
+  ?cycles:int -> ?seed:int -> fold -> Gen_rtl.spec -> Oracle.outcome
+(** Build the spec's design, run the flow, run the oracle. Flow rejection
+    becomes [Oracle.Flow_error]. *)
+
+val same_failure_class : Oracle.outcome -> Oracle.outcome -> bool
+(** Shrinking predicate: same constructor, same level pair (mismatches) or
+    same faulting level (faults). Cycle/signal/values may differ. *)
+
+val shrink :
+  budget:int ->
+  still_fails:(Gen_rtl.spec -> bool) ->
+  Gen_rtl.spec ->
+  Gen_rtl.spec
+(** Greedy descent over {!Gen_rtl.shrink_candidates} until a fixpoint or
+    the evaluation budget runs out. *)
+
+val write_counterexample :
+  dir:string -> name:string -> comment:string list -> Gen_rtl.spec -> string
+(** Serialize the spec to [<dir>/<name>.rtl] (creating [dir] if needed)
+    with [comment] lines as a [#] header; returns the path. *)
+
+val load_corpus : string -> (string * Gen_rtl.spec) list
+(** All [*.rtl] files of a directory, sorted by name; [[]] if the
+    directory does not exist. Raises [Failure] on a malformed file. *)
+
+val run : ?eval:(Gen_rtl.spec -> Oracle.outcome) -> config -> summary
+(** Run the campaign. [eval] replaces {!run_spec} (tests use it to inject
+    synthetic failures without a flow run); shrinking and the corpus write
+    go through the same [eval]. Journals one [verify.case] telemetry event
+    per case. *)
+
+val print_summary : out_channel -> summary -> unit

@@ -1,0 +1,303 @@
+module Rng = Nanomap_util.Rng
+module Rtl = Nanomap_rtl.Rtl
+module Truth_table = Nanomap_logic.Truth_table
+
+type step =
+  | S_input of int
+  | S_const of int * int
+  | S_reg of int * int
+  | S_binop of int * int * int
+  | S_not of int
+  | S_mux of int * int * int
+  | S_cmp of int * int * int
+  | S_mult of int * int
+  | S_slice of int * int
+  | S_concat of int * int
+  | S_table of int64 * int list
+  | S_output of int
+
+type spec = step list
+
+type params = {
+  steps : int;
+  max_width : int;
+  max_regs : int;
+  max_inputs : int;
+}
+
+let default_params = { steps = 24; max_width = 6; max_regs = 4; max_inputs = 4 }
+
+(* --- building: total over arbitrary step lists --- *)
+
+(* widths are clamped so any parsed spec stays inside the IR's 1..48 bound:
+   inputs/consts/registers at 16, mult operands at 8, concat operands at 16 *)
+let clamp_width w = max 1 (min w 16)
+let mask w v = v land ((1 lsl w) - 1)
+
+let build ?(name = "fuzz") spec =
+  let d = Rtl.create name in
+  (* signals in creation order, newest first *)
+  let sigs = ref [] in
+  let count = ref 0 in
+  let add id w =
+    sigs := (id, w) :: !sigs;
+    incr count
+  in
+  let fresh_const w =
+    let id = Rtl.add_const d ~width:w 0 in
+    add id w;
+    id
+  in
+  let nth_sig p =
+    let n = !count in
+    let i = ((p mod n) + n) mod n in
+    List.nth !sigs i
+  in
+  let pick_any p =
+    if !count = 0 then (fresh_const 1, 1) else nth_sig p
+  in
+  let pick_filtered pred fallback_w p =
+    let cands = List.filter pred !sigs in
+    match cands with
+    | [] -> (fresh_const fallback_w, fallback_w)
+    | l ->
+      let n = List.length l in
+      List.nth l (((p mod n) + n) mod n)
+  in
+  let pick_width w p = pick_filtered (fun (_, w') -> w' = w) w p in
+  let pick_narrow limit p =
+    pick_filtered (fun (_, w') -> w' <= limit) 1 p
+  in
+  let n_inputs = ref 0 and n_regs = ref 0 in
+  let pending_regs = ref [] in
+  let out_picks = ref [] in
+  List.iter
+    (fun step ->
+      match step with
+      | S_input w ->
+        let w = clamp_width w in
+        let id = Rtl.add_input d (Printf.sprintf "i%d" !n_inputs) w in
+        incr n_inputs;
+        add id w
+      | S_const (w, v) ->
+        let w = clamp_width w in
+        let id = Rtl.add_const d ~width:w (mask w (abs v)) in
+        add id w
+      | S_reg (w, dp) ->
+        let w = clamp_width w in
+        let id =
+          Rtl.add_register d ~name:(Printf.sprintf "r%d" !n_regs) ~width:w ()
+        in
+        incr n_regs;
+        add id w;
+        pending_regs := (id, w, dp) :: !pending_regs
+      | S_binop (opc, pa, pb) ->
+        let a, wa = pick_any pa in
+        let b, _ = pick_width wa pb in
+        let op =
+          match ((opc mod 5) + 5) mod 5 with
+          | 0 -> Rtl.Add (a, b)
+          | 1 -> Rtl.Sub (a, b)
+          | 2 -> Rtl.Bit_and (a, b)
+          | 3 -> Rtl.Bit_or (a, b)
+          | _ -> Rtl.Bit_xor (a, b)
+        in
+        add (Rtl.add_op d ~width:wa op) wa
+      | S_not p ->
+        let a, wa = pick_any p in
+        add (Rtl.add_op d ~width:wa (Rtl.Bit_not a)) wa
+      | S_mux (ps, pa, pb) ->
+        let sel, _ = pick_width 1 ps in
+        let a, wa = pick_any pa in
+        let b, _ = pick_width wa pb in
+        add (Rtl.add_op d ~width:wa (Rtl.Mux (sel, a, b))) wa
+      | S_cmp (k, pa, pb) ->
+        let a, wa = pick_any pa in
+        let b, _ = pick_width wa pb in
+        let op = if k mod 2 = 0 then Rtl.Eq (a, b) else Rtl.Lt (a, b) in
+        add (Rtl.add_op d ~width:1 op) 1
+      | S_mult (pa, pb) ->
+        let a, wa = pick_narrow 8 pa in
+        let b, wb = pick_narrow 8 pb in
+        add (Rtl.add_op d ~width:(wa + wb) (Rtl.Mult (a, b))) (wa + wb)
+      | S_slice (p, lo) ->
+        let a, wa = pick_any p in
+        let lo = ((lo mod wa) + wa) mod wa in
+        let w = wa - lo in
+        add (Rtl.add_op d ~width:w (Rtl.Slice (a, lo))) w
+      | S_concat (pa, pb) ->
+        let a, wa = pick_narrow 16 pa in
+        let b, wb = pick_narrow 16 pb in
+        add (Rtl.add_op d ~width:(wa + wb) (Rtl.Concat (a, b))) (wa + wb)
+      | S_table (bits, picks) ->
+        let picks = match picks with [] -> [ 0 ] | l -> l in
+        let picks =
+          List.filteri (fun i _ -> i < 4) picks
+        in
+        let args = List.map (fun p -> fst (pick_width 1 p)) picks in
+        let tt = Truth_table.of_bits ~arity:(List.length args) bits in
+        add (Rtl.add_op d ~width:1 (Rtl.Table (tt, args))) 1
+      | S_output p ->
+        let id, _ = pick_any p in
+        out_picks := id :: !out_picks)
+    spec;
+  (* connect registers against the *final* signal set: feedback allowed *)
+  List.iter
+    (fun (id, w, dp) ->
+      let dsig, _ = pick_width w dp in
+      Rtl.connect_register d id ~d:dsig)
+    (List.rev !pending_regs);
+  (match List.rev !out_picks with
+  | [] ->
+    let id, _ = pick_any 0 in
+    Rtl.mark_output d "o0" id
+  | outs ->
+    List.iteri
+      (fun i id -> Rtl.mark_output d (Printf.sprintf "o%d" i) id)
+      outs);
+  Rtl.validate d;
+  d
+
+(* --- random generation --- *)
+
+let random_spec rng (p : params) =
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
+  let n_inputs = ref 0 and n_regs = ref 0 in
+  let pick () = Rng.int rng 1000 in
+  let width () = 1 + Rng.int rng (max 1 p.max_width) in
+  push (S_input (width ()));
+  incr n_inputs;
+  for _ = 2 to max 1 p.steps do
+    let r = Rng.int rng 100 in
+    if r < 12 && !n_inputs < p.max_inputs then begin
+      push (S_input (width ()));
+      incr n_inputs
+    end
+    else if r < 22 && !n_regs < p.max_regs then begin
+      push (S_reg (width (), pick ()));
+      incr n_regs
+    end
+    else if r < 27 then push (S_const (width (), Rng.int rng 65536))
+    else if r < 52 then push (S_binop (Rng.int rng 5, pick (), pick ()))
+    else if r < 60 then push (S_not (pick ()))
+    else if r < 68 then push (S_mux (pick (), pick (), pick ()))
+    else if r < 74 then push (S_cmp (Rng.int rng 2, pick (), pick ()))
+    else if r < 80 then push (S_mult (pick (), pick ()))
+    else if r < 86 then push (S_slice (pick (), Rng.int rng 8))
+    else if r < 91 then push (S_concat (pick (), pick ()))
+    else if r < 96 then
+      push
+        (S_table
+           ( Rng.int64 rng,
+             [ pick (); pick (); pick () ] ))
+    else push (S_output (pick ()))
+  done;
+  push (S_output (pick ()));
+  List.rev !steps
+
+(* --- serialization --- *)
+
+let header = "rtl-spec v1"
+
+let step_to_string = function
+  | S_input w -> Printf.sprintf "input %d" w
+  | S_const (w, v) -> Printf.sprintf "const %d %d" w v
+  | S_reg (w, dp) -> Printf.sprintf "reg %d %d" w dp
+  | S_binop (o, a, b) -> Printf.sprintf "binop %d %d %d" o a b
+  | S_not a -> Printf.sprintf "not %d" a
+  | S_mux (s, a, b) -> Printf.sprintf "mux %d %d %d" s a b
+  | S_cmp (k, a, b) -> Printf.sprintf "cmp %d %d %d" k a b
+  | S_mult (a, b) -> Printf.sprintf "mult %d %d" a b
+  | S_slice (a, lo) -> Printf.sprintf "slice %d %d" a lo
+  | S_concat (a, b) -> Printf.sprintf "concat %d %d" a b
+  | S_table (bits, picks) ->
+    Printf.sprintf "table %Lx%s" bits
+      (String.concat ""
+         (List.map (fun p -> Printf.sprintf " %d" p) picks))
+  | S_output p -> Printf.sprintf "output %d" p
+
+let spec_to_string spec =
+  String.concat "\n" (header :: List.map step_to_string spec) ^ "\n"
+
+let spec_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines =
+    List.filter_map
+      (fun l ->
+        let l = String.trim l in
+        if l = "" || l.[0] = '#' then None else Some l)
+      lines
+  in
+  let body =
+    match lines with
+    | h :: rest when h = header -> rest
+    | _ -> failwith "rtl spec: missing \"rtl-spec v1\" header"
+  in
+  let num tok =
+    match int_of_string_opt tok with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "rtl spec: bad number %S" tok)
+  in
+  List.map
+    (fun line ->
+      let toks =
+        List.filter (fun t -> t <> "") (String.split_on_char ' ' line)
+      in
+      match toks with
+      | [ "input"; w ] -> S_input (num w)
+      | [ "const"; w; v ] -> S_const (num w, num v)
+      | [ "reg"; w; dp ] -> S_reg (num w, num dp)
+      | [ "binop"; o; a; b ] -> S_binop (num o, num a, num b)
+      | [ "not"; a ] -> S_not (num a)
+      | [ "mux"; s; a; b ] -> S_mux (num s, num a, num b)
+      | [ "cmp"; k; a; b ] -> S_cmp (num k, num a, num b)
+      | [ "mult"; a; b ] -> S_mult (num a, num b)
+      | [ "slice"; a; lo ] -> S_slice (num a, num lo)
+      | [ "concat"; a; b ] -> S_concat (num a, num b)
+      | "table" :: bits :: picks ->
+        let bits =
+          try Int64.of_string ("0x" ^ bits)
+          with Failure _ ->
+            failwith (Printf.sprintf "rtl spec: bad table bits %S" bits)
+        in
+        S_table (bits, List.map num picks)
+      | [ "output"; p ] -> S_output (num p)
+      | _ -> failwith (Printf.sprintf "rtl spec: bad step %S" line))
+    body
+
+let spec_size = List.length
+
+(* --- shrinking --- *)
+
+let shrink_candidates spec =
+  let arr = Array.of_list spec in
+  let n = Array.length arr in
+  let without i =
+    List.filteri (fun j _ -> j <> i) spec
+  in
+  let halves =
+    if n >= 4 then
+      [ List.filteri (fun j _ -> j < n / 2) spec;
+        List.filteri (fun j _ -> j >= n / 2) spec ]
+    else []
+  in
+  halves @ List.init n without
+
+let arbitrary (p : params) =
+  let gen =
+    QCheck.Gen.map
+      (fun seed -> random_spec (Rng.create seed) p)
+      QCheck.Gen.(0 -- 1_000_000)
+  in
+  QCheck.make ~print:spec_to_string
+    ~shrink:(fun s -> QCheck.Iter.of_list (shrink_candidates s))
+    gen
+
+(* --- stimulus --- *)
+
+let stimulus rng design =
+  List.map
+    (fun (s : Rtl.signal) ->
+      (s.Rtl.name, Rng.int rng (1 lsl min s.Rtl.width 16)))
+    (Rtl.inputs design)

@@ -1,0 +1,75 @@
+(** Seeded random RTL design generation for the differential fuzzer.
+
+    A design is described by a {e spec}: a flat list of build steps. Specs
+    are {e total} — every step list, including any sublist of a valid spec,
+    builds a valid {!Nanomap_rtl.Rtl.t}. Operand references are resolved
+    modulo the signals created so far (creating a constant when a step
+    needs a width nothing provides yet), register data inputs are connected
+    after all steps (so feedback is expressible and dangling registers are
+    impossible), and at least one primary output is always marked. Totality
+    is what makes shrinking trivial: dropping any subset of steps still
+    yields a buildable design, so the shrinker never needs to repair
+    references.
+
+    Specs serialize to a line-oriented text format (see {!spec_to_string})
+    used for the counterexample corpus under [test/corpus/]. *)
+
+type step =
+  | S_input of int  (** width *)
+  | S_const of int * int  (** width, value *)
+  | S_reg of int * int  (** width, data-input pick (resolved at the end) *)
+  | S_binop of int * int * int
+      (** opcode ([mod 5]: add sub and or xor), pick a, pick b *)
+  | S_not of int  (** pick *)
+  | S_mux of int * int * int  (** sel pick, pick a, pick b *)
+  | S_cmp of int * int * int  (** kind ([mod 2]: eq lt), pick a, pick b *)
+  | S_mult of int * int  (** pick a, pick b (operands capped at 8 bits) *)
+  | S_slice of int * int  (** pick, raw low bit ([mod] operand width) *)
+  | S_concat of int * int  (** pick a, pick b (operands capped at 16 bits) *)
+  | S_table of int64 * int list
+      (** truth-table bits, 1-bit operand picks (at most 4 used) *)
+  | S_output of int  (** pick among signals created so far *)
+
+type spec = step list
+
+type params = {
+  steps : int;  (** number of random steps to draw *)
+  max_width : int;  (** bus widths are drawn from [1 .. max_width] *)
+  max_regs : int;
+  max_inputs : int;
+}
+
+val default_params : params
+(** [{ steps = 24; max_width = 6; max_regs = 4; max_inputs = 4 }] — small
+    enough that the full flow runs in milliseconds, wide enough to exercise
+    multi-plane levelization and folding. *)
+
+val random_spec : Nanomap_util.Rng.t -> params -> spec
+(** Deterministic in the RNG state. Always creates at least one input and
+    marks at least one output. *)
+
+val build : ?name:string -> spec -> Nanomap_rtl.Rtl.t
+(** Total: never raises on any step list. The result is validated. *)
+
+val spec_size : spec -> int
+
+val spec_to_string : spec -> string
+(** Line-oriented: a [rtl-spec v1] header, then one step per line. Blank
+    lines and [#] comments are ignored by the parser. *)
+
+val spec_of_string : string -> spec
+(** Raises [Failure] on malformed input (bad header, unknown step,
+    non-numeric field). *)
+
+val shrink_candidates : spec -> spec list
+(** Strictly smaller variants, biggest bites first: the two halves (when
+    the spec has at least four steps), then every drop-one variant. *)
+
+val arbitrary : params -> spec QCheck.arbitrary
+(** QCheck generator (drawing a fresh {!Nanomap_util.Rng.t} seed per case)
+    with {!spec_to_string} printing and {!shrink_candidates} shrinking. *)
+
+val stimulus :
+  Nanomap_util.Rng.t -> Nanomap_rtl.Rtl.t -> (string * int) list
+(** One random value per primary input, suitable for
+    {!Nanomap_rtl.Rtl.sim_cycle} and {!Nanomap_emu.Emulator.macro_cycle}. *)

@@ -1,0 +1,460 @@
+module Diag = Nanomap_util.Diag
+module Rng = Nanomap_util.Rng
+module Telemetry = Nanomap_util.Telemetry
+module Rtl = Nanomap_rtl.Rtl
+module Truth_table = Nanomap_logic.Truth_table
+module Lut_network = Nanomap_techmap.Lut_network
+module Partition = Nanomap_techmap.Partition
+module Mapper = Nanomap_core.Mapper
+module Cluster = Nanomap_cluster.Cluster
+module Bitstream = Nanomap_bitstream.Bitstream
+module Emulator = Nanomap_emu.Emulator
+module Flow = Nanomap_flow.Flow
+
+type level = L_rtl | L_lut | L_emu | L_bits
+
+let level_name = function
+  | L_rtl -> "rtl-sim"
+  | L_lut -> "lut-network"
+  | L_emu -> "fabric-emulator"
+  | L_bits -> "bitstream-replay"
+
+type mismatch = {
+  golden : level;
+  suspect : level;
+  cycle : int;
+  signal : string;
+  expected : int;
+  got : int;
+}
+
+type stats = {
+  cycles_run : int;
+  reg_bits : int;
+  toggled_bits : int;
+  occupancy : float;
+}
+
+type outcome =
+  | Pass of stats
+  | Mismatch of mismatch
+  | Level_fault of level * Diag.t
+  | Flow_error of Diag.t
+
+let describe = function
+  | Pass st ->
+    Printf.sprintf "pass (%d cycles, %d/%d register bits toggled, %.0f%% timeslot occupancy)"
+      st.cycles_run st.toggled_bits st.reg_bits (100. *. st.occupancy)
+  | Mismatch m ->
+    Printf.sprintf "mismatch (%s vs %s) at cycle %d on %s: expected %d, got %s"
+      (level_name m.golden) (level_name m.suspect) m.cycle m.signal m.expected
+      (if m.got = min_int then "<absent>" else string_of_int m.got)
+  | Level_fault (l, d) ->
+    Printf.sprintf "fault at %s: %s" (level_name l) (Diag.to_string d)
+  | Flow_error d -> Printf.sprintf "flow error: %s" (Diag.to_string d)
+
+let outcome_diag = function
+  | Pass _ -> None
+  | Mismatch m ->
+    Some
+      (Diag.make ~stage:"verify" ~code:"level-mismatch"
+         ~context:
+           [ ("golden", level_name m.golden);
+             ("suspect", level_name m.suspect);
+             ("cycle", string_of_int m.cycle);
+             ("signal", m.signal);
+             ("expected", string_of_int m.expected);
+             ("got", string_of_int m.got) ]
+         "evaluation levels disagree")
+  | Level_fault (_, d) | Flow_error d -> Some d
+
+type subject = {
+  design : Rtl.t;
+  networks : Lut_network.t array;
+  plan : Mapper.plan;
+  cluster : Cluster.t;
+  bitstream : Bitstream.t option;
+}
+
+let subject_of_report (r : Flow.report) =
+  { design = r.Flow.plan.Mapper.design;
+    networks = r.Flow.prepared.Mapper.networks;
+    plan = r.Flow.plan;
+    cluster = r.Flow.cluster;
+    bitstream = r.Flow.bitstream }
+
+(* "result.3" -> ("result", 3); same convention as the emulator *)
+let split_po_name name =
+  match String.rindex_opt name '.' with
+  | None -> (name, 0)
+  | Some i ->
+    (match
+       int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1))
+     with
+    | Some bit -> (String.sub name 0 i, bit)
+    | None -> (name, 0))
+
+(* --- level 2: direct evaluation of the mapped LUT networks ---
+
+   Plane by plane, [Lut_network.eval] under the committed register/wire
+   state; wire targets become visible to later planes immediately,
+   register targets (and delay-line copies) commit at the end of the macro
+   cycle — mirroring the emulator, but with no folding schedule and no
+   flip-flop slots, so only the *networks* are under test. *)
+module Net_eval = struct
+  type t = {
+    design : Rtl.t;
+    networks : Lut_network.t array;
+    state : (int * int, bool) Hashtbl.t;
+    inputs : (string, int) Hashtbl.t;
+    direct : (Rtl.signal * Rtl.id) list;
+  }
+
+  let create design networks =
+    let state = Hashtbl.create 64 in
+    List.iter
+      (fun (r : Rtl.signal) ->
+        let init =
+          match r.Rtl.driver with
+          | Rtl.Register { init; _ } -> init
+          | Rtl.Input | Rtl.Const_driver _ | Rtl.Comb _ -> 0
+        in
+        for b = 0 to r.Rtl.width - 1 do
+          Hashtbl.replace state (r.Rtl.id, b) (init land (1 lsl b) <> 0)
+        done)
+      (Rtl.registers design);
+    let direct =
+      List.filter_map
+        (fun (s : Rtl.signal) ->
+          match s.Rtl.driver with
+          | Rtl.Register { d; _ } ->
+            (match (Rtl.signal design d).Rtl.driver with
+            | Rtl.Comb _ -> None
+            | Rtl.Register _ | Rtl.Input | Rtl.Const_driver _ -> Some (s, d))
+          | Rtl.Input | Rtl.Const_driver _ | Rtl.Comb _ -> None)
+        (Rtl.registers design)
+    in
+    { design; networks; state; inputs = Hashtbl.create 16; direct }
+
+  let state_bit t key =
+    Option.value ~default:false (Hashtbl.find_opt t.state key)
+
+  let input_bit t sid b =
+    let name = (Rtl.signal t.design sid).Rtl.name in
+    let v = Option.value ~default:0 (Hashtbl.find_opt t.inputs name) in
+    v land (1 lsl b) <> 0
+
+  let cycle t stim =
+    List.iter (fun (n, v) -> Hashtbl.replace t.inputs n v) stim;
+    let po_acc : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let record_po name value =
+      let base, idx = split_po_name name in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt po_acc base) in
+      Hashtbl.replace po_acc base
+        (if value then cur lor (1 lsl idx) else cur land lnot (1 lsl idx))
+    in
+    let pending = ref [] in
+    Array.iter
+      (fun network ->
+        let origin = function
+          | Lut_network.Register_bit (r, b) | Lut_network.Wire_bit (r, b) ->
+            state_bit t (r, b)
+          | Lut_network.Pi_bit (s, b) -> input_bit t s b
+          | Lut_network.Const_bit b -> b
+        in
+        let values = Lut_network.eval network origin in
+        List.iter
+          (fun (target, node) ->
+            match target with
+            | Lut_network.Po_target name -> record_po name values.(node)
+            | Lut_network.Wire_target (w, b) ->
+              Hashtbl.replace t.state (w, b) values.(node)
+            | Lut_network.Reg_target (r, b) ->
+              pending := ((r, b), values.(node)) :: !pending)
+          (Lut_network.outputs network))
+      t.networks;
+    (* outputs driven directly by a register/input/constant belong to no
+       plane: sample before the commit *)
+    List.iter
+      (fun (name, id) ->
+        let s = Rtl.signal t.design id in
+        match s.Rtl.driver with
+        | Rtl.Comb _ -> ()
+        | Rtl.Register _ ->
+          for b = 0 to s.Rtl.width - 1 do
+            record_po (Printf.sprintf "%s.%d" name b) (state_bit t (id, b))
+          done
+        | Rtl.Input ->
+          for b = 0 to s.Rtl.width - 1 do
+            record_po (Printf.sprintf "%s.%d" name b) (input_bit t id b)
+          done
+        | Rtl.Const_driver v ->
+          for b = 0 to s.Rtl.width - 1 do
+            record_po (Printf.sprintf "%s.%d" name b) (v land (1 lsl b) <> 0)
+          done)
+      (Rtl.outputs t.design);
+    (* delay-line registers shift from old source values at the commit *)
+    let copies =
+      List.concat_map
+        (fun ((s : Rtl.signal), d) ->
+          let src = Rtl.signal t.design d in
+          List.init s.Rtl.width (fun b ->
+              let bit =
+                match src.Rtl.driver with
+                | Rtl.Register _ -> state_bit t (src.Rtl.id, b)
+                | Rtl.Input -> input_bit t src.Rtl.id b
+                | Rtl.Const_driver v -> v land (1 lsl b) <> 0
+                | Rtl.Comb _ -> assert false
+              in
+              ((s.Rtl.id, b), bit)))
+        t.direct
+    in
+    List.iter (fun (k, v) -> Hashtbl.replace t.state k v) !pending;
+    List.iter (fun (k, v) -> Hashtbl.replace t.state k v) copies;
+    List.filter_map
+      (fun (name, _) ->
+        Option.map (fun v -> (name, v)) (Hashtbl.find_opt po_acc name))
+      (Rtl.outputs t.design)
+end
+
+(* --- level 4: decode the bitstream back into emulator overrides --- *)
+
+let replay_overrides (plan : Mapper.plan) (cl : Cluster.t) (bs : Bitstream.t) =
+  match Bitstream.parse bs.Bitstream.bytes with
+  | exception Bitstream.Corrupt msg ->
+    Error (Diag.make ~stage:"bitstream-replay" ~code:"corrupt" msg)
+  | configs ->
+    let stages = plan.Mapper.stages in
+    let num_planes = Array.length plan.Mapper.planes in
+    if Array.length configs <> stages * num_planes then
+      Error
+        (Diag.make ~stage:"bitstream-replay" ~code:"config-count"
+           ~context:
+             [ ("parsed", string_of_int (Array.length configs));
+               ("expected", string_of_int (stages * num_planes)) ]
+           "bitmap configuration count disagrees with the plan")
+    else begin
+      (* which LUTs (with their planned cycle) live on each LE slot *)
+      let by_slot : (int * int * int * int, (int * int) list ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      Array.iter
+        (fun (plp : Mapper.plane_plan) ->
+          let plane = plp.Mapper.plane_index in
+          Lut_network.iter
+            (fun l -> function
+              | Lut_network.Input _ -> ()
+              | Lut_network.Lut _ ->
+                (match Hashtbl.find_opt cl.Cluster.lut_slots (plane, l) with
+                | None -> ()
+                | Some (slot : Cluster.slot) ->
+                  let cyc =
+                    plp.Mapper.schedule.(plp.Mapper.partition
+                                           .Partition.unit_of_lut.(l))
+                  in
+                  let key =
+                    (plane, slot.Cluster.smb, slot.Cluster.mb, slot.Cluster.le)
+                  in
+                  (match Hashtbl.find_opt by_slot key with
+                  | Some r -> r := (l, cyc) :: !r
+                  | None -> Hashtbl.replace by_slot key (ref [ (l, cyc) ]))))
+            plp.Mapper.network)
+        plan.Mapper.planes;
+      let func_tbl = Hashtbl.create 64 in
+      let cycle_tbl = Hashtbl.create 64 in
+      let err = ref None in
+      let fail code context msg =
+        if !err = None then
+          err := Some (Diag.make ~stage:"bitstream-replay" ~code ~context msg)
+      in
+      Array.iteri
+        (fun idx (cfg : Bitstream.config) ->
+          let plane = (idx / stages) + 1 in
+          let cycle = (idx mod stages) + 1 in
+          List.iter
+            (fun (le : Bitstream.le_config) ->
+              if !err = None then begin
+                let where =
+                  [ ("plane", string_of_int plane);
+                    ("cycle", string_of_int cycle);
+                    ("smb", string_of_int le.Bitstream.le_smb);
+                    ("mb", string_of_int le.Bitstream.le_mb);
+                    ("le", string_of_int le.Bitstream.le_index) ]
+                in
+                let key =
+                  ( plane,
+                    le.Bitstream.le_smb,
+                    le.Bitstream.le_mb,
+                    le.Bitstream.le_index )
+                in
+                let cands =
+                  match Hashtbl.find_opt by_slot key with
+                  | Some r -> !r
+                  | None -> []
+                in
+                (* prefer the candidate planned for this cycle; a lone
+                   candidate is unambiguous even if retimed *)
+                let pick =
+                  match List.find_opt (fun (_, c) -> c = cycle) cands with
+                  | Some (l, _) -> Some l
+                  | None ->
+                    (match cands with [ (l, _) ] -> Some l | _ -> None)
+                in
+                match pick with
+                | None ->
+                  fail "unknown-le" where
+                    "decoded LE matches no clustered LUT"
+                | Some l ->
+                  let plp = plan.Mapper.planes.(plane - 1) in
+                  (match Lut_network.node plp.Mapper.network l with
+                  | Lut_network.Input _ ->
+                    fail "unknown-le" where
+                      "decoded LE resolves to a non-LUT node"
+                  | Lut_network.Lut { fanins; _ } ->
+                    let arity = Array.length fanins in
+                    if le.Bitstream.used_inputs <> arity then
+                      fail "fanin-count"
+                        (("decoded", string_of_int le.Bitstream.used_inputs)
+                        :: ("cluster", string_of_int arity)
+                        :: where)
+                        "decoded LE input count disagrees with the cluster"
+                    else if Hashtbl.mem cycle_tbl (plane, l) then
+                      fail "duplicate-le" where
+                        "LUT configured twice in the bitmap"
+                    else begin
+                      Hashtbl.replace func_tbl (plane, l)
+                        (Truth_table.of_bits ~arity
+                           (Int64.of_int le.Bitstream.truth_table));
+                      Hashtbl.replace cycle_tbl (plane, l) cycle
+                    end)
+              end)
+            cfg.Bitstream.les)
+        configs;
+      match !err with
+      | Some d -> Error d
+      | None ->
+        Ok
+          { Emulator.lut_func =
+              (fun ~plane ~lut -> Hashtbl.find_opt func_tbl (plane, lut));
+            Emulator.lut_cycle =
+              (fun ~plane ~lut ->
+                match Hashtbl.find_opt cycle_tbl (plane, lut) with
+                | Some c -> Some c
+                | None -> Some 0 (* dropped from the bitmap: never runs *)) }
+    end
+
+(* --- coverage --- *)
+
+let occupancy (plan : Mapper.plan) =
+  let stages = plan.Mapper.stages in
+  let planes = Array.length plan.Mapper.planes in
+  let used = Hashtbl.create 16 in
+  Array.iter
+    (fun (plp : Mapper.plane_plan) ->
+      Lut_network.iter
+        (fun l -> function
+          | Lut_network.Input _ -> ()
+          | Lut_network.Lut _ ->
+            let c =
+              plp.Mapper.schedule.(plp.Mapper.partition.Partition.unit_of_lut.(l))
+            in
+            Hashtbl.replace used (plp.Mapper.plane_index, c) ())
+        plp.Mapper.network)
+    plan.Mapper.planes;
+  if planes * stages = 0 then 0.
+  else float_of_int (Hashtbl.length used) /. float_of_int (planes * stages)
+
+(* --- the differential loop --- *)
+
+let c_cases = Telemetry.counter "verify.cases"
+let c_levels = Telemetry.counter "verify.levels_checked"
+let c_cycles = Telemetry.counter "verify.cycles"
+let c_mismatches = Telemetry.counter "verify.mismatches"
+let c_faults = Telemetry.counter "verify.faults"
+
+exception Stop of outcome
+
+let run ?(cycles = 50) ?(seed = 1) (s : subject) =
+  Telemetry.incr c_cases;
+  let rng = Rng.create seed in
+  let sim = Rtl.sim_create s.design in
+  let net = Net_eval.create s.design s.networks in
+  let emu = Emulator.create s.design s.plan s.cluster in
+  let remu =
+    match s.bitstream with
+    | None -> Ok None
+    | Some bs ->
+      (match replay_overrides s.plan s.cluster bs with
+      | Ok ov ->
+        Ok (Some (Emulator.create ~overrides:ov s.design s.plan s.cluster))
+      | Error d -> Error d)
+  in
+  match remu with
+  | Error d ->
+    Telemetry.incr c_faults;
+    Level_fault (L_bits, d)
+  | Ok remu ->
+    let regs = Rtl.registers s.design in
+    let reg_bits = List.fold_left (fun a (r : Rtl.signal) -> a + r.Rtl.width) 0 regs in
+    let toggled = Hashtbl.create 32 in
+    let prev = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Rtl.signal) ->
+        Hashtbl.replace prev r.Rtl.id (Rtl.sim_peek sim r.Rtl.id))
+      regs;
+    let compare_outs ~golden ~suspect cycle gold outs =
+      List.iter
+        (fun (name, v) ->
+          let got = Option.value ~default:min_int (List.assoc_opt name outs) in
+          if got <> v then begin
+            Telemetry.incr c_mismatches;
+            raise
+              (Stop
+                 (Mismatch
+                    { golden; suspect; cycle; signal = name; expected = v; got }))
+          end)
+        gold
+    in
+    (try
+       for cycle = 1 to cycles do
+         Telemetry.incr c_cycles;
+         let stim = Gen_rtl.stimulus rng s.design in
+         if cycle = 1 then Telemetry.incr c_levels;
+         let outs_rtl = Rtl.sim_cycle sim stim in
+         let eval lvl f =
+           if cycle = 1 then Telemetry.incr c_levels;
+           try f ()
+           with Diag.Fail d ->
+             Telemetry.incr c_faults;
+             raise (Stop (Level_fault (lvl, d)))
+         in
+         let outs_lut = eval L_lut (fun () -> Net_eval.cycle net stim) in
+         compare_outs ~golden:L_rtl ~suspect:L_lut cycle outs_rtl outs_lut;
+         let outs_emu = eval L_emu (fun () -> Emulator.macro_cycle emu stim) in
+         compare_outs ~golden:L_lut ~suspect:L_emu cycle outs_lut outs_emu;
+         (match remu with
+         | None -> ()
+         | Some remu ->
+           let outs_bits =
+             eval L_bits (fun () -> Emulator.macro_cycle remu stim)
+           in
+           compare_outs ~golden:L_emu ~suspect:L_bits cycle outs_emu outs_bits);
+         List.iter
+           (fun (r : Rtl.signal) ->
+             let v = Rtl.sim_peek sim r.Rtl.id in
+             let p = Hashtbl.find prev r.Rtl.id in
+             let diff = v lxor p in
+             if diff <> 0 then
+               for b = 0 to r.Rtl.width - 1 do
+                 if diff land (1 lsl b) <> 0 then
+                   Hashtbl.replace toggled (r.Rtl.id, b) ()
+               done;
+             Hashtbl.replace prev r.Rtl.id v)
+           regs
+       done;
+       Pass
+         { cycles_run = cycles;
+           reg_bits;
+           toggled_bits = Hashtbl.length toggled;
+           occupancy = occupancy s.plan }
+     with Stop o -> o)

@@ -1,0 +1,94 @@
+(** The differential oracle: one design, one stimulus stream, four
+    evaluation levels in lockstep.
+
+    {ol
+    {- {e rtl-sim} — {!Nanomap_rtl.Rtl.sim_cycle}, the golden reference;}
+    {- {e lut-network} — direct evaluation of the mapped per-plane LUT
+       networks ({!Nanomap_techmap.Lut_network.eval}): catches technology
+       mapping (decompose / simplify / FlowMap) miscompiles;}
+    {- {e fabric-emulator} — {!Nanomap_emu.Emulator.macro_cycle} on the
+       clustered fabric: catches scheduling and flip-flop-allocation
+       (lifetime) miscompiles;}
+    {- {e bitstream-replay} — the emulator again, but with every LUT's
+       truth table and folding cycle taken from the {e decoded}
+       configuration bitmap ({!replay_overrides}): catches bitstream
+       encode/decode miscompiles.}}
+
+    Adjacent levels are compared cycle by cycle; the first divergence is
+    returned as a typed {!mismatch} naming the level pair, the cycle, the
+    output signal and both values. A level that raises instead of
+    diverging (e.g. the emulator's flip-flop owner check) is reported as a
+    {!Level_fault} carrying its diagnostic.
+
+    Telemetry: counters [verify.cases], [verify.levels_checked] (levels
+    exercised, 4 per full case), [verify.cycles], [verify.mismatches] and
+    [verify.faults]. *)
+
+type level = L_rtl | L_lut | L_emu | L_bits
+
+val level_name : level -> string
+(** ["rtl-sim"], ["lut-network"], ["fabric-emulator"],
+    ["bitstream-replay"]. *)
+
+type mismatch = {
+  golden : level;
+  suspect : level;
+  cycle : int;  (** 1-based macro cycle of the divergence *)
+  signal : string;  (** primary-output name *)
+  expected : int;
+  got : int;  (** [min_int] when the suspect did not produce the signal *)
+}
+
+(** Coverage achieved by a passing case. *)
+type stats = {
+  cycles_run : int;
+  reg_bits : int;  (** total register bits in the design *)
+  toggled_bits : int;  (** register bits that changed at least once *)
+  occupancy : float;
+      (** fraction of (plane, folding-cycle) timeslots executing >= 1 LUT *)
+}
+
+type outcome =
+  | Pass of stats
+  | Mismatch of mismatch
+  | Level_fault of level * Nanomap_util.Diag.t
+      (** a level failed internally instead of producing outputs *)
+  | Flow_error of Nanomap_util.Diag.t
+      (** the flow never produced a subject (reported by {!Fuzz}) *)
+
+val describe : outcome -> string
+
+val outcome_diag : outcome -> Nanomap_util.Diag.t option
+(** [None] for [Pass]; mismatches become stage ["verify"], code
+    ["level-mismatch"] diagnostics with the pair, cycle, signal and both
+    values in context. *)
+
+(** Everything the oracle needs about one mapped design. *)
+type subject = {
+  design : Nanomap_rtl.Rtl.t;
+  networks : Nanomap_techmap.Lut_network.t array;
+  plan : Nanomap_core.Mapper.plan;
+  cluster : Nanomap_cluster.Cluster.t;
+  bitstream : Nanomap_bitstream.Bitstream.t option;
+      (** [None] (logical-only flow) skips the replay level *)
+}
+
+val subject_of_report : Nanomap_flow.Flow.report -> subject
+
+val replay_overrides :
+  Nanomap_core.Mapper.plan ->
+  Nanomap_cluster.Cluster.t ->
+  Nanomap_bitstream.Bitstream.t ->
+  (Nanomap_emu.Emulator.overrides, Nanomap_util.Diag.t) result
+(** Decode the bitmap and cross-reference each LE configuration with the
+    clustering (the bitmap does not encode LUT connectivity): resolve the
+    (plane, folding cycle, LE slot) of every decoded entry back to its LUT
+    node and return overrides replaying the {e decoded} truth tables and
+    cycle assignments. LUTs absent from the bitmap are mapped to cycle 0
+    so their consumers hit the emulator's unwritten-slot check. Errors
+    (stage ["bitstream-replay"]): ["corrupt"], ["config-count"],
+    ["unknown-le"], ["fanin-count"], ["duplicate-le"]. *)
+
+val run : ?cycles:int -> ?seed:int -> subject -> outcome
+(** Drive [cycles] (default 50) macro cycles of seeded random stimulus
+    through all levels. Deterministic in [seed] (default 1). *)

@@ -10,6 +10,10 @@ module Arch = Nanomap_arch.Arch
 module Cluster = Nanomap_cluster.Cluster
 module Emulator = Nanomap_emu.Emulator
 module Rng = Nanomap_util.Rng
+module Flow = Nanomap_flow.Flow
+module Check = Nanomap_flow.Check
+module Bitstream = Nanomap_bitstream.Bitstream
+module Diag = Nanomap_util.Diag
 
 let check = Alcotest.check
 
@@ -73,11 +77,15 @@ let test_biquad_single_plane () =
 
 (* --- through the full flow with fabric emulation --- *)
 
+(* [level] 0 means the no-folding baseline. *)
 let lockstep ?(cycles = 60) name level =
   let design = load name in
   let arch = Arch.unbounded_k in
   let p = Mapper.prepare design in
-  let plan = Mapper.plan_level p ~arch ~level in
+  let plan =
+    if level = 0 then Mapper.no_folding p ~arch
+    else Mapper.plan_level p ~arch ~level
+  in
   let cl = Cluster.pack plan ~arch in
   Cluster.validate cl plan;
   let emu = Emulator.create design plan cl in
@@ -98,11 +106,56 @@ let lockstep ?(cycles = 60) name level =
       expected
   done
 
-let test_mac_folded () = lockstep "mac.vhd" 2
-let test_fir4_folded () = lockstep "fir4.vhd" 1
-let test_biquad_folded () = lockstep "biquad.vhd" 2
-let test_pipeline3_folded () = lockstep "pipeline3.vhd" 2
-let test_counter_folded () = lockstep "counter.vhd" 1
+let all_designs =
+  [ "mac.vhd"; "fir4.vhd"; "biquad.vhd"; "pipeline3.vhd"; "counter.vhd" ]
+
+(* Every shipped design, 100 macro cycles, at folding levels 1 and 2 and
+   the no-folding baseline: the emulator must track the RTL simulator
+   exactly in all three execution regimes. *)
+let differential_cases =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun level ->
+          let label =
+            Printf.sprintf "%s level %s" name
+              (if level = 0 then "none" else string_of_int level)
+          in
+          Alcotest.test_case label `Quick (fun () ->
+              lockstep ~cycles:100 name level))
+        [ 1; 2; 0 ])
+    all_designs
+
+(* The full physical flow must emit a bitstream whose
+   encode -> parse -> encode round-trip is byte-identical, and which the
+   Full-level checker accepts. *)
+let test_bitstream_roundtrip name () =
+  let design = load name in
+  let arch = Arch.unbounded_k in
+  let options =
+    { Flow.default_options with Flow.check_level = Check.Off }
+  in
+  match Flow.run_result ~options ~arch design with
+  | Error d -> Alcotest.fail (Diag.to_string d)
+  | Ok report ->
+    (match report.Flow.bitstream with
+    | None -> Alcotest.fail "physical flow produced no bitstream"
+    | Some bs ->
+      let num_smbs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
+      let re = Bitstream.encode_configs ~num_smbs cfgs in
+      check Alcotest.bool
+        (Printf.sprintf "%s bitstream byte-identical round-trip" name)
+        true
+        (Bytes.equal re bs.Bitstream.bytes);
+      (match Check.bitstream Check.Full ~arch bs with
+      | Ok () -> ()
+      | Error d -> Alcotest.fail (Diag.to_string d)))
+
+let roundtrip_cases =
+  List.map
+    (fun name ->
+      Alcotest.test_case name `Quick (test_bitstream_roundtrip name))
+    all_designs
 
 let () =
   Alcotest.run "designs"
@@ -112,9 +165,5 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter_behaviour;
           Alcotest.test_case "pipeline3 planes" `Quick test_pipeline3_planes;
           Alcotest.test_case "biquad plane" `Quick test_biquad_single_plane ] );
-      ( "folded",
-        [ Alcotest.test_case "mac" `Quick test_mac_folded;
-          Alcotest.test_case "fir4" `Quick test_fir4_folded;
-          Alcotest.test_case "biquad" `Quick test_biquad_folded;
-          Alcotest.test_case "pipeline3" `Quick test_pipeline3_folded;
-          Alcotest.test_case "counter" `Quick test_counter_folded ] ) ]
+      ("differential", differential_cases);
+      ("bitstream-roundtrip", roundtrip_cases) ]

@@ -10,6 +10,7 @@ module Flowmap = Nanomap_techmap.Flowmap
 module Lut_network = Nanomap_techmap.Lut_network
 module Partition = Nanomap_techmap.Partition
 module Rng = Nanomap_util.Rng
+module Gen_rtl = Nanomap_verify.Gen_rtl
 
 let check = Alcotest.check
 
@@ -437,7 +438,134 @@ let test_full_chain_against_rtl_sim () =
   done;
   ignore x
 
+(* --- property: simplify preserves the truth table of random netlists --- *)
+
+(* Exhaustive equivalence of a tagged netlist against its simplified form,
+   keyed by PI origin (simplification reorders and drops inputs). *)
+let simplify_preserves tg tg' n =
+  let eval tgx bits =
+    let sim_inputs =
+      List.map
+        (fun (_, gid) ->
+          match List.assoc gid tgx.Decompose.input_origins with
+          | Lut_network.Pi_bit (i, _) -> bits.(i)
+          | Lut_network.Const_bit b -> b
+          | Lut_network.Register_bit _ | Lut_network.Wire_bit _ -> false)
+        (Gate_netlist.inputs tgx.Decompose.gates)
+    in
+    Gate_netlist.simulate tgx.Decompose.gates (Array.of_list sim_inputs)
+  in
+  let ok = ref true in
+  for v = 0 to (1 lsl n) - 1 do
+    let bits = Array.init n (fun i -> v land (1 lsl i) <> 0) in
+    let va = eval tg bits and vb = eval tg' bits in
+    List.iter
+      (fun (target, gid) ->
+        let gid' = List.assoc target tg'.Decompose.output_targets in
+        if va.(gid) <> vb.(gid') then ok := false)
+      tg.Decompose.output_targets
+  done;
+  !ok
+
+let simplify_equiv_prop =
+  QCheck.Test.make ~name:"simplify preserves function on random netlists"
+    ~count:30
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nl =
+        Gen.random_layered rng ~num_inputs:6 ~layers:5 ~layer_width:8
+          ~num_outputs:5
+      in
+      let tg = tag_netlist nl in
+      simplify_preserves tg (Simplify.run tg) 6)
+
+(* --- property: decompose (and simplify) preserve RTL semantics ---
+
+   Random pure-combinational Gen_rtl designs with at most 6 input bits:
+   the decomposed (optionally simplified) plane netlist must agree with
+   the RTL reference simulator on every input assignment. *)
+
+let split_po name =
+  match String.rindex_opt name '.' with
+  | None -> (name, 0)
+  | Some i ->
+    (match
+       int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1))
+     with
+    | Some bit -> (String.sub name 0 i, bit)
+    | None -> (name, 0))
+
+let decompose_prop ~simplify_too name =
+  QCheck.Test.make ~name ~count:30
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let spec =
+        Gen_rtl.random_spec rng
+          { Gen_rtl.steps = 12; max_width = 2; max_regs = 0; max_inputs = 3 }
+      in
+      let d = Gen_rtl.build spec in
+      let lv = Levelize.levelize d in
+      let tg = Decompose.plane lv 1 in
+      let tg = if simplify_too then Simplify.run tg else tg in
+      let inputs = Rtl.inputs d in
+      let total_bits =
+        List.fold_left (fun a (s : Rtl.signal) -> a + s.Rtl.width) 0 inputs
+      in
+      assert (total_bits <= 6);
+      let ok = ref true in
+      for v = 0 to (1 lsl total_bits) - 1 do
+        let stim, _ =
+          List.fold_left
+            (fun (acc, off) (s : Rtl.signal) ->
+              ( (s.Rtl.name, (v lsr off) land ((1 lsl s.Rtl.width) - 1)) :: acc,
+                off + s.Rtl.width ))
+            ([], 0) inputs
+        in
+        let sim = Rtl.sim_create d in
+        let outs = Rtl.sim_cycle sim stim in
+        let input_bit sid b =
+          let s = Rtl.signal d sid in
+          List.assoc s.Rtl.name stim land (1 lsl b) <> 0
+        in
+        let gate_inputs =
+          List.map
+            (fun (_, gid) ->
+              match List.assoc gid tg.Decompose.input_origins with
+              | Lut_network.Pi_bit (sid, b) -> input_bit sid b
+              | Lut_network.Const_bit b -> b
+              | Lut_network.Register_bit _ | Lut_network.Wire_bit _ -> false)
+            (Gate_netlist.inputs tg.Decompose.gates)
+        in
+        let values =
+          Gate_netlist.simulate tg.Decompose.gates (Array.of_list gate_inputs)
+        in
+        List.iter
+          (fun (target, gid) ->
+            match target with
+            | Lut_network.Po_target po ->
+              let base, idx = split_po po in
+              let expected = List.assoc base outs land (1 lsl idx) <> 0 in
+              if values.(gid) <> expected then ok := false
+            | Lut_network.Reg_target _ | Lut_network.Wire_target _ -> ())
+          tg.Decompose.output_targets
+      done;
+      !ok)
+
+let decompose_equiv_prop =
+  decompose_prop ~simplify_too:false
+    "decompose preserves RTL semantics on random designs"
+
+let decompose_simplify_equiv_prop =
+  decompose_prop ~simplify_too:true
+    "decompose+simplify preserves RTL semantics on random designs"
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ flowmap_equiv_prop ]
+
+let qsuite_preserve =
+  List.map QCheck_alcotest.to_alcotest
+    [ simplify_equiv_prop; decompose_equiv_prop; decompose_simplify_equiv_prop ]
 
 let () =
   Alcotest.run "techmap"
@@ -463,4 +591,5 @@ let () =
       ( "blif-export",
         [ Alcotest.test_case "roundtrip" `Quick test_lut_blif_roundtrip ] );
       ( "full-chain",
-        [ Alcotest.test_case "RTL sim vs mapped" `Quick test_full_chain_against_rtl_sim ] ) ]
+        [ Alcotest.test_case "RTL sim vs mapped" `Quick test_full_chain_against_rtl_sim ] );
+      ("preserve-properties", qsuite_preserve) ]

@@ -1,0 +1,406 @@
+(* The differential verification subsystem: generator totality, oracle
+   clean runs, fault detection at the right level pair, shrinking, the
+   counterexample corpus, and the bitstream replay decoding. *)
+
+module Rtl = Nanomap_rtl.Rtl
+module Arch = Nanomap_arch.Arch
+module Mapper = Nanomap_core.Mapper
+module Cluster = Nanomap_cluster.Cluster
+module Emulator = Nanomap_emu.Emulator
+module Bitstream = Nanomap_bitstream.Bitstream
+module Flow = Nanomap_flow.Flow
+module Fault = Nanomap_flow.Fault
+module Diag = Nanomap_util.Diag
+module Rng = Nanomap_util.Rng
+module Telemetry = Nanomap_util.Telemetry
+module Gen_rtl = Nanomap_verify.Gen_rtl
+module Oracle = Nanomap_verify.Oracle
+module Fuzz = Nanomap_verify.Fuzz
+
+let check = Alcotest.check
+
+(* --- a small design with a comb-driven PO (so functional faults are
+   observable at the outputs immediately) and enough depth to fold --- *)
+
+let accumulator () =
+  let d = Rtl.create "acc4" in
+  let x = Rtl.add_input d "x" 4 in
+  let r = Rtl.add_register d ~name:"r" ~width:4 () in
+  let sum = Rtl.add_op d ~name:"sum" ~width:4 (Rtl.Add (r, x)) in
+  Rtl.connect_register d r ~d:sum;
+  Rtl.mark_output d "y" sum;
+  Rtl.validate d;
+  d
+
+let subject_of ?(fold = Fuzz.F_level 1) design =
+  match
+    Flow.run_result
+      ~options:(Fuzz.flow_options ~seed:1 fold)
+      ~arch:Arch.unbounded_k design
+  with
+  | Error d -> Alcotest.fail (Diag.to_string d)
+  | Ok report -> (report, Oracle.subject_of_report report)
+
+(* --- clean oracle runs --- *)
+
+let test_oracle_pass () =
+  let _, subject = subject_of (accumulator ()) in
+  match Oracle.run ~cycles:60 ~seed:3 subject with
+  | Oracle.Pass st ->
+    check Alcotest.int "cycles" 60 st.Oracle.cycles_run;
+    check Alcotest.bool "some register bits toggled" true
+      (st.Oracle.toggled_bits > 0);
+    check Alcotest.bool "occupancy positive" true (st.Oracle.occupancy > 0.)
+  | o -> Alcotest.fail (Oracle.describe o)
+
+let test_campaign_counters () =
+  let c_cases = Telemetry.counter "verify.cases" in
+  let c_levels = Telemetry.counter "verify.levels_checked" in
+  let c_cycles = Telemetry.counter "verify.cycles" in
+  let cases0 = Telemetry.value c_cases in
+  let levels0 = Telemetry.value c_levels in
+  let cycles0 = Telemetry.value c_cycles in
+  let summary =
+    Fuzz.run { Fuzz.default_config with Fuzz.count = 8; cycles = 20; seed = 7 }
+  in
+  check Alcotest.int "all passed" 8 summary.Fuzz.passed;
+  check Alcotest.int "no failures" 0 (List.length summary.Fuzz.failures);
+  check Alcotest.int "no flow errors" 0 (List.length summary.Fuzz.flow_errors);
+  check Alcotest.int "verify.cases delta" 8 (Telemetry.value c_cases - cases0);
+  (* four levels exercised per case, including the bitstream replay *)
+  check Alcotest.int "verify.levels_checked delta" 32
+    (Telemetry.value c_levels - levels0);
+  check Alcotest.int "verify.cycles delta" 160
+    (Telemetry.value c_cycles - cycles0);
+  (* one journaled event per case *)
+  let case_events =
+    List.filter
+      (fun (e : Telemetry.event) -> e.Telemetry.label = "verify.case")
+      (Telemetry.events summary.Fuzz.telemetry)
+  in
+  check Alcotest.int "verify.case events" 8 (List.length case_events)
+
+(* --- fault injection: each fault class caught at its level pair --- *)
+
+let test_fault_flipped_lut () =
+  let report, subject = subject_of (accumulator ()) in
+  let prepared', plan' =
+    Fault.flip_network_lut report.Flow.prepared report.Flow.plan
+  in
+  check Alcotest.bool "injector found a victim" true
+    (prepared' != report.Flow.prepared);
+  let subject =
+    { subject with
+      Oracle.networks = prepared'.Mapper.networks;
+      Oracle.plan = plan' }
+  in
+  match Oracle.run ~cycles:40 subject with
+  | Oracle.Mismatch m ->
+    check Alcotest.string "golden" "rtl-sim" (Oracle.level_name m.Oracle.golden);
+    check Alcotest.string "suspect" "lut-network"
+      (Oracle.level_name m.Oracle.suspect)
+  | o -> Alcotest.fail ("expected (rtl,lut) mismatch, got " ^ Oracle.describe o)
+
+let test_fault_misrouted_ff () =
+  let report, subject = subject_of ~fold:(Fuzz.F_level 1) (accumulator ()) in
+  let cl' = Fault.misroute_ff_slot report.Flow.plan report.Flow.cluster in
+  check Alcotest.bool "injector found a victim" true
+    (cl' != report.Flow.cluster);
+  let subject = { subject with Oracle.cluster = cl' } in
+  match Oracle.run ~cycles:40 subject with
+  | Oracle.Level_fault (Oracle.L_emu, d) ->
+    check Alcotest.string "code" "slot-overwritten" d.Diag.code
+  | o ->
+    Alcotest.fail ("expected emulator slot fault, got " ^ Oracle.describe o)
+
+let test_fault_inverted_bitstream () =
+  let _, subject = subject_of (accumulator ()) in
+  let bs =
+    match subject.Oracle.bitstream with
+    | Some bs -> bs
+    | None -> Alcotest.fail "no bitstream"
+  in
+  let bs' = Fault.invert_bitstream_luts bs in
+  check Alcotest.bool "injector changed the bitmap" true
+    (not (Bytes.equal bs'.Bitstream.bytes bs.Bitstream.bytes));
+  let subject = { subject with Oracle.bitstream = Some bs' } in
+  match Oracle.run ~cycles:40 subject with
+  | Oracle.Mismatch m ->
+    check Alcotest.string "golden" "fabric-emulator"
+      (Oracle.level_name m.Oracle.golden);
+    check Alcotest.string "suspect" "bitstream-replay"
+      (Oracle.level_name m.Oracle.suspect)
+  | o -> Alcotest.fail ("expected (emu,bits) mismatch, got " ^ Oracle.describe o)
+
+let test_fault_corrupt_bitstream () =
+  let _, subject = subject_of (accumulator ()) in
+  let bs =
+    match subject.Oracle.bitstream with
+    | Some bs -> bs
+    | None -> Alcotest.fail "no bitstream"
+  in
+  let subject =
+    { subject with Oracle.bitstream = Some (Fault.corrupt_bitstream bs) }
+  in
+  match Oracle.run ~cycles:40 subject with
+  | Oracle.Level_fault (Oracle.L_bits, d) ->
+    check Alcotest.string "code" "corrupt" d.Diag.code
+  | o -> Alcotest.fail ("expected bitstream fault, got " ^ Oracle.describe o)
+
+(* dropping an LE configuration from the bitmap must surface at the replay
+   level — either as an unwritten-slot fault or as a value mismatch *)
+let test_fault_dropped_le () =
+  let _, subject = subject_of (accumulator ()) in
+  let bs =
+    match subject.Oracle.bitstream with
+    | Some bs -> bs
+    | None -> Alcotest.fail "no bitstream"
+  in
+  let num_smbs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
+  let dropped = ref false in
+  let cfgs =
+    Array.map
+      (fun (c : Bitstream.config) ->
+        match c.Bitstream.les with
+        | le :: rest when not !dropped ->
+          ignore le;
+          dropped := true;
+          { c with Bitstream.les = rest }
+        | _ -> c)
+      cfgs
+  in
+  check Alcotest.bool "dropped an LE" true !dropped;
+  let bs' = { bs with Bitstream.bytes = Bitstream.encode_configs ~num_smbs cfgs } in
+  let subject = { subject with Oracle.bitstream = Some bs' } in
+  match Oracle.run ~cycles:40 subject with
+  | Oracle.Level_fault (Oracle.L_bits, _) -> ()
+  | Oracle.Mismatch m when m.Oracle.suspect = Oracle.L_bits -> ()
+  | o ->
+    Alcotest.fail ("expected replay-level detection, got " ^ Oracle.describe o)
+
+(* --- emulator hold semantics --- *)
+
+let test_missing_input_holds () =
+  let d = Rtl.create "hold" in
+  let a = Rtl.add_input d "a" 4 in
+  let b = Rtl.add_input d "b" 4 in
+  let sum = Rtl.add_op d ~width:4 (Rtl.Add (a, b)) in
+  Rtl.mark_output d "y" sum;
+  Rtl.validate d;
+  let p = Mapper.prepare d in
+  let plan = Mapper.no_folding p ~arch:Arch.unbounded_k in
+  let cl = Cluster.pack plan ~arch:Arch.unbounded_k in
+  let emu = Emulator.create d plan cl in
+  let sim = Rtl.sim_create d in
+  let run stim =
+    let e = Rtl.sim_cycle sim stim in
+    let g = Emulator.macro_cycle emu stim in
+    check Alcotest.int "agree" (List.assoc "y" e) (List.assoc "y" g);
+    List.assoc "y" g
+  in
+  check Alcotest.int "both driven" 8 (run [ ("a", 5); ("b", 3) ]);
+  (* b missing: holds 3 *)
+  check Alcotest.int "b held" 5 (run [ ("a", 2) ]);
+  (* both missing: both held *)
+  check Alcotest.int "both held" 5 (run []);
+  ignore a;
+  ignore b
+
+(* --- spec serialization and shrinking --- *)
+
+let spec_roundtrip_prop =
+  QCheck.Test.make ~name:"spec serialization round-trips" ~count:50
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let spec = Gen_rtl.random_spec rng Gen_rtl.default_params in
+      Gen_rtl.spec_of_string (Gen_rtl.spec_to_string spec) = spec)
+
+let build_total_prop =
+  QCheck.Test.make ~name:"every sub-spec builds a valid design" ~count:30
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let spec = Gen_rtl.random_spec rng Gen_rtl.default_params in
+      (* the full spec and every drop-one/halved variant must build *)
+      List.for_all
+        (fun s ->
+          match Gen_rtl.build s with
+          | d ->
+            Rtl.validate d;
+            true
+          | exception _ -> false)
+        (spec :: Gen_rtl.shrink_candidates spec))
+
+let fuzz_pass_prop =
+  QCheck.Test.make ~name:"random designs pass the four-level oracle" ~count:15
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let spec = Gen_rtl.random_spec rng Gen_rtl.default_params in
+      match Fuzz.run_spec ~cycles:20 ~seed Fuzz.F_auto spec with
+      | Oracle.Pass _ -> true
+      | o ->
+        Printf.eprintf "seed %d: %s\n" seed (Oracle.describe o);
+        false)
+
+let has_mult spec =
+  List.exists (function Gen_rtl.S_mult _ -> true | _ -> false) spec
+
+let synthetic_outcome spec =
+  if has_mult spec then
+    Oracle.Mismatch
+      { Oracle.golden = Oracle.L_rtl;
+        suspect = Oracle.L_lut;
+        cycle = 1;
+        signal = "o0";
+        expected = 0;
+        got = 1 }
+  else
+    Oracle.Pass
+      { Oracle.cycles_run = 1; reg_bits = 0; toggled_bits = 0; occupancy = 0. }
+
+let test_shrink_to_minimum () =
+  (* find a spec with a mult step *)
+  let rng = Rng.create 11 in
+  let rec gen () =
+    let spec = Gen_rtl.random_spec rng Gen_rtl.default_params in
+    if has_mult spec then spec else gen ()
+  in
+  let spec = gen () in
+  let shrunk =
+    Fuzz.shrink ~budget:500
+      ~still_fails:(fun s ->
+        Fuzz.same_failure_class (synthetic_outcome s) (synthetic_outcome spec))
+      spec
+  in
+  check Alcotest.int "shrunk to one step" 1 (Gen_rtl.spec_size shrunk);
+  check Alcotest.bool "the mult survived" true (has_mult shrunk)
+
+(* --- campaign with injected failures: corpus write + reload --- *)
+
+let test_corpus_write_and_reload () =
+  let dir =
+    (* unique path without depending on unix: claim a temp file name,
+       free it, and let the corpus writer create the directory *)
+    let f = Filename.temp_file "nanomap-corpus" "" in
+    Sys.remove f;
+    f
+  in
+  let cfg =
+    { Fuzz.default_config with
+      Fuzz.seed = 11;
+      count = 12;
+      corpus_dir = Some dir;
+      shrink_budget = 500 }
+  in
+  let summary = Fuzz.run ~eval:synthetic_outcome cfg in
+  check Alcotest.bool "some cases failed" true (summary.Fuzz.failures <> []);
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      match f.Fuzz.corpus_file with
+      | None -> Alcotest.fail "failure without corpus file"
+      | Some path ->
+        check Alcotest.bool (path ^ " exists") true (Sys.file_exists path);
+        check Alcotest.int "fully shrunk" 1 (Gen_rtl.spec_size f.Fuzz.shrunk))
+    summary.Fuzz.failures;
+  let corpus = Fuzz.load_corpus dir in
+  check Alcotest.int "all counterexamples reloadable"
+    (List.length summary.Fuzz.failures)
+    (List.length corpus);
+  (* every reloaded counterexample still reproduces its failure class *)
+  List.iter
+    (fun (_, spec) ->
+      check Alcotest.bool "still fails" true
+        (match synthetic_outcome spec with
+        | Oracle.Mismatch _ -> true
+        | _ -> false))
+    corpus;
+  (* cleanup *)
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* --- replay of the checked-in corpus: fixed bugs can never return --- *)
+
+let corpus_dir () =
+  let rec hunt dir depth =
+    let candidate = Filename.concat (Filename.concat dir "test") "corpus" in
+    if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+    else if depth > 8 then failwith "test/corpus not found"
+    else hunt (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  hunt (Sys.getcwd ()) 0
+
+let test_corpus_replay () =
+  let corpus = Fuzz.load_corpus (corpus_dir ()) in
+  check Alcotest.bool "corpus non-empty" true (corpus <> []);
+  List.iter
+    (fun (name, spec) ->
+      match Fuzz.run_spec ~cycles:40 ~seed:1 Fuzz.F_auto spec with
+      | Oracle.Pass _ -> ()
+      | o ->
+        Alcotest.fail (Printf.sprintf "corpus %s regressed: %s" name
+                         (Oracle.describe o)))
+    corpus
+
+(* --- bitstream round-trip strictness --- *)
+
+let test_bitstream_strictness () =
+  let _, subject = subject_of (accumulator ()) in
+  let bs =
+    match subject.Oracle.bitstream with
+    | Some bs -> bs
+    | None -> Alcotest.fail "no bitstream"
+  in
+  let num_smbs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
+  let re = Bitstream.encode_configs ~num_smbs cfgs in
+  check Alcotest.bool "byte-identical" true (Bytes.equal re bs.Bitstream.bytes);
+  (* trailing garbage must be rejected *)
+  let padded = Bytes.extend bs.Bitstream.bytes 0 1 in
+  Bytes.set padded (Bytes.length padded - 1) '\x00';
+  (match Bitstream.parse padded with
+  | _ -> Alcotest.fail "trailing byte accepted"
+  | exception Bitstream.Corrupt _ -> ());
+  (* bad magic must be rejected *)
+  let bad = Bytes.copy bs.Bitstream.bytes in
+  Bytes.set bad 0 'X';
+  match Bitstream.parse bad with
+  | _ -> Alcotest.fail "bad magic accepted"
+  | exception Bitstream.Corrupt _ -> ()
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ spec_roundtrip_prop; build_total_prop; fuzz_pass_prop ]
+
+let () =
+  Alcotest.run "verify"
+    [ ( "oracle",
+        [ Alcotest.test_case "clean pass" `Quick test_oracle_pass;
+          Alcotest.test_case "campaign counters" `Quick test_campaign_counters;
+          Alcotest.test_case "missing input holds" `Quick
+            test_missing_input_holds ] );
+      ( "faults",
+        [ Alcotest.test_case "flipped LUT -> (rtl,lut)" `Quick
+            test_fault_flipped_lut;
+          Alcotest.test_case "misrouted FF -> emulator fault" `Quick
+            test_fault_misrouted_ff;
+          Alcotest.test_case "inverted bitstream -> (emu,bits)" `Quick
+            test_fault_inverted_bitstream;
+          Alcotest.test_case "corrupt bitstream -> replay fault" `Quick
+            test_fault_corrupt_bitstream;
+          Alcotest.test_case "dropped LE -> replay-level detection" `Quick
+            test_fault_dropped_le ] );
+      ( "shrinking",
+        [ Alcotest.test_case "greedy shrink to minimum" `Quick
+            test_shrink_to_minimum;
+          Alcotest.test_case "corpus write and reload" `Quick
+            test_corpus_write_and_reload ] );
+      ( "corpus",
+        [ Alcotest.test_case "checked-in corpus replays clean" `Quick
+            test_corpus_replay ] );
+      ( "bitstream",
+        [ Alcotest.test_case "round-trip strictness" `Quick
+            test_bitstream_strictness ] );
+      ("properties", qsuite) ]

@@ -25,18 +25,23 @@ bench:
 # fabric-emulator, bitstream-replay). Failures shrink to minimal
 # reproducers under test/corpus/, which dune runtest replays forever.
 # Override e.g. FUZZ_SEED=7 FUZZ_COUNT=500 to steer a long campaign.
+# FUZZ_JOBS sets the worker-domain count (0 = auto); campaign output is
+# byte-identical for every value, only the wall clock changes.
 FUZZ_SEED ?= 1
 FUZZ_COUNT ?= 200
+FUZZ_JOBS ?= 0
 fuzz: build
-	dune exec bin/nanomap_cli.exe -- fuzz --seed $(FUZZ_SEED) --count $(FUZZ_COUNT) --corpus $(CURDIR)/test/corpus
+	dune exec bin/nanomap_cli.exe -- fuzz --seed $(FUZZ_SEED) --count $(FUZZ_COUNT) --jobs $(FUZZ_JOBS) --corpus $(CURDIR)/test/corpus
 
 # CI gate: a fixed-seed campaign sized to stay well under a minute,
 # sweeping the folding regimes and larger designs than the default.
+# Run with FUZZ_JOBS=1 and FUZZ_JOBS=4 in the CI matrix: identical
+# verdicts, ~the wall-clock ratio is the parallel speedup.
 fuzz-smoke: build
-	dune exec bin/nanomap_cli.exe -- fuzz --seed 42 --count 2000 --cycles 60
-	dune exec bin/nanomap_cli.exe -- fuzz --seed 43 --count 1200 --folding none
-	dune exec bin/nanomap_cli.exe -- fuzz --seed 44 --count 1200 --folding 2
-	dune exec bin/nanomap_cli.exe -- fuzz --seed 45 --count 600 --steps 48 --max-regs 6 --max-width 8
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 42 --count 2000 --cycles 60 --jobs $(FUZZ_JOBS)
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 43 --count 1200 --folding none --jobs $(FUZZ_JOBS)
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 44 --count 1200 --folding 2 --jobs $(FUZZ_JOBS)
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 45 --count 600 --steps 48 --max-regs 6 --max-width 8 --jobs $(FUZZ_JOBS)
 
 # Refresh the routed-result regression corpus in test/golden/ after an
 # intentional router change (the golden diff test will tell you when).

@@ -8,7 +8,8 @@
       to one small circuit; --route-alg=full, =incremental or =both selects
       the router variant(s) the profile experiment exercises;
       --check=off|fast|full sets the flow's inter-stage invariant checking
-      level for the profile runs)
+      level for the profile runs; --jobs=N sets the worker-domain count
+      for the profile flow runs, 0 = auto)
 
    Absolute numbers come from our own substrate (see DESIGN.md for the
    substitutions); the shapes are what reproduce the paper. *)
@@ -30,6 +31,8 @@ module Partition = Nanomap_techmap.Partition
 module Truth_table = Nanomap_logic.Truth_table
 module Check = Nanomap_flow.Check
 module Diag = Nanomap_util.Diag
+module Pool = Nanomap_util.Pool
+module Fuzz = Nanomap_verify.Fuzz
 
 let section title = Printf.printf "\n=== %s ===\n\n%!" title
 
@@ -679,6 +682,7 @@ let speed () =
 let smoke = ref false
 let route_algs = ref `Both
 let check_level = ref Check.Fast
+let bench_jobs = ref 0 (* 0 = auto (recommended domain count, capped) *)
 
 let profile () =
   section "Flow profile: per-stage spans and cross-layer counters";
@@ -698,6 +702,8 @@ let profile () =
       exit 1
     end
   in
+  let resolved_jobs = Pool.resolve_jobs !bench_jobs in
+  Printf.printf "profile: %d worker domain(s)\n%!" resolved_jobs;
   let runs =
     List.concat_map
       (fun (b : Circuits.benchmark) ->
@@ -706,7 +712,8 @@ let profile () =
             let options =
               { Flow.default_options with
                 Flow.route_alg = alg;
-                check_level = !check_level }
+                check_level = !check_level;
+                jobs = resolved_jobs }
             in
             let r = Flow.run ~options ~arch:Arch.unbounded_k b.Circuits.design in
             let tag = Printf.sprintf "%s [%s]" b.Circuits.name alg_name in
@@ -781,6 +788,82 @@ let profile () =
         (b.Circuits.name, off, fast, pct))
       benches
   in
+  (* Parallel-scaling sub-experiment: each multicore stage — the fuzz
+     campaign, the placement portfolio, the folding-level sweep — at 1, 2
+     and 4 workers. Gates on the determinism contract: every worker count
+     must produce the identical result (for the fuzz campaign, the whole
+     timing-free telemetry JSON), so the rows differ in wall clock only. *)
+  let scaling =
+    let worker_counts = [ 1; 2; 4 ] in
+    let b = if !smoke then Circuits.ex1_small () else Circuits.ex1 () in
+    let p = Mapper.prepare b.Circuits.design in
+    let arch = Arch.unbounded_k in
+    let stage name run =
+      let rows =
+        List.map
+          (fun w ->
+            let t0 = Unix.gettimeofday () in
+            let fingerprint = run w in
+            (w, Unix.gettimeofday () -. t0, fingerprint))
+          worker_counts
+      in
+      (match rows with
+       | (_, _, serial_fp) :: rest ->
+         List.iter
+           (fun (w, _, fp) ->
+             gate (fp = serial_fp)
+               (Printf.sprintf
+                  "parallel_scaling %s: %d-worker result differs from serial"
+                  name w))
+           rest
+       | [] -> ());
+      let base = match rows with (_, dt, _) :: _ -> dt | [] -> 1.0 in
+      let speedup dt = if dt > 0.0 then base /. dt else 1.0 in
+      Printf.printf "parallel scaling %-16s %s\n%!" name
+        (String.concat "  "
+           (List.map
+              (fun (w, dt, _) ->
+                Printf.sprintf "-j%d %.2fs (%.2fx)" w dt (speedup dt))
+              rows));
+      (name, List.map (fun (w, dt, _) -> (w, dt, speedup dt)) rows)
+    in
+    let fuzz_stage =
+      stage "fuzz_campaign" (fun w ->
+          let cfg =
+            { Fuzz.default_config with
+              Fuzz.seed = 42;
+              count = (if !smoke then 60 else 200);
+              cycles = 20;
+              jobs = w }
+          in
+          let s = Fuzz.run cfg in
+          Nanomap_util.Telemetry.to_json_string ~timings:false s.Fuzz.telemetry)
+    in
+    let plan = Mapper.plan_level p ~arch ~level:1 in
+    let cl = Cluster.pack plan ~arch in
+    let place_stage =
+      stage "place_portfolio" (fun w ->
+          Pool.with_pool ~jobs:w (fun pool ->
+              let pl = Place.portfolio ~pool ~count:8 ~seed:3 cl in
+              Printf.sprintf "%.4f|%s" pl.Place.hpwl
+                (String.concat ","
+                   (Array.to_list
+                      (Array.map
+                         (fun (x, y) -> Printf.sprintf "%d.%d" x y)
+                         pl.Place.smb_xy)))))
+    in
+    let sweep_stage =
+      stage "folding_sweep" (fun w ->
+          Pool.with_pool ~jobs:w (fun pool ->
+              String.concat ";"
+                (List.map
+                   (fun (lvl, pl) ->
+                     Printf.sprintf "%d:%d:%d:%.4f" lvl pl.Mapper.stages
+                       pl.Mapper.les pl.Mapper.delay_ns)
+                   (Mapper.sweep ~pool p ~arch))))
+    in
+    [ fuzz_stage; place_stage; sweep_stage ]
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"benchmarks\":[";
   List.iteri
@@ -809,6 +892,33 @@ let profile () =
            "{\"name\":%s,\"check_off_s\":%.4f,\"check_fast_s\":%.4f,\"overhead_pct\":%.1f}"
            (Telemetry.json_string name) off fast pct))
     overheads;
+  Buffer.add_string buf "]";
+  Buffer.add_string buf (Printf.sprintf ",\"jobs\":%d" resolved_jobs);
+  (* Physical workers cap at the hardware parallelism (Pool's guard
+     against GC-barrier stalls from oversubscription), so on a 1-core
+     machine every parallel_scaling row is an honest ~1.0x; the speedup
+     shows on multi-core hosts like the CI runners. Recording the cap
+     makes the rows interpretable either way. *)
+  Buffer.add_string buf
+    (Printf.sprintf ",\"hardware_domains\":%d"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf ",\"parallel_scaling\":[";
+  List.iteri
+    (fun i (name, rows) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"stage\":%s,\"runs\":["
+           (Telemetry.json_string name));
+      List.iteri
+        (fun j (w, dt, speedup) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"workers\":%d,\"wall_s\":%.4f,\"speedup_vs_1\":%.2f}" w dt
+               speedup))
+        rows;
+      Buffer.add_string buf "]}")
+    scaling;
   Buffer.add_string buf "]";
   Buffer.add_string buf "}";
   let oc = open_out "BENCH_profile.json" in
@@ -845,6 +955,14 @@ let () =
            | Some l -> check_level := l
            | None ->
              Printf.eprintf "bad --check level in %s (off|fast|full)\n" a;
+             exit 2);
+          false
+        end
+        else if String.length a > 7 && String.sub a 0 7 = "--jobs=" then begin
+          (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+           | Some n -> bench_jobs := n
+           | None ->
+             Printf.eprintf "bad --jobs count in %s (0 = auto)\n" a;
              exit 2);
           false
         end

@@ -20,6 +20,7 @@ module Defect = Nanomap_arch.Defect
 module Diag = Nanomap_util.Diag
 module Fuzz = Nanomap_verify.Fuzz
 module Gen_rtl = Nanomap_verify.Gen_rtl
+module Pool = Nanomap_util.Pool
 
 let setup_logs level =
   Fmt_tty.setup_std_outputs ();
@@ -71,6 +72,15 @@ let arch_of_k k =
 let verbosity =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable informational logging.")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel stages (folding-level \
+                 sweep, placement portfolio, fuzz case evaluation). 0 \
+                 (default) = auto: the machine's recommended domain count, \
+                 capped at 8. Results are byte-identical for every $(docv); \
+                 only the wall clock changes.")
+
 (* ------------------------------------------------------------- map cmd *)
 
 let objective_conv =
@@ -115,7 +125,7 @@ let route_alg_conv =
 
 let run_map circuit blif vhdl objective area delay level logical pipelined seed
     route_alg check_level defects_file bitstream_out dump_blif trace json_out
-    verbose k =
+    verbose k jobs portfolio =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   let defects =
     match defects_file with
@@ -152,7 +162,9 @@ let run_map circuit blif vhdl objective area delay level logical pipelined seed
         seed;
         route_alg;
         check_level;
-        defects }
+        defects;
+        jobs = Pool.resolve_jobs jobs;
+        portfolio = max 1 portfolio }
     in
     (match Flow.run_result ~options ~arch:(arch_of_k k) design with
      | Error d -> prerr_endline ("error: " ^ Diag.to_string d); 2
@@ -275,12 +287,20 @@ let map_cmd =
          & info [ "json" ] ~docv:"FILE"
              ~doc:"Write the run telemetry as JSON to $(docv).")
   in
+  let portfolio =
+    Arg.(value & opt int 1
+         & info [ "portfolio" ] ~docv:"N"
+             ~doc:"Anneal $(docv) independent detailed-placement seeds and \
+                   keep the best-HPWL legal result. Part of the result \
+                   (unlike --jobs, which only parallelizes the work).")
+  in
   Cmd.v
     (Cmd.info "map" ~doc:"Run the NanoMap flow on a design")
     Term.(
       const run_map $ circuit_arg $ blif_arg $ vhdl_arg $ objective $ area $ delay
       $ level $ logical $ pipelined $ seed $ route_alg $ check_level $ defects
-      $ bitstream_out $ dump_blif $ trace $ json_out $ verbosity $ k_arg)
+      $ bitstream_out $ dump_blif $ trace $ json_out $ verbosity $ k_arg
+      $ jobs_arg $ portfolio)
 
 (* ----------------------------------------------------------- stats cmd *)
 
@@ -449,7 +469,7 @@ let emulate_cmd =
 (* ------------------------------------------------------------ fuzz cmd *)
 
 let run_fuzz seed count cycles steps max_width max_regs max_inputs folding
-    corpus trace verbose =
+    corpus trace verbose jobs =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   match Fuzz.fold_of_string folding with
   | None ->
@@ -463,6 +483,7 @@ let run_fuzz seed count cycles steps max_width max_regs max_inputs folding
         cycles;
         fold;
         corpus_dir = corpus;
+        jobs = Pool.resolve_jobs jobs;
         gen =
           { Gen_rtl.steps;
             max_width;
@@ -525,7 +546,7 @@ let fuzz_cmd =
              emulator, decoded-bitstream replay)")
     Term.(
       const run_fuzz $ seed $ count $ cycles $ steps $ max_width $ max_regs
-      $ max_inputs $ folding $ corpus $ trace $ verbosity)
+      $ max_inputs $ folding $ corpus $ trace $ verbosity $ jobs_arg)
 
 (* ------------------------------------------------------------ list cmd *)
 

@@ -228,18 +228,28 @@ let min_level_for p ~arch =
   Fold.min_level ~depth_max:p.depth_max ~num_planes:p.num_planes
     ~num_reconf:arch.Arch.num_reconf
 
-let sweep ?(scheduler = Fds) p ~arch =
+(* Candidate levels are independent, so with a pool they are planned
+   concurrently; results come back in level order either way, and
+   infeasible levels are dropped after the join, so the candidate list is
+   identical for every worker count. *)
+let sweep ?(scheduler = Fds) ?pool p ~arch =
   let lo = min_level_for p ~arch in
-  let rec loop level acc =
-    if level > p.depth_max then List.rev acc
-    else begin
+  if lo > p.depth_max then []
+  else begin
+    let levels = Array.init (p.depth_max - lo + 1) (fun i -> lo + i) in
+    let eval level =
       match plan_level ~scheduler p ~arch ~level with
-      | plan -> loop (level + 1) ((level, plan) :: acc)
-      | exception (Sched.Infeasible _ | No_feasible_mapping _) ->
-        loop (level + 1) acc
-    end
-  in
-  loop lo []
+      | plan -> Some (level, plan)
+      | exception (Sched.Infeasible _ | No_feasible_mapping _) -> None
+    in
+    let plans =
+      match pool with
+      | Some pool when Array.length levels > 1 ->
+        Nanomap_util.Pool.map pool ~f:eval levels
+      | Some _ | None -> Array.map eval levels
+    in
+    List.filter_map Fun.id (Array.to_list plans)
+  end
 
 let delay_min ?area p ~arch =
   match area with
@@ -268,8 +278,8 @@ let delay_min ?area p ~arch =
      | Some plan when plan.les <= available_le -> plan
      | Some _ | None -> refine level0)
 
-let area_min ?delay_ns p ~arch =
-  let candidates = sweep p ~arch in
+let area_min ?delay_ns ?pool p ~arch =
+  let candidates = sweep ?pool p ~arch in
   let candidates =
     match delay_ns with
     | None -> candidates
@@ -292,8 +302,8 @@ let area_min ?delay_ns p ~arch =
       (fun best (_, pl) -> if pl.les < best.les then pl else best)
       first rest
 
-let at_min p ~arch =
-  let candidates = sweep p ~arch in
+let at_min ?pool p ~arch =
+  let candidates = sweep ?pool p ~arch in
   let candidates =
     match no_folding p ~arch with
     | plan -> (plan.level, plan) :: candidates
@@ -307,8 +317,8 @@ let at_min p ~arch =
       (fun best (_, pl) -> if product pl < product best then pl else best)
       first rest
 
-let both_constraints ~area ~delay_ns p ~arch =
-  let candidates = sweep p ~arch in
+let both_constraints ?pool ~area ~delay_ns p ~arch =
+  let candidates = sweep ?pool p ~arch in
   let candidates =
     match no_folding p ~arch with
     | plan -> (plan.level, plan) :: candidates

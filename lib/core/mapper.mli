@@ -78,11 +78,14 @@ val delay_min_pipelined :
 
 val sweep :
   ?scheduler:scheduler ->
+  ?pool:Nanomap_util.Pool.t ->
   prepared ->
   arch:Nanomap_arch.Arch.t ->
   (int * plan) list
 (** All feasible levels from the Eq. 3 minimum up to [depth_max], with
-    their plans. Never raises; infeasible levels are dropped. *)
+    their plans. Never raises; infeasible levels are dropped. With [pool]
+    the candidate levels are planned concurrently; the result is
+    identical (same order, same plans) for any worker count. *)
 
 (** {2 Objectives (Table 2)} *)
 
@@ -94,15 +97,27 @@ val delay_min :
     scheduler bound fits. Raises {!No_feasible_mapping}. *)
 
 val area_min :
-  ?delay_ns:float -> prepared -> arch:Nanomap_arch.Arch.t -> plan
-(** Minimize LEs under an optional delay constraint. *)
+  ?delay_ns:float ->
+  ?pool:Nanomap_util.Pool.t ->
+  prepared ->
+  arch:Nanomap_arch.Arch.t ->
+  plan
+(** Minimize LEs under an optional delay constraint. [pool] parallelizes
+    the underlying level {!sweep}. *)
 
-val at_min : prepared -> arch:Nanomap_arch.Arch.t -> plan
-(** Minimize the area-delay product (Table 1's objective). *)
+val at_min : ?pool:Nanomap_util.Pool.t -> prepared -> arch:Nanomap_arch.Arch.t -> plan
+(** Minimize the area-delay product (Table 1's objective). [pool]
+    parallelizes the underlying level {!sweep}. *)
 
 val both_constraints :
-  area:int -> delay_ns:float -> prepared -> arch:Nanomap_arch.Arch.t -> plan
-(** Any mapping satisfying both constraints (minimum delay among them). *)
+  ?pool:Nanomap_util.Pool.t ->
+  area:int ->
+  delay_ns:float ->
+  prepared ->
+  arch:Nanomap_arch.Arch.t ->
+  plan
+(** Any mapping satisfying both constraints (minimum delay among them).
+    [pool] parallelizes the underlying level {!sweep}. *)
 
 val no_folding : prepared -> arch:Nanomap_arch.Arch.t -> plan
 (** The traditional-FPGA baseline: every plane in one configuration. *)

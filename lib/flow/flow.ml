@@ -36,6 +36,8 @@ type options = {
   check_level : Check.level;
   defects : Defect.t;
   route_caps : Rr_graph.caps;
+  jobs : int;
+  portfolio : int;
 }
 
 let default_options =
@@ -47,7 +49,9 @@ let default_options =
     route_alg = Router.Incremental;
     check_level = Check.Fast;
     defects = Defect.none;
-    route_caps = Rr_graph.default_caps }
+    route_caps = Rr_graph.default_caps;
+    jobs = 1;
+    portfolio = 1 }
 
 type report = {
   design_name : string;
@@ -70,12 +74,12 @@ type report = {
 
 exception Flow_failed of string
 
-let initial_plan options prepared ~arch =
+let initial_plan ?pool options prepared ~arch =
   match options.objective with
   | Delay_min area -> Mapper.delay_min ?area prepared ~arch
-  | Area_min delay_ns -> Mapper.area_min ?delay_ns prepared ~arch
-  | At_min -> Mapper.at_min prepared ~arch
-  | Both (area, delay_ns) -> Mapper.both_constraints ~area ~delay_ns prepared ~arch
+  | Area_min delay_ns -> Mapper.area_min ?delay_ns ?pool prepared ~arch
+  | At_min -> Mapper.at_min ?pool prepared ~arch
+  | Both (area, delay_ns) -> Mapper.both_constraints ?pool ~area ~delay_ns prepared ~arch
   | Fixed_level level -> Mapper.plan_level prepared ~arch ~level
   | No_folding -> Mapper.no_folding prepared ~arch
   | Pipelined_delay_min area -> Mapper.delay_min_pipelined ~area prepared ~arch
@@ -175,7 +179,7 @@ let run_result ?(options = default_options) ?(arch = Arch.default) design =
     Telemetry.finish tele;
     result
   in
-  let body =
+  let body pool =
     let* prepared =
       protect "prepare" (fun () ->
           Telemetry.span tele "prepare" (fun () ->
@@ -185,7 +189,8 @@ let run_result ?(options = default_options) ?(arch = Arch.default) design =
     let* () = checked (Check.techmap level prepared) in
     let* plan0 =
       protect "plan" (fun () ->
-          Telemetry.span tele "plan" (fun () -> initial_plan options prepared ~arch))
+          Telemetry.span tele "plan" (fun () ->
+              initial_plan ?pool options prepared ~arch))
     in
     let* plan, cluster, mapping_retries =
       protect "cluster" (fun () ->
@@ -270,8 +275,9 @@ let run_result ?(options = default_options) ?(arch = Arch.default) design =
           protect "place" (fun () ->
               let placement =
                 Telemetry.span tele "place_detailed" (fun () ->
-                    Place.place ~seed:(seed + chosen_try) ~effort:`Detailed
-                      ~init:fast ~defects:options.defects cluster)
+                    Place.portfolio ?pool ~count:options.portfolio
+                      ~seed:(seed + chosen_try) ~effort:`Detailed ~init:fast
+                      ~defects:options.defects cluster)
               in
               Place.validate placement cluster;
               placement)
@@ -380,7 +386,15 @@ let run_result ?(options = default_options) ?(arch = Arch.default) design =
         ~seed:options.seed ~caps:options.route_caps
     end
   in
-  finish_with body
+  (* [jobs] buys wall-clock only: the folding-level sweep and the
+     placement portfolio merge deterministically, so the report is
+     byte-identical for every worker count. jobs = 1 spawns nothing. *)
+  let result =
+    if options.jobs > 1 then
+      Nanomap_util.Pool.with_pool ~jobs:options.jobs (fun p -> body (Some p))
+    else body None
+  in
+  finish_with result
 
 let run ?options ?arch design =
   match run_result ?options ?arch design with

@@ -61,11 +61,21 @@ type options = {
   route_caps : Nanomap_route.Rr_graph.caps;
                         (** base per-channel track counts (the adaptive
                             router and the degradation policy scale them) *)
+  jobs : int;           (** worker domains for the folding-level sweep and
+                            the placement portfolio (1 = serial, spawns
+                            nothing). Changes wall-clock only: the report
+                            is byte-identical for every value *)
+  portfolio : int;      (** independent detailed-placement seeds annealed
+                            per attempt, best HPWL kept (1 = single
+                            anneal). Part of the result, NOT tied to
+                            [jobs], so output stays worker-count
+                            independent *)
 }
 
 val default_options : options
 (** [At_min], physical, seed 1, threshold 8.0, 2 retries, incremental
-    routing, [Fast] checks, no defects, default track caps. *)
+    routing, [Fast] checks, no defects, default track caps, [jobs = 1],
+    [portfolio = 1]. *)
 
 type report = {
   design_name : string;

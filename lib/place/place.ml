@@ -455,3 +455,29 @@ let validate t (cl : Cluster.t) =
           "pad not on the perimeter ring")
     t.pad_xy;
   ignore cl
+
+(* Multi-seed portfolio: the annealer is cheap enough to run several
+   times, and independent seeds explore different basins. Candidate
+   seeds are a fixed arithmetic offset of [seed] (not the worker count),
+   and the winner is the lowest-HPWL legal placement with ties broken by
+   the lowest candidate index — so the result is a pure function of
+   [count] and [seed], whatever the pool size. *)
+let portfolio ?pool ?(count = 1) ?(seed = 1) ?(effort = `Detailed)
+    ?(joint = true) ?init ?(defects = Defect.none) (cl : Cluster.t) =
+  if count <= 1 then place ~seed ~effort ~joint ?init ~defects cl
+  else begin
+    let anneal _i cand_seed =
+      let p = place ~seed:cand_seed ~effort ~joint ?init ~defects cl in
+      validate p cl;
+      p
+    in
+    let seeds = Array.init count (fun i -> seed + (7919 * i)) in
+    let candidates =
+      match pool with
+      | Some pool -> Nanomap_util.Pool.mapi pool ~f:anneal seeds
+      | None -> Array.mapi anneal seeds
+    in
+    let best = ref candidates.(0) in
+    Array.iter (fun c -> if c.hpwl < !best.hpwl then best := c) candidates;
+    !best
+  end

@@ -50,6 +50,24 @@ val place :
     [init] that violates the map is discarded. Raises [Diag.Fail] (code
     ["defect-unplaceable"]) if no defect-free site remains for some SMB. *)
 
+val portfolio :
+  ?pool:Nanomap_util.Pool.t ->
+  ?count:int ->
+  ?seed:int ->
+  ?effort:[ `Fast | `Detailed ] ->
+  ?joint:bool ->
+  ?init:t ->
+  ?defects:Nanomap_arch.Defect.t ->
+  Nanomap_cluster.Cluster.t ->
+  t
+(** Multi-seed annealing portfolio: run {!place} on [count] (default 1)
+    independent seeds — [seed + 7919*i] for candidate [i] — validate each,
+    and keep the lowest-HPWL placement (ties: lowest candidate index).
+    With [pool] the candidates anneal concurrently; the chosen placement
+    is a pure function of [count] and [seed], independent of the worker
+    count. [count <= 1] is exactly {!place}. Other arguments are passed
+    through to each candidate run. *)
+
 val hpwl : t -> Nanomap_cluster.Cluster.t -> float
 (** Joint HPWL of a placement (recomputed from scratch; used by tests and
     the ablation, independent of the annealer's incremental bookkeeping). *)

@@ -49,6 +49,7 @@ type t = {
   sink_of_pad : int array;
   defective : bool array;
   lookahead_cache : (int, float array) Hashtbl.t;
+  lookahead_lock : Mutex.t;
 }
 
 let cost_eps = 0.01
@@ -88,7 +89,8 @@ let make ?defective ~kind ~delay ~adj ~src_of_smb ~sink_of_smb ~src_of_pad
     src_of_pad;
     sink_of_pad;
     defective;
-    lookahead_cache = Hashtbl.create 32 }
+    lookahead_cache = Hashtbl.create 32;
+    lookahead_lock = Mutex.create () }
 
 (* Exact distance-to-sink lower bounds: a backward Dijkstra from [sink]
    over the reversed graph with uncongested base costs. The router's
@@ -97,10 +99,7 @@ let make ?defective ~kind ~delay ~adj ~src_of_smb ~sink_of_smb ~src_of_pad
    consistent — A* heuristics for any congestion state. Cached per sink:
    every net of every PathFinder iteration targeting the same SMB/pad sink
    shares one computation. *)
-let lookahead t sink =
-  match Hashtbl.find_opt t.lookahead_cache sink with
-  | Some dist -> dist
-  | None ->
+let compute_lookahead t sink =
     let dist = Array.make t.num_nodes infinity in
     let heap = Nanomap_util.Min_heap.create () in
     dist.(sink) <- 0.0;
@@ -123,7 +122,30 @@ let lookahead t sink =
             t.radj.(v)
         end
     done;
-    Hashtbl.replace t.lookahead_cache sink dist;
+    dist
+
+(* The cache is shared mutable state; routers on different pool domains
+   may share one graph, so find/insert run under the lock. The Dijkstra
+   itself runs unlocked — a race merely computes the same (deterministic)
+   table twice, and the first insertion stays canonical. *)
+let lookahead t sink =
+  Mutex.lock t.lookahead_lock;
+  match Hashtbl.find_opt t.lookahead_cache sink with
+  | Some dist ->
+    Mutex.unlock t.lookahead_lock;
+    dist
+  | None ->
+    Mutex.unlock t.lookahead_lock;
+    let dist = compute_lookahead t sink in
+    Mutex.lock t.lookahead_lock;
+    let dist =
+      match Hashtbl.find_opt t.lookahead_cache sink with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.replace t.lookahead_cache sink dist;
+        dist
+    in
+    Mutex.unlock t.lookahead_lock;
     dist
 
 type builder = {

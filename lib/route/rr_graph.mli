@@ -52,6 +52,9 @@ type t = {
   lookahead_cache : (int, float array) Hashtbl.t;
                             (** sink node -> per-node lower bounds; filled
                                 lazily by {!lookahead} *)
+  lookahead_lock : Mutex.t; (** guards {!field-lookahead_cache} so routers
+                                on different pool domains can share one
+                                graph *)
 }
 
 val build :

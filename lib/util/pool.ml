@@ -1,0 +1,178 @@
+(* A deterministic fixed-size domain pool. Scheduling is free-for-all
+   (any idle domain claims the next unclaimed index), but everything
+   observable is pinned to submission order: results land in a slot per
+   index, seeds are derived before any task runs, and the join point
+   re-raises the lowest-index failure. The submitting domain works too,
+   so [jobs = 1] runs entirely on the caller with no domain spawned. *)
+
+let default_jobs_cap = 8
+
+let default_jobs () = min default_jobs_cap (Domain.recommended_domain_count ())
+
+let resolve_jobs n = if n <= 0 then default_jobs () else n
+
+(* One batch of tasks. [run] owns per-task exception capture, so from the
+   pool's point of view it never raises. *)
+type job = {
+  run : int -> unit;
+  total : int;
+  mutable next : int;       (* next unclaimed task index *)
+  mutable completed : int;
+}
+
+type t = {
+  n_jobs : int;           (* requested parallelism, reported by [jobs] *)
+  n_workers : int;        (* domains that actually participate in a map *)
+  mutex : Mutex.t;
+  work : Condition.t;       (* a job was published, or shutdown began *)
+  idle : Condition.t;       (* the current job's last task completed *)
+  mutable current : job option;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.n_jobs
+let workers t = t.n_workers
+
+(* Workers loop: claim an index under the mutex, run it unlocked, book the
+   completion. The final completion wakes the submitter. *)
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec claim () =
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      None
+    end
+    else
+      match t.current with
+      | Some j when j.next < j.total ->
+        let i = j.next in
+        j.next <- i + 1;
+        Mutex.unlock t.mutex;
+        Some (j, i)
+      | Some _ | None ->
+        Condition.wait t.work t.mutex;
+        claim ()
+  in
+  match claim () with
+  | None -> ()
+  | Some (j, i) ->
+    j.run i;
+    Mutex.lock t.mutex;
+    j.completed <- j.completed + 1;
+    if j.completed = j.total then Condition.broadcast t.idle;
+    Mutex.unlock t.mutex;
+    worker t
+
+let create ?jobs ?(oversubscribe = false) () =
+  let n = match jobs with None -> default_jobs () | Some j -> max 1 j in
+  (* Results are pinned to submission order regardless of who runs what,
+     so the worker-domain count is purely a wall-clock decision. More
+     domains than cores is strictly harmful (each minor GC is a
+     stop-the-world handshake across every domain, and oversubscribed
+     domains stall the barrier), so physical workers are capped at the
+     hardware parallelism unless a test explicitly opts out to exercise
+     the multi-domain protocol on any machine. *)
+  let w =
+    if oversubscribe then n
+    else min n (Domain.recommended_domain_count ())
+  in
+  let t =
+    { n_jobs = n;
+      n_workers = w;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      current = None;
+      stopping = false;
+      domains = [] }
+  in
+  t.domains <- List.init (w - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ds = t.domains in
+  t.stopping <- true;
+  t.domains <- [];
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ds
+
+let with_pool ?jobs ?oversubscribe f =
+  let t = create ?jobs ?oversubscribe () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* The submitter publishes the job, then helps drain it; it only blocks
+   once no task is left to claim but stragglers are still running. *)
+let run_job t job =
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: used after shutdown"
+  end;
+  if t.current <> None then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: a task may not map on the pool running it"
+  end;
+  if job.total > 0 then begin
+    t.current <- Some job;
+    Condition.broadcast t.work;
+    let rec help () =
+      if job.next < job.total then begin
+        let i = job.next in
+        job.next <- i + 1;
+        Mutex.unlock t.mutex;
+        job.run i;
+        Mutex.lock t.mutex;
+        job.completed <- job.completed + 1;
+        help ()
+      end
+      else if job.completed < job.total then begin
+        Condition.wait t.idle t.mutex;
+        help ()
+      end
+    in
+    help ();
+    t.current <- None
+  end;
+  Mutex.unlock t.mutex
+
+let mapi t ~f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let run i =
+      let r =
+        match f i xs.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r
+    in
+    run_job t { run; total = n; next = 0; completed = 0 };
+    (* First failure wins, deterministically: the scan is in index order
+       and every task has run to completion by now. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false)
+      results
+  end
+
+let map t ~f xs = mapi t ~f:(fun _ x -> f x) xs
+
+let map_seeded t ~rng ~f xs =
+  (* Seeds are split off serially, in index order, before any task runs:
+     task [i]'s stream is a function of [rng]'s state and [i] alone. *)
+  let seeds = Array.map (fun _ -> Rng.split rng) xs in
+  mapi t ~f:(fun i x -> f seeds.(i) x) xs
+
+let map_reduce t ~f ~combine ~init xs =
+  Array.fold_left combine init (map t ~f xs)

@@ -1,0 +1,79 @@
+(** A fixed-size worker pool over OCaml 5 domains, with a determinism
+    contract: the worker count changes {e wall-clock time only}, never a
+    result.
+
+    Every [map]-family function hands out tasks to whichever domain is
+    free, but
+
+    - results are combined in {e submission order}, regardless of
+      completion order;
+    - per-task randomness ({!map_seeded}) is derived from the parent RNG
+      {e serially, in index order}, before any task runs, so task [i]
+      sees the same seed whether the pool has one worker or sixteen;
+    - a raising task never tears down the pool: every task runs to
+      completion, exceptions are captured per task, and the join point
+      re-raises the exception of the {e lowest-index} failing task with
+      its original backtrace (so a [Diag.Fail] thrown inside a worker
+      surfaces exactly as it would from serial code).
+
+    A pool of [jobs = 1] spawns no domains at all — everything runs on
+    the calling domain — which makes [-j 1] trivially byte-identical to
+    the pre-pool serial code and cheap enough to keep as a default.
+
+    The submitting domain participates in the work, so a pool of [jobs]
+    uses [jobs - 1] spawned domains. Maps on one pool do not nest: a
+    task must not call a [map] on the pool that is running it (use a
+    serial fallback or a second pool instead). *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8 — the default for
+    [--jobs] auto mode. *)
+
+val resolve_jobs : int -> int
+(** CLI convention: [resolve_jobs n] is [n] for positive [n] and
+    {!default_jobs}[ ()] for zero or negative (the "auto" spelling). *)
+
+val create : ?jobs:int -> ?oversubscribe:bool -> unit -> t
+(** A pool of [jobs] workers (default {!default_jobs}[ ()]; values < 1
+    are clamped to 1). Spawns [workers - 1] domains that live until
+    {!shutdown}, where [workers = min jobs (recommended_domain_count)]:
+    since results never depend on the worker count, physical domains are
+    capped at the hardware parallelism — running more would only stall
+    the stop-the-world GC barrier. [~oversubscribe:true] disables the
+    cap so tests can exercise the multi-domain protocol even on a
+    single-core machine. *)
+
+val jobs : t -> int
+(** The requested parallelism (what [-j] was set to). *)
+
+val workers : t -> int
+(** The number of domains that actually cooperate on a map, including
+    the caller — [min (jobs t) (recommended_domain_count ())] unless the
+    pool was created with [~oversubscribe:true]. *)
+
+val map : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map pool ~f xs] is [Array.map f xs] computed on the pool's workers.
+    Result order is submission order. *)
+
+val mapi : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+
+val map_seeded :
+  t -> rng:Rng.t -> f:(Rng.t -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!map} but each task gets its own private RNG, split off [rng]
+    serially in index order before any task starts (advancing [rng] by
+    one draw per task). Identical streams for every worker count. *)
+
+val map_reduce :
+  t -> f:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a array -> 'acc
+(** [map] then a left fold of [combine] over the results in submission
+    order — the deterministic merge point for sharded campaigns. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. Using the pool after
+    shutdown raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> ?oversubscribe:bool -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

@@ -1,26 +1,61 @@
 (* Counters are process-global so that hot layers never thread a handle;
-   a run reports deltas against snapshots taken at span boundaries. *)
+   a run reports deltas against snapshots taken at span boundaries.
+   Increments are atomic so pool workers (Pool) can bump the same counter
+   concurrently without losing counts; the registry itself is interned
+   under a mutex for the rare case of first-use registration off the main
+   domain. Runs/spans/events/gauges stay single-domain: a run must be
+   driven from one domain, with pool workers quiescent at span
+   boundaries.
+
+   A single shared Atomic.t would be correct but slow: the hot layers
+   (annealer moves, router heap traffic) bump counters millions of times
+   per run, and concurrent fetch-and-adds on one location bounce its
+   cache line between cores — measurably *slowing* parallel runs down.
+   So each counter is striped: one separately-allocated (and padded, so
+   two stripes never share a cache line) atomic cell per domain slot,
+   picked by domain id. A domain increments its own cell uncontended;
+   readers sum the stripes. Sums are exact — reads happen at span/run
+   boundaries with workers quiescent. *)
+
+let stripes = 8 (* power of two; >= Pool.default_jobs_cap *)
 
 type counter = {
   cname : string;
-  mutable count : int;
+  cells : int Atomic.t array;
 }
 
+let make_cells () =
+  Array.init stripes (fun _ ->
+      let cell = Atomic.make 0 in
+      (* Padding between consecutively-allocated cells, so each stripe
+         owns its cache line. The block must stay reachable only long
+         enough to keep the allocator from reusing the gap — dropping it
+         immediately is fine; it just spaces the allocations. *)
+      ignore (Sys.opaque_identity (Array.make 8 0));
+      cell)
+
+let registry_lock = Mutex.create ()
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
 let all_counters : counter list ref = ref []
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-    let c = { cname = name; count = 0 } in
-    Hashtbl.replace registry name c;
-    all_counters := c :: !all_counters;
-    c
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; cells = make_cells () } in
+      Hashtbl.replace registry name c;
+      all_counters := c :: !all_counters;
+      c
+  in
+  Mutex.unlock registry_lock;
+  c
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let value c = c.count
+let cell c = c.cells.((Domain.self () :> int) land (stripes - 1))
+let incr c = Atomic.incr (cell c)
+let add c n = ignore (Atomic.fetch_and_add (cell c) n)
+let value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.cells
 
 (* ------------------------------------------------------------- runs *)
 
@@ -63,15 +98,22 @@ type run = {
   mutable rcounters : (string * int) list;
 }
 
+let live_counters () =
+  Mutex.lock registry_lock;
+  let cs = !all_counters in
+  Mutex.unlock registry_lock;
+  cs
+
 let take_snapshot () : snapshot =
-  List.rev_map (fun c -> (c, c.count)) !all_counters
+  List.rev_map (fun c -> (c, value c)) (live_counters ())
 
 let deltas_since (snap : snapshot) =
   List.filter_map
     (fun c ->
       let base = match List.assq_opt c snap with Some v -> v | None -> 0 in
-      if c.count <> base then Some (c.cname, c.count - base) else None)
-    !all_counters
+      let v = value c in
+      if v <> base then Some (c.cname, v - base) else None)
+    (live_counters ())
   |> List.sort compare
 
 let default_clock = Monotonic_clock.now

@@ -3,11 +3,16 @@
     renderers.
 
     Counters are process-global and always on: incrementing one is a single
-    unboxed field write, so hot loops (annealer moves, router heap traffic,
-    FDS force evaluations) can call {!incr} unconditionally. A {!run}
-    attributes counter activity to stages by snapshotting the registry at
-    span boundaries; everything a run reports is a {e delta} against those
-    snapshots, so runs are independent even though the counters are shared. *)
+    atomic fetch-and-add, so hot loops (annealer moves, router heap traffic,
+    FDS force evaluations) can call {!incr} unconditionally — including
+    concurrently from {!Pool} worker domains, without losing counts. A
+    {!run} attributes counter activity to stages by snapshotting the
+    registry at span boundaries; everything a run reports is a {e delta}
+    against those snapshots, so runs are independent even though the
+    counters are shared. Runs themselves (spans, events, gauges) are
+    single-domain: drive a run from one domain and keep pool workers
+    quiescent across span boundaries, and the reported deltas are a pure
+    function of the work done — independent of the worker count. *)
 
 (** {1 Counters} *)
 
@@ -19,10 +24,10 @@ val counter : string -> counter
     module level so hot paths pay only the increment. *)
 
 val incr : counter -> unit
-(** Add one. Does not allocate. *)
+(** Add one, atomically. Does not allocate. *)
 
 val add : counter -> int -> unit
-(** Add [n]. Does not allocate. *)
+(** Add [n], atomically. Does not allocate. *)
 
 val value : counter -> int
 (** Current absolute value (since process start). *)

@@ -1,5 +1,6 @@
 module Diag = Nanomap_util.Diag
 module Rng = Nanomap_util.Rng
+module Pool = Nanomap_util.Pool
 module Telemetry = Nanomap_util.Telemetry
 module Arch = Nanomap_arch.Arch
 module Flow = Nanomap_flow.Flow
@@ -28,6 +29,7 @@ type config = {
   fold : fold;
   corpus_dir : string option;
   shrink_budget : int;
+  jobs : int;
 }
 
 let default_config =
@@ -37,7 +39,8 @@ let default_config =
     gen = Gen_rtl.default_params;
     fold = F_auto;
     corpus_dir = None;
-    shrink_budget = 200 }
+    shrink_budget = 200;
+    jobs = 1 }
 
 type failure = {
   index : int;
@@ -152,12 +155,23 @@ let run ?eval (cfg : config) =
   in
   let tele = Telemetry.start "fuzz" in
   let rng = Rng.create cfg.seed in
+  (* Sharding keeps the campaign deterministic: specs are generated
+     serially from the campaign RNG (the same draw sequence as a jobs=1
+     run), only the pure per-spec evaluations fan out across workers, and
+     the join below walks cases in index order — so the journal, the
+     shrinks and the corpus files are byte-identical for every [jobs]. *)
+  let specs = Array.init cfg.count (fun _ -> Gen_rtl.random_spec rng cfg.gen) in
+  let outcomes =
+    if cfg.jobs > 1 && cfg.count > 1 then
+      Pool.with_pool ~jobs:cfg.jobs (fun pool -> Pool.map pool ~f:eval specs)
+    else Array.map eval specs
+  in
   let passed = ref 0 in
   let failures = ref [] in
   let flow_errors = ref [] in
   for i = 1 to cfg.count do
-    let spec = Gen_rtl.random_spec rng cfg.gen in
-    let outcome = eval spec in
+    let spec = specs.(i - 1) in
+    let outcome = outcomes.(i - 1) in
     Telemetry.event tele "verify.case"
       ~data:
         [ ("index", string_of_int i);

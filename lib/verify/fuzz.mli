@@ -30,11 +30,16 @@ type config = {
   fold : fold;
   corpus_dir : string option;  (** where shrunk counterexamples land *)
   shrink_budget : int;  (** max oracle evaluations spent shrinking *)
+  jobs : int;  (** worker domains evaluating cases concurrently (1 =
+                   serial). Specs are generated serially from the
+                   campaign RNG and results merged in case order, so the
+                   summary, journal and corpus are byte-identical for
+                   every value *)
 }
 
 val default_config : config
 (** seed 1, 50 cases, 40 cycles, {!Gen_rtl.default_params}, [F_auto],
-    no corpus dir, budget 200. *)
+    no corpus dir, budget 200, jobs 1. *)
 
 type failure = {
   index : int;  (** 1-based case number within the campaign *)
@@ -87,6 +92,8 @@ val run : ?eval:(Gen_rtl.spec -> Oracle.outcome) -> config -> summary
 (** Run the campaign. [eval] replaces {!run_spec} (tests use it to inject
     synthetic failures without a flow run); shrinking and the corpus write
     go through the same [eval]. Journals one [verify.case] telemetry event
-    per case. *)
+    per case. With [config.jobs > 1] case evaluations shard across a
+    worker pool ([eval] must then be pure and thread-safe, as {!run_spec}
+    is); shrinking and corpus writes stay serial, in case order. *)
 
 val print_summary : out_channel -> summary -> unit

@@ -278,6 +278,70 @@ let test_bitstream_nram_accounting () =
   check Alcotest.int "configs used" plan.Mapper.configs_used used;
   check Alcotest.bool "cap is k" true (cap = Some 16)
 
+(* --- parallel-vs-serial equivalence for the physical layers: the pool
+   must change the wall clock only. Both the placement portfolio and the
+   folding-level sweep are compared field-by-field against their serial
+   runs; the jobs=4 leg exercises the pool code path even on machines
+   where physical workers cap at one domain. --- *)
+
+module Pool = Nanomap_util.Pool
+
+let place_fingerprint (p : Place.t) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "hpwl=%.6f xy=" p.Place.hpwl;
+  Array.iter (fun (x, y) -> Printf.bprintf b "%d,%d;" x y) p.Place.smb_xy;
+  Array.iter (fun (x, y) -> Printf.bprintf b "%d,%d!" x y) p.Place.pad_xy;
+  Buffer.contents b
+
+let test_portfolio_jobs_equivalent () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Place.portfolio ~pool ~count:6 ~seed:3 ~effort:`Detailed cl)
+  in
+  let serial = Place.portfolio ~count:6 ~seed:3 ~effort:`Detailed cl in
+  let p1 = run 1 and p4 = run 4 in
+  check Alcotest.string "jobs=1 = no pool" (place_fingerprint serial)
+    (place_fingerprint p1);
+  check Alcotest.string "jobs=4 = jobs=1" (place_fingerprint p1)
+    (place_fingerprint p4)
+
+let test_portfolio_best_of () =
+  (* The portfolio winner can never be worse than its own first seed,
+     which is exactly what a plain [place] at the same seed produces. *)
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let single = Place.place ~seed:3 ~effort:`Detailed cl in
+  let best = Place.portfolio ~count:6 ~seed:3 ~effort:`Detailed cl in
+  Place.validate best cl;
+  check Alcotest.bool "portfolio <= single" true
+    (best.Place.hpwl <= single.Place.hpwl);
+  (* count=1 degenerates to the plain placer *)
+  let one = Place.portfolio ~count:1 ~seed:3 ~effort:`Detailed cl in
+  check Alcotest.string "count=1 = place" (place_fingerprint single)
+    (place_fingerprint one)
+
+let test_sweep_jobs_equivalent () =
+  let b = Circuits.ex1_small () in
+  let p = Mapper.prepare b.Circuits.design in
+  let arch = Arch.unbounded_k in
+  let fingerprint plans =
+    List.map
+      (fun ((level, plan) : int * Mapper.plan) ->
+        Printf.sprintf "%d:%d:%d:%.6f" level plan.Mapper.stages
+          plan.Mapper.les plan.Mapper.delay_ns)
+      plans
+    |> String.concat "|"
+  in
+  let serial = fingerprint (Mapper.sweep p ~arch) in
+  let pooled jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        fingerprint (Mapper.sweep ~pool p ~arch))
+  in
+  check Alcotest.string "jobs=1 = serial" serial (pooled 1);
+  check Alcotest.string "jobs=4 = serial" serial (pooled 4)
+
 let () =
   Alcotest.run "physical"
     [ ( "cluster",
@@ -308,4 +372,10 @@ let () =
         [ Alcotest.test_case "shape" `Quick test_bitstream_shape;
           Alcotest.test_case "deterministic" `Quick test_bitstream_deterministic;
           Alcotest.test_case "roundtrip" `Quick test_bitstream_roundtrip;
-          Alcotest.test_case "nram accounting" `Quick test_bitstream_nram_accounting ] ) ]
+          Alcotest.test_case "nram accounting" `Quick test_bitstream_nram_accounting ] );
+      ( "parallel",
+        [ Alcotest.test_case "portfolio jobs-equivalent" `Quick
+            test_portfolio_jobs_equivalent;
+          Alcotest.test_case "portfolio best-of" `Quick test_portfolio_best_of;
+          Alcotest.test_case "folding sweep jobs-equivalent" `Quick
+            test_sweep_jobs_equivalent ] ) ]

@@ -1,0 +1,264 @@
+(* The pool's determinism contract, exercised hard: results pinned to
+   submission order under adversarial task durations, first-failure-wins
+   exception propagation that leaves the pool reusable, the zero-task and
+   single-worker edges, and an atomic-counter stress proving Telemetry
+   loses no increments under concurrent bumps.
+
+   Every concurrency test creates its pool with [~oversubscribe:true]:
+   without it the pool caps physical workers at the machine's core count,
+   and on a single-core CI box nothing would actually run in parallel. *)
+
+module Pool = Nanomap_util.Pool
+module Rng = Nanomap_util.Rng
+module Diag = Nanomap_util.Diag
+module Telemetry = Nanomap_util.Telemetry
+
+let check = Alcotest.check
+
+(* A crude compute-bound delay: sleeping would let a single-core scheduler
+   serialize the test, a spin keeps every domain genuinely busy. *)
+let spin_for iterations =
+  let acc = ref 0 in
+  for i = 1 to iterations do
+    acc := (!acc * 31) + i
+  done;
+  Sys.opaque_identity !acc
+
+(* ---------------------------------------------------------- ordering *)
+
+let test_ordering_adversarial () =
+  (* Early indices take the longest, so completion order is roughly the
+     reverse of submission order — results must come back in submission
+     order anyway. *)
+  Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
+      let n = 64 in
+      let xs = Array.init n Fun.id in
+      let ys =
+        Pool.map pool xs ~f:(fun i ->
+            ignore (spin_for ((n - i) * 2000));
+            i * i)
+      in
+      check (Alcotest.array Alcotest.int) "submission order"
+        (Array.init n (fun i -> i * i))
+        ys)
+
+let test_mapi_passes_index () =
+  Pool.with_pool ~jobs:3 ~oversubscribe:true (fun pool ->
+      let xs = Array.make 32 10 in
+      let ys = Pool.mapi pool xs ~f:(fun i x -> (i * 100) + x) in
+      check (Alcotest.array Alcotest.int) "index threaded"
+        (Array.init 32 (fun i -> (i * 100) + 10))
+        ys)
+
+let test_map_reduce_ordered () =
+  (* String concatenation is order-sensitive: any merge not in submission
+     order changes the result. *)
+  Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
+      let xs = Array.init 40 Fun.id in
+      let s =
+        Pool.map_reduce pool xs
+          ~f:(fun i ->
+            ignore (spin_for ((40 - i) * 1000));
+            string_of_int i ^ ",")
+          ~combine:( ^ ) ~init:""
+      in
+      let expected =
+        Array.to_list xs |> List.map (fun i -> string_of_int i ^ ",")
+        |> String.concat ""
+      in
+      check Alcotest.string "ordered fold" expected s)
+
+let test_map_seeded_worker_invariant () =
+  (* The same parent seed must produce the same per-task streams whether
+     the map runs serially or on four oversubscribed domains. *)
+  let draws jobs =
+    Pool.with_pool ~jobs ~oversubscribe:true (fun pool ->
+        let rng = Rng.create 2024 in
+        Pool.map_seeded pool ~rng
+          ~f:(fun task_rng i ->
+            ignore (spin_for (((17 * i) mod 29) * 500));
+            Rng.int task_rng 1_000_000)
+          (Array.init 24 Fun.id))
+  in
+  check
+    (Alcotest.array Alcotest.int)
+    "jobs=1 = jobs=4" (draws 1) (draws 4)
+
+(* ------------------------------------------------------- exceptions *)
+
+exception Boom of int
+
+let test_first_failure_wins () =
+  Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.map pool (Array.init 32 Fun.id) ~f:(fun i ->
+                 (* Make the higher-index failure finish first. *)
+                 ignore (spin_for (if i = 3 then 200_000 else 100));
+                 if i = 3 || i = 17 then raise (Boom i);
+                 i));
+          None
+        with Boom i -> Some i
+      in
+      check (Alcotest.option Alcotest.int) "lowest index wins" (Some 3) raised;
+      (* A failing map must not poison the pool. *)
+      let ys = Pool.map pool (Array.init 8 Fun.id) ~f:(fun i -> i + 1) in
+      check (Alcotest.array Alcotest.int) "pool reusable"
+        (Array.init 8 (fun i -> i + 1))
+        ys)
+
+let test_diag_fail_surfaces () =
+  (* A Diag.Fail from a worker domain must surface at the join exactly as
+     serial code would raise it — payload intact. *)
+  Pool.with_pool ~jobs:2 ~oversubscribe:true (fun pool ->
+      match
+        Pool.map pool (Array.init 6 Fun.id) ~f:(fun i ->
+            if i = 2 then
+              Diag.fail ~stage:"place" ~code:"pool-test" "synthetic failure"
+            else i)
+      with
+      | _ -> Alcotest.fail "expected Diag.Fail"
+      | exception Diag.Fail d ->
+        check Alcotest.string "stage" "place" d.Diag.stage;
+        check Alcotest.string "code" "pool-test" d.Diag.code)
+
+let test_every_task_runs_despite_failure () =
+  (* Exception capture is per task: one failure must not skip the rest. *)
+  Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
+      let ran = Array.make 48 false in
+      (try
+         ignore
+           (Pool.map pool (Array.init 48 Fun.id) ~f:(fun i ->
+                ran.(i) <- true;
+                if i = 0 then failwith "early"))
+       with Failure _ -> ());
+      check Alcotest.bool "all tasks ran" true (Array.for_all Fun.id ran))
+
+(* ------------------------------------------------------------ edges *)
+
+let test_zero_tasks () =
+  Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
+      let ys = Pool.map pool [||] ~f:(fun _ -> Alcotest.fail "ran a task") in
+      check Alcotest.int "empty result" 0 (Array.length ys);
+      check Alcotest.int "reduce over nothing" 7
+        (Pool.map_reduce pool [||] ~f:Fun.id ~combine:( + ) ~init:7))
+
+let test_single_worker_spawns_nothing () =
+  let pool = Pool.create ~jobs:1 () in
+  check Alcotest.int "jobs" 1 (Pool.jobs pool);
+  check Alcotest.int "workers" 1 (Pool.workers pool);
+  let ys = Pool.map pool (Array.init 16 Fun.id) ~f:(fun i -> i * 3) in
+  check (Alcotest.array Alcotest.int) "serial map"
+    (Array.init 16 (fun i -> i * 3))
+    ys;
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let test_workers_capped_by_hardware () =
+  let pool = Pool.create ~jobs:64 () in
+  check Alcotest.int "jobs is the request" 64 (Pool.jobs pool);
+  check Alcotest.bool "workers capped" true
+    (Pool.workers pool <= Domain.recommended_domain_count ());
+  Pool.shutdown pool
+
+let test_use_after_shutdown () =
+  let pool = Pool.create ~jobs:2 ~oversubscribe:true () in
+  Pool.shutdown pool;
+  Alcotest.check_raises "raises" (Invalid_argument "Pool: used after shutdown")
+    (fun () -> ignore (Pool.map pool [| 1 |] ~f:Fun.id))
+
+let test_nested_map_rejected () =
+  Pool.with_pool ~jobs:2 ~oversubscribe:true (fun pool ->
+      match
+        Pool.map pool [| 0 |] ~f:(fun _ ->
+            Pool.map pool [| 1 |] ~f:Fun.id)
+      with
+      | _ -> Alcotest.fail "nested map must be rejected"
+      | exception Invalid_argument _ -> ())
+
+let test_resolve_jobs () =
+  check Alcotest.int "positive passthrough" 3 (Pool.resolve_jobs 3);
+  check Alcotest.int "zero is auto" (Pool.default_jobs ()) (Pool.resolve_jobs 0);
+  check Alcotest.int "negative is auto" (Pool.default_jobs ())
+    (Pool.resolve_jobs (-5));
+  check Alcotest.bool "default at least 1" true (Pool.default_jobs () >= 1);
+  check Alcotest.bool "default capped" true (Pool.default_jobs () <= 8)
+
+(* --------------------------------------------------- counter stress *)
+
+let test_counter_stress () =
+  (* Four domains hammering the same counters: the striped atomics must
+     not lose a single increment, and [add] must compose with [incr]. *)
+  let c_incr = Telemetry.counter "test.pool.stress_incr" in
+  let c_add = Telemetry.counter "test.pool.stress_add" in
+  let before_incr = Telemetry.value c_incr in
+  let before_add = Telemetry.value c_add in
+  let per_task = 50_000 and tasks = 8 in
+  Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
+      ignore
+        (Pool.map pool (Array.init tasks Fun.id) ~f:(fun i ->
+             for _ = 1 to per_task do
+               Telemetry.incr c_incr
+             done;
+             Telemetry.add c_add (i + 1))));
+  check Alcotest.int "no lost incr" (tasks * per_task)
+    (Telemetry.value c_incr - before_incr);
+  check Alcotest.int "no lost add"
+    (tasks * (tasks + 1) / 2)
+    (Telemetry.value c_add - before_add)
+
+(* QCheck: for arbitrary task counts and per-task bump counts, the total
+   observed by [value] is exactly the sum of what every domain did. *)
+let counter_sum_prop =
+  QCheck.Test.make ~count:30 ~name:"concurrent counter bumps sum exactly"
+    QCheck.(pair (int_range 0 20) (list_of_size (Gen.int_range 0 20) (int_range 0 2000)))
+    (fun (extra, bumps) ->
+      let c = Telemetry.counter "test.pool.qcheck" in
+      let before = Telemetry.value c in
+      let bumps = Array.of_list bumps in
+      Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
+          ignore
+            (Pool.map pool bumps ~f:(fun n ->
+                 for _ = 1 to n do
+                   Telemetry.incr c
+                 done;
+                 Telemetry.add c extra)));
+      let expected =
+        Array.fold_left ( + ) 0 bumps + (extra * Array.length bumps)
+      in
+      Telemetry.value c - before = expected)
+
+let () =
+  let to_alco = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pool"
+    [ ( "ordering",
+        [ Alcotest.test_case "adversarial durations" `Quick
+            test_ordering_adversarial;
+          Alcotest.test_case "mapi index" `Quick test_mapi_passes_index;
+          Alcotest.test_case "map_reduce ordered" `Quick
+            test_map_reduce_ordered;
+          Alcotest.test_case "map_seeded worker-invariant" `Quick
+            test_map_seeded_worker_invariant ] );
+      ( "exceptions",
+        [ Alcotest.test_case "first failure wins, pool reusable" `Quick
+            test_first_failure_wins;
+          Alcotest.test_case "Diag.Fail surfaces intact" `Quick
+            test_diag_fail_surfaces;
+          Alcotest.test_case "all tasks still run" `Quick
+            test_every_task_runs_despite_failure ] );
+      ( "edges",
+        [ Alcotest.test_case "zero tasks" `Quick test_zero_tasks;
+          Alcotest.test_case "single worker" `Quick
+            test_single_worker_spawns_nothing;
+          Alcotest.test_case "hardware cap" `Quick
+            test_workers_capped_by_hardware;
+          Alcotest.test_case "use after shutdown" `Quick
+            test_use_after_shutdown;
+          Alcotest.test_case "nested map rejected" `Quick
+            test_nested_map_rejected;
+          Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs ] );
+      ( "counters",
+        [ Alcotest.test_case "stress: no lost increments" `Quick
+            test_counter_stress;
+          to_alco counter_sum_prop ] ) ]

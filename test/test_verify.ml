@@ -370,6 +370,139 @@ let test_bitstream_strictness () =
   | _ -> Alcotest.fail "bad magic accepted"
   | exception Bitstream.Corrupt _ -> ()
 
+(* --- parallel-vs-serial equivalence: [jobs] must change the wall clock
+   only. Each test runs the same campaign (or flow) at jobs=1 and jobs=4
+   and compares a byte-level fingerprint of everything observable. The
+   jobs=4 leg goes through the pool code path even when the machine caps
+   physical workers at one domain, so the sharded merge is exercised
+   everywhere; genuine multi-domain interleaving is covered by the
+   oversubscribed tests in test_pool.ml. --- *)
+
+module Place = Nanomap_place.Place
+module Router = Nanomap_route.Router
+
+let summary_fingerprint (s : Fuzz.summary) =
+  let fail_s (f : Fuzz.failure) =
+    Printf.sprintf "%d|%s|%s|%s" f.Fuzz.index
+      (Gen_rtl.spec_to_string f.Fuzz.spec)
+      (Gen_rtl.spec_to_string f.Fuzz.shrunk)
+      (Oracle.describe f.Fuzz.outcome)
+  in
+  Printf.sprintf "cases=%d passed=%d\n%s\n%s" s.Fuzz.cases s.Fuzz.passed
+    (String.concat "\n" (List.map fail_s s.Fuzz.failures))
+    (String.concat "\n"
+       (List.map
+          (fun (i, d) -> Printf.sprintf "%d:%s" i (Diag.to_string d))
+          s.Fuzz.flow_errors))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let fresh_dir () =
+  let f = Filename.temp_file "nanomap-eq" "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_fuzz_jobs_equivalence_synthetic () =
+  (* Injected failures make this the interesting case: shrinking and
+     corpus writes interleave with evaluation in the serial code, and the
+     sharded campaign must reproduce them byte for byte. *)
+  let campaign jobs dir =
+    Fuzz.run ~eval:synthetic_outcome
+      { Fuzz.default_config with
+        Fuzz.seed = 11;
+        count = 24;
+        corpus_dir = Some dir;
+        shrink_budget = 500;
+        jobs }
+  in
+  let dir1 = fresh_dir () and dir4 = fresh_dir () in
+  let s1 = campaign 1 dir1 and s4 = campaign 4 dir4 in
+  check Alcotest.string "summary identical" (summary_fingerprint s1)
+    (summary_fingerprint s4);
+  let ls dir = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  check (Alcotest.list Alcotest.string) "same corpus files" (ls dir1) (ls dir4);
+  List.iter
+    (fun f ->
+      check Alcotest.string ("corpus " ^ f ^ " byte-identical")
+        (read_file (Filename.concat dir1 f))
+        (read_file (Filename.concat dir4 f)))
+    (ls dir1);
+  rm_rf dir1;
+  rm_rf dir4
+
+let test_fuzz_jobs_equivalence_real () =
+  (* A small all-real campaign: every case is a full flow run plus the
+     four-level oracle, sharded across the pool at jobs=4. The campaign
+     telemetry (counter deltas, per-case event journal) must match too —
+     that is the guard for the striped counters. *)
+  let campaign jobs =
+    Fuzz.run
+      { Fuzz.default_config with Fuzz.seed = 5; count = 8; cycles = 20; jobs }
+  in
+  let s1 = campaign 1 and s4 = campaign 4 in
+  check Alcotest.string "summary identical" (summary_fingerprint s1)
+    (summary_fingerprint s4);
+  check Alcotest.string "telemetry identical"
+    (Telemetry.to_json_string ~timings:false s1.Fuzz.telemetry)
+    (Telemetry.to_json_string ~timings:false s4.Fuzz.telemetry)
+
+let report_fingerprint (r : Flow.report) =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "les=%d smbs=%d area=%.6f delay=%.6f cf=%d retries=%d\n"
+    r.Flow.area_les r.Flow.area_smbs r.Flow.area_um2 r.Flow.delay_model_ns
+    r.Flow.channel_factor r.Flow.mapping_retries;
+  (match r.Flow.delay_routed_ns with
+  | Some d -> Printf.bprintf b "routed_ns=%.6f\n" d
+  | None -> ());
+  (match r.Flow.placement with
+  | Some p ->
+    Printf.bprintf b "hpwl=%.6f xy=" p.Place.hpwl;
+    Array.iter (fun (x, y) -> Printf.bprintf b "%d,%d;" x y) p.Place.smb_xy;
+    Buffer.add_char b '\n'
+  | None -> ());
+  (match r.Flow.routing with
+  | Some rt ->
+    Printf.bprintf b "routed=%b iters=%d overused=%d\n" rt.Router.success
+      rt.Router.iterations rt.Router.overused
+  | None -> ());
+  (match r.Flow.bitstream with
+  | Some bs ->
+    Printf.bprintf b "bits=%s\n"
+      (Digest.to_hex (Digest.bytes bs.Bitstream.bytes))
+  | None -> ());
+  Printf.bprintf b "degraded=%s\n" (String.concat "|" r.Flow.degradations);
+  Buffer.add_string b (Telemetry.to_json_string ~timings:false r.Flow.telemetry);
+  Buffer.contents b
+
+let test_flow_jobs_equivalence () =
+  (* The full flow at jobs=4 parallelizes the folding-level sweep and the
+     placement portfolio; the report — areas, delays, every SMB
+     coordinate, the bitstream digest, the telemetry journal — must be
+     byte-identical to the serial run. The portfolio count is pinned
+     separately precisely so this holds. *)
+  let run jobs =
+    match
+      Flow.run_result
+        ~options:{ Flow.default_options with Flow.jobs; portfolio = 3 }
+        (accumulator ())
+    with
+    | Error d -> Alcotest.fail (Diag.to_string d)
+    | Ok report -> report
+  in
+  check Alcotest.string "report identical"
+    (report_fingerprint (run 1))
+    (report_fingerprint (run 4))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ spec_roundtrip_prop; build_total_prop; fuzz_pass_prop ]
@@ -403,4 +536,11 @@ let () =
       ( "bitstream",
         [ Alcotest.test_case "round-trip strictness" `Quick
             test_bitstream_strictness ] );
+      ( "parallel",
+        [ Alcotest.test_case "campaign jobs-equivalent (synthetic)" `Quick
+            test_fuzz_jobs_equivalence_synthetic;
+          Alcotest.test_case "campaign jobs-equivalent (real flow)" `Quick
+            test_fuzz_jobs_equivalence_real;
+          Alcotest.test_case "flow report jobs-equivalent" `Quick
+            test_flow_jobs_equivalence ] );
       ("properties", qsuite) ]

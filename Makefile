@@ -1,6 +1,6 @@
 # Convenience wrapper; everything is plain dune underneath.
 
-.PHONY: all build test check bench fuzz fuzz-smoke regen-golden clean
+.PHONY: all build test check bench bench-mappers fuzz fuzz-smoke map-designs-aig regen-golden clean
 
 all: build
 
@@ -20,6 +20,11 @@ check: build test
 bench:
 	dune exec bench/main.exe
 
+# FlowMap-vs-AIG mapper comparison (smoke sizes): prints the tables and
+# splices the mapper_comparison section into BENCH_profile.json.
+bench-mappers: build
+	dune exec bench/main.exe -- --smoke mapper-comparison
+
 # Differential fuzzing: random designs through the whole flow, four
 # evaluation levels cross-checked per cycle (rtl-sim, lut-network,
 # fabric-emulator, bitstream-replay). Failures shrink to minimal
@@ -27,21 +32,32 @@ bench:
 # Override e.g. FUZZ_SEED=7 FUZZ_COUNT=500 to steer a long campaign.
 # FUZZ_JOBS sets the worker-domain count (0 = auto); campaign output is
 # byte-identical for every value, only the wall clock changes.
+# FUZZ_MAPPER selects the technology mapper the fuzzed flow uses
+# (tt = FlowMap over the gate netlist, aig = priority cuts over the AIG);
+# the CI matrix runs the same campaigns under both.
 FUZZ_SEED ?= 1
 FUZZ_COUNT ?= 200
 FUZZ_JOBS ?= 0
+FUZZ_MAPPER ?= tt
 fuzz: build
-	dune exec bin/nanomap_cli.exe -- fuzz --seed $(FUZZ_SEED) --count $(FUZZ_COUNT) --jobs $(FUZZ_JOBS) --corpus $(CURDIR)/test/corpus
+	dune exec bin/nanomap_cli.exe -- fuzz --seed $(FUZZ_SEED) --count $(FUZZ_COUNT) --jobs $(FUZZ_JOBS) --mapper $(FUZZ_MAPPER) --corpus $(CURDIR)/test/corpus
 
 # CI gate: a fixed-seed campaign sized to stay well under a minute,
 # sweeping the folding regimes and larger designs than the default.
 # Run with FUZZ_JOBS=1 and FUZZ_JOBS=4 in the CI matrix: identical
 # verdicts, ~the wall-clock ratio is the parallel speedup.
 fuzz-smoke: build
-	dune exec bin/nanomap_cli.exe -- fuzz --seed 42 --count 2000 --cycles 60 --jobs $(FUZZ_JOBS)
-	dune exec bin/nanomap_cli.exe -- fuzz --seed 43 --count 1200 --folding none --jobs $(FUZZ_JOBS)
-	dune exec bin/nanomap_cli.exe -- fuzz --seed 44 --count 1200 --folding 2 --jobs $(FUZZ_JOBS)
-	dune exec bin/nanomap_cli.exe -- fuzz --seed 45 --count 600 --steps 48 --max-regs 6 --max-width 8 --jobs $(FUZZ_JOBS)
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 42 --count 2000 --cycles 60 --jobs $(FUZZ_JOBS) --mapper $(FUZZ_MAPPER)
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 43 --count 1200 --folding none --jobs $(FUZZ_JOBS) --mapper $(FUZZ_MAPPER)
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 44 --count 1200 --folding 2 --jobs $(FUZZ_JOBS) --mapper $(FUZZ_MAPPER)
+	dune exec bin/nanomap_cli.exe -- fuzz --seed 45 --count 600 --steps 48 --max-regs 6 --max-width 8 --jobs $(FUZZ_JOBS) --mapper $(FUZZ_MAPPER)
+
+# Every shipped VHDL design through the physical flow with the AIG mapper
+# at the strictest checking level (includes the AIG-vs-gate spot check).
+map-designs-aig: build
+	for d in designs/*.vhd; do \
+	  dune exec bin/nanomap_cli.exe -- map --vhdl $$d --mapper aig --check full || exit 1; \
+	done
 
 # Refresh the routed-result regression corpus in test/golden/ after an
 # intentional router change (the golden diff test will tell you when).

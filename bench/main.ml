@@ -29,6 +29,12 @@ module Circuits = Nanomap_circuits.Circuits
 module Lut_network = Nanomap_techmap.Lut_network
 module Partition = Nanomap_techmap.Partition
 module Truth_table = Nanomap_logic.Truth_table
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Gen = Nanomap_logic.Gen
+module Decompose = Nanomap_techmap.Decompose
+module Flowmap = Nanomap_techmap.Flowmap
+module Aig_map = Nanomap_techmap.Aig_map
+module Rng = Nanomap_util.Rng
 module Check = Nanomap_flow.Check
 module Diag = Nanomap_util.Diag
 module Pool = Nanomap_util.Pool
@@ -684,6 +690,238 @@ let route_algs = ref `Both
 let check_level = ref Check.Fast
 let bench_jobs = ref 0 (* 0 = auto (recommended domain count, capped) *)
 
+(* -------------------------------------------- Mapper comparison (A7) *)
+
+(* FlowMap (per-node max-flow over the transitive fanin, quadratic) vs the
+   priority-cut AIG mapper (near-linear) on generated netlists of rising
+   size plus the circuit suite end-to-end. The tt mapper is skipped on a
+   subject when its quadratically-projected wall clock (from the last
+   measured run) exceeds the time budget — recording the projection keeps
+   the row honest about what was not run. *)
+
+type mc_row = {
+  mc_name : string;
+  mc_gates : int;
+  mc_aig_nodes : int;
+  mc_aig_cuts : int;
+  mc_aig_luts : int;
+  mc_aig_depth : int;
+  mc_aig_s : float;
+  mc_tt : (int * int * float) option; (* luts, depth, wall_s; None = skipped *)
+  mc_tt_projected_s : float option;   (* quadratic projection when skipped *)
+}
+
+let mc_tag_netlist nl =
+  let input_origins =
+    List.mapi
+      (fun i (_, gid) -> (gid, Lut_network.Pi_bit (i, 0)))
+      (Gate_netlist.inputs nl)
+  in
+  let output_targets =
+    List.map
+      (fun (name, gid) -> (Lut_network.Po_target name, gid))
+      (Gate_netlist.outputs nl)
+  in
+  { Decompose.gates = nl;
+    tags = Array.make (Gate_netlist.size nl) (-1);
+    input_origins;
+    output_targets }
+
+let mc_time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let mapper_comparison_generated () =
+  let budget = if !smoke then 10.0 else 120.0 in
+  let ladder seed layers width =
+    Gen.random_layered (Rng.create seed) ~num_inputs:64 ~layers
+      ~layer_width:width ~num_outputs:64
+  in
+  let wallace w =
+    let nl = Gate_netlist.create () in
+    let a = Gen.input_bus nl "a" w and b = Gen.input_bus nl "b" w in
+    Gen.mark_output_bus nl "p" (Gen.wallace_multiplier nl a b);
+    nl
+  in
+  let subjects =
+    [ ("wallace-16x16", wallace 16);
+      ("ladder-8x48", ladder 101 8 48);
+      ("ladder-16x96", ladder 102 16 96);
+      ("ladder-32x160", ladder 103 32 160);
+      ("ladder-48x256", ladder 104 48 256) ]
+  in
+  let last_tt = ref None in
+  List.map
+    (fun (name, nl) ->
+      let tg = mc_tag_netlist nl in
+      let gates = Gate_netlist.num_gates nl in
+      let (lut_a, st), aig_s = mc_time (fun () -> Aig_map.map_stats ~k:4 tg) in
+      let projected =
+        match !last_tt with
+        | Some (g0, s0) when g0 > 0 ->
+          s0 *. ((float_of_int gates /. float_of_int g0) ** 2.0)
+        | _ -> 0.0
+      in
+      let tt, tt_projected =
+        if projected <= budget then begin
+          let lut_t, tt_s = mc_time (fun () -> Flowmap.map ~k:4 tg) in
+          last_tt := Some (gates, tt_s);
+          (Some (Lut_network.num_luts lut_t, Lut_network.depth lut_t, tt_s), None)
+        end
+        else (None, Some projected)
+      in
+      { mc_name = name;
+        mc_gates = gates;
+        mc_aig_nodes = st.Aig_map.aig_nodes;
+        mc_aig_cuts = st.Aig_map.cuts_enumerated;
+        mc_aig_luts = Lut_network.num_luts lut_a;
+        mc_aig_depth = Lut_network.depth lut_a;
+        mc_aig_s = aig_s;
+        mc_tt = tt;
+        mc_tt_projected_s = tt_projected })
+    subjects
+
+let mapper_comparison_circuits () =
+  let benches = if !smoke then [ Circuits.ex1_small () ] else Circuits.all () in
+  List.map
+    (fun (b : Circuits.benchmark) ->
+      let p_tt, tt_s =
+        mc_time (fun () -> Mapper.prepare ~mapper:Mapper.Truth_table b.Circuits.design)
+      in
+      let p_aig, aig_s =
+        mc_time (fun () -> Mapper.prepare ~mapper:Mapper.Aig b.Circuits.design)
+      in
+      ( b.Circuits.name,
+        (p_tt.Mapper.total_luts, p_tt.Mapper.depth_max, tt_s),
+        (p_aig.Mapper.total_luts, p_aig.Mapper.depth_max, aig_s) ))
+    benches
+
+let mapper_comparison_json rows circuits =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"generated\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"gates\":%d,\"aig\":{\"nodes\":%d,\"cuts\":%d,\"luts\":%d,\"depth\":%d,\"wall_s\":%.4f}"
+           r.mc_name r.mc_gates r.mc_aig_nodes r.mc_aig_cuts r.mc_aig_luts
+           r.mc_aig_depth r.mc_aig_s);
+      (match r.mc_tt with
+       | Some (luts, depth, s) ->
+         Buffer.add_string buf
+           (Printf.sprintf
+              ",\"tt\":{\"luts\":%d,\"depth\":%d,\"wall_s\":%.4f}" luts depth s)
+       | None -> Buffer.add_string buf ",\"tt\":null");
+      (match r.mc_tt_projected_s with
+       | Some s -> Buffer.add_string buf (Printf.sprintf ",\"tt_projected_s\":%.1f" s)
+       | None -> ());
+      Buffer.add_char buf '}')
+    rows;
+  Buffer.add_string buf "],\"circuits\":[";
+  List.iteri
+    (fun i (name, (tt_luts, tt_depth, tt_s), (aig_luts, aig_depth, aig_s)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"tt\":{\"luts\":%d,\"depth\":%d,\"wall_s\":%.4f},\"aig\":{\"luts\":%d,\"depth\":%d,\"wall_s\":%.4f}}"
+           name tt_luts tt_depth tt_s aig_luts aig_depth aig_s))
+    circuits;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let mapper_comparison_print rows circuits =
+  let t =
+    Ascii_table.create
+      [ "Subject"; "Gates"; "AIG nodes"; "Cuts"; "AIG LUTs"; "AIG depth";
+        "AIG (s)"; "tt LUTs"; "tt depth"; "tt (s)" ]
+  in
+  List.iter
+    (fun r ->
+      let tt_cells =
+        match r.mc_tt with
+        | Some (luts, depth, s) ->
+          [ string_of_int luts; string_of_int depth; Printf.sprintf "%.3f" s ]
+        | None ->
+          [ "-"; "-";
+            (match r.mc_tt_projected_s with
+             | Some s -> Printf.sprintf "skipped (~%.0fs)" s
+             | None -> "skipped") ]
+      in
+      Ascii_table.add_row t
+        ([ r.mc_name;
+           string_of_int r.mc_gates;
+           string_of_int r.mc_aig_nodes;
+           string_of_int r.mc_aig_cuts;
+           string_of_int r.mc_aig_luts;
+           string_of_int r.mc_aig_depth;
+           Printf.sprintf "%.3f" r.mc_aig_s ]
+        @ tt_cells))
+    rows;
+  Ascii_table.print t;
+  let t2 =
+    Ascii_table.create
+      [ "Circuit"; "tt LUTs"; "tt depth"; "tt (s)"; "AIG LUTs"; "AIG depth";
+        "AIG (s)" ]
+  in
+  List.iter
+    (fun (name, (tt_luts, tt_depth, tt_s), (aig_luts, aig_depth, aig_s)) ->
+      Ascii_table.add_row t2
+        [ name;
+          string_of_int tt_luts; string_of_int tt_depth;
+          Printf.sprintf "%.3f" tt_s;
+          string_of_int aig_luts; string_of_int aig_depth;
+          Printf.sprintf "%.3f" aig_s ])
+    circuits;
+  Ascii_table.print t2
+
+(* Standalone experiment: print the tables and splice the section into an
+   existing BENCH_profile.json (or start a fresh one), so `make
+   bench-mappers` refreshes this section without re-running the full
+   profile. *)
+let mapper_comparison () =
+  section "Mapper comparison: FlowMap (tt) vs priority-cut AIG mapping";
+  let rows = mapper_comparison_generated () in
+  let circuits = mapper_comparison_circuits () in
+  mapper_comparison_print rows circuits;
+  let json = mapper_comparison_json rows circuits in
+  let file = "BENCH_profile.json" in
+  let existing =
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some s
+    end
+    else None
+  in
+  let out =
+    match existing with
+    | Some s ->
+      let s = String.trim s in
+      let key = ",\"mapper_comparison\":" in
+      let base =
+        (* replace an existing section (always spliced last), else strip
+           the closing brace *)
+        let rec find i =
+          if i + String.length key > String.length s then None
+          else if String.sub s i (String.length key) = key then Some i
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i -> String.sub s 0 i
+        | None -> String.sub s 0 (String.length s - 1)
+      in
+      base ^ key ^ json ^ "}"
+    | None -> "{\"mapper_comparison\":" ^ json ^ "}"
+  in
+  let oc = open_out file in
+  output_string oc out;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "updated %s (mapper_comparison section)\n%!" file
+
 let profile () =
   section "Flow profile: per-stage spans and cross-layer counters";
   let module Telemetry = Nanomap_util.Telemetry in
@@ -920,6 +1158,11 @@ let profile () =
       Buffer.add_string buf "]}")
     scaling;
   Buffer.add_string buf "]";
+  let mc_rows = mapper_comparison_generated () in
+  let mc_circuits = mapper_comparison_circuits () in
+  mapper_comparison_print mc_rows mc_circuits;
+  Buffer.add_string buf
+    (",\"mapper_comparison\":" ^ mapper_comparison_json mc_rows mc_circuits);
   Buffer.add_string buf "}";
   let oc = open_out "BENCH_profile.json" in
   Buffer.output_buffer oc buf;
@@ -975,7 +1218,7 @@ let () =
       ("ablation-fds", ablation_fds); ("ablation-place", ablation_place);
       ("ablation-ffs", ablation_ffs); ("arch-geometry", arch_geometry);
       ("energy", energy); ("extended", extended); ("speed", speed);
-      ("profile", profile) ]
+      ("mapper-comparison", mapper_comparison); ("profile", profile) ]
   in
   let to_run =
     match wanted with

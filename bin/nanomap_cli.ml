@@ -123,9 +123,18 @@ let route_alg_conv =
   in
   Arg.conv (parse, print)
 
+let mapper_conv =
+  let parse s =
+    match Mapper.mapper_of_string (String.lowercase_ascii s) with
+    | Some m -> Ok m
+    | None -> Error (`Msg "mapper must be tt|aig")
+  in
+  let print fmt m = Format.pp_print_string fmt (Mapper.string_of_mapper m) in
+  Arg.conv (parse, print)
+
 let run_map circuit blif vhdl objective area delay level logical pipelined seed
     route_alg check_level defects_file bitstream_out dump_blif trace json_out
-    verbose k jobs portfolio =
+    verbose k jobs portfolio mapper aig_effort =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   let defects =
     match defects_file with
@@ -163,6 +172,8 @@ let run_map circuit blif vhdl objective area delay level logical pipelined seed
         route_alg;
         check_level;
         defects;
+        mapper;
+        aig_effort = max 1 (min 3 aig_effort);
         jobs = Pool.resolve_jobs jobs;
         portfolio = max 1 portfolio }
     in
@@ -294,13 +305,27 @@ let map_cmd =
                    keep the best-HPWL legal result. Part of the result \
                    (unlike --jobs, which only parallelizes the work).")
   in
+  let mapper =
+    Arg.(value & opt mapper_conv Mapper.Truth_table
+         & info [ "mapper" ] ~docv:"M"
+             ~doc:"Technology mapper: $(b,tt) (FlowMap over the truth-table \
+                   gate netlist; default) or $(b,aig) (priority-cut mapping \
+                   over the strashed And-Inverter Graph — near-linear, \
+                   handles thousand-LUT planes).")
+  in
+  let aig_effort =
+    Arg.(value & opt int 2
+         & info [ "aig-effort" ] ~docv:"N"
+             ~doc:"AIG mapper effort 1..3: priority-cut budget and \
+                   area-recovery rounds (only with --mapper=aig).")
+  in
   Cmd.v
     (Cmd.info "map" ~doc:"Run the NanoMap flow on a design")
     Term.(
       const run_map $ circuit_arg $ blif_arg $ vhdl_arg $ objective $ area $ delay
       $ level $ logical $ pipelined $ seed $ route_alg $ check_level $ defects
       $ bitstream_out $ dump_blif $ trace $ json_out $ verbosity $ k_arg
-      $ jobs_arg $ portfolio)
+      $ jobs_arg $ portfolio $ mapper $ aig_effort)
 
 (* ----------------------------------------------------------- stats cmd *)
 
@@ -469,7 +494,7 @@ let emulate_cmd =
 (* ------------------------------------------------------------ fuzz cmd *)
 
 let run_fuzz seed count cycles steps max_width max_regs max_inputs folding
-    corpus trace verbose jobs =
+    mapper corpus trace verbose jobs =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   match Fuzz.fold_of_string folding with
   | None ->
@@ -482,6 +507,7 @@ let run_fuzz seed count cycles steps max_width max_regs max_inputs folding
         count;
         cycles;
         fold;
+        mapper;
         corpus_dir = corpus;
         jobs = Pool.resolve_jobs jobs;
         gen =
@@ -530,6 +556,13 @@ let fuzz_cmd =
              ~doc:"Folding objective per design: $(b,auto) (area-delay \
                    product), $(b,none), or a fixed level.")
   in
+  let mapper =
+    Arg.(value & opt mapper_conv Mapper.Truth_table
+         & info [ "mapper" ] ~docv:"M"
+             ~doc:"Technology mapper every case runs through: $(b,tt) \
+                   (default) or $(b,aig). The AIG differential gate runs \
+                   the same campaign with both.")
+  in
   let corpus =
     Arg.(value & opt (some string) None
          & info [ "corpus" ] ~docv:"DIR"
@@ -546,7 +579,7 @@ let fuzz_cmd =
              emulator, decoded-bitstream replay)")
     Term.(
       const run_fuzz $ seed $ count $ cycles $ steps $ max_width $ max_regs
-      $ max_inputs $ folding $ corpus $ trace $ verbosity $ jobs_arg)
+      $ max_inputs $ folding $ mapper $ corpus $ trace $ verbosity $ jobs_arg)
 
 (* ------------------------------------------------------------ list cmd *)
 

@@ -1,0 +1,222 @@
+module Vec = Nanomap_util.Vec
+module Truth_table = Nanomap_logic.Truth_table
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+
+type lit = int
+
+let lit_false = 0
+let lit_true = 1
+let lit_of_node n = n * 2
+let node_of_lit l = l / 2
+let is_compl l = l land 1 = 1
+let lit_not l = l lxor 1
+let lit_compl l c = if c then lit_not l else l
+
+(* Per-node storage. AND nodes have fanin literals; the constant node and
+   inputs hold -1. [input_idx] is the creation ordinal for inputs, -1
+   elsewhere. *)
+type t = {
+  fanin0 : lit Vec.t;
+  fanin1 : lit Vec.t;
+  input_idx : int Vec.t;
+  node_level : int Vec.t;
+  node_tag : int Vec.t;
+  inputs : int Vec.t;  (* input ordinal -> node id *)
+  strash : (int * int, int) Hashtbl.t;
+}
+
+let create () =
+  let t =
+    { fanin0 = Vec.create ();
+      fanin1 = Vec.create ();
+      input_idx = Vec.create ();
+      node_level = Vec.create ();
+      node_tag = Vec.create ();
+      inputs = Vec.create ();
+      strash = Hashtbl.create 1024 }
+  in
+  (* node 0: constant false *)
+  ignore (Vec.push t.fanin0 (-1));
+  ignore (Vec.push t.fanin1 (-1));
+  ignore (Vec.push t.input_idx (-1));
+  ignore (Vec.push t.node_level 0);
+  ignore (Vec.push t.node_tag (-1));
+  t
+
+let num_nodes t = Vec.length t.fanin0
+let num_inputs t = Vec.length t.inputs
+let num_ands t = num_nodes t - num_inputs t - 1
+
+let is_const_node n = n = 0
+let is_input t n = Vec.get t.input_idx n >= 0
+let is_and t n = n > 0 && Vec.get t.fanin0 n >= 0
+
+let fanin0 t n =
+  let f = Vec.get t.fanin0 n in
+  if f < 0 then invalid_arg "Aig.fanin0: not an AND node";
+  f
+
+let fanin1 t n =
+  let f = Vec.get t.fanin1 n in
+  if f < 0 then invalid_arg "Aig.fanin1: not an AND node";
+  f
+
+let input_ordinal t n = Vec.get t.input_idx n
+let input_node t i = Vec.get t.inputs i
+let tag t n = Vec.get t.node_tag n
+let level t n = Vec.get t.node_level n
+
+let depth t =
+  let d = ref 0 in
+  Vec.iter (fun l -> if l > !d then d := l) t.node_level;
+  !d
+
+let add_input ?(tag = -1) t =
+  let n = num_nodes t in
+  ignore (Vec.push t.fanin0 (-1));
+  ignore (Vec.push t.fanin1 (-1));
+  ignore (Vec.push t.input_idx (Vec.length t.inputs));
+  ignore (Vec.push t.node_level 0);
+  ignore (Vec.push t.node_tag tag);
+  ignore (Vec.push t.inputs n);
+  lit_of_node n
+
+let mk_and ?(tag = -1) t a b =
+  (* Canonical operand order first, so the rewrite rules and the strash key
+     see commuted calls identically. *)
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = lit_false then lit_false
+  else if a = lit_true then b
+  else if a = b then a
+  else if a = lit_not b then lit_false
+  else
+    match Hashtbl.find_opt t.strash (a, b) with
+    | Some n -> lit_of_node n
+    | None ->
+      let n = num_nodes t in
+      ignore (Vec.push t.fanin0 a);
+      ignore (Vec.push t.fanin1 b);
+      ignore (Vec.push t.input_idx (-1));
+      ignore
+        (Vec.push t.node_level
+           (1 + max (Vec.get t.node_level (node_of_lit a))
+                  (Vec.get t.node_level (node_of_lit b))));
+      ignore (Vec.push t.node_tag tag);
+      Hashtbl.replace t.strash (a, b) n;
+      lit_of_node n
+
+let mk_or ?tag t a b = lit_not (mk_and ?tag t (lit_not a) (lit_not b))
+
+let mk_xor ?tag t a b =
+  mk_or ?tag t (mk_and ?tag t a (lit_not b)) (mk_and ?tag t (lit_not a) b)
+
+let mk_mux ?tag t s a b =
+  mk_or ?tag t (mk_and ?tag t (lit_not s) a) (mk_and ?tag t s b)
+
+let eval_lit vals l =
+  let v = vals.(node_of_lit l) in
+  if is_compl l then not v else v
+
+let eval t f =
+  let vals = Array.make (num_nodes t) false in
+  for n = 1 to num_nodes t - 1 do
+    let idx = Vec.get t.input_idx n in
+    if idx >= 0 then vals.(n) <- f idx
+    else
+      vals.(n) <-
+        eval_lit vals (Vec.get t.fanin0 n) && eval_lit vals (Vec.get t.fanin1 n)
+  done;
+  vals
+
+let sim64_lit vals l =
+  let v = vals.(node_of_lit l) in
+  if is_compl l then Int64.lognot v else v
+
+let sim64 t f =
+  let vals = Array.make (num_nodes t) 0L in
+  for n = 1 to num_nodes t - 1 do
+    let idx = Vec.get t.input_idx n in
+    if idx >= 0 then vals.(n) <- f idx
+    else
+      vals.(n) <-
+        Int64.logand
+          (sim64_lit vals (Vec.get t.fanin0 n))
+          (sim64_lit vals (Vec.get t.fanin1 n))
+  done;
+  vals
+
+let lit_of_table ?tag t table fanins =
+  if Array.length fanins <> Truth_table.arity table then
+    invalid_arg "Aig.lit_of_table: fanin/arity mismatch";
+  (* Shannon expansion on the highest support variable; memoised on the
+     table bits so shared cofactors build shared structure. *)
+  let memo = Hashtbl.create 16 in
+  let rec build table =
+    match Hashtbl.find_opt memo (Truth_table.bits table) with
+    | Some l -> l
+    | None ->
+      let l =
+        let rec top i = if i < 0 then -1 else if Truth_table.depends_on table i then i else top (i - 1) in
+        match top (Truth_table.arity table - 1) with
+        | -1 ->
+          if Truth_table.equal table (Truth_table.const ~arity:(Truth_table.arity table) true)
+          then lit_true
+          else lit_false
+        | i ->
+          let f0 = build (Truth_table.cofactor table i false) in
+          let f1 = build (Truth_table.cofactor table i true) in
+          mk_mux ?tag t fanins.(i) f0 f1
+      in
+      Hashtbl.replace memo (Truth_table.bits table) l;
+      l
+  in
+  build table
+
+type conversion = {
+  aig : t;
+  lit_of_gate : lit array;
+  gate_of_input : int array;
+}
+
+let of_gate_netlist ?tags nl =
+  let t = create () in
+  let lit_of_gate = Array.make (Gate_netlist.size nl) lit_false in
+  let gate_of_input = Vec.create () in
+  let tag_of gid = match tags with Some tg -> tg.(gid) | None -> -1 in
+  Gate_netlist.iter
+    (fun gid node ->
+      let tag = tag_of gid in
+      let fi i = lit_of_gate.(node.Gate_netlist.fanins.(i)) in
+      let l =
+        match node.Gate_netlist.kind with
+        | Gate.Input ->
+          ignore (Vec.push gate_of_input gid);
+          add_input ~tag t
+        | Gate.Const b -> if b then lit_true else lit_false
+        | Gate.Buf -> fi 0
+        | Gate.Not -> lit_not (fi 0)
+        | Gate.And2 -> mk_and ~tag t (fi 0) (fi 1)
+        | Gate.Or2 -> mk_or ~tag t (fi 0) (fi 1)
+        | Gate.Nand2 -> lit_not (mk_and ~tag t (fi 0) (fi 1))
+        | Gate.Nor2 -> lit_not (mk_or ~tag t (fi 0) (fi 1))
+        | Gate.Xor2 -> mk_xor ~tag t (fi 0) (fi 1)
+        | Gate.Xnor2 -> lit_not (mk_xor ~tag t (fi 0) (fi 1))
+        | Gate.Mux2 -> mk_mux ~tag t (fi 0) (fi 1) (fi 2)
+      in
+      lit_of_gate.(gid) <- l)
+    nl;
+  { aig = t; lit_of_gate; gate_of_input = Vec.to_array gate_of_input }
+
+let of_structure ?tags ~size ~node () =
+  let t = create () in
+  let lits = Array.make size lit_false in
+  let tag_of i = match tags with Some tg -> tg.(i) | None -> -1 in
+  for i = 0 to size - 1 do
+    lits.(i) <-
+      (match node i with
+      | `Input -> add_input ~tag:(tag_of i) t
+      | `Func (table, fanins) ->
+        lit_of_table ~tag:(tag_of i) t table (Array.map (fun j -> lits.(j)) fanins))
+  done;
+  (t, lits)

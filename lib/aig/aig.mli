@@ -1,0 +1,123 @@
+(** Structurally-hashed And-Inverter Graph with complemented edges.
+
+    Nodes are numbered densely from 0; node 0 is the constant-false node,
+    followed by the inputs in creation order, then two-input AND nodes in
+    creation order. Because every AND is created through {!mk_and} — which
+    canonically orders its operands, propagates constants and consults the
+    structural-hash table — node ids are a deterministic function of the
+    construction call sequence, and no AND node ever has a constant fanin
+    (constants only survive as output literals).
+
+    A {e literal} packs a node id and a complement bit: [lit = 2*node + c].
+    Literal 0 is constant false, literal 1 constant true. *)
+
+type t
+
+type lit = int
+
+val lit_false : lit
+val lit_true : lit
+
+val lit_of_node : int -> lit
+(** The positive (uncomplemented) literal of a node. *)
+
+val node_of_lit : lit -> int
+val is_compl : lit -> bool
+val lit_not : lit -> lit
+val lit_compl : lit -> bool -> lit
+(** [lit_compl l c] complements [l] iff [c]. *)
+
+val create : unit -> t
+
+val num_nodes : t -> int
+(** Total node count, including the constant node 0. *)
+
+val num_inputs : t -> int
+val num_ands : t -> int
+
+val add_input : ?tag:int -> t -> lit
+(** Appends a fresh input node and returns its positive literal. [tag] is an
+    arbitrary client annotation (NanoMap stores the RTL module id); defaults
+    to [-1]. *)
+
+val mk_and : ?tag:int -> t -> lit -> lit -> lit
+(** Strashed, constant-propagating AND: [a & false = false], [a & true = a],
+    [a & a = a], [a & not a = false]; operands are swapped into canonical
+    order before the hash lookup, so commuted calls return the same literal.
+    On a strash hit the existing node (and its tag) is reused. *)
+
+val mk_or : ?tag:int -> t -> lit -> lit -> lit
+val mk_xor : ?tag:int -> t -> lit -> lit -> lit
+(** Built from AND/NOT (three ANDs for XOR); no dedicated node kinds. *)
+
+val mk_mux : ?tag:int -> t -> lit -> lit -> lit -> lit
+(** [mk_mux t s a b] is [b] when [s] is true, else [a] (matching
+    {!Nanomap_logic.Gate.Mux2} fanin order [sel; a; b]). *)
+
+val is_const_node : int -> bool
+val is_input : t -> int -> bool
+val is_and : t -> int -> bool
+
+val fanin0 : t -> int -> lit
+val fanin1 : t -> int -> lit
+(** Fanin literals of an AND node; [Invalid_argument] otherwise. *)
+
+val input_ordinal : t -> int -> int
+(** Creation ordinal (0-based) of an input node; [-1] for other nodes. *)
+
+val input_node : t -> int -> int
+(** Node id of the [i]-th input (inverse of {!input_ordinal}). *)
+
+val tag : t -> int -> int
+
+val level : t -> int -> int
+(** AND-depth: constants and inputs are 0, an AND is [1 + max] of its fanin
+    levels. *)
+
+val depth : t -> int
+(** Maximum level over all nodes. *)
+
+val eval : t -> (int -> bool) -> bool array
+(** [eval t f] evaluates every node under the assignment [f ordinal] for the
+    inputs, returning node values (not literal values) indexed by node id. *)
+
+val eval_lit : bool array -> lit -> bool
+(** Read a literal's value out of an {!eval} result. *)
+
+val sim64 : t -> (int -> int64) -> int64 array
+(** Bit-parallel simulation: 64 independent input assignments per call. The
+    callback supplies a 64-bit stimulus word per input ordinal. This is the
+    compositional cycle simulator — feeding one cycle's register outputs
+    back as the next cycle's input words simulates 64 traces at once. *)
+
+val sim64_lit : int64 array -> lit -> int64
+
+val lit_of_table : ?tag:int -> t -> Nanomap_logic.Truth_table.t -> lit array -> lit
+(** Shannon-decompose a truth table over the given fanin literals (array
+    length = table arity) into AND/NOT structure, returning the root
+    literal. Variables outside the table's support cost nothing. *)
+
+(** {1 Converters} *)
+
+type conversion = {
+  aig : t;
+  lit_of_gate : lit array;  (** gate-netlist id -> AIG literal *)
+  gate_of_input : int array;  (** AIG input ordinal -> gate-netlist id *)
+}
+
+val of_gate_netlist : ?tags:int array -> Nanomap_logic.Gate_netlist.t -> conversion
+(** Rewrite a primitive-gate netlist into AIG form: [Not]/[Buf] fold into
+    edge complements, XOR/MUX expand into AND trees, constants propagate.
+    [tags] (per gate id) become node tags; first creator wins on strash
+    hits. *)
+
+val of_structure :
+  ?tags:int array ->
+  size:int ->
+  node:(int -> [ `Input | `Func of Nanomap_logic.Truth_table.t * int array ]) ->
+  unit ->
+  t * lit array
+(** Generic converter for any topologically-ordered DAG of truth-table nodes
+    (used by [Nanomap_techmap.Aig_map.of_lut_network]): node [i] is either an
+    input or a function of earlier node ids. Returns the AIG and the literal
+    of every source node. *)

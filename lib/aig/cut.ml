@@ -1,0 +1,345 @@
+module Truth_table = Nanomap_logic.Truth_table
+
+type cut = {
+  leaves : int array;
+  func : Truth_table.t;
+}
+
+type mapping = {
+  cuts : cut array array;
+  choice : int array;
+  label : int array;
+  arrival : int array;
+  cuts_enumerated : int;
+}
+
+let trivial n = { leaves = [| n |]; func = Truth_table.var ~arity:1 0 }
+
+(* Merge two strictly-ascending leaf vectors; None if the union exceeds k. *)
+let merge_leaves k a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let rec go i j n =
+    if n > k then None
+    else if i = la && j = lb then Some (Array.sub out 0 n)
+    else if j = lb || (i < la && a.(i) < b.(j)) then begin
+      out.(n) <- a.(i);
+      go (i + 1) j (n + 1)
+    end
+    else if i = la || b.(j) < a.(i) then begin
+      out.(n) <- b.(j);
+      go i (j + 1) (n + 1)
+    end
+    else begin
+      out.(n) <- a.(i);
+      go (i + 1) (j + 1) (n + 1)
+    end
+  in
+  go 0 0 0
+
+let index_in union leaf =
+  let rec go i = if union.(i) = leaf then i else go (i + 1) in
+  go 0
+
+(* Re-express a sub-cut's function over the merged leaf ordering, folding in
+   the edge complement. *)
+let lift func leaves union compl_ =
+  let map = Array.map (index_in union) leaves in
+  let t = Truth_table.permute func ~arity:(Array.length union) map in
+  if compl_ then Truth_table.lognot t else t
+
+let compare_leaves a b = compare (Array.to_list a) (Array.to_list b)
+
+type candidate = {
+  c_leaves : int array;
+  c_func : Truth_table.t;
+  c_depth : int;
+  c_af : float;
+}
+
+let effort_params = function
+  | 1 -> (6, 1, 0)
+  | 2 -> (8, 2, 1)
+  | _ -> (12, 3, 2)
+
+let balance_weight = 0.05
+
+let compute ?(k = 4) ?(effort = 2) ?(balance = false) aig ~roots =
+  if k < 2 || k > Truth_table.max_arity then invalid_arg "Cut.compute: k";
+  let budget, af_rounds, ela_rounds = effort_params (max 1 (min 3 effort)) in
+  let n_nodes = Aig.num_nodes aig in
+  let cuts = Array.make n_nodes [||] in
+  let label = Array.make n_nodes 0 in
+  let af = Array.make n_nodes 0.0 in
+  let choice = Array.make n_nodes (-1) in
+  let arrival = Array.make n_nodes 0 in
+  let enumerated = ref 0 in
+  (* Structural fanout counts (AND fanins + root references) normalise
+     area flow. *)
+  let refs = Array.make n_nodes 0 in
+  for n = 0 to n_nodes - 1 do
+    if Aig.is_and aig n then begin
+      refs.(Aig.node_of_lit (Aig.fanin0 aig n)) <- refs.(Aig.node_of_lit (Aig.fanin0 aig n)) + 1;
+      refs.(Aig.node_of_lit (Aig.fanin1 aig n)) <- refs.(Aig.node_of_lit (Aig.fanin1 aig n)) + 1
+    end
+  done;
+  List.iter (fun l -> refs.(Aig.node_of_lit l) <- refs.(Aig.node_of_lit l) + 1) roots;
+  let leaf_label l = label.(l) in
+  let leaf_af l = af.(l) in
+  let cut_depth leaves = 1 + Array.fold_left (fun m l -> max m (leaf_label l)) 0 leaves in
+  let cut_af leaves = 1.0 +. Array.fold_left (fun s l -> s +. leaf_af l) 0.0 leaves in
+  (* --- enumeration (one ascending pass; fanins precede their node) --- *)
+  for n = 0 to n_nodes - 1 do
+    if Aig.is_input aig n then cuts.(n) <- [| trivial n |]
+    else if Aig.is_and aig n then begin
+      let f0 = Aig.fanin0 aig n and f1 = Aig.fanin1 aig n in
+      let a = Aig.node_of_lit f0 and b = Aig.node_of_lit f1 in
+      let ca = Aig.is_compl f0 and cb = Aig.is_compl f1 in
+      let cands = ref [] in
+      Array.iter
+        (fun cut_a ->
+          Array.iter
+            (fun cut_b ->
+              incr enumerated;
+              match merge_leaves k cut_a.leaves cut_b.leaves with
+              | None -> ()
+              | Some union ->
+                if not (List.exists (fun c -> compare_leaves c.c_leaves union = 0) !cands)
+                then begin
+                  let func =
+                    Truth_table.logand
+                      (lift cut_a.func cut_a.leaves union ca)
+                      (lift cut_b.func cut_b.leaves union cb)
+                  in
+                  cands :=
+                    { c_leaves = union;
+                      c_func = func;
+                      c_depth = cut_depth union;
+                      c_af = cut_af union }
+                    :: !cands
+                end)
+            cuts.(b))
+        cuts.(a);
+      let sorted =
+        List.sort
+          (fun x y ->
+            let c = compare x.c_depth y.c_depth in
+            if c <> 0 then c
+            else
+              let c = compare x.c_af y.c_af in
+              if c <> 0 then c else compare_leaves x.c_leaves y.c_leaves)
+          !cands
+      in
+      let kept =
+        if List.length sorted <= budget then sorted
+        else begin
+          let kept = List.filteri (fun i _ -> i < budget) sorted in
+          (* guarantee the globally best-area candidate survives pruning *)
+          let best_area =
+            List.fold_left
+              (fun acc c ->
+                match acc with
+                | None -> Some c
+                | Some b ->
+                  if
+                    c.c_af < b.c_af
+                    || (c.c_af = b.c_af
+                        && (c.c_depth < b.c_depth
+                            || (c.c_depth = b.c_depth
+                                && compare_leaves c.c_leaves b.c_leaves < 0)))
+                  then Some c
+                  else acc)
+              None sorted
+          in
+          match best_area with
+          | Some ba when not (List.exists (fun c -> compare_leaves c.c_leaves ba.c_leaves = 0) kept) ->
+            List.mapi (fun i c -> if i = budget - 1 then ba else c) kept
+          | _ -> kept
+        end
+      in
+      label.(n) <- (match kept with c :: _ -> c.c_depth | [] -> assert false);
+      af.(n) <-
+        List.fold_left (fun m c -> min m c.c_af) infinity kept
+        /. float_of_int (max 1 refs.(n));
+      cuts.(n) <-
+        Array.of_list
+          (List.map (fun c -> { leaves = c.c_leaves; func = c.c_func }) kept
+          @ [ trivial n ])
+    end
+  done;
+  (* --- selection --- *)
+  let num_real n = Array.length cuts.(n) - 1 in
+  let root_nodes =
+    List.filter_map
+      (fun l ->
+        let n = Aig.node_of_lit l in
+        if Aig.is_and aig n then Some n else None)
+      roots
+  in
+  let needed = Array.make n_nodes false in
+  let compute_needed () =
+    Array.fill needed 0 n_nodes false;
+    let rec visit n =
+      if not needed.(n) then begin
+        needed.(n) <- true;
+        Array.iter
+          (fun l -> if Aig.is_and aig l then visit l)
+          cuts.(n).(choice.(n)).leaves
+      end
+    in
+    List.iter visit root_nodes
+  in
+  let update_arrivals () =
+    for n = 0 to n_nodes - 1 do
+      if Aig.is_and aig n then
+        arrival.(n) <-
+          1
+          + Array.fold_left
+              (fun m l -> max m arrival.(l))
+              0
+              cuts.(n).(choice.(n)).leaves
+    done
+  in
+  let req = Array.make n_nodes max_int in
+  let compute_required () =
+    Array.fill req 0 n_nodes max_int;
+    List.iter
+      (fun n -> req.(n) <- min req.(n) arrival.(n))
+      root_nodes;
+    for n = n_nodes - 1 downto 0 do
+      if needed.(n) && Aig.is_and aig n && req.(n) < max_int then
+        Array.iter
+          (fun l -> req.(l) <- min req.(l) (req.(n) - 1))
+          cuts.(n).(choice.(n)).leaves
+    done
+  in
+  (* depth pass: cuts are sorted (depth, area-flow), so index 0 is the
+     depth-optimal choice and arrival = label everywhere. *)
+  for n = 0 to n_nodes - 1 do
+    if Aig.is_and aig n then choice.(n) <- 0
+  done;
+  update_arrivals ();
+  compute_needed ();
+  compute_required ();
+  (* area-flow rounds: pick the cheapest cut whose depth fits the slack. *)
+  for _round = 1 to af_rounds do
+    for n = 0 to n_nodes - 1 do
+      if Aig.is_and aig n then begin
+        let best = ref choice.(n) in
+        let best_cost = ref infinity in
+        let best_depth = ref max_int in
+        for i = 0 to num_real n - 1 do
+          let c = cuts.(n).(i) in
+          let d = 1 + Array.fold_left (fun m l -> max m arrival.(l)) 0 c.leaves in
+          if d <= req.(n) then begin
+            let cost = ref (cut_af c.leaves) in
+            if balance then
+              (* NRAM folding balance: penalise leaves arriving long before
+                 the root — their values must be buffered across folding
+                 stages for the whole gap. *)
+              Array.iter
+                (fun l -> cost := !cost +. (balance_weight *. float_of_int (d - 1 - arrival.(l))))
+                c.leaves;
+            if
+              !cost < !best_cost
+              || (!cost = !best_cost
+                  && (d < !best_depth
+                      || (d = !best_depth
+                          && compare_leaves c.leaves cuts.(n).(!best).leaves < 0)))
+            then begin
+              best := i;
+              best_cost := !cost;
+              best_depth := d
+            end
+          end
+        done;
+        choice.(n) <- !best;
+        arrival.(n) <-
+          1
+          + Array.fold_left (fun m l -> max m arrival.(l)) 0 cuts.(n).(!best).leaves
+      end
+    done;
+    compute_needed ();
+    compute_required ()
+  done;
+  (* exact-local-area refinement over the mapped cone, fed by the area-flow
+     choices (fusion: every pass re-ranks the same shared cut sets). *)
+  if ela_rounds > 0 then begin
+    let mr = Array.make n_nodes 0 in
+    let init_refs () =
+      Array.fill mr 0 n_nodes 0;
+      compute_needed ();
+      for n = 0 to n_nodes - 1 do
+        if needed.(n) && Aig.is_and aig n then
+          Array.iter
+            (fun l -> if Aig.is_and aig l then mr.(l) <- mr.(l) + 1)
+            cuts.(n).(choice.(n)).leaves
+      done;
+      List.iter (fun n -> mr.(n) <- mr.(n) + 1) root_nodes
+    in
+    let rec deref_cut c =
+      Array.fold_left
+        (fun area l ->
+          if Aig.is_and aig l then begin
+            mr.(l) <- mr.(l) - 1;
+            if mr.(l) = 0 then area + deref_cut cuts.(l).(choice.(l)) else area
+          end
+          else area)
+        1 c.leaves
+    and reref_cut c =
+      Array.fold_left
+        (fun area l ->
+          if Aig.is_and aig l then begin
+            let area = if mr.(l) = 0 then area + reref_cut cuts.(l).(choice.(l)) else area in
+            mr.(l) <- mr.(l) + 1;
+            area
+          end
+          else area)
+        1 c.leaves
+    in
+    for _round = 1 to ela_rounds do
+      init_refs ();
+      compute_required ();
+      for n = n_nodes - 1 downto 0 do
+        if Aig.is_and aig n && mr.(n) > 0 then begin
+          let cur = choice.(n) in
+          let cur_area = deref_cut cuts.(n).(cur) in
+          let best = ref cur and best_area = ref cur_area in
+          for i = 0 to num_real n - 1 do
+            if i <> cur then begin
+              let c = cuts.(n).(i) in
+              let d = 1 + Array.fold_left (fun m l -> max m arrival.(l)) 0 c.leaves in
+              if d <= req.(n) then begin
+                let area = reref_cut c in
+                ignore (deref_cut c);
+                if
+                  area < !best_area
+                  || (area = !best_area
+                      && !best <> cur
+                      && compare_leaves c.leaves cuts.(n).(!best).leaves < 0)
+                then begin
+                  best := i;
+                  best_area := area
+                end
+              end
+            end
+          done;
+          choice.(n) <- !best;
+          ignore (reref_cut cuts.(n).(!best));
+          arrival.(n) <-
+            1
+            + Array.fold_left
+                (fun m l -> max m arrival.(l))
+                0
+                cuts.(n).(!best).leaves
+        end
+      done
+    done;
+    update_arrivals ();
+    compute_needed ()
+  end;
+  (* final cone: report -1 for everything the mapping does not use *)
+  for n = 0 to n_nodes - 1 do
+    if not needed.(n) then choice.(n) <- -1
+  done;
+  { cuts; choice; label; arrival; cuts_enumerated = !enumerated }

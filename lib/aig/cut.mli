@@ -1,0 +1,57 @@
+(** Priority-cut enumeration and fused cut selection over an AIG.
+
+    For every AND node a bounded set of K-feasible cuts is enumerated by
+    cross-merging the fanins' cut sets (the trivial cut of each fanin is
+    always included in the merge, so the immediate two-leaf cut is always
+    present). Each cut carries its local function as a truth table over the
+    sorted leaf nodes, with edge complements folded in — so a chosen cut
+    translates directly into one LUT.
+
+    Selection is fusion-style: the depth-optimal labels, the area-flow pass
+    and the exact-local-area refinement all rank the {e same} shared cut
+    sets, each pass seeding from the previous pass's choices and constrained
+    by required times so depth never degrades. An optional NRAM-balance term
+    penalises cuts whose leaves arrive much earlier than the root, reducing
+    the live range that folding stages must buffer. *)
+
+type cut = {
+  leaves : int array;  (** AIG node ids, strictly ascending *)
+  func : Nanomap_logic.Truth_table.t;
+      (** function of the leaf {e node} values; arity = number of leaves *)
+}
+
+type mapping = {
+  cuts : cut array array;
+      (** per node: the kept cuts. AND nodes additionally carry the trivial
+          cut as the {e last} element (used only for parent merging, never
+          chosen); inputs carry exactly the trivial cut. *)
+  choice : int array;
+      (** per AND node in the mapped cone: index of the chosen cut;
+          [-1] for inputs, constants and nodes outside the cone *)
+  label : int array;
+      (** depth-optimal label: minimum achievable LUT depth of each node
+          over {e all} enumerated cuts (0 for inputs). Matches FlowMap's
+          labels on netlists whose gates are 1:1 with AND nodes. *)
+  arrival : int array;  (** LUT depth of each node under [choice] *)
+  cuts_enumerated : int;  (** total candidate cuts generated (pre-pruning) *)
+}
+
+val trivial : int -> cut
+(** The singleton cut [{n}] with the identity function. *)
+
+val compute :
+  ?k:int ->
+  ?effort:int ->
+  ?balance:bool ->
+  Aig.t ->
+  roots:Aig.lit list ->
+  mapping
+(** [compute ?k ?effort ?balance aig ~roots] enumerates cuts (at most
+    [k] <= {!Nanomap_logic.Truth_table.max_arity} leaves each) and selects
+    one cut per AND node reachable from [roots].
+
+    [effort] 1..3 controls the priority-cut budget and the number of
+    area-recovery rounds (1: 6 cuts, area-flow only; 2: 8 cuts, + one
+    exact-local-area round; 3: 12 cuts, deeper refinement). [balance]
+    enables the NRAM folding-stage balance term. Deterministic: equal-cost
+    cuts tie-break on their leaf vectors. *)

@@ -11,9 +11,21 @@ let log = Logs.Src.create "nanomap.mapper" ~doc:"NanoMap logic mapping"
 
 module Log = (val Logs.src_log log)
 
+type mapper = Truth_table | Aig
+
+let mapper_of_string = function
+  | "tt" | "truth-table" | "flowmap" -> Some Truth_table
+  | "aig" -> Some Aig
+  | _ -> None
+
+let string_of_mapper = function
+  | Truth_table -> "tt"
+  | Aig -> "aig"
+
 type prepared = {
   design : Rtl.t;
   levelized : Levelize.t;
+  mapper : mapper;
   networks : Lut_network.t array;
   num_luts : int array;
   plane_depths : int array;
@@ -25,13 +37,21 @@ type prepared = {
   base_ff_bits : int;
 }
 
-let prepare ?(k = 4) design =
+let prepare ?(k = 4) ?(mapper = Truth_table) ?(aig_effort = 2) design =
   let levelized = Levelize.levelize design in
   let num_planes = Levelize.num_planes levelized in
   let networks =
     Array.init num_planes (fun i ->
         let tagged = Simplify.run (Decompose.plane levelized (i + 1)) in
-        let network = Flowmap.map ~k tagged in
+        let network =
+          match mapper with
+          | Truth_table -> Flowmap.map ~k tagged
+          | Aig ->
+            (* per-cut truth tables cap K at Truth_table.max_arity *)
+            Nanomap_techmap.Aig_map.map
+              ~k:(min k Nanomap_logic.Truth_table.max_arity)
+              ~effort:aig_effort tagged
+        in
         Lut_network.validate network;
         network)
   in
@@ -56,6 +76,7 @@ let prepare ?(k = 4) design =
   let total_ffs = Levelize.total_flip_flops levelized in
   { design;
     levelized;
+    mapper;
     networks;
     num_luts;
     plane_depths;

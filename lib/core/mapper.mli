@@ -13,9 +13,20 @@
     back), which callers express by re-invoking the driver with the
     [max_level] restriction below the rejected level. *)
 
+type mapper =
+  | Truth_table  (** the seed FlowMap path over the primitive-gate netlist *)
+  | Aig          (** priority-cut mapping over the strashed AIG *)
+
+val mapper_of_string : string -> mapper option
+(** Accepts ["tt"], ["truth-table"], ["flowmap"], ["aig"]. *)
+
+val string_of_mapper : mapper -> string
+
 type prepared = {
   design : Nanomap_rtl.Rtl.t;
   levelized : Nanomap_rtl.Levelize.t;
+  mapper : mapper;                                (** which mapper produced
+                                                      the networks *)
   networks : Nanomap_techmap.Lut_network.t array; (** one per plane *)
   num_luts : int array;                           (** per plane *)
   plane_depths : int array;                       (** LUT depth per plane *)
@@ -28,8 +39,12 @@ type prepared = {
                               that occupies flip-flops at all times *)
 }
 
-val prepare : ?k:int -> Nanomap_rtl.Rtl.t -> prepared
-(** [k] is the LUT input count (default from the architecture, 4). *)
+val prepare :
+  ?k:int -> ?mapper:mapper -> ?aig_effort:int -> Nanomap_rtl.Rtl.t -> prepared
+(** [k] is the LUT input count (default from the architecture, 4).
+    [mapper] selects the technology mapper (default {!Truth_table});
+    [aig_effort] (1..3, default 2) is forwarded to
+    {!Nanomap_techmap.Aig_map.map} when [mapper = Aig]. *)
 
 type plane_plan = {
   plane_index : int;

@@ -14,6 +14,8 @@ module Gate_netlist = Nanomap_logic.Gate_netlist
 module Lut_network = Nanomap_techmap.Lut_network
 module Decompose = Nanomap_techmap.Decompose
 module Simplify = Nanomap_techmap.Simplify
+module Aig_map = Nanomap_techmap.Aig_map
+module Aig = Nanomap_aig.Aig
 
 type level = Off | Fast | Full
 
@@ -103,6 +105,42 @@ let techmap level (prepared : Mapper.prepared) =
                           ("gate_value", string_of_bool sim.(gid));
                           ("lut_value", string_of_bool lut_vals.(lnode)) ]
                       "LUT network disagrees with the gate netlist")
+              tagged.Decompose.output_targets
+          done;
+          (* AIG-vs-source spot check: rewrite the plane into AIG form and
+             bit-parallel simulate 64 random assignments at once, then
+             cross-check a few lanes against the reference gate simulator.
+             This validates the AIG substrate itself independently of which
+             mapper produced the stored network. *)
+          let conv = Aig_map.aig_of_tagged tagged in
+          let rng = Rng.create (0x41c + p) in
+          let words = Hashtbl.create 32 in
+          List.iter
+            (fun (_, gid) -> Hashtbl.replace words gid (Rng.int64 rng))
+            gate_inputs;
+          let vals =
+            Aig.sim64 conv.Aig.aig (fun ordinal ->
+                Hashtbl.find words conv.Aig.gate_of_input.(ordinal))
+          in
+          let lanes = match level with Full -> 4 | Off | Fast -> 2 in
+          for lane = 0 to lanes - 1 do
+            let bit w = Int64.logand (Int64.shift_right_logical w lane) 1L = 1L in
+            let input_values =
+              List.map (fun (_, gid) -> bit (Hashtbl.find words gid)) gate_inputs
+              |> Array.of_list
+            in
+            let sim = Gate_netlist.simulate tagged.Decompose.gates input_values in
+            List.iter
+              (fun (_, gid) ->
+                let got = bit (Aig.sim64_lit vals conv.Aig.lit_of_gate.(gid)) in
+                if sim.(gid) <> got then
+                  Diag.fail ~stage:"techmap" ~code:"aig-mismatch"
+                    ~context:
+                      [ ("plane", string_of_int p);
+                        ("lane", string_of_int lane);
+                        ("gate_value", string_of_bool sim.(gid));
+                        ("aig_value", string_of_bool got) ]
+                    "AIG rewrite disagrees with the gate netlist")
               tagged.Decompose.output_targets
           done
         done)

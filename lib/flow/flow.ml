@@ -36,6 +36,8 @@ type options = {
   check_level : Check.level;
   defects : Defect.t;
   route_caps : Rr_graph.caps;
+  mapper : Mapper.mapper;
+  aig_effort : int;
   jobs : int;
   portfolio : int;
 }
@@ -50,6 +52,8 @@ let default_options =
     check_level = Check.Fast;
     defects = Defect.none;
     route_caps = Rr_graph.default_caps;
+    mapper = Mapper.Truth_table;
+    aig_effort = 2;
     jobs = 1;
     portfolio = 1 }
 
@@ -184,7 +188,8 @@ let run_result ?(options = default_options) ?(arch = Arch.default) design =
       protect "prepare" (fun () ->
           Telemetry.span tele "prepare" (fun () ->
               Nanomap_rtl.Rtl.validate design;
-              Mapper.prepare ~k:arch.Arch.lut_inputs design))
+              Mapper.prepare ~k:arch.Arch.lut_inputs ~mapper:options.mapper
+                ~aig_effort:options.aig_effort design))
     in
     let* () = checked (Check.techmap level prepared) in
     let* plan0 =
@@ -424,9 +429,12 @@ let circuit_delay_routed report = report.delay_routed_ns
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "@[<v>design %s:@ level %d, %d stage(s), %d plane(s)@ LEs %d (plan %d), SMBs \
-     %d (%.0f um^2)@ delay (model) %.2f ns%a@ configurations %d%a@]"
-    r.design_name r.plan.Mapper.level r.plan.Mapper.stages
+    "@[<v>design %s:@ mapper %s@ level %d, %d stage(s), %d plane(s)@ LEs %d \
+     (plan %d), SMBs %d (%.0f um^2)@ delay (model) %.2f ns%a@ configurations \
+     %d%a@]"
+    r.design_name
+    (Mapper.string_of_mapper r.prepared.Mapper.mapper)
+    r.plan.Mapper.level r.plan.Mapper.stages
     r.prepared.Mapper.num_planes r.area_les r.plan.Mapper.les r.area_smbs
     r.area_um2 r.delay_model_ns
     (fun fmt -> function

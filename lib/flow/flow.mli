@@ -61,6 +61,11 @@ type options = {
   route_caps : Nanomap_route.Rr_graph.caps;
                         (** base per-channel track counts (the adaptive
                             router and the degradation policy scale them) *)
+  mapper : Nanomap_core.Mapper.mapper;
+                        (** technology mapper: the seed FlowMap truth-table
+                            path or the AIG priority-cut mapper *)
+  aig_effort : int;     (** 1..3, AIG cut budget / refinement rounds
+                            (ignored by the truth-table mapper) *)
   jobs : int;           (** worker domains for the folding-level sweep and
                             the placement portfolio (1 = serial, spawns
                             nothing). Changes wall-clock only: the report
@@ -74,7 +79,8 @@ type options = {
 
 val default_options : options
 (** [At_min], physical, seed 1, threshold 8.0, 2 retries, incremental
-    routing, [Fast] checks, no defects, default track caps, [jobs = 1],
+    routing, [Fast] checks, no defects, default track caps,
+    [mapper = Truth_table], [aig_effort = 2], [jobs = 1],
     [portfolio = 1]. *)
 
 type report = {

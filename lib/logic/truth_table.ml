@@ -75,6 +75,21 @@ let depends_on t i =
     Int64.logand diff (Int64.logand (Int64.lognot relevant) (mask t.arity)) <> 0L
   end
 
+let cofactor t i b =
+  if i < 0 || i >= t.arity then invalid_arg "Truth_table.cofactor";
+  of_fun ~arity:t.arity (fun inputs ->
+      let inputs = Array.copy inputs in
+      inputs.(i) <- b;
+      eval t inputs)
+
+let permute t ~arity map =
+  if arity < 0 || arity > max_arity then invalid_arg "Truth_table.permute";
+  if Array.length map <> t.arity then invalid_arg "Truth_table.permute";
+  Array.iter
+    (fun j -> if j < 0 || j >= arity then invalid_arg "Truth_table.permute")
+    map;
+  of_fun ~arity (fun inputs -> eval t (Array.map (fun j -> inputs.(j)) map))
+
 let support_size t =
   let n = ref 0 in
   for i = 0 to t.arity - 1 do

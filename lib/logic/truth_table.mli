@@ -36,6 +36,16 @@ val eval : t -> bool array -> bool
 val of_fun : arity:int -> (bool array -> bool) -> t
 (** Tabulate an OCaml predicate over all [2^arity] assignments. *)
 
+val cofactor : t -> int -> bool -> t
+(** [cofactor f i b] fixes variable [i] to [b]; the result keeps the same
+    arity but no longer depends on variable [i]. *)
+
+val permute : t -> arity:int -> int array -> t
+(** [permute f ~arity map] re-expresses [f] over a (possibly wider) variable
+    space: the result [g] has the given [arity] and satisfies
+    [g(x) = f(x_{map.(0)}, ..., x_{map.(n-1)})]. Used by cut merging to lift
+    a sub-cut's table onto the merged leaf ordering. *)
+
 val depends_on : t -> int -> bool
 (** True if the function value changes with variable [i] for some input. *)
 

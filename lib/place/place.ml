@@ -55,8 +55,15 @@ let flatten_nets ?(joint = true) (cl : Cluster.t) =
         add n.Cluster.driver;
         List.iter add n.Cluster.sinks;
         Some
-          { smb_eps = Hashtbl.fold (fun s () acc -> s :: acc) smbs [] |> Array.of_list;
-            pad_eps = Hashtbl.fold (fun p () acc -> p :: acc) pads [] |> Array.of_list;
+          (* Sort the deduplicated endpoints: Hashtbl.fold visits buckets in
+             an unspecified order, and endpoint order must not leak into
+             anything downstream (determinism contract). *)
+          { smb_eps =
+              Hashtbl.fold (fun s () acc -> s :: acc) smbs []
+              |> List.sort compare |> Array.of_list;
+            pad_eps =
+              Hashtbl.fold (fun p () acc -> p :: acc) pads []
+              |> List.sort compare |> Array.of_list;
             weight }
       end)
     cl.Cluster.nets

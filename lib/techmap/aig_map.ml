@@ -1,0 +1,122 @@
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Truth_table = Nanomap_logic.Truth_table
+module Aig = Nanomap_aig.Aig
+module Cut = Nanomap_aig.Cut
+
+type stats = {
+  aig_nodes : int;
+  aig_ands : int;
+  aig_depth : int;
+  cuts_enumerated : int;
+}
+
+let aig_of_tagged (tg : Decompose.tagged) =
+  Aig.of_gate_netlist ~tags:tg.Decompose.tags tg.Decompose.gates
+
+let of_lut_network network =
+  Aig.of_structure
+    ~size:(Lut_network.size network)
+    ~node:(fun i ->
+      match Lut_network.node network i with
+      | Lut_network.Input _ -> `Input
+      | Lut_network.Lut { func; fanins } -> `Func (func, fanins))
+    ()
+
+let map_stats ?(k = 4) ?(effort = 2) ?(balance = false) (tg : Decompose.tagged) =
+  if k > Truth_table.max_arity then invalid_arg "Aig_map.map: k > max_arity";
+  let nl = tg.Decompose.gates in
+  let conv = aig_of_tagged tg in
+  let aig = conv.Aig.aig in
+  let roots =
+    List.map (fun (_, gid) -> conv.Aig.lit_of_gate.(gid)) tg.Decompose.output_targets
+  in
+  let mapping = Cut.compute ~k ~effort ~balance aig ~roots in
+  let lut = Lut_network.create () in
+  let origin_of gid =
+    match List.assoc_opt gid tg.Decompose.input_origins with
+    | Some origin -> origin
+    | None -> failwith "Aig_map: input gate without origin"
+  in
+  (* AIG input node -> LUT-network input node, created on demand with the
+     origin of the source gate (mirrors Flowmap.map). *)
+  let input_map = Hashtbl.create 64 in
+  let input_net n =
+    match Hashtbl.find_opt input_map n with
+    | Some id -> id
+    | None ->
+      let gid = conv.Aig.gate_of_input.(Aig.input_ordinal aig n) in
+      let name = Option.value (Gate_netlist.node nl gid).Gate_netlist.name ~default:"in" in
+      let id = Lut_network.add_input lut ~name (origin_of gid) in
+      Hashtbl.replace input_map n id;
+      id
+  in
+  let const_map = Hashtbl.create 2 in
+  let const_net b =
+    match Hashtbl.find_opt const_map b with
+    | Some id -> id
+    | None ->
+      let id = Lut_network.add_input lut ~name:"const" (Lut_network.Const_bit b) in
+      Hashtbl.replace const_map b id;
+      id
+  in
+  (* Emit the chosen cone in ascending node order (cut leaves always have
+     smaller ids, so this is topological). *)
+  let lut_of = Array.make (Aig.num_nodes aig) (-1) in
+  let net_of_leaf l = if Aig.is_input aig l then input_net l else lut_of.(l) in
+  for n = 0 to Aig.num_nodes aig - 1 do
+    if mapping.Cut.choice.(n) >= 0 then begin
+      let cut = mapping.Cut.cuts.(n).(mapping.Cut.choice.(n)) in
+      lut_of.(n) <-
+        Lut_network.add_lut lut
+          ~name:(Printf.sprintf "a%d" n)
+          ~module_id:(Aig.tag aig n) ~func:cut.Cut.func
+          ~fanins:(Array.map net_of_leaf cut.Cut.leaves)
+          ()
+    end
+  done;
+  (* Complemented root literals: a negated sibling of the root cut, same
+     fanins, same depth — one extra LUT at most per polarity. *)
+  let neg_map = Hashtbl.create 8 in
+  let neg_net n module_id =
+    match Hashtbl.find_opt neg_map n with
+    | Some id -> id
+    | None ->
+      let id =
+        if Aig.is_input aig n then
+          Lut_network.add_lut lut
+            ~name:(Printf.sprintf "inv%d" n)
+            ~module_id
+            ~func:(Truth_table.lognot (Truth_table.var ~arity:1 0))
+            ~fanins:[| input_net n |] ()
+        else
+          let cut = mapping.Cut.cuts.(n).(mapping.Cut.choice.(n)) in
+          Lut_network.add_lut lut
+            ~name:(Printf.sprintf "n%d" n)
+            ~module_id:(Aig.tag aig n)
+            ~func:(Truth_table.lognot cut.Cut.func)
+            ~fanins:(Array.map net_of_leaf cut.Cut.leaves)
+            ()
+      in
+      Hashtbl.replace neg_map n id;
+      id
+  in
+  List.iter
+    (fun (target, gid) ->
+      let l = conv.Aig.lit_of_gate.(gid) in
+      let n = Aig.node_of_lit l in
+      let net =
+        if Aig.is_const_node n then const_net (Aig.is_compl l)
+        else if not (Aig.is_compl l) then
+          if Aig.is_input aig n then input_net n else lut_of.(n)
+        else neg_net n tg.Decompose.tags.(gid)
+      in
+      Lut_network.mark_output lut target net)
+    tg.Decompose.output_targets;
+  ( lut,
+    { aig_nodes = Aig.num_nodes aig;
+      aig_ands = Aig.num_ands aig;
+      aig_depth = Aig.depth aig;
+      cuts_enumerated = mapping.Cut.cuts_enumerated } )
+
+let map ?k ?effort ?balance tg = fst (map_stats ?k ?effort ?balance tg)

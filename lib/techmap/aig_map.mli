@@ -1,0 +1,43 @@
+(** AIG-based technology mapping: the priority-cut alternative to
+    {!Flowmap}.
+
+    The tagged gate netlist of a plane is rewritten into a structurally
+    hashed AIG ({!Nanomap_aig.Aig}), cuts are enumerated and selected by
+    {!Nanomap_aig.Cut}, and the chosen cuts are emitted as the same
+    {!Lut_network.t} the rest of the flow consumes — clustering, FDS,
+    placement and routing see no difference. Complemented output literals
+    cost at most one extra LUT (a negated sibling of the root cut, at equal
+    depth); inverters and buffers otherwise vanish into edge complements.
+
+    Near-linear in netlist size (bounded cut sets per node), where FlowMap's
+    labeling is quadratic — this is the mapper that handles thousand-LUT
+    planes. *)
+
+type stats = {
+  aig_nodes : int;   (** total AIG nodes incl. constant *)
+  aig_ands : int;    (** AND nodes after strashing/const-prop *)
+  aig_depth : int;   (** AND-depth of the AIG *)
+  cuts_enumerated : int;  (** candidate cuts generated during enumeration *)
+}
+
+val aig_of_tagged : Decompose.tagged -> Nanomap_aig.Aig.conversion
+(** The AIG of a tagged plane netlist (module tags become node tags).
+    Exposed for the flow checker's AIG-vs-source spot check. *)
+
+val of_lut_network : Lut_network.t -> Nanomap_aig.Aig.t * Nanomap_aig.Aig.lit array
+(** Re-encode an already-mapped LUT network as an AIG (each LUT Shannon-
+    decomposed over its fanins). Returns the literal of every network
+    node; used by equivalence checks between mapped networks. *)
+
+val map :
+  ?k:int -> ?effort:int -> ?balance:bool -> Decompose.tagged -> Lut_network.t
+(** [k] defaults to 4 and must be at most
+    {!Nanomap_logic.Truth_table.max_arity}. [effort] (1..3, default 2) sets
+    the priority-cut budget and refinement rounds; [balance] enables the
+    NRAM folding-balance cut score. *)
+
+val map_stats :
+  ?k:int -> ?effort:int -> ?balance:bool -> Decompose.tagged ->
+  Lut_network.t * stats
+(** {!map} plus the AIG/cut statistics recorded by the mapper-comparison
+    benchmarks. *)

@@ -126,6 +126,42 @@ let eval t assign =
     t;
   values
 
+let string_of_origin = function
+  | Register_bit (r, b) -> Printf.sprintf "reg:%d.%d" r b
+  | Pi_bit (r, b) -> Printf.sprintf "pi:%d.%d" r b
+  | Const_bit b -> Printf.sprintf "const:%b" b
+  | Wire_bit (w, b) -> Printf.sprintf "wire:%d.%d" w b
+
+let string_of_target = function
+  | Reg_target (r, b) -> Printf.sprintf "reg:%d.%d" r b
+  | Po_target s -> Printf.sprintf "po:%s" s
+  | Wire_target (w, b) -> Printf.sprintf "wire:%d.%d" w b
+
+(* Canonical dump of everything semantically meaningful in the network.
+   Two runs of a deterministic mapper must produce byte-identical
+   fingerprints — the determinism regression tests and the differential
+   mapper gate both rely on this. *)
+let fingerprint t =
+  let buf = Buffer.create 4096 in
+  Vec.iteri
+    (fun id info ->
+      (match info.node with
+      | Input origin ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d i %s %s m%d\n" id (string_of_origin origin)
+             info.name info.module_id)
+      | Lut { func; fanins } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d l %s [%s] %s m%d\n" id (Truth_table.to_string func)
+             (String.concat "," (Array.to_list (Array.map string_of_int fanins)))
+             info.name info.module_id)))
+    t.nodes;
+  List.iter
+    (fun (target, id) ->
+      Buffer.add_string buf (Printf.sprintf "o %s %d\n" (string_of_target target) id))
+    (outputs t);
+  Buffer.contents buf
+
 let validate t =
   let n = size t in
   Vec.iteri

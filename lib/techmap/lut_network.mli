@@ -77,6 +77,12 @@ val eval : t -> (input_origin -> bool) -> bool array
     Returns the value of every node. Used by the functional-equivalence
     tests between gate and LUT levels. *)
 
+val fingerprint : t -> string
+(** Canonical textual dump of the whole network (nodes, functions, fanins,
+    names, module ids, output bindings). Byte-identical across runs of a
+    deterministic mapper; the determinism regression tests compare
+    fingerprints of repeated mappings. *)
+
 val validate : t -> unit
 (** Structural checks: fanin arity = function arity, all referenced nodes
     exist, every output target driven once. Raises [Failure]. *)

@@ -27,6 +27,7 @@ type config = {
   cycles : int;
   gen : Gen_rtl.params;
   fold : fold;
+  mapper : Nanomap_core.Mapper.mapper;
   corpus_dir : string option;
   shrink_budget : int;
   jobs : int;
@@ -38,6 +39,7 @@ let default_config =
     cycles = 40;
     gen = Gen_rtl.default_params;
     fold = F_auto;
+    mapper = Nanomap_core.Mapper.Truth_table;
     corpus_dir = None;
     shrink_budget = 200;
     jobs = 1 }
@@ -58,7 +60,7 @@ type summary = {
   telemetry : Telemetry.run;
 }
 
-let flow_options ~seed fold =
+let flow_options ~seed ?(mapper = Nanomap_core.Mapper.Truth_table) fold =
   let objective =
     match fold with
     | F_auto -> Flow.At_min
@@ -69,9 +71,10 @@ let flow_options ~seed fold =
     Flow.objective;
     physical = true;
     seed;
+    mapper;
     check_level = Check.Off }
 
-let run_spec ?(cycles = 40) ?(seed = 1) fold spec =
+let run_spec ?(cycles = 40) ?(seed = 1) ?mapper fold spec =
   match Gen_rtl.build spec with
   | exception e ->
     (match Diag.of_exn ~stage:"generate" e with
@@ -79,7 +82,7 @@ let run_spec ?(cycles = 40) ?(seed = 1) fold spec =
     | None -> raise e)
   | design ->
     (match
-       Flow.run_result ~options:(flow_options ~seed fold)
+       Flow.run_result ~options:(flow_options ~seed ?mapper fold)
          ~arch:Arch.unbounded_k design
      with
     | Error d -> Oracle.Flow_error d
@@ -151,7 +154,9 @@ let run ?eval (cfg : config) =
   let eval =
     match eval with
     | Some f -> f
-    | None -> fun spec -> run_spec ~cycles:cfg.cycles ~seed:cfg.seed cfg.fold spec
+    | None ->
+      fun spec ->
+        run_spec ~cycles:cfg.cycles ~seed:cfg.seed ~mapper:cfg.mapper cfg.fold spec
   in
   let tele = Telemetry.start "fuzz" in
   let rng = Rng.create cfg.seed in

@@ -28,6 +28,9 @@ type config = {
   cycles : int;  (** macro cycles of stimulus per design *)
   gen : Gen_rtl.params;
   fold : fold;
+  mapper : Nanomap_core.Mapper.mapper;
+      (** technology mapper the flow uses for every case — the AIG
+          differential gate runs the same campaign with both values *)
   corpus_dir : string option;  (** where shrunk counterexamples land *)
   shrink_budget : int;  (** max oracle evaluations spent shrinking *)
   jobs : int;  (** worker domains evaluating cases concurrently (1 =
@@ -39,7 +42,7 @@ type config = {
 
 val default_config : config
 (** seed 1, 50 cases, 40 cycles, {!Gen_rtl.default_params}, [F_auto],
-    no corpus dir, budget 200, jobs 1. *)
+    [Truth_table] mapper, no corpus dir, budget 200, jobs 1. *)
 
 type failure = {
   index : int;  (** 1-based case number within the campaign *)
@@ -58,12 +61,19 @@ type summary = {
   telemetry : Nanomap_util.Telemetry.run;  (** sealed campaign run *)
 }
 
-val flow_options : seed:int -> fold -> Nanomap_flow.Flow.options
+val flow_options :
+  seed:int -> ?mapper:Nanomap_core.Mapper.mapper -> fold -> Nanomap_flow.Flow.options
 (** Physical flow (the bitstream level needs a bitmap), checkers [Off]
-    (the oracle {e is} the checker here). *)
+    (the oracle {e is} the checker here). [mapper] defaults to
+    [Truth_table]. *)
 
 val run_spec :
-  ?cycles:int -> ?seed:int -> fold -> Gen_rtl.spec -> Oracle.outcome
+  ?cycles:int ->
+  ?seed:int ->
+  ?mapper:Nanomap_core.Mapper.mapper ->
+  fold ->
+  Gen_rtl.spec ->
+  Oracle.outcome
 (** Build the spec's design, run the flow, run the oracle. Flow rejection
     becomes [Oracle.Flow_error]. *)
 

@@ -1,0 +1,495 @@
+(* The AIG substrate and the priority-cut mapper: strashing canonicity,
+   conversion/simulation equivalence, cut enumeration bounds,
+   depth-optimality against FlowMap's labels, mapped-network equivalence and
+   determinism, and the dual-mapper differential gates (cycle-accurate
+   network lockstep on the VHDL designs, oracle runs over the corpus). *)
+
+module Gate = Nanomap_logic.Gate
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Gen = Nanomap_logic.Gen
+module Truth_table = Nanomap_logic.Truth_table
+module Aig = Nanomap_aig.Aig
+module Cut = Nanomap_aig.Cut
+module Decompose = Nanomap_techmap.Decompose
+module Flowmap = Nanomap_techmap.Flowmap
+module Aig_map = Nanomap_techmap.Aig_map
+module Lut_network = Nanomap_techmap.Lut_network
+module Mapper = Nanomap_core.Mapper
+module Rng = Nanomap_util.Rng
+module Vhdl = Nanomap_vhdl.Vhdl
+module Fuzz = Nanomap_verify.Fuzz
+module Oracle = Nanomap_verify.Oracle
+
+let check = Alcotest.check
+
+(* Same helper as test_techmap: wrap a bare gate netlist as a tagged plane
+   (inputs become fake PI origins keyed by creation index). *)
+let tag_netlist nl =
+  let input_origins =
+    List.mapi (fun i (_, gid) -> (gid, Lut_network.Pi_bit (i, 0))) (Gate_netlist.inputs nl)
+  in
+  let output_targets =
+    List.map (fun (name, gid) -> (Lut_network.Po_target name, gid)) (Gate_netlist.outputs nl)
+  in
+  { Decompose.gates = nl;
+    tags = Array.make (Gate_netlist.size nl) (-1);
+    input_origins;
+    output_targets }
+
+let equivalent_exhaustive tg lut =
+  let nl = tg.Decompose.gates in
+  let ins = Gate_netlist.inputs nl in
+  let n =
+    List.fold_left
+      (fun acc (_, origin) ->
+        match origin with Lut_network.Pi_bit (i, _) -> max acc (i + 1) | _ -> acc)
+      0 tg.Decompose.input_origins
+  in
+  assert (n <= 16);
+  let ok = ref true in
+  for v = 0 to (1 lsl n) - 1 do
+    let input_values = Array.init n (fun i -> v land (1 lsl i) <> 0) in
+    let sim_inputs =
+      List.map
+        (fun (_, gid) ->
+          match List.assoc gid tg.Decompose.input_origins with
+          | Lut_network.Pi_bit (i, _) -> input_values.(i)
+          | Lut_network.Const_bit b -> b
+          | Lut_network.Register_bit _ | Lut_network.Wire_bit _ -> false)
+        ins
+    in
+    let gate_values = Gate_netlist.simulate nl (Array.of_list sim_inputs) in
+    let origin_value = function
+      | Lut_network.Pi_bit (i, _) -> input_values.(i)
+      | Lut_network.Register_bit _ | Lut_network.Wire_bit _ -> false
+      | Lut_network.Const_bit b -> b
+    in
+    let lut_values = Lut_network.eval lut origin_value in
+    List.iter
+      (fun (target, gid) ->
+        let expected = gate_values.(gid) in
+        let node = List.assoc target (Lut_network.outputs lut) in
+        if lut_values.(node) <> expected then ok := false)
+      tg.Decompose.output_targets
+  done;
+  !ok
+
+(* --- strashing and constant propagation --- *)
+
+let test_strash_commute () =
+  let t = Aig.create () in
+  let a = Aig.add_input t and b = Aig.add_input t in
+  let ab = Aig.mk_and t a b in
+  check Alcotest.int "commuted operands strash to one node" ab (Aig.mk_and t b a);
+  let n = Aig.num_nodes t in
+  ignore (Aig.mk_and t a b);
+  check Alcotest.int "no new node on replay" n (Aig.num_nodes t)
+
+let test_const_prop () =
+  let t = Aig.create () in
+  let a = Aig.add_input t in
+  check Alcotest.int "a & false" Aig.lit_false (Aig.mk_and t a Aig.lit_false);
+  check Alcotest.int "a & true" a (Aig.mk_and t a Aig.lit_true);
+  check Alcotest.int "a & a" a (Aig.mk_and t a a);
+  check Alcotest.int "a & not a" Aig.lit_false (Aig.mk_and t a (Aig.lit_not a));
+  check Alcotest.int "no AND created" 0 (Aig.num_ands t)
+
+let test_strash_xor_shared () =
+  let t = Aig.create () in
+  let a = Aig.add_input t and b = Aig.add_input t in
+  let x1 = Aig.mk_xor t a b in
+  let n = Aig.num_nodes t in
+  let x2 = Aig.mk_xor t a b in
+  check Alcotest.int "same literal" x1 x2;
+  check Alcotest.int "no structural growth" n (Aig.num_nodes t)
+
+let test_levels () =
+  let t = Aig.create () in
+  let a = Aig.add_input t and b = Aig.add_input t and c = Aig.add_input t in
+  let ab = Aig.mk_and t a b in
+  let abc = Aig.mk_and t ab c in
+  check Alcotest.int "input level" 0 (Aig.level t (Aig.node_of_lit a));
+  check Alcotest.int "and level" 1 (Aig.level t (Aig.node_of_lit ab));
+  check Alcotest.int "chained level" 2 (Aig.level t (Aig.node_of_lit abc));
+  check Alcotest.int "depth" 2 (Aig.depth t)
+
+(* --- conversion and simulation equivalence --- *)
+
+let random_netlist seed ~num_inputs ~layers ~layer_width ~num_outputs =
+  Gen.random_layered (Rng.create seed) ~num_inputs ~layers ~layer_width
+    ~num_outputs
+
+let gate_values_of nl input_values =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i (_, gid) -> Hashtbl.replace tbl gid input_values.(i))
+    (Gate_netlist.inputs nl);
+  tbl
+
+let test_gate_conversion_equiv () =
+  List.iter
+    (fun seed ->
+      let nl = random_netlist seed ~num_inputs:6 ~layers:4 ~layer_width:8 ~num_outputs:5 in
+      let conv = Aig.of_gate_netlist nl in
+      for v = 0 to 63 do
+        let input_values = Array.init 6 (fun i -> v land (1 lsl i) <> 0) in
+        let sim = Gate_netlist.simulate nl input_values in
+        let by_gid = gate_values_of nl input_values in
+        let vals =
+          Aig.eval conv.Aig.aig (fun ordinal ->
+              Hashtbl.find by_gid conv.Aig.gate_of_input.(ordinal))
+        in
+        List.iter
+          (fun (name, gid) ->
+            check Alcotest.bool
+              (Printf.sprintf "seed %d v %d output %s" seed v name)
+              sim.(gid)
+              (Aig.eval_lit vals conv.Aig.lit_of_gate.(gid)))
+          (Gate_netlist.outputs nl)
+      done)
+    [ 1; 2; 3 ]
+
+let test_sim64_matches_eval () =
+  let nl = random_netlist 9 ~num_inputs:7 ~layers:5 ~layer_width:9 ~num_outputs:6 in
+  let conv = Aig.of_gate_netlist nl in
+  let rng = Rng.create 99 in
+  let words = Array.init (Aig.num_inputs conv.Aig.aig) (fun _ -> Rng.int64 rng) in
+  let vals64 = Aig.sim64 conv.Aig.aig (fun i -> words.(i)) in
+  for lane = 0 to 63 do
+    let bit w = Int64.logand (Int64.shift_right_logical w lane) 1L = 1L in
+    let vals = Aig.eval conv.Aig.aig (fun i -> bit words.(i)) in
+    List.iter
+      (fun (name, gid) ->
+        let l = conv.Aig.lit_of_gate.(gid) in
+        check Alcotest.bool
+          (Printf.sprintf "lane %d output %s" lane name)
+          (Aig.eval_lit vals l)
+          (bit (Aig.sim64_lit vals64 l)))
+      (Gate_netlist.outputs nl)
+  done
+
+let test_lit_of_table_roundtrip () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 40 do
+    let arity = Rng.int rng 5 in
+    let table = Truth_table.of_bits ~arity (Rng.int64 rng) in
+    let t = Aig.create () in
+    let fanins = Array.init arity (fun _ -> Aig.add_input t) in
+    let root = Aig.lit_of_table t table fanins in
+    for v = 0 to (1 lsl arity) - 1 do
+      let bits = Array.init arity (fun i -> v land (1 lsl i) <> 0) in
+      let vals = Aig.eval t (fun i -> bits.(i)) in
+      check Alcotest.bool
+        (Printf.sprintf "%s at %d" (Truth_table.to_string table) v)
+        (Truth_table.eval table bits)
+        (Aig.eval_lit vals root)
+    done
+  done
+
+(* --- cut enumeration --- *)
+
+let roots_of conv nl =
+  List.map (fun (_, gid) -> conv.Aig.lit_of_gate.(gid)) (Gate_netlist.outputs nl)
+
+let test_cut_bounds () =
+  let nl = random_netlist 4 ~num_inputs:8 ~layers:6 ~layer_width:12 ~num_outputs:8 in
+  let conv = Aig.of_gate_netlist nl in
+  let aig = conv.Aig.aig in
+  List.iter
+    (fun effort ->
+      let budget = match effort with 1 -> 6 | 2 -> 8 | _ -> 12 in
+      let m = Cut.compute ~k:4 ~effort aig ~roots:(roots_of conv nl) in
+      for n = 0 to Aig.num_nodes aig - 1 do
+        if Aig.is_and aig n then begin
+          let cuts = m.Cut.cuts.(n) in
+          let real = Array.length cuts - 1 in
+          if real < 1 then Alcotest.fail "AND node without a non-trivial cut";
+          if real > budget then
+            Alcotest.failf "node %d keeps %d cuts > budget %d" n real budget;
+          (* last entry is the trivial self-cut *)
+          check Alcotest.(array int) "trivial last" [| n |] cuts.(real).Cut.leaves;
+          for i = 0 to real - 1 do
+            let leaves = cuts.(i).Cut.leaves in
+            if Array.length leaves > 4 then Alcotest.fail "cut wider than k";
+            Array.iteri
+              (fun j l ->
+                if j > 0 && leaves.(j - 1) >= l then
+                  Alcotest.fail "cut leaves not strictly ascending")
+              leaves
+          done;
+          if m.Cut.label.(n) < 1 then Alcotest.fail "AND label below 1";
+          if m.Cut.choice.(n) >= 0 && m.Cut.choice.(n) >= real then
+            Alcotest.fail "chosen cut out of range (or trivial)"
+        end
+      done)
+    [ 1; 2; 3 ]
+
+(* Depth optimality: on a netlist of And2/Or2 gates with all-distinct fanin
+   pairs, the AIG is structurally 1:1 with the gate DAG (an Or is one AND
+   node with complemented edges), so priority-cut labels must equal
+   FlowMap's depth-optimal labels gate for gate. *)
+let random_andor_netlist seed ~num_inputs ~gates =
+  let rng = Rng.create seed in
+  let nl = Gate_netlist.create () in
+  let nodes = ref [] in
+  for i = 0 to num_inputs - 1 do
+    nodes := Gate_netlist.add_input nl (Printf.sprintf "i%d" i) :: !nodes
+  done;
+  let used = Hashtbl.create 64 in
+  let pool = ref (Array.of_list !nodes) in
+  let made = ref 0 in
+  let attempts = ref 0 in
+  while !made < gates && !attempts < gates * 20 do
+    incr attempts;
+    let arr = !pool in
+    let a = arr.(Rng.int rng (Array.length arr)) in
+    let b = arr.(Rng.int rng (Array.length arr)) in
+    let kind = if Rng.bool rng then Gate.And2 else Gate.Or2 in
+    let key = (kind, min a b, max a b) in
+    if a <> b && not (Hashtbl.mem used key) then begin
+      Hashtbl.replace used key ();
+      let g = Gate_netlist.add_gate nl kind [| min a b; max a b |] in
+      pool := Array.append arr [| g |];
+      incr made
+    end
+  done;
+  (* outputs: the last few gates, to anchor deep cones *)
+  let size = Gate_netlist.size nl in
+  for i = 0 to min 3 (size - num_inputs) - 1 do
+    Gate_netlist.mark_output nl (Printf.sprintf "o%d" i) (size - 1 - i)
+  done;
+  nl
+
+let test_depth_optimal_vs_flowmap () =
+  List.iter
+    (fun seed ->
+      let nl = random_andor_netlist seed ~num_inputs:6 ~gates:40 in
+      let tg = tag_netlist nl in
+      let fm_labels = Flowmap.labels ~k:4 tg in
+      let conv = Aig.of_gate_netlist nl in
+      let m =
+        Cut.compute ~k:4 ~effort:3 conv.Aig.aig ~roots:(roots_of conv nl)
+      in
+      Gate_netlist.iter
+        (fun gid node ->
+          match node.Gate_netlist.kind with
+          | Gate.And2 | Gate.Or2 ->
+            let n = Aig.node_of_lit conv.Aig.lit_of_gate.(gid) in
+            check Alcotest.int
+              (Printf.sprintf "seed %d gate %d label" seed gid)
+              fm_labels.(gid) m.Cut.label.(n)
+          | _ -> ())
+        nl)
+    [ 1; 5; 23 ]
+
+(* --- the full Aig_map pass --- *)
+
+let test_map_equiv_random () =
+  List.iter
+    (fun seed ->
+      let nl = random_netlist seed ~num_inputs:8 ~layers:5 ~layer_width:10 ~num_outputs:6 in
+      let tg = tag_netlist nl in
+      List.iter
+        (fun (effort, balance) ->
+          let lut = Aig_map.map ~k:4 ~effort ~balance tg in
+          Lut_network.validate lut;
+          check Alcotest.bool
+            (Printf.sprintf "seed %d effort %d balance %b" seed effort balance)
+            true
+            (equivalent_exhaustive tg lut))
+        [ (1, false); (2, false); (3, false); (2, true) ])
+    [ 11; 12; 13 ]
+
+(* Outputs that are constants, bare inputs, inverted inputs and complemented
+   AND roots all take special paths in the emitter. *)
+let test_map_edge_outputs () =
+  let nl = Gate_netlist.create () in
+  let a = Gate_netlist.add_input nl "a" in
+  let b = Gate_netlist.add_input nl "b" in
+  let nand_g = Gate_netlist.add_gate nl Gate.Nand2 [| a; b |] in
+  let and_g = Gate_netlist.add_gate nl Gate.And2 [| a; b |] in
+  let not_g = Gate_netlist.add_gate nl Gate.Not [| a |] in
+  let buf_g = Gate_netlist.add_gate nl Gate.Buf [| b |] in
+  let c1 = Gate_netlist.add_const nl true in
+  let c0 = Gate_netlist.add_const nl false in
+  List.iteri
+    (fun i g -> Gate_netlist.mark_output nl (Printf.sprintf "o%d" i) g)
+    [ nand_g; and_g; not_g; buf_g; c1; c0 ];
+  let tg = tag_netlist nl in
+  let lut = Aig_map.map ~k:4 tg in
+  Lut_network.validate lut;
+  check Alcotest.bool "edge outputs equivalent" true (equivalent_exhaustive tg lut);
+  (* nand and and share the same cut: one LUT plus its negated sibling *)
+  check Alcotest.int "two LUTs (root + negated sibling) plus one inverter" 3
+    (Lut_network.num_luts lut)
+
+let test_map_deterministic () =
+  let build () = random_netlist 21 ~num_inputs:8 ~layers:6 ~layer_width:12 ~num_outputs:8 in
+  let fp mapper =
+    let tg = tag_netlist (build ()) in
+    let lut =
+      match mapper with
+      | `Aig -> Aig_map.map ~k:4 ~effort:2 tg
+      | `Tt -> Flowmap.map ~k:4 tg
+    in
+    Lut_network.fingerprint lut
+  in
+  check Alcotest.string "aig fingerprint stable" (fp `Aig) (fp `Aig);
+  check Alcotest.string "flowmap fingerprint stable" (fp `Tt) (fp `Tt)
+
+(* --- dual-mapper cycle lockstep over the VHDL designs --- *)
+
+let design_path name =
+  let rec hunt dir depth =
+    let candidate = Filename.concat (Filename.concat dir "designs") name in
+    if Sys.file_exists candidate then candidate
+    else if depth > 8 then failwith ("designs/" ^ name ^ " not found")
+    else hunt (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  hunt (Sys.getcwd ()) 0
+
+(* Evaluate one macro cycle of a prepared design's plane networks under an
+   explicit state/stimulus, returning (next register state, PO values). *)
+let eval_cycle (p : Mapper.prepared) state pi_value =
+  let wires = Hashtbl.create 32 in
+  let next = Hashtbl.create 32 in
+  let pos = Hashtbl.create 32 in
+  Array.iter
+    (fun network ->
+      let vals =
+        Lut_network.eval network (function
+          | Lut_network.Register_bit (r, b) ->
+            Option.value (Hashtbl.find_opt state (r, b)) ~default:false
+          | Lut_network.Pi_bit (s, b) -> pi_value (s, b)
+          | Lut_network.Wire_bit (w, b) ->
+            Option.value (Hashtbl.find_opt wires (w, b)) ~default:false
+          | Lut_network.Const_bit b -> b)
+      in
+      List.iter
+        (fun (target, node) ->
+          match target with
+          | Lut_network.Reg_target (r, b) -> Hashtbl.replace next (r, b) vals.(node)
+          | Lut_network.Po_target s -> Hashtbl.replace pos s vals.(node)
+          | Lut_network.Wire_target (w, b) -> Hashtbl.replace wires (w, b) vals.(node))
+        (Lut_network.outputs network))
+    p.Mapper.networks;
+  (next, pos)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let lockstep_networks ?(cycles = 40) name =
+  let design = Vhdl.design_of_file (design_path name) in
+  let p_tt = Mapper.prepare design in
+  let p_aig = Mapper.prepare ~mapper:Mapper.Aig design in
+  (* collect every PI bit either mapper consumes, so both sides see one
+     shared stimulus *)
+  let pi_bits = Hashtbl.create 32 in
+  List.iter
+    (fun (p : Mapper.prepared) ->
+      Array.iter
+        (fun network ->
+          Lut_network.iter
+            (fun _ -> function
+              | Lut_network.Input (Lut_network.Pi_bit (s, b)) ->
+                Hashtbl.replace pi_bits (s, b) ()
+              | _ -> ())
+            network)
+        p.Mapper.networks)
+    [ p_tt; p_aig ];
+  let pi_bits = List.map fst (sorted_bindings pi_bits) in
+  let rng = Rng.create 7 in
+  let state_tt = ref (Hashtbl.create 32) and state_aig = ref (Hashtbl.create 32) in
+  for cycle = 1 to cycles do
+    let stimulus = Hashtbl.create 32 in
+    List.iter (fun key -> Hashtbl.replace stimulus key (Rng.bool rng)) pi_bits;
+    let pi_value key = Option.value (Hashtbl.find_opt stimulus key) ~default:false in
+    let next_tt, pos_tt = eval_cycle p_tt !state_tt pi_value in
+    let next_aig, pos_aig = eval_cycle p_aig !state_aig pi_value in
+    if sorted_bindings pos_tt <> sorted_bindings pos_aig then
+      Alcotest.failf "%s cycle %d: PO values diverge between mappers" name cycle;
+    if sorted_bindings next_tt <> sorted_bindings next_aig then
+      Alcotest.failf "%s cycle %d: register state diverges between mappers" name
+        cycle;
+    state_tt := next_tt;
+    state_aig := next_aig
+  done
+
+let lockstep_cases =
+  List.map
+    (fun name ->
+      Alcotest.test_case name `Quick (fun () -> lockstep_networks name))
+    [ "mac.vhd"; "fir4.vhd"; "biquad.vhd"; "pipeline3.vhd"; "counter.vhd" ]
+
+(* --- both mappers, folding 1 / 2 / none, over the corpus designs --- *)
+
+let expect_pass label outcome =
+  match outcome with
+  | Oracle.Pass _ -> ()
+  | other -> Alcotest.failf "%s: %s" label (Oracle.describe other)
+
+let corpus_dir () =
+  let rec hunt dir depth =
+    let candidate = Filename.concat (Filename.concat dir "test") "corpus" in
+    if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+    else if depth > 8 then failwith "test/corpus not found"
+    else hunt (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  hunt (Sys.getcwd ()) 0
+
+let corpus_fuzz_cases =
+  let specs = Fuzz.load_corpus (corpus_dir ()) in
+  if specs = [] then failwith "corpus is empty";
+  List.concat_map
+    (fun (file, spec) ->
+      List.concat_map
+        (fun fold ->
+          List.map
+            (fun mapper ->
+              let label =
+                Printf.sprintf "%s fold %s mapper %s" file
+                  (Fuzz.string_of_fold fold)
+                  (Mapper.string_of_mapper mapper)
+              in
+              Alcotest.test_case label `Quick (fun () ->
+                  expect_pass label
+                    (Fuzz.run_spec ~cycles:25 ~seed:3 ~mapper fold spec)))
+            [ Mapper.Truth_table; Mapper.Aig ])
+        [ Fuzz.F_level 1; Fuzz.F_level 2; Fuzz.F_none ])
+    specs
+
+let test_random_campaign_aig () =
+  let summary =
+    Fuzz.run
+      { Fuzz.default_config with
+        Fuzz.count = 6;
+        cycles = 20;
+        seed = 31;
+        mapper = Mapper.Aig }
+  in
+  check Alcotest.int "all cases pass" summary.Fuzz.cases summary.Fuzz.passed;
+  check Alcotest.int "no flow errors" 0 (List.length summary.Fuzz.flow_errors)
+
+let () =
+  Alcotest.run "aig"
+    [ ( "substrate",
+        [ Alcotest.test_case "strash commute" `Quick test_strash_commute;
+          Alcotest.test_case "const prop" `Quick test_const_prop;
+          Alcotest.test_case "xor shared" `Quick test_strash_xor_shared;
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "gate conversion" `Quick test_gate_conversion_equiv;
+          Alcotest.test_case "sim64 vs eval" `Quick test_sim64_matches_eval;
+          Alcotest.test_case "lit_of_table" `Quick test_lit_of_table_roundtrip ] );
+      ( "cuts",
+        [ Alcotest.test_case "enumeration bounds" `Quick test_cut_bounds;
+          Alcotest.test_case "depth-optimal labels" `Quick
+            test_depth_optimal_vs_flowmap ] );
+      ( "aig-map",
+        [ Alcotest.test_case "random equivalence" `Quick test_map_equiv_random;
+          Alcotest.test_case "edge outputs" `Quick test_map_edge_outputs;
+          Alcotest.test_case "deterministic" `Quick test_map_deterministic ] );
+      ("dual-mapper-lockstep", lockstep_cases);
+      ( "dual-mapper-fuzz",
+        corpus_fuzz_cases
+        @ [ Alcotest.test_case "random campaign (aig)" `Slow
+              test_random_campaign_aig ] ) ]

@@ -14,6 +14,11 @@ module Flow = Nanomap_flow.Flow
 module Check = Nanomap_flow.Check
 module Bitstream = Nanomap_bitstream.Bitstream
 module Diag = Nanomap_util.Diag
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Gen = Nanomap_logic.Gen
+module Decompose = Nanomap_techmap.Decompose
+module Aig_map = Nanomap_techmap.Aig_map
+module Lut_network = Nanomap_techmap.Lut_network
 
 let check = Alcotest.check
 
@@ -157,6 +162,82 @@ let roundtrip_cases =
       Alcotest.test_case name `Quick (test_bitstream_roundtrip name))
     all_designs
 
+(* --- scale: generated thousand-LUT netlists through the AIG mapper --- *)
+
+let tag_netlist nl =
+  let input_origins =
+    List.mapi (fun i (_, gid) -> (gid, Lut_network.Pi_bit (i, 0))) (Gate_netlist.inputs nl)
+  in
+  let output_targets =
+    List.map (fun (name, gid) -> (Lut_network.Po_target name, gid)) (Gate_netlist.outputs nl)
+  in
+  { Decompose.gates = nl;
+    tags = Array.make (Gate_netlist.size nl) (-1);
+    input_origins;
+    output_targets }
+
+(* Random-vector equivalence for netlists far too wide for exhaustion. *)
+let spot_check_equivalent ?(vectors = 24) tg lut =
+  let nl = tg.Decompose.gates in
+  let ins = Gate_netlist.inputs nl in
+  let rng = Rng.create 5 in
+  for v = 1 to vectors do
+    let assignment = Hashtbl.create 64 in
+    List.iter
+      (fun (_, gid) ->
+        Hashtbl.replace assignment (List.assoc gid tg.Decompose.input_origins)
+          (Rng.bool rng))
+      ins;
+    let sim_inputs =
+      List.map
+        (fun (_, gid) ->
+          Hashtbl.find assignment (List.assoc gid tg.Decompose.input_origins))
+        ins
+    in
+    let gate_values = Gate_netlist.simulate nl (Array.of_list sim_inputs) in
+    let lut_values =
+      Lut_network.eval lut (fun origin ->
+          match origin with
+          | Lut_network.Const_bit b -> b
+          | _ -> Option.value (Hashtbl.find_opt assignment origin) ~default:false)
+    in
+    List.iter
+      (fun (target, gid) ->
+        let node = List.assoc target (Lut_network.outputs lut) in
+        if lut_values.(node) <> gate_values.(gid) then
+          Alcotest.failf "vector %d: mismatch at output node %d" v node)
+      tg.Decompose.output_targets
+  done
+
+let big_random_netlist () =
+  Gen.random_layered (Rng.create 1009) ~num_inputs:64 ~layers:24 ~layer_width:128
+    ~num_outputs:64
+
+let test_scale_thousand_luts () =
+  let tg = tag_netlist (big_random_netlist ()) in
+  let lut, stats = Aig_map.map_stats ~k:4 tg in
+  Lut_network.validate lut;
+  if Lut_network.num_luts lut < 1000 then
+    Alcotest.failf "expected a >= 1000-LUT subject, mapped to %d LUTs"
+      (Lut_network.num_luts lut);
+  check Alcotest.bool "cuts were enumerated" true (stats.Aig_map.cuts_enumerated > 0);
+  spot_check_equivalent tg lut
+
+let test_scale_wallace () =
+  let nl = Gate_netlist.create () in
+  let a = Gen.input_bus nl "a" 14 and b = Gen.input_bus nl "b" 14 in
+  Gen.mark_output_bus nl "p" (Gen.wallace_multiplier nl a b);
+  let tg = tag_netlist nl in
+  let lut = Aig_map.map ~k:4 ~effort:2 tg in
+  Lut_network.validate lut;
+  spot_check_equivalent tg lut
+
+let test_scale_deterministic () =
+  let fp () =
+    Lut_network.fingerprint (Aig_map.map ~k:4 (tag_netlist (big_random_netlist ())))
+  in
+  check Alcotest.string "scale mapping reproducible" (fp ()) (fp ())
+
 let () =
   Alcotest.run "designs"
     [ ( "behaviour",
@@ -166,4 +247,10 @@ let () =
           Alcotest.test_case "pipeline3 planes" `Quick test_pipeline3_planes;
           Alcotest.test_case "biquad plane" `Quick test_biquad_single_plane ] );
       ("differential", differential_cases);
-      ("bitstream-roundtrip", roundtrip_cases) ]
+      ("bitstream-roundtrip", roundtrip_cases);
+      ( "scale",
+        [ Alcotest.test_case "thousand-LUT random ladder" `Quick
+            test_scale_thousand_luts;
+          Alcotest.test_case "wallace 14x14" `Quick test_scale_wallace;
+          Alcotest.test_case "deterministic at scale" `Quick
+            test_scale_deterministic ] ) ]

@@ -76,6 +76,91 @@ let tt_demorgan_prop =
         (Truth_table.lognot (Truth_table.logand a b))
         (Truth_table.logor (Truth_table.lognot a) (Truth_table.lognot b)))
 
+(* --- edge cases: degenerate arities, cofactor, permute --- *)
+
+let test_tt_arity_zero () =
+  let t0 = Truth_table.const ~arity:0 false in
+  let t1 = Truth_table.const ~arity:0 true in
+  check Alcotest.bool "0-ary false" false (Truth_table.eval t0 [||]);
+  check Alcotest.bool "0-ary true" true (Truth_table.eval t1 [||]);
+  check Alcotest.int64 "0-ary true bits" 1L (Truth_table.bits t1);
+  check Alcotest.int "0-ary support" 0 (Truth_table.support_size t1);
+  let t' = Truth_table.of_fun ~arity:0 (fun _ -> true) in
+  check Alcotest.bool "of_fun 0-ary" true (Truth_table.equal t1 t')
+
+let test_tt_identity_inverter () =
+  let id = Truth_table.var ~arity:1 0 in
+  check Alcotest.int64 "identity bits" 2L (Truth_table.bits id);
+  let inv = Truth_table.lognot id in
+  check Alcotest.int64 "inverter bits" 1L (Truth_table.bits inv);
+  check Alcotest.bool "inverter eval" true (Truth_table.eval inv [| false |]);
+  check Alcotest.bool "identity eval" true (Truth_table.eval id [| true |]);
+  (* double inversion is the identity *)
+  check Alcotest.bool "involution" true
+    (Truth_table.equal id (Truth_table.lognot inv))
+
+let test_tt_cofactor () =
+  let a = Truth_table.var ~arity:3 0 and b = Truth_table.var ~arity:3 1 in
+  let f = Truth_table.logand a b in
+  (* f|a=0 = 0, f|a=1 = b *)
+  check Alcotest.bool "negative cofactor" true
+    (Truth_table.equal (Truth_table.cofactor f 0 false)
+       (Truth_table.const ~arity:3 false));
+  check Alcotest.bool "positive cofactor" true
+    (Truth_table.equal (Truth_table.cofactor f 0 true) b);
+  (* cofactoring on a variable outside the support changes nothing *)
+  check Alcotest.bool "independent cofactor" true
+    (Truth_table.equal (Truth_table.cofactor f 2 true) f);
+  (* the cofactor never depends on the cofactored variable *)
+  check Alcotest.bool "support shrinks" false
+    (Truth_table.depends_on (Truth_table.cofactor f 0 true) 0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Truth_table.cofactor") (fun () ->
+      ignore (Truth_table.cofactor f 3 true))
+
+let test_tt_permute () =
+  let a = Truth_table.var ~arity:2 0 and b = Truth_table.var ~arity:2 1 in
+  let f = Truth_table.logand a (Truth_table.lognot b) in
+  (* swap the two variables *)
+  let g = Truth_table.permute f ~arity:2 [| 1; 0 |] in
+  check Alcotest.bool "swap" true
+    (Truth_table.equal g (Truth_table.logand b (Truth_table.lognot a)));
+  (* lift a 1-ary identity into slot 2 of a 3-ary table *)
+  let lifted = Truth_table.permute (Truth_table.var ~arity:1 0) ~arity:3 [| 2 |] in
+  check Alcotest.bool "lift" true
+    (Truth_table.equal lifted (Truth_table.var ~arity:3 2));
+  Alcotest.check_raises "bad slot" (Invalid_argument "Truth_table.permute")
+    (fun () -> ignore (Truth_table.permute f ~arity:2 [| 0; 2 |]))
+
+let tt_of_fun_eval_prop =
+  QCheck.Test.make ~name:"of_fun/eval roundtrip" ~count:200
+    QCheck.(pair (int_bound Truth_table.max_arity) int64)
+    (fun (arity, bits) ->
+      let t = Truth_table.of_bits ~arity bits in
+      let t' = Truth_table.of_fun ~arity (Truth_table.eval t) in
+      Truth_table.equal t t')
+
+let tt_shannon_prop =
+  QCheck.Test.make ~name:"Shannon expansion via cofactors" ~count:200
+    QCheck.(triple (int_range 1 Truth_table.max_arity) small_nat int64)
+    (fun (arity, i, bits) ->
+      let i = i mod arity in
+      let f = Truth_table.of_bits ~arity bits in
+      let x = Truth_table.var ~arity i in
+      let f0 = Truth_table.cofactor f i false and f1 = Truth_table.cofactor f i true in
+      Truth_table.equal f
+        (Truth_table.logor
+           (Truth_table.logand x f1)
+           (Truth_table.logand (Truth_table.lognot x) f0)))
+
+let tt_permute_identity_prop =
+  QCheck.Test.make ~name:"identity permutation is a no-op" ~count:200
+    QCheck.(pair (int_bound Truth_table.max_arity) int64)
+    (fun (arity, bits) ->
+      let t = Truth_table.of_bits ~arity bits in
+      Truth_table.equal t
+        (Truth_table.permute t ~arity (Array.init arity (fun i -> i))))
+
 (* --- gates --- *)
 
 let test_gate_eval () =
@@ -340,7 +425,10 @@ let test_stats () =
   check Alcotest.int "nodes" 3 (List.assoc "nodes" stats);
   check Alcotest.int "gates" 1 (Gate_netlist.num_gates t)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ tt_roundtrip_prop; tt_demorgan_prop ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ tt_roundtrip_prop; tt_demorgan_prop; tt_of_fun_eval_prop; tt_shannon_prop;
+      tt_permute_identity_prop ]
 
 let () =
   Alcotest.run "logic"
@@ -350,7 +438,11 @@ let () =
           Alcotest.test_case "ops" `Quick test_tt_ops;
           Alcotest.test_case "of_fun" `Quick test_tt_of_fun;
           Alcotest.test_case "support" `Quick test_tt_support;
-          Alcotest.test_case "arity mismatch" `Quick test_tt_arity_mismatch ]
+          Alcotest.test_case "arity mismatch" `Quick test_tt_arity_mismatch;
+          Alcotest.test_case "arity zero" `Quick test_tt_arity_zero;
+          Alcotest.test_case "identity/inverter" `Quick test_tt_identity_inverter;
+          Alcotest.test_case "cofactor" `Quick test_tt_cofactor;
+          Alcotest.test_case "permute" `Quick test_tt_permute ]
         @ qsuite );
       ( "gate",
         [ Alcotest.test_case "eval" `Quick test_gate_eval;

@@ -1,6 +1,6 @@
 # Convenience wrapper; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-mappers fuzz fuzz-smoke map-designs-aig regen-golden clean
+.PHONY: all build test check bench bench-mappers fuzz fuzz-smoke serve-smoke map-designs-aig regen-golden clean
 
 all: build
 
@@ -51,6 +51,26 @@ fuzz-smoke: build
 	dune exec bin/nanomap_cli.exe -- fuzz --seed 43 --count 1200 --folding none --jobs $(FUZZ_JOBS) --mapper $(FUZZ_MAPPER)
 	dune exec bin/nanomap_cli.exe -- fuzz --seed 44 --count 1200 --folding 2 --jobs $(FUZZ_JOBS) --mapper $(FUZZ_MAPPER)
 	dune exec bin/nanomap_cli.exe -- fuzz --seed 45 --count 600 --steps 48 --max-regs 6 --max-width 8 --jobs $(FUZZ_JOBS) --mapper $(FUZZ_MAPPER)
+
+# Compile-as-a-service smoke: start a daemon on a unix socket, drive it
+# with 200 generated jobs of which half repeat an earlier design, and
+# fail unless the cache served every repeat (hit rate >= 0.5), the
+# daemon acknowledged the shutdown, exited 0, and removed its socket.
+# SERVE_JOBS sets the daemon's worker-domain count; CI runs 1 and 4 —
+# the artifacts are identical either way, only the wall clock moves.
+SERVE_JOBS ?= 1
+serve-smoke: build
+	rm -f .serve-smoke.sock
+	dune exec bin/nanomap_cli.exe -- serve --socket .serve-smoke.sock --jobs $(SERVE_JOBS) & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -S .serve-smoke.sock ] && break; sleep 0.1; done; \
+	[ -S .serve-smoke.sock ] || { kill $$pid 2>/dev/null; echo "daemon never bound its socket"; exit 1; }; \
+	dune exec bin/nanomap_cli.exe -- submit --socket .serve-smoke.sock \
+	  --gen 200 --dup 0.5 --min-hit-rate 0.5 --shutdown; \
+	status=$$?; \
+	wait $$pid || { echo "daemon exited nonzero"; status=1; }; \
+	[ ! -e .serve-smoke.sock ] || { echo "socket file left behind"; status=1; }; \
+	exit $$status
 
 # Every shipped VHDL design through the physical flow with the AIG mapper
 # at the strictest checking level (includes the AIG-vs-gate spot check).

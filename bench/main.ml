@@ -4,8 +4,8 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- one experiment
      (table1 table2 fig1 fig35 interconnect tradeoff ablation-fds
-      ablation-place ablation-ffs speed profile; --smoke shrinks profile
-      to one small circuit; --route-alg=full, =incremental or =both selects
+      ablation-place ablation-ffs speed serve profile; --smoke shrinks
+      profile to one small circuit and the serve load test to 120 jobs; --route-alg=full, =incremental or =both selects
       the router variant(s) the profile experiment exercises;
       --check=off|fast|full sets the flow's inter-stage invariant checking
       level for the profile runs; --jobs=N sets the worker-domain count
@@ -39,6 +39,10 @@ module Check = Nanomap_flow.Check
 module Diag = Nanomap_util.Diag
 module Pool = Nanomap_util.Pool
 module Fuzz = Nanomap_verify.Fuzz
+module Gen_rtl = Nanomap_verify.Gen_rtl
+module Codec = Nanomap_flow.Codec
+module Proto = Nanomap_serve.Proto
+module Serve = Nanomap_serve.Serve
 
 let section title = Printf.printf "\n=== %s ===\n\n%!" title
 
@@ -1170,6 +1174,146 @@ let profile () =
   close_out oc;
   Printf.printf "wrote BENCH_profile.json (%d run(s))\n%!" (List.length runs)
 
+(* --------------------------------------------- compile-service bench *)
+
+(* Load generator for the compile daemon's scheduling core: enqueue the
+   whole job list up front (≥1k submissions, half of them duplicates of
+   an earlier design), drain it through [Serve.handle_batch] in
+   socket-sized batches, and report throughput, queue latency
+   percentiles and the cache hit rate — once on a one-worker pool and
+   once on four workers. The engine is driven in-process: the bench
+   measures scheduling and caching, not socket syscalls. *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let serve_requests () =
+  let total = if !smoke then 120 else 1024 in
+  let uniq = total / 2 in
+  let rng = Rng.create 11 in
+  let params = { Gen_rtl.default_params with Gen_rtl.steps = 10 } in
+  let texts =
+    Array.init uniq (fun i ->
+        let spec = Gen_rtl.random_spec rng params in
+        Codec.rtl_to_string (Gen_rtl.build ~name:(Printf.sprintf "load%d" i) spec))
+  in
+  ( total,
+    uniq,
+    List.init total (fun i ->
+        Proto.Job
+          { Proto.id = Printf.sprintf "job%d" i;
+            design = Proto.Rtl_text texts.(i mod uniq);
+            arch = Arch.default;
+            options = Flow.default_options }) )
+
+let serve_run ~pool_jobs requests total =
+  (* size the cache for the workload: the default 256-entry bound would
+     thrash under a 512-design sequential scan (LRU's worst case) and
+     measure eviction, not service throughput *)
+  let cache = Nanomap_serve.Cache.create ~max_entries:total () in
+  let eng = Serve.create_engine ~jobs:pool_jobs ~cache () in
+  let batch_size = 64 in
+  let rec batches = function
+    | [] -> []
+    | reqs ->
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> ([], [])
+        | r :: rest ->
+          let batch, remaining = take (n - 1) rest in
+          (r :: batch, remaining)
+      in
+      let batch, rest = take batch_size reqs in
+      batch :: batches rest
+  in
+  let t0 = Unix.gettimeofday () in
+  let latencies = ref [] in
+  let artifacts = ref [] in
+  List.iter
+    (fun batch ->
+      let answers = Serve.handle_batch eng batch in
+      let done_at = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      List.iter
+        (fun responses ->
+          (* queue latency of one job: submission was t0 for everything *)
+          latencies := done_at :: !latencies;
+          List.iter
+            (fun r ->
+              match r with
+              | Proto.Result { id; artifact; _ } ->
+                artifacts := (id, artifact) :: !artifacts
+              | _ -> ())
+            responses)
+        answers)
+    (batches requests);
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats = Serve.engine_stats eng in
+  Serve.shutdown_engine eng;
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let lookups = stats.Proto.cache_hits + stats.Proto.cache_misses in
+  ( wall,
+    float_of_int total /. wall,
+    percentile sorted 50.0,
+    percentile sorted 99.0,
+    (if lookups = 0 then 0.0
+     else float_of_int stats.Proto.cache_hits /. float_of_int lookups),
+    List.rev !artifacts )
+
+let serve_bench () =
+  section "Compile service: throughput, latency, cache hit rate";
+  let total, uniq, requests = serve_requests () in
+  Printf.printf "%d queued jobs over %d distinct designs (%.0f%% duplicates)\n%!"
+    total uniq
+    (100.0 *. (1.0 -. float_of_int uniq /. float_of_int total));
+  let runs =
+    List.map
+      (fun pool_jobs ->
+        let wall, jps, p50, p99, hit_rate, artifacts =
+          serve_run ~pool_jobs requests total
+        in
+        Printf.printf
+          "  jobs=%d: %6.1f jobs/s  p50 %7.1f ms  p99 %7.1f ms  hit rate %.2f \
+           (%.1f s)\n%!"
+          pool_jobs jps p50 p99 hit_rate wall;
+        (pool_jobs, wall, jps, p50, p99, hit_rate, artifacts))
+      [ 1; 4 ]
+  in
+  let identical =
+    match runs with
+    | [ (_, _, _, _, _, _, a1); (_, _, _, _, _, _, a4) ] ->
+      List.length a1 = List.length a4
+      && List.for_all2
+           (fun (i1, x1) (i4, x4) -> i1 = i4 && Codec.artifact_equal x1 x4)
+           a1 a4
+    | _ -> false
+  in
+  Printf.printf "  artifacts identical across pool sizes: %b\n%!" identical;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"queued_jobs\":%d,\"distinct_designs\":%d,\"batch_size\":64,\"runs\":["
+       total uniq);
+  List.iteri
+    (fun i (pool_jobs, wall, jps, p50, p99, hit_rate, _) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"pool_jobs\":%d,\"wall_s\":%.3f,\"jobs_per_s\":%.2f,\"p50_ms\":%.2f,\"p99_ms\":%.2f,\"cache_hit_rate\":%.4f}"
+           pool_jobs wall jps p50 p99 hit_rate))
+    runs;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"artifacts_identical_across_jobs\":%b}" identical);
+  let oc = open_out "BENCH_serve.json" in
+  Buffer.output_buffer oc buf;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json (%d jobs, 2 pool sizes)\n%!" total
+
 (* ------------------------------------------------------------- driver *)
 
 let () =
@@ -1218,7 +1362,8 @@ let () =
       ("ablation-fds", ablation_fds); ("ablation-place", ablation_place);
       ("ablation-ffs", ablation_ffs); ("arch-geometry", arch_geometry);
       ("energy", energy); ("extended", extended); ("speed", speed);
-      ("mapper-comparison", mapper_comparison); ("profile", profile) ]
+      ("mapper-comparison", mapper_comparison); ("serve", serve_bench);
+      ("profile", profile) ]
   in
   let to_run =
     match wanted with

@@ -581,6 +581,203 @@ let fuzz_cmd =
       const run_fuzz $ seed $ count $ cycles $ steps $ max_width $ max_regs
       $ max_inputs $ folding $ mapper $ corpus $ trace $ verbosity $ jobs_arg)
 
+(* ----------------------------------------------------------- serve cmd *)
+
+module Serve = Nanomap_serve.Serve
+module Proto = Nanomap_serve.Proto
+module Codec = Nanomap_flow.Codec
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the compile daemon.")
+
+let run_serve socket stdio cache_dir cache_entries jobs verbose =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  let cache = Nanomap_serve.Cache.create ?dir:cache_dir ~max_entries:cache_entries () in
+  let eng = Serve.create_engine ~jobs ~cache () in
+  let finish code = Serve.shutdown_engine eng; code in
+  match socket, stdio with
+  | _, true -> Serve.serve_channels eng stdin stdout; finish 0
+  | Some path, false ->
+    Logs.info (fun m -> m "listening on %s" path);
+    Serve.serve_unix eng ~socket_path:path;
+    finish 0
+  | None, false ->
+    prerr_endline "error: need --socket PATH or --stdio";
+    finish 1
+
+let serve_cmd =
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve one client over stdin/stdout instead of a socket.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist compiled artifacts under $(docv) (content-addressed; \
+                   survives restarts).")
+  in
+  let cache_entries =
+    Arg.(value & opt int 256
+         & info [ "cache-entries" ] ~docv:"N"
+             ~doc:"In-memory cache bound (LRU eviction past $(docv) entries).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent compile daemon (line-framed JSON jobs, \
+             content-addressed artifact cache)")
+    Term.(
+      const run_serve $ socket_arg $ stdio $ cache_dir $ cache_entries
+      $ jobs_arg $ verbosity)
+
+(* ---------------------------------------------------------- submit cmd *)
+
+let fold_objective = function
+  | "auto" -> Some Flow.At_min
+  | "none" -> Some Flow.No_folding
+  | s -> Option.map (fun l -> Flow.Fixed_level l) (int_of_string_opt s)
+
+let run_submit socket circuit blif vhdl folding mapper seed gen_count dup
+    gen_seed min_hit_rate shutdown verbose =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  match socket with
+  | None -> prerr_endline "error: need --socket PATH"; 1
+  | Some socket_path ->
+    match fold_objective folding with
+    | None -> prerr_endline "error: --folding must be auto|none|LEVEL"; 1
+    | Some objective ->
+      let options = { Flow.default_options with Flow.objective; mapper; seed } in
+      let jobs =
+        if gen_count > 0 then begin
+          (* load-generator mode: [gen_count] submissions over a smaller set
+             of distinct random designs, so a [dup] fraction of the traffic
+             repeats content the daemon has already compiled *)
+          let uniq =
+            max 1 (int_of_float (Float.round (float_of_int gen_count *. (1.0 -. dup))))
+          in
+          let rng = Nanomap_util.Rng.create gen_seed in
+          let params = { Gen_rtl.default_params with Gen_rtl.steps = 14 } in
+          let designs =
+            Array.init uniq (fun i ->
+                let spec = Gen_rtl.random_spec rng params in
+                Codec.rtl_to_string (Gen_rtl.build ~name:(Printf.sprintf "gen%d" i) spec))
+          in
+          List.init gen_count (fun i ->
+              { Proto.id = Printf.sprintf "job%d" i;
+                design = Proto.Rtl_text designs.(i mod uniq);
+                arch = Arch.default;
+                options })
+        end
+        else
+          match circuit, blif, vhdl with
+          | Some name, None, None ->
+            [ { Proto.id = "job0"; design = Proto.Circuit name;
+                arch = Arch.default; options } ]
+          | _ ->
+            (match load_design circuit blif vhdl with
+             | Error (`Msg m) -> prerr_endline ("error: " ^ m); []
+             | Ok design ->
+               [ { Proto.id = "job0";
+                   design = Proto.Rtl_text (Codec.rtl_to_string design);
+                   arch = Arch.default; options } ])
+      in
+      if jobs = [] then 1
+      else begin
+        let client = Serve.Client.connect ~socket_path in
+        let finally code =
+          if shutdown then begin
+            Serve.Client.send client Proto.Shutdown;
+            match Serve.Client.recv client with
+            | Proto.Bye -> ()
+            | _ -> prerr_endline "warning: no bye on shutdown"
+          end;
+          Serve.Client.close client;
+          code
+        in
+        List.iter (fun j -> Serve.Client.send client (Proto.Job j)) jobs;
+        let failures = ref 0 and hits = ref 0 and total = ref 0 in
+        List.iter
+          (fun (j : Proto.job) ->
+            incr total;
+            let events, terminator = Serve.Client.recv_result client in
+            if verbose then
+              List.iter
+                (fun r ->
+                  match r with
+                  | Proto.Event { stage_name; ms; _ } ->
+                    Printf.printf "# %s %s %.1fms\n" j.Proto.id stage_name ms
+                  | _ -> ())
+                events;
+            match terminator with
+            | Proto.Result { id; key; cached; artifact } ->
+              if cached then incr hits;
+              Printf.printf "%s %s %s %s area=%d LEs delay=%.2f ns\n" id
+                (Nanomap_util.Hashing.short key)
+                (if cached then "hit " else "miss")
+                artifact.Codec.design_name artifact.Codec.area_les
+                artifact.Codec.delay_model_ns
+            | Proto.Error_resp { id; diag } ->
+              incr failures;
+              Printf.printf "%s failed: %s\n"
+                (Option.value id ~default:"?") (Diag.to_string diag)
+            | _ -> incr failures)
+          jobs;
+        let rate =
+          if !total = 0 then 0.0 else float_of_int !hits /. float_of_int !total
+        in
+        Printf.printf "%d jobs, %d failed, cache hit rate %.2f\n" !total !failures rate;
+        let ok = !failures = 0 && rate >= min_hit_rate in
+        finally (if ok then 0 else 1)
+      end
+
+let submit_cmd =
+  let folding =
+    Arg.(value & opt string "auto"
+         & info [ "folding" ] ~docv:"F"
+             ~doc:"Folding objective: $(b,auto), $(b,none), or a fixed level.")
+  in
+  let mapper =
+    Arg.(value & opt mapper_conv Mapper.Truth_table
+         & info [ "mapper" ] ~docv:"M" ~doc:"Technology mapper: tt or aig.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Flow seed.")
+  in
+  let gen_count =
+    Arg.(value & opt int 0
+         & info [ "gen" ] ~docv:"N"
+             ~doc:"Load-generator mode: submit $(docv) random designs instead \
+                   of one named design.")
+  in
+  let dup =
+    Arg.(value & opt float 0.5
+         & info [ "dup" ] ~docv:"F"
+             ~doc:"With --gen: fraction of submissions that repeat an earlier \
+                   design (cache-hit traffic).")
+  in
+  let gen_seed =
+    Arg.(value & opt int 7
+         & info [ "gen-seed" ] ~docv:"N" ~doc:"With --gen: generator seed.")
+  in
+  let min_hit_rate =
+    Arg.(value & opt float 0.0
+         & info [ "min-hit-rate" ] ~docv:"R"
+             ~doc:"Exit nonzero unless the observed cache hit rate reaches \
+                   $(docv) (smoke-test assertion).")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Ask the daemon to exit after the batch.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit compile jobs to a running daemon and print the results")
+    Term.(
+      const run_submit $ socket_arg $ circuit_arg $ blif_arg $ vhdl_arg
+      $ folding $ mapper $ seed $ gen_count $ dup $ gen_seed $ min_hit_rate
+      $ shutdown $ verbosity)
+
 (* ------------------------------------------------------------ list cmd *)
 
 let run_list () =
@@ -604,4 +801,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ map_cmd; stats_cmd; sweep_cmd; list_cmd; disasm_cmd; emulate_cmd;
-            fuzz_cmd ]))
+            fuzz_cmd; serve_cmd; submit_cmd ]))

@@ -1,0 +1,680 @@
+module Json = Nanomap_util.Json
+module Hashing = Nanomap_util.Hashing
+module Rtl = Nanomap_rtl.Rtl
+module Arch = Nanomap_arch.Arch
+module Defect = Nanomap_arch.Defect
+module Truth_table = Nanomap_logic.Truth_table
+module Mapper = Nanomap_core.Mapper
+module Router = Nanomap_route.Router
+module Rr_graph = Nanomap_route.Rr_graph
+module Place = Nanomap_place.Place
+module Cluster = Nanomap_cluster.Cluster
+module Bitstream = Nanomap_bitstream.Bitstream
+module Lut_network = Nanomap_techmap.Lut_network
+
+(* ------------------------------------------------------------ rtl text *)
+
+(* One signal per line, in id order, so the decoder re-creates ids
+   exactly. Names are percent-escaped (they may contain spaces from VHDL
+   labels); registers are two-phase like the builder API, with the data
+   input connected after all signals exist. *)
+
+let escape_name s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\n' | '\t' | '%' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_name s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '%' && !i + 2 < n then begin
+       (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+       | Some code ->
+         Buffer.add_char buf (Char.chr code);
+         i := !i + 2
+       | None -> Buffer.add_char buf '%')
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let op_to_line op =
+  let b2 tag a b = Printf.sprintf "%s %d %d" tag a b in
+  match op with
+  | Rtl.Add (a, b) -> b2 "add" a b
+  | Rtl.Sub (a, b) -> b2 "sub" a b
+  | Rtl.Mult (a, b) -> b2 "mult" a b
+  | Rtl.Eq (a, b) -> b2 "eq" a b
+  | Rtl.Lt (a, b) -> b2 "lt" a b
+  | Rtl.Bit_and (a, b) -> b2 "and" a b
+  | Rtl.Bit_or (a, b) -> b2 "or" a b
+  | Rtl.Bit_xor (a, b) -> b2 "xor" a b
+  | Rtl.Bit_not a -> Printf.sprintf "not %d" a
+  | Rtl.Mux (s, a, b) -> Printf.sprintf "mux %d %d %d" s a b
+  | Rtl.Slice (a, lo) -> Printf.sprintf "slice %d %d" a lo
+  | Rtl.Concat (a, b) -> b2 "concat" a b
+  | Rtl.Table (tt, args) ->
+    Printf.sprintf "table %d %Lu %s" (Truth_table.arity tt) (Truth_table.bits tt)
+      (String.concat " " (List.map string_of_int args))
+
+let rtl_to_string design =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "nanomap-rtl v1 %s\n" (escape_name (Rtl.name design)));
+  Rtl.iter_signals
+    (fun (s : Rtl.signal) ->
+      let head = Printf.sprintf "s %d %s %d " s.Rtl.id (escape_name s.Rtl.name) s.Rtl.width in
+      let body =
+        match s.Rtl.driver with
+        | Rtl.Input -> "input"
+        | Rtl.Const_driver v -> Printf.sprintf "const %d" v
+        | Rtl.Register { d; init } -> Printf.sprintf "reg %d %d" d init
+        | Rtl.Comb op -> op_to_line op
+      in
+      Buffer.add_string buf head;
+      Buffer.add_string buf body;
+      Buffer.add_char buf '\n')
+    design;
+  List.iter
+    (fun (name, id) ->
+      Buffer.add_string buf (Printf.sprintf "o %s %d\n" (escape_name name) id))
+    (Rtl.outputs design);
+  Buffer.contents buf
+
+let rtl_of_string text =
+  let fail line msg = failwith (Printf.sprintf "rtl line %d: %s" line msg) in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> failwith "rtl: empty input"
+  | (hline, header) :: rest ->
+    let design =
+      match String.split_on_char ' ' header with
+      | "nanomap-rtl" :: "v1" :: name ->
+        Rtl.create (unescape_name (String.concat " " name))
+      | _ -> fail hline "expected 'nanomap-rtl v1 <name>' header"
+    in
+    (* registers connect after every signal exists *)
+    let pending_regs = ref [] in
+    let int_of ln s =
+      match int_of_string_opt s with
+      | Some i -> i
+      | None -> fail ln ("not a number: " ^ s)
+    in
+    List.iter
+      (fun (ln, line) ->
+        match String.split_on_char ' ' line with
+        | "s" :: id :: name :: width :: driver -> (
+          let id = int_of ln id in
+          let name = unescape_name name in
+          let width = int_of ln width in
+          let created =
+            match driver with
+            | [ "input" ] -> Rtl.add_input design name width
+            | [ "const"; v ] ->
+              Rtl.add_const design ~name ~width (int_of ln v)
+            | [ "reg"; d; init ] ->
+              let r =
+                Rtl.add_register design ~init:(int_of ln init) ~name ~width ()
+              in
+              pending_regs := (ln, r, int_of ln d) :: !pending_regs;
+              r
+            | "table" :: arity_s :: bits_s :: rest ->
+              let arity = int_of ln arity_s in
+              (* truth bits are printed with %Lu and may exceed the int
+                 range at arity 6; parse them back as unsigned int64 *)
+              let bits =
+                match Int64.of_string_opt ("0u" ^ bits_s) with
+                | Some b -> b
+                | None -> fail ln ("bad table bits: " ^ bits_s)
+              in
+              let op =
+                Rtl.Table (Truth_table.of_bits ~arity bits, List.map (int_of ln) rest)
+              in
+              (try Rtl.add_op design ~name ~width op
+               with Invalid_argument msg -> fail ln msg)
+            | op_tag :: args ->
+              let op =
+                match op_tag, List.map (int_of ln) args with
+                | "add", [ a; b ] -> Rtl.Add (a, b)
+                | "sub", [ a; b ] -> Rtl.Sub (a, b)
+                | "mult", [ a; b ] -> Rtl.Mult (a, b)
+                | "eq", [ a; b ] -> Rtl.Eq (a, b)
+                | "lt", [ a; b ] -> Rtl.Lt (a, b)
+                | "and", [ a; b ] -> Rtl.Bit_and (a, b)
+                | "or", [ a; b ] -> Rtl.Bit_or (a, b)
+                | "xor", [ a; b ] -> Rtl.Bit_xor (a, b)
+                | "not", [ a ] -> Rtl.Bit_not a
+                | "mux", [ s; a; b ] -> Rtl.Mux (s, a, b)
+                | "slice", [ a; lo ] -> Rtl.Slice (a, lo)
+                | "concat", [ a; b ] -> Rtl.Concat (a, b)
+                | _ -> fail ln ("bad driver: " ^ line)
+              in
+              (try Rtl.add_op design ~name ~width op
+               with Invalid_argument msg -> fail ln msg)
+            | [] -> fail ln "missing driver"
+          in
+          if created <> id then fail ln (Printf.sprintf "id mismatch: expected %d, got %d" id created))
+        | "o" :: name :: [ id ] ->
+          (try Rtl.mark_output design (unescape_name name) (int_of ln id)
+           with Invalid_argument msg -> fail ln msg)
+        | _ -> fail ln ("unrecognized line: " ^ line))
+      rest;
+    List.iter
+      (fun (ln, r, d) ->
+        try Rtl.connect_register design r ~d
+        with Invalid_argument msg -> fail ln msg)
+      (List.rev !pending_regs);
+    (try Rtl.validate design
+     with Failure msg -> failwith ("rtl: invalid design: " ^ msg));
+    design
+
+(* ---------------------------------------------------------------- arch *)
+
+let arch_to_json (a : Arch.t) =
+  Json.Obj
+    [ ("lut_inputs", Json.Int a.Arch.lut_inputs);
+      ("luts_per_le", Json.Int a.Arch.luts_per_le);
+      ("ffs_per_le", Json.Int a.Arch.ffs_per_le);
+      ("les_per_mb", Json.Int a.Arch.les_per_mb);
+      ("mbs_per_smb", Json.Int a.Arch.mbs_per_smb);
+      ("smb_input_pins", Json.Int a.Arch.smb_input_pins);
+      ("mb_input_ports", Json.Int a.Arch.mb_input_ports);
+      ( "num_reconf",
+        match a.Arch.num_reconf with
+        | None -> Json.Null
+        | Some k -> Json.Int k );
+      ("t_lut", Json.Float a.Arch.t_lut);
+      ("t_local", Json.Float a.Arch.t_local);
+      ("t_intra_mb", Json.Float a.Arch.t_intra_mb);
+      ("t_reconf", Json.Float a.Arch.t_reconf);
+      ("t_setup", Json.Float a.Arch.t_setup);
+      ("t_direct", Json.Float a.Arch.t_direct);
+      ("t_len1", Json.Float a.Arch.t_len1);
+      ("t_len4", Json.Float a.Arch.t_len4);
+      ("t_global", Json.Float a.Arch.t_global);
+      ("smb_area", Json.Float a.Arch.smb_area);
+      ("e_lut_eval", Json.Float a.Arch.e_lut_eval);
+      ("e_reconf", Json.Float a.Arch.e_reconf);
+      ("e_wire", Json.Float a.Arch.e_wire);
+      ("p_leak_le", Json.Float a.Arch.p_leak_le) ]
+
+let ( let* ) = Result.bind
+
+let need what = function
+  | Some v -> Ok v
+  | None -> Error ("missing or ill-typed " ^ what)
+
+let get_int j name ~default =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> need name (Json.to_int v)
+
+let get_float j name ~default =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> need name (Json.to_float v)
+
+let arch_of_json j =
+  let d = Arch.default in
+  let* lut_inputs = get_int j "lut_inputs" ~default:d.Arch.lut_inputs in
+  let* luts_per_le = get_int j "luts_per_le" ~default:d.Arch.luts_per_le in
+  let* ffs_per_le = get_int j "ffs_per_le" ~default:d.Arch.ffs_per_le in
+  let* les_per_mb = get_int j "les_per_mb" ~default:d.Arch.les_per_mb in
+  let* mbs_per_smb = get_int j "mbs_per_smb" ~default:d.Arch.mbs_per_smb in
+  let* smb_input_pins = get_int j "smb_input_pins" ~default:d.Arch.smb_input_pins in
+  let* mb_input_ports = get_int j "mb_input_ports" ~default:d.Arch.mb_input_ports in
+  let* num_reconf =
+    match Json.member "num_reconf" j with
+    | None -> Ok d.Arch.num_reconf
+    | Some Json.Null -> Ok None
+    | Some v -> (
+      match Json.to_int v with
+      | Some k -> Ok (Some k)
+      | None -> Error "missing or ill-typed num_reconf")
+  in
+  let* t_lut = get_float j "t_lut" ~default:d.Arch.t_lut in
+  let* t_local = get_float j "t_local" ~default:d.Arch.t_local in
+  let* t_intra_mb = get_float j "t_intra_mb" ~default:d.Arch.t_intra_mb in
+  let* t_reconf = get_float j "t_reconf" ~default:d.Arch.t_reconf in
+  let* t_setup = get_float j "t_setup" ~default:d.Arch.t_setup in
+  let* t_direct = get_float j "t_direct" ~default:d.Arch.t_direct in
+  let* t_len1 = get_float j "t_len1" ~default:d.Arch.t_len1 in
+  let* t_len4 = get_float j "t_len4" ~default:d.Arch.t_len4 in
+  let* t_global = get_float j "t_global" ~default:d.Arch.t_global in
+  let* smb_area = get_float j "smb_area" ~default:d.Arch.smb_area in
+  let* e_lut_eval = get_float j "e_lut_eval" ~default:d.Arch.e_lut_eval in
+  let* e_reconf = get_float j "e_reconf" ~default:d.Arch.e_reconf in
+  let* e_wire = get_float j "e_wire" ~default:d.Arch.e_wire in
+  let* p_leak_le = get_float j "p_leak_le" ~default:d.Arch.p_leak_le in
+  Ok
+    { Arch.lut_inputs; luts_per_le; ffs_per_le; les_per_mb; mbs_per_smb;
+      smb_input_pins; mb_input_ports; num_reconf; t_lut; t_local; t_intra_mb;
+      t_reconf; t_setup; t_direct; t_len1; t_len4; t_global; smb_area;
+      e_lut_eval; e_reconf; e_wire; p_leak_le }
+
+(* ------------------------------------------------------------- options *)
+
+let objective_to_json (o : Flow.objective) =
+  match o with
+  | Flow.Delay_min area ->
+    Json.Obj
+      (("kind", Json.String "delay")
+      :: (match area with None -> [] | Some a -> [ ("area", Json.Int a) ]))
+  | Flow.Area_min delay ->
+    Json.Obj
+      (("kind", Json.String "area")
+      :: (match delay with None -> [] | Some d -> [ ("delay_ns", Json.Float d) ]))
+  | Flow.At_min -> Json.Obj [ ("kind", Json.String "at") ]
+  | Flow.Both (a, d) ->
+    Json.Obj
+      [ ("kind", Json.String "both"); ("area", Json.Int a);
+        ("delay_ns", Json.Float d) ]
+  | Flow.Fixed_level l ->
+    Json.Obj [ ("kind", Json.String "fixed"); ("level", Json.Int l) ]
+  | Flow.No_folding -> Json.Obj [ ("kind", Json.String "none") ]
+  | Flow.Pipelined_delay_min a ->
+    Json.Obj [ ("kind", Json.String "pipelined"); ("area", Json.Int a) ]
+
+let objective_of_json j =
+  let* kind = need "objective.kind" Option.(bind (Json.member "kind" j) Json.to_str) in
+  match kind with
+  | "delay" -> (
+    match Json.member "area" j with
+    | None -> Ok (Flow.Delay_min None)
+    | Some v ->
+      let* a = need "objective.area" (Json.to_int v) in
+      Ok (Flow.Delay_min (Some a)))
+  | "area" -> (
+    match Json.member "delay_ns" j with
+    | None -> Ok (Flow.Area_min None)
+    | Some v ->
+      let* d = need "objective.delay_ns" (Json.to_float v) in
+      Ok (Flow.Area_min (Some d)))
+  | "at" -> Ok Flow.At_min
+  | "both" ->
+    let* a = need "objective.area" Option.(bind (Json.member "area" j) Json.to_int) in
+    let* d =
+      need "objective.delay_ns" Option.(bind (Json.member "delay_ns" j) Json.to_float)
+    in
+    Ok (Flow.Both (a, d))
+  | "fixed" ->
+    let* l = need "objective.level" Option.(bind (Json.member "level" j) Json.to_int) in
+    Ok (Flow.Fixed_level l)
+  | "none" -> Ok Flow.No_folding
+  | "pipelined" ->
+    let* a = need "objective.area" Option.(bind (Json.member "area" j) Json.to_int) in
+    Ok (Flow.Pipelined_delay_min a)
+  | k -> Error ("unknown objective kind " ^ k)
+
+let route_alg_string = function
+  | Router.Full -> "full"
+  | Router.Incremental -> "incremental"
+
+let caps_to_json (c : Rr_graph.caps) =
+  Json.Obj
+    [ ("direct", Json.Int c.Rr_graph.direct_tracks);
+      ("len1", Json.Int c.Rr_graph.len1_tracks);
+      ("len4", Json.Int c.Rr_graph.len4_tracks);
+      ("global", Json.Int c.Rr_graph.global_tracks) ]
+
+let options_to_json (o : Flow.options) =
+  Json.Obj
+    [ ("objective", objective_to_json o.Flow.objective);
+      ("physical", Json.Bool o.Flow.physical);
+      ("seed", Json.Int o.Flow.seed);
+      ("routability_threshold", Json.Float o.Flow.routability_threshold);
+      ("max_place_retries", Json.Int o.Flow.max_place_retries);
+      ("route_alg", Json.String (route_alg_string o.Flow.route_alg));
+      ("check_level", Json.String (Check.string_of_level o.Flow.check_level));
+      ("defects", Json.String (Defect.to_string o.Flow.defects));
+      ("route_caps", caps_to_json o.Flow.route_caps);
+      ("mapper", Json.String (Mapper.string_of_mapper o.Flow.mapper));
+      ("aig_effort", Json.Int o.Flow.aig_effort);
+      ("jobs", Json.Int o.Flow.jobs);
+      ("portfolio", Json.Int o.Flow.portfolio) ]
+
+let options_of_json j =
+  let d = Flow.default_options in
+  let* objective =
+    match Json.member "objective" j with
+    | None -> Ok d.Flow.objective
+    | Some oj -> objective_of_json oj
+  in
+  let* physical =
+    match Json.member "physical" j with
+    | None -> Ok d.Flow.physical
+    | Some v -> need "physical" (Json.to_bool v)
+  in
+  let* seed = get_int j "seed" ~default:d.Flow.seed in
+  let* routability_threshold =
+    get_float j "routability_threshold" ~default:d.Flow.routability_threshold
+  in
+  let* max_place_retries =
+    get_int j "max_place_retries" ~default:d.Flow.max_place_retries
+  in
+  let* route_alg =
+    match Json.member "route_alg" j with
+    | None -> Ok d.Flow.route_alg
+    | Some v -> (
+      match Json.to_str v with
+      | Some "full" -> Ok Router.Full
+      | Some "incremental" -> Ok Router.Incremental
+      | _ -> Error "route_alg must be full|incremental")
+  in
+  let* check_level =
+    match Json.member "check_level" j with
+    | None -> Ok d.Flow.check_level
+    | Some v -> (
+      match Option.bind (Json.to_str v) Check.level_of_string with
+      | Some l -> Ok l
+      | None -> Error "check_level must be off|fast|full")
+  in
+  let* defects =
+    match Json.member "defects" j with
+    | None -> Ok d.Flow.defects
+    | Some v -> (
+      match Json.to_str v with
+      | None -> Error "defects must be a string"
+      | Some s -> (
+        match Defect.of_string s with
+        | def -> Ok def
+        | exception Nanomap_util.Diag.Fail diag ->
+          Error ("defects: " ^ Nanomap_util.Diag.to_string diag)))
+  in
+  let* route_caps =
+    match Json.member "route_caps" j with
+    | None -> Ok d.Flow.route_caps
+    | Some cj ->
+      let dc = d.Flow.route_caps in
+      let* direct_tracks = get_int cj "direct" ~default:dc.Rr_graph.direct_tracks in
+      let* len1_tracks = get_int cj "len1" ~default:dc.Rr_graph.len1_tracks in
+      let* len4_tracks = get_int cj "len4" ~default:dc.Rr_graph.len4_tracks in
+      let* global_tracks = get_int cj "global" ~default:dc.Rr_graph.global_tracks in
+      Ok { Rr_graph.direct_tracks; len1_tracks; len4_tracks; global_tracks }
+  in
+  let* mapper =
+    match Json.member "mapper" j with
+    | None -> Ok d.Flow.mapper
+    | Some v -> (
+      match Option.bind (Json.to_str v) Mapper.mapper_of_string with
+      | Some m -> Ok m
+      | None -> Error "mapper must be tt|aig")
+  in
+  let* aig_effort = get_int j "aig_effort" ~default:d.Flow.aig_effort in
+  let* jobs = get_int j "jobs" ~default:d.Flow.jobs in
+  let* portfolio = get_int j "portfolio" ~default:d.Flow.portfolio in
+  Ok
+    { Flow.objective; physical; seed; routability_threshold; max_place_retries;
+      route_alg; check_level; defects; route_caps; mapper; aig_effort; jobs;
+      portfolio }
+
+(* The hash view: canonical JSON of every report-affecting field. [jobs]
+   buys wall-clock only (Pool's determinism contract), so it is excluded
+   and -j1/-j4 traffic shares cache entries. *)
+let options_hash_string (o : Flow.options) =
+  Json.to_string
+    (Json.Obj
+       [ ("objective", objective_to_json o.Flow.objective);
+         ("physical", Json.Bool o.Flow.physical);
+         ("seed", Json.Int o.Flow.seed);
+         ("routability_threshold", Json.Float o.Flow.routability_threshold);
+         ("max_place_retries", Json.Int o.Flow.max_place_retries);
+         ("route_alg", Json.String (route_alg_string o.Flow.route_alg));
+         ("check_level", Json.String (Check.string_of_level o.Flow.check_level));
+         ("defects", Json.String (Defect.to_string o.Flow.defects));
+         ("route_caps", caps_to_json o.Flow.route_caps);
+         ("mapper", Json.String (Mapper.string_of_mapper o.Flow.mapper));
+         ("aig_effort", Json.Int o.Flow.aig_effort);
+         ("portfolio", Json.Int o.Flow.portfolio) ])
+
+(* ------------------------------------------------------------ artifact *)
+
+type placement = {
+  width : int;
+  height : int;
+  smb_xy : (int * int) array;
+  pad_xy : (int * int) array;
+}
+
+type artifact = {
+  design_name : string;
+  mapper : string;
+  level : int;
+  stages : int;
+  num_planes : int;
+  area_les : int;
+  area_smbs : int;
+  area_um2 : float;
+  delay_model_ns : float;
+  delay_routed_ns : float option;
+  channel_factor : int;
+  mapping_retries : int;
+  degradations : string list;
+  fingerprints : string array;
+  placement : placement option;
+  route_success : bool option;
+  route_wirelength : int option;
+  route_total_nets : int option;
+  bitstream : string option;
+}
+
+let hex_encode s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "hex: odd length"
+  else
+    let buf = Buffer.create (n / 2) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      (match int_of_string_opt ("0x" ^ String.sub s !i 2) with
+      | Some code -> Buffer.add_char buf (Char.chr code)
+      | None -> ok := false);
+      i := !i + 2
+    done;
+    if !ok then Ok (Buffer.contents buf) else Error "hex: bad digit"
+
+let artifact_of_report (r : Flow.report) =
+  { design_name = r.Flow.design_name;
+    mapper = Mapper.string_of_mapper r.Flow.prepared.Mapper.mapper;
+    level = r.Flow.plan.Mapper.level;
+    stages = r.Flow.plan.Mapper.stages;
+    num_planes = r.Flow.prepared.Mapper.num_planes;
+    area_les = r.Flow.area_les;
+    area_smbs = r.Flow.area_smbs;
+    area_um2 = r.Flow.area_um2;
+    delay_model_ns = r.Flow.delay_model_ns;
+    delay_routed_ns = r.Flow.delay_routed_ns;
+    channel_factor = r.Flow.channel_factor;
+    mapping_retries = r.Flow.mapping_retries;
+    degradations = r.Flow.degradations;
+    fingerprints =
+      Array.map
+        (fun (pl : Mapper.plane_plan) ->
+          Hashing.digest_hex (Lut_network.fingerprint pl.Mapper.network))
+        r.Flow.plan.Mapper.planes;
+    placement =
+      Option.map
+        (fun (p : Place.t) ->
+          { width = p.Place.width;
+            height = p.Place.height;
+            smb_xy = Array.copy p.Place.smb_xy;
+            pad_xy = Array.copy p.Place.pad_xy })
+        r.Flow.placement;
+    route_success =
+      Option.map (fun (rt : Router.result) -> rt.Router.success) r.Flow.routing;
+    route_wirelength =
+      Option.map (fun (rt : Router.result) -> rt.Router.wirelength) r.Flow.routing;
+    route_total_nets =
+      Option.map (fun (rt : Router.result) -> rt.Router.total_nets) r.Flow.routing;
+    bitstream =
+      Option.map
+        (fun (b : Bitstream.t) -> Bytes.to_string b.Bitstream.bytes)
+        r.Flow.bitstream }
+
+let placement_to_json p =
+  let xy (x, y) = Json.List [ Json.Int x; Json.Int y ] in
+  Json.Obj
+    [ ("width", Json.Int p.width);
+      ("height", Json.Int p.height);
+      ("smb_xy", Json.List (Array.to_list (Array.map xy p.smb_xy)));
+      ("pad_xy", Json.List (Array.to_list (Array.map xy p.pad_xy))) ]
+
+let placement_of_json j =
+  let* width = need "placement.width" Option.(bind (Json.member "width" j) Json.to_int) in
+  let* height = need "placement.height" Option.(bind (Json.member "height" j) Json.to_int) in
+  let xy_list name =
+    let* items = need name Option.(bind (Json.member name j) Json.to_list) in
+    let* pairs =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match item with
+          | Json.List [ a; b ] -> (
+            match Json.to_int a, Json.to_int b with
+            | Some x, Some y -> Ok ((x, y) :: acc)
+            | _ -> Error (name ^ ": bad coordinate"))
+          | _ -> Error (name ^ ": bad coordinate"))
+        (Ok []) items
+    in
+    Ok (Array.of_list (List.rev pairs))
+  in
+  let* smb_xy = xy_list "smb_xy" in
+  let* pad_xy = xy_list "pad_xy" in
+  Ok { width; height; smb_xy; pad_xy }
+
+let opt f = function None -> Json.Null | Some v -> f v
+
+let artifact_to_json a =
+  Json.Obj
+    [ ("design_name", Json.String a.design_name);
+      ("mapper", Json.String a.mapper);
+      ("level", Json.Int a.level);
+      ("stages", Json.Int a.stages);
+      ("num_planes", Json.Int a.num_planes);
+      ("area_les", Json.Int a.area_les);
+      ("area_smbs", Json.Int a.area_smbs);
+      ("area_um2", Json.Float a.area_um2);
+      ("delay_model_ns", Json.Float a.delay_model_ns);
+      ("delay_routed_ns", opt (fun f -> Json.Float f) a.delay_routed_ns);
+      ("channel_factor", Json.Int a.channel_factor);
+      ("mapping_retries", Json.Int a.mapping_retries);
+      ("degradations", Json.List (List.map (fun s -> Json.String s) a.degradations));
+      ( "fingerprints",
+        Json.List (Array.to_list (Array.map (fun s -> Json.String s) a.fingerprints)) );
+      ("placement", opt placement_to_json a.placement);
+      ("route_success", opt (fun b -> Json.Bool b) a.route_success);
+      ("route_wirelength", opt (fun i -> Json.Int i) a.route_wirelength);
+      ("route_total_nets", opt (fun i -> Json.Int i) a.route_total_nets);
+      ("bitstream", opt (fun s -> Json.String (hex_encode s)) a.bitstream) ]
+
+let artifact_of_json j =
+  let opt_member name conv =
+    match Json.member name j with
+    | None | Some Json.Null -> Ok None
+    | Some v ->
+      let* x = need name (conv v) in
+      Ok (Some x)
+  in
+  let* design_name =
+    need "design_name" Option.(bind (Json.member "design_name" j) Json.to_str)
+  in
+  let* mapper = need "mapper" Option.(bind (Json.member "mapper" j) Json.to_str) in
+  let* level = need "level" Option.(bind (Json.member "level" j) Json.to_int) in
+  let* stages = need "stages" Option.(bind (Json.member "stages" j) Json.to_int) in
+  let* num_planes =
+    need "num_planes" Option.(bind (Json.member "num_planes" j) Json.to_int)
+  in
+  let* area_les = need "area_les" Option.(bind (Json.member "area_les" j) Json.to_int) in
+  let* area_smbs =
+    need "area_smbs" Option.(bind (Json.member "area_smbs" j) Json.to_int)
+  in
+  let* area_um2 =
+    need "area_um2" Option.(bind (Json.member "area_um2" j) Json.to_float)
+  in
+  let* delay_model_ns =
+    need "delay_model_ns" Option.(bind (Json.member "delay_model_ns" j) Json.to_float)
+  in
+  let* delay_routed_ns = opt_member "delay_routed_ns" Json.to_float in
+  let* channel_factor =
+    need "channel_factor" Option.(bind (Json.member "channel_factor" j) Json.to_int)
+  in
+  let* mapping_retries =
+    need "mapping_retries" Option.(bind (Json.member "mapping_retries" j) Json.to_int)
+  in
+  let* degradations =
+    let* items =
+      need "degradations" Option.(bind (Json.member "degradations" j) Json.to_list)
+    in
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* s = need "degradations item" (Json.to_str item) in
+        Ok (s :: acc))
+      (Ok []) items
+    |> Result.map List.rev
+  in
+  let* fingerprints =
+    let* items =
+      need "fingerprints" Option.(bind (Json.member "fingerprints" j) Json.to_list)
+    in
+    let* strs =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* s = need "fingerprints item" (Json.to_str item) in
+          Ok (s :: acc))
+        (Ok []) items
+    in
+    Ok (Array.of_list (List.rev strs))
+  in
+  let* placement =
+    match Json.member "placement" j with
+    | None | Some Json.Null -> Ok None
+    | Some pj ->
+      let* p = placement_of_json pj in
+      Ok (Some p)
+  in
+  let* route_success = opt_member "route_success" Json.to_bool in
+  let* route_wirelength = opt_member "route_wirelength" Json.to_int in
+  let* route_total_nets = opt_member "route_total_nets" Json.to_int in
+  let* bitstream =
+    match Json.member "bitstream" j with
+    | None | Some Json.Null -> Ok None
+    | Some v ->
+      let* hex = need "bitstream" (Json.to_str v) in
+      let* raw = hex_decode hex in
+      Ok (Some raw)
+  in
+  Ok
+    { design_name; mapper; level; stages; num_planes; area_les; area_smbs;
+      area_um2; delay_model_ns; delay_routed_ns; channel_factor;
+      mapping_retries; degradations; fingerprints; placement; route_success;
+      route_wirelength; route_total_nets; bitstream }
+
+let artifact_equal a b = a = b
+
+(* ----------------------------------------------------------- cache key *)
+
+let content_key ~design ~arch ~options =
+  Nanomap_util.Hashing.digest_parts
+    [ "nanomap-job v1";
+      rtl_to_string design;
+      Json.to_string (arch_to_json arch);
+      options_hash_string options ]

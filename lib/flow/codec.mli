@@ -1,0 +1,127 @@
+(** Round-trip codecs for the flow's stage inputs and outputs, and the
+    content-hash definition of the compile-service cache.
+
+    The compile service ships jobs over a wire and memoizes their results
+    on disk, which forces the flow's boundary values to become plain
+    serializable data:
+
+    - {e inputs}: the RTL netlist (canonical line-oriented text), the
+      architecture instance and the flow options (JSON);
+    - {e outputs}: an {!artifact} — the value-level summary of a
+      {!Flow.report} (areas, delays, per-plane LUT-network fingerprints,
+      the placement, the routing summary and the raw bitstream bytes) —
+      as JSON.
+
+    Every codec round-trips: [decode (encode x)] reproduces [x] up to the
+    codomain stated on each function, and the encoders are {e canonical}
+    — a value encodes byte-identically on every run and process, which is
+    what makes the encodings hashable.
+
+    {2 The content hash}
+
+    {!content_key} is the cache key of a compile job:
+
+    [md5(len-framed ["nanomap-job v1"; rtl; arch; options-hash-string])]
+
+    where [rtl] is {!rtl_to_string} of the netlist, [arch] is the stable
+    JSON of {!arch_to_json} and the options section is
+    {!options_hash_string} — every report-affecting field of
+    {!Flow.options}, {e excluding} [jobs] (the pool's determinism
+    contract guarantees worker count never changes a report, so
+    [-j 1]/[-j 4] traffic shares entries; [portfolio] {e is} part of the
+    result and is included). Determinism of the key is exactly
+    determinism of the serializers; the regression tests pin it by
+    hashing the same design twice through independent builds and at
+    [-j 1] vs [-j 4]. *)
+
+module Json = Nanomap_util.Json
+
+(** {1 Netlist} *)
+
+val rtl_to_string : Nanomap_rtl.Rtl.t -> string
+(** Canonical text, one signal per line in id order ([nanomap-rtl v1]
+    header), then the outputs. Reconstructs ids exactly: signal [i] of
+    the decoded design is signal [i] of the encoded one. *)
+
+val rtl_of_string : string -> Nanomap_rtl.Rtl.t
+(** Raises [Failure] with a line number on malformed input. The result
+    is validated. *)
+
+(** {1 Flow inputs} *)
+
+val arch_to_json : Nanomap_arch.Arch.t -> Json.t
+val arch_of_json : Json.t -> (Nanomap_arch.Arch.t, string) result
+
+val options_to_json : Flow.options -> Json.t
+(** Every field, including [jobs] (the wire protocol carries it so a
+    client can steer the server's parallelism; the cache key drops it). *)
+
+val options_of_json : Json.t -> (Flow.options, string) result
+(** Missing members default to {!Flow.default_options}'s values, so a
+    client can send only what it overrides. *)
+
+val options_hash_string : Flow.options -> string
+(** The options section of the content hash: canonical, [jobs]-free. *)
+
+(** {1 Flow outputs} *)
+
+(** A placement as plain data (grid, per-SMB and per-pad coordinates). *)
+type placement = {
+  width : int;
+  height : int;
+  smb_xy : (int * int) array;
+  pad_xy : (int * int) array;
+}
+
+(** The serializable result of one compile job: everything a client (or a
+    cache hit) needs, without the live structures of a {!Flow.report}.
+    [fingerprints] are {!Nanomap_techmap.Lut_network.fingerprint} digests
+    of the mapped per-plane networks; [bitstream] is the raw configuration
+    bitmap. *)
+type artifact = {
+  design_name : string;
+  mapper : string;                    (** ["tt"] or ["aig"] *)
+  level : int;
+  stages : int;
+  num_planes : int;
+  area_les : int;
+  area_smbs : int;
+  area_um2 : float;
+  delay_model_ns : float;
+  delay_routed_ns : float option;
+  channel_factor : int;
+  mapping_retries : int;
+  degradations : string list;
+  fingerprints : string array;        (** md5 per plane, in plane order *)
+  placement : placement option;
+  route_success : bool option;
+  route_wirelength : int option;
+  route_total_nets : int option;
+  bitstream : string option;          (** raw bytes (not hex); JSON-escaped
+                                          on the wire via base16 *)
+}
+
+val artifact_of_report : Flow.report -> artifact
+
+val artifact_to_json : artifact -> Json.t
+(** Canonical: fixed member order, bitstream bytes hex-encoded. *)
+
+val artifact_of_json : Json.t -> (artifact, string) result
+
+val artifact_equal : artifact -> artifact -> bool
+(** Structural equality — what the cache-correctness differential tests
+    assert between a cold compile and a cache hit. *)
+
+(** {1 The cache key} *)
+
+val content_key :
+  design:Nanomap_rtl.Rtl.t ->
+  arch:Nanomap_arch.Arch.t ->
+  options:Flow.options ->
+  string
+(** 32-hex-char job key as specified above. *)
+
+(** {2 Hex helpers (bitstream transport)} *)
+
+val hex_encode : string -> string
+val hex_decode : string -> (string, string) result

@@ -88,16 +88,16 @@ let check_op t ~width op =
     expect (Truth_table.arity tt = List.length args);
     List.iter (fun a -> expect (w a = 1)) args
 
-let counter = ref 0
-
+(* The default name is derived from the design-local signal id, never from
+   process-global state: two builds of the same design must be
+   byte-identical (names reach the gate netlist, the LUT-network
+   fingerprint and the content hash of the compile-service cache). *)
 let add_op t ?name ~width op =
   check_op t ~width op;
   let name =
     match name with
     | Some n -> n
-    | None ->
-      incr counter;
-      Printf.sprintf "w%d" !counter
+    | None -> Printf.sprintf "w%d" (Vec.length t.signals)
   in
   add_signal t name width (Comb op)
 

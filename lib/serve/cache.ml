@@ -1,0 +1,116 @@
+module Codec = Nanomap_flow.Codec
+module Json = Nanomap_util.Json
+
+type entry = {
+  artifact : Codec.artifact;
+  mutable last_use : int;
+}
+
+type t = {
+  dir : string option;
+  max_entries : int;
+  table : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir ?(max_entries = 256) () =
+  Option.iter mkdir_p dir;
+  { dir;
+    max_entries = max 1 max_entries;
+    table = Hashtbl.create 64;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let entry_path dir key =
+  Filename.concat (Filename.concat dir (String.sub key 0 2))
+    (String.sub key 2 (String.length key - 2) ^ ".json")
+
+let evict_past_bound t =
+  while Hashtbl.length t.table > t.max_entries do
+    (* O(n) minimum scan: the bound is small (hundreds), evictions are
+       rare relative to lookups, and a scan needs no auxiliary order
+       structure to keep consistent. *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key e ->
+        match !victim with
+        | Some (_, age) when age <= e.last_use -> ()
+        | _ -> victim := Some (key, e.last_use))
+      t.table;
+    match !victim with
+    | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  done
+
+let insert t key artifact =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.table key { artifact; last_use = t.tick };
+  evict_past_bound t
+
+let disk_find t key =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+    let path = entry_path dir key in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ -> None
+    | text -> (
+      match Result.bind (Json.parse text) Codec.artifact_of_json with
+      | Ok artifact -> Some artifact
+      | Error _ -> None))
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    touch t e;
+    Some e.artifact
+  | None -> (
+    match disk_find t key with
+    | Some artifact ->
+      t.hits <- t.hits + 1;
+      insert t key artifact;
+      Some artifact
+    | None ->
+      t.misses <- t.misses + 1;
+      None)
+
+let disk_store t key artifact =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let path = entry_path dir key in
+    mkdir_p (Filename.dirname path);
+    let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc
+          (Json.to_string (Codec.artifact_to_json artifact)));
+    Sys.rename tmp path
+
+let store t key artifact =
+  insert t key artifact;
+  disk_store t key artifact
+
+let mem_entries t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let dir t = t.dir

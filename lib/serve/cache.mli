@@ -1,0 +1,41 @@
+(** The content-addressed artifact cache.
+
+    Keys are {!Nanomap_flow.Codec.content_key} digests (32 lowercase hex
+    characters); values are finished {!Nanomap_flow.Codec.artifact}s. Two
+    tiers:
+
+    - an in-memory index, bounded by [max_entries] with least-recently-used
+      eviction (both hits and stores refresh recency), so a long-lived
+      daemon's footprint stays flat under churn;
+    - an optional on-disk tier under [dir], content-addressed as
+      [dir/k0k1/k2..k31.json] (the artifact's canonical JSON, written to a
+      temp file and renamed so readers never observe a partial entry).
+      Disk entries survive daemon restarts and are promoted back into
+      memory on first use; the disk tier is never evicted by this process.
+
+    A corrupt disk entry (failed parse, key mismatch) is treated as a
+    miss — the cache re-computes and overwrites, it never propagates a
+    damaged artifact. *)
+
+module Codec = Nanomap_flow.Codec
+
+type t
+
+val create : ?dir:string -> ?max_entries:int -> unit -> t
+(** [max_entries] bounds the memory tier (default 256; values < 1 clamp
+    to 1). [dir] enables the disk tier (created if missing). *)
+
+val find : t -> string -> Codec.artifact option
+(** Memory first, then disk (promoting into memory). Counts one hit or
+    one miss. *)
+
+val store : t -> string -> Codec.artifact -> unit
+(** Insert into memory (evicting the least recently used entry past the
+    bound) and, when configured, write through to disk atomically. *)
+
+val mem_entries : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val dir : t -> string option

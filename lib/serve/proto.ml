@@ -1,0 +1,260 @@
+module Json = Nanomap_util.Json
+module Diag = Nanomap_util.Diag
+module Codec = Nanomap_flow.Codec
+module Flow = Nanomap_flow.Flow
+module Arch = Nanomap_arch.Arch
+
+let stage = "serve"
+
+type design_src =
+  | Rtl_text of string
+  | Circuit of string
+
+type job = {
+  id : string;
+  design : design_src;
+  arch : Arch.t;
+  options : Flow.options;
+}
+
+type request =
+  | Job of job
+  | Ping
+  | Stats_req
+  | Shutdown
+
+type stats = {
+  jobs_done : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+}
+
+type response =
+  | Event of { id : string; stage_name : string; ms : float }
+  | Result of { id : string; key : string; cached : bool; artifact : Codec.artifact }
+  | Error_resp of { id : string option; diag : Diag.t }
+  | Pong
+  | Stats_resp of stats
+  | Bye
+
+(* ----------------------------------------------------------- rejections *)
+
+let bad_json detail =
+  Diag.make ~stage ~code:"bad-json" ~context:[ ("detail", detail) ]
+    "request line is not valid JSON"
+
+let bad_request detail =
+  Diag.make ~stage ~code:"bad-request" ~context:[ ("detail", detail) ]
+    "request JSON has the wrong shape"
+
+let oversized ~limit n =
+  Diag.make ~stage ~code:"oversized"
+    ~context:[ ("bytes", string_of_int n); ("limit", string_of_int limit) ]
+    "request line exceeds the frame size bound"
+
+let truncated n =
+  Diag.make ~stage ~code:"truncated" ~context:[ ("bytes", string_of_int n) ]
+    "connection closed in the middle of a request line"
+
+let bad_design detail =
+  Diag.make ~stage ~code:"bad-design" ~context:[ ("detail", detail) ]
+    "job design cannot be resolved"
+
+(* ------------------------------------------------------------- decoding *)
+
+let request_of_frame line =
+  match Json.parse line with
+  | Error e -> Error (bad_json e)
+  | Ok j -> (
+    match Option.bind (Json.member "type" j) Json.to_str with
+    | None -> Error (bad_request "missing \"type\" member")
+    | Some "ping" -> Ok Ping
+    | Some "stats" -> Ok Stats_req
+    | Some "shutdown" -> Ok Shutdown
+    | Some "job" -> (
+      match Option.bind (Json.member "id" j) Json.to_str with
+      | None -> Error (bad_request "job without string \"id\"")
+      | Some id -> (
+        let design =
+          match Json.member "design" j with
+          | None -> Error "job without \"design\""
+          | Some d -> (
+            match Option.bind (Json.member "kind" d) Json.to_str with
+            | Some "rtl" -> (
+              match Option.bind (Json.member "text" d) Json.to_str with
+              | Some t -> Ok (Rtl_text t)
+              | None -> Error "design kind rtl without string \"text\"")
+            | Some "circuit" -> (
+              match Option.bind (Json.member "name" d) Json.to_str with
+              | Some n -> Ok (Circuit n)
+              | None -> Error "design kind circuit without string \"name\"")
+            | Some k -> Error ("unknown design kind " ^ k)
+            | None -> Error "design without \"kind\"")
+        in
+        match design with
+        | Error detail -> Error (bad_request detail)
+        | Ok design -> (
+          let arch =
+            match Json.member "arch" j with
+            | None | Some Json.Null -> Ok Arch.default
+            | Some a -> Codec.arch_of_json a
+          in
+          let options =
+            match Json.member "options" j with
+            | None | Some Json.Null -> Ok Flow.default_options
+            | Some o -> Codec.options_of_json o
+          in
+          match arch, options with
+          | Error e, _ -> Error (bad_request ("arch: " ^ e))
+          | _, Error e -> Error (bad_request ("options: " ^ e))
+          | Ok arch, Ok options -> Ok (Job { id; design; arch; options }))))
+    | Some t -> Error (bad_request ("unknown request type " ^ t)))
+
+(* ------------------------------------------------------------- encoding *)
+
+let design_to_json = function
+  | Rtl_text t ->
+    Json.Obj [ ("kind", Json.String "rtl"); ("text", Json.String t) ]
+  | Circuit n ->
+    Json.Obj [ ("kind", Json.String "circuit"); ("name", Json.String n) ]
+
+let request_to_json = function
+  | Ping -> Json.Obj [ ("type", Json.String "ping") ]
+  | Stats_req -> Json.Obj [ ("type", Json.String "stats") ]
+  | Shutdown -> Json.Obj [ ("type", Json.String "shutdown") ]
+  | Job { id; design; arch; options } ->
+    Json.Obj
+      [ ("type", Json.String "job");
+        ("id", Json.String id);
+        ("design", design_to_json design);
+        ("arch", Codec.arch_to_json arch);
+        ("options", Codec.options_to_json options) ]
+
+let request_to_frame r = Json.to_string (request_to_json r)
+
+let diag_to_json (d : Diag.t) =
+  Json.Obj
+    [ ("stage", Json.String d.Diag.stage);
+      ("severity", Json.String (Diag.severity_string d.Diag.severity));
+      ("code", Json.String d.Diag.code);
+      ("message", Json.String d.Diag.message);
+      ( "context",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) d.Diag.context) ) ]
+
+let diag_of_json j =
+  let str name =
+    match Option.bind (Json.member name j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error ("diag without " ^ name)
+  in
+  match str "stage", str "code", str "message" with
+  | Ok stage, Ok code, Ok message ->
+    let severity =
+      match Option.bind (Json.member "severity" j) Json.to_str with
+      | Some "warning" -> Diag.Warning
+      | Some "fatal" -> Diag.Fatal
+      | _ -> Diag.Error
+    in
+    let context =
+      match Json.member "context" j with
+      | Some (Json.Obj members) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+          members
+      | _ -> []
+    in
+    Ok (Diag.make ~stage ~severity ~code ~context message)
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+
+let response_to_json = function
+  | Event { id; stage_name; ms } ->
+    Json.Obj
+      [ ("type", Json.String "event");
+        ("id", Json.String id);
+        ("stage", Json.String stage_name);
+        ("ms", Json.Float ms) ]
+  | Result { id; key; cached; artifact } ->
+    Json.Obj
+      [ ("type", Json.String "result");
+        ("id", Json.String id);
+        ("key", Json.String key);
+        ("cached", Json.Bool cached);
+        ("artifact", Codec.artifact_to_json artifact) ]
+  | Error_resp { id; diag } ->
+    Json.Obj
+      [ ("type", Json.String "error");
+        ("id", match id with None -> Json.Null | Some s -> Json.String s);
+        ("diag", diag_to_json diag) ]
+  | Pong -> Json.Obj [ ("type", Json.String "pong") ]
+  | Stats_resp { jobs_done; cache_hits; cache_misses; cache_entries } ->
+    Json.Obj
+      [ ("type", Json.String "stats");
+        ("jobs_done", Json.Int jobs_done);
+        ("cache_hits", Json.Int cache_hits);
+        ("cache_misses", Json.Int cache_misses);
+        ("cache_entries", Json.Int cache_entries) ]
+  | Bye -> Json.Obj [ ("type", Json.String "bye") ]
+
+let response_to_frame r = Json.to_string (response_to_json r)
+
+let ( let* ) = Result.bind
+
+let response_of_frame line =
+  let* j = Json.parse line in
+  let str name =
+    match Option.bind (Json.member name j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error ("response without " ^ name)
+  in
+  match Option.bind (Json.member "type" j) Json.to_str with
+  | None -> Error "response without \"type\""
+  | Some "pong" -> Ok Pong
+  | Some "bye" -> Ok Bye
+  | Some "event" ->
+    let* id = str "id" in
+    let* stage_name = str "stage" in
+    let* ms =
+      match Option.bind (Json.member "ms" j) Json.to_float with
+      | Some f -> Ok f
+      | None -> Error "event without ms"
+    in
+    Ok (Event { id; stage_name; ms })
+  | Some "result" ->
+    let* id = str "id" in
+    let* key = str "key" in
+    let* cached =
+      match Option.bind (Json.member "cached" j) Json.to_bool with
+      | Some b -> Ok b
+      | None -> Error "result without cached"
+    in
+    let* artifact =
+      match Json.member "artifact" j with
+      | Some a -> Codec.artifact_of_json a
+      | None -> Error "result without artifact"
+    in
+    Ok (Result { id; key; cached; artifact })
+  | Some "error" ->
+    let id =
+      match Json.member "id" j with
+      | Some (Json.String s) -> Some s
+      | _ -> None
+    in
+    let* diag =
+      match Json.member "diag" j with
+      | Some d -> diag_of_json d
+      | None -> Error "error without diag"
+    in
+    Ok (Error_resp { id; diag })
+  | Some "stats" ->
+    let int name =
+      match Option.bind (Json.member name j) Json.to_int with
+      | Some i -> Ok i
+      | None -> Error ("stats without " ^ name)
+    in
+    let* jobs_done = int "jobs_done" in
+    let* cache_hits = int "cache_hits" in
+    let* cache_misses = int "cache_misses" in
+    let* cache_entries = int "cache_entries" in
+    Ok (Stats_resp { jobs_done; cache_hits; cache_misses; cache_entries })
+  | Some t -> Error ("unknown response type " ^ t)

@@ -1,0 +1,99 @@
+(** The compile service's wire protocol.
+
+    One message per line ({!Nanomap_util.Framing}), each line one JSON
+    object with a ["type"] member. Client to server:
+
+    - [{"type":"job","id":ID,"design":D,"arch":A?,"options":O?}] — compile
+      a design. [ID] is a client-chosen correlation string echoed on every
+      response for this job. [D] is either
+      [{"kind":"rtl","text":T}] (canonical {!Nanomap_flow.Codec.rtl_to_string}
+      text) or [{"kind":"circuit","name":N}] (a built-in benchmark, resolved
+      server-side). [A]/[O] default to {!Nanomap_arch.Arch.default} and
+      {!Nanomap_flow.Flow.default_options}.
+    - [{"type":"ping"}], [{"type":"stats"}], [{"type":"shutdown"}].
+
+    Server to client:
+
+    - [{"type":"event","id":ID,"stage":S,"ms":F}] — one per flow stage,
+      streamed before the job's result (replayed from the report's
+      telemetry span tree; a cache hit emits a single ["cache"] stage).
+    - [{"type":"result","id":ID,"key":K,"cached":B,"artifact":...}].
+    - [{"type":"error","id":ID?,"diag":{stage,severity,code,message,context}}]
+      — a flow failure (the job's id) or a protocol rejection (id absent
+      or [null] when the request was too broken to carry one).
+    - [{"type":"pong"}], [{"type":"stats",...}], [{"type":"bye"}].
+
+    {2 Rejection taxonomy}
+
+    Malformed traffic maps to typed {!Nanomap_util.Diag.t} values at stage
+    ["serve"], with stable codes the protocol tests assert on:
+    [bad-json] (not JSON), [bad-request] (JSON, wrong shape),
+    [oversized] (frame over the byte bound), [truncated] (EOF inside a
+    line), [bad-design] (unparseable netlist / unknown circuit). A
+    rejection is always per-message: the daemon answers with an error
+    frame and keeps serving. *)
+
+module Json = Nanomap_util.Json
+module Diag = Nanomap_util.Diag
+module Codec = Nanomap_flow.Codec
+
+val stage : string
+(** ["serve"] — the diagnostics' stage tag. *)
+
+type design_src =
+  | Rtl_text of string   (** canonical netlist text, parsed server-side *)
+  | Circuit of string    (** built-in benchmark name *)
+
+type job = {
+  id : string;
+  design : design_src;
+  arch : Nanomap_arch.Arch.t;
+  options : Nanomap_flow.Flow.options;
+}
+
+type request =
+  | Job of job
+  | Ping
+  | Stats_req
+  | Shutdown
+
+type stats = {
+  jobs_done : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+}
+
+type response =
+  | Event of { id : string; stage_name : string; ms : float }
+  | Result of { id : string; key : string; cached : bool; artifact : Codec.artifact }
+  | Error_resp of { id : string option; diag : Diag.t }
+  | Pong
+  | Stats_resp of stats
+  | Bye
+
+(** {2 Decoding (server side)} *)
+
+val request_of_frame : string -> (request, Diag.t) result
+(** Parse one line. All failures are [serve/bad-json] or
+    [serve/bad-request] diagnostics with the offending detail in context.
+    Does {e not} resolve the design source (that needs the circuit table
+    and belongs to the engine — see [serve/bad-design] there). *)
+
+val oversized : limit:int -> int -> Diag.t
+(** The [serve/oversized] rejection for a frame of the given length. *)
+
+val truncated : int -> Diag.t
+(** The [serve/truncated] rejection (EOF after N buffered bytes). *)
+
+val bad_design : string -> Diag.t
+(** The [serve/bad-design] rejection. *)
+
+(** {2 Encoding} *)
+
+val request_to_frame : request -> string
+val response_to_frame : response -> string
+
+(** {2 Client-side decoding} *)
+
+val response_of_frame : string -> (response, string) result

@@ -1,0 +1,366 @@
+module Pool = Nanomap_util.Pool
+module Diag = Nanomap_util.Diag
+module Framing = Nanomap_util.Framing
+module Telemetry = Nanomap_util.Telemetry
+module Codec = Nanomap_flow.Codec
+module Flow = Nanomap_flow.Flow
+module Circuits = Nanomap_circuits.Circuits
+
+type engine = {
+  pool : Pool.t;
+  cache : Cache.t;
+  mutable jobs_done : int;
+}
+
+let create_engine ?(jobs = 1) ?cache () =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  { pool = Pool.create ~jobs:(Pool.resolve_jobs jobs) (); cache; jobs_done = 0 }
+
+let shutdown_engine eng = Pool.shutdown eng.pool
+let engine_cache eng = eng.cache
+
+let engine_stats eng =
+  { Proto.jobs_done = eng.jobs_done;
+    cache_hits = Cache.hits eng.cache;
+    cache_misses = Cache.misses eng.cache;
+    cache_entries = Cache.mem_entries eng.cache }
+
+(* -------------------------------------------------------------- engine *)
+
+let resolve_design = function
+  | Proto.Rtl_text text -> (
+    try Ok (Codec.rtl_of_string text)
+    with Failure msg -> Error (Proto.bad_design msg))
+  | Proto.Circuit name -> (
+    match Circuits.by_name name with
+    | b -> Ok b.Circuits.design
+    | exception Not_found -> Error (Proto.bad_design ("unknown circuit " ^ name)))
+
+let hit_responses id key artifact =
+  [ Proto.Event { id; stage_name = "cache"; ms = 0.0 };
+    Proto.Result { id; key; cached = true; artifact } ]
+
+let events_of_report id (report : Flow.report) =
+  List.map
+    (fun (s : Telemetry.span) ->
+      Proto.Event { id; stage_name = s.Telemetry.span_name; ms = Telemetry.span_ms s })
+    (Telemetry.spans report.Flow.telemetry)
+
+(* What the second pass still has to fill in for one request. *)
+type slot =
+  | Immediate of Proto.response list
+  | Await of { id : string; key : string }
+
+let handle_batch eng requests =
+  (* pass 1: resolve, answer cache hits, collect unique misses in order *)
+  let pending = Hashtbl.create 8 in
+  let order = ref [] in
+  let slots =
+    List.map
+      (fun req ->
+        match req with
+        | Proto.Ping -> Immediate [ Proto.Pong ]
+        | Proto.Stats_req -> Immediate [ Proto.Stats_resp (engine_stats eng) ]
+        | Proto.Shutdown -> Immediate [ Proto.Bye ]
+        | Proto.Job { Proto.id; design; arch; options } -> (
+          match resolve_design design with
+          | Error diag ->
+            eng.jobs_done <- eng.jobs_done + 1;
+            Immediate [ Proto.Error_resp { id = Some id; diag } ]
+          | Ok rtl -> (
+            let key = Codec.content_key ~design:rtl ~arch ~options in
+            if Hashtbl.mem pending key then Await { id; key }
+            else
+              match Cache.find eng.cache key with
+              | Some artifact ->
+                eng.jobs_done <- eng.jobs_done + 1;
+                Immediate (hit_responses id key artifact)
+              | None ->
+                Hashtbl.add pending key (rtl, arch, options);
+                order := key :: !order;
+                Await { id; key })))
+      requests
+  in
+  (* compile the unique misses on the pool. Each job runs with jobs = 1
+     (a pool map must not nest); batch-level parallelism is the pool's.
+     Tasks never raise — a failing job becomes its own Error and cannot
+     poison the rest of the batch (Pool re-raises the first exception). *)
+  let uniq = Array.of_list (List.rev !order) in
+  let computed =
+    Pool.map eng.pool
+      ~f:(fun key ->
+        let rtl, arch, options = Hashtbl.find pending key in
+        let options = { options with Flow.jobs = 1 } in
+        match Flow.run_result ~options ~arch rtl with
+        | Ok report -> Ok (report, Codec.artifact_of_report report)
+        | Error diag -> Error diag
+        | exception exn -> (
+          match Diag.of_exn ~stage:Proto.stage exn with
+          | Some diag -> Error diag
+          | None -> raise exn))
+      uniq
+  in
+  let outcomes = Hashtbl.create 8 in
+  Array.iteri
+    (fun i key ->
+      Hashtbl.replace outcomes key computed.(i);
+      match computed.(i) with
+      | Ok (_, artifact) -> Cache.store eng.cache key artifact
+      | Error _ -> ())
+    uniq;
+  (* pass 2: answer in submission order; within-batch duplicates of a
+     computed key are served back through the cache so hit accounting
+     reflects the reuse *)
+  let first_served = Hashtbl.create 8 in
+  List.map
+    (fun slot ->
+      match slot with
+      | Immediate rs -> rs
+      | Await { id; key } -> (
+        eng.jobs_done <- eng.jobs_done + 1;
+        match Hashtbl.find outcomes key with
+        | Error diag -> [ Proto.Error_resp { id = Some id; diag } ]
+        | Ok (report, artifact) ->
+          if not (Hashtbl.mem first_served key) then begin
+            Hashtbl.add first_served key ();
+            events_of_report id report
+            @ [ Proto.Result { id; key; cached = false; artifact } ]
+          end
+          else
+            let artifact =
+              match Cache.find eng.cache key with
+              | Some a -> a
+              | None -> artifact (* evicted under churn; still correct *)
+            in
+            hit_responses id key artifact))
+    slots
+
+(* --------------------------------------------------------------- stdio *)
+
+let serve_channels eng ic oc =
+  let respond rs =
+    List.iter (fun r -> Framing.write_frame oc (Proto.response_to_frame r)) rs
+  in
+  let rec loop () =
+    match Framing.read_frame ic with
+    | `Eof -> ()
+    | `Truncated partial ->
+      respond
+        [ Proto.Error_resp
+            { id = None; diag = Proto.truncated (String.length partial) } ]
+    | `Oversized n ->
+      respond
+        [ Proto.Error_resp
+            { id = None;
+              diag = Proto.oversized ~limit:Framing.default_max_bytes n } ];
+      loop ()
+    | `Frame line -> (
+      match Proto.request_of_frame line with
+      | Error diag ->
+        respond [ Proto.Error_resp { id = None; diag } ];
+        loop ()
+      | Ok req -> (
+        respond (List.concat (handle_batch eng [ req ]));
+        match req with
+        | Proto.Shutdown -> ()
+        | _ -> loop ()))
+  in
+  loop ()
+
+(* ---------------------------------------------------------- unix socket *)
+
+type conn = {
+  fd : Unix.file_descr;
+  splitter : Framing.Splitter.t;
+  out : Buffer.t;           (* responses not yet accepted by the kernel *)
+  mutable alive : bool;     (* read side still open *)
+  mutable broken : bool;    (* write side failed; discard the connection *)
+}
+
+(* The daemon must never block on a slow reader: a client that pipelines
+   a long burst of jobs before reading any responses would otherwise
+   deadlock it (daemon stuck writing, client stuck writing). Sockets are
+   nonblocking; what the kernel won't take stays in [conn.out] and is
+   retried when select reports the descriptor writable. *)
+let flush_conn c =
+  if (not c.broken) && Buffer.length c.out > 0 then begin
+    let s = Buffer.contents c.out in
+    Buffer.clear c.out;
+    let n = String.length s in
+    let rec go off =
+      if off < n then
+        match Unix.write_substring c.fd s off (n - off) with
+        | 0 -> c.broken <- true
+        | w -> go (off + w)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          Buffer.add_substring c.out s off (n - off)
+        | exception Unix.Unix_error _ -> c.broken <- true
+    in
+    go 0
+  end
+
+let send_responses conn rs =
+  if not conn.broken then begin
+    List.iter
+      (fun r ->
+        Buffer.add_string conn.out (Proto.response_to_frame r);
+        Buffer.add_char conn.out '\n')
+      rs;
+    flush_conn conn
+  end
+
+let serve_unix ?(max_bytes = Framing.default_max_bytes) ?(on_ready = fun () -> ())
+    eng ~socket_path =
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    try Sys.remove socket_path with Sys_error _ -> ()
+  in
+  (try
+     Unix.bind listener (Unix.ADDR_UNIX socket_path);
+     Unix.listen listener 64
+   with e -> cleanup (); raise e);
+  on_ready ();
+  let conns = ref [] in
+  let buf = Bytes.create 65536 in
+  let stop = ref false in
+  (try
+     while not !stop do
+       (* a connection stays registered until its read side is closed AND
+          everything it is owed has been flushed *)
+       let live, dead =
+         List.partition
+           (fun c -> (not c.broken) && (c.alive || Buffer.length c.out > 0))
+           !conns
+       in
+       List.iter
+         (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+         dead;
+       conns := live;
+       let rset =
+         listener :: List.filter_map (fun c -> if c.alive then Some c.fd else None) live
+       and wset =
+         List.filter_map
+           (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+           live
+       in
+       let readable, writable, _ = Unix.select rset wset [] (-1.0) in
+       List.iter (fun c -> if List.mem c.fd writable then flush_conn c) live;
+       if List.mem listener readable then begin
+         let fd, _ = Unix.accept listener in
+         Unix.set_nonblock fd;
+         conns :=
+           !conns
+           @ [ { fd; splitter = Framing.Splitter.create ~max_bytes ();
+                 out = Buffer.create 256; alive = true; broken = false } ]
+       end;
+       (* drain every readable connection; queue keeps arrival order *)
+       let queue = ref [] in
+       List.iter
+         (fun c ->
+           if c.alive && List.mem c.fd readable then begin
+             let eof () =
+               (match Framing.Splitter.finish c.splitter with
+               | Some partial ->
+                 queue := (c, `Err (Proto.truncated (String.length partial))) :: !queue
+               | None -> ());
+               c.alive <- false
+             in
+             match Unix.read c.fd buf 0 (Bytes.length buf) with
+             | exception
+                 Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+               ->
+               ()
+             | exception Unix.Unix_error _ -> eof ()
+             | 0 -> eof ()
+             | n ->
+               List.iter
+                 (fun frame ->
+                   match frame with
+                   | Framing.Frame line -> (
+                     match Proto.request_of_frame line with
+                     | Ok r -> queue := (c, `Req r) :: !queue
+                     | Error diag -> queue := (c, `Err diag) :: !queue)
+                   | Framing.Oversized n ->
+                     queue := (c, `Err (Proto.oversized ~limit:max_bytes n)) :: !queue)
+                 (Framing.Splitter.feed c.splitter (Bytes.sub_string buf 0 n))
+           end)
+         live;
+       let queue = List.rev !queue in
+       let batch =
+         List.filter_map (function _, `Req r -> Some r | _, `Err _ -> None) queue
+       in
+       let answers = handle_batch eng batch in
+       (* hand each answer back to its requester, still in arrival order *)
+       let rec dispatch queue answers =
+         match queue, answers with
+         | [], _ -> ()
+         | (c, `Err diag) :: rest, answers ->
+           send_responses c [ Proto.Error_resp { id = None; diag } ];
+           dispatch rest answers
+         | (c, `Req r) :: rest, rs :: answers ->
+           send_responses c rs;
+           (match r with Proto.Shutdown -> stop := true | _ -> ());
+           dispatch rest answers
+         | (_, `Req _) :: _, [] -> ()
+       in
+       dispatch queue answers
+       (* closed connections are reaped at the top of the next iteration,
+          once their remaining output has drained *)
+     done
+   with e -> cleanup (); raise e);
+  (* drain what each connection is still owed (e.g. the Bye) before
+     closing; bounded so a wedged client cannot hold the daemon open *)
+  let rec drain c tries =
+    if tries > 0 && (not c.broken) && Buffer.length c.out > 0 then begin
+      ignore (Unix.select [] [ c.fd ] [] 1.0);
+      flush_conn c;
+      drain c (tries - 1)
+    end
+  in
+  List.iter
+    (fun c ->
+      drain c 10;
+      try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !conns;
+  cleanup ()
+
+(* -------------------------------------------------------------- client *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+  let connect ~socket_path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+  let close t =
+    (try flush t.oc with Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+  let send t r = Framing.write_frame t.oc (Proto.request_to_frame r)
+
+  let recv t =
+    match Framing.read_frame t.ic with
+    | `Frame line -> (
+      match Proto.response_of_frame line with
+      | Ok r -> r
+      | Error e -> failwith ("malformed response: " ^ e))
+    | `Eof -> failwith "connection closed"
+    | `Truncated _ -> failwith "truncated response"
+    | `Oversized _ -> failwith "oversized response"
+
+  let recv_result t =
+    let rec go events =
+      match recv t with
+      | Proto.Event _ as e -> go (e :: events)
+      | terminator -> (List.rev events, terminator)
+    in
+    go []
+end

@@ -1,0 +1,88 @@
+(** The compile service: a persistent daemon that accepts compile jobs
+    over the line-framed JSON protocol ({!Proto}), schedules batches onto
+    the deterministic domain pool, memoizes results by content hash
+    ({!Cache}, keys from {!Nanomap_flow.Codec.content_key}) and streams
+    per-stage telemetry events back before each result.
+
+    {2 Scheduling model}
+
+    The daemon drains every request currently queued (across all
+    connections, in arrival order) into one {e batch}, then:
+
+    + resolves each job's design and computes its content key;
+    + answers cache hits immediately (one ["cache"] event, then the
+      result with [cached = true]);
+    + deduplicates the remaining misses by key {e within the batch} and
+      compiles the unique designs on the pool — each compile runs with
+      the job's options forced to [jobs = 1] (maps on one pool must not
+      nest; batch-level parallelism is the pool's);
+    + stores finished artifacts and answers every requester in
+      submission order — duplicate submissions of a computed key are
+      answered from the cache ([cached = true]).
+
+    A failing job answers {e only} its own requester with the flow's
+    typed diagnostic; other jobs in the batch are unaffected, and the
+    daemon keeps serving (first-failure isolation is per job, not per
+    batch). Protocol-level garbage (bad JSON, oversized or truncated
+    frames) is likewise answered per message with a [serve/*] diagnostic
+    — see {!Proto}. *)
+
+type engine
+
+val create_engine : ?jobs:int -> ?cache:Cache.t -> unit -> engine
+(** [jobs] is the pool width for batch compiles (default 1; resolved via
+    {!Nanomap_util.Pool.resolve_jobs}). [cache] defaults to a fresh
+    memory-only cache. *)
+
+val shutdown_engine : engine -> unit
+(** Stop the pool. Idempotent. *)
+
+val engine_cache : engine -> Cache.t
+val engine_stats : engine -> Proto.stats
+
+val handle_batch : engine -> Proto.request list -> Proto.response list list
+(** The scheduling core, exposed for tests and the load-generator bench:
+    one response list per request, in submission order ([Shutdown] answers
+    [Bye] — stopping the surrounding loop is the caller's job). *)
+
+(** {2 Server loops} *)
+
+val serve_channels : engine -> in_channel -> out_channel -> unit
+(** The stdio framing fallback: read one request per line, answer on
+    [out], until [Shutdown], end-of-input, or a truncated final line
+    (answered with [serve/truncated] before returning). Single-client,
+    sequential — what the protocol tests drive. *)
+
+val serve_unix :
+  ?max_bytes:int ->
+  ?on_ready:(unit -> unit) ->
+  engine ->
+  socket_path:string ->
+  unit
+(** The daemon proper: listen on a unix socket, multiplex connections
+    with [select], drain all readable traffic into a batch, answer, and
+    repeat until a [Shutdown] arrives (every connection then receives
+    its pending answers, the listener closes, and the socket file is
+    removed). [on_ready] fires once the socket is listening (the tests'
+    startup barrier). [max_bytes] is the per-frame bound
+    (default {!Nanomap_util.Framing.default_max_bytes}). *)
+
+(** {2 Client side} *)
+
+module Client : sig
+  type t
+
+  val connect : socket_path:string -> t
+  (** Raises [Unix.Unix_error] if the daemon is not there. *)
+
+  val close : t -> unit
+  val send : t -> Proto.request -> unit
+
+  val recv : t -> Proto.response
+  (** Blocking. Raises [Failure] on a malformed frame or closed
+      connection. *)
+
+  val recv_result : t -> Proto.response list * Proto.response
+  (** Read until a job terminator ([Result], [Error_resp], or [Bye]):
+      returns the streamed events and the terminator. *)
+end

@@ -1,0 +1,106 @@
+let default_max_bytes = 4 * 1024 * 1024
+
+type frame =
+  | Frame of string
+  | Oversized of int
+
+module Splitter = struct
+  type t = {
+    max_bytes : int;
+    buf : Buffer.t;
+    mutable discarding : bool;  (* inside an oversized line, past the bound *)
+    mutable discarded : int;    (* bytes dropped of the current oversized line *)
+    mutable finished : bool;
+  }
+
+  let create ?(max_bytes = default_max_bytes) () =
+    { max_bytes; buf = Buffer.create 256; discarding = false; discarded = 0;
+      finished = false }
+
+  let pending_bytes t = Buffer.length t.buf + t.discarded
+
+  let feed t chunk =
+    if t.finished then invalid_arg "Framing.Splitter.feed: already finished";
+    let frames = ref [] in
+    let emit f = frames := f :: !frames in
+    String.iter
+      (fun c ->
+        if c = '\n' then begin
+          if t.discarding then begin
+            (* the oversized frame was already reported when the bound was
+               crossed; the newline just re-synchronizes the stream *)
+            t.discarding <- false;
+            t.discarded <- 0
+          end
+          else begin
+            let line = Buffer.contents t.buf in
+            Buffer.clear t.buf;
+            (* tolerate \r\n peers *)
+            let line =
+              let n = String.length line in
+              if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+              else line
+            in
+            if line <> "" then emit (Frame line)
+          end
+        end
+        else if t.discarding then t.discarded <- t.discarded + 1
+        else begin
+          Buffer.add_char t.buf c;
+          if Buffer.length t.buf > t.max_bytes then begin
+            emit (Oversized (Buffer.length t.buf));
+            Buffer.clear t.buf;
+            t.discarding <- true;
+            t.discarded <- 0
+          end
+        end)
+      chunk;
+    List.rev !frames
+
+  let finish t =
+    t.finished <- true;
+    if t.discarding then begin
+      t.discarding <- false;
+      None (* already reported as Oversized *)
+    end
+    else if Buffer.length t.buf > 0 then begin
+      let partial = Buffer.contents t.buf in
+      Buffer.clear t.buf;
+      Some partial
+    end
+    else None
+end
+
+let read_frame ?max_bytes ic =
+  (* Character loop rather than [input_line]: the latter cannot tell a
+     newline-terminated final line from a truncated one. *)
+  let splitter = Splitter.create ?max_bytes () in
+  (* The splitter dies with this call, so an oversized line must be
+     drained to its newline here or its tail would leak into the next
+     call as a garbage frame. *)
+  let rec drain n =
+    match input_char ic with
+    | '\n' -> `Oversized n
+    | _ -> drain (n + 1)
+    | exception End_of_file -> `Oversized n
+  in
+  let rec loop () =
+    match input_char ic with
+    | c -> (
+      match Splitter.feed splitter (String.make 1 c) with
+      | [] -> loop ()
+      | Frame line :: _ -> `Frame line
+      | Oversized n :: _ -> drain n)
+    | exception End_of_file -> (
+      match Splitter.finish splitter with
+      | Some partial -> `Truncated partial
+      | None -> `Eof)
+  in
+  loop ()
+
+let write_frame oc line =
+  if String.contains line '\n' then
+    invalid_arg "Framing.write_frame: embedded newline";
+  output_string oc line;
+  output_char oc '\n';
+  flush oc

@@ -1,0 +1,65 @@
+(** Line framing for the compile service's wire protocol.
+
+    A message is one line: a JSON document followed by ['\n']. The framing
+    layer enforces a size bound {e before} any parsing happens, so a
+    misbehaving client cannot make the daemon buffer an unbounded request,
+    and distinguishes three degenerate shapes the protocol tests exercise:
+
+    - {e oversized}: a line longer than [max_bytes]. The splitter keeps
+      consuming (and discarding) until the terminating newline, so the
+      stream re-synchronizes on the next message;
+    - {e truncated}: end-of-input in the middle of a line (no final
+      newline) — the peer died mid-message;
+    - {e empty} lines, which are tolerated and skipped (keep-alive).
+
+    {!Splitter} is incremental (feed arbitrary byte chunks, collect whole
+    frames), which is what the select-based socket loop needs: bytes from
+    interleaved clients arrive in arbitrary segment boundaries and each
+    connection owns one splitter. {!read_frame} wraps a splitter around a
+    blocking [in_channel] for the stdin fallback. *)
+
+val default_max_bytes : int
+(** 4 MiB — comfortably above any real job request (a thousand-LUT design
+    serializes to tens of kilobytes) and far below anything that could
+    pressure the daemon. *)
+
+type frame =
+  | Frame of string      (** one complete line, newline stripped *)
+  | Oversized of int     (** a line exceeded the bound; payload discarded,
+                             the total length consumed so far is reported *)
+
+(** {2 Incremental splitting} *)
+
+module Splitter : sig
+  type t
+
+  val create : ?max_bytes:int -> unit -> t
+
+  val feed : t -> string -> frame list
+  (** Append a chunk; return the complete frames it finished, in order.
+      Empty lines are dropped. An oversized line yields exactly one
+      [Oversized] frame (when its terminating newline arrives, or
+      immediately once the bound is crossed — the rest of that line is
+      then discarded silently). *)
+
+  val finish : t -> string option
+  (** End-of-input: returns the unterminated partial line, if any (the
+      {e truncated} case — never a valid frame). The splitter must not be
+      fed afterwards. *)
+
+  val pending_bytes : t -> int
+  (** Bytes buffered for the line in progress (diagnostics). *)
+end
+
+(** {2 Channel convenience} *)
+
+val read_frame :
+  ?max_bytes:int ->
+  in_channel ->
+  [ `Frame of string | `Oversized of int | `Eof | `Truncated of string ]
+(** Blocking read of the next frame from a channel (skipping empty
+    lines). [`Truncated] carries the partial final line. *)
+
+val write_frame : out_channel -> string -> unit
+(** Write [line ^ "\n"] and flush. Raises [Invalid_argument] if [line]
+    contains a newline (it would forge an extra frame). *)

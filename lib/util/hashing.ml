@@ -1,0 +1,19 @@
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+let digest_parts parts =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  digest_hex (Buffer.contents buf)
+
+let is_key s =
+  String.length s = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let short s = if String.length s <= 12 then s else String.sub s 0 12

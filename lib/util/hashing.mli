@@ -1,0 +1,29 @@
+(** Content hashing for the artifact cache.
+
+    A compile job's cache key is the digest of a {e canonical
+    serialization} of its inputs (netlist, architecture parameters, flow
+    options). The determinism contract is therefore exactly the
+    serializers': byte-identical canonical forms — and only those — share
+    a cache entry. The digest itself is the stdlib's MD5 ({!Stdlib.Digest}),
+    which is fine here: keys index a local trusted cache, they are not a
+    security boundary.
+
+    Keys are rendered as 32 lowercase hex characters; {!is_key} validates
+    the shape before a key is used as an on-disk path component. *)
+
+val digest_hex : string -> string
+(** MD5 of the string, lowercase hex (32 chars). *)
+
+val digest_parts : string list -> string
+(** Digest of the parts joined with an unambiguous length-prefixed
+    framing ([<decimal length>:<bytes>] per part, concatenated), so
+    [["ab"; "c"]] and [["a"; "bc"]] hash differently. This is the job-key
+    entry point: each part is one canonical section (format tag, netlist,
+    arch, options). *)
+
+val is_key : string -> bool
+(** 32 lowercase-hex characters — a value {!digest_hex} could have
+    produced. *)
+
+val short : string -> string
+(** First 12 characters — for logs and telemetry labels. *)

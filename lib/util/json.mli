@@ -1,0 +1,63 @@
+(** A minimal JSON tree with a strict parser and a {e stable} printer.
+
+    The compile service's wire protocol, the artifact cache's on-disk
+    metadata and the bench reports all speak JSON; nothing in the toolchain
+    may depend on an external JSON package, so this is a small, total
+    implementation of RFC 8259's essentials:
+
+    - the printer emits no insignificant whitespace and keeps object
+      members in the order the value carries them, so a value prints
+      byte-identically on every run — serialized artifacts can be compared
+      (and content-hashed) as strings;
+    - the parser accepts exactly what the printer emits plus ordinary
+      interchange JSON (whitespace, nested containers, escapes, floats);
+      it rejects trailing garbage, unterminated strings and literals it
+      does not know, with a character position in the error;
+    - numbers are split into [Int] (fits in an OCaml [int], printed with
+      no decimal point) and [Float] (printed with round-trip precision),
+      which keeps integer fields exact.
+
+    Not supported (not needed by the protocol): surrogate-pair unicode
+    escapes are passed through as their escaped form rather than decoded. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Stable, whitespace-free rendering. Object members keep their order;
+    strings are escaped per JSON (quote, backslash, control characters as
+    [u00XX] escapes); floats use the shortest representation that
+    round-trips ([%.17g] fallback), with non-finite floats rendered as
+    [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value covering the whole string (surrounding
+    whitespace allowed). [Error] carries ["offset N: reason"]. Never
+    raises. *)
+
+val parse_exn : string -> t
+(** [parse] or [Failure]. *)
+
+(** {2 Accessors}
+
+    Total lookups used by the protocol decoder; all return [option]
+    rather than raising. *)
+
+val member : string -> t -> t option
+(** Object member by name ([None] on non-objects too). *)
+
+val to_int : t -> int option
+(** [Int] directly; [Float] only when integral. *)
+
+val to_float : t -> float option
+(** [Float] or [Int]. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,803 @@
+(* The compile service: line framing, protocol rejections (each with its
+   typed Diag code, daemon surviving), the batch engine's first-failure
+   isolation, the stage-I/O codecs, and the content-addressed cache —
+   differential matrix against cold compiles, key soundness under option
+   and netlist mutations, determinism at -j1 vs -j4, LRU bound, disk
+   tier, and the PR-4 oracle on a replayed cached bitstream. *)
+
+module Rtl = Nanomap_rtl.Rtl
+module Arch = Nanomap_arch.Arch
+module Defect = Nanomap_arch.Defect
+module Mapper = Nanomap_core.Mapper
+module Router = Nanomap_route.Router
+module Bitstream = Nanomap_bitstream.Bitstream
+module Flow = Nanomap_flow.Flow
+module Check = Nanomap_flow.Check
+module Codec = Nanomap_flow.Codec
+module Diag = Nanomap_util.Diag
+module Json = Nanomap_util.Json
+module Framing = Nanomap_util.Framing
+module Hashing = Nanomap_util.Hashing
+module Rng = Nanomap_util.Rng
+module Circuits = Nanomap_circuits.Circuits
+module Gen_rtl = Nanomap_verify.Gen_rtl
+module Fuzz = Nanomap_verify.Fuzz
+module Oracle = Nanomap_verify.Oracle
+module Proto = Nanomap_serve.Proto
+module Cache = Nanomap_serve.Cache
+module Serve = Nanomap_serve.Serve
+
+let check = Alcotest.check
+
+let opts ?(objective = Flow.Fixed_level 1) ?(mapper = Mapper.Truth_table)
+    ?(seed = 1) ?(physical = true) () =
+  { Flow.default_options with
+    Flow.objective; mapper; seed; physical;
+    check_level = Check.Off }
+
+let circuit name = (Circuits.by_name name).Circuits.design
+
+let job ?(id = "j0") ?arch ?options design =
+  { Proto.id;
+    design = Proto.Rtl_text (Codec.rtl_to_string design);
+    arch = (match arch with Some a -> a | None -> Arch.default);
+    options = (match options with Some o -> o | None -> opts ()) }
+
+let with_engine ?jobs ?cache f =
+  let eng = Serve.create_engine ?jobs ?cache () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown_engine eng) (fun () -> f eng)
+
+let terminator = function
+  | [] -> Alcotest.fail "empty response list"
+  | rs -> List.nth rs (List.length rs - 1)
+
+(* Proto.Result carries an inlined record, which cannot escape its
+   constructor; mirror it in a nominal record for test plumbing. *)
+type answer =
+  { id : string; key : string; cached : bool; artifact : Codec.artifact }
+
+let expect_result responses =
+  match terminator responses with
+  | Proto.Result { id; key; cached; artifact } -> { id; key; cached; artifact }
+  | Proto.Error_resp { diag; _ } ->
+    Alcotest.fail ("expected result, got error: " ^ Diag.to_string diag)
+  | _ -> Alcotest.fail "expected result"
+
+(* ------------------------------------------------------------- json *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("a", Json.Int 42); ("b", Json.Float 2.5); ("s", Json.String "x\"\n\t");
+        ("n", Json.Null); ("l", Json.List [ Json.Bool true; Json.Int (-7) ]);
+        ("o", Json.Obj [ ("nested", Json.Float 1e-9) ]) ]
+  in
+  let s = Json.to_string v in
+  (match Json.parse s with
+  | Ok v' -> check Alcotest.bool "tree round-trips" true (v = v')
+  | Error e -> Alcotest.fail e);
+  check Alcotest.string "stable printing" s
+    (Json.to_string (Json.parse_exn (Json.to_string v)));
+  (match Json.parse "{\"a\":1} trailing" with
+  | Error e -> check Alcotest.bool "offset in error" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (match Json.parse "{broken" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed object accepted");
+  check (Alcotest.option Alcotest.int) "integral float as int" (Some 3)
+    (Json.to_int (Json.Float 3.0))
+
+(* ---------------------------------------------------------- framing *)
+
+let test_splitter_chunks () =
+  let sp = Framing.Splitter.create () in
+  let frames = ref [] in
+  List.iter
+    (fun chunk -> frames := !frames @ Framing.Splitter.feed sp chunk)
+    [ "{\"a\""; ":1}\r\n\n{\"b\""; ":2}\n{\"c\"" ];
+  check Alcotest.int "two complete frames" 2 (List.length !frames);
+  (match !frames with
+  | [ Framing.Frame a; Framing.Frame b ] ->
+    check Alcotest.string "crlf stripped" "{\"a\":1}" a;
+    check Alcotest.string "second frame" "{\"b\":2}" b
+  | _ -> Alcotest.fail "unexpected frames");
+  check (Alcotest.option Alcotest.string) "partial line is truncated"
+    (Some "{\"c\"") (Framing.Splitter.finish sp)
+
+let test_splitter_oversized () =
+  let sp = Framing.Splitter.create ~max_bytes:8 () in
+  let frames = Framing.Splitter.feed sp "0123456789abcdef\nok\n" in
+  (match frames with
+  | [ Framing.Oversized n; Framing.Frame ok ] ->
+    check Alcotest.bool "reported length past bound" true (n > 8);
+    check Alcotest.string "stream resynchronizes" "ok" ok
+  | _ -> Alcotest.fail "expected Oversized then Frame");
+  check (Alcotest.option Alcotest.string) "nothing pending" None
+    (Framing.Splitter.finish sp)
+
+let test_write_frame_rejects_newline () =
+  let buf = Buffer.create 8 in
+  let oc =
+    (* no out_channel over a buffer in the stdlib: use a temp file *)
+    open_out "frame-test.txt"
+  in
+  (match Framing.write_frame oc "a\nb" with
+  | () -> Alcotest.fail "embedded newline accepted"
+  | exception Invalid_argument _ -> ());
+  Framing.write_frame oc "fine";
+  close_out oc;
+  let ic = open_in "frame-test.txt" in
+  Buffer.add_channel buf ic (in_channel_length ic);
+  close_in ic;
+  Sys.remove "frame-test.txt";
+  check Alcotest.string "line plus newline" "fine\n" (Buffer.contents buf)
+
+(* ------------------------------------------------------------ codecs *)
+
+let test_rtl_roundtrip () =
+  List.iter
+    (fun name ->
+      let d = circuit name in
+      let text = Codec.rtl_to_string d in
+      let d' = Codec.rtl_of_string text in
+      check Alcotest.string (name ^ " text fixpoint") text (Codec.rtl_to_string d');
+      let o = opts () in
+      check Alcotest.string (name ^ " same content key")
+        (Codec.content_key ~design:d ~arch:Arch.default ~options:o)
+        (Codec.content_key ~design:d' ~arch:Arch.default ~options:o))
+    [ "ex1_small"; "crc8"; "fir"; "c5315" ]
+
+let test_rtl_parse_errors () =
+  (match Codec.rtl_of_string "not a header\n" with
+  | _ -> Alcotest.fail "bad header accepted"
+  | exception Failure msg ->
+    check Alcotest.bool "line number in error" true
+      (String.length msg > 0 &&
+       (let has_sub s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        has_sub msg "line" || has_sub msg "header")));
+  match Codec.rtl_of_string "nanomap-rtl v1 x\ns 0 a 4 bogus 1 2\n" with
+  | _ -> Alcotest.fail "bad driver accepted"
+  | exception Failure msg ->
+    check Alcotest.bool "mentions line 2" true
+      (let n = String.length msg in
+       let rec go i = i < n && (msg.[i] = '2' || go (i + 1)) in
+       go 0)
+
+let test_options_roundtrip () =
+  let o =
+    { Flow.objective = Flow.Both (90, 12.5);
+      physical = false;
+      seed = 17;
+      routability_threshold = 6.25;
+      max_place_retries = 5;
+      route_alg = Router.Full;
+      check_level = Check.Full;
+      defects = Defect.of_string "le 1 0 0 2\ntrack len4 3\n";
+      route_caps =
+        (let c = Flow.default_options.Flow.route_caps in
+         { c with Nanomap_route.Rr_graph.len1_tracks = 9 });
+      mapper = Mapper.Aig;
+      aig_effort = 3;
+      jobs = 4;
+      portfolio = 2 }
+  in
+  (match Codec.options_of_json (Codec.options_to_json o) with
+  | Ok o' -> check Alcotest.bool "every field round-trips" true (o = o')
+  | Error e -> Alcotest.fail e);
+  match Codec.options_of_json (Json.Obj []) with
+  | Ok o' ->
+    check Alcotest.bool "empty object means defaults" true
+      (o' = Flow.default_options)
+  | Error e -> Alcotest.fail e
+
+let test_arch_roundtrip () =
+  List.iter
+    (fun a ->
+      match Codec.arch_of_json (Codec.arch_to_json a) with
+      | Ok a' -> check Alcotest.bool "arch round-trips" true (a = a')
+      | Error e -> Alcotest.fail e)
+    [ Arch.default; Arch.unbounded_k ]
+
+let test_artifact_roundtrip () =
+  match Flow.run_result ~options:(opts ()) (circuit "ex1_small") with
+  | Error d -> Alcotest.fail (Diag.to_string d)
+  | Ok report ->
+    let a = Codec.artifact_of_report report in
+    check Alcotest.bool "flow produced a bitstream" true (a.Codec.bitstream <> None);
+    let s = Json.to_string (Codec.artifact_to_json a) in
+    (match Result.bind (Json.parse s) Codec.artifact_of_json with
+    | Ok a' ->
+      check Alcotest.bool "artifact round-trips" true (Codec.artifact_equal a a');
+      check Alcotest.string "canonical re-encoding" s
+        (Json.to_string (Codec.artifact_to_json a'))
+    | Error e -> Alcotest.fail e)
+
+(* --------------------------------------------- protocol over channels *)
+
+(* Drive the stdio daemon with a scripted input file and collect the
+   response frames. *)
+let stdio_session lines =
+  let in_file = "serve-stdio-in.txt" and out_file = "serve-stdio-out.txt" in
+  let oc = open_out_bin in_file in
+  output_string oc lines;
+  close_out oc;
+  with_engine (fun eng ->
+      let ic = open_in_bin in_file in
+      let oc = open_out_bin out_file in
+      Serve.serve_channels eng ic oc;
+      close_in ic;
+      close_out oc);
+  let ic = open_in_bin out_file in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  Sys.remove in_file;
+  Sys.remove out_file;
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None
+      else
+        match Proto.response_of_frame line with
+        | Ok r -> Some r
+        | Error e -> Alcotest.fail ("bad response frame: " ^ e))
+    (String.split_on_char '\n' out)
+
+let error_code = function
+  | Proto.Error_resp { diag; _ } -> diag.Diag.code
+  | _ -> Alcotest.fail "expected error response"
+
+let test_protocol_rejections () =
+  let good_job =
+    Proto.request_to_frame (Proto.Job (job (circuit "ex1_small")))
+  in
+  let responses =
+    stdio_session
+      (String.concat "\n"
+         [ "this is not json";
+           "[1,2,3]";
+           "{\"type\":\"job\",\"id\":\"x\"}";
+           "{\"type\":\"warp\"}";
+           "{\"type\":\"ping\"}";
+           good_job;
+           "{\"type\":\"shutdown\"}" ]
+      ^ "\n")
+  in
+  (* the daemon answered every line and survived to the shutdown *)
+  (match responses with
+  | bad_json :: no_type :: no_design :: bad_type :: pong :: rest ->
+    check Alcotest.string "bad-json code" "bad-json" (error_code bad_json);
+    check Alcotest.string "non-object code" "bad-request" (error_code no_type);
+    check Alcotest.string "jobless job code" "bad-request" (error_code no_design);
+    check Alcotest.string "unknown type code" "bad-request" (error_code bad_type);
+    (match pong with
+    | Proto.Pong -> ()
+    | _ -> Alcotest.fail "expected pong after the garbage");
+    (match terminator rest with
+    | Proto.Bye -> ()
+    | _ -> Alcotest.fail "expected bye last");
+    let result =
+      List.find_map
+        (function Proto.Result { cached; _ } -> Some cached | _ -> None)
+        rest
+    in
+    (match result with
+    | Some cached -> check Alcotest.bool "job compiled after garbage" false cached
+    | None -> Alcotest.fail "no result for the good job");
+    check Alcotest.bool "per-stage events streamed" true
+      (List.exists (function Proto.Event _ -> true | _ -> false) rest)
+  | _ -> Alcotest.fail "missing responses");
+  (* every Diag carries the serve stage *)
+  List.iter
+    (fun r ->
+      match r with
+      | Proto.Error_resp { diag; _ } ->
+        check Alcotest.string "serve stage" "serve" diag.Diag.stage
+      | _ -> ())
+    responses
+
+let test_protocol_oversized_truncated () =
+  let huge = String.make (Framing.default_max_bytes + 16) 'x' in
+  let responses =
+    stdio_session
+      ("{\"type\":\"ping\"}\n" ^ huge ^ "\n{\"type\":\"ping\"}\n{\"type\":\"stats\"")
+    (* no final newline: the last line is truncated *)
+  in
+  match responses with
+  | [ Proto.Pong; oversized; Proto.Pong; truncated ] ->
+    check Alcotest.string "oversized code" "oversized" (error_code oversized);
+    check Alcotest.string "truncated code" "truncated" (error_code truncated)
+  | _ -> Alcotest.fail "expected pong, oversized, pong, truncated"
+
+(* ------------------------------------------------------------ engine *)
+
+let test_job_isolation () =
+  with_engine (fun eng ->
+      let d = circuit "ex1_small" in
+      let impossible = opts ~objective:(Flow.Both (1, 0.0001)) () in
+      let batch =
+        [ Proto.Job (job ~id:"good1" d);
+          Proto.Job (job ~id:"bad" ~options:impossible d);
+          Proto.Job (job ~id:"good2" (circuit "crc8")) ]
+      in
+      (match Serve.handle_batch eng batch with
+      | [ r1; r2; r3 ] ->
+        let a1 = expect_result r1 in
+        check Alcotest.string "good1 answered" "good1" a1.id;
+        (match terminator r2 with
+        | Proto.Error_resp { id = Some "bad"; diag } ->
+          check Alcotest.bool "typed flow diagnostic" true
+            (diag.Diag.code <> "")
+        | _ -> Alcotest.fail "bad job should fail alone");
+        let a3 = expect_result r3 in
+        check Alcotest.string "good2 answered" "good2" a3.id
+      | _ -> Alcotest.fail "three answers expected");
+      (* the engine is not poisoned: the next batch still compiles *)
+      match Serve.handle_batch eng [ Proto.Job (job ~id:"after" d) ] with
+      | [ r ] ->
+        let a = expect_result r in
+        check Alcotest.bool "cache hit after the failure" true a.cached
+      | _ -> Alcotest.fail "one answer expected")
+
+let test_batch_dedup () =
+  with_engine (fun eng ->
+      let d = circuit "ex1_small" in
+      let batch =
+        [ Proto.Job (job ~id:"a" d); Proto.Job (job ~id:"b" d);
+          Proto.Job (job ~id:"c" d) ]
+      in
+      match Serve.handle_batch eng batch with
+      | [ ra; rb; rc ] ->
+        let a = expect_result ra and b = expect_result rb and c = expect_result rc in
+        check Alcotest.bool "first is a cold compile" false a.cached;
+        check Alcotest.bool "duplicates are hits" true (b.cached && c.cached);
+        check Alcotest.bool "all keys equal" true (a.key = b.key && b.key = c.key);
+        check Alcotest.bool "identical artifacts" true
+          (Codec.artifact_equal a.artifact b.artifact
+          && Codec.artifact_equal a.artifact c.artifact);
+        let st = Serve.engine_stats eng in
+        check Alcotest.int "one miss" 1 st.Proto.cache_misses
+      | _ -> Alcotest.fail "three answers expected")
+
+(* ---------------------------------------- cache differential matrix *)
+
+let compile_twice design options =
+  with_engine (fun eng ->
+      let once id =
+        match Serve.handle_batch eng [ Proto.Job (job ~id ~options design) ] with
+        | [ rs ] -> expect_result rs
+        | _ -> Alcotest.fail "one answer expected"
+      in
+      let cold = once "cold" in
+      let hot = once "hot" in
+      (cold, hot))
+
+let test_cache_matrix () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (fold_label, objective) ->
+          List.iter
+            (fun mapper ->
+              let label =
+                Printf.sprintf "%s fold=%s mapper=%s" name fold_label
+                  (Mapper.string_of_mapper mapper)
+              in
+              let cold, hot =
+                compile_twice (circuit name) (opts ~objective ~mapper ())
+              in
+              check Alcotest.bool (label ^ ": cold") false cold.cached;
+              check Alcotest.bool (label ^ ": hot") true hot.cached;
+              check Alcotest.bool (label ^ ": artifact byte-identical") true
+                (Codec.artifact_equal cold.artifact hot.artifact);
+              check
+                (Alcotest.array Alcotest.string)
+                (label ^ ": fingerprints") cold.artifact.Codec.fingerprints
+                hot.artifact.Codec.fingerprints;
+              check Alcotest.bool (label ^ ": placement present") true
+                (cold.artifact.Codec.placement <> None);
+              check
+                (Alcotest.option Alcotest.string)
+                (label ^ ": bitstream bytes") cold.artifact.Codec.bitstream
+                hot.artifact.Codec.bitstream;
+              check Alcotest.bool (label ^ ": bitstream present") true
+                (cold.artifact.Codec.bitstream <> None))
+            [ Mapper.Truth_table; Mapper.Aig ])
+        [ ("1", Flow.Fixed_level 1); ("2", Flow.Fixed_level 2);
+          ("none", Flow.No_folding) ])
+    [ "ex1_small"; "crc8" ]
+
+(* The PR-4 oracle accepts a replayed cached bitstream: decode the bytes
+   that came back from the cache and drive all four differential levels
+   with them. *)
+let test_oracle_on_cached_bitstream () =
+  let design = circuit "ex1_small" in
+  let options = Fuzz.flow_options ~seed:1 (Fuzz.F_level 1) in
+  let arch = Arch.unbounded_k in
+  let cold, hot =
+    with_engine (fun eng ->
+        let once id =
+          match
+            Serve.handle_batch eng [ Proto.Job (job ~id ~arch ~options design) ]
+          with
+          | [ rs ] -> expect_result rs
+          | _ -> Alcotest.fail "one answer expected"
+        in
+        let c = once "cold" in
+        (c, once "hot"))
+  in
+  check Alcotest.bool "hit" true hot.cached;
+  let cached_bytes =
+    match hot.artifact.Codec.bitstream with
+    | Some b -> b
+    | None -> Alcotest.fail "no bitstream in the cached artifact"
+  in
+  match Flow.run_result ~options ~arch design with
+  | Error d -> Alcotest.fail (Diag.to_string d)
+  | Ok report ->
+    let subject = Oracle.subject_of_report report in
+    let bs =
+      match subject.Oracle.bitstream with
+      | Some bs -> bs
+      | None -> Alcotest.fail "no bitstream in the cold report"
+    in
+    check Alcotest.string "cache returned the cold bytes"
+      (Bytes.to_string bs.Bitstream.bytes) cached_bytes;
+    check Alcotest.bool "cold artifact agrees" true
+      (Codec.artifact_equal cold.artifact (Codec.artifact_of_report report));
+    let replayed =
+      { subject with
+        Oracle.bitstream =
+          Some { bs with Bitstream.bytes = Bytes.of_string cached_bytes } }
+    in
+    (match Oracle.run ~cycles:50 ~seed:3 replayed with
+    | Oracle.Pass _ -> ()
+    | o ->
+      Alcotest.fail ("replayed cached bitstream: " ^ Oracle.describe o))
+
+(* --------------------------------------------------- cache-key rules *)
+
+let test_key_option_sensitivity () =
+  let d = circuit "ex1_small" in
+  let key o = Codec.content_key ~design:d ~arch:Arch.default ~options:o in
+  let base = opts () in
+  let caps = base.Flow.route_caps in
+  List.iter
+    (fun (label, o) ->
+      check Alcotest.bool (label ^ " changes the key") true (key o <> key base))
+    [ ("objective", { base with Flow.objective = Flow.No_folding });
+      ("physical", { base with Flow.physical = false });
+      ("seed", { base with Flow.seed = 2 });
+      ( "routability_threshold",
+        { base with Flow.routability_threshold = 9.0 } );
+      ("max_place_retries", { base with Flow.max_place_retries = 7 });
+      ("route_alg", { base with Flow.route_alg = Router.Full });
+      ("check_level", { base with Flow.check_level = Check.Full });
+      ( "defects",
+        { base with Flow.defects = Defect.of_string "le 0 0 0 1\n" } );
+      ( "route_caps",
+        { base with
+          Flow.route_caps =
+            { caps with
+              Nanomap_route.Rr_graph.len1_tracks =
+                caps.Nanomap_route.Rr_graph.len1_tracks + 1 } } );
+      ("mapper", { base with Flow.mapper = Mapper.Aig });
+      ("aig_effort", { base with Flow.aig_effort = 3 });
+      ("portfolio", { base with Flow.portfolio = 2 }) ];
+  check Alcotest.string "jobs is wall-clock only: same key"
+    (key base)
+    (key { base with Flow.jobs = 4 });
+  check Alcotest.bool "arch is part of the key" true
+    (Codec.content_key ~design:d ~arch:Arch.unbounded_k ~options:base
+    <> key base)
+
+let const_design v =
+  let d = Rtl.create "keyed" in
+  let x = Rtl.add_input d "x" 4 in
+  let c = Rtl.add_const d ~name:"c" ~width:4 v in
+  let s = Rtl.add_op d ~name:"s" ~width:4 (Rtl.Add (x, c)) in
+  Rtl.mark_output d "y" s;
+  Rtl.validate d;
+  d
+
+let test_key_netlist_sensitivity () =
+  let key d =
+    Codec.content_key ~design:d ~arch:Arch.default ~options:(opts ())
+  in
+  check Alcotest.bool "constant change changes the key" true
+    (key (const_design 3) <> key (const_design 5));
+  let widened =
+    let d = Rtl.create "keyed" in
+    let x = Rtl.add_input d "x" 5 in
+    let c = Rtl.add_const d ~name:"c" ~width:5 3 in
+    let s = Rtl.add_op d ~name:"s" ~width:5 (Rtl.Add (x, c)) in
+    Rtl.mark_output d "y" s;
+    Rtl.validate d;
+    d
+  in
+  check Alcotest.bool "width change changes the key" true
+    (key (const_design 3) <> key widened)
+
+(* Key determinism and sensitivity over random designs. Building the
+   same spec twice must give byte-identical canonical text and the same
+   key (the default-name regression: Rtl used to derive names from a
+   process-global counter, so a rebuilt design hashed differently); a
+   spec edit that changes the canonical text must change the key. *)
+let qcheck_key_properties =
+  let params = { Gen_rtl.default_params with Gen_rtl.steps = 12 } in
+  QCheck.Test.make ~name:"content key: deterministic, netlist-sensitive"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let spec = Gen_rtl.random_spec (Rng.create seed) params in
+      let d1 = Gen_rtl.build ~name:"q" spec in
+      let d2 = Gen_rtl.build ~name:"q" spec in
+      let o = opts () in
+      let key d = Codec.content_key ~design:d ~arch:Arch.default ~options:o in
+      let text d = Codec.rtl_to_string d in
+      text d1 = text d2
+      && key d1 = key d2
+      && List.for_all
+           (fun shrunk ->
+             let ds = Gen_rtl.build ~name:"q" shrunk in
+             if text ds = text d1 then key ds = key d1 else key ds <> key d1)
+           (match Gen_rtl.shrink_candidates spec with
+           | a :: b :: _ -> [ a; b ]
+           | l -> l))
+
+(* --------------------------------------- determinism at -j1 vs -j4 *)
+
+let test_worker_count_stability () =
+  let d = circuit "ex1_small" in
+  let base = opts () in
+  let artifact jobs =
+    let options = { base with Flow.jobs; portfolio = 2 } in
+    match Flow.run_result ~options d with
+    | Ok report -> Codec.artifact_of_report report
+    | Error diag -> Alcotest.fail (Diag.to_string diag)
+  in
+  let a1 = artifact 1 and a4 = artifact 4 in
+  check Alcotest.bool "-j1 and -j4 reports serialize identically" true
+    (Codec.artifact_equal a1 a4);
+  check
+    (Alcotest.array Alcotest.string)
+    "fingerprints stable across worker counts" a1.Codec.fingerprints
+    a4.Codec.fingerprints
+
+let test_engine_pool_stability () =
+  let rng = Rng.create 23 in
+  let params = { Gen_rtl.default_params with Gen_rtl.steps = 10 } in
+  let batch =
+    List.init 6 (fun i ->
+        Proto.Job
+          (job ~id:(Printf.sprintf "g%d" i)
+             (Gen_rtl.build ~name:(Printf.sprintf "g%d" i)
+                (Gen_rtl.random_spec rng params))))
+  in
+  let run jobs =
+    with_engine ~jobs (fun eng ->
+        List.map (fun rs -> (expect_result rs).artifact)
+          (Serve.handle_batch eng batch))
+  in
+  let a1 = run 1 and a4 = run 4 in
+  check Alcotest.bool "engine output independent of pool width" true
+    (List.for_all2 Codec.artifact_equal a1 a4)
+
+(* ------------------------------------------------------------- cache *)
+
+let small_artifact () =
+  match Flow.run_result ~options:(opts ~physical:false ()) (circuit "crc8") with
+  | Ok report -> Codec.artifact_of_report report
+  | Error d -> Alcotest.fail (Diag.to_string d)
+
+let test_cache_lru_bound () =
+  let a = small_artifact () in
+  let c = Cache.create ~max_entries:2 () in
+  let k1 = String.make 32 '1'
+  and k2 = String.make 32 '2'
+  and k3 = String.make 32 '3' in
+  Cache.store c k1 a;
+  Cache.store c k2 a;
+  check Alcotest.bool "k1 resident" true (Cache.find c k1 <> None);
+  (* k2 is now least recently used; the third store evicts it *)
+  Cache.store c k3 a;
+  check Alcotest.int "bound holds" 2 (Cache.mem_entries c);
+  check Alcotest.int "one eviction" 1 (Cache.evictions c);
+  check Alcotest.bool "recently used survives" true (Cache.find c k1 <> None);
+  check Alcotest.bool "LRU victim gone" true (Cache.find c k2 = None)
+
+let test_cache_disk_tier () =
+  let dir = "serve-cache-test" in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      let rec go path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> go (Filename.concat path f)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      go dir
+    end
+  in
+  rm_rf dir;
+  let a = small_artifact () in
+  let key = Hashing.digest_hex "disk-entry" in
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 key a;
+  (* a fresh process's cache (same dir) hits from disk *)
+  let c2 = Cache.create ~dir () in
+  (match Cache.find c2 key with
+  | Some a' ->
+    check Alcotest.bool "disk entry round-trips" true (Codec.artifact_equal a a')
+  | None -> Alcotest.fail "disk entry not found");
+  check Alcotest.int "promoted to memory" 1 (Cache.mem_entries c2);
+  (* a corrupt disk entry is a miss, never a damaged artifact *)
+  let path =
+    Filename.concat (Filename.concat dir (String.sub key 0 2))
+      (String.sub key 2 (String.length key - 2) ^ ".json")
+  in
+  let oc = open_out_bin path in
+  output_string oc "{\"mangled\":";
+  close_out oc;
+  let c3 = Cache.create ~dir () in
+  check Alcotest.bool "corrupt entry is a miss" true (Cache.find c3 key = None);
+  check Alcotest.int "miss counted" 1 (Cache.misses c3);
+  rm_rf dir
+
+(* ------------------------------------------------- socket daemon *)
+
+let start_daemon eng socket_path =
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.serve_unix ~on_ready:(fun () -> Atomic.set ready true) eng
+          ~socket_path)
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  daemon
+
+let test_socket_interleaved_clients () =
+  let socket_path = "serve-test.sock" in
+  with_engine (fun eng ->
+      let daemon = start_daemon eng socket_path in
+      let open_raw () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket_path);
+        fd
+      in
+      let send_raw fd s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+      let c1 = open_raw () and c2 = open_raw () in
+      let ic1 = Unix.in_channel_of_descr c1
+      and ic2 = Unix.in_channel_of_descr c2 in
+      let recv ic =
+        match Framing.read_frame ic with
+        | `Frame line -> (
+          match Proto.response_of_frame line with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e)
+        | _ -> Alcotest.fail "no frame"
+      in
+      (* c1's ping arrives split across writes, with c2's whole ping in
+         between: per-connection splitters must keep the streams apart *)
+      send_raw c1 "{\"type\":";
+      send_raw c2 "{\"type\":\"ping\"}\n";
+      (match recv ic2 with
+      | Proto.Pong -> ()
+      | _ -> Alcotest.fail "c2 pong");
+      send_raw c1 "\"ping\"}\n";
+      (match recv ic1 with
+      | Proto.Pong -> ()
+      | _ -> Alcotest.fail "c1 pong");
+      (* same job from both clients: the second answer comes from cache *)
+      let j = Proto.request_to_frame (Proto.Job (job (circuit "crc8"))) in
+      send_raw c1 (j ^ "\n");
+      let rec result ic =
+        match recv ic with
+        | Proto.Result { id; key; cached; artifact } -> { id; key; cached; artifact }
+        | Proto.Event _ -> result ic
+        | _ -> Alcotest.fail "expected events then result"
+      in
+      let r1 = result ic1 in
+      send_raw c2 (j ^ "\n");
+      let r2 = result ic2 in
+      check Alcotest.bool "second client hits the cache" true r2.cached;
+      check Alcotest.string "same key" r1.key r2.key;
+      check Alcotest.bool "same artifact over both connections" true
+        (Codec.artifact_equal r1.artifact r2.artifact);
+      (* garbage from c2 does not disturb c1 *)
+      send_raw c2 "definitely not json\n";
+      (match recv ic2 with
+      | Proto.Error_resp { diag; _ } ->
+        check Alcotest.string "typed rejection" "bad-json" diag.Diag.code
+      | _ -> Alcotest.fail "expected rejection");
+      send_raw c1 "{\"type\":\"ping\"}\n";
+      (match recv ic1 with
+      | Proto.Pong -> ()
+      | _ -> Alcotest.fail "c1 alive after c2's garbage");
+      (* clean shutdown *)
+      send_raw c1 "{\"type\":\"shutdown\"}\n";
+      (match recv ic1 with
+      | Proto.Bye -> ()
+      | _ -> Alcotest.fail "expected bye");
+      Domain.join daemon;
+      check Alcotest.bool "socket file removed" false (Sys.file_exists socket_path);
+      (try Unix.close c1 with Unix.Unix_error _ -> ());
+      try Unix.close c2 with Unix.Unix_error _ -> ())
+
+let test_client_roundtrip () =
+  let socket_path = "serve-client.sock" in
+  with_engine (fun eng ->
+      let daemon = start_daemon eng socket_path in
+      let client = Serve.Client.connect ~socket_path in
+      Serve.Client.send client (Proto.Job (job (circuit "crc8")));
+      let events, terminator = Serve.Client.recv_result client in
+      (match terminator with
+      | Proto.Result { cached; _ } ->
+        check Alcotest.bool "cold compile" false cached;
+        check Alcotest.bool "events streamed before the result" true
+          (events <> [])
+      | _ -> Alcotest.fail "expected result");
+      Serve.Client.send client Proto.Stats_req;
+      (match Serve.Client.recv client with
+      | Proto.Stats_resp st ->
+        check Alcotest.int "one job done" 1 st.Proto.jobs_done;
+        check Alcotest.int "one miss" 1 st.Proto.cache_misses
+      | _ -> Alcotest.fail "expected stats");
+      Serve.Client.send client Proto.Shutdown;
+      (match Serve.Client.recv client with
+      | Proto.Bye -> ()
+      | _ -> Alcotest.fail "expected bye");
+      Serve.Client.close client;
+      Domain.join daemon)
+
+let () =
+  let to_alco = QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [ ( "json",
+        [ Alcotest.test_case "round trip and rejection" `Quick test_json_roundtrip ] );
+      ( "framing",
+        [ Alcotest.test_case "chunked reassembly" `Quick test_splitter_chunks;
+          Alcotest.test_case "oversized resync" `Quick test_splitter_oversized;
+          Alcotest.test_case "write_frame rejects newline" `Quick
+            test_write_frame_rejects_newline ] );
+      ( "codec",
+        [ Alcotest.test_case "rtl round trip" `Quick test_rtl_roundtrip;
+          Alcotest.test_case "rtl parse errors" `Quick test_rtl_parse_errors;
+          Alcotest.test_case "options round trip" `Quick test_options_roundtrip;
+          Alcotest.test_case "arch round trip" `Quick test_arch_roundtrip;
+          Alcotest.test_case "artifact round trip" `Quick test_artifact_roundtrip ] );
+      ( "protocol",
+        [ Alcotest.test_case "typed rejections, daemon survives" `Quick
+            test_protocol_rejections;
+          Alcotest.test_case "oversized and truncated frames" `Quick
+            test_protocol_oversized_truncated ] );
+      ( "engine",
+        [ Alcotest.test_case "first-failure isolation" `Quick test_job_isolation;
+          Alcotest.test_case "within-batch dedup" `Quick test_batch_dedup;
+          Alcotest.test_case "artifacts independent of pool width" `Quick
+            test_engine_pool_stability ] );
+      ( "cache",
+        [ Alcotest.test_case "differential matrix vs cold compile" `Slow
+            test_cache_matrix;
+          Alcotest.test_case "oracle passes on replayed cached bitstream" `Quick
+            test_oracle_on_cached_bitstream;
+          Alcotest.test_case "LRU bound" `Quick test_cache_lru_bound;
+          Alcotest.test_case "disk tier" `Quick test_cache_disk_tier ] );
+      ( "content-key",
+        [ Alcotest.test_case "every option is hashed (except jobs)" `Quick
+            test_key_option_sensitivity;
+          Alcotest.test_case "netlist mutations change the key" `Quick
+            test_key_netlist_sensitivity;
+          to_alco qcheck_key_properties;
+          Alcotest.test_case "fingerprints stable at -j1 vs -j4" `Quick
+            test_worker_count_stability ] );
+      ( "socket",
+        [ Alcotest.test_case "interleaved clients" `Quick
+            test_socket_interleaved_clients;
+          Alcotest.test_case "client round trip" `Quick test_client_roundtrip ] ) ]

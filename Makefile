@@ -1,6 +1,6 @@
 # Convenience wrapper; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-mappers fuzz fuzz-smoke serve-smoke map-designs-aig regen-golden clean
+.PHONY: all build test check bench bench-mappers fuzz fuzz-smoke serve-smoke chaos-smoke map-designs-aig regen-golden clean
 
 all: build
 
@@ -70,6 +70,32 @@ serve-smoke: build
 	status=$$?; \
 	wait $$pid || { echo "daemon exited nonzero"; status=1; }; \
 	[ ! -e .serve-smoke.sock ] || { echo "socket file left behind"; status=1; }; \
+	exit $$status
+
+# Service-level chaos gate: a live daemon (bounded queue, default
+# deadline, disk cache) under garbage frames, abrupt disconnects,
+# hopeless deadlines, impossible designs and a 200-job overload burst.
+# Fails unless every fault surfaces as its typed serve/* rejection, the
+# required fraction of well-formed jobs completes (after overload
+# retries), the post-chaos compile is byte-identical to the pre-chaos
+# one, the disk cache verifies clean, and the daemon drains out on
+# SIGTERM (exit 0, socket removed).
+chaos-smoke: build
+	rm -rf .chaos-smoke.sock .chaos-smoke-cache
+	dune exec bin/nanomap_cli.exe -- serve --socket .chaos-smoke.sock \
+	  --cache-dir .chaos-smoke-cache --max-queue 8 --deadline-ms 60000 \
+	  --jobs $(SERVE_JOBS) & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -S .chaos-smoke.sock ] && break; sleep 0.1; done; \
+	[ -S .chaos-smoke.sock ] || { kill $$pid 2>/dev/null; echo "daemon never bound its socket"; exit 1; }; \
+	dune exec bin/nanomap_cli.exe -- chaos --socket .chaos-smoke.sock \
+	  --total 200 --seed 42 --min-complete 0.95; \
+	status=$$?; \
+	dune exec bin/nanomap_cli.exe -- cache-check --cache-dir .chaos-smoke-cache || status=1; \
+	kill -TERM $$pid 2>/dev/null; \
+	wait $$pid || { echo "daemon did not drain cleanly on SIGTERM"; status=1; }; \
+	[ ! -e .chaos-smoke.sock ] || { echo "socket file left behind"; status=1; }; \
+	rm -rf .chaos-smoke-cache; \
 	exit $$status
 
 # Every shipped VHDL design through the physical flow with the AIG mapper

@@ -1208,7 +1208,8 @@ let serve_requests () =
           { Proto.id = Printf.sprintf "job%d" i;
             design = Proto.Rtl_text texts.(i mod uniq);
             arch = Arch.default;
-            options = Flow.default_options }) )
+            options = Flow.default_options;
+            deadline_ms = None }) )
 
 let serve_run ~pool_jobs requests total =
   (* size the cache for the workload: the default 256-entry bound would
@@ -1264,6 +1265,61 @@ let serve_run ~pool_jobs requests total =
      else float_of_int stats.Proto.cache_hits /. float_of_int lookups),
     List.rev !artifacts )
 
+(* Overload: offer batches 4x the admission bound and prove the engine
+   sheds ([serve/overloaded]) instead of queueing without bound — the
+   p99 of what it does admit stays bounded because the queue cannot grow. *)
+let serve_overload_run ~pool_jobs ~queue_bound requests =
+  let limits = { Serve.default_limits with Serve.max_queued_jobs = queue_bound } in
+  let cache = Nanomap_serve.Cache.create () in
+  let eng = Serve.create_engine ~jobs:pool_jobs ~cache ~limits () in
+  let batch_size = 4 * queue_bound in
+  let rec batches = function
+    | [] -> []
+    | reqs ->
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> ([], [])
+        | r :: rest ->
+          let batch, remaining = take (n - 1) rest in
+          (r :: batch, remaining)
+      in
+      let batch, rest = take batch_size reqs in
+      batch :: batches rest
+  in
+  let t0 = Unix.gettimeofday () in
+  let completed = ref 0 and shed = ref 0 and latencies = ref [] in
+  List.iter
+    (fun batch ->
+      let answers = Serve.handle_batch eng batch in
+      let done_at = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      List.iter
+        (fun responses ->
+          List.iter
+            (fun r ->
+              match r with
+              | Proto.Result _ ->
+                incr completed;
+                latencies := done_at :: !latencies
+              | Proto.Error_resp { diag; _ }
+                when diag.Nanomap_util.Diag.code = "overloaded" ->
+                incr shed
+              | _ -> ())
+            responses)
+        answers)
+    (batches requests);
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats = Serve.engine_stats eng in
+  Serve.shutdown_engine eng;
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  assert (stats.Proto.shed = !shed);
+  ( wall,
+    !completed,
+    !shed,
+    percentile sorted 50.0,
+    percentile sorted 99.0,
+    float_of_int !completed /. wall )
+
 let serve_bench () =
   section "Compile service: throughput, latency, cache hit rate";
   let total, uniq, requests = serve_requests () in
@@ -1293,6 +1349,14 @@ let serve_bench () =
     | _ -> false
   in
   Printf.printf "  artifacts identical across pool sizes: %b\n%!" identical;
+  let queue_bound = 16 in
+  let o_wall, o_completed, o_shed, o_p50, o_p99, o_jps =
+    serve_overload_run ~pool_jobs:4 ~queue_bound requests
+  in
+  Printf.printf
+    "  overload (queue bound %d, batches of %d): %d completed, %d shed, p99 \
+     %.1f ms, %.1f jobs/s (%.1f s)\n%!"
+    queue_bound (4 * queue_bound) o_completed o_shed o_p99 o_jps o_wall;
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf
@@ -1307,7 +1371,10 @@ let serve_bench () =
            pool_jobs wall jps p50 p99 hit_rate))
     runs;
   Buffer.add_string buf
-    (Printf.sprintf "],\"artifacts_identical_across_jobs\":%b}" identical);
+    (Printf.sprintf
+       "],\"artifacts_identical_across_jobs\":%b,\"overload\":{\"queue_bound\":%d,\"batch_size\":%d,\"offered_jobs\":%d,\"completed\":%d,\"shed\":%d,\"p50_ms\":%.2f,\"p99_ms\":%.2f,\"completed_per_s\":%.2f}}"
+       identical queue_bound (4 * queue_bound) total o_completed o_shed o_p50
+       o_p99 o_jps);
   let oc = open_out "BENCH_serve.json" in
   Buffer.output_buffer oc buf;
   output_char oc '\n';

@@ -591,16 +591,22 @@ let socket_arg =
   Arg.(value & opt (some string) None
        & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the compile daemon.")
 
-let run_serve socket stdio cache_dir cache_entries jobs verbose =
+let run_serve socket stdio cache_dir cache_entries deadline_ms max_queue jobs
+    verbose =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   let cache = Nanomap_serve.Cache.create ?dir:cache_dir ~max_entries:cache_entries () in
-  let eng = Serve.create_engine ~jobs ~cache () in
+  let limits =
+    { Serve.default_limits with
+      Serve.default_deadline_ms = deadline_ms;
+      max_queued_jobs = max_queue }
+  in
+  let eng = Serve.create_engine ~jobs ~cache ~limits () in
   let finish code = Serve.shutdown_engine eng; code in
   match socket, stdio with
   | _, true -> Serve.serve_channels eng stdin stdout; finish 0
   | Some path, false ->
     Logs.info (fun m -> m "listening on %s" path);
-    Serve.serve_unix eng ~socket_path:path;
+    Serve.serve_unix ~handle_sigterm:true eng ~socket_path:path;
     finish 0
   | None, false ->
     prerr_endline "error: need --socket PATH or --stdio";
@@ -623,13 +629,27 @@ let serve_cmd =
          & info [ "cache-entries" ] ~docv:"N"
              ~doc:"In-memory cache bound (LRU eviction past $(docv) entries).")
   in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-job compute budget: jobs without their own \
+                   $(b,deadline_ms) are cancelled at the next stage boundary \
+                   past $(docv) milliseconds ($(b,serve/timeout)).")
+  in
+  let max_queue =
+    Arg.(value & opt int Serve.default_limits.Serve.max_queued_jobs
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Admission bound: at most $(docv) unique compile misses \
+                   per batch; the rest are shed with $(b,serve/overloaded) \
+                   and a retry hint (0 = unbounded).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent compile daemon (line-framed JSON jobs, \
              content-addressed artifact cache)")
     Term.(
       const run_serve $ socket_arg $ stdio $ cache_dir $ cache_entries
-      $ jobs_arg $ verbosity)
+      $ deadline_ms $ max_queue $ jobs_arg $ verbosity)
 
 (* ---------------------------------------------------------- submit cmd *)
 
@@ -639,7 +659,7 @@ let fold_objective = function
   | s -> Option.map (fun l -> Flow.Fixed_level l) (int_of_string_opt s)
 
 let run_submit socket circuit blif vhdl folding mapper seed gen_count dup
-    gen_seed min_hit_rate shutdown verbose =
+    gen_seed min_hit_rate shutdown retries backoff_ms deadline_ms verbose =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   match socket with
   | None -> prerr_endline "error: need --socket PATH"; 1
@@ -667,24 +687,30 @@ let run_submit socket circuit blif vhdl folding mapper seed gen_count dup
               { Proto.id = Printf.sprintf "job%d" i;
                 design = Proto.Rtl_text designs.(i mod uniq);
                 arch = Arch.default;
-                options })
+                options; deadline_ms })
         end
         else
           match circuit, blif, vhdl with
           | Some name, None, None ->
             [ { Proto.id = "job0"; design = Proto.Circuit name;
-                arch = Arch.default; options } ]
+                arch = Arch.default; options; deadline_ms } ]
           | _ ->
             (match load_design circuit blif vhdl with
              | Error (`Msg m) -> prerr_endline ("error: " ^ m); []
              | Ok design ->
                [ { Proto.id = "job0";
                    design = Proto.Rtl_text (Codec.rtl_to_string design);
-                   arch = Arch.default; options } ])
+                   arch = Arch.default; options; deadline_ms } ])
       in
       if jobs = [] then 1
       else begin
-        let client = Serve.Client.connect ~socket_path in
+        match Serve.Client.connect ~retries ~backoff_ms ~socket_path () with
+        | exception Diag.Fail d when d.Diag.stage = "serve" && d.Diag.code = "unreachable" ->
+          (* exit 2: "the daemon is not there" is a different failure class
+             than "a job failed" (exit 1) — scripts branch on it *)
+          prerr_endline ("error: " ^ Diag.to_string d);
+          2
+        | client ->
         let finally code =
           if shutdown then begin
             Serve.Client.send client Proto.Shutdown;
@@ -770,13 +796,252 @@ let submit_cmd =
     Arg.(value & flag
          & info [ "shutdown" ] ~doc:"Ask the daemon to exit after the batch.")
   in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a refused/missing daemon socket $(docv) times on a \
+                   deterministic jittered backoff before giving up with \
+                   $(b,serve/unreachable) (exit status 2).")
+  in
+  let backoff_ms =
+    Arg.(value & opt int 100
+         & info [ "backoff-ms" ] ~docv:"MS"
+             ~doc:"Base delay of the connect retry backoff (doubles per \
+                   attempt, capped, jittered).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Attach a per-job compute budget: the daemon cancels the \
+                   job past $(docv) milliseconds ($(b,serve/timeout)).")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:"Submit compile jobs to a running daemon and print the results")
     Term.(
       const run_submit $ socket_arg $ circuit_arg $ blif_arg $ vhdl_arg
       $ folding $ mapper $ seed $ gen_count $ dup $ gen_seed $ min_hit_rate
-      $ shutdown $ verbosity)
+      $ shutdown $ retries $ backoff_ms $ deadline_ms $ verbosity)
+
+(* ------------------------------------------------------ cache-check cmd *)
+
+let run_cache_check dir =
+  let module Cache = Nanomap_serve.Cache in
+  (* create scrubs orphaned temp files as a side effect *)
+  let cache = Cache.create ~dir () in
+  let r = Cache.verify cache in
+  Printf.printf "scrubbed %d orphaned temp file(s)\n" (Cache.scrubbed cache);
+  Printf.printf "checked %d entrie(s): %d ok, %d corrupt removed\n" r.Cache.checked
+    r.Cache.ok r.Cache.corrupt;
+  if r.Cache.corrupt = 0 then 0 else 1
+
+let cache_check_cmd =
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"The daemon's on-disk artifact cache.")
+  in
+  Cmd.v
+    (Cmd.info "cache-check"
+       ~doc:"Scrub and integrity-check an on-disk artifact cache: remove \
+             orphaned temp files, digest-verify every entry, delete corrupt \
+             ones (exit 1 if any entry was corrupt)")
+    Term.(const run_cache_check $ dir)
+
+(* ----------------------------------------------------------- chaos cmd *)
+
+(* The service-level chaos driver: one process hammering a live daemon
+   with a deterministic mix of well-formed load and hostile traffic, then
+   checking the daemon (a) survived, (b) answered every fault with its
+   typed [serve/*] rejection, (c) still produces byte-identical artifacts
+   afterwards. The CI chaos-smoke target runs this against a daemon with
+   a small queue bound and a default deadline. *)
+
+module Chaos = Nanomap_flow.Fault.Chaos
+
+let run_chaos socket total seed min_complete verbose =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  match socket with
+  | None -> prerr_endline "error: need --socket PATH"; 1
+  | Some socket_path ->
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+    (* -------- hostile raw traffic: garbage frames, abrupt disconnect *)
+    let with_raw f =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> f (Unix.in_channel_of_descr fd) (Unix.out_channel_of_descr fd))
+    in
+    let garbage_round round =
+      with_raw (fun ic oc ->
+          let frames = Chaos.garbage_frames ~seed:(seed + round) ~count:10 in
+          List.iter (fun s -> output_string oc s; output_char oc '\n') frames;
+          flush oc;
+          List.iter
+            (fun frame ->
+              match input_line ic with
+              | exception End_of_file ->
+                fail "daemon closed the connection on garbage frame %S" frame
+              | line -> (
+                match Proto.response_of_frame line with
+                | Ok (Proto.Error_resp { diag; _ })
+                  when diag.Diag.stage = "serve"
+                       && (diag.Diag.code = "bad-json"
+                          || diag.Diag.code = "bad-request") ->
+                  ()
+                | _ -> fail "garbage frame %S not rejected as serve/bad-*" frame))
+            frames)
+    in
+    let abrupt_disconnect () =
+      (* half a job line, no newline, then close: the daemon must record
+         serve/truncated and keep serving everyone else *)
+      with_raw (fun _ic oc ->
+          output_string oc "{\"type\":\"job\",\"id\":\"cut";
+          flush oc)
+    in
+    (* ------------------------------------------- the mixed main load *)
+    let rng = Nanomap_util.Rng.create seed in
+    let params = { Gen_rtl.default_params with Gen_rtl.steps = 8 } in
+    let uniq = max 1 (total / 2) in
+    let designs =
+      Array.init uniq (fun i ->
+          let spec = Gen_rtl.random_spec rng params in
+          Codec.rtl_to_string (Gen_rtl.build ~name:(Printf.sprintf "chaos%d" i) spec))
+    in
+    let options =
+      { Flow.default_options with Flow.objective = Flow.Fixed_level 1 }
+    in
+    let good_job i =
+      { Proto.id = Printf.sprintf "g%d" i;
+        design = Proto.Rtl_text designs.(i mod uniq);
+        arch = Arch.default; options; deadline_ms = None }
+    in
+    let doomed_jobs =
+      (* impossible designs (unknown circuit) and hopeless deadlines *)
+      [ { Proto.id = "bad0"; design = Proto.Circuit "no-such-circuit";
+          arch = Arch.default; options; deadline_ms = None };
+        { Proto.id = "t0"; design = Proto.Rtl_text designs.(uniq - 1);
+          arch = Arch.default; options; deadline_ms = Some 1 } ]
+    in
+    (match Serve.Client.connect ~retries:5 ~backoff_ms:50 ~socket_path () with
+     | exception Diag.Fail d ->
+       prerr_endline ("error: " ^ Diag.to_string d);
+       2
+     | client ->
+       Fun.protect ~finally:(fun () -> Serve.Client.close client)
+         (fun () ->
+           garbage_round 0;
+           abrupt_disconnect ();
+           (* pipeline the whole burst before reading anything: this is
+              what drives the daemon's admission queue past its bound *)
+           let good = List.init total good_job in
+           List.iter (fun j -> Serve.Client.send client (Proto.Job j))
+             (good @ doomed_jobs);
+           let completed = ref 0 and artifacts = Hashtbl.create 64 in
+           let overloaded = ref [] in
+           List.iter
+             (fun (j : Proto.job) ->
+               let _events, term = Serve.Client.recv_result client in
+               match term with
+               | Proto.Result { id; artifact; _ } ->
+                 Hashtbl.replace artifacts id
+                   (Nanomap_util.Json.to_string (Codec.artifact_to_json artifact));
+                 if String.length id > 0 && id.[0] = 'g' then incr completed
+                 else if id.[0] = 't' then ()
+                   (* a deadline the tiny compile beat: legal *)
+               | Proto.Error_resp { id; diag } -> (
+                 let id = Option.value id ~default:"?" in
+                 match diag.Diag.code, id.[0] with
+                 | "overloaded", 'g' ->
+                   overloaded := id :: !overloaded
+                 | ("overloaded" | "timeout"), 't' | "bad-design", 'b' -> ()
+                 | "timeout", 'g' -> ()
+                 | code, _ ->
+                   fail "job %s rejected with unexpected serve/%s" id code)
+               | _ -> fail "job %s got a non-result non-error terminator" j.Proto.id)
+             (good @ doomed_jobs);
+           (* shed jobs retry serially — the queue has drained, so the
+              overload rejection must have been transient *)
+           List.iter
+             (fun id ->
+               let i = int_of_string (String.sub id 1 (String.length id - 1)) in
+               match Serve.Client.submit ~attempts:3 client (good_job i) with
+               | _, Proto.Result { id; artifact; _ } ->
+                 Hashtbl.replace artifacts id
+                   (Nanomap_util.Json.to_string (Codec.artifact_to_json artifact));
+                 incr completed
+               | _, Proto.Error_resp { diag; _ } ->
+                 fail "retry of shed job %s still failed: serve/%s" id
+                   diag.Diag.code
+               | _ -> fail "retry of shed job %s got no terminator" id)
+             (List.rev !overloaded);
+           garbage_round 1;
+           (* ------------- post-chaos integrity: daemon alive, cache sane *)
+           Serve.Client.send client Proto.Ping;
+           (match Serve.Client.recv client with
+            | Proto.Pong -> ()
+            | _ -> fail "daemon did not answer the final ping");
+           (match
+              Serve.Client.submit client
+                { (good_job 0) with Proto.id = "final" }
+            with
+            | _, Proto.Result { artifact; _ } -> (
+              let bytes =
+                Nanomap_util.Json.to_string (Codec.artifact_to_json artifact)
+              in
+              match Hashtbl.find_opt artifacts "g0" with
+              | Some first when first <> bytes ->
+                fail "post-chaos artifact differs from the pre-chaos compile"
+              | _ -> ())
+            | _ -> fail "clean job after the chaos run did not complete");
+           Serve.Client.send client Proto.Stats_req;
+           (match Serve.Client.recv client with
+            | Proto.Stats_resp s ->
+              Printf.printf
+                "stats: %d jobs, %d timeouts, %d shed, %d drained, %d \
+                 slow-reader drops, rejected: %s\n"
+                s.Proto.jobs_done s.Proto.timeouts s.Proto.shed s.Proto.drained
+                s.Proto.slow_reader_disconnects
+                (String.concat ", "
+                   (List.map
+                      (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+                      s.Proto.rejected))
+            | _ -> fail "daemon did not answer the final stats request");
+           let rate = float_of_int !completed /. float_of_int total in
+           Printf.printf "chaos: %d/%d good jobs completed (%.2f), %d faults injected\n"
+             !completed total rate (20 + 1 + List.length doomed_jobs);
+           List.iter (fun m -> Printf.printf "FAIL: %s\n" m) (List.rev !failures);
+           if !failures = [] && rate >= min_complete then begin
+             print_endline "chaos: PASS";
+             0
+           end
+           else 1))
+
+let chaos_cmd =
+  let total =
+    Arg.(value & opt int 200
+         & info [ "total" ] ~docv:"N" ~doc:"Well-formed compile jobs to mix in.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let min_complete =
+    Arg.(value & opt float 0.95
+         & info [ "min-complete" ] ~docv:"R"
+             ~doc:"Exit nonzero unless this fraction of the well-formed jobs \
+                   completes (after overload retries).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Chaos-test a running daemon: garbage frames, abrupt \
+             disconnects, hopeless deadlines, impossible designs and an \
+             overload burst, interleaved with real load; verify every fault \
+             yields its typed serve/* rejection, the daemon survives, and \
+             post-chaos artifacts are byte-identical")
+    Term.(const run_chaos $ socket_arg $ total $ seed $ min_complete $ verbosity)
 
 (* ------------------------------------------------------------ list cmd *)
 
@@ -793,6 +1058,9 @@ let list_cmd =
     Term.(const run_list $ const ())
 
 let () =
+  (* client-side writes to a daemon that just vanished should fail as
+     exceptions (handled per command), not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let info =
     Cmd.info "nanomap" ~version:"1.0.0"
       ~doc:"Design optimization flow for the NATURE reconfigurable architecture"
@@ -801,4 +1069,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ map_cmd; stats_cmd; sweep_cmd; list_cmd; disasm_cmd; emulate_cmd;
-            fuzz_cmd; serve_cmd; submit_cmd ]))
+            fuzz_cmd; serve_cmd; submit_cmd; cache_check_cmd; chaos_cmd ]))

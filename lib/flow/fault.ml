@@ -227,6 +227,75 @@ let invert_bitstream_luts (bs : Bitstream.t) =
     else
       { bs with Bitstream.bytes = Bitstream.encode_configs ~num_smbs configs }
 
+(* --- service-level chaos injectors --- *)
+
+module Chaos = struct
+  module Rng = Nanomap_util.Rng
+
+  let disarm () = Flow.set_stage_hook None
+
+  let arm_crash ~design ~stage =
+    Flow.set_stage_hook
+      (Some
+         (fun ~stage:s ~design:d ->
+           if d = design && s = stage then
+             failwith
+               (Printf.sprintf "chaos: injected crash in %s at stage %s" d s)))
+
+  let arm_stall ~design ~stage ~ms =
+    Flow.set_stage_hook
+      (Some
+         (fun ~stage:s ~design:d ->
+           if d = design && s = stage then
+             Unix.sleepf (float_of_int ms /. 1000.0)))
+
+  (* The cache's on-disk layout, restated here because the flow library
+     cannot depend on the serve library that owns it. A test
+     cross-checks this against [Cache.entry_path] so the two cannot
+     drift silently. *)
+  let entry_path ~dir ~key =
+    Filename.concat (Filename.concat dir (String.sub key 0 2))
+      (String.sub key 2 (String.length key - 2) ^ ".json")
+
+  let corrupt_disk_entry ~dir ~key =
+    let path = entry_path ~dir ~key in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ -> false
+    | text ->
+      (* keep a syntactically plausible prefix: a corruption that still
+         parses as JSON is exactly what only the digest can catch *)
+      let n = String.length text in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub text 0 (n / 2)));
+      true
+
+  let rec mkdir_p path =
+    if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+      mkdir_p (Filename.dirname path);
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let orphan_tmp ~dir ~key =
+    let path = entry_path ~dir ~key ^ ".tmp.999999.0" in
+    mkdir_p (Filename.dirname path);
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc "{\"v\":1,\"digest\":\"interrupted");
+    path
+
+  let garbage_frames ~seed ~count =
+    let rng = Rng.create seed in
+    List.init count (fun _ ->
+        match Rng.int rng 6 with
+        | 0 -> "{\"type\":\"job\",oops"                      (* not JSON *)
+        | 1 -> "{\"type\":\"job\"}"            (* JSON, missing members *)
+        | 2 -> "[1,2,3]"                      (* JSON, not even an object *)
+        | 3 -> "{\"type\":\"warp-core\"}"            (* unknown request *)
+        | 4 -> String.make (1 + Rng.int rng 64) '\x01'   (* binary noise *)
+        | _ ->
+          "{\"type\":\"job\",\"id\":42}"     (* wrong member type *))
+end
+
 let corrupt_bitstream (bs : Bitstream.t) =
   (* header: "NMAP1" + u32 configs + u32 num_smbs = 13 bytes; the word at
      offset 13 is the first configuration's LE-section length *)

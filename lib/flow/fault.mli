@@ -73,3 +73,47 @@ val invert_bitstream_luts :
     parse/re-encode, so the bitmap stays well-formed). Caught by the
     oracle as an (emulator, bitstream-replay) mismatch. Unchanged if no
     configuration contains an LE. *)
+
+(** {2 Service-level chaos}
+
+    Deterministic injectors for the compile-service chaos harness. The
+    structural injectors above prove the {e checkers} catch corrupt
+    artifacts; these prove the {e service} survives misbehaving compiles,
+    storage and clients — each fault must surface as exactly one typed
+    [serve/*] rejection while the daemon keeps serving. *)
+
+module Chaos : sig
+  val arm_crash : design:string -> stage:string -> unit
+  (** Until {!disarm}: any compile of [design] raises at the boundary of
+      [stage] — an exception escaping mid-flow, adopted by the stage's
+      diagnostic protection ([Failure] → stage diag). *)
+
+  val arm_stall : design:string -> stage:string -> ms:int -> unit
+  (** Until {!disarm}: any compile of [design] sleeps [ms] at the
+      boundary of [stage] — how a test drives a job into its deadline
+      ([serve/timeout]) without a genuinely slow design. *)
+
+  val disarm : unit -> unit
+  (** Remove the stage hook. Always call in test teardown. *)
+
+  val entry_path : dir:string -> key:string -> string
+  (** The cache's on-disk entry location, restated (the flow library
+      cannot see the serve library's [Cache]); a test pins it against
+      [Cache.entry_path]. *)
+
+  val corrupt_disk_entry : dir:string -> key:string -> bool
+  (** Truncate the stored entry to half its bytes — a torn write. [false]
+      if no entry exists. Must be caught by the cache's read-side digest
+      check (counted, deleted, served as a miss). *)
+
+  val orphan_tmp : dir:string -> key:string -> string
+  (** Plant an orphaned temp file next to [key]'s entry, as an
+      interrupted writer would; returns its path. Must be removed by the
+      startup scrub. *)
+
+  val garbage_frames : seed:int -> count:int -> string list
+  (** Deterministic malformed request lines (not-JSON, wrong shape, wrong
+      member types, binary noise — never a newline). Each must be
+      answered [serve/bad-json] or [serve/bad-request] without
+      disturbing neighboring frames. *)
+end

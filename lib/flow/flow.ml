@@ -10,12 +10,25 @@ module Rr_graph = Nanomap_route.Rr_graph
 module Bitstream = Nanomap_bitstream.Bitstream
 module Telemetry = Nanomap_util.Telemetry
 module Diag = Nanomap_util.Diag
+module Cancel = Nanomap_util.Cancel
 
 let log = Logs.Src.create "nanomap.flow" ~doc:"NanoMap end-to-end flow"
 
 module Log = (val Logs.src_log log)
 
 let c_degradations = Telemetry.counter "flow.degradations"
+
+(* Test-only chaos hook: invoked at every stage boundary, after the
+   cancellation check and before the stage body. The service chaos
+   harness uses it to make a specific design crash or stall mid-compile
+   deterministically; anything it raises is adopted by the stage's
+   diagnostic protection like a real stage failure. Atomic because pool
+   workers read it while a test (an)arms it. *)
+let stage_hook :
+    (stage:string -> design:string -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_stage_hook h = Atomic.set stage_hook h
 
 type objective =
   | Delay_min of int option
@@ -148,8 +161,10 @@ let rec map_and_cluster ?(retries = 0) tele options prepared ~arch plan =
 
 let ( let* ) = Result.bind
 
-let run_result ?(options = default_options) ?(arch = Arch.default) design =
-  let tele = Telemetry.start ("flow:" ^ Nanomap_rtl.Rtl.name design) in
+let run_result ?cancel ?(options = default_options) ?(arch = Arch.default)
+    design =
+  let design_name = Nanomap_rtl.Rtl.name design in
+  let tele = Telemetry.start ("flow:" ^ design_name) in
   (* Every diagnostic — fatal or recovered-from — lands in the event
      journal, so [--trace] shows the full failure/recovery path. *)
   let journal d =
@@ -157,7 +172,17 @@ let run_result ?(options = default_options) ?(arch = Arch.default) design =
     d
   in
   let protect stage f =
-    match f () with
+    match
+      (* Stage boundary: the cancellation token (deadline or manual) is
+         honored before any new stage work starts, so a deadlined job
+         costs at most the stage it is currently inside. The chaos hook
+         runs under the same exception adoption as the stage body. *)
+      (match cancel with Some c -> Cancel.check c | None -> ());
+      (match Atomic.get stage_hook with
+      | Some h -> h ~stage ~design:design_name
+      | None -> ());
+      f ()
+    with
     | v -> Ok v
     | exception Diag.Fail d -> Error (journal d)
     | exception Mapper.No_feasible_mapping msg ->
@@ -349,6 +374,12 @@ let run_result ?(options = default_options) ?(arch = Arch.default) design =
                  | [] -> []
                  | t -> [ ("degradations", String.concat "," (List.rev t)) ]))
           in
+          (* A deadline expiry must not enter the degradation ladder:
+             reseeding or widening a job that is already past its budget
+             only burns more of the worker the cancellation exists to
+             free. *)
+          if d.Diag.stage = "serve" && d.Diag.code = "timeout" then give_up ()
+          else
           (match step with
           | 0 ->
             let seed' = seed + 17 in

@@ -111,6 +111,7 @@ type report = {
 exception Flow_failed of string
 
 val run_result :
+  ?cancel:Nanomap_util.Cancel.t ->
   ?options:options ->
   ?arch:Nanomap_arch.Arch.t ->
   Nanomap_rtl.Rtl.t ->
@@ -120,7 +121,14 @@ val run_result :
     raising on any flow failure — infeasible mapping, budget overrun,
     stage-validator rejection, checker violation, unroutable fabric — after
     exhausting the graceful-degradation policy. The diagnostic is also the
-    last ["diag"] event of {!report.telemetry}'s journal. *)
+    last ["diag"] event of {!report.telemetry}'s journal.
+
+    [cancel] is a cooperative cancellation token (the compile service's
+    per-job deadline): it is checked at {e every stage boundary}, and an
+    expired token aborts the run with the token's [serve/timeout]
+    diagnostic — immediately, without entering the degradation ladder. A
+    run already inside a stage finishes that stage first (cancellation is
+    cooperative, never preemptive). *)
 
 val run :
   ?options:options -> ?arch:Nanomap_arch.Arch.t -> Nanomap_rtl.Rtl.t -> report
@@ -138,5 +146,13 @@ val validate_report :
 
 val circuit_delay_routed : report -> float option
 (** [num_planes * stages * routed folding period], when routed. *)
+
+val set_stage_hook : (stage:string -> design:string -> unit) option -> unit
+(** Test-only chaos instrumentation: install a hook invoked at every
+    stage boundary of every {!run_result} (after the cancellation check,
+    before the stage body). Whatever it raises is adopted by the stage's
+    diagnostic protection exactly like a stage failure — which is how
+    {!Fault.Chaos} makes a chosen design crash or stall mid-compile
+    deterministically. Pass [None] to disarm. Not for production use. *)
 
 val pp_report : Format.formatter -> report -> unit

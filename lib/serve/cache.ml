@@ -1,9 +1,21 @@
 module Codec = Nanomap_flow.Codec
 module Json = Nanomap_util.Json
+module Hashing = Nanomap_util.Hashing
+module Telemetry = Nanomap_util.Telemetry
+
+let c_scrubbed = Telemetry.counter "cache.scrubbed"
+let c_corrupt = Telemetry.counter "cache.corrupt"
 
 type entry = {
   artifact : Codec.artifact;
   mutable last_use : int;
+}
+
+type verify_report = {
+  checked : int;
+  ok : int;
+  corrupt : int;
+  removed : int;
 }
 
 type t = {
@@ -14,6 +26,8 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable corrupt : int;
+  mutable scrubbed : int;
 }
 
 let rec mkdir_p path =
@@ -23,23 +37,88 @@ let rec mkdir_p path =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let entry_path dir key =
+  Filename.concat (Filename.concat dir (String.sub key 0 2))
+    (String.sub key 2 (String.length key - 2) ^ ".json")
+
+(* Entries and orphaned temp files all live one shard-directory deep
+   ([dir/k0k1/...]); the walk visits the top level too so a temp file
+   stranded mid-[mkdir_p] is still found. *)
+let iter_files dir f =
+  (* non-raising: a path can vanish between readdir and the check (the
+     callback itself deletes files) *)
+  let is_dir path = try Sys.is_directory path with Sys_error _ -> false in
+  let in_dir d =
+    match Sys.readdir d with
+    | exception Sys_error _ -> ()
+    | names ->
+      Array.sort compare names;
+      Array.iter
+        (fun name ->
+          let path = Filename.concat d name in
+          if Sys.file_exists path && not (is_dir path) then f path)
+        names
+  in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.sort compare names;
+    in_dir dir;
+    Array.iter
+      (fun name ->
+        let path = Filename.concat dir name in
+        if is_dir path then in_dir path)
+      names
+
+let is_tmp path =
+  (* Temp names are [<entry>.json.tmp.<pid>.<n>]; match on the marker so
+     a rename that died between pid and counter is still scrubbed. *)
+  let base = Filename.basename path in
+  let marker = ".tmp." in
+  let bl = String.length base and ml = String.length marker in
+  let rec scan i = i + ml <= bl && (String.sub base i ml = marker || scan (i + 1)) in
+  scan 0
+
+(* An interrupted write can leave a [.tmp] file forever (the rename never
+   happened); an interrupted rename cannot leave a partial entry, but a
+   torn page under a crashed filesystem can. Scrubbing the former is
+   cheap and runs at startup; the latter is what the per-entry digest
+   catches on read. *)
+let scrub_dir t =
+  match t.dir with
+  | None -> 0
+  | Some dir ->
+    let n = ref 0 in
+    iter_files dir (fun path ->
+        if is_tmp path then begin
+          (try Sys.remove path with Sys_error _ -> ());
+          incr n
+        end);
+    t.scrubbed <- t.scrubbed + !n;
+    Telemetry.add c_scrubbed !n;
+    !n
+
 let create ?dir ?(max_entries = 256) () =
   Option.iter mkdir_p dir;
-  { dir;
-    max_entries = max 1 max_entries;
-    table = Hashtbl.create 64;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0 }
+  let t =
+    { dir;
+      max_entries = max 1 max_entries;
+      table = Hashtbl.create 64;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      corrupt = 0;
+      scrubbed = 0 }
+  in
+  ignore (scrub_dir t);
+  t
+
+let scrub t = scrub_dir t
 
 let touch t e =
   t.tick <- t.tick + 1;
   e.last_use <- t.tick
-
-let entry_path dir key =
-  Filename.concat (Filename.concat dir (String.sub key 0 2))
-    (String.sub key 2 (String.length key - 2) ^ ".json")
 
 let evict_past_bound t =
   while Hashtbl.length t.table > t.max_entries do
@@ -65,6 +144,37 @@ let insert t key artifact =
   Hashtbl.replace t.table key { artifact; last_use = t.tick };
   evict_past_bound t
 
+(* On-disk entry envelope: the artifact JSON plus a digest of its exact
+   serialized bytes. The digest is what distinguishes "half a file after
+   a crash" or "bit rot" from a real entry — a bare parse success is not
+   enough, a truncated JSON list can still parse. *)
+let wrap_artifact artifact =
+  let body = Json.to_string (Codec.artifact_to_json artifact) in
+  Json.Obj
+    [ ("v", Json.Int 1);
+      ("digest", Json.String (Hashing.digest_hex body));
+      ("artifact", Codec.artifact_to_json artifact) ]
+
+let unwrap_entry text =
+  match Json.parse text with
+  | Error _ -> None
+  | Ok j -> (
+    match
+      ( Option.bind (Json.member "digest" j) Json.to_str,
+        Json.member "artifact" j )
+    with
+    | Some digest, Some aj
+      when String.equal digest (Hashing.digest_hex (Json.to_string aj)) -> (
+      match Codec.artifact_of_json aj with
+      | Ok artifact -> Some artifact
+      | Error _ -> None)
+    | _ -> None)
+
+let count_corrupt t path =
+  t.corrupt <- t.corrupt + 1;
+  Telemetry.incr c_corrupt;
+  try Sys.remove path with Sys_error _ -> ()
+
 let disk_find t key =
   match t.dir with
   | None -> None
@@ -73,9 +183,13 @@ let disk_find t key =
     match In_channel.with_open_bin path In_channel.input_all with
     | exception Sys_error _ -> None
     | text -> (
-      match Result.bind (Json.parse text) Codec.artifact_of_json with
-      | Ok artifact -> Some artifact
-      | Error _ -> None))
+      match unwrap_entry text with
+      | Some artifact -> Some artifact
+      | None ->
+        (* Quarantine by deletion: the next miss recomputes and
+           overwrites, so a damaged entry can never be served twice. *)
+        count_corrupt t path;
+        None))
 
 let find t key =
   match Hashtbl.find_opt t.table key with
@@ -93,24 +207,57 @@ let find t key =
       t.misses <- t.misses + 1;
       None)
 
+let tmp_seq = Atomic.make 0
+
 let disk_store t key artifact =
   match t.dir with
   | None -> ()
   | Some dir ->
     let path = entry_path dir key in
     mkdir_p (Filename.dirname path);
-    let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
-    Out_channel.with_open_bin tmp (fun oc ->
-        Out_channel.output_string oc
-          (Json.to_string (Codec.artifact_to_json artifact)));
-    Sys.rename tmp path
+    (* pid + process-wide sequence number: unique even when several
+       worker domains store under the same key concurrently. *)
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_seq 1)
+    in
+    (try
+       Out_channel.with_open_bin tmp (fun oc ->
+           Out_channel.output_string oc (Json.to_string (wrap_artifact artifact)));
+       Sys.rename tmp path
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
 
 let store t key artifact =
   insert t key artifact;
   disk_store t key artifact
 
+let verify t =
+  match t.dir with
+  | None -> { checked = 0; ok = 0; corrupt = 0; removed = 0 }
+  | Some dir ->
+    let checked = ref 0 and ok = ref 0 and bad = ref 0 in
+    iter_files dir (fun path ->
+        if (not (is_tmp path)) && Filename.check_suffix path ".json" then begin
+          incr checked;
+          let good =
+            match In_channel.with_open_bin path In_channel.input_all with
+            | exception Sys_error _ -> false
+            | text -> Option.is_some (unwrap_entry text)
+          in
+          if good then incr ok
+          else begin
+            count_corrupt t path;
+            incr bad
+          end
+        end);
+    { checked = !checked; ok = !ok; corrupt = !bad; removed = !bad }
+
 let mem_entries t = Hashtbl.length t.table
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let corrupt t = t.corrupt
+let scrubbed t = t.scrubbed
 let dir t = t.dir

@@ -8,34 +8,77 @@
       eviction (both hits and stores refresh recency), so a long-lived
       daemon's footprint stays flat under churn;
     - an optional on-disk tier under [dir], content-addressed as
-      [dir/k0k1/k2..k31.json] (the artifact's canonical JSON, written to a
-      temp file and renamed so readers never observe a partial entry).
-      Disk entries survive daemon restarts and are promoted back into
-      memory on first use; the disk tier is never evicted by this process.
+      [dir/k0k1/k2..k31.json]. Disk entries survive daemon restarts and
+      are promoted back into memory on first use; the disk tier is never
+      evicted by this process.
 
-    A corrupt disk entry (failed parse, key mismatch) is treated as a
-    miss — the cache re-computes and overwrites, it never propagates a
-    damaged artifact. *)
+    {2 Crash safety}
+
+    The disk tier assumes it can be killed at any instruction:
+
+    - writes go to a uniquely-named temp file (pid + sequence number) and
+      are renamed into place, so readers never observe a partial entry;
+      a write that raises removes its temp file;
+    - every entry embeds an MD5 digest of the artifact's canonical JSON.
+      A read that fails the digest (torn write, bit rot, truncation — a
+      truncated JSON can still parse) deletes the file, counts one
+      {!corrupt}, and reports a miss, so a damaged artifact is never
+      served and never inspected twice;
+    - {!create} scrubs temp files orphaned by a previous crash (counted
+      in {!scrubbed} and the process-global [cache.scrubbed] telemetry
+      counter);
+    - {!verify} sweeps the whole tier on demand ([nanomap cache-check]). *)
 
 module Codec = Nanomap_flow.Codec
 
 type t
 
+type verify_report = {
+  checked : int;   (** entries examined *)
+  ok : int;        (** parsed and digest-verified *)
+  corrupt : int;   (** failed parse, digest or decode *)
+  removed : int;   (** corrupt entries deleted (= [corrupt]) *)
+}
+
 val create : ?dir:string -> ?max_entries:int -> unit -> t
 (** [max_entries] bounds the memory tier (default 256; values < 1 clamp
-    to 1). [dir] enables the disk tier (created if missing). *)
+    to 1). [dir] enables the disk tier (created if missing) and scrubs
+    any temp files a crashed writer left behind. *)
 
 val find : t -> string -> Codec.artifact option
 (** Memory first, then disk (promoting into memory). Counts one hit or
-    one miss. *)
+    one miss; a disk entry failing integrity verification is deleted,
+    counted in {!corrupt}, and reported as a miss. *)
 
 val store : t -> string -> Codec.artifact -> unit
 (** Insert into memory (evicting the least recently used entry past the
-    bound) and, when configured, write through to disk atomically. *)
+    bound) and, when configured, write through to disk atomically
+    (digest-wrapped, temp file + rename). *)
+
+val scrub : t -> int
+(** Remove orphaned temp files under the disk tier, returning how many
+    were deleted. Idempotent; already run once by {!create}. *)
+
+val verify : t -> verify_report
+(** Integrity sweep of the entire disk tier: re-read every entry, check
+    its digest, decode its artifact; delete (and count) anything that
+    fails. No-op report when there is no disk tier. *)
+
+val entry_path : string -> string -> string
+(** [entry_path dir key] is the on-disk location of [key]'s entry —
+    exposed so the chaos harness and tests can corrupt exactly the right
+    file without re-deriving the layout. *)
 
 val mem_entries : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+val corrupt : t -> int
+(** Disk entries that failed integrity verification (and were removed)
+    over this cache's lifetime, from both reads and {!verify} sweeps. *)
+
+val scrubbed : t -> int
+(** Orphaned temp files removed over this cache's lifetime. *)
 
 val dir : t -> string option

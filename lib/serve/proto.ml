@@ -15,6 +15,7 @@ type job = {
   design : design_src;
   arch : Arch.t;
   options : Flow.options;
+  deadline_ms : int option;
 }
 
 type request =
@@ -28,6 +29,14 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_entries : int;
+  uptime_s : int;
+  timeouts : int;
+  shed : int;
+  drained : int;
+  slow_reader_disconnects : int;
+  cache_scrubbed : int;
+  cache_corrupt : int;
+  rejected : (string * int) list;
 }
 
 type response =
@@ -60,6 +69,28 @@ let truncated n =
 let bad_design detail =
   Diag.make ~stage ~code:"bad-design" ~context:[ ("detail", detail) ]
     "job design cannot be resolved"
+
+let overloaded ~queued ~limit ~retry_after_ms =
+  Diag.make ~stage ~code:"overloaded"
+    ~context:
+      [ ("queued", string_of_int queued);
+        ("limit", string_of_int limit);
+        ("retry_after_ms", string_of_int retry_after_ms) ]
+    "admission queue is full; back off and retry"
+
+let draining =
+  Diag.make ~stage ~code:"draining"
+    "daemon is draining: in-flight jobs finish, new jobs are rejected"
+
+let unreachable ~addr detail =
+  Diag.make ~stage ~code:"unreachable"
+    ~context:[ ("socket", addr); ("detail", detail) ]
+    "compile daemon is not reachable at the socket"
+
+let retry_after_ms (d : Diag.t) =
+  if d.Diag.stage = stage && d.Diag.code = "overloaded" then
+    Option.bind (List.assoc_opt "retry_after_ms" d.Diag.context) int_of_string_opt
+  else None
 
 (* ------------------------------------------------------------- decoding *)
 
@@ -105,10 +136,21 @@ let request_of_frame line =
             | None | Some Json.Null -> Ok Flow.default_options
             | Some o -> Codec.options_of_json o
           in
-          match arch, options with
-          | Error e, _ -> Error (bad_request ("arch: " ^ e))
-          | _, Error e -> Error (bad_request ("options: " ^ e))
-          | Ok arch, Ok options -> Ok (Job { id; design; arch; options }))))
+          let deadline_ms =
+            match Json.member "deadline_ms" j with
+            | None | Some Json.Null -> Ok None
+            | Some v -> (
+              match Json.to_int v with
+              | Some ms when ms > 0 -> Ok (Some ms)
+              | Some _ -> Error "deadline_ms must be positive"
+              | None -> Error "deadline_ms must be an integer")
+          in
+          match arch, options, deadline_ms with
+          | Error e, _, _ -> Error (bad_request ("arch: " ^ e))
+          | _, Error e, _ -> Error (bad_request ("options: " ^ e))
+          | _, _, Error e -> Error (bad_request e)
+          | Ok arch, Ok options, Ok deadline_ms ->
+            Ok (Job { id; design; arch; options; deadline_ms }))))
     | Some t -> Error (bad_request ("unknown request type " ^ t)))
 
 (* ------------------------------------------------------------- encoding *)
@@ -123,13 +165,17 @@ let request_to_json = function
   | Ping -> Json.Obj [ ("type", Json.String "ping") ]
   | Stats_req -> Json.Obj [ ("type", Json.String "stats") ]
   | Shutdown -> Json.Obj [ ("type", Json.String "shutdown") ]
-  | Job { id; design; arch; options } ->
+  | Job { id; design; arch; options; deadline_ms } ->
     Json.Obj
-      [ ("type", Json.String "job");
-        ("id", Json.String id);
-        ("design", design_to_json design);
-        ("arch", Codec.arch_to_json arch);
-        ("options", Codec.options_to_json options) ]
+      ([ ("type", Json.String "job");
+         ("id", Json.String id);
+         ("design", design_to_json design);
+         ("arch", Codec.arch_to_json arch);
+         ("options", Codec.options_to_json options) ]
+      @
+      match deadline_ms with
+      | None -> []
+      | Some ms -> [ ("deadline_ms", Json.Int ms) ])
 
 let request_to_frame r = Json.to_string (request_to_json r)
 
@@ -187,13 +233,22 @@ let response_to_json = function
         ("id", match id with None -> Json.Null | Some s -> Json.String s);
         ("diag", diag_to_json diag) ]
   | Pong -> Json.Obj [ ("type", Json.String "pong") ]
-  | Stats_resp { jobs_done; cache_hits; cache_misses; cache_entries } ->
+  | Stats_resp s ->
     Json.Obj
       [ ("type", Json.String "stats");
-        ("jobs_done", Json.Int jobs_done);
-        ("cache_hits", Json.Int cache_hits);
-        ("cache_misses", Json.Int cache_misses);
-        ("cache_entries", Json.Int cache_entries) ]
+        ("jobs_done", Json.Int s.jobs_done);
+        ("cache_hits", Json.Int s.cache_hits);
+        ("cache_misses", Json.Int s.cache_misses);
+        ("cache_entries", Json.Int s.cache_entries);
+        ("uptime_s", Json.Int s.uptime_s);
+        ("timeouts", Json.Int s.timeouts);
+        ("shed", Json.Int s.shed);
+        ("drained", Json.Int s.drained);
+        ("slow_reader_disconnects", Json.Int s.slow_reader_disconnects);
+        ("cache_scrubbed", Json.Int s.cache_scrubbed);
+        ("cache_corrupt", Json.Int s.cache_corrupt);
+        ( "rejected",
+          Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.rejected) ) ]
   | Bye -> Json.Obj [ ("type", Json.String "bye") ]
 
 let response_to_frame r = Json.to_string (response_to_json r)
@@ -252,9 +307,35 @@ let response_of_frame line =
       | Some i -> Ok i
       | None -> Error ("stats without " ^ name)
     in
+    (* Robustness counters default to zero so a newer client can read an
+       older daemon's stats (liberal-in on optional members only). *)
+    let opt name =
+      Option.value ~default:0 (Option.bind (Json.member name j) Json.to_int)
+    in
     let* jobs_done = int "jobs_done" in
     let* cache_hits = int "cache_hits" in
     let* cache_misses = int "cache_misses" in
     let* cache_entries = int "cache_entries" in
-    Ok (Stats_resp { jobs_done; cache_hits; cache_misses; cache_entries })
+    let rejected =
+      match Json.member "rejected" j with
+      | Some (Json.Obj members) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
+          members
+      | _ -> []
+    in
+    Ok
+      (Stats_resp
+         { jobs_done;
+           cache_hits;
+           cache_misses;
+           cache_entries;
+           uptime_s = opt "uptime_s";
+           timeouts = opt "timeouts";
+           shed = opt "shed";
+           drained = opt "drained";
+           slow_reader_disconnects = opt "slow_reader_disconnects";
+           cache_scrubbed = opt "cache_scrubbed";
+           cache_corrupt = opt "cache_corrupt";
+           rejected })
   | Some t -> Error ("unknown response type " ^ t)

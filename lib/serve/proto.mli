@@ -29,9 +29,14 @@
     ["serve"], with stable codes the protocol tests assert on:
     [bad-json] (not JSON), [bad-request] (JSON, wrong shape),
     [oversized] (frame over the byte bound), [truncated] (EOF inside a
-    line), [bad-design] (unparseable netlist / unknown circuit). A
-    rejection is always per-message: the daemon answers with an error
-    frame and keeps serving. *)
+    line), [bad-design] (unparseable netlist / unknown circuit),
+    [timeout] (the job overran its deadline — see
+    {!Nanomap_util.Cancel}), [overloaded] (admission queue full; the
+    context carries a [retry_after_ms] hint), [draining] (shutdown in
+    progress, in-flight jobs finishing), and the client-side-only
+    [unreachable] (no daemon at the socket). A rejection is always
+    per-message: the daemon answers with an error frame and keeps
+    serving. *)
 
 module Json = Nanomap_util.Json
 module Diag = Nanomap_util.Diag
@@ -49,6 +54,10 @@ type job = {
   design : design_src;
   arch : Nanomap_arch.Arch.t;
   options : Nanomap_flow.Flow.options;
+  deadline_ms : int option;
+      (** per-job compute budget; [None] defers to the server default.
+          On the wire as an optional positive-integer ["deadline_ms"]
+          member. *)
 }
 
 type request =
@@ -62,6 +71,20 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_entries : int;
+  uptime_s : int;             (** whole seconds since the engine started *)
+  timeouts : int;             (** jobs cancelled at their deadline *)
+  shed : int;                 (** jobs rejected [serve/overloaded] *)
+  drained : int;              (** jobs rejected [serve/draining] *)
+  slow_reader_disconnects : int;
+                              (** connections dropped for an over-budget
+                                  write buffer *)
+  cache_scrubbed : int;       (** orphaned cache temp files removed *)
+  cache_corrupt : int;        (** cache entries that failed integrity
+                                  verification *)
+  rejected : (string * int) list;
+                              (** rejection counts keyed ["stage/code"],
+                                  sorted by key — every error frame the
+                                  engine ever emitted, by class *)
 }
 
 type response =
@@ -88,6 +111,22 @@ val truncated : int -> Diag.t
 
 val bad_design : string -> Diag.t
 (** The [serve/bad-design] rejection. *)
+
+val overloaded : queued:int -> limit:int -> retry_after_ms:int -> Diag.t
+(** The [serve/overloaded] load-shed rejection. [retry_after_ms] is the
+    server's backoff hint (its recent average compile time), carried in
+    context for {!retry_after_ms} to read back. *)
+
+val draining : Diag.t
+(** The [serve/draining] rejection for jobs arriving during graceful
+    shutdown. *)
+
+val unreachable : addr:string -> string -> Diag.t
+(** The client-side [serve/unreachable] diagnostic: no daemon listening
+    at [addr] (connect refused / socket missing), with the errno detail. *)
+
+val retry_after_ms : Diag.t -> int option
+(** The backoff hint of a [serve/overloaded] diagnostic, when present. *)
 
 (** {2 Encoding} *)
 

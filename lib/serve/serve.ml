@@ -2,28 +2,101 @@ module Pool = Nanomap_util.Pool
 module Diag = Nanomap_util.Diag
 module Framing = Nanomap_util.Framing
 module Telemetry = Nanomap_util.Telemetry
+module Cancel = Nanomap_util.Cancel
+module Rng = Nanomap_util.Rng
 module Codec = Nanomap_flow.Codec
 module Flow = Nanomap_flow.Flow
 module Circuits = Nanomap_circuits.Circuits
 
+type limits = {
+  default_deadline_ms : int option;
+  max_queued_jobs : int;
+  max_conn_buffer : int;
+}
+
+let default_limits =
+  { default_deadline_ms = None;
+    max_queued_jobs = 64;
+    max_conn_buffer = 8 * 1024 * 1024 }
+
 type engine = {
   pool : Pool.t;
   cache : Cache.t;
+  limits : limits;
+  started_ns : int64;
+  rejections : (string, int) Hashtbl.t;
   mutable jobs_done : int;
+  mutable timeouts : int;
+  mutable shed : int;
+  mutable drained_jobs : int;
+  mutable slow_reader_disconnects : int;
+  mutable draining : bool;
+  mutable compile_ms_ewma : float;    (* 0.0 until the first compile *)
 }
 
-let create_engine ?(jobs = 1) ?cache () =
+let create_engine ?(jobs = 1) ?cache ?(limits = default_limits) () =
   let cache = match cache with Some c -> c | None -> Cache.create () in
-  { pool = Pool.create ~jobs:(Pool.resolve_jobs jobs) (); cache; jobs_done = 0 }
+  { pool = Pool.create ~jobs:(Pool.resolve_jobs jobs) ();
+    cache;
+    limits;
+    started_ns = Cancel.now_ns ();
+    rejections = Hashtbl.create 8;
+    jobs_done = 0;
+    timeouts = 0;
+    shed = 0;
+    drained_jobs = 0;
+    slow_reader_disconnects = 0;
+    draining = false;
+    compile_ms_ewma = 0.0 }
 
 let shutdown_engine eng = Pool.shutdown eng.pool
 let engine_cache eng = eng.cache
+let drain_engine eng = eng.draining <- true
+let engine_draining eng = eng.draining
+
+(* Every error frame funnels through here: the per-class ledger feeds the
+   stats response, and the dedicated counters (timeouts, shed, drained)
+   stay consistent with it by construction. *)
+let count_reject eng (d : Diag.t) =
+  let key = d.Diag.stage ^ "/" ^ d.Diag.code in
+  Hashtbl.replace eng.rejections key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt eng.rejections key));
+  if d.Diag.stage = Proto.stage then
+    match d.Diag.code with
+    | "timeout" -> eng.timeouts <- eng.timeouts + 1
+    | "overloaded" -> eng.shed <- eng.shed + 1
+    | "draining" -> eng.drained_jobs <- eng.drained_jobs + 1
+    | _ -> ()
+
+let reject eng ~id diag =
+  count_reject eng diag;
+  Proto.Error_resp { id; diag }
+
+(* The overload hint: the server's recent average compile time is the
+   most honest estimate of when a queue slot will free up. Floor keeps
+   the hint sane before the first compile lands. *)
+let retry_hint_ms eng =
+  if eng.compile_ms_ewma <= 0.0 then 100
+  else max 20 (int_of_float eng.compile_ms_ewma)
 
 let engine_stats eng =
+  let rejected =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) eng.rejections [])
+  in
+  let uptime_ns = Int64.sub (Cancel.now_ns ()) eng.started_ns in
   { Proto.jobs_done = eng.jobs_done;
     cache_hits = Cache.hits eng.cache;
     cache_misses = Cache.misses eng.cache;
-    cache_entries = Cache.mem_entries eng.cache }
+    cache_entries = Cache.mem_entries eng.cache;
+    uptime_s = Int64.to_int (Int64.div uptime_ns 1_000_000_000L);
+    timeouts = eng.timeouts;
+    shed = eng.shed;
+    drained = eng.drained_jobs;
+    slow_reader_disconnects = eng.slow_reader_disconnects;
+    cache_scrubbed = Cache.scrubbed eng.cache;
+    cache_corrupt = Cache.corrupt eng.cache;
+    rejected }
 
 (* -------------------------------------------------------------- engine *)
 
@@ -52,7 +125,12 @@ type slot =
   | Await of { id : string; key : string }
 
 let handle_batch eng requests =
-  (* pass 1: resolve, answer cache hits, collect unique misses in order *)
+  (* pass 1: admission. Resolve designs, answer cache hits, collect
+     unique misses in order — and enforce the robustness gates, in this
+     order: draining (a [Shutdown] earlier in this same batch already
+     counts), then the bounded admission queue. A job's cancellation
+     token starts at admission, so its deadline covers queueing time too:
+     a deadline is a promise about the answer, not about CPU time. *)
   let pending = Hashtbl.create 8 in
   let order = ref [] in
   let slots =
@@ -61,50 +139,88 @@ let handle_batch eng requests =
         match req with
         | Proto.Ping -> Immediate [ Proto.Pong ]
         | Proto.Stats_req -> Immediate [ Proto.Stats_resp (engine_stats eng) ]
-        | Proto.Shutdown -> Immediate [ Proto.Bye ]
-        | Proto.Job { Proto.id; design; arch; options } -> (
-          match resolve_design design with
-          | Error diag ->
-            eng.jobs_done <- eng.jobs_done + 1;
-            Immediate [ Proto.Error_resp { id = Some id; diag } ]
-          | Ok rtl -> (
-            let key = Codec.content_key ~design:rtl ~arch ~options in
-            if Hashtbl.mem pending key then Await { id; key }
-            else
-              match Cache.find eng.cache key with
-              | Some artifact ->
-                eng.jobs_done <- eng.jobs_done + 1;
-                Immediate (hit_responses id key artifact)
-              | None ->
-                Hashtbl.add pending key (rtl, arch, options);
-                order := key :: !order;
-                Await { id; key })))
+        | Proto.Shutdown ->
+          eng.draining <- true;
+          Immediate [ Proto.Bye ]
+        | Proto.Job { Proto.id; design; arch; options; deadline_ms } -> (
+          if eng.draining then
+            Immediate [ reject eng ~id:(Some id) Proto.draining ]
+          else
+            match resolve_design design with
+            | Error diag ->
+              eng.jobs_done <- eng.jobs_done + 1;
+              Immediate [ reject eng ~id:(Some id) diag ]
+            | Ok rtl -> (
+              let key = Codec.content_key ~design:rtl ~arch ~options in
+              if Hashtbl.mem pending key then Await { id; key }
+              else
+                match Cache.find eng.cache key with
+                | Some artifact ->
+                  eng.jobs_done <- eng.jobs_done + 1;
+                  Immediate (hit_responses id key artifact)
+                | None ->
+                  let queued = Hashtbl.length pending in
+                  let limit = eng.limits.max_queued_jobs in
+                  if limit > 0 && queued >= limit then
+                    Immediate
+                      [ reject eng ~id:(Some id)
+                          (Proto.overloaded ~queued ~limit
+                             ~retry_after_ms:(retry_hint_ms eng)) ]
+                  else begin
+                    let deadline_ms =
+                      match deadline_ms with
+                      | Some _ as d -> d
+                      | None -> eng.limits.default_deadline_ms
+                    in
+                    let cancel = Cancel.make ?deadline_ms () in
+                    Hashtbl.add pending key (rtl, arch, options, cancel);
+                    order := key :: !order;
+                    Await { id; key }
+                  end)))
       requests
   in
   (* compile the unique misses on the pool. Each job runs with jobs = 1
      (a pool map must not nest); batch-level parallelism is the pool's.
      Tasks never raise — a failing job becomes its own Error and cannot
-     poison the rest of the batch (Pool re-raises the first exception). *)
+     poison the rest of the batch (Pool re-raises the first exception).
+     Each job carries its own token: checked here before the compile
+     starts (a job can time out waiting for a pool slot) and at every
+     stage boundary inside [Flow.run_result]. *)
   let uniq = Array.of_list (List.rev !order) in
   let computed =
     Pool.map eng.pool
       ~f:(fun key ->
-        let rtl, arch, options = Hashtbl.find pending key in
+        let rtl, arch, options, cancel = Hashtbl.find pending key in
         let options = { options with Flow.jobs = 1 } in
-        match Flow.run_result ~options ~arch rtl with
-        | Ok report -> Ok (report, Codec.artifact_of_report report)
-        | Error diag -> Error diag
-        | exception exn -> (
-          match Diag.of_exn ~stage:Proto.stage exn with
-          | Some diag -> Error diag
-          | None -> raise exn))
+        let t0 = Cancel.now_ns () in
+        let outcome =
+          if Cancel.expired cancel then Error (Cancel.timeout_diag cancel)
+          else
+            match Flow.run_result ~cancel ~options ~arch rtl with
+            | Ok report -> Ok (report, Codec.artifact_of_report report)
+            | Error diag -> Error diag
+            | exception exn -> (
+              match Diag.of_exn ~stage:Proto.stage exn with
+              | Some diag -> Error diag
+              | None -> raise exn)
+        in
+        let ms =
+          Int64.to_float (Int64.sub (Cancel.now_ns ()) t0) /. 1_000_000.0
+        in
+        (outcome, ms))
       uniq
   in
   let outcomes = Hashtbl.create 8 in
   Array.iteri
     (fun i key ->
-      Hashtbl.replace outcomes key computed.(i);
-      match computed.(i) with
+      let outcome, ms = computed.(i) in
+      (* the EWMA only samples completed compiles on the submitting
+         domain, after the pool joined — no cross-domain mutation *)
+      eng.compile_ms_ewma <-
+        (if eng.compile_ms_ewma <= 0.0 then ms
+         else (0.8 *. eng.compile_ms_ewma) +. (0.2 *. ms));
+      Hashtbl.replace outcomes key outcome;
+      match outcome with
       | Ok (_, artifact) -> Cache.store eng.cache key artifact
       | Error _ -> ())
     uniq;
@@ -119,7 +235,7 @@ let handle_batch eng requests =
       | Await { id; key } -> (
         eng.jobs_done <- eng.jobs_done + 1;
         match Hashtbl.find outcomes key with
-        | Error diag -> [ Proto.Error_resp { id = Some id; diag } ]
+        | Error diag -> [ reject eng ~id:(Some id) diag ]
         | Ok (report, artifact) ->
           if not (Hashtbl.mem first_served key) then begin
             Hashtbl.add first_served key ();
@@ -145,19 +261,15 @@ let serve_channels eng ic oc =
     match Framing.read_frame ic with
     | `Eof -> ()
     | `Truncated partial ->
-      respond
-        [ Proto.Error_resp
-            { id = None; diag = Proto.truncated (String.length partial) } ]
+      respond [ reject eng ~id:None (Proto.truncated (String.length partial)) ]
     | `Oversized n ->
       respond
-        [ Proto.Error_resp
-            { id = None;
-              diag = Proto.oversized ~limit:Framing.default_max_bytes n } ];
+        [ reject eng ~id:None (Proto.oversized ~limit:Framing.default_max_bytes n) ];
       loop ()
     | `Frame line -> (
       match Proto.request_of_frame line with
       | Error diag ->
-        respond [ Proto.Error_resp { id = None; diag } ];
+        respond [ reject eng ~id:None diag ];
         loop ()
       | Ok req -> (
         respond (List.concat (handle_batch eng [ req ]));
@@ -200,21 +312,44 @@ let flush_conn c =
     go 0
   end
 
-let send_responses conn rs =
+(* A reader that stops reading is a memory leak with a socket attached:
+   the buffer cap converts it into a disconnect. Dropping the connection
+   loses that client's pending responses — acceptable; blocking the
+   daemon or growing without bound is not. *)
+let send_responses eng conn rs =
   if not conn.broken then begin
     List.iter
       (fun r ->
         Buffer.add_string conn.out (Proto.response_to_frame r);
         Buffer.add_char conn.out '\n')
       rs;
-    flush_conn conn
+    flush_conn conn;
+    let cap = eng.limits.max_conn_buffer in
+    if cap > 0 && Buffer.length conn.out > cap then begin
+      conn.broken <- true;
+      eng.slow_reader_disconnects <- eng.slow_reader_disconnects + 1
+    end
   end
 
 let serve_unix ?(max_bytes = Framing.default_max_bytes) ?(on_ready = fun () -> ())
-    eng ~socket_path =
+    ?(handle_sigterm = false) eng ~socket_path =
   if Sys.file_exists socket_path then Sys.remove socket_path;
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let drain_requested = Atomic.make false in
+  (* a client that disconnects mid-write must surface as EPIPE on that
+     one connection (marked broken, reaped), never as a SIGPIPE that
+     kills the whole daemon *)
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let old_sigterm =
+    if handle_sigterm then
+      Some
+        (Sys.signal Sys.sigterm
+           (Sys.Signal_handle (fun _ -> Atomic.set drain_requested true)))
+    else None
+  in
   let cleanup () =
+    Sys.set_signal Sys.sigpipe old_sigpipe;
+    Option.iter (Sys.set_signal Sys.sigterm) old_sigterm;
     (try Unix.close listener with Unix.Unix_error _ -> ());
     try Sys.remove socket_path with Sys_error _ -> ()
   in
@@ -226,89 +361,110 @@ let serve_unix ?(max_bytes = Framing.default_max_bytes) ?(on_ready = fun () -> (
   let conns = ref [] in
   let buf = Bytes.create 65536 in
   let stop = ref false in
+  (* SIGTERM drain: the signal only flips an atomic (safe at any point);
+     the loop notices it between batches — in-flight compiles therefore
+     always finish. One final zero-timeout sweep answers whatever is
+     already readable with [serve/draining], then the loop exits and the
+     normal shutdown path flushes what each connection is owed. *)
+  let drain_sweep_done = ref false in
   (try
      while not !stop do
-       (* a connection stays registered until its read side is closed AND
-          everything it is owed has been flushed *)
-       let live, dead =
-         List.partition
-           (fun c -> (not c.broken) && (c.alive || Buffer.length c.out > 0))
-           !conns
-       in
-       List.iter
-         (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
-         dead;
-       conns := live;
-       let rset =
-         listener :: List.filter_map (fun c -> if c.alive then Some c.fd else None) live
-       and wset =
-         List.filter_map
-           (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
-           live
-       in
-       let readable, writable, _ = Unix.select rset wset [] (-1.0) in
-       List.iter (fun c -> if List.mem c.fd writable then flush_conn c) live;
-       if List.mem listener readable then begin
-         let fd, _ = Unix.accept listener in
-         Unix.set_nonblock fd;
-         conns :=
-           !conns
-           @ [ { fd; splitter = Framing.Splitter.create ~max_bytes ();
-                 out = Buffer.create 256; alive = true; broken = false } ]
-       end;
-       (* drain every readable connection; queue keeps arrival order *)
-       let queue = ref [] in
-       List.iter
-         (fun c ->
-           if c.alive && List.mem c.fd readable then begin
-             let eof () =
-               (match Framing.Splitter.finish c.splitter with
-               | Some partial ->
-                 queue := (c, `Err (Proto.truncated (String.length partial))) :: !queue
-               | None -> ());
-               c.alive <- false
-             in
-             match Unix.read c.fd buf 0 (Bytes.length buf) with
-             | exception
-                 Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-               ->
-               ()
-             | exception Unix.Unix_error _ -> eof ()
-             | 0 -> eof ()
-             | n ->
-               List.iter
-                 (fun frame ->
-                   match frame with
-                   | Framing.Frame line -> (
-                     match Proto.request_of_frame line with
-                     | Ok r -> queue := (c, `Req r) :: !queue
-                     | Error diag -> queue := (c, `Err diag) :: !queue)
-                   | Framing.Oversized n ->
-                     queue := (c, `Err (Proto.oversized ~limit:max_bytes n)) :: !queue)
-                 (Framing.Splitter.feed c.splitter (Bytes.sub_string buf 0 n))
-           end)
-         live;
-       let queue = List.rev !queue in
-       let batch =
-         List.filter_map (function _, `Req r -> Some r | _, `Err _ -> None) queue
-       in
-       let answers = handle_batch eng batch in
-       (* hand each answer back to its requester, still in arrival order *)
-       let rec dispatch queue answers =
-         match queue, answers with
-         | [], _ -> ()
-         | (c, `Err diag) :: rest, answers ->
-           send_responses c [ Proto.Error_resp { id = None; diag } ];
-           dispatch rest answers
-         | (c, `Req r) :: rest, rs :: answers ->
-           send_responses c rs;
-           (match r with Proto.Shutdown -> stop := true | _ -> ());
-           dispatch rest answers
-         | (_, `Req _) :: _, [] -> ()
-       in
-       dispatch queue answers
-       (* closed connections are reaped at the top of the next iteration,
-          once their remaining output has drained *)
+       if Atomic.get drain_requested then
+         if !drain_sweep_done then stop := true
+         else begin
+           drain_sweep_done := true;
+           eng.draining <- true
+         end;
+       if not !stop then begin
+         (* a connection stays registered until its read side is closed AND
+            everything it is owed has been flushed *)
+         let live, dead =
+           List.partition
+             (fun c -> (not c.broken) && (c.alive || Buffer.length c.out > 0))
+             !conns
+         in
+         List.iter
+           (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+           dead;
+         conns := live;
+         let rset =
+           listener :: List.filter_map (fun c -> if c.alive then Some c.fd else None) live
+         and wset =
+           List.filter_map
+             (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+             live
+         in
+         let timeout = if !drain_sweep_done then 0.0 else -1.0 in
+         let readable, writable =
+           (* a signal interrupting select is not an error: return empty
+              sets and let the top of the loop see the drain flag *)
+           match Unix.select rset wset [] timeout with
+           | r, w, _ -> (r, w)
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+         in
+         List.iter (fun c -> if List.mem c.fd writable then flush_conn c) live;
+         if List.mem listener readable then begin
+           let fd, _ = Unix.accept listener in
+           Unix.set_nonblock fd;
+           conns :=
+             !conns
+             @ [ { fd; splitter = Framing.Splitter.create ~max_bytes ();
+                   out = Buffer.create 256; alive = true; broken = false } ]
+         end;
+         (* drain every readable connection; queue keeps arrival order *)
+         let queue = ref [] in
+         List.iter
+           (fun c ->
+             if c.alive && List.mem c.fd readable then begin
+               let eof () =
+                 (match Framing.Splitter.finish c.splitter with
+                 | Some partial ->
+                   queue := (c, `Err (Proto.truncated (String.length partial))) :: !queue
+                 | None -> ());
+                 c.alive <- false
+               in
+               match Unix.read c.fd buf 0 (Bytes.length buf) with
+               | exception
+                   Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                 ->
+                 ()
+               | exception Unix.Unix_error _ -> eof ()
+               | 0 -> eof ()
+               | n ->
+                 List.iter
+                   (fun frame ->
+                     match frame with
+                     | Framing.Frame line -> (
+                       match Proto.request_of_frame line with
+                       | Ok r -> queue := (c, `Req r) :: !queue
+                       | Error diag -> queue := (c, `Err diag) :: !queue)
+                     | Framing.Oversized n ->
+                       queue := (c, `Err (Proto.oversized ~limit:max_bytes n)) :: !queue)
+                   (Framing.Splitter.feed c.splitter (Bytes.sub_string buf 0 n))
+             end)
+           live;
+         let queue = List.rev !queue in
+         let batch =
+           List.filter_map (function _, `Req r -> Some r | _, `Err _ -> None) queue
+         in
+         let answers = handle_batch eng batch in
+         (* hand each answer back to its requester, still in arrival order *)
+         let rec dispatch queue answers =
+           match queue, answers with
+           | [], _ -> ()
+           | (c, `Err diag) :: rest, answers ->
+             send_responses eng c [ reject eng ~id:None diag ];
+             dispatch rest answers
+           | (c, `Req r) :: rest, rs :: answers ->
+             send_responses eng c rs;
+             (match r with Proto.Shutdown -> stop := true | _ -> ());
+             dispatch rest answers
+           | (_, `Req _) :: _, [] -> ()
+         in
+         dispatch queue answers
+         (* closed connections are reaped at the top of the next iteration,
+            once their remaining output has drained *)
+       end
      done
    with e -> cleanup (); raise e);
   (* drain what each connection is still owed (e.g. the Bye) before
@@ -329,16 +485,53 @@ let serve_unix ?(max_bytes = Framing.default_max_bytes) ?(on_ready = fun () -> (
 
 (* -------------------------------------------------------------- client *)
 
+module Backoff = struct
+  (* Capped exponential with multiplicative jitter, fully determined by
+     the seed: retry storms from many clients decorrelate (different
+     seeds) while any single schedule is replayable in tests. *)
+  let delays_ms ?(base_ms = 50) ?(cap_ms = 2000) ~seed ~attempts () =
+    let base_ms = max 1 base_ms in
+    let cap_ms = max base_ms cap_ms in
+    let rng = Rng.create seed in
+    List.init (max 0 attempts) (fun i ->
+        let expo = min cap_ms (base_ms * (1 lsl min i 16)) in
+        let half = max 1 (expo / 2) in
+        half + Rng.int rng (half + 1))
+end
+
 module Client = struct
   type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-  let connect ~socket_path =
+  let connect_once ~socket_path =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
      with e ->
        (try Unix.close fd with Unix.Unix_error _ -> ());
        raise e);
     { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+  let connect ?(retries = 0) ?(backoff_ms = 100) ~socket_path () =
+    (* The jitter seed comes from the socket path: one client retries on
+       a reproducible schedule, two clients hammering different daemons
+       do not sync up. *)
+    let delays =
+      Backoff.delays_ms ~base_ms:backoff_ms
+        ~seed:(Hashtbl.hash socket_path) ~attempts:retries ()
+    in
+    let rec go delays =
+      match connect_once ~socket_path with
+      | t -> t
+      | exception Unix.Unix_error (err, _, _) -> (
+        match delays with
+        | d :: rest ->
+          Unix.sleepf (float_of_int d /. 1000.0);
+          go rest
+        | [] ->
+          raise
+            (Diag.Fail
+               (Proto.unreachable ~addr:socket_path (Unix.error_message err))))
+    in
+    go delays
 
   let close t =
     (try flush t.oc with Sys_error _ -> ());
@@ -363,4 +556,20 @@ module Client = struct
       | terminator -> (List.rev events, terminator)
     in
     go []
+
+  let submit ?(attempts = 1) t job =
+    let attempts = max 1 attempts in
+    let rec go n =
+      send t (Proto.Job job);
+      let events, term = recv_result t in
+      match term with
+      | Proto.Error_resp { diag; _ }
+        when n + 1 < attempts && Option.is_some (Proto.retry_after_ms diag) ->
+        (* honor the server's own estimate of when a slot frees up *)
+        Unix.sleepf
+          (float_of_int (Option.get (Proto.retry_after_ms diag)) /. 1000.0);
+        go (n + 1)
+      | _ -> (events, term)
+    in
+    go 0
 end

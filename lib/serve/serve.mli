@@ -25,14 +25,48 @@
     daemon keeps serving (first-failure isolation is per job, not per
     batch). Protocol-level garbage (bad JSON, oversized or truncated
     frames) is likewise answered per message with a [serve/*] diagnostic
-    — see {!Proto}. *)
+    — see {!Proto}.
+
+    {2 Robustness model}
+
+    Admission happens per job, in batch order, through three gates:
+
+    + {e draining}: once a [Shutdown] was seen (or SIGTERM arrived),
+      every later job is rejected [serve/draining] — jobs admitted
+      before it still finish;
+    + {e backpressure}: at most [limits.max_queued_jobs] unique misses
+      are admitted per batch; beyond that, [serve/overloaded] with a
+      [retry_after_ms] hint derived from the recent average compile
+      time;
+    + {e deadline}: an admitted job gets a {!Nanomap_util.Cancel} token
+      (its own [deadline_ms], else the server default), checked before
+      the compile starts and at every flow stage boundary — an overrun
+      becomes [serve/timeout], never a wedged worker.
+
+    Slow readers are disconnected (never blocked on) once their pending
+    output exceeds [limits.max_conn_buffer]. All rejections are counted
+    by class in {!engine_stats}. *)
+
+type limits = {
+  default_deadline_ms : int option;
+      (** applied to jobs that carry no [deadline_ms]; [None] = no limit *)
+  max_queued_jobs : int;
+      (** unique compile misses admitted per batch; [<= 0] = unbounded *)
+  max_conn_buffer : int;
+      (** per-connection pending-output bytes before the slow reader is
+          dropped; [<= 0] = unbounded *)
+}
+
+val default_limits : limits
+(** No default deadline, 64 queued jobs, 8 MiB write buffer. *)
 
 type engine
 
-val create_engine : ?jobs:int -> ?cache:Cache.t -> unit -> engine
+val create_engine :
+  ?jobs:int -> ?cache:Cache.t -> ?limits:limits -> unit -> engine
 (** [jobs] is the pool width for batch compiles (default 1; resolved via
     {!Nanomap_util.Pool.resolve_jobs}). [cache] defaults to a fresh
-    memory-only cache. *)
+    memory-only cache. [limits] defaults to {!default_limits}. *)
 
 val shutdown_engine : engine -> unit
 (** Stop the pool. Idempotent. *)
@@ -40,10 +74,19 @@ val shutdown_engine : engine -> unit
 val engine_cache : engine -> Cache.t
 val engine_stats : engine -> Proto.stats
 
+val drain_engine : engine -> unit
+(** Flip the engine into draining mode: every job admitted from now on
+    is rejected [serve/draining]. Irreversible (the engine is expected
+    to be shut down next). *)
+
+val engine_draining : engine -> bool
+
 val handle_batch : engine -> Proto.request list -> Proto.response list list
 (** The scheduling core, exposed for tests and the load-generator bench:
     one response list per request, in submission order ([Shutdown] answers
-    [Bye] — stopping the surrounding loop is the caller's job). *)
+    [Bye] and flips the engine into draining mode — jobs later in the
+    same batch are already rejected [serve/draining]; stopping the
+    surrounding loop is the caller's job). *)
 
 (** {2 Server loops} *)
 
@@ -56,6 +99,7 @@ val serve_channels : engine -> in_channel -> out_channel -> unit
 val serve_unix :
   ?max_bytes:int ->
   ?on_ready:(unit -> unit) ->
+  ?handle_sigterm:bool ->
   engine ->
   socket_path:string ->
   unit
@@ -65,15 +109,35 @@ val serve_unix :
     its pending answers, the listener closes, and the socket file is
     removed). [on_ready] fires once the socket is listening (the tests'
     startup barrier). [max_bytes] is the per-frame bound
-    (default {!Nanomap_util.Framing.default_max_bytes}). *)
+    (default {!Nanomap_util.Framing.default_max_bytes}).
+
+    With [handle_sigterm] (the CLI's default; off here so in-process
+    tests never touch global signal state), SIGTERM triggers a graceful
+    drain: the in-progress batch finishes, one final zero-timeout sweep
+    answers already-arrived jobs with [serve/draining], pending output
+    is flushed, and the loop exits. The previous SIGTERM disposition is
+    restored on return. *)
 
 (** {2 Client side} *)
+
+module Backoff : sig
+  val delays_ms :
+    ?base_ms:int -> ?cap_ms:int -> seed:int -> attempts:int -> unit -> int list
+  (** A deterministic retry schedule: capped exponential (base 50 ms,
+      cap 2000 ms) with multiplicative jitter in [\[expo/2, expo\]],
+      fully determined by [seed]. Equal seeds give equal schedules;
+      different clients (different seeds) decorrelate. *)
+end
 
 module Client : sig
   type t
 
-  val connect : socket_path:string -> t
-  (** Raises [Unix.Unix_error] if the daemon is not there. *)
+  val connect : ?retries:int -> ?backoff_ms:int -> socket_path:string -> unit -> t
+  (** Connect, retrying a refused/missing socket [retries] times on the
+      {!Backoff} schedule ([backoff_ms] is the base, seeded from
+      [socket_path]). When the daemon is still unreachable, raises
+      [Nanomap_util.Diag.Fail] with [serve/unreachable] (never a raw
+      [Unix.Unix_error]). *)
 
   val close : t -> unit
   val send : t -> Proto.request -> unit
@@ -85,4 +149,11 @@ module Client : sig
   val recv_result : t -> Proto.response list * Proto.response
   (** Read until a job terminator ([Result], [Error_resp], or [Bye]):
       returns the streamed events and the terminator. *)
+
+  val submit :
+    ?attempts:int -> t -> Proto.job -> Proto.response list * Proto.response
+  (** Send one job and read its events and terminator. On a
+      [serve/overloaded] rejection, sleeps the server's [retry_after_ms]
+      hint and resends, up to [attempts] total tries (default 1 — no
+      retry); any other terminator returns immediately. *)
 end

@@ -1,0 +1,47 @@
+(* Monotonic-clock token: Unix wall time can step (NTP), which would turn
+   a clock adjustment into spurious mass timeouts on a long-lived daemon. *)
+
+type t = {
+  deadline_ns : int64 option;
+  budget_ms : int option;
+  flag : bool Atomic.t;
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+let make ?deadline_ms () =
+  let deadline_ns =
+    Option.map
+      (fun ms -> Int64.add (now_ns ()) (Int64.mul (Int64.of_int (max 0 ms)) 1_000_000L))
+      deadline_ms
+  in
+  { deadline_ns; budget_ms = deadline_ms; flag = Atomic.make false }
+
+let none () = make ()
+
+let cancel t = Atomic.set t.flag true
+
+let expired t =
+  Atomic.get t.flag
+  || (match t.deadline_ns with
+     | Some d -> Int64.compare (now_ns ()) d >= 0
+     | None -> false)
+
+let remaining_ms t =
+  if Atomic.get t.flag then Some 0
+  else
+    match t.deadline_ns with
+    | None -> None
+    | Some d ->
+      let left = Int64.sub d (now_ns ()) in
+      Some (max 0 (Int64.to_int (Int64.div left 1_000_000L)))
+
+let timeout_diag t =
+  Diag.make ~stage:"serve" ~code:"timeout"
+    ~context:
+      (match t.budget_ms with
+      | Some ms -> [ ("deadline_ms", string_of_int ms) ]
+      | None -> [])
+    "job exceeded its deadline and was cancelled at a stage boundary"
+
+let check t = if expired t then raise (Diag.Fail (timeout_diag t))

@@ -1,0 +1,52 @@
+(** Cooperative cancellation tokens for deadline-bounded work.
+
+    The compile service admits jobs with a wall-clock budget; a wedged or
+    merely slow compile must stop claiming a worker without the service
+    resorting to anything preemptive (killing a domain would poison the
+    shared runtime). The contract is {e cooperative}: the flow checks its
+    token at every stage boundary and the pool checks it before starting
+    each task, so a cancelled job is abandoned at the next seam rather
+    than mid-stage.
+
+    A token combines an optional monotonic-clock deadline with a manual
+    flag (for client-disconnect or drain-driven cancellation). Expiry is
+    expressed as the typed diagnostic [serve/timeout], which is exactly
+    what {!Nanomap_util.Diag} consumers (the flow driver, the serve
+    engine) already journal and return — a timed-out job therefore
+    surfaces to the client as a normal typed rejection, never as a
+    wedged worker. *)
+
+type t
+
+val now_ns : unit -> int64
+(** The monotonic clock tokens measure against (nanoseconds from an
+    arbitrary origin) — exposed so services can compute uptimes against
+    the same clock their deadlines use. *)
+
+val make : ?deadline_ms:int -> unit -> t
+(** A fresh token. With [deadline_ms], {!expired} flips once that many
+    milliseconds of monotonic time have elapsed from [make]; without it
+    the token only trips via {!cancel}. [deadline_ms <= 0] means already
+    expired. *)
+
+val none : unit -> t
+(** A token that never expires on its own (fresh — safe to share only if
+    nobody calls {!cancel} on it). *)
+
+val cancel : t -> unit
+(** Trip the token manually (thread-safe, idempotent). *)
+
+val expired : t -> bool
+(** Manually cancelled, or past the deadline. *)
+
+val remaining_ms : t -> int option
+(** Milliseconds until expiry ([Some 0] when past due or cancelled);
+    [None] for a deadline-free token that has not been cancelled. *)
+
+val timeout_diag : t -> Diag.t
+(** The [serve/timeout] diagnostic this token raises, carrying the
+    original [deadline_ms] budget in context. *)
+
+val check : t -> unit
+(** Raise [Diag.Fail (timeout_diag t)] if {!expired}. The hook stage
+    boundaries call. *)

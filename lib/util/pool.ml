@@ -138,14 +138,23 @@ let run_job t job =
   end;
   Mutex.unlock t.mutex
 
-let mapi t ~f xs =
+let mapi ?cancel t ~f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
     let run i =
       let r =
-        match f i xs.(i) with
+        (* The cancellation check runs inside the capture: a tripped token
+           turns every not-yet-started task into a per-task [Diag.Fail]
+           (serve/timeout) instead of tearing the pool down, and the join
+           point re-raises the lowest-index one as usual. Tasks already
+           running are the stages' business — they check their own token
+           at stage boundaries. *)
+        match
+          (match cancel with Some c -> Cancel.check c | None -> ());
+          f i xs.(i)
+        with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
@@ -166,13 +175,13 @@ let mapi t ~f xs =
       results
   end
 
-let map t ~f xs = mapi t ~f:(fun _ x -> f x) xs
+let map ?cancel t ~f xs = mapi ?cancel t ~f:(fun _ x -> f x) xs
 
-let map_seeded t ~rng ~f xs =
+let map_seeded ?cancel t ~rng ~f xs =
   (* Seeds are split off serially, in index order, before any task runs:
      task [i]'s stream is a function of [rng]'s state and [i] alone. *)
   let seeds = Array.map (fun _ -> Rng.split rng) xs in
-  mapi t ~f:(fun i x -> f seeds.(i) x) xs
+  mapi ?cancel t ~f:(fun i x -> f seeds.(i) x) xs
 
-let map_reduce t ~f ~combine ~init xs =
-  Array.fold_left combine init (map t ~f xs)
+let map_reduce ?cancel t ~f ~combine ~init xs =
+  Array.fold_left combine init (map ?cancel t ~f xs)

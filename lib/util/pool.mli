@@ -53,19 +53,24 @@ val workers : t -> int
     the caller — [min (jobs t) (recommended_domain_count ())] unless the
     pool was created with [~oversubscribe:true]. *)
 
-val map : t -> f:('a -> 'b) -> 'a array -> 'b array
+val map : ?cancel:Cancel.t -> t -> f:('a -> 'b) -> 'a array -> 'b array
 (** [map pool ~f xs] is [Array.map f xs] computed on the pool's workers.
-    Result order is submission order. *)
+    Result order is submission order. With [cancel], the token is checked
+    before each task starts: once it trips, every not-yet-started task
+    fails with the token's [serve/timeout] {!Diag.Fail} (captured per
+    task like any other exception — the pool itself stays usable). *)
 
-val mapi : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+val mapi : ?cancel:Cancel.t -> t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
 
 val map_seeded :
+  ?cancel:Cancel.t ->
   t -> rng:Rng.t -> f:(Rng.t -> 'a -> 'b) -> 'a array -> 'b array
 (** Like {!map} but each task gets its own private RNG, split off [rng]
     serially in index order before any task starts (advancing [rng] by
     one draw per task). Identical streams for every worker count. *)
 
 val map_reduce :
+  ?cancel:Cancel.t ->
   t -> f:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc ->
   'a array -> 'acc
 (** [map] then a left fold of [combine] over the results in submission

@@ -14,7 +14,10 @@ module Bitstream = Nanomap_bitstream.Bitstream
 module Flow = Nanomap_flow.Flow
 module Check = Nanomap_flow.Check
 module Codec = Nanomap_flow.Codec
+module Fault = Nanomap_flow.Fault
 module Diag = Nanomap_util.Diag
+module Cancel = Nanomap_util.Cancel
+module Pool = Nanomap_util.Pool
 module Json = Nanomap_util.Json
 module Framing = Nanomap_util.Framing
 module Hashing = Nanomap_util.Hashing
@@ -37,14 +40,15 @@ let opts ?(objective = Flow.Fixed_level 1) ?(mapper = Mapper.Truth_table)
 
 let circuit name = (Circuits.by_name name).Circuits.design
 
-let job ?(id = "j0") ?arch ?options design =
+let job ?(id = "j0") ?arch ?options ?deadline_ms design =
   { Proto.id;
     design = Proto.Rtl_text (Codec.rtl_to_string design);
     arch = (match arch with Some a -> a | None -> Arch.default);
-    options = (match options with Some o -> o | None -> opts ()) }
+    options = (match options with Some o -> o | None -> opts ());
+    deadline_ms }
 
-let with_engine ?jobs ?cache f =
-  let eng = Serve.create_engine ?jobs ?cache () in
+let with_engine ?jobs ?cache ?limits f =
+  let eng = Serve.create_engine ?jobs ?cache ?limits () in
   Fun.protect ~finally:(fun () -> Serve.shutdown_engine eng) (fun () -> f eng)
 
 let terminator = function
@@ -114,6 +118,80 @@ let test_splitter_oversized () =
   | _ -> Alcotest.fail "expected Oversized then Frame");
   check (Alcotest.option Alcotest.string) "nothing pending" None
     (Framing.Splitter.finish sp)
+
+let test_splitter_edge_cases () =
+  (* an oversized line split across chunk boundaries still resyncs *)
+  let sp = Framing.Splitter.create ~max_bytes:8 () in
+  let frames = ref [] in
+  List.iter
+    (fun chunk -> frames := !frames @ Framing.Splitter.feed sp chunk)
+    [ "01234"; "5678"; "9abc"; "def\n"; "ok"; "\n" ];
+  (match !frames with
+  | [ Framing.Oversized n; Framing.Frame ok ] ->
+    check Alcotest.bool "length past the bound" true (n > 8);
+    check Alcotest.string "resync across chunks" "ok" ok
+  | _ -> Alcotest.fail "expected Oversized then Frame");
+  (* one byte at a time, CRLF line endings *)
+  let sp = Framing.Splitter.create () in
+  let frames = ref [] in
+  String.iter
+    (fun c -> frames := !frames @ Framing.Splitter.feed sp (String.make 1 c))
+    "{\"a\":1}\r\n{\"b\":2}\n";
+  (match !frames with
+  | [ Framing.Frame a; Framing.Frame b ] ->
+    check Alcotest.string "byte-at-a-time CRLF frame" "{\"a\":1}" a;
+    check Alcotest.string "second frame" "{\"b\":2}" b
+  | _ -> Alcotest.fail "expected exactly two frames");
+  check (Alcotest.option Alcotest.string) "nothing pending" None
+    (Framing.Splitter.finish sp);
+  (* empty lines are keep-alives: no frames, and the stream continues *)
+  let sp = Framing.Splitter.create () in
+  check Alcotest.int "empty lines yield no frames" 0
+    (List.length (Framing.Splitter.feed sp "\n\r\n\n"));
+  match Framing.Splitter.feed sp "still-alive\n" with
+  | [ Framing.Frame f ] -> check Alcotest.string "stream alive" "still-alive" f
+  | _ -> Alcotest.fail "stream must survive empty lines"
+
+(* Whatever way a byte stream is cut into chunks, the splitter must
+   produce the same frame sequence — the daemon has no control over how
+   the kernel fragments socket reads. *)
+let qcheck_splitter_chunking =
+  QCheck.Test.make ~name:"splitter: frames independent of chunking" ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let charset = "ab{}\":,1 \r" in
+      let line () =
+        String.init (Rng.int rng 21) (fun _ ->
+            charset.[Rng.int rng (String.length charset)])
+      in
+      let buf = Buffer.create 64 in
+      for _ = 1 to Rng.int rng 7 do
+        Buffer.add_string buf (line ());
+        Buffer.add_char buf '\n'
+      done;
+      if Rng.int rng 2 = 1 then Buffer.add_string buf (line ());
+      let stream = Buffer.contents buf in
+      let max_bytes = 8 + Rng.int rng 32 in
+      let run feed_style =
+        let sp = Framing.Splitter.create ~max_bytes () in
+        let frames =
+          match feed_style with
+          | `Whole -> Framing.Splitter.feed sp stream
+          | `Chunked ->
+            let n = String.length stream in
+            let rec go off acc =
+              if off >= n then acc
+              else
+                let len = min (1 + Rng.int rng (max 1 (n - off))) (n - off) in
+                go (off + len)
+                  (acc @ Framing.Splitter.feed sp (String.sub stream off len))
+            in
+            go 0 []
+        in
+        (frames, Framing.Splitter.finish sp)
+      in
+      run `Whole = run `Chunked)
 
 let test_write_frame_rejects_newline () =
   let buf = Buffer.create 8 in
@@ -609,20 +687,20 @@ let test_cache_lru_bound () =
   check Alcotest.bool "recently used survives" true (Cache.find c k1 <> None);
   check Alcotest.bool "LRU victim gone" true (Cache.find c k2 = None)
 
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    let rec go path =
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> go (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+    in
+    go dir
+  end
+
 let test_cache_disk_tier () =
   let dir = "serve-cache-test" in
-  let rm_rf dir =
-    if Sys.file_exists dir then begin
-      let rec go path =
-        if Sys.is_directory path then begin
-          Array.iter (fun f -> go (Filename.concat path f)) (Sys.readdir path);
-          Sys.rmdir path
-        end
-        else Sys.remove path
-      in
-      go dir
-    end
-  in
   rm_rf dir;
   let a = small_artifact () in
   let key = Hashing.digest_hex "disk-entry" in
@@ -647,6 +725,376 @@ let test_cache_disk_tier () =
   check Alcotest.bool "corrupt entry is a miss" true (Cache.find c3 key = None);
   check Alcotest.int "miss counted" 1 (Cache.misses c3);
   rm_rf dir
+
+(* --------------------------------- robustness: deadlines, backpressure *)
+
+let test_cancel_token () =
+  let c = Cancel.none () in
+  check Alcotest.bool "fresh token live" false (Cancel.expired c);
+  Cancel.check c;
+  Cancel.cancel c;
+  check Alcotest.bool "manual trip" true (Cancel.expired c);
+  check (Alcotest.option Alcotest.int) "cancelled is past due" (Some 0)
+    (Cancel.remaining_ms c);
+  (match Cancel.check c with
+  | () -> Alcotest.fail "tripped token passed the check"
+  | exception Diag.Fail d ->
+    check Alcotest.string "stage" "serve" d.Diag.stage;
+    check Alcotest.string "code" "timeout" d.Diag.code);
+  check Alcotest.bool "zero budget is born expired" true
+    (Cancel.expired (Cancel.make ~deadline_ms:0 ()));
+  let loose = Cancel.make ~deadline_ms:60_000 () in
+  check Alcotest.bool "roomy deadline not expired" false (Cancel.expired loose);
+  match Cancel.remaining_ms loose with
+  | Some ms -> check Alcotest.bool "remaining within budget" true (ms <= 60_000)
+  | None -> Alcotest.fail "deadline token must report remaining time"
+
+let test_pool_cancel () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      let c = Cancel.make () in
+      Cancel.cancel c;
+      (match Pool.map ~cancel:c p ~f:(fun x -> x * 2) [| 1; 2; 3 |] with
+      | _ -> Alcotest.fail "tripped token did not abort the map"
+      | exception Diag.Fail d ->
+        check Alcotest.string "serve stage" "serve" d.Diag.stage;
+        check Alcotest.string "typed timeout" "timeout" d.Diag.code);
+      (* the pool is not poisoned by the cancellation *)
+      check (Alcotest.array Alcotest.int) "pool usable afterwards" [| 2; 4 |]
+        (Pool.map p ~f:(fun x -> x * 2) [| 1; 2 |]))
+
+let test_flow_cancel () =
+  let c = Cancel.make () in
+  Cancel.cancel c;
+  match Flow.run_result ~cancel:c ~options:(opts ()) (circuit "ex1_small") with
+  | Ok _ -> Alcotest.fail "cancelled flow returned a report"
+  | Error d ->
+    check Alcotest.string "stage" "serve" d.Diag.stage;
+    check Alcotest.string "code" "timeout" d.Diag.code;
+    check Alcotest.bool "no degradation attempts for a dead job" true
+      (List.assoc_opt "degradations" d.Diag.context = None)
+
+let test_deadline_timeout () =
+  let d = circuit "ex1_small" in
+  Fun.protect ~finally:Fault.Chaos.disarm (fun () ->
+      (* stall past the budget at a stage boundary: deterministic overrun
+         without a genuinely slow design *)
+      Fault.Chaos.arm_stall ~design:(Rtl.name d) ~stage:"plan" ~ms:80;
+      with_engine (fun eng ->
+          (match
+             Serve.handle_batch eng
+               [ Proto.Job (job ~id:"slow" ~deadline_ms:20 d) ]
+           with
+          | [ rs ] -> (
+            match terminator rs with
+            | Proto.Error_resp { id = Some "slow"; diag } ->
+              check Alcotest.string "stage" "serve" diag.Diag.stage;
+              check Alcotest.string "code" "timeout" diag.Diag.code
+            | _ -> Alcotest.fail "expected a serve/timeout rejection")
+          | _ -> Alcotest.fail "one answer expected");
+          Fault.Chaos.disarm ();
+          (* the worker was freed, not wedged: the same engine compiles *)
+          (match Serve.handle_batch eng [ Proto.Job (job ~id:"ok" d) ] with
+          | [ rs ] ->
+            check Alcotest.string "clean job answered" "ok" (expect_result rs).id
+          | _ -> Alcotest.fail "one answer expected");
+          let st = Serve.engine_stats eng in
+          check Alcotest.int "timeout counted" 1 st.Proto.timeouts;
+          check (Alcotest.option Alcotest.int) "ledger agrees" (Some 1)
+            (List.assoc_opt "serve/timeout" st.Proto.rejected)))
+
+let test_deadline_protocol () =
+  (match
+     Proto.request_of_frame
+       (Proto.request_to_frame
+          (Proto.Job (job ~id:"d" ~deadline_ms:1500 (circuit "crc8"))))
+   with
+  | Ok (Proto.Job j) ->
+    check (Alcotest.option Alcotest.int) "deadline survives the wire"
+      (Some 1500) j.Proto.deadline_ms
+  | Ok _ -> Alcotest.fail "decoded as a non-job"
+  | Error d -> Alcotest.fail (Diag.to_string d));
+  (match
+     Proto.request_of_frame
+       (Proto.request_to_frame (Proto.Job (job (circuit "crc8"))))
+   with
+  | Ok (Proto.Job j) ->
+    check (Alcotest.option Alcotest.int) "absent stays absent" None
+      j.Proto.deadline_ms
+  | _ -> Alcotest.fail "round trip failed");
+  List.iter
+    (fun (label, frame) ->
+      match Proto.request_of_frame frame with
+      | Ok _ -> Alcotest.fail (label ^ " accepted")
+      | Error d ->
+        check Alcotest.string (label ^ " rejected") "bad-request" d.Diag.code)
+    [ ( "zero deadline",
+        "{\"type\":\"job\",\"id\":\"x\",\"design\":{\"kind\":\"circuit\",\
+         \"name\":\"crc8\"},\"deadline_ms\":0}" );
+      ( "negative deadline",
+        "{\"type\":\"job\",\"id\":\"x\",\"design\":{\"kind\":\"circuit\",\
+         \"name\":\"crc8\"},\"deadline_ms\":-5}" );
+      ( "non-integer deadline",
+        "{\"type\":\"job\",\"id\":\"x\",\"design\":{\"kind\":\"circuit\",\
+         \"name\":\"crc8\"},\"deadline_ms\":\"soon\"}" ) ]
+
+let test_queue_backpressure () =
+  let limits = { Serve.default_limits with Serve.max_queued_jobs = 2 } in
+  with_engine ~limits (fun eng ->
+      let d = circuit "ex1_small" in
+      (* distinct seeds give distinct content keys: five unique misses *)
+      let batch =
+        List.init 5 (fun i ->
+            Proto.Job
+              (job ~id:(Printf.sprintf "q%d" i) ~options:(opts ~seed:(i + 1) ())
+                 d))
+      in
+      let responses = Serve.handle_batch eng batch in
+      check Alcotest.int "every job answered" 5 (List.length responses);
+      let shed, served =
+        List.partition
+          (fun rs ->
+            match terminator rs with
+            | Proto.Error_resp { diag; _ } -> diag.Diag.code = "overloaded"
+            | _ -> false)
+          responses
+      in
+      check Alcotest.int "admissions bounded" 2 (List.length served);
+      check Alcotest.int "excess shed" 3 (List.length shed);
+      List.iter
+        (fun rs ->
+          match terminator rs with
+          | Proto.Error_resp { diag; _ } -> (
+            match Proto.retry_after_ms diag with
+            | Some ms -> check Alcotest.bool "positive retry hint" true (ms > 0)
+            | None -> Alcotest.fail "overloaded without a retry hint")
+          | _ -> Alcotest.fail "partition error")
+        shed;
+      List.iter (fun rs -> ignore (expect_result rs)) served;
+      let st = Serve.engine_stats eng in
+      check Alcotest.int "shed counted" 3 st.Proto.shed;
+      check (Alcotest.option Alcotest.int) "ledger agrees" (Some 3)
+        (List.assoc_opt "serve/overloaded" st.Proto.rejected);
+      check Alcotest.bool "uptime is sane" true (st.Proto.uptime_s >= 0);
+      (* shedding is per batch, not a latch: a later job is admitted
+         (seed 1 was compiled above, so this is even a cache hit) *)
+      match Serve.handle_batch eng [ Proto.Job (job ~id:"later" d) ] with
+      | [ rs ] ->
+        check Alcotest.string "admitted later" "later" (expect_result rs).id
+      | _ -> Alcotest.fail "one answer expected")
+
+let test_drain_ordering () =
+  with_engine (fun eng ->
+      let d = circuit "crc8" in
+      (match
+         Serve.handle_batch eng
+           [ Proto.Job (job ~id:"before" d); Proto.Shutdown;
+             Proto.Job (job ~id:"after" d) ]
+       with
+      | [ before; bye; after ] ->
+        check Alcotest.string "job admitted before the shutdown finishes"
+          "before" (expect_result before).id;
+        (match terminator bye with
+        | Proto.Bye -> ()
+        | _ -> Alcotest.fail "shutdown answers bye");
+        (match terminator after with
+        | Proto.Error_resp { id = Some "after"; diag } ->
+          check Alcotest.string "later job rejected" "draining" diag.Diag.code
+        | _ -> Alcotest.fail "job after shutdown must be rejected")
+      | _ -> Alcotest.fail "three answers expected");
+      check Alcotest.bool "engine is draining" true (Serve.engine_draining eng);
+      (* draining is sticky across batches *)
+      (match Serve.handle_batch eng [ Proto.Job (job ~id:"next" d) ] with
+      | [ rs ] -> (
+        match terminator rs with
+        | Proto.Error_resp { diag; _ } ->
+          check Alcotest.string "still draining" "draining" diag.Diag.code
+        | _ -> Alcotest.fail "draining engine accepted a job")
+      | _ -> Alcotest.fail "one answer expected");
+      check Alcotest.int "drained counted" 2
+        (Serve.engine_stats eng).Proto.drained)
+
+let test_backoff_schedule () =
+  let a = Serve.Backoff.delays_ms ~seed:9 ~attempts:6 () in
+  check Alcotest.(list int) "same seed, same schedule" a
+    (Serve.Backoff.delays_ms ~seed:9 ~attempts:6 ());
+  check Alcotest.int "one delay per attempt" 6 (List.length a);
+  check Alcotest.bool "different seeds decorrelate" true
+    (a <> Serve.Backoff.delays_ms ~seed:10 ~attempts:6 ());
+  List.iteri
+    (fun i d ->
+      let expo = min 2000 (50 * (1 lsl i)) in
+      check Alcotest.bool
+        (Printf.sprintf "delay %d in the jitter band" i)
+        true
+        (d >= expo / 2 && d <= expo))
+    a;
+  let tiny = Serve.Backoff.delays_ms ~base_ms:1 ~cap_ms:4 ~seed:1 ~attempts:8 () in
+  check Alcotest.bool "cap respected" true (List.for_all (fun d -> d <= 4) tiny)
+
+let test_client_unreachable () =
+  match
+    Serve.Client.connect ~retries:2 ~backoff_ms:1
+      ~socket_path:"serve-no-daemon.sock" ()
+  with
+  | _ -> Alcotest.fail "connected to a daemon that does not exist"
+  | exception Diag.Fail d ->
+    check Alcotest.string "stage" "serve" d.Diag.stage;
+    check Alcotest.string "code" "unreachable" d.Diag.code;
+    check (Alcotest.option Alcotest.string) "socket named in context"
+      (Some "serve-no-daemon.sock")
+      (List.assoc_opt "socket" d.Diag.context)
+
+let test_stats_roundtrip () =
+  let st =
+    { Proto.jobs_done = 7; cache_hits = 3; cache_misses = 4; cache_entries = 4;
+      uptime_s = 123; timeouts = 2; shed = 5; drained = 1;
+      slow_reader_disconnects = 1; cache_scrubbed = 2; cache_corrupt = 1;
+      rejected = [ ("serve/overloaded", 5); ("serve/timeout", 2) ] }
+  in
+  (match
+     Proto.response_of_frame (Proto.response_to_frame (Proto.Stats_resp st))
+   with
+  | Ok (Proto.Stats_resp st') ->
+    check Alcotest.bool "every counter survives the wire" true (st = st')
+  | Ok _ -> Alcotest.fail "decoded as a non-stats response"
+  | Error e -> Alcotest.fail e);
+  (* a legacy (pre-robustness) frame still parses: new counters default 0 *)
+  match
+    Proto.response_of_frame
+      "{\"type\":\"stats\",\"jobs_done\":1,\"cache_hits\":0,\
+       \"cache_misses\":1,\"cache_entries\":1}"
+  with
+  | Ok (Proto.Stats_resp st') ->
+    check Alcotest.int "legacy jobs_done" 1 st'.Proto.jobs_done;
+    check Alcotest.int "missing counter defaults to zero" 0 st'.Proto.timeouts;
+    check Alcotest.bool "missing ledger defaults to empty" true
+      (st'.Proto.rejected = [])
+  | Ok _ -> Alcotest.fail "decoded as a non-stats response"
+  | Error e -> Alcotest.fail e
+
+(* ----------------------------------------------- service-level chaos *)
+
+let test_chaos_crash_isolated () =
+  let d = circuit "ex1_small" in
+  Fun.protect ~finally:Fault.Chaos.disarm (fun () ->
+      with_engine (fun eng ->
+          Fault.Chaos.arm_crash ~design:(Rtl.name d) ~stage:"prepare";
+          (match Serve.handle_batch eng [ Proto.Job (job ~id:"doomed" d) ] with
+          | [ rs ] -> (
+            match terminator rs with
+            | Proto.Error_resp { id = Some "doomed"; diag } ->
+              check Alcotest.string "adopted at the stage" "prepare"
+                diag.Diag.stage;
+              check Alcotest.string "typed code" "uncaught-failure"
+                diag.Diag.code
+            | _ -> Alcotest.fail "crash must surface as a typed error")
+          | _ -> Alcotest.fail "one answer expected");
+          Fault.Chaos.disarm ();
+          (* the engine survived; the post-fault compile is byte-identical
+             to a cold compile in a pristine engine *)
+          let healed =
+            match Serve.handle_batch eng [ Proto.Job (job ~id:"healed" d) ] with
+            | [ rs ] -> expect_result rs
+            | _ -> Alcotest.fail "one answer expected"
+          in
+          check Alcotest.bool "the failure was never cached" false healed.cached;
+          let pristine =
+            with_engine (fun eng2 ->
+                match
+                  Serve.handle_batch eng2 [ Proto.Job (job ~id:"cold" d) ]
+                with
+                | [ rs ] -> expect_result rs
+                | _ -> Alcotest.fail "one answer expected")
+          in
+          check Alcotest.string "same content key" pristine.key healed.key;
+          check Alcotest.bool "byte-identical to a pristine cold compile" true
+            (Codec.artifact_equal healed.artifact pristine.artifact)))
+
+let test_chaos_cache_crash_safety () =
+  let dir = "serve-chaos-cache" in
+  rm_rf dir;
+  let a = small_artifact () in
+  let key = Hashing.digest_hex "chaos-entry" in
+  check Alcotest.string "chaos and cache agree on the disk layout"
+    (Cache.entry_path dir key)
+    (Fault.Chaos.entry_path ~dir ~key);
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 key a;
+  (* torn write: half the file; must become a miss, never a damaged artifact *)
+  check Alcotest.bool "entry there to corrupt" true
+    (Fault.Chaos.corrupt_disk_entry ~dir ~key);
+  let c2 = Cache.create ~dir () in
+  check Alcotest.bool "digest catches the torn write" true
+    (Cache.find c2 key = None);
+  check Alcotest.int "corruption counted" 1 (Cache.corrupt c2);
+  check Alcotest.bool "damaged file quarantined" false
+    (Sys.file_exists (Cache.entry_path dir key));
+  (* the next store repairs the entry *)
+  Cache.store c2 key a;
+  (match Cache.find (Cache.create ~dir ()) key with
+  | Some a' ->
+    check Alcotest.bool "repaired entry round-trips" true
+      (Codec.artifact_equal a a')
+  | None -> Alcotest.fail "repaired entry not found");
+  (* an orphaned temp file is removed by the startup scrub *)
+  let tmp = Fault.Chaos.orphan_tmp ~dir ~key in
+  check Alcotest.bool "orphan planted" true (Sys.file_exists tmp);
+  let c4 = Cache.create ~dir () in
+  check Alcotest.bool "orphan scrubbed at startup" false (Sys.file_exists tmp);
+  check Alcotest.int "scrub counted" 1 (Cache.scrubbed c4);
+  check Alcotest.bool "real entry untouched by the scrub" true
+    (Cache.find c4 key <> None);
+  (* the verify sweep: clean tier first, then one freshly torn entry *)
+  let r = Cache.verify c4 in
+  check Alcotest.int "verify sees the entry" 1 r.Cache.checked;
+  check Alcotest.int "clean tier verifies" 0 r.Cache.corrupt;
+  ignore (Fault.Chaos.corrupt_disk_entry ~dir ~key);
+  let r2 = Cache.verify c4 in
+  check Alcotest.int "sweep finds the damage" 1 r2.Cache.corrupt;
+  check Alcotest.int "and removes it" 1 r2.Cache.removed;
+  rm_rf dir
+
+let test_chaos_corrupt_entry_recompiles () =
+  let dir = "serve-chaos-recompile" in
+  rm_rf dir;
+  let d = circuit "crc8" in
+  let once id =
+    with_engine ~cache:(Cache.create ~dir ()) (fun eng ->
+        match Serve.handle_batch eng [ Proto.Job (job ~id d) ] with
+        | [ rs ] -> expect_result rs
+        | _ -> Alcotest.fail "one answer expected")
+  in
+  let cold = once "cold" in
+  check Alcotest.bool "entry corrupted on disk" true
+    (Fault.Chaos.corrupt_disk_entry ~dir ~key:cold.key);
+  (* a fresh daemon over the same cache dir: the digest check turns the
+     torn entry into a miss and the recompile matches the original bytes *)
+  let again = once "again" in
+  check Alcotest.bool "recompiled, not served damaged" false again.cached;
+  check Alcotest.bool "byte-identical to the original" true
+    (Codec.artifact_equal cold.artifact again.artifact);
+  rm_rf dir
+
+let test_chaos_garbage_frames () =
+  let frames = Fault.Chaos.garbage_frames ~seed:7 ~count:12 in
+  check Alcotest.int "deterministic count" 12 (List.length frames);
+  check Alcotest.bool "deterministic content" true
+    (frames = Fault.Chaos.garbage_frames ~seed:7 ~count:12);
+  check Alcotest.bool "never an embedded newline" true
+    (List.for_all (fun f -> not (String.contains f '\n')) frames);
+  let responses =
+    stdio_session (String.concat "\n" (frames @ [ "{\"type\":\"ping\"}" ]) ^ "\n")
+  in
+  check Alcotest.int "every frame answered" 13 (List.length responses);
+  match List.rev responses with
+  | Proto.Pong :: errors_rev ->
+    List.iter
+      (fun r ->
+        let code = error_code r in
+        check Alcotest.bool ("typed rejection: " ^ code) true
+          (code = "bad-json" || code = "bad-request"))
+      errors_rev
+  | _ -> Alcotest.fail "daemon must answer the ping after the garbage"
 
 (* ------------------------------------------------- socket daemon *)
 
@@ -734,7 +1182,7 @@ let test_client_roundtrip () =
   let socket_path = "serve-client.sock" in
   with_engine (fun eng ->
       let daemon = start_daemon eng socket_path in
-      let client = Serve.Client.connect ~socket_path in
+      let client = Serve.Client.connect ~socket_path () in
       Serve.Client.send client (Proto.Job (job (circuit "crc8")));
       let events, terminator = Serve.Client.recv_result client in
       (match terminator with
@@ -764,6 +1212,8 @@ let () =
       ( "framing",
         [ Alcotest.test_case "chunked reassembly" `Quick test_splitter_chunks;
           Alcotest.test_case "oversized resync" `Quick test_splitter_oversized;
+          Alcotest.test_case "edge cases" `Quick test_splitter_edge_cases;
+          to_alco qcheck_splitter_chunking;
           Alcotest.test_case "write_frame rejects newline" `Quick
             test_write_frame_rejects_newline ] );
       ( "codec",
@@ -797,6 +1247,34 @@ let () =
           to_alco qcheck_key_properties;
           Alcotest.test_case "fingerprints stable at -j1 vs -j4" `Quick
             test_worker_count_stability ] );
+      ( "robustness",
+        [ Alcotest.test_case "cancellation token" `Quick test_cancel_token;
+          Alcotest.test_case "pool honors a tripped token" `Quick
+            test_pool_cancel;
+          Alcotest.test_case "flow aborts at a stage boundary" `Quick
+            test_flow_cancel;
+          Alcotest.test_case "deadline becomes serve/timeout" `Quick
+            test_deadline_timeout;
+          Alcotest.test_case "deadline_ms on the wire" `Quick
+            test_deadline_protocol;
+          Alcotest.test_case "queue bound sheds with a retry hint" `Quick
+            test_queue_backpressure;
+          Alcotest.test_case "drain ordering" `Quick test_drain_ordering;
+          Alcotest.test_case "backoff schedule is deterministic" `Quick
+            test_backoff_schedule;
+          Alcotest.test_case "unreachable daemon is a typed failure" `Quick
+            test_client_unreachable;
+          Alcotest.test_case "stats round trip, legacy defaults" `Quick
+            test_stats_roundtrip ] );
+      ( "chaos",
+        [ Alcotest.test_case "crash mid-compile is isolated" `Quick
+            test_chaos_crash_isolated;
+          Alcotest.test_case "cache survives torn writes and orphans" `Quick
+            test_chaos_cache_crash_safety;
+          Alcotest.test_case "corrupt entry recompiles byte-identical" `Quick
+            test_chaos_corrupt_entry_recompiles;
+          Alcotest.test_case "garbage frames all answered" `Quick
+            test_chaos_garbage_frames ] );
       ( "socket",
         [ Alcotest.test_case "interleaved clients" `Quick
             test_socket_interleaved_clients;

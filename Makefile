@@ -1,6 +1,6 @@
 # Convenience wrapper; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-mappers fuzz fuzz-smoke serve-smoke chaos-smoke map-designs-aig regen-golden clean
+.PHONY: all build test check bench bench-mappers sat-smoke fuzz fuzz-smoke serve-smoke chaos-smoke map-designs-aig regen-golden clean
 
 all: build
 
@@ -24,6 +24,16 @@ bench:
 # splices the mapper_comparison section into BENCH_profile.json.
 bench-mappers: build
 	dune exec bench/main.exe -- --smoke mapper-comparison
+
+# Exact-placement smoke: the pinned-seed defect-tolerance survival sweep
+# (SA vs the embedded CDCL solver). Gated internally — a SAT placement
+# that fails Check.Full, an Unsat certificate exhaustive enumeration
+# disproves, a solver give-up, or an SA/SAT race whose winner differs
+# between one and four workers all exit nonzero. SAT_JOBS feeds --jobs;
+# CI runs 1 and 4, expecting identical tables either way.
+SAT_JOBS ?= 1
+sat-smoke: build
+	dune exec bench/main.exe -- --smoke --jobs=$(SAT_JOBS) defect-tolerance
 
 # Differential fuzzing: random designs through the whole flow, four
 # evaluation levels cross-checked per cycle (rtl-sim, lut-network,

@@ -4,8 +4,10 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- one experiment
      (table1 table2 fig1 fig35 interconnect tradeoff ablation-fds
-      ablation-place ablation-ffs speed serve profile; --smoke shrinks
-      profile to one small circuit and the serve load test to 120 jobs; --route-alg=full, =incremental or =both selects
+      ablation-place ablation-ffs speed mapper-comparison defect-tolerance
+      serve profile; --smoke shrinks
+      profile to one small circuit, the defect-tolerance survival sweep to
+      three rates x four trials, and the serve load test to 120 jobs; --route-alg=full, =incremental or =both selects
       the router variant(s) the profile experiment exercises;
       --check=off|fast|full sets the flow's inter-stage invariant checking
       level for the profile runs; --jobs=N sets the worker-domain count
@@ -43,6 +45,8 @@ module Gen_rtl = Nanomap_verify.Gen_rtl
 module Codec = Nanomap_flow.Codec
 module Proto = Nanomap_serve.Proto
 module Serve = Nanomap_serve.Serve
+module Defect = Nanomap_arch.Defect
+module Sat_place = Nanomap_place.Sat_place
 
 let section title = Printf.printf "\n=== %s ===\n\n%!" title
 
@@ -880,6 +884,64 @@ let mapper_comparison_print rows circuits =
     circuits;
   Ascii_table.print t2
 
+(* Splice ["key":json] into [file]'s top-level JSON object: replace an
+   existing entry in place (balanced-bracket scan over its value, so
+   sections can live in any order), append before the closing brace
+   otherwise, start a fresh object when the file is absent. Lets each
+   standalone experiment refresh its own section of BENCH_profile.json
+   without clobbering the others. *)
+let splice_json_section file key json =
+  let marker = Printf.sprintf ",\"%s\":" key in
+  let existing =
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some (String.trim s)
+    end
+    else None
+  in
+  let out =
+    match existing with
+    | None -> Printf.sprintf "{\"%s\":%s}" key json
+    | Some s ->
+      let n = String.length s in
+      let m = String.length marker in
+      let rec find i =
+        if i + m > n then None
+        else if String.sub s i m = marker then Some i
+        else find (i + 1)
+      in
+      (match find 0 with
+       | None -> String.sub s 0 (n - 1) ^ marker ^ json ^ "}"
+       | Some i ->
+         let vstart = i + m in
+         (* end of the value: at bracket depth 0, the next ',' or the
+            object's closing brace; strings may contain either *)
+         let rec vend j depth in_str =
+           if j >= n then j
+           else if in_str then
+             match s.[j] with
+             | '\\' -> vend (j + 2) depth true
+             | '"' -> vend (j + 1) depth false
+             | _ -> vend (j + 1) depth true
+           else
+             match s.[j] with
+             | '"' -> vend (j + 1) depth true
+             | '{' | '[' -> vend (j + 1) (depth + 1) false
+             | ('}' | ']' | ',') when depth = 0 -> j
+             | '}' | ']' -> vend (j + 1) (depth - 1) false
+             | _ -> vend (j + 1) depth false
+         in
+         let j = vend vstart 0 false in
+         String.sub s 0 i ^ marker ^ json ^ String.sub s j (n - j))
+  in
+  let oc = open_out file in
+  output_string oc out;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "updated %s (%s section)\n%!" file key
+
 (* Standalone experiment: print the tables and splice the section into an
    existing BENCH_profile.json (or start a fresh one), so `make
    bench-mappers` refreshes this section without re-running the full
@@ -889,42 +951,205 @@ let mapper_comparison () =
   let rows = mapper_comparison_generated () in
   let circuits = mapper_comparison_circuits () in
   mapper_comparison_print rows circuits;
-  let json = mapper_comparison_json rows circuits in
-  let file = "BENCH_profile.json" in
-  let existing =
-    if Sys.file_exists file then begin
-      let ic = open_in_bin file in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      Some s
-    end
-    else None
+  splice_json_section "BENCH_profile.json" "mapper_comparison"
+    (mapper_comparison_json rows circuits)
+
+(* ------------------------------------ Defect-tolerance survival (A8) *)
+
+(* Survival curve: at each LE defect rate, how often does each placement
+   engine still produce a legal assignment? The annealer's greedy
+   first-free-site scan collapses once defects cluster; the exact engine
+   either places or certifies Unsat. Every outcome is gated internally:
+   a placed result must pass Check.Full, every Unsat certificate must
+   agree with exhaustive enumeration, the solver must decide every
+   instance at this size, and the SA/SAT race must pick the identical
+   winner at one and four workers. *)
+
+let dt_gate cond msg =
+  if not cond then begin
+    Printf.eprintf "defect-tolerance: FAILED: %s\n%!" msg;
+    exit 1
+  end
+
+type dt_row = {
+  dt_rate : float;
+  dt_trials : int;
+  dt_sa : int;        (* annealer produced a Check.Full-legal placement *)
+  dt_sat : int;       (* exact engine placed (always Check.Full-legal) *)
+  dt_unsat : int;     (* exact engine certified no assignment exists *)
+  dt_gaveup : int;    (* conflict budget exhausted — gated to zero here *)
+}
+
+let dt_fixture () =
+  let b = Circuits.ex1_small () in
+  let arch = Arch.unbounded_k in
+  let p = Mapper.prepare b.Circuits.design in
+  let plan = Mapper.plan_level p ~arch ~level:1 in
+  (Cluster.pack plan ~arch, arch)
+
+let defect_tolerance_rows () =
+  let cl, arch = dt_fixture () in
+  let width, height = Place.grid_dims cl in
+  let rates =
+    if !smoke then [ 0.02; 0.08; 0.16 ]
+    else [ 0.01; 0.02; 0.05; 0.08; 0.12; 0.16; 0.20 ]
   in
-  let out =
-    match existing with
-    | Some s ->
-      let s = String.trim s in
-      let key = ",\"mapper_comparison\":" in
-      let base =
-        (* replace an existing section (always spliced last), else strip
-           the closing brace *)
-        let rec find i =
-          if i + String.length key > String.length s then None
-          else if String.sub s i (String.length key) = key then Some i
-          else find (i + 1)
-        in
-        match find 0 with
-        | Some i -> String.sub s 0 i
-        | None -> String.sub s 0 (String.length s - 1)
-      in
-      base ^ key ^ json ^ "}"
-    | None -> "{\"mapper_comparison\":" ^ json ^ "}"
+  let trials = if !smoke then 4 else 12 in
+  List.map
+    (fun rate ->
+      let sa = ref 0 and sat = ref 0 and unsat = ref 0 and gaveup = ref 0 in
+      for trial = 0 to trials - 1 do
+        let dseed = (1000 * trial) + int_of_float (rate *. 1000.0) in
+        let defects = Defect.random_les ~seed:dseed ~fraction:rate ~width ~height arch in
+        let tag = Printf.sprintf "rate %.2f trial %d" rate trial in
+        (match Place.place ~seed:trial ~effort:`Detailed ~defects cl with
+         | p ->
+           (match Check.place Check.Full ~defects cl p with
+            | Ok () -> incr sa
+            | Error d ->
+              dt_gate false
+                (Printf.sprintf "%s: SA placement rejected: %s" tag
+                   (Diag.to_string d)))
+         | exception Diag.Fail d when d.Diag.code = "defect-unplaceable" -> ());
+        (match Sat_place.solve ~seed:trial ~defects cl with
+         | Sat_place.Placed p ->
+           Place.validate p cl;
+           (match Check.place Check.Full ~defects cl p with
+            | Ok () -> incr sat
+            | Error d ->
+              dt_gate false
+                (Printf.sprintf "%s: SAT placement rejected: %s" tag
+                   (Diag.to_string d)))
+         | Sat_place.Unsat_proven ->
+           incr unsat;
+           dt_gate
+             (not (Sat_place.exhaustive_exists ~defects cl))
+             (tag ^ ": Unsat certificate contradicted by exhaustive search")
+         | Sat_place.Gave_up -> incr gaveup)
+      done;
+      dt_gate (!gaveup = 0)
+        (Printf.sprintf "rate %.2f: solver gave up on %d instance(s) at smoke size"
+           rate !gaveup);
+      dt_gate (!sat >= !sa)
+        (Printf.sprintf
+           "rate %.2f: annealer succeeded on %d fabrics the exact engine missed"
+           rate (!sa - !sat));
+      { dt_rate = rate; dt_trials = trials; dt_sa = !sa; dt_sat = !sat;
+        dt_unsat = !unsat; dt_gaveup = !gaveup })
+    rates
+
+(* Certification leg: a fabric with every LE dead is Unsat by
+   construction; the solver must say so (not give up) and the
+   backtracking oracle must agree. *)
+let defect_tolerance_unsat_cert () =
+  let cl, arch = dt_fixture () in
+  let width, height = Place.grid_dims cl in
+  let les = ref [] in
+  for x = 0 to width - 1 do
+    for y = 0 to height - 1 do
+      for mb = 0 to arch.Arch.mbs_per_smb - 1 do
+        for le = 0 to arch.Arch.les_per_mb - 1 do
+          les := (x, y, mb, le) :: !les
+        done
+      done
+    done
+  done;
+  let hopeless = { Defect.none with Defect.les = List.rev !les } in
+  let certified =
+    match Sat_place.solve ~defects:hopeless cl with
+    | Sat_place.Unsat_proven -> true
+    | Sat_place.Placed _ | Sat_place.Gave_up -> false
   in
-  let oc = open_out file in
-  output_string oc out;
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "updated %s (mapper_comparison section)\n%!" file
+  dt_gate certified "all-dead fabric not certified Unsat";
+  let agrees = not (Sat_place.exhaustive_exists ~defects:hopeless cl) in
+  dt_gate agrees "exhaustive search disagrees with the Unsat certificate";
+  (certified, agrees)
+
+(* Race leg: the SA-vs-SAT race must pick the identical winner (same
+   placement, same arm) at one and four workers — and at the CLI's
+   --jobs width — because the winner rule is a pure function of the two
+   arms' results. A deterministic failure (e.g. both arms losing on a
+   hopeless fabric) must also be identical. *)
+let defect_tolerance_race_check () =
+  let cl, arch = dt_fixture () in
+  let width, height = Place.grid_dims cl in
+  let defects = Defect.random_les ~seed:5 ~fraction:0.05 ~width ~height arch in
+  let fingerprint (p : Place.t) winner =
+    let b = Buffer.create 128 in
+    Printf.bprintf b "%s|%.6f|"
+      (match winner with `Sa -> "sa" | `Sat -> "sat")
+      p.Place.hpwl;
+    Array.iter (fun (x, y) -> Printf.bprintf b "%d,%d;" x y) p.Place.smb_xy;
+    Buffer.contents b
+  in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        match Sat_place.race ~pool ~count:4 ~seed:3 ~defects cl with
+        | p, winner -> fingerprint p winner
+        | exception Diag.Fail d -> "failed:" ^ d.Diag.code)
+  in
+  let widths =
+    List.sort_uniq compare [ 1; 4; Pool.resolve_jobs !bench_jobs ]
+  in
+  let fps = List.map (fun w -> (w, run w)) widths in
+  (match fps with
+   | (_, f0) :: rest ->
+     List.iter
+       (fun (w, f) ->
+         dt_gate (f = f0)
+           (Printf.sprintf "race outcome differs at %d workers" w))
+       rest;
+     f0
+   | [] -> assert false)
+
+let defect_tolerance_json rows (certified, agrees) race_fp =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"design\":\"ex1-4bit\",\"rates\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"rate\":%.2f,\"trials\":%d,\"sa_success\":%d,\"sat_success\":%d,\"sat_unsat\":%d,\"sat_gaveup\":%d}"
+           r.dt_rate r.dt_trials r.dt_sa r.dt_sat r.dt_unsat r.dt_gaveup))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"unsat_certified\":%b,\"exhaustive_agrees\":%b,\"race_identical_across_jobs\":true,\"race_winner\":%s}"
+       certified agrees
+       (Nanomap_util.Telemetry.json_string race_fp));
+  Buffer.contents buf
+
+let defect_tolerance_print rows =
+  let t =
+    Ascii_table.create
+      [ "Defect rate"; "Trials"; "SA ok"; "SAT ok"; "SAT unsat"; "SAT gave up" ]
+  in
+  List.iter
+    (fun r ->
+      Ascii_table.add_row t
+        [ Printf.sprintf "%.0f%%" (100.0 *. r.dt_rate);
+          string_of_int r.dt_trials;
+          string_of_int r.dt_sa;
+          string_of_int r.dt_sat;
+          string_of_int r.dt_unsat;
+          string_of_int r.dt_gaveup ])
+    rows;
+  Ascii_table.print t
+
+let defect_tolerance () =
+  section "Defect tolerance: placement survival vs LE defect rate (SA vs SAT)";
+  let rows = defect_tolerance_rows () in
+  defect_tolerance_print rows;
+  let cert = defect_tolerance_unsat_cert () in
+  Printf.printf "all-dead fabric: Unsat certified, exhaustive search agrees\n%!";
+  let race_fp = defect_tolerance_race_check () in
+  Printf.printf "race outcome identical at 1 and 4 workers (%s)\n%!"
+    (match String.index_opt race_fp '|' with
+     | Some i -> String.sub race_fp 0 i ^ " arm won"
+     | None -> race_fp);
+  splice_json_section "BENCH_profile.json" "defect_tolerance"
+    (defect_tolerance_json rows cert race_fp)
 
 let profile () =
   section "Flow profile: per-stage spans and cross-layer counters";
@@ -1162,6 +1387,12 @@ let profile () =
       Buffer.add_string buf "]}")
     scaling;
   Buffer.add_string buf "]";
+  let dt_rows = defect_tolerance_rows () in
+  defect_tolerance_print dt_rows;
+  let dt_cert = defect_tolerance_unsat_cert () in
+  let dt_race = defect_tolerance_race_check () in
+  Buffer.add_string buf
+    (",\"defect_tolerance\":" ^ defect_tolerance_json dt_rows dt_cert dt_race);
   let mc_rows = mapper_comparison_generated () in
   let mc_circuits = mapper_comparison_circuits () in
   mapper_comparison_print mc_rows mc_circuits;
@@ -1429,7 +1660,8 @@ let () =
       ("ablation-fds", ablation_fds); ("ablation-place", ablation_place);
       ("ablation-ffs", ablation_ffs); ("arch-geometry", arch_geometry);
       ("energy", energy); ("extended", extended); ("speed", speed);
-      ("mapper-comparison", mapper_comparison); ("serve", serve_bench);
+      ("mapper-comparison", mapper_comparison);
+      ("defect-tolerance", defect_tolerance); ("serve", serve_bench);
       ("profile", profile) ]
   in
   let to_run =

@@ -17,6 +17,7 @@ module Router = Nanomap_route.Router
 module Ascii_table = Nanomap_util.Ascii_table
 module Check = Nanomap_flow.Check
 module Defect = Nanomap_arch.Defect
+module Sat_place = Nanomap_place.Sat_place
 module Diag = Nanomap_util.Diag
 module Fuzz = Nanomap_verify.Fuzz
 module Gen_rtl = Nanomap_verify.Gen_rtl
@@ -132,15 +133,24 @@ let mapper_conv =
   let print fmt m = Format.pp_print_string fmt (Mapper.string_of_mapper m) in
   Arg.conv (parse, print)
 
+let placer_conv =
+  let parse s =
+    match Sat_place.strategy_of_string (String.lowercase_ascii s) with
+    | Some p -> Ok p
+    | None -> Error (`Msg "placer must be sa|sat|race")
+  in
+  let print fmt p = Format.pp_print_string fmt (Sat_place.strategy_to_string p) in
+  Arg.conv (parse, print)
+
 let run_map circuit blif vhdl objective area delay level logical pipelined seed
     route_alg check_level defects_file bitstream_out dump_blif trace json_out
-    verbose k jobs portfolio mapper aig_effort =
+    verbose k jobs portfolio mapper aig_effort placer =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   let defects =
     match defects_file with
     | None -> Ok Defect.none
     | Some path ->
-      (try Ok (Defect.of_file path) with
+      (try Ok (Defect.of_file ~arch:(arch_of_k k) path) with
        | Diag.Fail d -> Error (Diag.to_string d)
        | Sys_error msg -> Error msg)
   in
@@ -175,7 +185,8 @@ let run_map circuit blif vhdl objective area delay level logical pipelined seed
         mapper;
         aig_effort = max 1 (min 3 aig_effort);
         jobs = Pool.resolve_jobs jobs;
-        portfolio = max 1 portfolio }
+        portfolio = max 1 portfolio;
+        placer }
     in
     (match Flow.run_result ~options ~arch:(arch_of_k k) design with
      | Error d -> prerr_endline ("error: " ^ Diag.to_string d); 2
@@ -319,13 +330,23 @@ let map_cmd =
              ~doc:"AIG mapper effort 1..3: priority-cut budget and \
                    area-recovery rounds (only with --mapper=aig).")
   in
+  let placer =
+    Arg.(value & opt placer_conv Sat_place.Sa
+         & info [ "placer" ] ~docv:"P"
+             ~doc:"Detailed-placement engine: $(b,sa) (simulated-annealing \
+                   portfolio; default), $(b,sat) (exact CNF assignment via \
+                   the embedded CDCL solver, annealed afterwards for \
+                   wirelength — proves unplaceability on heavily defective \
+                   fabrics), or $(b,race) (run both, keep the legal result \
+                   with the lower wirelength).")
+  in
   Cmd.v
     (Cmd.info "map" ~doc:"Run the NanoMap flow on a design")
     Term.(
       const run_map $ circuit_arg $ blif_arg $ vhdl_arg $ objective $ area $ delay
       $ level $ logical $ pipelined $ seed $ route_alg $ check_level $ defects
       $ bitstream_out $ dump_blif $ trace $ json_out $ verbosity $ k_arg
-      $ jobs_arg $ portfolio $ mapper $ aig_effort)
+      $ jobs_arg $ portfolio $ mapper $ aig_effort $ placer)
 
 (* ----------------------------------------------------------- stats cmd *)
 

@@ -35,12 +35,32 @@ let parse_int lineno tok what =
   | Some n when n >= 0 -> n
   | _ -> parse_error lineno tok (Printf.sprintf "expected non-negative %s" what)
 
-let of_string s =
+let of_string ?arch s =
   let les = ref [] and tracks = ref [] in
+  (* A resource listed twice is almost always a generator or hand-edit
+     bug, and downstream consumers (the SAT encoding in particular)
+     assume set semantics — reject instead of silently keeping both. *)
+  let seen_le = Hashtbl.create 16 and seen_track = Hashtbl.create 16 in
+  let check_dup table lineno key token =
+    match Hashtbl.find_opt table key with
+    | Some first ->
+      Nanomap_util.Diag.fail ~stage:"defects" ~code:"duplicate"
+        ~context:
+          [ ("line", string_of_int lineno);
+            ("first_line", string_of_int first);
+            ("token", token) ]
+        "defect listed twice"
+    | None -> Hashtbl.replace table key lineno
+  in
   let lines = String.split_on_char '\n' s in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
+      let line =
+        (* CRLF input: the \n split leaves the \r on the line *)
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
       let line =
         match String.index_opt line '#' with
         | Some j -> String.sub line 0 j
@@ -54,25 +74,52 @@ let of_string s =
       match words with
       | [] -> ()
       | [ "le"; x; y; mb; le ] ->
-          les :=
+          let parsed =
             ( parse_int lineno x "x coordinate",
               parse_int lineno y "y coordinate",
               parse_int lineno mb "MB index",
               parse_int lineno le "LE index" )
-            :: !les
+          in
+          let _, _, mbv, lev = parsed in
+          (* grid coordinates are die-relative and may exceed the design's
+             grid (the flow ignores off-grid entries), but MB/LE indices
+             address inside one SMB and have an architecture-fixed range *)
+          (match arch with
+          | Some (a : Arch.t) ->
+            if mbv >= a.Arch.mbs_per_smb then
+              Nanomap_util.Diag.fail ~stage:"defects" ~code:"out-of-range"
+                ~context:
+                  [ ("line", string_of_int lineno);
+                    ("mb", mb);
+                    ("mbs_per_smb", string_of_int a.Arch.mbs_per_smb) ]
+                "MB index exceeds the architecture";
+            if lev >= a.Arch.les_per_mb then
+              Nanomap_util.Diag.fail ~stage:"defects" ~code:"out-of-range"
+                ~context:
+                  [ ("line", string_of_int lineno);
+                    ("le", le);
+                    ("les_per_mb", string_of_int a.Arch.les_per_mb) ]
+                "LE index exceeds the architecture"
+          | None -> ());
+          check_dup seen_le lineno parsed
+            (Printf.sprintf "le %s %s %s %s" x y mb le);
+          les := parsed :: !les
       | [ "track"; kind; ord ] ->
           if not (List.mem kind track_kinds) then
             parse_error lineno kind
               (Printf.sprintf "unknown wire kind (expected one of %s)"
                  (String.concat "/" track_kinds));
-          tracks := (kind, parse_int lineno ord "wire ordinal") :: !tracks
+          let parsed = (kind, parse_int lineno ord "wire ordinal") in
+          check_dup seen_track lineno parsed
+            (Printf.sprintf "track %s %s" kind ord);
+          tracks := parsed :: !tracks
       | tok :: _ ->
           parse_error lineno tok
             "expected 'le X Y MB LE' or 'track KIND ORDINAL'")
     lines;
   { les = List.rev !les; tracks = List.rev !tracks }
 
-let of_file path =
+let of_file ?arch path =
   let contents =
     try
       let ic = open_in_bin path in
@@ -84,7 +131,7 @@ let of_file path =
         ~context:[ ("file", path) ]
         msg
   in
-  of_string contents
+  of_string ?arch contents
 
 let to_string t =
   let b = Buffer.create 256 in

@@ -44,12 +44,18 @@ val random_les :
     deterministic PRNG. Used by the fault-injection tests to model a die with
     e.g. 5% bad LEs. *)
 
-val of_string : string -> t
+val of_string : ?arch:Arch.t -> string -> t
 (** Parse the defect-map format above. Raises [Diag.Fail] (stage
     ["defects"]) with the line number and offending token on malformed
-    input. *)
+    input (code ["parse-error"]), on a resource listed twice (code
+    ["duplicate"], context carries both line numbers), and — when [arch]
+    is given — on an MB or LE index outside the architecture's
+    [mbs_per_smb]/[les_per_mb] range (code ["out-of-range"]). Grid
+    coordinates and track ordinals are {e not} range-checked: they are
+    die-relative, and a die larger than the design's grid is fine (the
+    flow simply never uses those sites). *)
 
-val of_file : string -> t
+val of_file : ?arch:Arch.t -> string -> t
 (** [of_string] on a file's contents; raises [Diag.Fail] (code
     ["unreadable"]) if the file cannot be read. *)
 

@@ -343,7 +343,10 @@ let options_to_json (o : Flow.options) =
       ("mapper", Json.String (Mapper.string_of_mapper o.Flow.mapper));
       ("aig_effort", Json.Int o.Flow.aig_effort);
       ("jobs", Json.Int o.Flow.jobs);
-      ("portfolio", Json.Int o.Flow.portfolio) ]
+      ("portfolio", Json.Int o.Flow.portfolio);
+      ( "placer",
+        Json.String (Nanomap_place.Sat_place.strategy_to_string o.Flow.placer)
+      ) ]
 
 let options_of_json j =
   let d = Flow.default_options in
@@ -415,10 +418,20 @@ let options_of_json j =
   let* aig_effort = get_int j "aig_effort" ~default:d.Flow.aig_effort in
   let* jobs = get_int j "jobs" ~default:d.Flow.jobs in
   let* portfolio = get_int j "portfolio" ~default:d.Flow.portfolio in
+  let* placer =
+    match Json.member "placer" j with
+    | None -> Ok d.Flow.placer
+    | Some v -> (
+      match
+        Option.bind (Json.to_str v) Nanomap_place.Sat_place.strategy_of_string
+      with
+      | Some p -> Ok p
+      | None -> Error "placer must be sa|sat|race")
+  in
   Ok
     { Flow.objective; physical; seed; routability_threshold; max_place_retries;
       route_alg; check_level; defects; route_caps; mapper; aig_effort; jobs;
-      portfolio }
+      portfolio; placer }
 
 (* The hash view: canonical JSON of every report-affecting field. [jobs]
    buys wall-clock only (Pool's determinism contract), so it is excluded
@@ -437,7 +450,10 @@ let options_hash_string (o : Flow.options) =
          ("route_caps", caps_to_json o.Flow.route_caps);
          ("mapper", Json.String (Mapper.string_of_mapper o.Flow.mapper));
          ("aig_effort", Json.Int o.Flow.aig_effort);
-         ("portfolio", Json.Int o.Flow.portfolio) ])
+         ("portfolio", Json.Int o.Flow.portfolio);
+         ( "placer",
+           Json.String
+             (Nanomap_place.Sat_place.strategy_to_string o.Flow.placer) ) ])
 
 (* ------------------------------------------------------------ artifact *)
 

@@ -5,6 +5,7 @@ module Fold = Nanomap_core.Fold
 module Sched = Nanomap_core.Sched
 module Cluster = Nanomap_cluster.Cluster
 module Place = Nanomap_place.Place
+module Sat_place = Nanomap_place.Sat_place
 module Router = Nanomap_route.Router
 module Rr_graph = Nanomap_route.Rr_graph
 module Bitstream = Nanomap_bitstream.Bitstream
@@ -53,6 +54,7 @@ type options = {
   aig_effort : int;
   jobs : int;
   portfolio : int;
+  placer : Sat_place.strategy;
 }
 
 let default_options =
@@ -68,7 +70,8 @@ let default_options =
     mapper = Mapper.Truth_table;
     aig_effort = 2;
     jobs = 1;
-    portfolio = 1 }
+    portfolio = 1;
+    placer = Sat_place.Sa }
 
 type report = {
   design_name : string;
@@ -299,15 +302,50 @@ let run_result ?cancel ?(options = default_options) ?(arch = Arch.default)
                   attempt_placement (try_no + 1)
                 end
               in
-              attempt_placement 0)
+              match attempt_placement 0 with
+              | try_no, fast -> (try_no, Some fast)
+              | exception Diag.Fail d
+                when options.placer <> Sat_place.Sa
+                     && d.Diag.code = "defect-unplaceable" ->
+                (* The greedy fast pass can't seed anything, but the
+                   exact engine may still find (or refute) an
+                   assignment — let it run from scratch. *)
+                Telemetry.event tele "place.fast_unplaceable"
+                  ~data:Diag.(event_data d);
+                (0, None))
         in
         let* placement =
           protect "place" (fun () ->
               let placement =
                 Telemetry.span tele "place_detailed" (fun () ->
-                    Place.portfolio ?pool ~count:options.portfolio
-                      ~seed:(seed + chosen_try) ~effort:`Detailed ~init:fast
-                      ~defects:options.defects cluster)
+                    match options.placer with
+                    | Sat_place.Sa ->
+                      Place.portfolio ?pool ~count:options.portfolio
+                        ~seed:(seed + chosen_try) ~effort:`Detailed ?init:fast
+                        ~defects:options.defects cluster
+                    | Sat_place.Sat -> (
+                      match
+                        Sat_place.solve ~seed:(seed + chosen_try)
+                          ~defects:options.defects cluster
+                      with
+                      | Sat_place.Placed p -> p
+                      | Sat_place.Unsat_proven ->
+                        Diag.fail ~stage:"place" ~code:"unplaceable-proven"
+                          "SAT certifies that no legal placement exists"
+                      | Sat_place.Gave_up ->
+                        Diag.fail ~stage:"place" ~code:"sat-gave-up"
+                          "SAT conflict budget exhausted without a verdict")
+                    | Sat_place.Race ->
+                      let p, winner =
+                        Sat_place.race ?pool ~count:options.portfolio
+                          ~seed:(seed + chosen_try) ~effort:`Detailed ?init:fast
+                          ~defects:options.defects cluster
+                      in
+                      Telemetry.event tele "place.race_winner"
+                        ~data:
+                          [ ( "winner",
+                              match winner with `Sa -> "sa" | `Sat -> "sat" ) ];
+                      p)
               in
               Place.validate placement cluster;
               placement)

@@ -75,13 +75,22 @@ type options = {
                             anneal). Part of the result, NOT tied to
                             [jobs], so output stays worker-count
                             independent *)
+  placer : Nanomap_place.Sat_place.strategy;
+                        (** detailed-placement engine: [Sa] (annealing
+                            portfolio, default), [Sat] (exact CNF
+                            assignment refined by annealing; proves
+                            unplaceability), or [Race] (both, pure
+                            winner rule — see {!Nanomap_place.Sat_place.race}).
+                            With [Sat]/[Race], a fast-pass
+                            ["defect-unplaceable"] is not fatal: the
+                            exact engine still gets its shot. *)
 }
 
 val default_options : options
 (** [At_min], physical, seed 1, threshold 8.0, 2 retries, incremental
     routing, [Fast] checks, no defects, default track caps,
     [mapper = Truth_table], [aig_effort = 2], [jobs = 1],
-    [portfolio = 1]. *)
+    [portfolio = 1], [placer = Sa]. *)
 
 type report = {
   design_name : string;

@@ -33,6 +33,15 @@ let perimeter_positions width height =
   done;
   Array.of_list (List.sort compare !ring)
 
+(* Pads are never moved: every placer (annealing or exact) pins pad [i]
+   to the same evenly-spread ring position, so placements from different
+   engines are directly comparable. *)
+let default_pad_xy (cl : Cluster.t) ~width ~height =
+  let perim = perimeter_positions width height in
+  let n_pads = List.length cl.Cluster.pads in
+  Array.init (max n_pads 1) (fun i ->
+      perim.(i * Array.length perim / max n_pads 1 mod Array.length perim))
+
 type flat_net = {
   smb_eps : int array;  (** distinct SMB endpoints *)
   pad_eps : int array;  (** distinct pad endpoints *)
@@ -134,12 +143,7 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init
   let rng = Rng.create seed in
   let n_smb = max cl.Cluster.num_smbs 1 in
   let width, height = grid_dims cl in
-  let perim = perimeter_positions width height in
-  let n_pads = List.length cl.Cluster.pads in
-  let pad_xy =
-    Array.init (max n_pads 1) (fun i ->
-        perim.(i * Array.length perim / max n_pads 1 mod Array.length perim))
-  in
+  let pad_xy = default_pad_xy cl ~width ~height in
   let nets = flatten_nets ~joint cl in
   let nsites = width * height in
   let illegal = illegal_sites defects cl ~n_smb ~width ~height in
@@ -151,31 +155,12 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init
   (* site occupancy *)
   let site_of = Array.make nsites (-1) in
   let smb_xy = Array.make n_smb (0, 0) in
-  (match illegal with
-   | None ->
-     for s = 0 to n_smb - 1 do
-       let x = s mod width and y = s / width in
-       smb_xy.(s) <- (x, y);
-       site_of.((y * width) + x) <- s
-     done
-   | Some _ ->
-     (* first free site the SMB's occupied LEs are all healthy on *)
-     for s = 0 to n_smb - 1 do
-       let rec find site =
-         if site >= nsites then
-           Diag.fail ~stage:"place" ~code:"defect-unplaceable"
-             ~context:[ ("smb", string_of_int s) ]
-             "no defect-free site remains for SMB"
-         else if site_of.(site) = -1 && legal s site then site
-         else find (site + 1)
-       in
-       let site = find 0 in
-       smb_xy.(s) <- (site mod width, site / width);
-       site_of.(site) <- s
-     done);
   (* seed from a previous placement of the same cluster (two-phase flow:
      the detailed pass refines the accepted fast placement instead of
-     re-deriving the global structure from scratch) *)
+     re-deriving the global structure from scratch). A valid [init]
+     replaces the initial-assignment scan entirely, so a placement an
+     exact engine found can be refined even when the greedy scan below
+     would fail on a heavily defective fabric. *)
   let seeded =
     match init with
     | Some p
@@ -185,12 +170,35 @@ let place ?(seed = 1) ?(effort = `Detailed) ?(joint = true) ?init
                   let x, y = p.smb_xy.(s) in
                   legal s ((y * width) + x))
                 (Array.init n_smb Fun.id) ->
-      Array.fill site_of 0 nsites (-1);
       Array.blit p.smb_xy 0 smb_xy 0 n_smb;
       Array.iteri (fun s (x, y) -> site_of.((y * width) + x) <- s) smb_xy;
       true
     | Some _ | None -> false
   in
+  if not seeded then begin
+    match illegal with
+    | None ->
+      for s = 0 to n_smb - 1 do
+        let x = s mod width and y = s / width in
+        smb_xy.(s) <- (x, y);
+        site_of.((y * width) + x) <- s
+      done
+    | Some _ ->
+      (* first free site the SMB's occupied LEs are all healthy on *)
+      for s = 0 to n_smb - 1 do
+        let rec find site =
+          if site >= nsites then
+            Diag.fail ~stage:"place" ~code:"defect-unplaceable"
+              ~context:[ ("smb", string_of_int s) ]
+              "no defect-free site remains for SMB"
+          else if site_of.(site) = -1 && legal s site then site
+          else find (site + 1)
+        in
+        let site = find 0 in
+        smb_xy.(s) <- (site mod width, site / width);
+        site_of.(site) <- s
+      done
+  end;
   (* incident nets per smb *)
   let incident = Array.make n_smb [] in
   Array.iteri

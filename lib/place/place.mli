@@ -30,6 +30,26 @@ val grid_dims : Nanomap_cluster.Cluster.t -> int * int
     (square-ish, with one slack row so relocation moves always exist).
     Exposed so defect maps can be generated in fabric coordinates. *)
 
+val default_pad_xy :
+  Nanomap_cluster.Cluster.t -> width:int -> height:int -> (int * int) array
+(** The fixed perimeter-ring positions every placer pins the cluster's
+    pads to (pad [i] evenly spread around the ring). Exposed so exact
+    placers produce placements directly comparable with the annealer's. *)
+
+val illegal_sites :
+  Nanomap_arch.Defect.t ->
+  Nanomap_cluster.Cluster.t ->
+  n_smb:int ->
+  width:int ->
+  height:int ->
+  bool array option
+(** [illegal_sites defects cl ~n_smb ~width ~height] is [None] when the
+    defect map is empty; otherwise [Some arr] with
+    [arr.(s * width * height + site)] true iff placing SMB [s] on [site]
+    would put one of its occupied [(mb, le)] slots on a defective fabric
+    LE. The shared legality oracle for the annealer and the SAT
+    encoding, so both engines agree on what "legal" means. *)
+
 val place :
   ?seed:int ->
   ?effort:[ `Fast | `Detailed ] ->
@@ -43,7 +63,9 @@ val place :
     cluster and switches to a low-temperature refinement schedule, so the
     detailed pass improves on the accepted fast placement instead of
     re-deriving the global structure; an [init] of mismatched dimensions is
-    ignored. [defects] (default {!Nanomap_arch.Defect.none}) lists known-bad
+    ignored. A valid [init] replaces the initial-assignment scan
+    entirely, so a placement found by the exact engine can be refined
+    even on fabrics where the greedy scan would fail. [defects] (default {!Nanomap_arch.Defect.none}) lists known-bad
     fabric LEs: an SMB whose cluster assignment occupies a defective
     [(mb, le)] is never placed on that site — the initial assignment routes
     around them, annealing moves that would land on one are rejected, and an

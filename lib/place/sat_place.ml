@@ -1,0 +1,292 @@
+module Sat = Nanomap_util.Sat
+module Diag = Nanomap_util.Diag
+module Pool = Nanomap_util.Pool
+module Telemetry = Nanomap_util.Telemetry
+module Defect = Nanomap_arch.Defect
+module Cluster = Nanomap_cluster.Cluster
+
+let c_sat_solved = Telemetry.counter "sat_place.solved"
+let c_sat_unsat = Telemetry.counter "sat_place.unsat_proven"
+let c_sat_gave_up = Telemetry.counter "sat_place.gave_up"
+
+type strategy = Sa | Sat | Race
+
+let strategy_to_string = function Sa -> "sa" | Sat -> "sat" | Race -> "race"
+
+let strategy_of_string = function
+  | "sa" -> Some Sa
+  | "sat" -> Some Sat
+  | "race" -> Some Race
+  | _ -> None
+
+type outcome =
+  | Placed of Place.t
+  | Unsat_proven
+  | Gave_up
+
+let manhattan (x1, y1) (x2, y2) = abs (x1 - x2) + abs (y1 - y2)
+
+(* at-most-one over [lits]: pairwise when the group is small, commander
+   encoding for large groups — split into triples, pairwise inside each
+   triple, a fresh commander variable implied by every member, then
+   at-most-one over the commanders recursively. Linear clause count
+   instead of quadratic. *)
+let rec add_amo solver lits =
+  let n = Array.length lits in
+  if n <= 6 then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Sat.add_clause solver [ Sat.negate lits.(i); Sat.negate lits.(j) ]
+      done
+    done
+  else begin
+    let ngroups = (n + 2) / 3 in
+    let commanders =
+      Array.init ngroups (fun g ->
+          let lo = 3 * g in
+          let hi = min (lo + 3) n in
+          for i = lo to hi - 1 do
+            for j = i + 1 to hi - 1 do
+              Sat.add_clause solver [ Sat.negate lits.(i); Sat.negate lits.(j) ]
+            done
+          done;
+          let c = Sat.pos (Sat.new_var solver) in
+          for i = lo to hi - 1 do
+            Sat.add_clause solver [ Sat.negate lits.(i); c ]
+          done;
+          c)
+    in
+    add_amo solver commanders
+  end
+
+type encoding = {
+  solver : Sat.t;
+  n_smb : int;
+  width : int;
+  height : int;
+  nsites : int;
+  var : int -> int -> int; (* smb -> site -> solver variable *)
+}
+
+let legality defects cl ~n_smb ~width ~height =
+  let nsites = width * height in
+  match Place.illegal_sites defects cl ~n_smb ~width ~height with
+  | None -> fun _ _ -> true
+  | Some arr -> fun s site -> not arr.((s * nsites) + site)
+
+(* Deterministically collect the cluster's connectivity: SMB pairs that
+   share a net, and SMB–pad pairs. Hashtable iteration order must not
+   reach the clause stream, so keys are sorted before use. *)
+let connectivity (cl : Cluster.t) =
+  let smb_pairs = Hashtbl.create 64 and pad_pairs = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Cluster.net) ->
+      let eps = n.Cluster.driver :: n.Cluster.sinks in
+      let smbs =
+        List.filter_map
+          (function Cluster.At_smb s -> Some s | Cluster.At_pad _ -> None)
+          eps
+        |> List.sort_uniq compare
+      in
+      let pads =
+        List.filter_map
+          (function Cluster.At_pad p -> Some p | Cluster.At_smb _ -> None)
+          eps
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun a ->
+          List.iter (fun b -> if a < b then Hashtbl.replace smb_pairs (a, b) ()) smbs)
+        smbs;
+      List.iter
+        (fun s -> List.iter (fun p -> Hashtbl.replace pad_pairs (s, p) ()) pads)
+        smbs)
+    cl.Cluster.nets;
+  let sorted h = Hashtbl.fold (fun k () acc -> k :: acc) h [] |> List.sort compare in
+  (sorted smb_pairs, sorted pad_pairs)
+
+let encode ?distance_bound ?(defects = Defect.none) (cl : Cluster.t) =
+  let n_smb = max cl.Cluster.num_smbs 1 in
+  let width, height = Place.grid_dims cl in
+  let nsites = width * height in
+  let legal = legality defects cl ~n_smb ~width ~height in
+  let solver = Sat.create ~nvars:(n_smb * nsites) () in
+  let var s site = (s * nsites) + site in
+  (* defect avoidance: illegal pairs pinned false *)
+  for s = 0 to n_smb - 1 do
+    for site = 0 to nsites - 1 do
+      if not (legal s site) then Sat.add_clause solver [ Sat.neg (var s site) ]
+    done
+  done;
+  (* one-hot per SMB over its legal sites *)
+  for s = 0 to n_smb - 1 do
+    let sites = ref [] in
+    for site = nsites - 1 downto 0 do
+      if legal s site then sites := site :: !sites
+    done;
+    Sat.add_clause solver (List.map (fun site -> Sat.pos (var s site)) !sites);
+    add_amo solver
+      (Array.of_list (List.map (fun site -> Sat.pos (var s site)) !sites))
+  done;
+  (* site exclusivity *)
+  for site = 0 to nsites - 1 do
+    let smbs = ref [] in
+    for s = n_smb - 1 downto 0 do
+      if legal s site then smbs := s :: !smbs
+    done;
+    add_amo solver
+      (Array.of_list (List.map (fun s -> Sat.pos (var s site)) !smbs))
+  done;
+  (* distance-bounded routability over the cluster's connectivity *)
+  (match distance_bound with
+  | None -> ()
+  | Some d ->
+    let pad_xy = Place.default_pad_xy cl ~width ~height in
+    let site_xy site = (site mod width, site / width) in
+    let smb_pairs, pad_pairs = connectivity cl in
+    List.iter
+      (fun (a, b) ->
+        for sa = 0 to nsites - 1 do
+          if legal a sa then
+            for sb = 0 to nsites - 1 do
+              if legal b sb && manhattan (site_xy sa) (site_xy sb) > d then
+                Sat.add_clause solver [ Sat.neg (var a sa); Sat.neg (var b sb) ]
+            done
+        done)
+      smb_pairs;
+    List.iter
+      (fun (s, p) ->
+        for site = 0 to nsites - 1 do
+          if legal s site && manhattan (site_xy site) pad_xy.(p) > d then
+            Sat.add_clause solver [ Sat.neg (var s site) ]
+        done)
+      pad_pairs);
+  { solver; n_smb; width; height; nsites; var }
+
+let decode enc (cl : Cluster.t) =
+  let smb_xy =
+    Array.init enc.n_smb (fun s ->
+        let rec find site =
+          if site >= enc.nsites then
+            Diag.fail ~stage:"place" ~code:"sat-decode"
+              ~context:[ ("smb", string_of_int s) ]
+              "SAT model assigns no site to SMB"
+          else if Sat.value enc.solver (enc.var s site) then
+            (site mod enc.width, site / enc.width)
+          else find (site + 1)
+        in
+        find 0)
+  in
+  let pad_xy = Place.default_pad_xy cl ~width:enc.width ~height:enc.height in
+  let t =
+    { Place.width = enc.width;
+      height = enc.height;
+      smb_xy;
+      pad_xy;
+      hpwl = 0.;
+      moves_tried = 0;
+      moves_accepted = 0 }
+  in
+  { t with Place.hpwl = Place.hpwl t cl }
+
+let solve ?(seed = 1) ?distance_bound ?max_conflicts ?(refine = true)
+    ?(defects = Defect.none) (cl : Cluster.t) =
+  let enc = encode ?distance_bound ~defects cl in
+  match Sat.solve ?max_conflicts enc.solver with
+  | Sat.Unsat ->
+    Telemetry.incr c_sat_unsat;
+    Unsat_proven
+  | Sat.Unknown ->
+    Telemetry.incr c_sat_gave_up;
+    Gave_up
+  | Sat.Sat ->
+    Telemetry.incr c_sat_solved;
+    let decoded = decode enc cl in
+    if refine then
+      Placed (Place.place ~seed ~effort:`Detailed ~init:decoded ~defects cl)
+    else Placed decoded
+
+let exhaustive_exists ?(defects = Defect.none) (cl : Cluster.t) =
+  let n_smb = max cl.Cluster.num_smbs 1 in
+  let width, height = Place.grid_dims cl in
+  let nsites = width * height in
+  let legal = legality defects cl ~n_smb ~width ~height in
+  let domain_size s =
+    let n = ref 0 in
+    for site = 0 to nsites - 1 do
+      if legal s site then incr n
+    done;
+    !n
+  in
+  (* most-constrained SMB first: prunes the search by orders of magnitude *)
+  let order = Array.init n_smb Fun.id in
+  Array.sort
+    (fun a b -> compare (domain_size a, a) (domain_size b, b))
+    order;
+  let used = Array.make nsites false in
+  let rec go i =
+    i = n_smb
+    || begin
+         let s = order.(i) in
+         let rec try_site site =
+           site < nsites
+           && begin
+                if (not used.(site)) && legal s site then begin
+                  used.(site) <- true;
+                  let found = go (i + 1) in
+                  used.(site) <- false;
+                  found || try_site (site + 1)
+                end
+                else try_site (site + 1)
+              end
+         in
+         try_site 0
+       end
+  in
+  go 0
+
+(* The race's winner is a pure function of the two arms' results, never
+   of timing, so any pool width gives the same placement. *)
+let decide sa_res sat_res =
+  match (sa_res, sat_res) with
+  | Ok sa_p, Ok (Placed sat_p) ->
+    if sat_p.Place.hpwl < sa_p.Place.hpwl then (sat_p, `Sat) else (sa_p, `Sa)
+  | Ok sa_p, (Ok (Unsat_proven | Gave_up) | Error _) -> (sa_p, `Sa)
+  | Error _, Ok (Placed sat_p) -> (sat_p, `Sat)
+  | Error sa_d, Ok Unsat_proven ->
+    Diag.fail ~stage:"place" ~code:"unplaceable-proven"
+      ~context:[ ("sa_code", sa_d.Diag.code) ]
+      "SAT certifies that no legal placement exists on this fabric"
+  | Error sa_d, (Ok Gave_up | Error _) -> raise (Diag.Fail sa_d)
+
+let race ?pool ?(count = 1) ?(seed = 1) ?(effort = `Detailed) ?(joint = true)
+    ?init ?max_conflicts ?(defects = Defect.none) (cl : Cluster.t) =
+  (* Arms trap their own [Diag.Fail]: the pool re-raises the lowest-index
+     task failure at the join point, which would hide the SAT arm's
+     verdict whenever the SA arm fails — the decision must see both. *)
+  let sa_arm () : (Place.t, Diag.t) result =
+    match Place.portfolio ~count ~seed ~effort ~joint ?init ~defects cl with
+    | p ->
+      Place.validate p cl;
+      Ok p
+    | exception Diag.Fail d -> Error d
+  in
+  let sat_arm () : (outcome, Diag.t) result =
+    match solve ~seed ?max_conflicts ~defects cl with
+    | o -> Ok o
+    | exception Diag.Fail d -> Error d
+  in
+  let sa_res, sat_res =
+    match pool with
+    | Some pool -> (
+      let results =
+        Pool.mapi pool
+          ~f:(fun i () -> if i = 0 then `Sa (sa_arm ()) else `Sat (sat_arm ()))
+          [| (); () |]
+      in
+      match results with
+      | [| `Sa sa; `Sat sat |] -> (sa, sat)
+      | _ -> assert false)
+    | None -> (sa_arm (), sat_arm ())
+  in
+  decide sa_res sat_res

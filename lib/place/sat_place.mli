@@ -1,0 +1,89 @@
+(** Exact defect-tolerant placement via the embedded SAT solver.
+
+    Following the CMOL cell-assignment-by-satisfiability approach, the
+    LE→site assignment problem under a defect map is encoded as CNF over
+    one-hot assignment variables [x_{s,site}] ("SMB [s] sits on grid
+    site [site]"):
+
+    - {e at-least-one} clause per SMB over its defect-legal sites;
+    - {e at-most-one} per SMB and per site — pairwise for small groups,
+      commander encoding (groups of three with fresh commander
+      variables, recursively) for large ones;
+    - {e defect avoidance} as unit clauses pinning illegal pairs false
+      (legality comes from the same {!Place.illegal_sites} oracle the
+      annealer uses, so both engines agree on what "legal" means);
+    - optional {e distance-bounded routability}: connected SMB pairs
+      (and SMB–pad pairs, pads being fixed) may not be assigned sites
+      further than a Manhattan bound apart.
+
+    A model decodes to a {!Place.t}; [Unsat] is a {e certificate} that no
+    legal assignment exists — strictly stronger than the annealer giving
+    up. {!race} runs both engines and keeps the better result under a
+    pure, pool-width-independent winner rule. *)
+
+type strategy = Sa | Sat | Race
+
+val strategy_to_string : strategy -> string
+val strategy_of_string : string -> strategy option
+(** ["sa"], ["sat"], ["race"]. *)
+
+type outcome =
+  | Placed of Place.t
+  | Unsat_proven  (** certificate: no legal assignment exists *)
+  | Gave_up       (** conflict budget exhausted before a verdict *)
+
+val solve :
+  ?seed:int ->
+  ?distance_bound:int ->
+  ?max_conflicts:int ->
+  ?refine:bool ->
+  ?defects:Nanomap_arch.Defect.t ->
+  Nanomap_cluster.Cluster.t ->
+  outcome
+(** Encode, solve, decode. With [refine] (default [true]) the decoded
+    assignment — legal but wirelength-oblivious — seeds a detailed
+    {!Place.place} run ([seed], default 1) that anneals the wirelength
+    down without ever leaving the legal region; [refine:false] returns
+    the raw decoded placement (use this under [distance_bound], which
+    the annealer does not know about). [max_conflicts] bounds the
+    solver; exhausting it yields [Gave_up]. Deterministic in all
+    arguments. *)
+
+val exhaustive_exists :
+  ?defects:Nanomap_arch.Defect.t -> Nanomap_cluster.Cluster.t -> bool
+(** Ground truth by backtracking enumeration (smallest-domain-first over
+    the same legality oracle, no distance constraints): does {e any}
+    legal injective SMB→site assignment exist? Exponential — only for
+    small fabrics; the differential tests and the bench's UNSAT
+    certification leg check [solve = Unsat_proven] iff this is [false]. *)
+
+val race :
+  ?pool:Nanomap_util.Pool.t ->
+  ?count:int ->
+  ?seed:int ->
+  ?effort:[ `Fast | `Detailed ] ->
+  ?joint:bool ->
+  ?init:Place.t ->
+  ?max_conflicts:int ->
+  ?defects:Nanomap_arch.Defect.t ->
+  Nanomap_cluster.Cluster.t ->
+  Place.t * [ `Sa | `Sat ]
+(** Run the annealing portfolio ({!Place.portfolio} with [count],
+    [seed], [effort], [joint], [init]) and the exact engine ({!solve}
+    with [seed], [max_conflicts]) on the same problem — concurrently as
+    two tasks when [pool] is given — and pick the winner by a pure rule
+    on the two results, so the outcome is identical at every pool
+    width:
+
+    - both legal: SAT wins iff its joint HPWL is strictly lower (the SA
+      arm keeps ties);
+    - one side failed (annealer [Diag.Fail], solver [Gave_up]): the
+      other wins;
+    - annealer failed and the solver proved [Unsat]: raises [Diag.Fail]
+      (stage ["place"], code ["unplaceable-proven"]) — an exact
+      certificate, not a search giving up;
+    - both failed without a certificate: the annealer's diagnostic is
+      re-raised.
+
+    The SA arm anneals its portfolio serially inside its task (pool maps
+    do not nest); the pool still overlaps it with the SAT arm. *)

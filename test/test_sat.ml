@@ -1,0 +1,318 @@
+(* Property battery for the embedded CDCL solver: unit coverage of the
+   API surface, DIMACS interchange, and large QCheck campaigns
+   cross-checking the solver against a brute-force enumerator. *)
+
+open Nanomap_util
+
+(* ---- helpers --------------------------------------------------------- *)
+
+(* A CNF on this boundary is DIMACS-style: vars 1..nv, clause = list of
+   nonzero ints. *)
+
+let solver_of nv cs =
+  let s = Sat.create ~nvars:nv () in
+  List.iter (fun c -> Sat.Dimacs.add s c) cs;
+  s
+
+(* Exhaustive satisfiability check; assignment bit i = var (i+1) true. *)
+let brute_sat nv clauses =
+  let masks =
+    List.map
+      (fun c ->
+        List.fold_left
+          (fun (p, n) l ->
+            if l > 0 then (p lor (1 lsl (l - 1)), n)
+            else (p, n lor (1 lsl (-l - 1))))
+          (0, 0) c)
+      clauses
+  in
+  let sat = ref false in
+  let a = ref 0 in
+  let total = 1 lsl nv in
+  while (not !sat) && !a < total do
+    if
+      List.for_all
+        (fun (p, n) -> !a land p <> 0 || lnot !a land n <> 0)
+        masks
+    then sat := true
+    else incr a
+  done;
+  !sat
+
+let model_satisfies m clauses =
+  List.for_all
+    (fun c ->
+      List.exists
+        (fun l ->
+          let v = abs l - 1 in
+          if l > 0 then m.(v) else not m.(v))
+        c)
+    clauses
+
+(* np pigeons into nh holes: unsatisfiable iff np > nh *)
+let pigeonhole np nh =
+  let s = Sat.create ~nvars:(np * nh) () in
+  let v p h = (p * nh) + h + 1 in
+  for p = 0 to np - 1 do
+    Sat.Dimacs.add s (List.init nh (fun h -> v p h))
+  done;
+  for h = 0 to nh - 1 do
+    for p = 0 to np - 1 do
+      for p' = p + 1 to np - 1 do
+        Sat.Dimacs.add s [ -v p h; -v p' h ]
+      done
+    done
+  done;
+  s
+
+let result_pp = function
+  | Sat.Sat -> "Sat"
+  | Sat.Unsat -> "Unsat"
+  | Sat.Unknown -> "Unknown"
+
+let result_t = Alcotest.testable (Fmt.of_to_string result_pp) ( = )
+
+let check_result = Alcotest.check result_t
+
+(* ---- unit tests ------------------------------------------------------- *)
+
+let test_lit_encoding () =
+  Alcotest.(check int) "pos 3" 6 (Sat.pos 3);
+  Alcotest.(check int) "neg 3" 7 (Sat.neg 3);
+  Alcotest.(check int) "negate pos" (Sat.neg 5) (Sat.negate (Sat.pos 5));
+  Alcotest.(check int) "negate involutive" (Sat.pos 5)
+    (Sat.negate (Sat.negate (Sat.pos 5)));
+  Alcotest.(check int) "var_of" 9 (Sat.var_of (Sat.neg 9));
+  Alcotest.(check bool) "sign pos" true (Sat.sign (Sat.pos 0));
+  Alcotest.(check bool) "sign neg" false (Sat.sign (Sat.neg 0))
+
+let test_luby () =
+  let expect = [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ] in
+  Alcotest.(check (list int)) "luby prefix" expect (List.init 15 Sat.luby)
+
+let test_trivial () =
+  let s = Sat.create () in
+  check_result "empty problem" Sat.Sat (Sat.solve s);
+  let s = solver_of 1 [ [ 1 ] ] in
+  check_result "unit" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "unit value" true (Sat.value s 0);
+  let s = solver_of 1 [ [ 1 ]; [ -1 ] ] in
+  check_result "x and not x" Sat.Unsat (Sat.solve s);
+  let s = solver_of 1 [ [] ] in
+  check_result "empty clause" Sat.Unsat (Sat.solve s);
+  let s = solver_of 1 [ [ 1; -1 ] ] in
+  check_result "tautology alone" Sat.Sat (Sat.solve s);
+  let s = solver_of 2 [ [ 1; 1; 2 ]; [ -1; -1 ] ] in
+  check_result "duplicate literals" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "forced by dedup" false (Sat.value s 0)
+
+let test_chained_implications () =
+  (* x1 -> x2 -> ... -> x8, x1 asserted, x8 negated *)
+  let n = 8 in
+  let chain = List.init (n - 1) (fun i -> [ -(i + 1); i + 2 ]) in
+  let s = solver_of n ([ [ 1 ] ] @ chain @ [ [ -n ] ]) in
+  check_result "chain unsat" Sat.Unsat (Sat.solve s);
+  let s = solver_of n ([ [ 1 ] ] @ chain) in
+  check_result "chain sat" Sat.Sat (Sat.solve s);
+  for v = 0 to n - 1 do
+    Alcotest.(check bool) "all forced true" true (Sat.value s v)
+  done
+
+let test_pigeonhole () =
+  check_result "php(4,3)" Sat.Unsat (Sat.solve (pigeonhole 4 3));
+  check_result "php(5,4)" Sat.Unsat (Sat.solve (pigeonhole 5 4));
+  let s = pigeonhole 4 4 in
+  check_result "php(4,4)" Sat.Sat (Sat.solve s);
+  let st = Sat.stats s in
+  Alcotest.(check bool) "propagations counted" true (st.Sat.propagations > 0)
+
+let test_assumptions () =
+  let s = solver_of 2 [ [ 1; 2 ] ] in
+  check_result "unsat under assumptions" Sat.Unsat
+    (Sat.solve ~assumptions:[ Sat.neg 0; Sat.neg 1 ] s);
+  check_result "still sat without" Sat.Sat (Sat.solve s);
+  check_result "sat under one assumption" Sat.Sat
+    (Sat.solve ~assumptions:[ Sat.neg 0 ] s);
+  Alcotest.(check bool) "assumption respected" false (Sat.value s 0);
+  Alcotest.(check bool) "clause satisfied" true (Sat.value s 1);
+  (* assuming an already-implied literal goes through a dummy level *)
+  let s = solver_of 2 [ [ 1 ]; [ -1; 2 ] ] in
+  check_result "implied assumption" Sat.Sat
+    (Sat.solve ~assumptions:[ Sat.pos 0; Sat.pos 1 ] s)
+
+let test_budget_and_resume () =
+  let s = pigeonhole 6 5 in
+  check_result "tiny budget gives Unknown" Sat.Unknown
+    (Sat.solve ~max_conflicts:5 s);
+  (try
+     ignore (Sat.model s);
+     Alcotest.fail "model after Unknown should raise"
+   with Invalid_argument _ -> ());
+  (* the solver stays usable and finishes the proof when unconstrained *)
+  check_result "resume to Unsat" Sat.Unsat (Sat.solve s);
+  let st = Sat.stats s in
+  Alcotest.(check bool) "conflicts counted" true (st.Sat.conflicts >= 5)
+
+let test_incremental () =
+  let s = solver_of 3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+  check_result "first solve" Sat.Sat (Sat.solve s);
+  Sat.Dimacs.add s [ -3 ];
+  Sat.Dimacs.add s [ -2 ];
+  check_result "after narrowing" Sat.Unsat (Sat.solve s);
+  check_result "unsat is sticky" Sat.Unsat (Sat.solve s)
+
+let test_model_errors () =
+  let s = solver_of 1 [ [ 1 ]; [ -1 ] ] in
+  check_result "unsat" Sat.Unsat (Sat.solve s);
+  (try
+     ignore (Sat.value s 0);
+     Alcotest.fail "value after Unsat should raise"
+   with Invalid_argument _ -> ());
+  let s = solver_of 1 [ [ 1 ] ] in
+  check_result "sat" Sat.Sat (Sat.solve s);
+  try
+    ignore (Sat.value s 7);
+    Alcotest.fail "out-of-range value should raise"
+  with Invalid_argument _ -> ()
+
+let test_new_var_and_ranges () =
+  let s = Sat.create ~nvars:2 () in
+  Alcotest.(check int) "nvars" 2 (Sat.num_vars s);
+  let v = Sat.new_var s in
+  Alcotest.(check int) "new var index" 2 v;
+  Alcotest.(check int) "nvars grown" 3 (Sat.num_vars s);
+  Sat.add_clause s [ Sat.pos v ];
+  Alcotest.(check int) "clauses counted" 1 (Sat.num_clauses s);
+  (try
+     Sat.add_clause s [ Sat.pos 99 ];
+     Alcotest.fail "out-of-range literal should raise"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Sat.solve ~assumptions:[ Sat.pos 99 ] s);
+    Alcotest.fail "out-of-range assumption should raise"
+  with Invalid_argument _ -> ()
+
+(* ---- DIMACS unit tests ------------------------------------------------ *)
+
+let test_dimacs_parse () =
+  let doc = "c a comment\np cnf 3 2\n1 -2 0\n c another\n2 3 0\n" in
+  let nv, cs = Sat.Dimacs.parse doc in
+  Alcotest.(check int) "nvars" 3 nv;
+  Alcotest.(check (list (list int))) "clauses" [ [ 1; -2 ]; [ 2; 3 ] ] cs;
+  (* clauses may span lines and share lines *)
+  let nv, cs = Sat.Dimacs.parse "p cnf 2 2\n1\n-2 0 2 0" in
+  Alcotest.(check int) "nvars multiline" 2 nv;
+  Alcotest.(check (list (list int))) "multiline" [ [ 1; -2 ]; [ 2 ] ] cs
+
+let test_dimacs_errors () =
+  let expect_failure name doc =
+    try
+      ignore (Sat.Dimacs.parse doc);
+      Alcotest.fail (name ^ ": expected Failure")
+    with Failure _ -> ()
+  in
+  expect_failure "missing header" "1 2 0\n";
+  expect_failure "malformed header" "p cnf x 2\n1 0\n2 0\n";
+  expect_failure "duplicate header" "p cnf 1 1\np cnf 1 1\n1 0\n";
+  expect_failure "literal out of range" "p cnf 2 1\n3 0\n";
+  expect_failure "unterminated clause" "p cnf 2 1\n1 2\n";
+  expect_failure "count mismatch" "p cnf 2 2\n1 0\n";
+  expect_failure "garbage token" "p cnf 2 1\n1 q 0\n"
+
+let test_dimacs_solver_roundtrip () =
+  let doc = "p cnf 4 3\n1 2 0\n-1 3 0\n-3 -2 4 0\n" in
+  let s = Sat.Dimacs.of_string doc in
+  check_result "of_string solves" Sat.Sat (Sat.solve s);
+  let nv, cs = Sat.Dimacs.parse (Sat.Dimacs.export s) in
+  Alcotest.(check int) "export nvars" 4 nv;
+  Alcotest.(check (list (list int)))
+    "export clauses" [ [ 1; 2 ]; [ -1; 3 ]; [ -3; -2; 4 ] ] cs
+
+(* ---- QCheck campaigns ------------------------------------------------- *)
+
+let gen_cnf lo hi =
+  QCheck.Gen.(
+    int_range lo hi >>= fun nv ->
+    int_range 1 (6 * nv) >>= fun nc ->
+    let lit = map2 (fun v s -> if s then v else -v) (int_range 1 nv) bool in
+    list_repeat nc (list_repeat 3 lit) >|= fun cs -> (nv, cs))
+
+let print_cnf (nv, cs) = Sat.Dimacs.print ~nvars:nv cs
+
+let arb_cnf lo hi = QCheck.make ~print:print_cnf (gen_cnf lo hi)
+
+(* The headline acceptance gate: SAT/UNSAT agreement with exhaustive
+   enumeration on >= 10k random 3-CNF instances, models re-checked by
+   clause evaluation. *)
+let prop_brute_force_agreement =
+  QCheck.Test.make ~name:"solver agrees with brute force (10k random 3-CNF)"
+    ~count:10_000 (arb_cnf 3 10) (fun (nv, cs) ->
+      let s = solver_of nv cs in
+      match Sat.solve s with
+      | Sat.Sat -> brute_sat nv cs && model_satisfies (Sat.model s) cs
+      | Sat.Unsat -> not (brute_sat nv cs)
+      | Sat.Unknown -> false)
+
+(* Larger instances (no enumeration): every Sat model must evaluate
+   true under every clause; the solver must always decide. *)
+let prop_models_valid =
+  QCheck.Test.make ~name:"models satisfy every clause (larger instances)"
+    ~count:1_500 (arb_cnf 12 20) (fun (nv, cs) ->
+      let s = solver_of nv cs in
+      match Sat.solve s with
+      | Sat.Sat -> model_satisfies (Sat.model s) cs
+      | Sat.Unsat -> true
+      | Sat.Unknown -> false)
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"dimacs print/parse round-trip" ~count:1_500
+    (arb_cnf 1 16) (fun (nv, cs) ->
+      Sat.Dimacs.parse (Sat.Dimacs.print ~nvars:nv cs) = (nv, cs))
+
+(* Determinism: two fresh solvers on the same instance give identical
+   results, models and statistics. *)
+let prop_deterministic =
+  QCheck.Test.make ~name:"solver is deterministic" ~count:1_000 (arb_cnf 3 14)
+    (fun (nv, cs) ->
+      let s1 = solver_of nv cs and s2 = solver_of nv cs in
+      let r1 = Sat.solve s1 and r2 = Sat.solve s2 in
+      r1 = r2
+      && Sat.stats s1 = Sat.stats s2
+      && (r1 <> Sat.Sat || Sat.model s1 = Sat.model s2))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_brute_force_agreement;
+      prop_models_valid;
+      prop_dimacs_roundtrip;
+      prop_deterministic;
+    ]
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "literal encoding" `Quick test_lit_encoding;
+          Alcotest.test_case "luby sequence" `Quick test_luby;
+          Alcotest.test_case "trivial instances" `Quick test_trivial;
+          Alcotest.test_case "implication chains" `Quick
+            test_chained_implications;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "budget and resume" `Quick test_budget_and_resume;
+          Alcotest.test_case "incremental solving" `Quick test_incremental;
+          Alcotest.test_case "model access errors" `Quick test_model_errors;
+          Alcotest.test_case "var allocation and ranges" `Quick
+            test_new_var_and_ranges;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "parse" `Quick test_dimacs_parse;
+          Alcotest.test_case "parse errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "solver round-trip" `Quick
+            test_dimacs_solver_roundtrip;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -261,7 +261,8 @@ let test_options_roundtrip () =
       mapper = Mapper.Aig;
       aig_effort = 3;
       jobs = 4;
-      portfolio = 2 }
+      portfolio = 2;
+      placer = Nanomap_place.Sat_place.Race }
   in
   (match Codec.options_of_json (Codec.options_to_json o) with
   | Ok o' -> check Alcotest.bool "every field round-trips" true (o = o')

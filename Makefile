@@ -1,6 +1,6 @@
 # Convenience wrapper; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-mappers sat-smoke fuzz fuzz-smoke serve-smoke chaos-smoke map-designs-aig regen-golden clean
+.PHONY: all build test check bench bench-mappers sat-smoke fuzz fuzz-smoke serve-smoke chaos-smoke explore-smoke map-designs-aig regen-golden clean
 
 all: build
 
@@ -108,6 +108,16 @@ chaos-smoke: build
 	rm -rf .chaos-smoke-cache; \
 	exit $$status
 
+# Design-space exploration smoke gate: the pinned 2x2x2 mini-grid over
+# two small designs, serial and then on EXPLORE_JOBS workers. Fails
+# unless the Pareto frontier is non-empty and internally consistent (no
+# frontier point dominates another; every feasible off-frontier point is
+# dominated) and the serial/parallel JSON fingerprints are
+# byte-identical. Splices the `explore` section into BENCH_explore.json.
+EXPLORE_JOBS ?= 4
+explore-smoke: build
+	dune exec bench/main.exe -- --smoke --jobs=$(EXPLORE_JOBS) explore
+
 # Every shipped VHDL design through the physical flow with the AIG mapper
 # at the strictest checking level (includes the AIG-vs-gate spot check).
 map-designs-aig: build
@@ -115,10 +125,12 @@ map-designs-aig: build
 	  dune exec bin/nanomap_cli.exe -- map --vhdl $$d --mapper aig --check full || exit 1; \
 	done
 
-# Refresh the routed-result regression corpus in test/golden/ after an
-# intentional router change (the golden diff test will tell you when).
+# Refresh the regression corpora in test/golden/ after an intentional
+# router or explorer change (the golden diff tests will tell you when):
+# the routed-result corpus and the explore smoke-grid report.
 regen-golden: build
 	NANOMAP_REGEN_GOLDEN=$(CURDIR)/test/golden dune exec test/test_router.exe -- test golden
+	NANOMAP_REGEN_GOLDEN=$(CURDIR)/test/golden dune exec test/test_explore.exe -- test sweep
 
 clean:
 	dune clean

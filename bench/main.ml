@@ -17,6 +17,7 @@
    substitutions); the shapes are what reproduce the paper. *)
 
 module Ascii_table = Nanomap_util.Ascii_table
+module Json = Nanomap_util.Json
 module Stats = Nanomap_util.Stats
 module Arch = Nanomap_arch.Arch
 module Mapper = Nanomap_core.Mapper
@@ -884,62 +885,12 @@ let mapper_comparison_print rows circuits =
     circuits;
   Ascii_table.print t2
 
-(* Splice ["key":json] into [file]'s top-level JSON object: replace an
-   existing entry in place (balanced-bracket scan over its value, so
-   sections can live in any order), append before the closing brace
-   otherwise, start a fresh object when the file is absent. Lets each
+(* Splice ["key":json] into [file]'s top-level JSON object (shared with
+   the CLI's explore command — see Nanomap_util.Json). Lets each
    standalone experiment refresh its own section of BENCH_profile.json
    without clobbering the others. *)
 let splice_json_section file key json =
-  let marker = Printf.sprintf ",\"%s\":" key in
-  let existing =
-    if Sys.file_exists file then begin
-      let ic = open_in_bin file in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      Some (String.trim s)
-    end
-    else None
-  in
-  let out =
-    match existing with
-    | None -> Printf.sprintf "{\"%s\":%s}" key json
-    | Some s ->
-      let n = String.length s in
-      let m = String.length marker in
-      let rec find i =
-        if i + m > n then None
-        else if String.sub s i m = marker then Some i
-        else find (i + 1)
-      in
-      (match find 0 with
-       | None -> String.sub s 0 (n - 1) ^ marker ^ json ^ "}"
-       | Some i ->
-         let vstart = i + m in
-         (* end of the value: at bracket depth 0, the next ',' or the
-            object's closing brace; strings may contain either *)
-         let rec vend j depth in_str =
-           if j >= n then j
-           else if in_str then
-             match s.[j] with
-             | '\\' -> vend (j + 2) depth true
-             | '"' -> vend (j + 1) depth false
-             | _ -> vend (j + 1) depth true
-           else
-             match s.[j] with
-             | '"' -> vend (j + 1) depth true
-             | '{' | '[' -> vend (j + 1) (depth + 1) false
-             | ('}' | ']' | ',') when depth = 0 -> j
-             | '}' | ']' -> vend (j + 1) (depth - 1) false
-             | _ -> vend (j + 1) depth false
-         in
-         let j = vend vstart 0 false in
-         String.sub s 0 i ^ marker ^ json ^ String.sub s j (n - j))
-  in
-  let oc = open_out file in
-  output_string oc out;
-  output_char oc '\n';
-  close_out oc;
+  Json.splice_file_section ~file ~key json;
   Printf.printf "updated %s (%s section)\n%!" file key
 
 (* Standalone experiment: print the tables and splice the section into an
@@ -1612,6 +1563,71 @@ let serve_bench () =
   close_out oc;
   Printf.printf "wrote BENCH_serve.json (%d jobs, 2 pool sizes)\n%!" total
 
+(* ------------------------------- Architecture exploration (item 3) *)
+
+(* The design-space sweep as a CI-gated experiment: run the (smoke or
+   full) grid at -j1 and at the requested pool width, require a non-empty
+   Pareto-consistent frontier and byte-identical fingerprints, and splice
+   the results into BENCH_explore.json. *)
+let explore_bench () =
+  section "Architecture design-space exploration";
+  let module Explore = Nanomap_explore.Explore in
+  let grid = if !smoke then Explore.smoke_grid else Explore.default_grid in
+  let designs = [ "ex1_small"; "crc8" ] in
+  let results = Explore.run ~designs grid in
+  print_string (Explore.report_ascii ~designs results);
+  let fp1 = Explore.fingerprint ~designs results in
+  let jobs = max 4 (Pool.resolve_jobs !bench_jobs) in
+  let results_j =
+    Pool.with_pool ~jobs (fun pool -> Explore.run ~pool ~designs grid)
+  in
+  let fpj = Explore.fingerprint ~designs results_j in
+  Printf.printf "fingerprint -j1 %s / -j%d %s\n" fp1 jobs fpj;
+  if fp1 <> fpj then begin
+    Printf.eprintf "explore: fingerprint differs across pool widths\n";
+    exit 1
+  end;
+  let feasible (r : Explore.point_result) =
+    match r.Explore.status with Explore.Feasible _ -> true | _ -> false
+  in
+  if not (List.exists (fun r -> r.Explore.pareto) results) then begin
+    Printf.eprintf "explore: empty Pareto frontier\n";
+    exit 1
+  end;
+  (* dominance consistency: no frontier point may dominate another
+     frontier point, and every feasible off-frontier point must be
+     dominated by some frontier point *)
+  let key (r : Explore.point_result) =
+    match r.Explore.status with
+    | Explore.Feasible w -> (r.Explore.total_area, r.Explore.mean_delay, w)
+    | _ -> assert false
+  in
+  let dominates (a1, d1, w1) (a2, d2, w2) =
+    a1 <= a2 && d1 <= d2 && w1 <= w2 && (a1 < a2 || d1 < d2 || w1 < w2)
+  in
+  let frontier = List.filter (fun r -> r.Explore.pareto) results in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun f' ->
+          if f != f' && dominates (key f) (key f') then begin
+            Printf.eprintf "explore: frontier point dominated\n";
+            exit 1
+          end)
+        frontier)
+    frontier;
+  List.iter
+    (fun r ->
+      if feasible r && not r.Explore.pareto
+         && not (List.exists (fun f -> dominates (key f) (key r)) frontier)
+      then begin
+        Printf.eprintf "explore: off-frontier point dominated by nothing\n";
+        exit 1
+      end)
+    results;
+  splice_json_section "BENCH_explore.json" "explore"
+    (Json.to_string (Explore.to_json ~designs results))
+
 (* ------------------------------------------------------------- driver *)
 
 let () =
@@ -1662,7 +1678,7 @@ let () =
       ("energy", energy); ("extended", extended); ("speed", speed);
       ("mapper-comparison", mapper_comparison);
       ("defect-tolerance", defect_tolerance); ("serve", serve_bench);
-      ("profile", profile) ]
+      ("explore", explore_bench); ("profile", profile) ]
   in
   let to_run =
     match wanted with

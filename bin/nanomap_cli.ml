@@ -19,6 +19,7 @@ module Check = Nanomap_flow.Check
 module Defect = Nanomap_arch.Defect
 module Sat_place = Nanomap_place.Sat_place
 module Diag = Nanomap_util.Diag
+module Explore = Nanomap_explore.Explore
 module Fuzz = Nanomap_verify.Fuzz
 module Gen_rtl = Nanomap_verify.Gen_rtl
 module Pool = Nanomap_util.Pool
@@ -426,7 +427,7 @@ let run_disasm path limit =
           List.iteri
             (fun j (le : Bitstream.le_config) ->
               if j < 8 then
-                Printf.printf "  LE smb%d/mb%d/le%d lut=0x%04x inputs=%d
+                Printf.printf "  LE smb%d/mb%d/le%d lut=0x%Lx inputs=%d
 "
                   le.Bitstream.le_smb le.Bitstream.le_mb le.Bitstream.le_index
                   le.Bitstream.truth_table le.Bitstream.used_inputs)
@@ -1064,6 +1065,75 @@ let chaos_cmd =
              post-chaos artifacts are byte-identical")
     Term.(const run_chaos $ socket_arg $ total $ seed $ min_complete $ verbosity)
 
+(* --------------------------------------------------------- explore cmd *)
+
+let run_explore grid_name designs json_file jobs verbose =
+  setup_logs (if verbose then Some Logs.Info else None);
+  let grid =
+    match grid_name with
+    | "smoke" -> Ok Explore.smoke_grid
+    | "full" -> Ok Explore.default_grid
+    | g -> Error ("unknown grid " ^ g ^ " (smoke|full)")
+  in
+  match grid with
+  | Error msg -> prerr_endline msg; 2
+  | Ok grid -> (
+    let designs = String.split_on_char ',' designs in
+    match List.find_opt (fun d -> try ignore (Circuits.by_name d); false
+                                  with Not_found -> true) designs with
+    | Some d -> prerr_endline ("unknown benchmark: " ^ d); 2
+    | None ->
+      let jobs = Pool.resolve_jobs jobs in
+      let results =
+        if jobs > 1 then
+          Pool.with_pool ~jobs (fun pool -> Explore.run ~pool ~designs grid)
+        else Explore.run ~designs grid
+      in
+      print_string (Explore.report_ascii ~designs results);
+      Printf.printf "fingerprint: %s\n" (Explore.fingerprint ~designs results);
+      (match json_file with
+      | None -> ()
+      | Some file ->
+        Nanomap_util.Json.splice_file_section ~file ~key:"explore"
+          (Nanomap_util.Json.to_string (Explore.to_json ~designs results));
+        Printf.printf "updated %s (explore section)\n" file);
+      if List.exists (fun (r : Explore.point_result) -> r.Explore.pareto)
+           results
+      then 0
+      else begin
+        prerr_endline "explore: empty Pareto frontier (no feasible point)";
+        1
+      end)
+
+let explore_cmd =
+  let grid_arg =
+    Arg.(value & opt string "smoke"
+         & info [ "grid" ] ~docv:"GRID"
+             ~doc:"Architecture grid to sweep: $(b,smoke) (pinned 2x2x2 \
+                   mini-grid) or $(b,full) (K 3-6, cluster shapes, Fs, Fc, \
+                   folding none/1/2).")
+  in
+  let designs_arg =
+    Arg.(value & opt string "ex1_small,crc8"
+         & info [ "designs" ] ~docv:"NAMES"
+             ~doc:"Comma-separated benchmark circuits to map at every point.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Splice the results as an $(b,explore) section into this \
+                   JSON report file (created if absent).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Sweep a grid of NATURE architecture points (LUT size, cluster \
+             shape, switch-block and connection-block flexibility, folding \
+             level), binary-search the minimum routable channel width per \
+             point, and print the (area, delay, channel width) Pareto \
+             frontier")
+    Term.(const run_explore $ grid_arg $ designs_arg $ json_arg $ jobs_arg
+          $ verbosity)
+
 (* ------------------------------------------------------------ list cmd *)
 
 let run_list () =
@@ -1089,5 +1159,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ map_cmd; stats_cmd; sweep_cmd; list_cmd; disasm_cmd; emulate_cmd;
-            fuzz_cmd; serve_cmd; submit_cmd; cache_check_cmd; chaos_cmd ]))
+          [ map_cmd; stats_cmd; sweep_cmd; explore_cmd; list_cmd; disasm_cmd;
+            emulate_cmd; fuzz_cmd; serve_cmd; submit_cmd; cache_check_cmd;
+            chaos_cmd ]))

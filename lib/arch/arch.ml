@@ -7,6 +7,13 @@ type t = {
   smb_input_pins : int;
   mb_input_ports : int;
   num_reconf : int option;
+  chan_direct : int;
+  chan_len1 : int;
+  chan_len4 : int;
+  chan_global : int;
+  fs : int;
+  fc_in : float;
+  fc_out : float;
   t_lut : float;
   t_local : float;
   t_intra_mb : float;
@@ -36,6 +43,13 @@ let default =
     smb_input_pins = 40;
     mb_input_ports = 14;
     num_reconf = Some 16;
+    chan_direct = 4;
+    chan_len1 = 16;
+    chan_len4 = 4;
+    chan_global = 4;
+    fs = 3;
+    fc_in = 1.0;
+    fc_out = 1.0;
     t_lut = 0.32;
     t_local = 0.2175;
     t_intra_mb = 0.10;
@@ -84,23 +98,79 @@ let energy_per_computation_pj t ~luts_evaluated ~les ~stages ~num_planes
   let leak = float_of_int les *. t.p_leak_le *. delay_ns /. 1000.0 in
   dynamic +. reconf +. wires +. leak
 
-let validate t =
-  let pos name v = if v <= 0 then invalid_arg ("Arch: " ^ name ^ " must be positive") in
-  pos "lut_inputs" t.lut_inputs;
-  pos "luts_per_le" t.luts_per_le;
-  pos "ffs_per_le" t.ffs_per_le;
-  pos "les_per_mb" t.les_per_mb;
-  pos "mbs_per_smb" t.mbs_per_smb;
-  if t.smb_input_pins < t.lut_inputs then
-    invalid_arg "Arch: smb_input_pins must cover one LUT's inputs";
-  if t.mb_input_ports < t.lut_inputs then
-    invalid_arg "Arch: mb_input_ports must cover one LUT's inputs";
-  (match t.num_reconf with Some k -> pos "num_reconf" k | None -> ());
-  let posf name v =
-    if v < 0.0 then invalid_arg ("Arch: " ^ name ^ " must be non-negative")
+(* The int64-backed [Truth_table] (and the bitstream LUT field derived from
+   it) caps LUT arity at 6; architectures beyond that cannot be compiled. *)
+let max_lut_inputs = 6
+
+let diag ~code ~field msg =
+  Nanomap_util.Diag.make ~stage:"arch" ~code ~context:[ ("field", field) ] msg
+
+let validate_result t =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let pos code field v =
+    if v <= 0 then
+      Error (diag ~code ~field (Printf.sprintf "%s must be positive (got %d)" field v))
+    else Ok ()
   in
-  posf "t_lut" t.t_lut;
-  posf "t_local" t.t_local;
-  posf "t_reconf" t.t_reconf;
-  posf "t_setup" t.t_setup;
-  posf "smb_area" t.smb_area
+  let posf code field v =
+    if v < 0.0 then
+      Error (diag ~code ~field (Printf.sprintf "%s must be non-negative (got %g)" field v))
+    else Ok ()
+  in
+  let* () = pos "bad-lut-inputs" "lut_inputs" t.lut_inputs in
+  let* () =
+    if t.lut_inputs > max_lut_inputs then
+      Error
+        (diag ~code:"bad-lut-inputs" ~field:"lut_inputs"
+           (Printf.sprintf "lut_inputs must be at most %d (got %d)" max_lut_inputs
+              t.lut_inputs))
+    else Ok ()
+  in
+  let* () = pos "bad-luts-per-le" "luts_per_le" t.luts_per_le in
+  let* () = pos "bad-ffs-per-le" "ffs_per_le" t.ffs_per_le in
+  let* () = pos "bad-les-per-mb" "les_per_mb" t.les_per_mb in
+  let* () = pos "bad-mbs-per-smb" "mbs_per_smb" t.mbs_per_smb in
+  let* () =
+    if t.smb_input_pins < t.lut_inputs then
+      Error
+        (diag ~code:"bad-smb-input-pins" ~field:"smb_input_pins"
+           "smb_input_pins must cover one LUT's inputs")
+    else Ok ()
+  in
+  let* () =
+    if t.mb_input_ports < t.lut_inputs then
+      Error
+        (diag ~code:"bad-mb-input-ports" ~field:"mb_input_ports"
+           "mb_input_ports must cover one LUT's inputs")
+    else Ok ()
+  in
+  let* () =
+    match t.num_reconf with
+    | Some k -> pos "bad-num-reconf" "num_reconf" k
+    | None -> Ok ()
+  in
+  let* () = pos "bad-chan-direct" "chan_direct" t.chan_direct in
+  let* () = pos "bad-chan-len1" "chan_len1" t.chan_len1 in
+  let* () = pos "bad-chan-len4" "chan_len4" t.chan_len4 in
+  let* () = pos "bad-chan-global" "chan_global" t.chan_global in
+  let* () = pos "bad-fs" "fs" t.fs in
+  let fc code field v =
+    if v <= 0.0 || v > 1.0 then
+      Error
+        (diag ~code ~field
+           (Printf.sprintf "%s must be in (0, 1] (got %g)" field v))
+    else Ok ()
+  in
+  let* () = fc "bad-fc-in" "fc_in" t.fc_in in
+  let* () = fc "bad-fc-out" "fc_out" t.fc_out in
+  let* () = posf "bad-t-lut" "t_lut" t.t_lut in
+  let* () = posf "bad-t-local" "t_local" t.t_local in
+  let* () = posf "bad-t-reconf" "t_reconf" t.t_reconf in
+  let* () = posf "bad-t-setup" "t_setup" t.t_setup in
+  let* () = posf "bad-smb-area" "smb_area" t.smb_area in
+  Ok ()
+
+let validate t =
+  match validate_result t with
+  | Ok () -> ()
+  | Error d -> raise (Nanomap_util.Diag.Fail d)

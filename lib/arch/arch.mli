@@ -25,6 +25,20 @@ type t = {
   mb_input_ports : int;    (** distinct MB-external signals one MB's local
                                crossbar can select per configuration *)
   num_reconf : int option; (** k configuration sets; [None] = unbounded *)
+  chan_direct : int;       (** direct inter-SMB tracks per channel *)
+  chan_len1 : int;         (** length-1 tracks per routing channel *)
+  chan_len4 : int;         (** length-4 tracks per routing channel *)
+  chan_global : int;       (** global tracks per row/column *)
+  fs : int;                (** switch-block flexibility: crossing-channel
+                               tracks each incoming length-1 track can turn
+                               onto (3 = one per crossing channel, the
+                               classic disjoint switch block) *)
+  fc_in : float;           (** connection-block input flexibility: fraction
+                               of the adjacent length-1 tracks an SMB input
+                               can be driven from, in (0, 1] *)
+  fc_out : float;          (** connection-block output flexibility: fraction
+                               of the adjacent length-1 tracks an SMB output
+                               can drive, in (0, 1] *)
   t_lut : float;           (** LUT evaluation delay, ns *)
   t_local : float;         (** average intra-SMB interconnect per LUT level, ns *)
   t_intra_mb : float;      (** fast path between LEs of one MB, ns *)
@@ -74,8 +88,19 @@ val plane_cycle_ns : t -> level:int -> stages:int -> float
 val circuit_delay_ns : t -> level:int -> stages:int -> num_planes:int -> float
 (** Planes propagate sequentially: [num_planes * plane_cycle]. *)
 
+val max_lut_inputs : int
+(** 6 — the largest K the int64-backed truth tables (and the bitstream LUT
+    field sizing derived from them) can express. *)
+
+val validate_result : t -> (unit, Nanomap_util.Diag.t) result
+(** Sanity checks: positive counts, K within [1 .. max_lut_inputs], crossbar
+    pins covering one LUT, channel widths positive, Fs positive, Fc in
+    (0, 1], non-negative delays/areas. The diagnostic's [code] names the
+    malformed field (stage ["arch"], e.g. ["bad-chan-len1"]) and its context
+    carries [field]. *)
+
 val validate : t -> unit
-(** Sanity checks (positive counts and delays). Raises [Invalid_argument]. *)
+(** Like {!validate_result} but raises [Nanomap_util.Diag.Fail]. *)
 
 (** {2 Energy model (extension)}
 

@@ -25,15 +25,26 @@ let u16 buf v =
   Buffer.add_char buf (Char.chr (v land 0xff));
   Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
 
+(* The LUT truth-table field is sized by the architecture's K:
+   ceil(2^K / 8) bytes, little-endian. *)
+let tt_bytes ~lut_inputs = ((1 lsl lut_inputs) + 7) / 8
+
+let add_tt buf ~lut_inputs (bits : int64) =
+  for i = 0 to tt_bytes ~lut_inputs - 1 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
 let generate (plan : Mapper.plan) (cl : Cluster.t) (route : Router.result) =
   let arch = cl.Cluster.arch in
   let stages = plan.Mapper.stages in
   let num_planes = Array.length plan.Mapper.planes in
   let configs = stages * num_planes in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "NMAP1";
+  Buffer.add_string buf "NMAP2";
   u32 buf configs;
   u32 buf cl.Cluster.num_smbs;
+  Buffer.add_char buf (Char.chr (arch.Arch.lut_inputs land 0xff));
   let lut_bits = ref 0 and switch_bits = ref 0 in
   (* group routed nets by timeslot for the switch section *)
   let nets_of_slot = Hashtbl.create 32 in
@@ -71,19 +82,16 @@ let generate (plan : Mapper.plan) (cl : Cluster.t) (route : Router.result) =
           u16 buf slot.Cluster.smb;
           Buffer.add_char buf (Char.chr slot.Cluster.mb);
           Buffer.add_char buf (Char.chr slot.Cluster.le);
-          (* truth table padded to 2^K bits; a >4-input function does not
-             fit the u16 field and must not be silently truncated *)
-          if Truth_table.arity func > 4 then
+          (* truth table padded to 2^K bits; a >K-input function does not
+             fit the field and must not be silently truncated *)
+          if Truth_table.arity func > arch.Arch.lut_inputs then
             Nanomap_util.Diag.fail ~stage:"bitstream" ~code:"lut-arity"
               ~context:
                 [ ("arity", string_of_int (Truth_table.arity func));
+                  ("lut_inputs", string_of_int arch.Arch.lut_inputs);
                   ("smb", string_of_int slot.Cluster.smb) ]
-              "LUT function too wide for the u16 truth-table field";
-          let padded =
-            let tbits = Truth_table.bits func in
-            Int64.to_int (Int64.logand tbits 0xFFFFL)
-          in
-          u16 buf padded;
+              "LUT function too wide for the architecture's truth-table field";
+          add_tt buf ~lut_inputs:arch.Arch.lut_inputs (Truth_table.bits func);
           Buffer.add_char buf (Char.chr (num_inputs land 0xff));
           lut_bits := !lut_bits + (1 lsl arch.Arch.lut_inputs))
         les;
@@ -143,7 +151,7 @@ type le_config = {
   le_smb : int;
   le_mb : int;
   le_index : int;
-  truth_table : int;
+  truth_table : int64;
   used_inputs : int;
 }
 
@@ -182,10 +190,20 @@ let parse_full bytes =
     a lor (b lsl 16)
   in
   need 5 "magic";
-  if Bytes.sub_string bytes 0 5 <> "NMAP1" then raise (Corrupt "bad magic");
+  if Bytes.sub_string bytes 0 5 <> "NMAP2" then raise (Corrupt "bad magic");
   pos := 5;
   let configs = ru32 () in
   let num_smbs = ru32 () in
+  let lut_inputs = byte () in
+  if lut_inputs < 1 || lut_inputs > Truth_table.max_arity then
+    raise (Corrupt (Printf.sprintf "bad lut_inputs %d" lut_inputs));
+  let rtt () =
+    let v = ref 0L in
+    for i = 0 to tt_bytes ~lut_inputs - 1 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte ())) (8 * i))
+    done;
+    !v
+  in
   let parsed =
     Array.init configs (fun _ ->
         let num_les = ru32 () in
@@ -194,7 +212,7 @@ let parse_full bytes =
               let le_smb = ru16 () in
               let le_mb = byte () in
               let le_index = byte () in
-              let truth_table = ru16 () in
+              let truth_table = rtt () in
               let used_inputs = byte () in
               { le_smb; le_mb; le_index; truth_table; used_inputs })
         in
@@ -209,15 +227,18 @@ let parse_full bytes =
   in
   if !pos <> len then
     raise (Corrupt (Printf.sprintf "%d trailing bytes" (len - !pos)));
-  (num_smbs, parsed)
+  (num_smbs, lut_inputs, parsed)
 
-let parse bytes = snd (parse_full bytes)
+let parse bytes =
+  let _, _, configs = parse_full bytes in
+  configs
 
-let encode_configs ~num_smbs configs =
+let encode_configs ~num_smbs ~lut_inputs configs =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "NMAP1";
+  Buffer.add_string buf "NMAP2";
   u32 buf (Array.length configs);
   u32 buf num_smbs;
+  Buffer.add_char buf (Char.chr (lut_inputs land 0xff));
   Array.iter
     (fun { les; switches } ->
       u32 buf (List.length les);
@@ -226,7 +247,7 @@ let encode_configs ~num_smbs configs =
           u16 buf le.le_smb;
           Buffer.add_char buf (Char.chr le.le_mb);
           Buffer.add_char buf (Char.chr le.le_index);
-          u16 buf le.truth_table;
+          add_tt buf ~lut_inputs le.truth_table;
           Buffer.add_char buf (Char.chr (le.used_inputs land 0xff)))
         les;
       u32 buf (List.length switches);

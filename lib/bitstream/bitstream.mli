@@ -10,8 +10,10 @@
     - per used routing wire node: an 8-bit switch word identifying the
       net's value class.
 
-    The encoding is a documented, deterministic format ("NMAP1" magic,
-    little-endian u32 section lengths), sufficient to reconstruct which
+    The encoding is a documented, deterministic format ("NMAP2" magic,
+    little-endian u32 section lengths, a header byte carrying the
+    architecture's K so the per-LE truth-table field — [ceil (2^K / 8)]
+    bytes — can be decoded without the arch), sufficient to reconstruct which
     resource does what in which cycle — it is what the experiments use to
     account NRAM capacity, not a tape-out artifact. LUT input
     {e connectivity} is not encoded (the clustering supplies it); the
@@ -37,9 +39,9 @@ val generate :
   Nanomap_route.Router.result ->
   t
 (** Raises [Nanomap_util.Diag.Fail] (stage ["bitstream"], code
-    ["lut-arity"]) if a mapped LUT has more than 4 inputs — the u16
-    truth-table field cannot hold it and silent truncation would
-    miscompile. *)
+    ["lut-arity"]) if a mapped LUT has more inputs than the architecture's
+    K — the [2^K]-bit truth-table field cannot hold it and silent
+    truncation would miscompile. *)
 
 val nram_bits_required : t -> Nanomap_arch.Arch.t -> int * int option
 (** [(per-element set count used, NRAM capacity k)] — the first component
@@ -60,7 +62,7 @@ type le_config = {
   le_smb : int;
   le_mb : int;
   le_index : int;
-  truth_table : int;          (** 2^K bits, LSB = input assignment 0 *)
+  truth_table : int64;        (** 2^K bits, LSB = input assignment 0 *)
   used_inputs : int;
 }
 
@@ -80,14 +82,15 @@ val parse : Bytes.t -> config array
 (** Raises {!Corrupt} on bad magic, truncated sections, or trailing
     bytes after the last configuration. *)
 
-val parse_full : Bytes.t -> int * config array
-(** Like {!parse} but also recovers the header's SMB count, so the parse
-    result carries everything needed to re-encode the bitmap. *)
+val parse_full : Bytes.t -> int * int * config array
+(** Like {!parse} but also recovers the header's SMB count and LUT K
+    [(num_smbs, lut_inputs, configs)], so the parse result carries
+    everything needed to re-encode the bitmap. *)
 
-val encode_configs : num_smbs:int -> config array -> Bytes.t
-(** Re-encode a parsed bitmap. [encode_configs ~num_smbs cfgs] is
-    byte-identical to the input of the [parse_full] that produced
-    [(num_smbs, cfgs)] — the round-trip invariant the [Full] checker and
-    the differential oracle rely on. *)
+val encode_configs : num_smbs:int -> lut_inputs:int -> config array -> Bytes.t
+(** Re-encode a parsed bitmap. [encode_configs ~num_smbs ~lut_inputs cfgs]
+    is byte-identical to the input of the [parse_full] that produced
+    [(num_smbs, lut_inputs, cfgs)] — the round-trip invariant the [Full]
+    checker and the differential oracle rely on. *)
 
 val read_file : string -> config array

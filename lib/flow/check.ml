@@ -292,7 +292,7 @@ let bitstream level ~arch (bs : Bitstream.t) =
         | _ -> ());
         if level = Full then begin
           match Bitstream.parse_full bs.Bitstream.bytes with
-          | num_smbs, parsed ->
+          | num_smbs, lut_inputs, parsed ->
             if Array.length parsed <> bs.Bitstream.configs then
               Diag.fail ~stage:"bitstream" ~code:"config-count"
                 ~context:
@@ -302,7 +302,7 @@ let bitstream level ~arch (bs : Bitstream.t) =
             (* encode -> parse -> encode must reproduce the bitmap exactly,
                otherwise the decode-and-replay oracle verifies a different
                configuration than the one shipped *)
-            let re = Bitstream.encode_configs ~num_smbs parsed in
+            let re = Bitstream.encode_configs ~num_smbs ~lut_inputs parsed in
             if not (Bytes.equal re bs.Bitstream.bytes) then
               Diag.fail ~stage:"bitstream" ~code:"roundtrip"
                 ~context:

@@ -195,6 +195,13 @@ let arch_to_json (a : Arch.t) =
         match a.Arch.num_reconf with
         | None -> Json.Null
         | Some k -> Json.Int k );
+      ("chan_direct", Json.Int a.Arch.chan_direct);
+      ("chan_len1", Json.Int a.Arch.chan_len1);
+      ("chan_len4", Json.Int a.Arch.chan_len4);
+      ("chan_global", Json.Int a.Arch.chan_global);
+      ("fs", Json.Int a.Arch.fs);
+      ("fc_in", Json.Float a.Arch.fc_in);
+      ("fc_out", Json.Float a.Arch.fc_out);
       ("t_lut", Json.Float a.Arch.t_lut);
       ("t_local", Json.Float a.Arch.t_local);
       ("t_intra_mb", Json.Float a.Arch.t_intra_mb);
@@ -244,6 +251,13 @@ let arch_of_json j =
       | Some k -> Ok (Some k)
       | None -> Error "missing or ill-typed num_reconf")
   in
+  let* chan_direct = get_int j "chan_direct" ~default:d.Arch.chan_direct in
+  let* chan_len1 = get_int j "chan_len1" ~default:d.Arch.chan_len1 in
+  let* chan_len4 = get_int j "chan_len4" ~default:d.Arch.chan_len4 in
+  let* chan_global = get_int j "chan_global" ~default:d.Arch.chan_global in
+  let* fs = get_int j "fs" ~default:d.Arch.fs in
+  let* fc_in = get_float j "fc_in" ~default:d.Arch.fc_in in
+  let* fc_out = get_float j "fc_out" ~default:d.Arch.fc_out in
   let* t_lut = get_float j "t_lut" ~default:d.Arch.t_lut in
   let* t_local = get_float j "t_local" ~default:d.Arch.t_local in
   let* t_intra_mb = get_float j "t_intra_mb" ~default:d.Arch.t_intra_mb in
@@ -260,7 +274,8 @@ let arch_of_json j =
   let* p_leak_le = get_float j "p_leak_le" ~default:d.Arch.p_leak_le in
   Ok
     { Arch.lut_inputs; luts_per_le; ffs_per_le; les_per_mb; mbs_per_smb;
-      smb_input_pins; mb_input_ports; num_reconf; t_lut; t_local; t_intra_mb;
+      smb_input_pins; mb_input_ports; num_reconf; chan_direct; chan_len1;
+      chan_len4; chan_global; fs; fc_in; fc_out; t_lut; t_local; t_intra_mb;
       t_reconf; t_setup; t_direct; t_len1; t_len4; t_global; smb_area;
       e_lut_eval; e_reconf; e_wire; p_leak_le }
 
@@ -339,7 +354,10 @@ let options_to_json (o : Flow.options) =
       ("route_alg", Json.String (route_alg_string o.Flow.route_alg));
       ("check_level", Json.String (Check.string_of_level o.Flow.check_level));
       ("defects", Json.String (Defect.to_string o.Flow.defects));
-      ("route_caps", caps_to_json o.Flow.route_caps);
+      ( "route_caps",
+        match o.Flow.route_caps with
+        | None -> Json.Null
+        | Some c -> caps_to_json c );
       ("mapper", Json.String (Mapper.string_of_mapper o.Flow.mapper));
       ("aig_effort", Json.Int o.Flow.aig_effort);
       ("jobs", Json.Int o.Flow.jobs);
@@ -398,14 +416,14 @@ let options_of_json j =
   in
   let* route_caps =
     match Json.member "route_caps" j with
-    | None -> Ok d.Flow.route_caps
+    | None | Some Json.Null -> Ok d.Flow.route_caps
     | Some cj ->
-      let dc = d.Flow.route_caps in
+      let dc = Rr_graph.default_caps in
       let* direct_tracks = get_int cj "direct" ~default:dc.Rr_graph.direct_tracks in
       let* len1_tracks = get_int cj "len1" ~default:dc.Rr_graph.len1_tracks in
       let* len4_tracks = get_int cj "len4" ~default:dc.Rr_graph.len4_tracks in
       let* global_tracks = get_int cj "global" ~default:dc.Rr_graph.global_tracks in
-      Ok { Rr_graph.direct_tracks; len1_tracks; len4_tracks; global_tracks }
+      Ok (Some { Rr_graph.direct_tracks; len1_tracks; len4_tracks; global_tracks })
   in
   let* mapper =
     match Json.member "mapper" j with
@@ -447,7 +465,10 @@ let options_hash_string (o : Flow.options) =
          ("route_alg", Json.String (route_alg_string o.Flow.route_alg));
          ("check_level", Json.String (Check.string_of_level o.Flow.check_level));
          ("defects", Json.String (Defect.to_string o.Flow.defects));
-         ("route_caps", caps_to_json o.Flow.route_caps);
+         ( "route_caps",
+           match o.Flow.route_caps with
+           | None -> Json.Null
+           | Some c -> caps_to_json c );
          ("mapper", Json.String (Mapper.string_of_mapper o.Flow.mapper));
          ("aig_effort", Json.Int o.Flow.aig_effort);
          ("portfolio", Json.Int o.Flow.portfolio);

@@ -207,7 +207,12 @@ let misroute_ff_slot (plan : Mapper.plan) (cl : Cluster.t) =
 let invert_bitstream_luts (bs : Bitstream.t) =
   match Bitstream.parse_full bs.Bitstream.bytes with
   | exception Bitstream.Corrupt _ -> bs
-  | num_smbs, configs ->
+  | num_smbs, lut_inputs, configs ->
+    (* flip every truth-table bit the 2^K field actually holds *)
+    let mask =
+      if lut_inputs >= 6 then -1L
+      else Int64.sub (Int64.shift_left 1L (1 lsl lut_inputs)) 1L
+    in
     let any = ref false in
     let configs =
       Array.map
@@ -219,13 +224,14 @@ let invert_bitstream_luts (bs : Bitstream.t) =
                   any := true;
                   { le with
                     Bitstream.truth_table =
-                      le.Bitstream.truth_table lxor 0xFFFF })
+                      Int64.logxor le.Bitstream.truth_table mask })
                 c.Bitstream.les })
         configs
     in
     if not !any then bs
     else
-      { bs with Bitstream.bytes = Bitstream.encode_configs ~num_smbs configs }
+      { bs with
+        Bitstream.bytes = Bitstream.encode_configs ~num_smbs ~lut_inputs configs }
 
 (* --- service-level chaos injectors --- *)
 
@@ -297,12 +303,13 @@ module Chaos = struct
 end
 
 let corrupt_bitstream (bs : Bitstream.t) =
-  (* header: "NMAP1" + u32 configs + u32 num_smbs = 13 bytes; the word at
-     offset 13 is the first configuration's LE-section length *)
+  (* header: "NMAP2" + u32 configs + u32 num_smbs + u8 lut_inputs =
+     14 bytes; the word at offset 14 is the first configuration's
+     LE-section length *)
   let bytes =
-    if Bytes.length bs.Bitstream.bytes >= 17 then begin
+    if Bytes.length bs.Bitstream.bytes >= 18 then begin
       let b = Bytes.copy bs.Bitstream.bytes in
-      Bytes.set_int32_le b 13 0x7FFFFFFFl;
+      Bytes.set_int32_le b 14 0x7FFFFFFFl;
       b
     end
     else

@@ -49,7 +49,7 @@ type options = {
   route_alg : Router.algorithm;
   check_level : Check.level;
   defects : Defect.t;
-  route_caps : Rr_graph.caps;
+  route_caps : Rr_graph.caps option;  (* None: derive from the arch knobs *)
   mapper : Mapper.mapper;
   aig_effort : int;
   jobs : int;
@@ -66,7 +66,7 @@ let default_options =
     route_alg = Router.Incremental;
     check_level = Check.Fast;
     defects = Defect.none;
-    route_caps = Rr_graph.default_caps;
+    route_caps = None;
     mapper = Mapper.Truth_table;
     aig_effort = 2;
     jobs = 1;
@@ -457,7 +457,11 @@ let run_result ?cancel ?(options = default_options) ?(arch = Arch.default)
             end)
       in
       with_degradation ~trail:[] ~step:0 plan cluster mapping_retries
-        ~seed:options.seed ~caps:options.route_caps
+        ~seed:options.seed
+        ~caps:
+          (match options.route_caps with
+          | Some c -> c
+          | None -> Rr_graph.caps_of_arch arch)
     end
   in
   (* [jobs] buys wall-clock only: the folding-level sweep and the

@@ -58,9 +58,11 @@ type options = {
   defects : Nanomap_arch.Defect.t;
                         (** known-bad fabric LEs and wire segments that
                             placement and routing must avoid *)
-  route_caps : Nanomap_route.Rr_graph.caps;
+  route_caps : Nanomap_route.Rr_graph.caps option;
                         (** base per-channel track counts (the adaptive
-                            router and the degradation policy scale them) *)
+                            router and the degradation policy scale them);
+                            [None] (default) derives them from the
+                            architecture's [chan_*] knobs *)
   mapper : Nanomap_core.Mapper.mapper;
                         (** technology mapper: the seed FlowMap truth-table
                             path or the AIG priority-cut mapper *)

@@ -378,8 +378,9 @@ let routability t (cl : Cluster.t) =
         cl.Cluster.nets;
       Array.iter (fun d -> if d > !max_util then max_util := d) cells)
     cycles;
-  (* normalize by nominal per-cell capacity (tracks per channel) *)
-  !max_util /. 8.0
+  (* normalize by nominal per-cell capacity: half the length-1 tracks of
+     one channel (each cell borders two channels per direction) *)
+  !max_util /. (float_of_int cl.Cluster.arch.Arch.chan_len1 /. 2.0)
 
 let wire_delay (arch : Arch.t) dist =
   if dist <= 0 then arch.Arch.t_local

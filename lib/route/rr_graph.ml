@@ -31,6 +31,12 @@ type caps = {
 let default_caps =
   { direct_tracks = 4; len1_tracks = 16; len4_tracks = 4; global_tracks = 4 }
 
+let caps_of_arch (a : Arch.t) =
+  { direct_tracks = a.Arch.chan_direct;
+    len1_tracks = a.Arch.chan_len1;
+    len4_tracks = a.Arch.chan_len4;
+    global_tracks = a.Arch.chan_global }
+
 let scale_caps c f =
   { direct_tracks = c.direct_tracks * f;
     len1_tracks = c.len1_tracks * f;
@@ -161,8 +167,28 @@ let new_node b kind delay =
 
 let edge b u v = b.edges <- (u, v) :: b.edges
 
-let build ?(caps = default_caps) ?(defects = Defect.none) ~arch (pl : Place.t) =
+let build ?caps ?(defects = Defect.none) ~arch (pl : Place.t) =
+  let caps = match caps with Some c -> c | None -> caps_of_arch arch in
   let w = pl.Place.width and h = pl.Place.height in
+  (* Connection-block flexibility: an SMB (or pad) pin touches
+     [ceil (fc * W)] of the W length-1 tracks in each bordering channel.
+     The window is staggered by the block's index so neighboring blocks
+     load different tracks; at fc = 1.0 every track is selected and the
+     edge emission order is identical to the pre-Fc construction. *)
+  let cb_tracks frac =
+    max 1 (min caps.len1_tracks
+             (int_of_float (ceil (frac *. float_of_int caps.len1_tracks))))
+  in
+  let n_in = cb_tracks arch.Arch.fc_in and n_out = cb_tracks arch.Arch.fc_out in
+  let in_window ~who ~n t =
+    let w = caps.len1_tracks in
+    (((t - who) mod w) + w) mod w < n
+  in
+  (* Switch-block flexibility: at a crossing, incoming track t turns onto
+     [ceil (fs / 3)] tracks of each crossing channel (offsets 0, 1, ...).
+     fs = 3 is the classic disjoint switch block — one same-index track per
+     crossing channel — and reproduces the pre-Fs construction. *)
+  let turn_offsets = (arch.Arch.fs + 2) / 3 in
   let b = { kinds = Nanomap_util.Vec.create (); delays = Nanomap_util.Vec.create (); edges = [] } in
   let n_smb = Array.length pl.Place.smb_xy in
   let n_pad = Array.length pl.Place.pad_xy in
@@ -214,8 +240,8 @@ let build ?(caps = default_caps) ?(defects = Defect.none) ~arch (pl : Place.t) =
          row y borders channels y (south) and y+1 (north) *)
       List.iter
         (fun wire ->
-          edge b src_of_smb.(s) wire;
-          edge b wire sink_of_smb.(s))
+          if in_window ~who:s ~n:n_out t then edge b src_of_smb.(s) wire;
+          if in_window ~who:s ~n:n_in t then edge b wire sink_of_smb.(s))
         [ len1_h.(y).(x).(t); len1_h.(y + 1).(x).(t);
           len1_v.(x).(y).(t); len1_v.(x + 1).(y).(t) ]
     done
@@ -233,11 +259,12 @@ let build ?(caps = default_caps) ?(defects = Defect.none) ~arch (pl : Place.t) =
         (* turns: vertical channels x and x+1 at rows yc-1 / yc *)
         List.iter
           (fun (xc, y) ->
-            if xc >= 0 && xc <= w && y >= 0 && y < h then begin
-              let v = len1_v.(xc).(y).(t) in
-              edge b me v;
-              edge b v me
-            end)
+            if xc >= 0 && xc <= w && y >= 0 && y < h then
+              for o = 0 to turn_offsets - 1 do
+                let v = len1_v.(xc).(y).((t + o) mod caps.len1_tracks) in
+                edge b me v;
+                edge b v me
+              done)
           [ (x, yc - 1); (x, yc); (x + 1, yc - 1); (x + 1, yc) ]
       done
     done
@@ -333,8 +360,8 @@ let build ?(caps = default_caps) ?(defects = Defect.none) ~arch (pl : Place.t) =
         in
         List.iter
           (fun wire ->
-            edge b src_of_pad.(p) wire;
-            edge b wire sink_of_pad.(p))
+            if in_window ~who:p ~n:n_out t then edge b src_of_pad.(p) wire;
+            if in_window ~who:p ~n:n_in t then edge b wire sink_of_pad.(p))
           wires
       done;
       (* direct hop to the adjacent SMB if present *)

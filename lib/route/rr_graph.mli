@@ -36,6 +36,11 @@ val scale_caps : caps -> int -> caps
 (** Multiply every track count (used by the minimum-channel-width search). *)
 
 val default_caps : caps
+(** The paper instance's channel widths — equal to
+    [caps_of_arch Nanomap_arch.Arch.default]. *)
+
+val caps_of_arch : Nanomap_arch.Arch.t -> caps
+(** Track counts from the architecture's [chan_*] knobs. *)
 
 type t = {
   num_nodes : int;
@@ -63,7 +68,13 @@ val build :
   arch:Nanomap_arch.Arch.t ->
   Nanomap_place.Place.t ->
   t
-(** Builds the graph for the placement's grid and pad ring. [defects]
+(** Builds the graph for the placement's grid and pad ring. [caps] defaults
+    to [caps_of_arch arch]; the architecture's switch-block flexibility
+    [fs] (each length-1 track turns onto [ceil (fs / 3)] tracks of every
+    crossing channel; 3 = the disjoint switch block) and connection-block
+    flexibilities [fc_in]/[fc_out] (each SMB/pad pin touches
+    [ceil (fc * W)] of the W adjacent length-1 tracks, staggered by block
+    index) shape the connectivity. [defects]
     (default {!Nanomap_arch.Defect.none}) names broken wire segments as
     [(kind, ordinal)] pairs, the ordinal counting nodes of that wire kind in
     the deterministic construction order; defective nodes are marked in

@@ -269,3 +269,76 @@ let to_str = function
 let to_list = function
   | List xs -> Some xs
   | Null | Bool _ | Int _ | Float _ | String _ | Obj _ -> None
+
+(* Textual top-level-member splice: the report files this touches are
+   written by this module's printer, but hand-edited whitespace survives
+   too — the scan only assumes the file is one JSON object. *)
+let splice_file_section ~file ~key json =
+  let member = Printf.sprintf "\"%s\":" key in
+  let existing =
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some (String.trim s)
+    end
+    else None
+  in
+  let out =
+    match existing with
+    | None | Some "" | Some "{}" -> Printf.sprintf "{%s%s}" member json
+    | Some s ->
+      let n = String.length s in
+      let m = String.length member in
+      (* a top-level occurrence is preceded by '{' or ','; nested or
+         in-string occurrences are skipped by the depth/string scan *)
+      let rec find i depth in_str =
+        if i >= n then None
+        else if in_str then
+          match s.[i] with
+          | '\\' -> find (i + 2) depth true
+          | '"' ->
+            if depth = 1 && i + m <= n && String.sub s i m = member
+               && i > 0 && (s.[i - 1] = '{' || s.[i - 1] = ',')
+            then Some i
+            else find (i + 1) depth false
+          | _ -> find (i + 1) depth true
+        else
+          match s.[i] with
+          | '"' ->
+            if depth = 1 && i + m <= n && String.sub s i m = member
+               && i > 0 && (s.[i - 1] = '{' || s.[i - 1] = ',')
+            then Some i
+            else find (i + 1) depth true
+          | '{' | '[' -> find (i + 1) (depth + 1) false
+          | '}' | ']' -> find (i + 1) (depth - 1) false
+          | _ -> find (i + 1) depth false
+      in
+      (match find 0 0 false with
+       | None -> String.sub s 0 (n - 1) ^ "," ^ member ^ json ^ "}"
+       | Some i ->
+         let vstart = i + m in
+         (* end of the value: at bracket depth 0, the next ',' or the
+            object's closing brace; strings may contain either *)
+         let rec vend j depth in_str =
+           if j >= n then j
+           else if in_str then
+             match s.[j] with
+             | '\\' -> vend (j + 2) depth true
+             | '"' -> vend (j + 1) depth false
+             | _ -> vend (j + 1) depth true
+           else
+             match s.[j] with
+             | '"' -> vend (j + 1) depth true
+             | '{' | '[' -> vend (j + 1) (depth + 1) false
+             | ('}' | ']' | ',') when depth = 0 -> j
+             | '}' | ']' -> vend (j + 1) (depth - 1) false
+             | _ -> vend (j + 1) depth false
+         in
+         let j = vend vstart 0 false in
+         String.sub s 0 i ^ member ^ json ^ String.sub s j (n - j))
+  in
+  let oc = open_out file in
+  output_string oc out;
+  output_char oc '\n';
+  close_out oc

@@ -61,3 +61,11 @@ val to_float : t -> float option
 val to_bool : t -> bool option
 val to_str : t -> string option
 val to_list : t -> t list option
+
+val splice_file_section : file:string -> key:string -> string -> unit
+(** Splice [("key": json)] into [file]'s top-level JSON object: replace an
+    existing member in place (balanced-bracket scan over its value, so
+    sections can live in any order), append before the closing brace
+    otherwise, and start a fresh one-member object when the file is absent.
+    Lets independent experiments each refresh their own section of a shared
+    report file without clobbering the others. *)

@@ -323,8 +323,7 @@ let replay_overrides (plan : Mapper.plan) (cl : Cluster.t) (bs : Bitstream.t) =
                         "LUT configured twice in the bitmap"
                     else begin
                       Hashtbl.replace func_tbl (plane, l)
-                        (Truth_table.of_bits ~arity
-                           (Int64.of_int le.Bitstream.truth_table));
+                        (Truth_table.of_bits ~arity le.Bitstream.truth_table);
                       Hashtbl.replace cycle_tbl (plane, l) cycle
                     end)
               end)

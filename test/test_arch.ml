@@ -1,0 +1,330 @@
+(* Architecture-generalization battery (PR 10): QCheck generators over the
+   parametric NATURE knob space, typed-diagnostic coverage of
+   Arch.validate_result, the four-level differential oracle at non-default
+   architecture points x folding regimes x both technology mappers, and
+   K=3/K=6 regressions for the places a hard-coded K=4 used to hide
+   (cut enumeration, truth-table widths, bitstream LUT field sizing). *)
+
+module Arch = Nanomap_arch.Arch
+module Aig = Nanomap_aig.Aig
+module Cut = Nanomap_aig.Cut
+module Truth_table = Nanomap_logic.Truth_table
+module Gate_netlist = Nanomap_logic.Gate_netlist
+module Mapper = Nanomap_core.Mapper
+module Bitstream = Nanomap_bitstream.Bitstream
+module Flow = Nanomap_flow.Flow
+module Check = Nanomap_flow.Check
+module Oracle = Nanomap_verify.Oracle
+module Gen_rtl = Nanomap_verify.Gen_rtl
+module Explore = Nanomap_explore.Explore
+module Rng = Nanomap_util.Rng
+module Diag = Nanomap_util.Diag
+
+let check = Alcotest.check
+
+(* ------------------------------------------- arch-point generator *)
+
+(* The knob space the explorer sweeps, plus the channel-width knobs it
+   holds fixed: every draw must satisfy Arch.validate_result. *)
+let gen_arch_params =
+  QCheck.Gen.(
+    let* k = int_range 3 6 in
+    let* les_per_mb = int_range 2 8 in
+    let* mbs_per_smb = int_range 2 8 in
+    let* fs = map (fun i -> 3 * i) (int_range 1 3) in
+    let* fc = map (fun t -> float_of_int t /. 10.0) (int_range 1 10) in
+    let* chan_len1 = int_range 2 32 in
+    let* chan_direct = int_range 1 8 in
+    let* chan_len4 = int_range 1 8 in
+    let* chan_global = int_range 1 8 in
+    return (k, les_per_mb, mbs_per_smb, fs, fc, chan_len1, chan_direct,
+            chan_len4, chan_global))
+
+let arch_of_params (k, les_per_mb, mbs_per_smb, fs, fc, chan_len1,
+                    chan_direct, chan_len4, chan_global) =
+  { (Explore.arch_point ~k ~les_per_mb ~mbs_per_smb ~fs ~fc ()) with
+    Arch.chan_len1; chan_direct; chan_len4; chan_global }
+
+let arb_arch =
+  QCheck.make gen_arch_params
+    ~print:(fun (k, le, mb, fs, fc, c1, cd, c4, cg) ->
+      Printf.sprintf
+        "k=%d les/mb=%d mbs/smb=%d fs=%d fc=%.1f chans=%d/%d/%d/%d" k le mb
+        fs fc cd c1 c4 cg)
+
+(* Every generated point validates. *)
+let prop_generator_valid =
+  QCheck.Test.make ~count:300 ~name:"generator stays inside validate"
+    arb_arch (fun params ->
+      match Arch.validate_result (arch_of_params params) with
+      | Ok () -> true
+      | Error d -> QCheck.Test.fail_reportf "rejected: %s" d.Diag.code)
+
+(* Each malformed field is rejected with its own typed code, and the
+   diagnostic names the field in its context. *)
+let mutations =
+  [ ("bad-lut-inputs", "lut_inputs", fun a -> { a with Arch.lut_inputs = 0 });
+    ("bad-lut-inputs", "lut_inputs",
+     fun a -> { a with Arch.lut_inputs = Arch.max_lut_inputs + 1 });
+    ("bad-luts-per-le", "luts_per_le", fun a -> { a with Arch.luts_per_le = 0 });
+    ("bad-ffs-per-le", "ffs_per_le", fun a -> { a with Arch.ffs_per_le = -1 });
+    ("bad-les-per-mb", "les_per_mb", fun a -> { a with Arch.les_per_mb = 0 });
+    ("bad-mbs-per-smb", "mbs_per_smb", fun a -> { a with Arch.mbs_per_smb = 0 });
+    ("bad-smb-input-pins", "smb_input_pins",
+     fun a -> { a with Arch.smb_input_pins = a.Arch.lut_inputs - 1 });
+    ("bad-mb-input-ports", "mb_input_ports",
+     fun a -> { a with Arch.mb_input_ports = a.Arch.lut_inputs - 1 });
+    ("bad-num-reconf", "num_reconf", fun a -> { a with Arch.num_reconf = Some 0 });
+    ("bad-chan-direct", "chan_direct", fun a -> { a with Arch.chan_direct = 0 });
+    ("bad-chan-len1", "chan_len1", fun a -> { a with Arch.chan_len1 = 0 });
+    ("bad-chan-len4", "chan_len4", fun a -> { a with Arch.chan_len4 = -2 });
+    ("bad-chan-global", "chan_global", fun a -> { a with Arch.chan_global = 0 });
+    ("bad-fs", "fs", fun a -> { a with Arch.fs = 0 });
+    ("bad-fc-in", "fc_in", fun a -> { a with Arch.fc_in = 0.0 });
+    ("bad-fc-in", "fc_in", fun a -> { a with Arch.fc_in = 1.5 });
+    ("bad-fc-out", "fc_out", fun a -> { a with Arch.fc_out = -0.25 });
+    ("bad-t-lut", "t_lut", fun a -> { a with Arch.t_lut = -1.0 });
+    ("bad-t-local", "t_local", fun a -> { a with Arch.t_local = -1.0 });
+    ("bad-t-reconf", "t_reconf", fun a -> { a with Arch.t_reconf = -1.0 });
+    ("bad-t-setup", "t_setup", fun a -> { a with Arch.t_setup = -1.0 });
+    ("bad-smb-area", "smb_area", fun a -> { a with Arch.smb_area = -1.0 }) ]
+
+let prop_mutations_rejected =
+  QCheck.Test.make ~count:60
+    ~name:"each malformed field rejected with its typed code" arb_arch
+    (fun params ->
+      let a = arch_of_params params in
+      List.for_all
+        (fun (code, field, mutate) ->
+          match Arch.validate_result (mutate a) with
+          | Ok () ->
+            QCheck.Test.fail_reportf "mutation %s/%s accepted" code field
+          | Error d ->
+            if d.Diag.code <> code then
+              QCheck.Test.fail_reportf "mutation of %s: wanted code %s, got %s"
+                field code d.Diag.code
+            else if d.Diag.stage <> "arch" then
+              QCheck.Test.fail_reportf "diagnostic stage %s, wanted arch"
+                d.Diag.stage
+            else if not (List.mem ("field", field) d.Diag.context) then
+              QCheck.Test.fail_reportf
+                "diagnostic for %s does not carry its field context" field
+            else true)
+        mutations)
+
+(* ------------------------- differential oracle at non-default points *)
+
+(* Five non-default architecture points spanning the explored knob space:
+   small and large K, skinny and fat clusters, non-default switch-block
+   and connection-block flexibility. *)
+let oracle_points =
+  [ ("k3-narrow", Explore.arch_point ~k:3 ~les_per_mb:2 ~mbs_per_smb:2 ());
+    ("k3-fat", Explore.arch_point ~k:3 ~les_per_mb:8 ~mbs_per_smb:4 ());
+    ("k5", Explore.arch_point ~k:5 ~les_per_mb:4 ~mbs_per_smb:4 ());
+    ("k6-fs6", Explore.arch_point ~k:6 ~les_per_mb:4 ~mbs_per_smb:2 ~fs:6 ());
+    ("k4-fc-half",
+     Explore.arch_point ~k:4 ~les_per_mb:6 ~mbs_per_smb:4 ~fc:0.5 ()) ]
+
+let oracle_foldings =
+  [ ("none", Flow.No_folding); ("l1", Flow.Fixed_level 1);
+    ("l2", Flow.Fixed_level 2) ]
+
+let oracle_mappers = [ ("tt", Mapper.Truth_table); ("aig", Mapper.Aig) ]
+
+let oracle_options ~objective ~mapper =
+  { Flow.default_options with
+    Flow.objective;
+    mapper;
+    physical = true;
+    check_level = Check.Full;
+    jobs = 1 }
+
+let gen_params = { Gen_rtl.default_params with Gen_rtl.steps = 16 }
+
+let random_design seed =
+  let rng = Rng.create seed in
+  Gen_rtl.build ~name:(Printf.sprintf "archfuzz%d" seed)
+    (Gen_rtl.random_spec rng gen_params)
+
+(* Random RTL through the whole flow at a non-default architecture, then
+   the four-level oracle (rtl-sim / lut-network / fabric-emulator /
+   bitstream-replay in lockstep). A flow that legitimately cannot fit the
+   design (e.g. too many inputs for a tiny cluster) is not a failure; a
+   mismatch or a level fault always is. *)
+let test_oracle_at_point arch (fname, objective) (mname, mapper) () =
+  let seeds = [ 11; 12; 13 ] in
+  let ran = ref 0 in
+  List.iter
+    (fun seed ->
+      let design = random_design seed in
+      match
+        Flow.run_result ~options:(oracle_options ~objective ~mapper) ~arch
+          design
+      with
+      | Error _ -> ()
+      | Ok report ->
+        incr ran;
+        (match Oracle.run ~cycles:24 ~seed (Oracle.subject_of_report report) with
+        | Oracle.Pass _ -> ()
+        | outcome ->
+          Alcotest.fail
+            (Printf.sprintf "seed %d %s/%s: %s" seed fname mname
+               (Oracle.describe outcome))))
+    seeds;
+  if !ran = 0 then
+    Alcotest.fail "no random design completed the flow at this point"
+
+let oracle_cases =
+  List.concat_map
+    (fun (pname, arch) ->
+      List.concat_map
+        (fun folding ->
+          List.map
+            (fun mapper ->
+              let name =
+                Printf.sprintf "%s fold=%s %s" pname (fst folding) (fst mapper)
+              in
+              Alcotest.test_case name `Slow
+                (test_oracle_at_point arch folding mapper))
+            oracle_mappers)
+        oracle_foldings)
+    oracle_points
+
+(* ----------------------------------------------- K=3 / K=6 regressions *)
+
+(* Cut enumeration respects the LUT size bound at both extremes, and the
+   chosen cuts' truth tables carry the matching arity. *)
+let test_cut_bounds k () =
+  let g = Aig.create () in
+  let ins = Array.init 9 (fun _ -> Aig.add_input g) in
+  let x = Aig.mk_xor g ins.(0) ins.(1) in
+  let y = Aig.mk_or g (Aig.mk_and g x ins.(2)) ins.(3) in
+  let z = Aig.mk_xor g (Aig.mk_and g y ins.(4)) (Aig.mk_or g ins.(5) ins.(6)) in
+  let root = Aig.mk_mux g z ins.(7) (Aig.mk_and g ins.(8) y) in
+  let m = Cut.compute ~k g ~roots:[ root ] in
+  let chosen = ref 0 in
+  Array.iteri
+    (fun n choice ->
+      if choice >= 0 then begin
+        incr chosen;
+        let cut = m.Cut.cuts.(n).(choice) in
+        let leaves = Array.length cut.Cut.leaves in
+        if leaves > k then
+          Alcotest.fail
+            (Printf.sprintf "node %d: chosen cut has %d leaves > k=%d" n
+               leaves k);
+        check Alcotest.int
+          (Printf.sprintf "node %d truth-table arity" n)
+          leaves
+          (Truth_table.arity cut.Cut.func)
+      end)
+    m.Cut.choice;
+  check Alcotest.bool "some cut chosen" true (!chosen > 0)
+
+(* Bitstream LUT fields are ceil(2^K / 8) bytes: the encoded size moves
+   with K and the round-trip preserves full-width truth tables. *)
+let le ~tt ~used =
+  { Bitstream.le_smb = 0; le_mb = 0; le_index = 0; truth_table = tt;
+    used_inputs = used }
+
+let test_bitstream_lut_field k () =
+  let tt_bytes = ((1 lsl k) + 7) / 8 in
+  let full_tt =
+    if 1 lsl k >= 64 then -1L
+    else Int64.sub (Int64.shift_left 1L (1 lsl k)) 1L
+  in
+  let configs =
+    [| { Bitstream.les = [ le ~tt:full_tt ~used:k; le ~tt:5L ~used:2 ];
+         switches = [ { Bitstream.rr_node = 3; wire_tag = 2 } ] };
+       { Bitstream.les = [ le ~tt:1L ~used:1 ]; switches = [] } |]
+  in
+  let bytes = Bitstream.encode_configs ~num_smbs:1 ~lut_inputs:k configs in
+  let num_smbs, k', configs' = Bitstream.parse_full bytes in
+  check Alcotest.int "num_smbs" 1 num_smbs;
+  check Alcotest.int "lut_inputs round-trips" k k';
+  check Alcotest.int "config count" 2 (Array.length configs');
+  let les0 = configs'.(0).Bitstream.les in
+  check Alcotest.int "les in config 0" 2 (List.length les0);
+  List.iter2
+    (fun (want : Bitstream.le_config) (got : Bitstream.le_config) ->
+      check Alcotest.bool "truth table survives" true
+        (Int64.equal want.Bitstream.truth_table got.Bitstream.truth_table))
+    configs.(0).Bitstream.les les0;
+  (* one more/fewer byte per LUT as K moves: re-encode with one extra LE
+     and verify the length delta is exactly the field size *)
+  let with_extra =
+    [| { (configs.(0)) with Bitstream.les = le ~tt:0L ~used:0 :: configs.(0).Bitstream.les } |]
+  in
+  let base = [| configs.(0) |] in
+  let len0 =
+    Bytes.length (Bitstream.encode_configs ~num_smbs:1 ~lut_inputs:k base)
+  in
+  let len1 =
+    Bytes.length (Bitstream.encode_configs ~num_smbs:1 ~lut_inputs:k with_extra)
+  in
+  check Alcotest.bool "per-LE delta covers the LUT field" true
+    (len1 - len0 >= tt_bytes)
+
+(* A malformed K byte in the header is a parse error, not garbage data. *)
+let test_bitstream_bad_k () =
+  let bytes =
+    Bitstream.encode_configs ~num_smbs:1 ~lut_inputs:4
+      [| { Bitstream.les = []; switches = [] } |]
+  in
+  Bytes.set bytes 13 (Char.chr (Truth_table.max_arity + 1));
+  match Bitstream.parse_full bytes with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "parse_full accepted lut_inputs > max_arity"
+
+(* Truth-table widths at the extremes: arity-3 tables live in 8 bits,
+   arity-6 in all 64, and of_bits masks excess bits at small arities. *)
+let test_truth_table_widths () =
+  check Alcotest.int "max arity" 6 Truth_table.max_arity;
+  let t3 = Truth_table.of_bits ~arity:3 0xFFFFL in
+  check Alcotest.bool "arity-3 masks to 8 bits" true
+    (Int64.equal (Truth_table.bits t3) 0xFFL);
+  let t6 = Truth_table.of_fun ~arity:6 (fun v -> v.(5)) in
+  check Alcotest.bool "arity-6 uses the high bits" true
+    (Int64.equal (Truth_table.bits t6) 0xFFFFFFFF00000000L);
+  check Alcotest.int "arity survives" 6 (Truth_table.arity t6)
+
+(* End-to-end: a real benchmark flows at K=3 and K=6 with full checking,
+   and the resulting bitstream parses back with the right K. *)
+let test_flow_at_k k () =
+  let bench = Nanomap_circuits.Circuits.by_name "ex1_small" in
+  let arch = Explore.arch_point ~k () in
+  let options =
+    { Flow.default_options with
+      Flow.objective = Flow.No_folding;
+      physical = true;
+      check_level = Check.Full;
+      jobs = 1 }
+  in
+  match Flow.run_result ~options ~arch bench.Nanomap_circuits.Circuits.design with
+  | Error d -> Alcotest.fail (Printf.sprintf "flow failed at K=%d: %s" k d.Diag.code)
+  | Ok report ->
+    (match report.Flow.bitstream with
+    | None -> Alcotest.fail "physical flow produced no bitstream"
+    | Some bs ->
+      let _, k', _ = Bitstream.parse_full bs.Bitstream.bytes in
+      check Alcotest.int "bitstream K" k k')
+
+let () =
+  let to_alco = QCheck_alcotest.to_alcotest in
+  Alcotest.run "arch"
+    [ ( "validate",
+        [ to_alco prop_generator_valid; to_alco prop_mutations_rejected ] );
+      ("oracle", oracle_cases);
+      ( "k-extremes",
+        [ Alcotest.test_case "cut bounds K=3" `Quick (test_cut_bounds 3);
+          Alcotest.test_case "cut bounds K=6" `Quick (test_cut_bounds 6);
+          Alcotest.test_case "bitstream LUT field K=3" `Quick
+            (test_bitstream_lut_field 3);
+          Alcotest.test_case "bitstream LUT field K=6" `Quick
+            (test_bitstream_lut_field 6);
+          Alcotest.test_case "bitstream rejects bad K" `Quick
+            test_bitstream_bad_k;
+          Alcotest.test_case "truth-table widths" `Quick
+            test_truth_table_widths;
+          Alcotest.test_case "flow at K=3" `Slow (test_flow_at_k 3);
+          Alcotest.test_case "flow at K=6" `Slow (test_flow_at_k 6) ] ) ]

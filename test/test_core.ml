@@ -296,12 +296,22 @@ let test_fold_edge_cases () =
     (Fold.level_for_stages ~depth_max:0 ~stages:3)
 
 let test_arch_validate_errors () =
-  Alcotest.check_raises "bad lut_inputs"
-    (Invalid_argument "Arch: lut_inputs must be positive") (fun () ->
-      Arch.validate { Arch.default with Arch.lut_inputs = 0 });
-  Alcotest.check_raises "pins below K"
-    (Invalid_argument "Arch: smb_input_pins must cover one LUT's inputs")
-    (fun () -> Arch.validate { Arch.default with Arch.smb_input_pins = 2 })
+  let code_of a =
+    match Arch.validate_result a with
+    | Ok () -> Alcotest.fail "expected a diagnostic"
+    | Error d -> d.Nanomap_util.Diag.code
+  in
+  check Alcotest.string "bad lut_inputs" "bad-lut-inputs"
+    (code_of { Arch.default with Arch.lut_inputs = 0 });
+  check Alcotest.string "pins below K" "bad-smb-input-pins"
+    (code_of { Arch.default with Arch.smb_input_pins = 2 });
+  (match
+     Arch.validate { Arch.default with Arch.lut_inputs = 0 }
+   with
+  | () -> Alcotest.fail "validate accepted a bad arch"
+  | exception Nanomap_util.Diag.Fail d ->
+    check Alcotest.string "validate raises Diag.Fail" "arch"
+      d.Nanomap_util.Diag.stage)
 
 (* two independent FSMs: separate cyclic weak components, both plane 1 *)
 let test_levelize_two_fsms () =

@@ -146,8 +146,8 @@ let test_bitstream_roundtrip name () =
     (match report.Flow.bitstream with
     | None -> Alcotest.fail "physical flow produced no bitstream"
     | Some bs ->
-      let num_smbs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
-      let re = Bitstream.encode_configs ~num_smbs cfgs in
+      let num_smbs, lut_inputs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
+      let re = Bitstream.encode_configs ~num_smbs ~lut_inputs cfgs in
       check Alcotest.bool
         (Printf.sprintf "%s bitstream byte-identical round-trip" name)
         true

@@ -327,7 +327,7 @@ let test_bitstream_shape () =
   let bs = Bitstream.generate plan cl r in
   check Alcotest.bool "magic" true
     (Bytes.length bs.Bitstream.bytes > 5
-    && Bytes.sub_string bs.Bitstream.bytes 0 5 = "NMAP1");
+    && Bytes.sub_string bs.Bitstream.bytes 0 5 = "NMAP2");
   check Alcotest.int "configs" plan.Mapper.configs_used bs.Bitstream.configs;
   check Alcotest.bool "nonzero luts" true (bs.Bitstream.lut_bits > 0);
   check Alcotest.bool "nonzero switches" true (bs.Bitstream.switch_bits > 0)

@@ -256,8 +256,8 @@ let test_options_roundtrip () =
       check_level = Check.Full;
       defects = Defect.of_string "le 1 0 0 2\ntrack len4 3\n";
       route_caps =
-        (let c = Flow.default_options.Flow.route_caps in
-         { c with Nanomap_route.Rr_graph.len1_tracks = 9 });
+        (let c = Nanomap_route.Rr_graph.default_caps in
+         Some { c with Nanomap_route.Rr_graph.len1_tracks = 9 });
       mapper = Mapper.Aig;
       aig_effort = 3;
       jobs = 4;
@@ -543,7 +543,7 @@ let test_key_option_sensitivity () =
   let d = circuit "ex1_small" in
   let key o = Codec.content_key ~design:d ~arch:Arch.default ~options:o in
   let base = opts () in
-  let caps = base.Flow.route_caps in
+  let caps = Nanomap_route.Rr_graph.default_caps in
   List.iter
     (fun (label, o) ->
       check Alcotest.bool (label ^ " changes the key") true (key o <> key base))
@@ -560,9 +560,10 @@ let test_key_option_sensitivity () =
       ( "route_caps",
         { base with
           Flow.route_caps =
-            { caps with
-              Nanomap_route.Rr_graph.len1_tracks =
-                caps.Nanomap_route.Rr_graph.len1_tracks + 1 } } );
+            Some
+              { caps with
+                Nanomap_route.Rr_graph.len1_tracks =
+                  caps.Nanomap_route.Rr_graph.len1_tracks + 1 } } );
       ("mapper", { base with Flow.mapper = Mapper.Aig });
       ("aig_effort", { base with Flow.aig_effort = 3 });
       ("portfolio", { base with Flow.portfolio = 2 }) ];

@@ -191,8 +191,9 @@ let test_degradation_exhausts_and_counts () =
     { flow_options with
       Flow.check_level = Check.Off;
       route_caps =
-        { Rr_graph.direct_tracks = 0; len1_tracks = 0; len4_tracks = 0;
-          global_tracks = 0 } }
+        Some
+          { Rr_graph.direct_tracks = 0; len1_tracks = 0; len4_tracks = 0;
+            global_tracks = 0 } }
   in
   let design = (Circuits.ex1_small ()).Circuits.design in
   let c = Telemetry.counter "flow.degradations" in

@@ -156,7 +156,7 @@ let test_fault_dropped_le () =
     | Some bs -> bs
     | None -> Alcotest.fail "no bitstream"
   in
-  let num_smbs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
+  let num_smbs, lut_inputs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
   let dropped = ref false in
   let cfgs =
     Array.map
@@ -170,7 +170,7 @@ let test_fault_dropped_le () =
       cfgs
   in
   check Alcotest.bool "dropped an LE" true !dropped;
-  let bs' = { bs with Bitstream.bytes = Bitstream.encode_configs ~num_smbs cfgs } in
+  let bs' = { bs with Bitstream.bytes = Bitstream.encode_configs ~num_smbs ~lut_inputs cfgs } in
   let subject = { subject with Oracle.bitstream = Some bs' } in
   match Oracle.run ~cycles:40 subject with
   | Oracle.Level_fault (Oracle.L_bits, _) -> ()
@@ -354,8 +354,8 @@ let test_bitstream_strictness () =
     | Some bs -> bs
     | None -> Alcotest.fail "no bitstream"
   in
-  let num_smbs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
-  let re = Bitstream.encode_configs ~num_smbs cfgs in
+  let num_smbs, lut_inputs, cfgs = Bitstream.parse_full bs.Bitstream.bytes in
+  let re = Bitstream.encode_configs ~num_smbs ~lut_inputs cfgs in
   check Alcotest.bool "byte-identical" true (Bytes.equal re bs.Bitstream.bytes);
   (* trailing garbage must be rejected *)
   let padded = Bytes.extend bs.Bitstream.bytes 0 1 in
